@@ -1,0 +1,58 @@
+"""Shared helpers for the benchmark suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.drivers import BaselineReference
+from repro.experiments.protocol import CrossValidationResult
+from repro.experiments.scale import current_scale
+from repro.experiments.tables import format_table
+
+
+def strict_assertions() -> bool:
+    """Shape assertions only bind at bench/paper scale; the smoke scale
+    exists to exercise the code paths, not to reproduce results."""
+    return current_scale().name != "smoke"
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    banner = f"\n[REPRO_SCALE={current_scale().name}]\n{text}\n"
+    print(banner)
+    (results_dir / f"{name}.txt").write_text(banner.lstrip("\n") + "\n")
+
+
+def learning_curve_table(
+    title: str,
+    result: CrossValidationResult,
+    references: dict[str, str] | None = None,
+) -> str:
+    """Format a Tables 7-12 style learning curve."""
+    rows = [
+        [
+            row.iteration,
+            row.seconds.format(1),
+            row.train_f_measure.format(),
+            row.validation_f_measure.format(),
+        ]
+        for row in result.rows
+    ]
+    text = format_table(
+        ["Iter.", "Time in s (σ)", "Train. F1 (σ)", "Val. F1 (σ)"],
+        rows,
+        title=f"{title} ({result.runs} runs)",
+    )
+    if references:
+        lines = [text, ""]
+        for label, value in references.items():
+            lines.append(f"Reference {label}: {value}")
+        text = "\n".join(lines)
+    return text
+
+
+def baseline_row(reference: BaselineReference) -> str:
+    return (
+        f"train {reference.train_f_measure.format()}, "
+        f"validation {reference.validation_f_measure.format()}"
+    )

@@ -1,0 +1,86 @@
+"""Active learning: committee queries versus random queries.
+
+The paper's companion work [21] (Isele, Jentzsch & Bizer, ICWE 2012)
+minimises the number of reference links a human must confirm by
+query-by-committee selection. This bench reproduces the headline
+comparison on the restaurant dataset: reference-set F1 after a fixed
+query budget, committee strategy versus random sampling.
+"""
+
+from __future__ import annotations
+
+from repro.core.active import ActiveGenLink, ActiveLearningConfig, oracle_from_links
+from repro.core.genlink import GenLinkConfig
+from repro.datasets import load_dataset
+from repro.experiments.scale import current_scale
+from repro.experiments.tables import format_table
+
+from benchmarks._util import emit, strict_assertions
+
+
+def _run_strategy(strategy: str, seed: int) -> dict:
+    scale = current_scale()
+    dataset = load_dataset(
+        "restaurant", seed=seed, scale=scale.effective_dataset_scale(0)
+    )
+    queries = 16 if scale.name != "smoke" else 8
+    config = ActiveLearningConfig(
+        max_queries=queries,
+        bootstrap_queries=4,
+        strategy=strategy,
+        genlink=GenLinkConfig(
+            population_size=max(30, scale.population_size // 2),
+            max_iterations=max(5, scale.max_iterations // 3),
+        ),
+    )
+    candidates = list(dataset.links.positive) + list(dataset.links.negative)
+    oracle = oracle_from_links(dataset.links.positive)
+    result = ActiveGenLink(config).run(
+        dataset.source_a,
+        dataset.source_b,
+        candidates,
+        oracle,
+        rng=seed,
+        reference=dataset.links,
+    )
+    return {
+        "strategy": strategy,
+        "queries": len(result.queries),
+        "final_f1": result.f_measure_curve[-1] if result.f_measure_curve else 0.0,
+        "curve": result.f_measure_curve,
+    }
+
+
+def test_active_learning_committee_vs_random(benchmark, results_dir):
+    rows_data = benchmark.pedantic(
+        lambda: [
+            _run_strategy("committee", seed=31),
+            _run_strategy("random", seed=31),
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            row["strategy"],
+            row["queries"],
+            f"{row['final_f1']:.3f}",
+            " ".join(f"{v:.2f}" for v in row["curve"][-6:]),
+        ]
+        for row in rows_data
+    ]
+    text = format_table(
+        ["Strategy", "Queries", "Final F1", "F1 curve (tail)"],
+        rows,
+        title="Active learning on restaurant: committee vs random queries",
+    )
+    emit(results_dir, "active_learning", text)
+    if not strict_assertions():
+        return
+
+    committee = next(r for r in rows_data if r["strategy"] == "committee")
+    random_row = next(r for r in rows_data if r["strategy"] == "random")
+    # Shape claim of [21]: with a small query budget, committee-selected
+    # queries reach at least the F1 of random queries.
+    assert committee["final_f1"] >= random_row["final_f1"] - 0.05
+    assert committee["final_f1"] >= 0.85

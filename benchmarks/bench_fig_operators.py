@@ -1,0 +1,216 @@
+"""Figures 1 and 3-6: the grammar and the crossover operators at work.
+
+Figure 1 specifies the strongly-typed structure of a linkage rule;
+Figure 3 illustrates Algorithm 2 finding compatible properties between
+two city entities; Figures 4-6 walk one application of the operators,
+aggregation and transformation crossovers through concrete rules. This
+bench renders our equivalents of all five figures from live objects —
+the crossovers run against seeded randomness, so the output shows real
+operator behaviour, not drawings.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.compatible import find_compatible_properties
+from repro.core.crossover import (
+    AggregationCrossover,
+    OperatorsCrossover,
+    TransformationCrossover,
+)
+from repro.core.generation import RandomRuleGenerator
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    TransformationNode,
+)
+from repro.core.representation import FULL
+from repro.core.rule import LinkageRule
+from repro.core.serialization import render_rule
+from repro.data.entity import Entity
+from repro.data.source import DataSource
+
+from benchmarks._util import emit, strict_assertions
+
+GRAMMAR = """\
+Figure 1: structure of a linkage rule (strongly-typed grammar)
+
+    LinkageRule     := SimilarityNode
+    SimilarityNode  := Aggregation | Comparison
+    Aggregation     := fa(SimilarityNode+)        fa in {min, max, wmean}
+    Comparison      := fd(ValueNode, ValueNode)   fd + threshold
+    ValueNode       := Transformation | Property
+    Transformation  := ft(ValueNode+)             ft in the catalogue
+    Property        := one property of an entity
+"""
+
+
+def _figure3() -> str:
+    """Algorithm 2 on the paper's two-city example."""
+    source_a = DataSource(
+        "a", [Entity("a:berlin", {"label": "Berlin", "point": "52.52,13.40"})]
+    )
+    source_b = DataSource(
+        "b", [Entity("b:berlin", {"label": "berlin", "coord": "52.52,13.41"})]
+    )
+    pairs = find_compatible_properties(
+        source_a, source_b, [("a:berlin", "b:berlin")], min_support=0.0
+    )
+    lines = ["Figure 3: finding compatible properties", ""]
+    lines.append("positive link: (a:berlin, b:berlin)")
+    for pair in pairs:
+        lines.append(
+            f"  ({pair.source_property}, {pair.target_property}, {pair.measure})"
+        )
+    return "\n".join(lines)
+
+
+def _label_comparison(metric: str = "levenshtein") -> ComparisonNode:
+    return ComparisonNode(
+        metric=metric,
+        threshold=1.0,
+        source=PropertyNode("label"),
+        target=PropertyNode("label"),
+    )
+
+
+def _date_comparison() -> ComparisonNode:
+    return ComparisonNode(
+        metric="date",
+        threshold=364.0,
+        source=PropertyNode("date"),
+        target=PropertyNode("date"),
+    )
+
+
+def _geo_comparison() -> ComparisonNode:
+    return ComparisonNode(
+        metric="geographic",
+        threshold=50.0,
+        source=PropertyNode("point"),
+        target=PropertyNode("coord"),
+    )
+
+
+def _generator(rng: random.Random) -> RandomRuleGenerator:
+    return RandomRuleGenerator(
+        [],
+        rng,
+        representation=FULL,
+        source_properties=["label", "date", "point"],
+        target_properties=["label", "date", "coord"],
+    )
+
+
+def _crossover_figure(title: str, operator, rule1, rule2, seed: int) -> str:
+    rng = random.Random(seed)
+    child = operator.apply(rule1, rule2, rng, _generator(rng), FULL)
+    parts = [
+        title,
+        "",
+        render_rule(rule1, title="parent 1"),
+        "",
+        render_rule(rule2, title="parent 2"),
+        "",
+        render_rule(child, title="offspring"),
+    ]
+    return "\n".join(parts)
+
+
+def _figure4() -> str:
+    """Operators crossover combines the comparisons of two aggregations."""
+    rule1 = LinkageRule(
+        AggregationNode(
+            function="min", operators=(_label_comparison(), _date_comparison())
+        )
+    )
+    rule2 = LinkageRule(
+        AggregationNode(
+            function="min", operators=(_label_comparison("jaccard"),
+                                       _geo_comparison())
+        )
+    )
+    return _crossover_figure(
+        "Figure 4: operators crossover", OperatorsCrossover(), rule1, rule2, seed=5
+    )
+
+
+def _figure5() -> str:
+    """Aggregation crossover builds hierarchies across tree levels."""
+    rule1 = LinkageRule(
+        AggregationNode(
+            function="min", operators=(_label_comparison(), _date_comparison())
+        )
+    )
+    rule2 = LinkageRule(
+        AggregationNode(
+            function="max",
+            operators=(
+                AggregationNode(
+                    function="min",
+                    operators=(_geo_comparison(), _label_comparison("jaccard")),
+                ),
+                _date_comparison(),
+            ),
+        )
+    )
+    return _crossover_figure(
+        "Figure 5: aggregation crossover", AggregationCrossover(), rule1, rule2,
+        seed=3,
+    )
+
+
+def _figure6() -> str:
+    """Transformation crossover recombines transformation chains."""
+    rule1 = LinkageRule(
+        ComparisonNode(
+            metric="levenshtein",
+            threshold=1.0,
+            source=TransformationNode(
+                "tokenize", (TransformationNode("lowerCase", (PropertyNode("label"),)),)
+            ),
+            target=PropertyNode("label"),
+        )
+    )
+    rule2 = LinkageRule(
+        ComparisonNode(
+            metric="jaccard",
+            threshold=0.4,
+            source=TransformationNode(
+                "tokenize",
+                (
+                    TransformationNode(
+                        "stem",
+                        (TransformationNode("lowerCase", (PropertyNode("label"),)),),
+                    ),
+                ),
+            ),
+            target=PropertyNode("label"),
+        )
+    )
+    return _crossover_figure(
+        "Figure 6: transformation crossover", TransformationCrossover(),
+        rule1, rule2, seed=11,
+    )
+
+
+def test_figure_operators(benchmark, results_dir):
+    sections = benchmark.pedantic(
+        lambda: [GRAMMAR, _figure3(), _figure4(), _figure5(), _figure6()],
+        rounds=1,
+        iterations=1,
+    )
+    text = ("\n" + "=" * 66 + "\n").join(sections)
+    emit(results_dir, "fig_operators", text)
+    if not strict_assertions():
+        return
+
+    grammar, figure3, figure4, figure5, figure6 = sections
+    # Figure 3 must discover both property pairs of the paper's example.
+    assert "(label, label, levenshtein)" in figure3
+    assert "(point, coord, geographic)" in figure3
+    # Each crossover figure shows two parents and an offspring.
+    for figure in (figure4, figure5, figure6):
+        assert "parent 1" in figure and "offspring" in figure

@@ -1,0 +1,122 @@
+"""Supporting micro-benchmarks: distance throughput, batch rule
+evaluation and blocking efficiency.
+
+These are classic pytest-benchmark timings (multiple rounds) rather
+than table reproductions; they document the performance envelope of
+the substrate the GP runs on.
+"""
+
+import random
+
+from repro.core.evaluation import PairEvaluator
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    TransformationNode,
+)
+from repro.core.rule import LinkageRule
+from repro.data.entity import Entity
+from repro.datasets import load_dataset
+from repro.distances.levenshtein import levenshtein
+from repro.distances.jaro import jaro_winkler_similarity
+from repro.matching.blocking import FullIndexBlocker, TokenBlocker
+
+
+def test_levenshtein_banded_throughput(benchmark):
+    rng = random.Random(0)
+    words = ["".join(rng.choice("abcdefghij") for _ in range(12)) for _ in range(200)]
+
+    def run():
+        total = 0.0
+        for i in range(0, len(words) - 1):
+            total += levenshtein(words[i], words[i + 1], bound=3)
+        return total
+
+    benchmark(run)
+
+
+def test_jaro_winkler_throughput(benchmark):
+    rng = random.Random(0)
+    words = ["".join(rng.choice("abcdefghij") for _ in range(12)) for _ in range(200)]
+
+    def run():
+        total = 0.0
+        for i in range(0, len(words) - 1):
+            total += jaro_winkler_similarity(words[i], words[i + 1])
+        return total
+
+    benchmark(run)
+
+
+def _rule() -> LinkageRule:
+    return LinkageRule(
+        AggregationNode(
+            "max",
+            (
+                ComparisonNode(
+                    "levenshtein",
+                    2.0,
+                    TransformationNode("lowerCase", (PropertyNode("name"),)),
+                    TransformationNode("lowerCase", (PropertyNode("name"),)),
+                ),
+                ComparisonNode(
+                    "jaccard",
+                    0.7,
+                    TransformationNode("tokenize", (PropertyNode("name"),)),
+                    TransformationNode("tokenize", (PropertyNode("name"),)),
+                ),
+            ),
+        )
+    )
+
+
+def test_pair_evaluator_cold_cache(benchmark):
+    rng = random.Random(1)
+    pairs = [
+        (
+            Entity(f"a{i}", {"name": f"entity number {rng.randint(0, 50)}"}),
+            Entity(f"b{i}", {"name": f"entity number {rng.randint(0, 50)}"}),
+        )
+        for i in range(500)
+    ]
+    rule = _rule()
+
+    def run():
+        evaluator = PairEvaluator(pairs)
+        return evaluator.scores(rule.root).sum()
+
+    benchmark(run)
+
+
+def test_pair_evaluator_warm_cache(benchmark):
+    rng = random.Random(1)
+    pairs = [
+        (
+            Entity(f"a{i}", {"name": f"entity number {rng.randint(0, 50)}"}),
+            Entity(f"b{i}", {"name": f"entity number {rng.randint(0, 50)}"}),
+        )
+        for i in range(500)
+    ]
+    rule = _rule()
+    evaluator = PairEvaluator(pairs)
+    evaluator.scores(rule.root)
+
+    def run():
+        return evaluator.scores(rule.root).sum()
+
+    benchmark(run)
+
+
+def test_token_blocking_vs_full_index(benchmark):
+    dataset = load_dataset("restaurant", seed=4, scale=0.5)
+    # Small blocks: frequent tokens ("The", "Street") are dropped.
+    blocker = TokenBlocker(["name", "address"], max_block_size=40)
+
+    def run():
+        return sum(1 for _ in blocker.candidates(dataset.source_a, dataset.source_b))
+
+    candidates = benchmark(run)
+    full = FullIndexBlocker().candidate_count(dataset.source_a, dataset.source_b)
+    # Blocking prunes the vast majority of the Cartesian product.
+    assert candidates < full * 0.25

@@ -1,0 +1,28 @@
+"""Table 5: entity and reference link counts of all six datasets."""
+
+from repro.experiments.drivers import dataset_statistics
+from repro.experiments.tables import format_table
+
+from benchmarks._util import emit
+
+
+def test_table05_dataset_statistics(benchmark, results_dir):
+    rows = benchmark.pedantic(dataset_statistics, rounds=1, iterations=1)
+    text = format_table(
+        ["Dataset", "|A|", "|B|", "|R+|", "|R-|"],
+        [
+            [
+                r["name"],
+                r["entities_a"],
+                r["entities_b"],
+                r["positive_links"],
+                r["negative_links"],
+            ]
+            for r in rows
+        ],
+        title="Table 5: entities and reference links per data set",
+    )
+    emit(results_dir, "table05_datasets", text)
+    assert len(rows) == 6
+    for row in rows:
+        assert row["positive_links"] > 0

@@ -1,0 +1,31 @@
+"""Table 6: property counts and coverage of all six datasets."""
+
+from repro.datasets import dataset_spec
+from repro.experiments.drivers import dataset_statistics
+from repro.experiments.tables import format_table
+
+from benchmarks._util import emit
+
+
+def test_table06_property_statistics(benchmark, results_dir):
+    rows = benchmark.pedantic(dataset_statistics, rounds=1, iterations=1)
+    text = format_table(
+        ["Dataset", "|A.P|", "|B.P|", "CA", "CB", "paper CA", "paper CB"],
+        [
+            [
+                r["name"],
+                r["properties_a"],
+                r["properties_b"],
+                r["coverage_a"],
+                r["coverage_b"],
+                dataset_spec(r["name"]).coverage_a,
+                dataset_spec(r["name"]).coverage_b,
+            ]
+            for r in rows
+        ],
+        title="Table 6: properties and coverage per data set",
+    )
+    emit(results_dir, "table06_properties", text)
+    for row in rows:
+        spec = dataset_spec(row["name"])
+        assert abs(row["coverage_a"] - spec.coverage_a) < 0.1

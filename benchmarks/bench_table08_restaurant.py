@@ -1,0 +1,29 @@
+"""Table 8: GenLink learning curve on Restaurant, with the Carvalho et
+al. reference (their paper: train 1.000, validation 0.980)."""
+
+from repro.experiments.drivers import carvalho_reference, learning_curve
+
+from benchmarks._util import strict_assertions, baseline_row, emit, learning_curve_table
+
+
+def test_table08_restaurant(benchmark, results_dir):
+    def run():
+        curve = learning_curve("restaurant", seed=8)
+        baseline = carvalho_reference("restaurant", seed=8)
+        return curve, baseline
+
+    curve, baseline = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = learning_curve_table(
+        "Table 8: Restaurant",
+        curve,
+        references={
+            "Carvalho et al. (reimplementation)": baseline_row(baseline),
+            "Carvalho et al. (paper)": "train 1.000 (0.000), validation 0.980 (0.010)",
+            "GenLink (paper, iter 50)": "train 0.996 (0.004), validation 0.993 (0.006)",
+        },
+    )
+    emit(results_dir, "table08_restaurant", text)
+    if not strict_assertions():
+        return
+    # Shape: the easy dataset converges essentially immediately.
+    assert curve.final_row().validation_f_measure.mean > 0.95

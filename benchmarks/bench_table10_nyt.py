@@ -1,0 +1,30 @@
+"""Table 10: GenLink learning curve on NYT (OAEI 2011 baselines:
+AgreementMaker 0.69, SEREMI 0.68, Zhishi.links 0.92)."""
+
+from repro.experiments.drivers import learning_curve
+
+from benchmarks._util import strict_assertions, emit, learning_curve_table
+
+
+def test_table10_nyt(benchmark, results_dir):
+    curve = benchmark.pedantic(
+        lambda: learning_curve("nyt", seed=10), rounds=1, iterations=1
+    )
+    text = learning_curve_table(
+        "Table 10: NYT",
+        curve,
+        references={
+            "AgreementMaker (paper)": "F1 0.69",
+            "SEREMI (paper)": "F1 0.68",
+            "Zhishi.links (paper)": "F1 0.92",
+            "GenLink (paper, iter 50)": "train 0.977 (0.024), validation 0.974 (0.026)",
+        },
+    )
+    emit(results_dir, "table10_nyt", text)
+    rows = curve.rows
+    if not strict_assertions():
+        return
+    # Shape: NYT is the slow-convergence dataset — the curve keeps
+    # climbing well past the initial population.
+    assert rows[-1].train_f_measure.mean > rows[0].train_f_measure.mean + 0.05
+    assert rows[-1].validation_f_measure.mean > 0.8

@@ -1,0 +1,29 @@
+"""Table 11: GenLink learning curve on LinkedMDB (vs. a human-written
+rule comparing titles and release dates)."""
+
+from repro.experiments.drivers import learning_curve
+
+from benchmarks._util import strict_assertions, emit, learning_curve_table
+
+
+def test_table11_linkedmdb(benchmark, results_dir):
+    curve = benchmark.pedantic(
+        lambda: learning_curve("linkedmdb", seed=11), rounds=1, iterations=1
+    )
+    text = learning_curve_table(
+        "Table 11: LinkedMDB",
+        curve,
+        references={
+            "GenLink (paper, iter 50)": "train 1.000 (0.000), validation 0.999 (0.002)",
+        },
+    )
+    emit(results_dir, "table11_linkedmdb", text)
+    final = curve.final_row()
+    if not strict_assertions():
+        return
+    # Shape: high training fit and validation accuracy. (Our synthetic
+    # LinkedMDB injects remake and same-year corner cases at a higher
+    # rate than the original's manually curated negatives, so absolute
+    # scores trail the paper's 0.999 at reduced GP budgets.)
+    assert final.train_f_measure.mean > 0.9
+    assert final.validation_f_measure.mean > 0.85

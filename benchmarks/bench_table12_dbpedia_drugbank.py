@@ -1,0 +1,40 @@
+"""Table 12: GenLink learning curve on DBpediaDrugBank.
+
+The paper's headline here: learned rules reach F1 0.994 using less than
+half the comparisons and a tenth of the transformations of the
+13-comparison / 33-transformation human-written rule. The bench also
+reports the learned rules' average comparison and transformation
+counts so that claim can be checked.
+"""
+
+from repro.experiments.drivers import learning_curve
+
+from benchmarks._util import strict_assertions, emit, learning_curve_table
+
+
+def test_table12_dbpedia_drugbank(benchmark, results_dir):
+    curve = benchmark.pedantic(
+        lambda: learning_curve("dbpedia_drugbank", seed=12), rounds=1, iterations=1
+    )
+    final = curve.final_row()
+    complexity = (
+        f"learned rule complexity at final iteration: "
+        f"{final.comparisons.format(1)} comparisons, "
+        f"{final.transformations.format(1)} transformations "
+        f"(human rule: 13 comparisons, 33 transformations; "
+        f"paper learned: 5.6 comparisons, 3.2 transformations)"
+    )
+    text = learning_curve_table(
+        "Table 12: DBpediaDrugBank",
+        curve,
+        references={
+            "GenLink (paper, iter 50)": "train 0.998 (0.001), validation 0.994 (0.002)",
+            "Complexity": complexity,
+        },
+    )
+    emit(results_dir, "table12_dbpedia_drugbank", text)
+    if not strict_assertions():
+        return
+    assert final.validation_f_measure.mean > 0.95
+    # Parsimony: far fewer comparisons than the human rule's 13.
+    assert final.comparisons.mean < 13

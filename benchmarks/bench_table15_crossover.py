@@ -1,0 +1,59 @@
+"""Table 15: subtree crossover vs the specialised operators.
+
+Paper values (validation F1):
+
+    10 iterations        Subtree C.      Our Approach
+    Cora                 0.943 (0.015)   0.951 (0.013)
+    Restaurant           0.997 (0.004)   0.997 (0.004)
+    SiderDrugBank        0.919 (0.013)   0.963 (0.013)
+    NYT                  0.814 (0.015)   0.834 (0.016)
+    LinkedMDB            0.985 (0.012)   0.991 (0.009)
+    DBpediaDrugBank      0.992 (0.002)   0.994 (0.002)
+
+    25 iterations        Subtree C.      Our Approach
+    Cora                 0.959 (0.007)   0.967 (0.003)
+    ...                  (specialised operators match or win everywhere)
+"""
+
+from repro.datasets import DATASET_NAMES
+from repro.experiments.drivers import crossover_comparison
+from repro.experiments.tables import format_table
+
+from benchmarks._util import strict_assertions, emit
+
+
+def test_table15_crossover(benchmark, results_dir):
+    comparisons = benchmark.pedantic(
+        lambda: crossover_comparison(DATASET_NAMES, seed=15),
+        rounds=1,
+        iterations=1,
+    )
+    sections = []
+    for index in range(2):
+        iteration = comparisons[0].iterations[index]
+        rows = [
+            [
+                c.dataset,
+                c.subtree[iteration].format(),
+                c.specialised[iteration].format(),
+            ]
+            for c in comparisons
+        ]
+        sections.append(
+            format_table(
+                ["Dataset", "Subtree C.", "Our Approach"],
+                rows,
+                title=f"Table 15: crossover comparison at {iteration} iterations",
+            )
+        )
+    text = "\n\n".join(sections)
+    emit(results_dir, "table15_crossover", text)
+    if not strict_assertions():
+        return
+
+    # Shape: averaged over all datasets, the specialised operators match
+    # or beat subtree crossover at the final reported iteration.
+    final = comparisons[0].iterations[-1]
+    mean_subtree = sum(c.subtree[final].mean for c in comparisons) / len(comparisons)
+    mean_ours = sum(c.specialised[final].mean for c in comparisons) / len(comparisons)
+    assert mean_ours >= mean_subtree - 0.01

@@ -1,0 +1,22 @@
+"""Benchmark suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one table or figure of the paper, prints it
+(visible with ``-s``) and writes it to ``benchmarks/results/``. The
+experiment scale is selected with ``REPRO_SCALE`` (smoke | bench |
+paper); see ``repro.experiments.scale``.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    from pathlib import Path
+
+    path = Path(__file__).parent / "results"
+    path.mkdir(exist_ok=True)
+    return path

@@ -1,0 +1,80 @@
+"""Active learning: confirming pairs instead of writing reference links.
+
+The GenLink paper notes (Section 2) that its companion active learning
+method [21] minimises the number of entity pairs a domain expert needs
+to confirm or reject. This example runs that extension on the
+Restaurant dataset: a blocker proposes candidate pairs, a simulated
+expert answers queries, and query-by-committee selection is compared
+against random query selection at equal label budgets.
+
+Run with::
+
+    python examples/active_learning.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import render_rule
+from repro.core.active import ActiveGenLink, ActiveLearningConfig, oracle_from_links
+from repro.core.genlink import GenLinkConfig
+from repro.datasets import load_dataset
+from repro.matching.blocking import TokenBlocker
+
+
+def main() -> None:
+    dataset = load_dataset("restaurant", seed=13, scale=1.0)
+    print(f"Dataset: {dataset.summary()}\n")
+
+    # Candidate pairs come from token blocking on name and address —
+    # the expert is only ever shown plausible pairs.
+    blocker = TokenBlocker(["name", "address"], max_block_size=50)
+    candidates = [
+        (entity_a.uid, entity_b.uid)
+        for entity_a, entity_b in blocker.candidates(
+            dataset.source_a, dataset.source_b
+        )
+    ]
+    truth = dataset.links.positive
+    positives_in_pool = sum(1 for link in candidates if link in set(truth))
+    print(
+        f"Blocking produced {len(candidates)} candidate pairs "
+        f"({positives_in_pool} of {len(truth)} true matches retained)\n"
+    )
+
+    config_base = dict(
+        max_queries=24,
+        bootstrap_queries=6,
+        committee_size=10,
+        genlink=GenLinkConfig(population_size=60, max_iterations=10),
+    )
+
+    results = {}
+    for strategy in ("committee", "random"):
+        learner = ActiveGenLink(
+            ActiveLearningConfig(strategy=strategy, **config_base)
+        )
+        result = learner.run(
+            dataset.source_a,
+            dataset.source_b,
+            candidates,
+            oracle_from_links(truth),
+            rng=random.Random(13),
+            reference=dataset.links,
+        )
+        results[strategy] = result
+        curve = ", ".join(f"{f1:.2f}" for f1 in result.f_measure_curve)
+        print(f"{strategy:9s} queries={len(result.queries)}  F1 curve: {curve}")
+
+    print()
+    committee = results["committee"]
+    print(
+        f"Final rule after {len(committee.queries)} expert answers "
+        f"(F1 {committee.f_measure_curve[-1]:.3f} on all reference links):"
+    )
+    print(render_rule(committee.best_rule))
+
+
+if __name__ == "__main__":
+    main()

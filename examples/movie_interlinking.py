@@ -1,0 +1,88 @@
+"""Interlinking movies across two Linked Data sources (LinkedMDB).
+
+The scenario from Section 6.2 of the paper: movies cannot be matched by
+title alone because remakes share titles across decades, so the learner
+must combine a title comparison with a release date comparison. This
+example learns a rule on the synthetic LinkedMDB dataset, prints it,
+and demonstrates the remake corner case explicitly.
+
+Run with::
+
+    python examples/movie_interlinking.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import GenLink, GenLinkConfig, render_rule
+from repro.core.evaluation import evaluate_rule
+from repro.data.splits import train_validation_split
+from repro.datasets import load_dataset
+from repro.matching import RuleBlocker, evaluate_links, generate_links
+
+
+def main() -> None:
+    dataset = load_dataset("linkedmdb", seed=21, scale=1.0)
+    print(f"Dataset: {dataset.summary()}\n")
+
+    rng = random.Random(21)
+    train, validation = train_validation_split(dataset.links, rng)
+
+    config = GenLinkConfig(population_size=200, max_iterations=40)
+    result = GenLink(config).learn(
+        dataset.source_a, dataset.source_b, train,
+        validation_links=validation, rng=rng,
+    )
+    last = result.history[-1]
+    print(
+        f"Learned after {last.iteration} iterations: "
+        f"train F1 {last.train_f_measure:.3f}, "
+        f"validation F1 {last.validation_f_measure:.3f}"
+    )
+    print(render_rule(result.best_rule))
+    print()
+
+    # The remake corner case: find a negative reference link whose two
+    # movies share a title, and show the rule rejecting it.
+    for uid_a, uid_b in dataset.links.negative:
+        movie_a = dataset.source_a.get(uid_a)
+        movie_b = dataset.source_b.get(uid_b)
+        label = movie_a.values("label")
+        title = movie_b.values("title")
+        if label and title and label[0].split(" (")[0].lower() == title[0].lower():
+            score = evaluate_rule(result.best_rule.root, movie_a, movie_b)
+            print("Remake corner case:")
+            print(f"  {uid_a}: label={label[0]!r}, "
+                  f"date={movie_a.values('releaseDate')}")
+            print(f"  {uid_b}: title={title[0]!r}, "
+                  f"date={movie_b.values('initialReleaseDate')}")
+            print(f"  rule score: {score:.2f}  -> "
+                  f"{'match' if score >= 0.5 else 'correctly rejected'}")
+            break
+    print()
+
+    # For deployment, retrain on every available reference link (the
+    # usual practice once cross-validation has established the method
+    # works), then generate links over the whole sources.
+    final = GenLink(config).learn(
+        dataset.source_a, dataset.source_b, dataset.links, rng=random.Random(2)
+    )
+    print("Rule used for full-source matching:")
+    print(render_rule(final.best_rule))
+    links = generate_links(
+        final.best_rule,
+        dataset.source_a,
+        dataset.source_b,
+        blocker=RuleBlocker(final.best_rule),
+    )
+    evaluation = evaluate_links(links, dataset.links.positive)
+    print(
+        f"Full-source matching: {len(links)} links, "
+        f"precision={evaluation.precision:.3f}, "
+        f"recall={evaluation.recall:.3f}, F1={evaluation.f_measure:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""GenLink: learning expressive linkage rules using genetic programming.
+
+A full reproduction of Isele & Bizer, PVLDB 5(11), 2012. The public API
+re-exports the pieces a downstream user needs:
+
+* the data model (:class:`Entity`, :class:`DataSource`,
+  :class:`ReferenceLinkSet`),
+* the linkage rule tree and its semantics,
+* the :class:`GenLink` learner and its configuration,
+* the execution engine (:func:`repro.matching.generate_links`) for
+  applying learned rules to whole data sources,
+* the six synthetic evaluation datasets (:mod:`repro.datasets`).
+
+Quickstart::
+
+    from repro import GenLink, GenLinkConfig
+    from repro.datasets import load_dataset
+
+    dataset = load_dataset("restaurant", seed=7)
+    learner = GenLink(GenLinkConfig(population_size=100, max_iterations=20))
+    result = learner.learn(
+        dataset.source_a, dataset.source_b, dataset.links, rng=7
+    )
+    print(result.best_rule)
+"""
+
+from repro.core import (
+    AggregationNode,
+    ComparisonNode,
+    GenLink,
+    GenLinkConfig,
+    IterationRecord,
+    LearningResult,
+    LinkageRule,
+    PairEvaluator,
+    PropertyNode,
+    TransformationNode,
+    lint_rule,
+    prune_rule,
+    render_rule,
+    rule_from_dict,
+    rule_from_json,
+    rule_to_dict,
+    rule_to_json,
+    simplify_rule,
+)
+from repro.data import DataSource, Entity, ReferenceLinkSet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregationNode",
+    "ComparisonNode",
+    "DataSource",
+    "Entity",
+    "GenLink",
+    "GenLinkConfig",
+    "IterationRecord",
+    "LearningResult",
+    "LinkageRule",
+    "PairEvaluator",
+    "PropertyNode",
+    "ReferenceLinkSet",
+    "TransformationNode",
+    "lint_rule",
+    "prune_rule",
+    "simplify_rule",
+    "render_rule",
+    "rule_from_dict",
+    "rule_from_json",
+    "rule_to_dict",
+    "rule_to_json",
+    "__version__",
+]

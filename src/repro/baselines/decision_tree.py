@@ -1,0 +1,301 @@
+"""A from-scratch decision tree over similarity features.
+
+Section 4 of the paper notes that threshold-based boolean classifiers
+(Definition 10) "are usually represented with decision trees" and cites
+Active Atlas and TAILOR as systems that learn them. This module is the
+corresponding baseline: CART-style greedy induction (Gini impurity) on
+the same pre-computed similarity feature matrix the Carvalho and linear
+baselines use.
+
+Besides classification it supports the selling point the paper
+attributes to decision trees — explanations: :meth:`render` prints the
+tree and :meth:`positive_paths` extracts the root-to-leaf conjunctions
+that classify a pair as a match, i.e. the learned rule in disjunctive
+normal form over ``similarity >= threshold`` literals.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.carvalho import SimilarityFeatures
+from repro.core.compatible import find_compatible_properties
+from repro.core.fitness import confusion_counts
+from repro.data.reference_links import ReferenceLinkSet
+from repro.data.source import DataSource
+
+
+@dataclass
+class DecisionTreeConfig:
+    """Induction parameters."""
+
+    max_depth: int = 4
+    min_samples_split: int = 4
+    min_gain: float = 1e-6
+    max_seeding_links: int = 100
+    max_attribute_pairs: int = 12
+
+
+@dataclass(frozen=True)
+class TreeNode:
+    """One tree node; a leaf when ``feature`` is None.
+
+    Split convention: pairs with ``matrix[:, feature] >= threshold`` go
+    right (towards "match"), the rest go left.
+    """
+
+    prediction: bool
+    positives: int
+    negatives: int
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+    def node_count(self) -> int:
+        if self.is_leaf:
+            return 1
+        assert self.left is not None and self.right is not None
+        return 1 + self.left.node_count() + self.right.node_count()
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 1
+        assert self.left is not None and self.right is not None
+        return 1 + max(self.left.depth(), self.right.depth())
+
+
+def _gini(positives: int, negatives: int) -> float:
+    total = positives + negatives
+    if total == 0:
+        return 0.0
+    p = positives / total
+    return 2.0 * p * (1.0 - p)
+
+
+def _best_split(
+    matrix: np.ndarray, labels: np.ndarray, min_gain: float
+) -> tuple[int, float, float] | None:
+    """The (feature, threshold, gain) with the largest Gini gain.
+
+    Thresholds are midpoints between consecutive distinct feature
+    values; the scan per feature is a single pass over the sorted
+    column with running class counts.
+    """
+    n = len(labels)
+    total_positive = int(labels.sum())
+    parent_impurity = _gini(total_positive, n - total_positive)
+    best: tuple[float, int, float] | None = None  # (gain, feature, threshold)
+
+    for feature in range(matrix.shape[1]):
+        order = np.argsort(matrix[:, feature], kind="stable")
+        values = matrix[order, feature]
+        ordered_labels = labels[order]
+        left_positive = 0
+        for i in range(1, n):
+            left_positive += int(ordered_labels[i - 1])
+            if values[i] == values[i - 1]:
+                continue
+            left_total = i
+            right_total = n - i
+            right_positive = total_positive - left_positive
+            weighted = (
+                left_total * _gini(left_positive, left_total - left_positive)
+                + right_total * _gini(right_positive, right_total - right_positive)
+            ) / n
+            gain = parent_impurity - weighted
+            if gain > min_gain and (best is None or gain > best[0]):
+                threshold = float((values[i] + values[i - 1]) / 2.0)
+                best = (gain, feature, threshold)
+
+    if best is None:
+        return None
+    gain, feature, threshold = best
+    return feature, threshold, gain
+
+
+def _grow(
+    matrix: np.ndarray,
+    labels: np.ndarray,
+    config: DecisionTreeConfig,
+    depth: int,
+) -> TreeNode:
+    positives = int(labels.sum())
+    negatives = len(labels) - positives
+    prediction = positives >= negatives and positives > 0
+    if (
+        depth >= config.max_depth
+        or len(labels) < config.min_samples_split
+        or positives == 0
+        or negatives == 0
+    ):
+        return TreeNode(prediction, positives, negatives)
+
+    split = _best_split(matrix, labels, config.min_gain)
+    if split is None:
+        return TreeNode(prediction, positives, negatives)
+    feature, threshold, __ = split
+    goes_right = matrix[:, feature] >= threshold
+    left = _grow(matrix[~goes_right], labels[~goes_right], config, depth + 1)
+    right = _grow(matrix[goes_right], labels[goes_right], config, depth + 1)
+    if left.is_leaf and right.is_leaf and left.prediction == right.prediction:
+        # The split did not change any decision; collapse it.
+        return TreeNode(prediction, positives, negatives)
+    return TreeNode(
+        prediction=prediction,
+        positives=positives,
+        negatives=negatives,
+        feature=feature,
+        threshold=threshold,
+        left=left,
+        right=right,
+    )
+
+
+class DecisionTreeClassifier:
+    """CART-style matcher over similarity features (TAILOR stand-in)."""
+
+    def __init__(self, config: DecisionTreeConfig | None = None):
+        self.config = config if config is not None else DecisionTreeConfig()
+        self.root: TreeNode | None = None
+        self.feature_names: list[str] = []
+        self.attribute_pairs: list[tuple[str, str]] = []
+
+    # -- training -------------------------------------------------------------
+    def fit_matrix(
+        self,
+        matrix: np.ndarray,
+        labels: np.ndarray,
+        feature_names: Sequence[str] | None = None,
+    ) -> None:
+        """Induce the tree from a pre-built feature matrix."""
+        labels = np.asarray(labels, dtype=bool)
+        if matrix.shape[0] != len(labels):
+            raise ValueError(
+                f"matrix rows {matrix.shape[0]} != label count {len(labels)}"
+            )
+        if matrix.shape[0] == 0:
+            raise ValueError("cannot fit a tree on an empty training set")
+        self.feature_names = (
+            list(feature_names)
+            if feature_names is not None
+            else [f"f{i}" for i in range(matrix.shape[1])]
+        )
+        self.root = _grow(matrix, labels, self.config, depth=0)
+
+    def learn(
+        self,
+        source_a: DataSource,
+        source_b: DataSource,
+        train_links: ReferenceLinkSet,
+        rng: random.Random | int | None = None,
+    ) -> float:
+        """Derive attribute pairs, induce the tree, return training F1."""
+        rng = rng if isinstance(rng, random.Random) else random.Random(rng)
+        compatible = find_compatible_properties(
+            source_a,
+            source_b,
+            train_links.positive,
+            max_links=self.config.max_seeding_links,
+            rng=rng,
+        )
+        pairs_seen: list[tuple[str, str]] = []
+        for pair in compatible:
+            key = (pair.source_property, pair.target_property)
+            if key not in pairs_seen:
+                pairs_seen.append(key)
+        self.attribute_pairs = pairs_seen[: self.config.max_attribute_pairs]
+        if not self.attribute_pairs:
+            raise ValueError("no compatible attribute pairs found")
+        entity_pairs, labels = train_links.labelled_pairs(source_a, source_b)
+        features = SimilarityFeatures(self.attribute_pairs, entity_pairs)
+        self.fit_matrix(features.matrix, np.asarray(labels, dtype=bool), features.names)
+        return self.f_measure(source_a, source_b, train_links)
+
+    # -- prediction -----------------------------------------------------------
+    def predict_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        if self.root is None:
+            raise RuntimeError("classifier is not trained")
+        out = np.zeros(matrix.shape[0], dtype=bool)
+        for i in range(matrix.shape[0]):
+            node = self.root
+            while not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                node = (
+                    node.right
+                    if matrix[i, node.feature] >= node.threshold
+                    else node.left
+                )
+            out[i] = node.prediction
+        return out
+
+    def f_measure(
+        self,
+        source_a: DataSource,
+        source_b: DataSource,
+        links: ReferenceLinkSet,
+    ) -> float:
+        entity_pairs, labels = links.labelled_pairs(source_a, source_b)
+        features = SimilarityFeatures(self.attribute_pairs, entity_pairs)
+        predictions = self.predict_matrix(features.matrix)
+        return confusion_counts(
+            predictions, np.asarray(labels, dtype=bool)
+        ).f_measure()
+
+    # -- explanations ----------------------------------------------------------
+    def render(self) -> str:
+        """ASCII rendering of the induced tree."""
+        if self.root is None:
+            raise RuntimeError("classifier is not trained")
+        lines: list[str] = []
+
+        def visit(node: TreeNode, prefix: str) -> None:
+            if node.is_leaf:
+                verdict = "MATCH" if node.prediction else "NO-MATCH"
+                lines.append(
+                    f"{prefix}{verdict} ({node.positives}+/{node.negatives}-)"
+                )
+                return
+            name = self.feature_names[node.feature]  # type: ignore[index]
+            lines.append(f"{prefix}{name} >= {node.threshold:.3f}?")
+            assert node.left is not None and node.right is not None
+            lines.append(f"{prefix}├─ yes:")
+            visit(node.right, prefix + "│    ")
+            lines.append(f"{prefix}└─ no:")
+            visit(node.left, prefix + "     ")
+
+        visit(self.root, "")
+        return "\n".join(lines)
+
+    def positive_paths(self) -> list[list[tuple[str, str, float]]]:
+        """The DNF of the learned classifier.
+
+        Each element is one conjunction of ``(feature name, op,
+        threshold)`` literals (``op`` is ``>=`` or ``<``) whose leaf
+        predicts a match. Together the paths are exactly Definition
+        10's threshold-based boolean classifier.
+        """
+        if self.root is None:
+            raise RuntimeError("classifier is not trained")
+        paths: list[list[tuple[str, str, float]]] = []
+
+        def visit(node: TreeNode, literals: list[tuple[str, str, float]]) -> None:
+            if node.is_leaf:
+                if node.prediction:
+                    paths.append(list(literals))
+                return
+            name = self.feature_names[node.feature]  # type: ignore[index]
+            assert node.left is not None and node.right is not None
+            visit(node.right, literals + [(name, ">=", node.threshold)])
+            visit(node.left, literals + [(name, "<", node.threshold)])
+
+        visit(self.root, [])
+        return paths

@@ -1,0 +1,108 @@
+"""A from-scratch linear classifier over similarity features.
+
+Stand-in for the SVM-based MARLIN system (Bilenko & Mooney) referenced
+in Section 4: a regularised logistic regression trained by batch
+gradient descent on the same pre-computed similarity feature matrix the
+Carvalho baseline uses. Like every linear classifier over similarity
+features — and unlike GenLink — it cannot express data transformations
+or non-linear aggregation hierarchies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.carvalho import SimilarityFeatures
+from repro.core.fitness import confusion_counts
+from repro.data.reference_links import ReferenceLinkSet
+from repro.data.source import DataSource
+from repro.core.compatible import find_compatible_properties
+
+
+@dataclass
+class LinearConfig:
+    learning_rate: float = 0.5
+    epochs: int = 300
+    l2: float = 1e-3
+    max_seeding_links: int = 100
+    max_attribute_pairs: int = 12
+
+
+class LinearClassifier:
+    """Logistic regression on similarity features."""
+
+    def __init__(self, config: LinearConfig | None = None):
+        self.config = config if config is not None else LinearConfig()
+        self.weights: np.ndarray | None = None
+        self.bias: float = 0.0
+        self.attribute_pairs: list[tuple[str, str]] = []
+
+    def fit_matrix(self, matrix: np.ndarray, labels: np.ndarray) -> None:
+        """Train on a pre-built feature matrix."""
+        config = self.config
+        n, d = matrix.shape
+        weights = np.zeros(d)
+        bias = 0.0
+        y = labels.astype(np.float64)
+        for _ in range(config.epochs):
+            logits = matrix @ weights + bias
+            probabilities = 1.0 / (1.0 + np.exp(-np.clip(logits, -30, 30)))
+            error = probabilities - y
+            gradient_w = matrix.T @ error / n + config.l2 * weights
+            gradient_b = float(error.mean())
+            weights -= config.learning_rate * gradient_w
+            bias -= config.learning_rate * gradient_b
+        self.weights = weights
+        self.bias = bias
+
+    def learn(
+        self,
+        source_a: DataSource,
+        source_b: DataSource,
+        train_links: ReferenceLinkSet,
+        rng: random.Random | int | None = None,
+    ) -> float:
+        """Derive attribute pairs, train, return the training F1."""
+        rng = rng if isinstance(rng, random.Random) else random.Random(rng)
+        compatible = find_compatible_properties(
+            source_a,
+            source_b,
+            train_links.positive,
+            max_links=self.config.max_seeding_links,
+            rng=rng,
+        )
+        pairs_seen: list[tuple[str, str]] = []
+        for pair in compatible:
+            key = (pair.source_property, pair.target_property)
+            if key not in pairs_seen:
+                pairs_seen.append(key)
+        self.attribute_pairs = pairs_seen[: self.config.max_attribute_pairs]
+        if not self.attribute_pairs:
+            raise ValueError("no compatible attribute pairs found")
+        entity_pairs, labels = train_links.labelled_pairs(source_a, source_b)
+        features = SimilarityFeatures(self.attribute_pairs, entity_pairs)
+        label_array = np.asarray(labels, dtype=bool)
+        self.fit_matrix(features.matrix, label_array)
+        return self.f_measure(source_a, source_b, train_links)
+
+    def predict_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("classifier is not trained")
+        logits = matrix @ self.weights + self.bias
+        return logits >= 0.0
+
+    def f_measure(
+        self,
+        source_a: DataSource,
+        source_b: DataSource,
+        links: ReferenceLinkSet,
+    ) -> float:
+        entity_pairs, labels = links.labelled_pairs(source_a, source_b)
+        features = SimilarityFeatures(self.attribute_pairs, entity_pairs)
+        predictions = self.predict_matrix(features.matrix)
+        return confusion_counts(
+            predictions, np.asarray(labels, dtype=bool)
+        ).f_measure()

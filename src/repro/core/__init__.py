@@ -1,0 +1,132 @@
+"""GenLink core: linkage rule model, semantics and the GP learner."""
+
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    RuleNode,
+    SimilarityNode,
+    TransformationNode,
+    ValueNode,
+)
+from repro.core.rule import LinkageRule
+from repro.core.analysis import RuleSummary, rule_summary, simplify_rule
+from repro.core.pruning import (
+    PruneResult,
+    PruneStep,
+    prune_rule,
+    simplify_transformations,
+)
+from repro.core.lint import LintFinding, LintReport, lint_rule
+from repro.core.diversity import (
+    DiversityTracker,
+    PopulationSnapshot,
+    snapshot_population,
+    structural_signature,
+)
+from repro.core.active import (
+    ActiveGenLink,
+    ActiveLearningConfig,
+    ActiveLearningResult,
+    oracle_from_links,
+)
+from repro.core.evaluation import PairEvaluator, evaluate_rule
+from repro.core.fitness import (
+    ConfusionCounts,
+    FitnessFunction,
+    confusion_counts,
+    f_measure,
+    matthews_correlation,
+)
+from repro.core.compatible import CompatibleProperty, find_compatible_properties
+from repro.core.generation import RandomRuleGenerator
+from repro.core.selection import TournamentSelector
+from repro.core.crossover import (
+    AggregationCrossover,
+    CrossoverOperator,
+    FunctionCrossover,
+    OperatorsCrossover,
+    SubtreeCrossover,
+    ThresholdCrossover,
+    TransformationCrossover,
+    WeightCrossover,
+    default_crossover_operators,
+)
+from repro.core.representation import (
+    BOOLEAN,
+    FULL,
+    LINEAR,
+    NONLINEAR,
+    Representation,
+)
+from repro.core.genlink import GenLink, GenLinkConfig, IterationRecord, LearningResult
+from repro.core.serialization import (
+    render_rule,
+    rule_from_dict,
+    rule_from_json,
+    rule_to_dict,
+    rule_to_json,
+)
+
+__all__ = [
+    "AggregationNode",
+    "ComparisonNode",
+    "PropertyNode",
+    "RuleNode",
+    "SimilarityNode",
+    "TransformationNode",
+    "ValueNode",
+    "LinkageRule",
+    "RuleSummary",
+    "rule_summary",
+    "simplify_rule",
+    "PruneResult",
+    "PruneStep",
+    "prune_rule",
+    "simplify_transformations",
+    "LintFinding",
+    "LintReport",
+    "lint_rule",
+    "DiversityTracker",
+    "PopulationSnapshot",
+    "snapshot_population",
+    "structural_signature",
+    "ActiveGenLink",
+    "ActiveLearningConfig",
+    "ActiveLearningResult",
+    "oracle_from_links",
+    "PairEvaluator",
+    "evaluate_rule",
+    "ConfusionCounts",
+    "FitnessFunction",
+    "confusion_counts",
+    "f_measure",
+    "matthews_correlation",
+    "CompatibleProperty",
+    "find_compatible_properties",
+    "RandomRuleGenerator",
+    "TournamentSelector",
+    "AggregationCrossover",
+    "CrossoverOperator",
+    "FunctionCrossover",
+    "OperatorsCrossover",
+    "SubtreeCrossover",
+    "ThresholdCrossover",
+    "TransformationCrossover",
+    "WeightCrossover",
+    "default_crossover_operators",
+    "BOOLEAN",
+    "FULL",
+    "LINEAR",
+    "NONLINEAR",
+    "Representation",
+    "GenLink",
+    "GenLinkConfig",
+    "IterationRecord",
+    "LearningResult",
+    "render_rule",
+    "rule_from_dict",
+    "rule_from_json",
+    "rule_to_dict",
+    "rule_to_json",
+]

@@ -1,0 +1,137 @@
+"""Post-hoc analysis and simplification of linkage rules.
+
+GP-evolved rules frequently carry redundant structure — duplicate
+children inside an aggregation, single-child aggregations, nested
+aggregations with the same function — that does not change semantics
+but hurts readability (one of the paper's selling points is that
+learned rules can be inspected and improved by humans).
+:func:`simplify_rule` removes the redundancy; :func:`rule_summary`
+reports the structural statistics used in Section 6.2's rule
+complexity discussion (e.g. "5.6 comparisons and 3.2 transformations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    SimilarityNode,
+    TransformationNode,
+)
+from repro.core.rule import LinkageRule
+
+
+def _simplify_similarity(node: SimilarityNode) -> SimilarityNode:
+    if isinstance(node, ComparisonNode):
+        return node
+    assert isinstance(node, AggregationNode)
+    simplified = [_simplify_similarity(child) for child in node.operators]
+
+    # Flatten nested min-into-min / max-into-max: they are associative,
+    # so the hierarchy adds nothing. (wmean is not associative; nested
+    # wmean hierarchies are kept.)
+    if node.function in ("min", "max"):
+        flattened: list[SimilarityNode] = []
+        for child in simplified:
+            if isinstance(child, AggregationNode) and (
+                child.function == node.function
+            ):
+                flattened.extend(child.operators)
+            else:
+                flattened.append(child)
+        simplified = flattened
+
+    # Drop duplicate children. For min/max a duplicate never changes
+    # the result; for wmean duplicates are merged by summing weights so
+    # the weighted mean is preserved exactly.
+    unique: list[SimilarityNode] = []
+    for child in simplified:
+        merged = False
+        for i, existing in enumerate(unique):
+            if _equivalent(existing, child):
+                if node.function == "wmean":
+                    unique[i] = _with_weight(
+                        existing, existing.weight + child.weight
+                    )
+                merged = True
+                break
+        if not merged:
+            unique.append(child)
+
+    if len(unique) == 1:
+        # A single-child aggregation is the child itself (the child
+        # keeps the aggregation's weight so enclosing wmeans still see
+        # the same contribution).
+        return _with_weight(unique[0], node.weight)
+    return replace(node, operators=tuple(unique))
+
+
+def _equivalent(a: SimilarityNode, b: SimilarityNode) -> bool:
+    """Structural equality ignoring weights at the top level."""
+    return _with_weight(a, 1) == _with_weight(b, 1)
+
+
+def _with_weight(node: SimilarityNode, weight: int) -> SimilarityNode:
+    return replace(node, weight=max(1, weight))
+
+
+def simplify_rule(rule: LinkageRule) -> LinkageRule:
+    """Return a semantically equivalent rule with redundancy removed.
+
+    Guarantees: the simplified rule assigns the same similarity score
+    to every entity pair (min/max flattening and duplicate dropping are
+    exact; wmean duplicates merge into summed weights).
+    """
+    return LinkageRule(_simplify_similarity(rule.root))
+
+
+@dataclass(frozen=True)
+class RuleSummary:
+    """Structural statistics of a rule (cf. Section 6.2)."""
+
+    operators: int
+    comparisons: int
+    aggregations: int
+    transformations: int
+    properties: int
+    depth: int
+    measures: tuple[str, ...]
+    transformation_functions: tuple[str, ...]
+    compared_properties: tuple[tuple[str, str], ...]
+
+    def describe(self) -> str:
+        return (
+            f"{self.comparisons} comparison(s), "
+            f"{self.transformations} transformation(s), "
+            f"{self.aggregations} aggregation(s), depth {self.depth}"
+        )
+
+
+def rule_summary(rule: LinkageRule) -> RuleSummary:
+    """Collect the structural statistics of a rule."""
+
+    def root_property(node) -> str:
+        while isinstance(node, TransformationNode):
+            node = node.inputs[0]
+        assert isinstance(node, PropertyNode)
+        return node.property_name
+
+    comparisons = rule.comparisons()
+    return RuleSummary(
+        operators=rule.operator_count(),
+        comparisons=len(comparisons),
+        aggregations=len(rule.aggregations()),
+        transformations=len(rule.transformations()),
+        properties=len(rule.properties()),
+        depth=rule.depth(),
+        measures=tuple(sorted({c.metric for c in comparisons})),
+        transformation_functions=tuple(
+            sorted({t.function for t in rule.transformations()})
+        ),
+        compared_properties=tuple(
+            (root_property(c.source), root_property(c.target)) for c in comparisons
+        ),
+    )

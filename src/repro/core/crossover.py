@@ -1,0 +1,416 @@
+"""Specialised crossover operators (Section 5.3, Algorithms 3-7).
+
+GenLink replaces generic subtree crossover with a set of operators that
+each evolve *one aspect* of a linkage rule:
+
+* :class:`FunctionCrossover`       — swaps distance / transformation /
+                                     aggregation functions,
+* :class:`OperatorsCrossover`      — recombines the comparison sets of
+                                     two aggregations,
+* :class:`AggregationCrossover`    — transplants similarity subtrees,
+                                     building hierarchies,
+* :class:`TransformationCrossover` — recombines transformation chains,
+* :class:`ThresholdCrossover`      — averages comparison thresholds,
+* :class:`WeightCrossover`         — averages operator weights.
+
+:class:`SubtreeCrossover` (strongly-typed) is provided as the baseline
+for the Table 15 ablation. Every operator receives two parent rules and
+returns one offspring derived from the first parent; offspring are
+repaired into the active :class:`Representation` so restricted runs
+stay inside their representation class. Mutation is *headless chicken*
+crossover: the GenLink loop simply passes a freshly generated random
+rule as the second parent.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import replace
+
+from repro.core.generation import RandomRuleGenerator
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    RuleNode,
+    SimilarityNode,
+    TransformationNode,
+    ValueNode,
+    collect_nodes,
+    replace_node,
+)
+from repro.core.representation import Representation
+from repro.core.rule import LinkageRule
+
+
+class CrossoverOperator(ABC):
+    """Base class: recombine two rules into one offspring."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def cross(
+        self,
+        rule1: LinkageRule,
+        rule2: LinkageRule,
+        rng: random.Random,
+        generator: RandomRuleGenerator,
+    ) -> SimilarityNode:
+        """Produce an offspring root (may equal rule1's root when the
+        operator is inapplicable to the given parents)."""
+
+    def apply(
+        self,
+        rule1: LinkageRule,
+        rule2: LinkageRule,
+        rng: random.Random,
+        generator: RandomRuleGenerator,
+        representation: Representation,
+    ) -> LinkageRule:
+        """Cross two rules and repair the offspring into the
+        representation class."""
+        root = self.cross(rule1, rule2, rng, generator)
+        root = _dedup_transformation_chains(root)
+        root = representation.repair(root, rng)
+        return LinkageRule(root)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def _choice(items: list, rng: random.Random):
+    return items[rng.randrange(len(items))]
+
+
+class FunctionCrossover(CrossoverOperator):
+    """Algorithm 3: interchange one function between the parents.
+
+    Picks a random node type (transformation / comparison /
+    aggregation), one node of that type in each parent, and copies the
+    second parent's function into the first parent's node. Node types
+    absent from either parent are skipped; transformations only
+    exchange functions of equal arity so the tree stays well-formed.
+    """
+
+    name = "function"
+
+    def cross(self, rule1, rule2, rng, generator):
+        node_types = [TransformationNode, ComparisonNode, AggregationNode]
+        rng.shuffle(node_types)
+        for node_type in node_types:
+            nodes1 = collect_nodes(rule1.root, (node_type,))
+            nodes2 = collect_nodes(rule2.root, (node_type,))
+            if not nodes1 or not nodes2:
+                continue
+            node1 = _choice(nodes1, rng)
+            node2 = _choice(nodes2, rng)
+            updated = self._with_function(node1, node2, rng, generator)
+            if updated is None:
+                continue
+            return replace_node(rule1.root, node1, updated)
+        return rule1.root
+
+    def _with_function(self, node1, node2, rng, generator):
+        if isinstance(node1, ComparisonNode):
+            if node1.metric == node2.metric:
+                return None
+            # Re-sample the threshold within the new measure's range:
+            # thresholds are measure-scaled (edits vs metres), so the
+            # old value would be meaningless under the new function.
+            return replace(
+                node1,
+                metric=node2.metric,
+                threshold=generator.random_threshold(node2.metric),
+            )
+        if isinstance(node1, AggregationNode):
+            if node1.function == node2.function:
+                return None
+            return replace(node1, function=node2.function)
+        assert isinstance(node1, TransformationNode)
+        if node1.function == node2.function:
+            return None
+        if len(node1.inputs) != len(node2.inputs):
+            return None
+        return replace(node1, function=node2.function, params=node2.params)
+
+
+class OperatorsCrossover(CrossoverOperator):
+    """Algorithm 4: recombine the operator sets of two aggregations.
+
+    Pools the child operators of one aggregation from each parent and
+    keeps each pooled operator with probability 50% (at least one is
+    always kept). A parent whose root is a bare comparison contributes
+    that comparison as a one-element pool.
+    """
+
+    name = "operators"
+
+    def cross(self, rule1, rule2, rng, generator):
+        agg1 = self._pick_aggregation(rule1, rng)
+        pool2 = self._operator_pool(rule2, rng)
+        if agg1 is None:
+            # rule1 is a bare comparison: recombine it with the second
+            # parent's pool under a fresh aggregation.
+            pool = [rule1.root] + pool2
+            kept = self._keep_subset(pool, rng)
+            function = rng.choice(generator.representation.aggregation_functions)
+            return AggregationNode(function=function, operators=tuple(kept))
+        pool = list(agg1.operators) + pool2
+        kept = self._keep_subset(pool, rng)
+        return replace_node(rule1.root, agg1, replace(agg1, operators=tuple(kept)))
+
+    def _pick_aggregation(self, rule, rng):
+        aggregations = rule.aggregations()
+        if not aggregations:
+            return None
+        return _choice(aggregations, rng)
+
+    def _operator_pool(self, rule, rng):
+        aggregation = self._pick_aggregation(rule, rng)
+        if aggregation is None:
+            return [rule.root]
+        return list(aggregation.operators)
+
+    def _keep_subset(self, pool, rng):
+        kept = [op for op in pool if rng.random() > 0.5]
+        if not kept:
+            kept = [_choice(pool, rng)]
+        return kept
+
+
+class AggregationCrossover(CrossoverOperator):
+    """Algorithm 5: transplant a similarity subtree from parent 2.
+
+    Selects a random aggregation-or-comparison in each parent and
+    replaces the first with the second, allowing hierarchies to grow
+    across tree levels (similar to subtree crossover but restricted to
+    similarity nodes).
+    """
+
+    name = "aggregation"
+
+    def cross(self, rule1, rule2, rng, generator):
+        targets = collect_nodes(rule1.root, (AggregationNode, ComparisonNode))
+        donors = collect_nodes(rule2.root, (AggregationNode, ComparisonNode))
+        target = _choice(targets, rng)
+        donor = _choice(donors, rng)
+        if target is rule1.root:
+            return donor
+        return replace_node(rule1.root, target, donor)
+
+
+class TransformationCrossover(CrossoverOperator):
+    """Algorithm 6: recombine transformation chains (two-point).
+
+    Selects an upper and a lower transformation along a chain in each
+    parent and replaces the [upper..lower] segment of the first parent
+    with the segment from the second, re-attaching the first parent's
+    inputs below. When the first parent has no transformations, the
+    donor segment is grafted onto one of its properties (this is how
+    chains start growing on rules born without transformations);
+    duplicated transformations along the new chain are removed.
+    """
+
+    name = "transformation"
+
+    def cross(self, rule1, rule2, rng, generator):
+        segment = self._pick_segment(rule2, rng)
+        if segment is None:
+            return rule1.root
+        chain1 = self._pick_chain(rule1, rng)
+        if chain1 is None or rng.random() < 0.5:
+            # Graft the donor segment onto a random value node — on a
+            # bare property it introduces a transformation, on an
+            # existing transformation it *stacks*, which is how chains
+            # longer than the donor's grow at all.
+            anchors = rule1.properties() + rule1.transformations()
+            anchor = _choice(anchors, rng)
+            grafted = _build_segment(segment, (anchor,))
+            return replace_node(rule1.root, anchor, grafted)
+        upper1, lower1 = chain1
+        grafted = _build_segment(segment, lower1.inputs)
+        return replace_node(rule1.root, upper1, grafted)
+
+    def _pick_chain(self, rule, rng):
+        transformations = rule.transformations()
+        if not transformations:
+            return None
+        upper = _choice(transformations, rng)
+        lower = upper
+        # Walk a random path of descendant transformations.
+        while True:
+            children = [
+                child
+                for child in lower.inputs
+                if isinstance(child, TransformationNode)
+            ]
+            if not children or rng.random() < 0.5:
+                break
+            lower = _choice(children, rng)
+        return upper, lower
+
+    def _pick_segment(self, rule, rng):
+        chain = self._pick_chain(rule, rng)
+        if chain is None:
+            return None
+        upper, lower = chain
+        # Materialise the function path from upper to lower.
+        path = [upper]
+        current = upper
+        while current is not lower:
+            next_node = None
+            for child in current.inputs:
+                if isinstance(child, TransformationNode) and _contains(child, lower):
+                    next_node = child
+                    break
+            if next_node is None:
+                break
+            path.append(next_node)
+            current = next_node
+        return [(node.function, node.params) for node in path]
+
+
+def _contains(root: RuleNode, node: RuleNode) -> bool:
+    if root is node:
+        return True
+    return any(_contains(child, node) for child in root.children())
+
+
+def _build_segment(
+    segment: list[tuple[str, tuple]], bottom_inputs: tuple[ValueNode, ...]
+) -> ValueNode:
+    """Stack a chain of unary transformation functions over inputs."""
+    node: ValueNode
+    function, params = segment[-1]
+    node = TransformationNode(function=function, inputs=bottom_inputs, params=params)
+    for function, params in reversed(segment[:-1]):
+        node = TransformationNode(function=function, inputs=(node,), params=params)
+    return node
+
+
+class ThresholdCrossover(CrossoverOperator):
+    """Algorithm 7: average the thresholds of two comparisons.
+
+    Comparisons with the same distance measure are preferred as the
+    second endpoint, because thresholds are measure-scaled quantities
+    (edit operations vs. metres) and averaging across measures is
+    meaningless.
+    """
+
+    name = "threshold"
+
+    def cross(self, rule1, rule2, rng, generator):
+        comparisons1 = rule1.comparisons()
+        comparisons2 = rule2.comparisons()
+        if not comparisons1 or not comparisons2:
+            return rule1.root
+        target = _choice(comparisons1, rng)
+        same_metric = [c for c in comparisons2 if c.metric == target.metric]
+        if not same_metric:
+            # Averaging a character-edit threshold with a metre
+            # threshold would produce an out-of-range nonsense value;
+            # the operator is simply inapplicable to these parents.
+            return rule1.root
+        donor = _choice(same_metric, rng)
+        new_threshold = 0.5 * (target.threshold + donor.threshold)
+        return replace_node(
+            rule1.root, target, replace(target, threshold=new_threshold)
+        )
+
+
+class WeightCrossover(CrossoverOperator):
+    """Average the weights of two similarity operators (Section 5.3)."""
+
+    name = "weight"
+
+    def cross(self, rule1, rule2, rng, generator):
+        nodes1 = collect_nodes(rule1.root, (ComparisonNode, AggregationNode))
+        nodes2 = collect_nodes(rule2.root, (ComparisonNode, AggregationNode))
+        target = _choice(nodes1, rng)
+        donor = _choice(nodes2, rng)
+        new_weight = max(1, round(0.5 * (target.weight + donor.weight)))
+        if new_weight == target.weight:
+            return rule1.root
+        return replace_node(rule1.root, target, replace(target, weight=new_weight))
+
+
+class SubtreeCrossover(CrossoverOperator):
+    """Strongly-typed subtree crossover (the Table 15 baseline).
+
+    Picks a random node in parent 1 and replaces it with a random
+    *type-compatible* node from parent 2 (similarity nodes exchange
+    with similarity nodes, value nodes with value nodes), which is the
+    standard crossover for strongly-typed GP.
+    """
+
+    name = "subtree"
+
+    def cross(self, rule1, rule2, rng, generator):
+        targets = rule1.nodes()
+        target = _choice(targets, rng)
+        if isinstance(target, (AggregationNode, ComparisonNode)):
+            donors = collect_nodes(rule2.root, (AggregationNode, ComparisonNode))
+        else:
+            donors = collect_nodes(rule2.root, (PropertyNode, TransformationNode))
+        if not donors:
+            return rule1.root
+        donor = _choice(donors, rng)
+        if target is rule1.root:
+            # Replacing the root with a value node is not type-correct;
+            # only similarity donors may take over the root.
+            assert isinstance(donor, (AggregationNode, ComparisonNode))
+            return donor
+        return replace_node(rule1.root, target, donor)
+
+
+def _dedup_transformation_chains(root: SimilarityNode) -> SimilarityNode:
+    """Remove directly nested duplicate transformations.
+
+    Algorithm 6 prescribes that "duplicated transformations are
+    removed": a transformation whose input is another transformation
+    with the same function and parameters is collapsed into one.
+    """
+
+    def visit_value(node: ValueNode) -> ValueNode:
+        if isinstance(node, PropertyNode):
+            return node
+        assert isinstance(node, TransformationNode)
+        inputs = tuple(visit_value(child) for child in node.inputs)
+        if (
+            len(inputs) == 1
+            and isinstance(inputs[0], TransformationNode)
+            and inputs[0].function == node.function
+            and inputs[0].params == node.params
+        ):
+            return inputs[0]
+        if inputs == node.inputs:
+            return node
+        return replace(node, inputs=inputs)
+
+    def visit_similarity(node: SimilarityNode) -> SimilarityNode:
+        if isinstance(node, ComparisonNode):
+            source = visit_value(node.source)
+            target = visit_value(node.target)
+            if source is node.source and target is node.target:
+                return node
+            return replace(node, source=source, target=target)
+        assert isinstance(node, AggregationNode)
+        operators = tuple(visit_similarity(child) for child in node.operators)
+        if operators == node.operators:
+            return node
+        return replace(node, operators=operators)
+
+    return visit_similarity(root)
+
+
+def default_crossover_operators() -> list[CrossoverOperator]:
+    """The paper's six specialised operators (Section 5.3)."""
+    return [
+        FunctionCrossover(),
+        OperatorsCrossover(),
+        AggregationCrossover(),
+        TransformationCrossover(),
+        ThresholdCrossover(),
+        WeightCrossover(),
+    ]

@@ -1,0 +1,197 @@
+"""Population diversity and convergence diagnostics.
+
+Genetic programming degrades when the population collapses onto a
+single genotype too early (premature convergence) — the specialised
+crossover operators of Section 5.3 exist precisely to keep recombining
+distinct aspects of the rules. This module quantifies that:
+
+* :func:`structural_signature` reduces a rule to the hashable shape a
+  human would recognise (which properties are compared, with which
+  measures, under which aggregation functions), ignoring thresholds
+  and weights;
+* :func:`snapshot_population` summarises one generation (diversity
+  ratios, fitness spread, structure sizes);
+* :class:`DiversityTracker` plugs into :meth:`GenLink.learn` as an
+  observer, collects one snapshot per iteration and detects
+  convergence/stagnation.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    RuleNode,
+    TransformationNode,
+)
+from repro.core.rule import LinkageRule
+
+
+def structural_signature(rule: LinkageRule) -> tuple:
+    """A hashable signature of a rule's structure.
+
+    Two rules share a signature iff they have the same tree shape with
+    the same functions, measures and property names; thresholds and
+    weights (the continuous genes) are ignored. This is the right
+    granularity for diversity: threshold crossover explores within one
+    signature, the other operators move between signatures.
+    """
+
+    def visit(node: RuleNode) -> tuple:
+        if isinstance(node, PropertyNode):
+            return ("p", node.property_name)
+        if isinstance(node, TransformationNode):
+            return ("t", node.function, tuple(visit(c) for c in node.inputs))
+        if isinstance(node, ComparisonNode):
+            return ("c", node.metric, visit(node.source), visit(node.target))
+        assert isinstance(node, AggregationNode)
+        return (
+            "a",
+            node.function,
+            tuple(sorted(visit(c) for c in node.operators)),
+        )
+
+    return visit(rule.root)
+
+
+@dataclass(frozen=True)
+class PopulationSnapshot:
+    """Aggregate statistics of one generation."""
+
+    iteration: int
+    size: int
+    #: Distinct rules (exact tree equality) / population size.
+    unique_rule_ratio: float
+    #: Distinct structural signatures / population size.
+    unique_signature_ratio: float
+    best_fitness: float
+    mean_fitness: float
+    fitness_stddev: float
+    mean_operator_count: float
+    mean_depth: float
+    #: Distance measure -> number of rules using it at least once.
+    measure_usage: tuple[tuple[str, int], ...]
+
+    def describe(self) -> str:
+        measures = ", ".join(f"{m}:{n}" for m, n in self.measure_usage[:5])
+        return (
+            f"iter {self.iteration}: best={self.best_fitness:.3f} "
+            f"mean={self.mean_fitness:.3f}±{self.fitness_stddev:.3f} "
+            f"unique={self.unique_rule_ratio:.0%} "
+            f"signatures={self.unique_signature_ratio:.0%} "
+            f"ops={self.mean_operator_count:.1f} [{measures}]"
+        )
+
+
+def snapshot_population(
+    population: Sequence[LinkageRule],
+    fitness: Callable[[LinkageRule], float],
+    iteration: int = 0,
+) -> PopulationSnapshot:
+    """Summarise a population under a fitness function."""
+    if not population:
+        raise ValueError("population is empty")
+    values = [fitness(rule) for rule in population]
+    signatures = {structural_signature(rule) for rule in population}
+    unique_rules = {rule.root for rule in population}
+    measure_counter: Counter[str] = Counter()
+    for rule in population:
+        for metric in {c.metric for c in rule.comparisons()}:
+            measure_counter[metric] += 1
+    return PopulationSnapshot(
+        iteration=iteration,
+        size=len(population),
+        unique_rule_ratio=len(unique_rules) / len(population),
+        unique_signature_ratio=len(signatures) / len(population),
+        best_fitness=max(values),
+        mean_fitness=statistics.fmean(values),
+        fitness_stddev=statistics.pstdev(values),
+        mean_operator_count=statistics.fmean(
+            rule.operator_count() for rule in population
+        ),
+        mean_depth=statistics.fmean(rule.depth() for rule in population),
+        measure_usage=tuple(measure_counter.most_common()),
+    )
+
+
+class DiversityTracker:
+    """A :data:`~repro.core.genlink.PopulationObserver` collecting one
+    :class:`PopulationSnapshot` per iteration.
+
+    Usage::
+
+        tracker = DiversityTracker(fitness_fn.fitness)
+        learner.learn(a, b, links, observer=tracker)
+        print(tracker.render())
+        if tracker.converged():
+            ...
+    """
+
+    def __init__(self, fitness: Callable[[LinkageRule], float]):
+        self._fitness = fitness
+        self.snapshots: list[PopulationSnapshot] = []
+
+    def __call__(self, iteration: int, population: list[LinkageRule]) -> None:
+        self.snapshots.append(
+            snapshot_population(population, self._fitness, iteration)
+        )
+
+    @property
+    def latest(self) -> PopulationSnapshot:
+        if not self.snapshots:
+            raise ValueError("tracker has not observed any population yet")
+        return self.snapshots[-1]
+
+    def converged(
+        self,
+        window: int = 5,
+        fitness_epsilon: float = 1e-6,
+        signature_ratio: float = 0.05,
+    ) -> bool:
+        """Heuristic convergence: the best fitness has not improved by
+        more than ``fitness_epsilon`` over the last ``window``
+        snapshots, or structural diversity collapsed below
+        ``signature_ratio``."""
+        if not self.snapshots:
+            return False
+        if self.snapshots[-1].unique_signature_ratio <= signature_ratio:
+            return True
+        if len(self.snapshots) <= window:
+            return False
+        recent = self.snapshots[-(window + 1) :]
+        return recent[-1].best_fitness - recent[0].best_fitness <= fitness_epsilon
+
+    def stagnation_length(self, fitness_epsilon: float = 1e-6) -> int:
+        """Number of trailing snapshots without best-fitness progress."""
+        if not self.snapshots:
+            return 0
+        best = self.snapshots[-1].best_fitness
+        length = 0
+        for snapshot in reversed(self.snapshots):
+            if best - snapshot.best_fitness > fitness_epsilon:
+                break
+            length += 1
+        return length - 1 if length else 0
+
+    def render(self) -> str:
+        """One line per snapshot, paper-table style."""
+        header = (
+            f"{'iter':>4}  {'best':>7}  {'mean':>7}  {'σ':>6}  "
+            f"{'uniq':>5}  {'sigs':>5}  {'ops':>5}"
+        )
+        lines = [header, "-" * len(header)]
+        for s in self.snapshots:
+            lines.append(
+                f"{s.iteration:>4}  {s.best_fitness:>7.3f}  "
+                f"{s.mean_fitness:>7.3f}  {s.fitness_stddev:>6.3f}  "
+                f"{s.unique_rule_ratio:>5.0%}  "
+                f"{s.unique_signature_ratio:>5.0%}  "
+                f"{s.mean_operator_count:>5.1f}"
+            )
+        return "\n".join(lines)

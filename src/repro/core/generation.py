@@ -1,0 +1,210 @@
+"""Random linkage rule generation (Section 5.1).
+
+A random rule consists of a random aggregation over one or two
+comparisons. Each comparison draws a property pair — either from the
+pre-computed compatible pair list (seeded mode, Algorithm 2) or
+uniformly from the two schemata (the fully random mode used as the
+baseline in Table 14) — and, with 50% probability, a random unary
+transformation is appended to each property.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.compatible import CompatibleProperty
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    SimilarityNode,
+    TransformationNode,
+    ValueNode,
+)
+from repro.core.representation import FULL, Representation
+from repro.core.rule import LinkageRule
+from repro.distances.registry import DistanceRegistry
+from repro.distances.registry import default_registry as default_distances
+from repro.transforms.registry import TransformationRegistry
+from repro.transforms.registry import default_registry as default_transforms
+
+#: Probability of appending a transformation to each property (§5.1).
+TRANSFORMATION_PROBABILITY = 0.5
+
+#: Probability that a seeded comparison draws a random measure from the
+#: full catalogue instead of the measure Algorithm 2 detected. Without
+#: this exploration the gene pool would never contain measures absent
+#: from the seeding list (e.g. jaccard, which the tokenize+jaccard
+#: recipe of Section 3 needs), because crossover only recombines
+#: existing material.
+MEASURE_EXPLORATION_PROBABILITY = 0.25
+
+#: Probability that a seeded string comparison is generated at token
+#: level: jaccard over tokenize(lowerCase(p)) on both sides. This is
+#: the form in which Algorithm 2 actually established compatibility
+#: (it tokenises and lower-cases the values before testing), and it is
+#: what gives the paper its strong iteration-0 populations (e.g. Cora
+#: starts at 0.877 in Table 7).
+TOKEN_SEED_PROBABILITY = 0.35
+
+#: Maximum random weight for wmean aggregation children.
+MAX_RANDOM_WEIGHT = 10
+
+
+class RandomRuleGenerator:
+    """Generates random linkage rules for seeding and mutation."""
+
+    def __init__(
+        self,
+        compatible_pairs: Sequence[CompatibleProperty],
+        rng: random.Random,
+        representation: Representation = FULL,
+        distances: DistanceRegistry | None = None,
+        transforms: TransformationRegistry | None = None,
+        source_properties: Sequence[str] = (),
+        target_properties: Sequence[str] = (),
+        transformation_probability: float = TRANSFORMATION_PROBABILITY,
+        measure_exploration: float = MEASURE_EXPLORATION_PROBABILITY,
+    ):
+        """Create a generator.
+
+        When ``compatible_pairs`` is empty the generator falls back to
+        uniform sampling over ``source_properties`` x
+        ``target_properties`` with a random measure — the unseeded
+        baseline of Table 14.
+        """
+        self._pairs = list(compatible_pairs)
+        self._rng = rng
+        self._representation = representation
+        self._distances = distances if distances is not None else default_distances()
+        self._transforms = (
+            transforms if transforms is not None else default_transforms()
+        )
+        self._source_properties = list(source_properties)
+        self._target_properties = list(target_properties)
+        self._transformation_probability = transformation_probability
+        self._measure_exploration = measure_exploration
+        if not self._pairs and not (
+            self._source_properties and self._target_properties
+        ):
+            raise ValueError(
+                "need either compatible pairs or source/target property lists"
+            )
+        #: Measures eligible for unseeded / exploratory comparisons.
+        self._fallback_measures = [
+            name
+            for name in (
+                "levenshtein",
+                "normalizedLevenshtein",
+                "jaccard",
+                "numeric",
+                "geographic",
+                "date",
+            )
+            if name in self._distances
+        ]
+
+    @property
+    def representation(self) -> Representation:
+        return self._representation
+
+    # -- public API -----------------------------------------------------------
+    def random_rule(self) -> LinkageRule:
+        """A random rule: aggregation over 1-2 comparisons (§5.1)."""
+        comparison_count = self._rng.randint(1, 2)
+        comparisons = tuple(
+            self.random_comparison() for _ in range(comparison_count)
+        )
+        function = self._rng.choice(self._representation.aggregation_functions)
+        root: SimilarityNode = AggregationNode(
+            function=function, operators=comparisons
+        )
+        return LinkageRule(self._representation.repair(root, self._rng))
+
+    def random_comparison(self) -> ComparisonNode:
+        """A random comparison over a (seeded or uniform) property pair."""
+        if self._pairs:
+            pair = self._rng.choice(self._pairs)
+            source_property = pair.source_property
+            target_property = pair.target_property
+            metric = pair.measure
+            if (
+                metric == "levenshtein"
+                and self._representation.allow_transformations
+                and self._transformation_probability > 0.0
+                and "jaccard" in self._distances
+                and self._rng.random() < TOKEN_SEED_PROBABILITY
+            ):
+                return self._token_comparison(source_property, target_property)
+            if self._rng.random() < self._measure_exploration:
+                metric = self._rng.choice(self._fallback_measures)
+        else:
+            source_property = self._rng.choice(self._source_properties)
+            target_property = self._rng.choice(self._target_properties)
+            metric = self._rng.choice(self._fallback_measures)
+        return ComparisonNode(
+            metric=metric,
+            threshold=self.random_threshold(metric),
+            source=self._random_value_node(source_property),
+            target=self._random_value_node(target_property),
+            weight=self.random_weight(),
+        )
+
+    def _token_comparison(
+        self, source_property: str, target_property: str
+    ) -> ComparisonNode:
+        """Jaccard over tokenised, lower-cased values — the exact form
+        in which Algorithm 2 established the pair's compatibility."""
+
+        def tokens(property_name: str) -> ValueNode:
+            return TransformationNode(
+                "tokenize",
+                (
+                    TransformationNode(
+                        "lowerCase", (PropertyNode(property_name),)
+                    ),
+                ),
+            )
+
+        return ComparisonNode(
+            metric="jaccard",
+            threshold=self.random_threshold("jaccard"),
+            source=tokens(source_property),
+            target=tokens(target_property),
+            weight=self.random_weight(),
+        )
+
+    def random_threshold(self, metric: str) -> float:
+        low, high = self._distances.get(metric).threshold_range
+        return round(self._rng.uniform(low, high), 4)
+
+    def random_weight(self) -> int:
+        return self._rng.randint(1, MAX_RANDOM_WEIGHT)
+
+    def random_transformation_function(self) -> str:
+        """A random unary transformation name."""
+        return self._rng.choice(self._transforms.unary_names())
+
+    def _random_value_node(self, property_name: str) -> ValueNode:
+        node: ValueNode = PropertyNode(property_name)
+        if not self._representation.allow_transformations:
+            return node
+        if self._rng.random() < self._transformation_probability:
+            node = TransformationNode(
+                function=self.random_transformation_function(), inputs=(node,)
+            )
+            # Occasionally start with a two-step chain so that chained
+            # normalisation (e.g. tokenize over lowerCase) is present
+            # in the gene pool from the beginning.
+            if self._rng.random() < 0.3:
+                node = TransformationNode(
+                    function=self.random_transformation_function(), inputs=(node,)
+                )
+        return node
+
+    def population(self, size: int) -> list[LinkageRule]:
+        """An initial population of ``size`` random rules."""
+        if size < 1:
+            raise ValueError("population size must be >= 1")
+        return [self.random_rule() for _ in range(size)]

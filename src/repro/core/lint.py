@@ -1,0 +1,212 @@
+"""Linkage rule linting: catch mistakes in hand-edited rules.
+
+The paper's selling point for tree-shaped rules is that they "can be
+understood and further improved by humans" (Section 1) — and humans
+editing exported rules make mechanical mistakes: referencing properties
+the data sources do not have, thresholds far outside a measure's
+sensible range, aggregation branches that can never influence the
+score. :func:`lint_rule` checks a rule (optionally against the two data
+sources it will run on) and returns structured findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    SimilarityNode,
+    TransformationNode,
+    ValueNode,
+    iter_nodes,
+)
+from repro.core.rule import LinkageRule
+from repro.data.source import DataSource
+from repro.distances.registry import DistanceRegistry
+from repro.distances.registry import default_registry as default_distances
+from repro.transforms.registry import TransformationRegistry
+from repro.transforms.registry import default_registry as default_transforms
+
+#: Finding severities, ordered.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One issue found in a rule."""
+
+    severity: str
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.code}: {self.message}"
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """All findings for one rule."""
+
+    findings: tuple[LintFinding, ...]
+
+    @property
+    def errors(self) -> tuple[LintFinding, ...]:
+        return tuple(f for f in self.findings if f.severity == "error")
+
+    @property
+    def warnings(self) -> tuple[LintFinding, ...]:
+        return tuple(f for f in self.findings if f.severity == "warning")
+
+    @property
+    def ok(self) -> bool:
+        """True when no errors were found (warnings are acceptable)."""
+        return not self.errors
+
+    def render(self) -> str:
+        if not self.findings:
+            return "no findings"
+        return "\n".join(str(finding) for finding in self.findings)
+
+
+def _value_properties(node: ValueNode) -> list[str]:
+    return [
+        n.property_name for n in iter_nodes(node) if isinstance(n, PropertyNode)
+    ]
+
+
+def lint_rule(
+    rule: LinkageRule,
+    source_a: DataSource | None = None,
+    source_b: DataSource | None = None,
+    distances: DistanceRegistry | None = None,
+    transforms: TransformationRegistry | None = None,
+) -> LintReport:
+    """Check a rule for mistakes; sources enable property checks.
+
+    Errors (the rule cannot work as written):
+
+    * ``unknown-measure`` / ``unknown-transformation`` — names not in
+      the registries,
+    * ``unknown-property`` — a property absent from the corresponding
+      data source's schema,
+    * ``bad-arity`` — a transformation applied to the wrong number of
+      inputs.
+
+    Warnings (the rule works but likely not as intended):
+
+    * ``threshold-out-of-range`` — far outside the measure's sensible
+      range (e.g. Levenshtein threshold 5000),
+    * ``zero-threshold`` — exact matching where the measure is
+      continuous (geographic/numeric),
+    * ``duplicate-comparison`` — structurally identical siblings,
+    * ``constant-wmean-weight`` — weights all equal inside a wmean
+      (they change nothing; usually a forgotten edit).
+    """
+    distances = distances if distances is not None else default_distances()
+    transforms = transforms if transforms is not None else default_transforms()
+    findings: list[LintFinding] = []
+
+    def add(severity: str, code: str, message: str) -> None:
+        findings.append(LintFinding(severity, code, message))
+
+    properties_a = set(source_a.property_names()) if source_a is not None else None
+    properties_b = set(source_b.property_names()) if source_b is not None else None
+
+    def check_value(node: ValueNode, side: str, known: set[str] | None) -> None:
+        for sub in iter_nodes(node):
+            if isinstance(sub, PropertyNode):
+                if known is not None and sub.property_name not in known:
+                    add(
+                        "error",
+                        "unknown-property",
+                        f"{side} property {sub.property_name!r} does not "
+                        f"exist in the data source",
+                    )
+            elif isinstance(sub, TransformationNode):
+                if sub.function not in transforms:
+                    add(
+                        "error",
+                        "unknown-transformation",
+                        f"transformation {sub.function!r} is not registered",
+                    )
+                else:
+                    expected = transforms.get(sub.function).arity
+                    if len(sub.inputs) != expected:
+                        add(
+                            "error",
+                            "bad-arity",
+                            f"{sub.function} expects {expected} input(s), "
+                            f"got {len(sub.inputs)}",
+                        )
+
+    def check_similarity(node: SimilarityNode) -> None:
+        if isinstance(node, ComparisonNode):
+            if node.metric not in distances:
+                add(
+                    "error",
+                    "unknown-measure",
+                    f"distance measure {node.metric!r} is not registered",
+                )
+            else:
+                measure = distances.get(node.metric)
+                low, high = measure.threshold_range
+                span = max(high - low, 1e-9)
+                if node.threshold > high + 10 * span:
+                    add(
+                        "warning",
+                        "threshold-out-of-range",
+                        f"{node.metric} threshold {node.threshold:g} is far "
+                        f"above the usual range ({low:g}..{high:g})",
+                    )
+                if node.threshold == 0.0 and node.metric in (
+                    "geographic",
+                    "numeric",
+                    "relativeNumeric",
+                ):
+                    add(
+                        "warning",
+                        "zero-threshold",
+                        f"{node.metric} with threshold 0 requires exact "
+                        f"equality of a continuous quantity",
+                    )
+            check_value(node.source, "source", properties_a)
+            check_value(node.target, "target", properties_b)
+            return
+        assert isinstance(node, AggregationNode)
+        normalized = [
+            (
+                child.__class__.__name__,
+                str(child),
+            )
+            for child in node.operators
+        ]
+        seen: set = set()
+        for key in normalized:
+            if key in seen:
+                add(
+                    "warning",
+                    "duplicate-comparison",
+                    f"aggregation {node.function} holds structurally "
+                    f"identical children: {key[1][:60]}",
+                )
+                break
+            seen.add(key)
+        if (
+            node.function == "wmean"
+            and len(node.operators) > 1
+            and len({child.weight for child in node.operators}) == 1
+            and node.operators[0].weight != 1
+        ):
+            add(
+                "warning",
+                "constant-wmean-weight",
+                f"all wmean children share weight "
+                f"{node.operators[0].weight}; equal weights have no effect",
+            )
+        for child in node.operators:
+            check_similarity(child)
+
+    check_similarity(rule.root)
+    return LintReport(findings=tuple(findings))

@@ -1,0 +1,179 @@
+"""Linkage rule operator tree (Section 3 of the paper).
+
+Four node types build a strongly-typed tree (Figure 1):
+
+* :class:`PropertyNode` — retrieves the values of one property,
+* :class:`TransformationNode` — transforms value sets,
+* :class:`ComparisonNode` — distance measure + threshold -> similarity,
+* :class:`AggregationNode` — combines child similarities.
+
+Nodes are immutable (frozen dataclasses). All structural edits used by
+the genetic operators create new trees via :func:`replace_node`. The
+two sides of a comparison are positional: the ``source`` value tree is
+evaluated against entities of data source A, ``target`` against B,
+which is what lets GenLink match across different schemata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Union
+
+
+@dataclass(frozen=True)
+class PropertyNode:
+    """Value operator retrieving all values of ``property_name``."""
+
+    property_name: str
+
+    def children(self) -> tuple["RuleNode", ...]:
+        return ()
+
+    def operator_count(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return f"property({self.property_name})"
+
+
+@dataclass(frozen=True)
+class TransformationNode:
+    """Value operator applying a named transformation function.
+
+    ``params`` carries transformation configuration (e.g. the search /
+    replacement strings of ``replace``) as a sorted tuple of key/value
+    pairs so the node stays hashable.
+    """
+
+    function: str
+    inputs: tuple["ValueNode", ...]
+    params: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.inputs:
+            raise ValueError("transformation requires at least one input")
+
+    def children(self) -> tuple["RuleNode", ...]:
+        return self.inputs
+
+    def operator_count(self) -> int:
+        return 1 + sum(node.operator_count() for node in self.inputs)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(node) for node in self.inputs)
+        return f"{self.function}({inner})"
+
+
+ValueNode = Union[PropertyNode, TransformationNode]
+
+
+@dataclass(frozen=True)
+class ComparisonNode:
+    """Similarity operator comparing two value operators (Definition 7).
+
+    Yields ``1 - d/threshold`` when the distance ``d`` is within the
+    threshold and 0 otherwise, so scores live in [0, 1] and the overall
+    rule classifies at 0.5.
+    """
+
+    metric: str
+    threshold: float
+    source: "ValueNode"
+    target: "ValueNode"
+    weight: int = 1
+
+    def __post_init__(self) -> None:
+        if self.threshold < 0.0:
+            raise ValueError("comparison threshold must be >= 0")
+        if self.weight < 1:
+            raise ValueError("weight must be >= 1")
+
+    def children(self) -> tuple["RuleNode", ...]:
+        return (self.source, self.target)
+
+    def operator_count(self) -> int:
+        return 1 + self.source.operator_count() + self.target.operator_count()
+
+    def __str__(self) -> str:
+        return (
+            f"compare({self.metric}, θ={self.threshold:g}, "
+            f"{self.source}, {self.target})"
+        )
+
+
+@dataclass(frozen=True)
+class AggregationNode:
+    """Similarity operator combining child similarities (Definition 8)."""
+
+    function: str
+    operators: tuple["SimilarityNode", ...]
+    weight: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.operators:
+            raise ValueError("aggregation requires at least one operator")
+        if self.weight < 1:
+            raise ValueError("weight must be >= 1")
+
+    def children(self) -> tuple["RuleNode", ...]:
+        return self.operators
+
+    def operator_count(self) -> int:
+        return 1 + sum(node.operator_count() for node in self.operators)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(node) for node in self.operators)
+        return f"{self.function}({inner})"
+
+
+SimilarityNode = Union[ComparisonNode, AggregationNode]
+RuleNode = Union[PropertyNode, TransformationNode, ComparisonNode, AggregationNode]
+
+
+def iter_nodes(node: RuleNode) -> Iterator[RuleNode]:
+    """Depth-first pre-order iteration over a subtree."""
+    yield node
+    for child in node.children():
+        yield from iter_nodes(child)
+
+
+def collect_nodes(node: RuleNode, node_types: tuple[type, ...]) -> list[RuleNode]:
+    """All nodes in the subtree matching any of the given types."""
+    return [n for n in iter_nodes(node) if isinstance(n, node_types)]
+
+
+def replace_node(root: RuleNode, old: RuleNode, new: RuleNode) -> RuleNode:
+    """Return a copy of ``root`` with the first occurrence of ``old``
+    (by identity, falling back to equality) replaced by ``new``.
+
+    Identity comparison lets callers target one specific node even when
+    structurally equal twins exist elsewhere in the tree.
+    """
+    replaced = [False]
+
+    def visit(node: RuleNode) -> RuleNode:
+        if not replaced[0] and (node is old or (node == old and old is not None)):
+            replaced[0] = True
+            return new
+        if isinstance(node, PropertyNode):
+            return node
+        if isinstance(node, TransformationNode):
+            new_inputs = tuple(visit(child) for child in node.inputs)
+            if new_inputs == node.inputs:
+                return node
+            return replace(node, inputs=new_inputs)
+        if isinstance(node, ComparisonNode):
+            new_source = visit(node.source)
+            new_target = visit(node.target)
+            if new_source is node.source and new_target is node.target:
+                return node
+            return replace(node, source=new_source, target=new_target)
+        if isinstance(node, AggregationNode):
+            new_ops = tuple(visit(child) for child in node.operators)
+            if new_ops == node.operators:
+                return node
+            return replace(node, operators=new_ops)
+        raise TypeError(f"unexpected node type {type(node)!r}")
+
+    result = visit(root)
+    return result

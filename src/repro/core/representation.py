@@ -1,0 +1,168 @@
+"""Linkage rule representation restrictions (Section 6.3, Table 13).
+
+The paper compares four representations:
+
+* ``boolean``    — threshold-based boolean classifiers: min/max
+                   aggregations, no transformations (Definition 10),
+* ``linear``     — a single weighted-mean aggregation over comparisons,
+                   no transformations, no nesting (Definition 9),
+* ``nonlinear``  — arbitrary nested aggregations, no transformations,
+* ``full``       — the paper's full expressivity.
+
+A :class:`Representation` both *constrains generation* (which functions
+the random rule generator may pick) and *repairs* crossover offspring
+that violate the restriction (transformations stripped, hierarchies
+flattened, disallowed aggregation functions replaced), so every
+individual in a restricted run stays inside the representation class.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    SimilarityNode,
+    TransformationNode,
+    ValueNode,
+)
+
+
+@dataclass(frozen=True)
+class Representation:
+    """A restriction on the space of linkage rules."""
+
+    name: str
+    aggregation_functions: tuple[str, ...]
+    allow_transformations: bool
+    allow_nesting: bool
+
+    def __post_init__(self) -> None:
+        if not self.aggregation_functions:
+            raise ValueError("at least one aggregation function is required")
+
+    # -- repair --------------------------------------------------------------
+    def repair(self, root: SimilarityNode, rng: random.Random) -> SimilarityNode:
+        """Coerce a similarity tree into this representation."""
+        repaired = self._repair_similarity(root, rng)
+        if not self.allow_nesting and isinstance(repaired, AggregationNode):
+            repaired = replace(repaired, operators=_flatten(repaired))
+        return repaired
+
+    def _repair_similarity(
+        self, node: SimilarityNode, rng: random.Random
+    ) -> SimilarityNode:
+        if isinstance(node, ComparisonNode):
+            source = self._repair_value(node.source)
+            target = self._repair_value(node.target)
+            if source is node.source and target is node.target:
+                return node
+            return replace(node, source=source, target=target)
+        assert isinstance(node, AggregationNode)
+        function = node.function
+        if function not in self.aggregation_functions:
+            function = rng.choice(self.aggregation_functions)
+        operators = tuple(
+            self._repair_similarity(child, rng) for child in node.operators
+        )
+        if function == node.function and operators == node.operators:
+            return node
+        return replace(node, function=function, operators=operators)
+
+    def _repair_value(self, node: ValueNode) -> ValueNode:
+        if self.allow_transformations or isinstance(node, PropertyNode):
+            return node
+        assert isinstance(node, TransformationNode)
+        return _first_property(node)
+
+    def allows(self, root: SimilarityNode) -> bool:
+        """Whether a tree already satisfies this representation."""
+        return self._check(root, depth=0)
+
+    def _check(self, node: SimilarityNode, depth: int) -> bool:
+        if isinstance(node, ComparisonNode):
+            if not self.allow_transformations:
+                if not isinstance(node.source, PropertyNode):
+                    return False
+                if not isinstance(node.target, PropertyNode):
+                    return False
+            return True
+        assert isinstance(node, AggregationNode)
+        if node.function not in self.aggregation_functions:
+            return False
+        if not self.allow_nesting and depth >= 1:
+            return False
+        return all(self._check(child, depth + 1) for child in node.operators)
+
+
+def _first_property(node: ValueNode) -> PropertyNode:
+    """The left-most property underneath a value tree."""
+    while isinstance(node, TransformationNode):
+        node = node.inputs[0]
+    assert isinstance(node, PropertyNode)
+    return node
+
+
+def _flatten(node: AggregationNode) -> tuple[ComparisonNode, ...]:
+    """All comparisons under an aggregation, hierarchy collapsed."""
+    comparisons: list[ComparisonNode] = []
+
+    def visit(current: SimilarityNode) -> None:
+        if isinstance(current, ComparisonNode):
+            comparisons.append(current)
+        else:
+            for child in current.operators:
+                visit(child)
+
+    visit(node)
+    return tuple(comparisons)
+
+
+#: Threshold-based boolean classifiers (Definition 10).
+BOOLEAN = Representation(
+    name="boolean",
+    aggregation_functions=("min", "max"),
+    allow_transformations=False,
+    allow_nesting=True,
+)
+
+#: Linear classifiers (Definition 9).
+LINEAR = Representation(
+    name="linear",
+    aggregation_functions=("wmean",),
+    allow_transformations=False,
+    allow_nesting=False,
+)
+
+#: Non-linear classifiers without transformations.
+NONLINEAR = Representation(
+    name="nonlinear",
+    aggregation_functions=("min", "max", "wmean"),
+    allow_transformations=False,
+    allow_nesting=True,
+)
+
+#: The paper's full expressivity.
+FULL = Representation(
+    name="full",
+    aggregation_functions=("min", "max", "wmean"),
+    allow_transformations=True,
+    allow_nesting=True,
+)
+
+REPRESENTATIONS: dict[str, Representation] = {
+    r.name: r for r in (BOOLEAN, LINEAR, NONLINEAR, FULL)
+}
+
+
+def get_representation(name: str) -> Representation:
+    """Look up a representation class by name (Table 13 labels)."""
+    try:
+        return REPRESENTATIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(REPRESENTATIONS))
+        raise KeyError(f"unknown representation {name!r}; known: {known}")

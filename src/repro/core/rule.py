@@ -1,0 +1,119 @@
+"""The :class:`LinkageRule` wrapper and grammar validation.
+
+A linkage rule (Definition 3) assigns a similarity in [0, 1] to each
+entity pair; the matching set is everything scoring >= 0.5. The wrapper
+carries the root similarity node and enforces the strongly-typed
+grammar of Figure 1:
+
+* the root is an aggregation or comparison,
+* aggregations contain aggregations and/or comparisons,
+* comparisons contain exactly two value operators,
+* transformations contain value operators only,
+* properties are leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    RuleNode,
+    SimilarityNode,
+    TransformationNode,
+    collect_nodes,
+    iter_nodes,
+)
+
+#: Classification threshold of Definition 3.
+MATCH_THRESHOLD = 0.5
+
+
+class RuleValidationError(ValueError):
+    """Raised when a tree violates the linkage rule grammar."""
+
+
+def validate_tree(node: RuleNode, expect_similarity: bool = True) -> None:
+    """Recursively check the Figure 1 grammar; raise on violation."""
+    if isinstance(node, AggregationNode):
+        if not expect_similarity:
+            raise RuleValidationError("aggregation nested inside a value operator")
+        for child in node.operators:
+            if not isinstance(child, (AggregationNode, ComparisonNode)):
+                raise RuleValidationError(
+                    f"aggregation child must be a similarity operator, got "
+                    f"{type(child).__name__}"
+                )
+            validate_tree(child, expect_similarity=True)
+    elif isinstance(node, ComparisonNode):
+        if not expect_similarity:
+            raise RuleValidationError("comparison nested inside a value operator")
+        for child in (node.source, node.target):
+            if not isinstance(child, (PropertyNode, TransformationNode)):
+                raise RuleValidationError(
+                    f"comparison child must be a value operator, got "
+                    f"{type(child).__name__}"
+                )
+            validate_tree(child, expect_similarity=False)
+    elif isinstance(node, TransformationNode):
+        if expect_similarity:
+            raise RuleValidationError("transformation cannot appear as similarity")
+        for child in node.inputs:
+            if not isinstance(child, (PropertyNode, TransformationNode)):
+                raise RuleValidationError(
+                    f"transformation input must be a value operator, got "
+                    f"{type(child).__name__}"
+                )
+            validate_tree(child, expect_similarity=False)
+    elif isinstance(node, PropertyNode):
+        if expect_similarity:
+            raise RuleValidationError("property cannot appear as similarity")
+    else:
+        raise RuleValidationError(f"unknown node type {type(node).__name__}")
+
+
+@dataclass(frozen=True)
+class LinkageRule:
+    """An immutable linkage rule around a similarity root node."""
+
+    root: SimilarityNode
+
+    def __post_init__(self) -> None:
+        validate_tree(self.root, expect_similarity=True)
+
+    # -- structure ----------------------------------------------------------
+    def operator_count(self) -> int:
+        """Number of operators, the basis of the parsimony penalty."""
+        return self.root.operator_count()
+
+    def comparisons(self) -> list[ComparisonNode]:
+        return collect_nodes(self.root, (ComparisonNode,))  # type: ignore[return-value]
+
+    def aggregations(self) -> list[AggregationNode]:
+        return collect_nodes(self.root, (AggregationNode,))  # type: ignore[return-value]
+
+    def transformations(self) -> list[TransformationNode]:
+        return collect_nodes(self.root, (TransformationNode,))  # type: ignore[return-value]
+
+    def properties(self) -> list[PropertyNode]:
+        return collect_nodes(self.root, (PropertyNode,))  # type: ignore[return-value]
+
+    def nodes(self) -> list[RuleNode]:
+        return list(iter_nodes(self.root))
+
+    def depth(self) -> int:
+        def node_depth(node: RuleNode) -> int:
+            children = node.children()
+            if not children:
+                return 1
+            return 1 + max(node_depth(child) for child in children)
+
+        return node_depth(self.root)
+
+    def with_root(self, root: SimilarityNode) -> "LinkageRule":
+        return LinkageRule(root)
+
+    def __str__(self) -> str:
+        return str(self.root)

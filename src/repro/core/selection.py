@@ -1,0 +1,53 @@
+"""Tournament selection (Section 5.2, Table 4: tournament size 5)."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from repro.core.rule import LinkageRule
+
+
+class TournamentSelector:
+    """Selects rules by running fitness tournaments with replacement."""
+
+    def __init__(self, tournament_size: int = 5):
+        if tournament_size < 1:
+            raise ValueError("tournament size must be >= 1")
+        self._tournament_size = tournament_size
+
+    @property
+    def tournament_size(self) -> int:
+        return self._tournament_size
+
+    def select(
+        self,
+        population: Sequence[LinkageRule],
+        fitness: Callable[[LinkageRule], float],
+        rng: random.Random,
+    ) -> LinkageRule:
+        """Pick the fittest of ``tournament_size`` random contestants."""
+        if not population:
+            raise ValueError("cannot select from an empty population")
+        best: LinkageRule | None = None
+        best_fitness = float("-inf")
+        for _ in range(self._tournament_size):
+            contestant = population[rng.randrange(len(population))]
+            contestant_fitness = fitness(contestant)
+            if contestant_fitness > best_fitness:
+                best = contestant
+                best_fitness = contestant_fitness
+        assert best is not None
+        return best
+
+    def select_pair(
+        self,
+        population: Sequence[LinkageRule],
+        fitness: Callable[[LinkageRule], float],
+        rng: random.Random,
+    ) -> tuple[LinkageRule, LinkageRule]:
+        """Two independent tournament winners (may coincide)."""
+        return (
+            self.select(population, fitness, rng),
+            self.select(population, fitness, rng),
+        )

@@ -1,0 +1,145 @@
+"""Rule serialisation: JSON-able dicts and human-readable tree rendering.
+
+A core selling point of GenLink's representation (contribution 1 of the
+paper) is that learned rules "can be understood and further improved by
+humans". :func:`render_rule` produces the ASCII equivalent of the
+paper's Figures 2, 7 and 8; the dict form round-trips losslessly for
+storage and transfer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    RuleNode,
+    TransformationNode,
+)
+from repro.core.rule import LinkageRule
+
+
+def _node_to_dict(node: RuleNode) -> dict[str, Any]:
+    if isinstance(node, PropertyNode):
+        return {"type": "property", "property": node.property_name}
+    if isinstance(node, TransformationNode):
+        return {
+            "type": "transformation",
+            "function": node.function,
+            "params": dict(node.params),
+            "inputs": [_node_to_dict(child) for child in node.inputs],
+        }
+    if isinstance(node, ComparisonNode):
+        return {
+            "type": "comparison",
+            "metric": node.metric,
+            "threshold": node.threshold,
+            "weight": node.weight,
+            "source": _node_to_dict(node.source),
+            "target": _node_to_dict(node.target),
+        }
+    if isinstance(node, AggregationNode):
+        return {
+            "type": "aggregation",
+            "function": node.function,
+            "weight": node.weight,
+            "operators": [_node_to_dict(child) for child in node.operators],
+        }
+    raise TypeError(f"unknown node type {type(node).__name__}")
+
+
+def _node_from_dict(data: dict[str, Any]) -> RuleNode:
+    node_type = data.get("type")
+    if node_type == "property":
+        return PropertyNode(property_name=data["property"])
+    if node_type == "transformation":
+        return TransformationNode(
+            function=data["function"],
+            inputs=tuple(_node_from_dict(child) for child in data["inputs"]),
+            params=tuple(sorted(data.get("params", {}).items())),
+        )
+    if node_type == "comparison":
+        return ComparisonNode(
+            metric=data["metric"],
+            threshold=float(data["threshold"]),
+            weight=int(data.get("weight", 1)),
+            source=_node_from_dict(data["source"]),  # type: ignore[arg-type]
+            target=_node_from_dict(data["target"]),  # type: ignore[arg-type]
+        )
+    if node_type == "aggregation":
+        return AggregationNode(
+            function=data["function"],
+            weight=int(data.get("weight", 1)),
+            operators=tuple(
+                _node_from_dict(child) for child in data["operators"]
+            ),  # type: ignore[arg-type]
+        )
+    raise ValueError(f"unknown node type in serialised rule: {node_type!r}")
+
+
+def rule_to_dict(rule: LinkageRule) -> dict[str, Any]:
+    """Serialise a rule to a JSON-able dict."""
+    return {"linkageRule": _node_to_dict(rule.root)}
+
+
+def rule_from_dict(data: dict[str, Any]) -> LinkageRule:
+    """Rebuild a rule from :func:`rule_to_dict` output (validated)."""
+    if "linkageRule" not in data:
+        raise ValueError("missing 'linkageRule' key")
+    root = _node_from_dict(data["linkageRule"])
+    if not isinstance(root, (ComparisonNode, AggregationNode)):
+        raise ValueError("rule root must be a comparison or aggregation")
+    return LinkageRule(root)
+
+
+def rule_to_json(rule: LinkageRule, indent: int | None = 2) -> str:
+    """Serialise a rule as deterministic (sorted-keys) JSON."""
+    return json.dumps(rule_to_dict(rule), indent=indent, sort_keys=True)
+
+
+def rule_from_json(text: str) -> LinkageRule:
+    """Parse a rule from its JSON form."""
+    return rule_from_dict(json.loads(text))
+
+
+def _render(node: RuleNode, prefix: str, is_last: bool, lines: list[str]) -> None:
+    connector = "└─ " if is_last else "├─ "
+    if isinstance(node, PropertyNode):
+        label = f"Property: {node.property_name}"
+    elif isinstance(node, TransformationNode):
+        params = ", ".join(f"{k}={v!r}" for k, v in node.params)
+        suffix = f" [{params}]" if params else ""
+        label = f"Transform: {node.function}{suffix}"
+    elif isinstance(node, ComparisonNode):
+        label = (
+            f"Compare: {node.metric} (θ={node.threshold:g}, weight={node.weight})"
+        )
+    elif isinstance(node, AggregationNode):
+        label = f"Aggregate: {node.function} (weight={node.weight})"
+    else:  # pragma: no cover - exhaustive above
+        label = repr(node)
+    lines.append(prefix + connector + label)
+    children = node.children()
+    child_prefix = prefix + ("   " if is_last else "│  ")
+    for i, child in enumerate(children):
+        _render(child, child_prefix, i == len(children) - 1, lines)
+
+
+def render_rule(rule: LinkageRule, title: str = "LinkageRule") -> str:
+    """Render a rule as an ASCII tree (cf. Figures 2, 7 and 8)."""
+    lines = [title]
+    root = rule.root
+    children_of_root = root.children()
+    if isinstance(root, AggregationNode):
+        lines.append(f"└─ Aggregate: {root.function} (weight={root.weight})")
+    else:
+        assert isinstance(root, ComparisonNode)
+        lines.append(
+            f"└─ Compare: {root.metric} (θ={root.threshold:g}, weight={root.weight})"
+        )
+    for i, child in enumerate(children_of_root):
+        _render(child, "   ", i == len(children_of_root) - 1, lines)
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Entity data model: entities, data sources and reference links."""
+
+from repro.data.entity import Entity
+from repro.data.source import DataSource
+from repro.data.reference_links import (
+    ReferenceLinkSet,
+    generate_negative_links,
+)
+from repro.data.profiling import (
+    PropertyProfile,
+    SourceProfile,
+    profile_source,
+)
+from repro.data.splits import cross_validation_folds, train_validation_split
+from repro.data.io import (
+    load_links_csv,
+    load_source_csv,
+    load_source_jsonl,
+    load_source_ntriples,
+    save_links_csv,
+    save_links_ntriples,
+    save_source_csv,
+    save_source_jsonl,
+    save_source_ntriples,
+)
+
+__all__ = [
+    "Entity",
+    "DataSource",
+    "ReferenceLinkSet",
+    "generate_negative_links",
+    "PropertyProfile",
+    "SourceProfile",
+    "profile_source",
+    "cross_validation_folds",
+    "train_validation_split",
+    "load_links_csv",
+    "load_source_csv",
+    "load_source_jsonl",
+    "load_source_ntriples",
+    "save_links_csv",
+    "save_links_ntriples",
+    "save_source_csv",
+    "save_source_jsonl",
+    "save_source_ntriples",
+]

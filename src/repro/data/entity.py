@@ -1,0 +1,70 @@
+"""The :class:`Entity` record type.
+
+An entity (Section 2) is described by a set of properties, each of which
+holds zero or more string values — the natural model for both RDF
+resources (multi-valued by construction) and relational records
+(single-valued). Entities are immutable so they can be shared freely
+between data sources, pair lists and caches.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Iterable, Mapping
+
+
+class Entity:
+    """An immutable entity with a unique id and multi-valued properties."""
+
+    __slots__ = ("_uid", "_properties")
+
+    def __init__(
+        self,
+        uid: str,
+        properties: Mapping[str, Iterable[str] | str],
+    ):
+        if not uid:
+            raise ValueError("entity uid must be non-empty")
+        normalized: dict[str, tuple[str, ...]] = {}
+        for name, values in properties.items():
+            if isinstance(values, str):
+                values = (values,)
+            value_tuple = tuple(str(v) for v in values if str(v) != "")
+            if value_tuple:
+                normalized[name] = value_tuple
+        self._uid = uid
+        self._properties = MappingProxyType(normalized)
+
+    @property
+    def uid(self) -> str:
+        return self._uid
+
+    @property
+    def properties(self) -> Mapping[str, tuple[str, ...]]:
+        return self._properties
+
+    def values(self, property_name: str) -> tuple[str, ...]:
+        """All values of a property; empty tuple when unset."""
+        return self._properties.get(property_name, ())
+
+    def has(self, property_name: str) -> bool:
+        return property_name in self._properties
+
+    def property_names(self) -> tuple[str, ...]:
+        return tuple(self._properties)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Entity):
+            return NotImplemented
+        return self._uid == other._uid and dict(self._properties) == dict(
+            other._properties
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._uid)
+
+    def __repr__(self) -> str:
+        preview = ", ".join(
+            f"{name}={values[0]!r}" for name, values in list(self._properties.items())[:3]
+        )
+        return f"Entity({self._uid!r}, {preview})"

@@ -1,0 +1,405 @@
+"""Loading and saving data sources and link sets.
+
+Adoption glue for the library: entities arrive as CSV exports or
+JSON-lines dumps, reference links as two-column CSVs, and generated
+links leave as CSV or N-Triples (the format Silk publishes
+``owl:sameAs`` links in on the Web of Data).
+
+All functions accept either a path or an open text file object.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, TextIO
+
+from repro.data.entity import Entity
+from repro.data.reference_links import Link, ReferenceLinkSet
+from repro.data.source import DataSource
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.matching.engine import GeneratedLink
+
+#: Multi-valued cells in CSV use this separator.
+VALUE_SEPARATOR = "|"
+
+
+def _open_for_read(target: str | Path | TextIO):
+    if isinstance(target, (str, Path)):
+        return open(target, "r", encoding="utf-8", newline=""), True
+    return target, False
+
+
+def _open_for_write(target: str | Path | TextIO):
+    if isinstance(target, (str, Path)):
+        return open(target, "w", encoding="utf-8", newline=""), True
+    return target, False
+
+
+# -- data sources -----------------------------------------------------------------
+def load_source_csv(
+    target: str | Path | TextIO,
+    name: str,
+    uid_column: str = "id",
+    value_separator: str = VALUE_SEPARATOR,
+) -> DataSource:
+    """Load a data source from a CSV file with a header row.
+
+    The ``uid_column`` becomes the entity uid; every other column a
+    property. Empty cells are absent properties; cells may hold several
+    values separated by ``value_separator``.
+    """
+    handle, owned = _open_for_read(target)
+    try:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or uid_column not in reader.fieldnames:
+            raise ValueError(f"CSV must have a {uid_column!r} column")
+        source = DataSource(name)
+        for row in reader:
+            uid = (row.get(uid_column) or "").strip()
+            if not uid:
+                raise ValueError("every row needs a non-empty uid")
+            properties = {
+                column: tuple(
+                    v.strip()
+                    for v in (value or "").split(value_separator)
+                    if v.strip()
+                )
+                for column, value in row.items()
+                if column != uid_column
+            }
+            source.add(Entity(uid, properties))
+        return source
+    finally:
+        if owned:
+            handle.close()
+
+
+def save_source_csv(
+    source: DataSource,
+    target: str | Path | TextIO,
+    uid_column: str = "id",
+    value_separator: str = VALUE_SEPARATOR,
+) -> None:
+    """Write a data source as CSV (union schema, one row per entity)."""
+    handle, owned = _open_for_write(target)
+    try:
+        columns = source.property_names()
+        writer = csv.writer(handle)
+        writer.writerow([uid_column] + columns)
+        for entity in source:
+            writer.writerow(
+                [entity.uid]
+                + [value_separator.join(entity.values(c)) for c in columns]
+            )
+    finally:
+        if owned:
+            handle.close()
+
+
+def load_source_jsonl(
+    target: str | Path | TextIO,
+    name: str,
+    uid_field: str = "id",
+) -> DataSource:
+    """Load a data source from JSON-lines: one object per line, the
+    ``uid_field`` key is the uid, all other keys are properties whose
+    values may be strings or lists of strings."""
+    handle, owned = _open_for_read(target)
+    try:
+        source = DataSource(name)
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if uid_field not in record:
+                raise ValueError(f"line {line_number}: missing {uid_field!r}")
+            uid = str(record.pop(uid_field))
+            source.add(Entity(uid, record))
+        return source
+    finally:
+        if owned:
+            handle.close()
+
+
+def save_source_jsonl(
+    source: DataSource,
+    target: str | Path | TextIO,
+    uid_field: str = "id",
+) -> None:
+    """Write a data source as JSON-lines."""
+    handle, owned = _open_for_write(target)
+    try:
+        for entity in source:
+            record: dict = {uid_field: entity.uid}
+            for key, values in entity.properties.items():
+                record[key] = list(values)
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+# -- reference links ---------------------------------------------------------------
+def load_links_csv(
+    target: str | Path | TextIO,
+) -> ReferenceLinkSet:
+    """Load reference links from CSV with columns source,target[,label].
+
+    ``label`` (missing, "1"/"0", "true"/"false", "+"/"-") defaults to
+    positive when the column is absent.
+    """
+    handle, owned = _open_for_read(target)
+    try:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or not (
+            {"source", "target"} <= set(reader.fieldnames)
+        ):
+            raise ValueError("CSV must have 'source' and 'target' columns")
+        positive: list[Link] = []
+        negative: list[Link] = []
+        for row in reader:
+            link = (row["source"].strip(), row["target"].strip())
+            label_text = (row.get("label") or "1").strip().lower()
+            if label_text in ("1", "true", "+", "positive", "yes"):
+                positive.append(link)
+            elif label_text in ("0", "false", "-", "negative", "no"):
+                negative.append(link)
+            else:
+                raise ValueError(f"unrecognised label {label_text!r}")
+        return ReferenceLinkSet(positive, negative)
+    finally:
+        if owned:
+            handle.close()
+
+
+def save_links_csv(
+    links: "ReferenceLinkSet | Iterable[GeneratedLink]",
+    target: str | Path | TextIO,
+) -> None:
+    """Write links as CSV. Reference link sets save both polarities;
+    generated link lists save uid pairs with their scores."""
+    handle, owned = _open_for_write(target)
+    try:
+        writer = csv.writer(handle)
+        if isinstance(links, ReferenceLinkSet):
+            writer.writerow(["source", "target", "label"])
+            for (uid_a, uid_b), label in links:
+                writer.writerow([uid_a, uid_b, "1" if label else "0"])
+        else:
+            writer.writerow(["source", "target", "score"])
+            for link in links:
+                writer.writerow([link.uid_a, link.uid_b, f"{link.score:.6f}"])
+    finally:
+        if owned:
+            handle.close()
+
+
+# -- N-Triples ---------------------------------------------------------------------
+#
+# The paper's RDF datasets (Sider, DrugBank, DBpedia, NYT, LinkedMDB)
+# circulate as N-Triples dumps; these readers/writers speak the subset
+# needed to round-trip entity data: URI subjects (or blank nodes),
+# URI predicates, URI/literal objects with the standard string escapes.
+
+_NT_ESCAPES = {
+    "t": "\t",
+    "n": "\n",
+    "r": "\r",
+    '"': '"',
+    "\\": "\\",
+}
+
+
+def _unescape_literal(text: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(text):
+        char = text[i]
+        if char != "\\":
+            out.append(char)
+            i += 1
+            continue
+        if i + 1 >= len(text):
+            raise ValueError(f"dangling escape in literal {text!r}")
+        escape = text[i + 1]
+        if escape in _NT_ESCAPES:
+            out.append(_NT_ESCAPES[escape])
+            i += 2
+        elif escape == "u":
+            out.append(chr(int(text[i + 2 : i + 6], 16)))
+            i += 6
+        elif escape == "U":
+            out.append(chr(int(text[i + 2 : i + 10], 16)))
+            i += 10
+        else:
+            raise ValueError(f"unknown escape \\{escape} in literal {text!r}")
+    return "".join(out)
+
+
+def _escape_literal(text: str) -> str:
+    out = text.replace("\\", "\\\\").replace('"', '\\"')
+    return out.replace("\n", "\\n").replace("\r", "\\r").replace("\t", "\\t")
+
+
+def _parse_nt_term(text: str, line_number: int) -> tuple[str, str]:
+    """Parse one term; returns (kind, value) with kind uri|blank|literal."""
+    text = text.strip()
+    if text.startswith("<") and text.endswith(">"):
+        return "uri", text[1:-1]
+    if text.startswith("_:"):
+        return "blank", text
+    if text.startswith('"'):
+        closing = 1
+        while True:
+            closing = text.index('"', closing)
+            backslashes = 0
+            while text[closing - 1 - backslashes] == "\\":
+                backslashes += 1
+            if backslashes % 2 == 0:
+                break
+            closing += 1
+        # Language tags and datatypes are accepted and dropped: the
+        # entity model holds plain strings.
+        return "literal", _unescape_literal(text[1:closing])
+    raise ValueError(f"line {line_number}: cannot parse term {text!r}")
+
+
+def _split_nt_line(line: str, line_number: int) -> tuple[str, str, str] | None:
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    if not line.endswith("."):
+        raise ValueError(f"line {line_number}: statement must end with '.'")
+    body = line[:-1].strip()
+    # Subject and predicate never contain spaces; the object may.
+    subject, __, rest = body.partition(" ")
+    predicate, __, obj = rest.strip().partition(" ")
+    if not subject or not predicate or not obj:
+        raise ValueError(f"line {line_number}: expected 3 terms")
+    return subject, predicate, obj.strip()
+
+
+def _shorten(uri: str, prefixes: dict[str, str]) -> str:
+    for namespace, prefix in prefixes.items():
+        if uri.startswith(namespace):
+            local = uri[len(namespace):]
+            # An empty prefix strips the namespace entirely.
+            return f"{prefix}:{local}" if prefix else local
+    return uri
+
+
+def load_source_ntriples(
+    target: str | Path | TextIO,
+    name: str,
+    prefixes: dict[str, str] | None = None,
+) -> DataSource:
+    """Load a data source from an N-Triples dump.
+
+    Subjects become entity uids, predicates property names, objects
+    property values (literal text, or the URI/blank-node id verbatim).
+    ``prefixes`` maps namespaces to short prefixes so e.g.
+    ``http://xmlns.com/foaf/0.1/name`` loads as ``foaf:name``; it is
+    applied to uids, property names and URI values alike.
+    """
+    prefixes = prefixes or {}
+    handle, owned = _open_for_read(target)
+    try:
+        values: dict[str, dict[str, list[str]]] = {}
+        order: list[str] = []
+        for line_number, line in enumerate(handle, start=1):
+            parsed = _split_nt_line(line, line_number)
+            if parsed is None:
+                continue
+            subject_text, predicate_text, object_text = parsed
+            __, subject = _parse_nt_term(subject_text, line_number)
+            kind, predicate = _parse_nt_term(predicate_text, line_number)
+            if kind != "uri":
+                raise ValueError(f"line {line_number}: predicate must be a URI")
+            object_kind, object_value = _parse_nt_term(object_text, line_number)
+            subject = _shorten(subject, prefixes)
+            predicate = _shorten(predicate, prefixes)
+            if object_kind == "uri":
+                object_value = _shorten(object_value, prefixes)
+            if subject not in values:
+                values[subject] = {}
+                order.append(subject)
+            values[subject].setdefault(predicate, []).append(object_value)
+        source = DataSource(name)
+        for uid in order:
+            source.add(
+                Entity(uid, {p: tuple(v) for p, v in values[uid].items()})
+            )
+        return source
+    finally:
+        if owned:
+            handle.close()
+
+
+def save_source_ntriples(
+    source: DataSource,
+    target: str | Path | TextIO,
+    subject_prefix: str = "",
+    predicate_prefix: str = "http://example.org/property/",
+) -> int:
+    """Write a data source as N-Triples with literal objects.
+
+    Entity uids that are not already absolute URIs get
+    ``subject_prefix`` prepended; property names that are not URIs get
+    ``predicate_prefix``. Returns the number of triples written.
+    """
+
+    def as_uri(value: str, prefix: str) -> str:
+        if value.startswith(("http://", "https://", "urn:")):
+            return value
+        return f"{prefix}{value}"
+
+    handle, owned = _open_for_write(target)
+    count = 0
+    try:
+        for entity in source:
+            subject = as_uri(entity.uid, subject_prefix)
+            for name, entity_values in entity.properties.items():
+                predicate = as_uri(name, predicate_prefix)
+                for value in entity_values:
+                    handle.write(
+                        f"<{subject}> <{predicate}> "
+                        f'"{_escape_literal(value)}" .\n'
+                    )
+                    count += 1
+        return count
+    finally:
+        if owned:
+            handle.close()
+
+
+def save_links_ntriples(
+    links: "Iterable[GeneratedLink | Link]",
+    target: str | Path | TextIO,
+    predicate: str = "http://www.w3.org/2002/07/owl#sameAs",
+    uri_prefix_a: str = "",
+    uri_prefix_b: str = "",
+) -> int:
+    """Write links as N-Triples ``<a> owl:sameAs <b> .`` statements —
+    the Linked Data publishing format of the Silk framework. Returns
+    the number of triples written."""
+    handle, owned = _open_for_write(target)
+    count = 0
+    try:
+        for link in links:
+            if hasattr(link, "uid_a"):
+                uid_a, uid_b = link.uid_a, link.uid_b
+            else:
+                uid_a, uid_b = link
+            handle.write(
+                f"<{uri_prefix_a}{uid_a}> <{predicate}> "
+                f"<{uri_prefix_b}{uid_b}> .\n"
+            )
+            count += 1
+        return count
+    finally:
+        if owned:
+            handle.close()

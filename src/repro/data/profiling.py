@@ -1,0 +1,132 @@
+"""Data source profiling: the statistics a rule author needs.
+
+Writing linkage rules by hand requires "detailed knowledge about the
+source data set and the target data set" (Section 1) — which properties
+exist, how densely they are set, how their values look. This module
+computes exactly those statistics for arbitrary data sources; the
+Table 5/6 dataset summaries are one instance of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.source import DataSource
+
+
+@dataclass(frozen=True)
+class PropertyProfile:
+    """Statistics of one property across a data source."""
+
+    name: str
+    #: Fraction of entities with at least one value.
+    coverage: float
+    #: Distinct values / total values — 1.0 means key-like.
+    distinctness: float
+    #: Mean number of values per entity that has the property.
+    values_per_entity: float
+    mean_length: float
+    #: Fraction of values that parse as numbers.
+    numeric_ratio: float
+    example: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: coverage {self.coverage:.0%}, "
+            f"distinct {self.distinctness:.0%}, "
+            f"{self.values_per_entity:.1f} value(s)/entity, "
+            f"mean length {self.mean_length:.1f}"
+        )
+
+
+@dataclass(frozen=True)
+class SourceProfile:
+    """A full profile of one data source."""
+
+    name: str
+    entity_count: int
+    property_count: int
+    #: Mean per-property coverage (the Table 6 "coverage" number).
+    mean_coverage: float
+    properties: tuple[PropertyProfile, ...]
+
+    def property_profile(self, name: str) -> PropertyProfile:
+        for profile in self.properties:
+            if profile.name == name:
+                return profile
+        known = ", ".join(p.name for p in self.properties)
+        raise KeyError(f"no property {name!r}; known: {known}")
+
+    def key_candidates(self, min_coverage: float = 0.9) -> list[str]:
+        """Properties dense and distinct enough to identify entities —
+        the natural first picks for comparisons."""
+        return [
+            profile.name
+            for profile in self.properties
+            if profile.coverage >= min_coverage and profile.distinctness >= 0.9
+        ]
+
+    def render(self) -> str:
+        header = (
+            f"{self.name}: {self.entity_count} entities, "
+            f"{self.property_count} properties, "
+            f"mean coverage {self.mean_coverage:.0%}"
+        )
+        lines = [header, "-" * len(header)]
+        lines.extend(f"  {profile.describe()}" for profile in self.properties)
+        return "\n".join(lines)
+
+
+def _is_number(value: str) -> bool:
+    try:
+        float(value)
+    except ValueError:
+        return False
+    return True
+
+
+def profile_source(source: DataSource, max_example_length: int = 40) -> SourceProfile:
+    """Profile every property of a data source."""
+    entity_count = len(source)
+    names = source.property_names()
+    profiles: list[PropertyProfile] = []
+    for name in names:
+        entities_with = 0
+        all_values: list[str] = []
+        example = ""
+        for entity in source:
+            values = entity.values(name)
+            if not values:
+                continue
+            entities_with += 1
+            all_values.extend(values)
+            if not example:
+                example = values[0][:max_example_length]
+        total = len(all_values)
+        profiles.append(
+            PropertyProfile(
+                name=name,
+                coverage=entities_with / entity_count if entity_count else 0.0,
+                distinctness=len(set(all_values)) / total if total else 0.0,
+                values_per_entity=total / entities_with if entities_with else 0.0,
+                mean_length=(
+                    sum(len(v) for v in all_values) / total if total else 0.0
+                ),
+                numeric_ratio=(
+                    sum(1 for v in all_values if _is_number(v)) / total
+                    if total
+                    else 0.0
+                ),
+                example=example,
+            )
+        )
+    mean_coverage = (
+        sum(p.coverage for p in profiles) / len(profiles) if profiles else 0.0
+    )
+    return SourceProfile(
+        name=source.name,
+        entity_count=entity_count,
+        property_count=len(names),
+        mean_coverage=mean_coverage,
+        properties=tuple(profiles),
+    )

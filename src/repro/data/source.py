@@ -1,0 +1,93 @@
+"""The :class:`DataSource` container.
+
+A data source is a keyed collection of entities sharing (loosely) a
+schema. It provides the property statistics used in Table 6 of the
+paper: the number of distinct properties and their *coverage*, i.e. the
+average fraction of entities on which a property is actually set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.data.entity import Entity
+
+
+class DataSource:
+    """An ordered, uid-keyed collection of entities."""
+
+    def __init__(self, name: str, entities: Iterable[Entity] = ()):
+        self._name = name
+        self._entities: dict[str, Entity] = {}
+        for entity in entities:
+            self.add(entity)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def add(self, entity: Entity) -> None:
+        if entity.uid in self._entities:
+            raise ValueError(f"duplicate entity uid {entity.uid!r} in {self._name!r}")
+        self._entities[entity.uid] = entity
+
+    def get(self, uid: str) -> Entity:
+        try:
+            return self._entities[uid]
+        except KeyError:
+            raise KeyError(f"no entity {uid!r} in data source {self._name!r}")
+
+    def __contains__(self, uid: str) -> bool:
+        return uid in self._entities
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    def __iter__(self) -> Iterator[Entity]:
+        return iter(self._entities.values())
+
+    def uids(self) -> list[str]:
+        return list(self._entities)
+
+    def entities(self) -> list[Entity]:
+        return list(self._entities.values())
+
+    # -- schema statistics (Table 6) ---------------------------------------
+    def property_names(self) -> list[str]:
+        """All property names appearing on any entity, sorted."""
+        names: set[str] = set()
+        for entity in self._entities.values():
+            names.update(entity.property_names())
+        return sorted(names)
+
+    def property_count(self) -> int:
+        return len(self.property_names())
+
+    def coverage(self) -> float:
+        """Average fraction of the schema's properties set per entity.
+
+        This matches the paper's Table 6 definition: "the percentage of
+        properties which are actually set on an entity" on average.
+        """
+        names = self.property_names()
+        if not names or not self._entities:
+            return 0.0
+        total = sum(
+            sum(1 for name in names if entity.has(name))
+            for entity in self._entities.values()
+        )
+        return total / (len(names) * len(self._entities))
+
+    def property_coverage(self) -> Mapping[str, float]:
+        """Per-property fraction of entities on which it is set."""
+        if not self._entities:
+            return {}
+        counts: dict[str, int] = {}
+        for entity in self._entities.values():
+            for name in entity.property_names():
+                counts[name] = counts.get(name, 0) + 1
+        n = len(self._entities)
+        return {name: count / n for name, count in sorted(counts.items())}
+
+    def __repr__(self) -> str:
+        return f"DataSource({self._name!r}, {len(self)} entities)"

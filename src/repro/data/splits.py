@@ -1,0 +1,64 @@
+"""Cross-validation splits over reference link sets.
+
+The paper's protocol (Section 6.1): 10 independent runs, each randomly
+splitting the reference links into 2 folds — one for training, one for
+validation. Splits are stratified so both folds keep the positive /
+negative balance.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.data.reference_links import Link, ReferenceLinkSet
+
+
+def _partition(links: list[Link], folds: int) -> list[list[Link]]:
+    buckets: list[list[Link]] = [[] for _ in range(folds)]
+    for i, link in enumerate(links):
+        buckets[i % folds].append(link)
+    return buckets
+
+
+def cross_validation_folds(
+    links: ReferenceLinkSet,
+    folds: int,
+    rng: random.Random,
+) -> Iterator[tuple[ReferenceLinkSet, ReferenceLinkSet]]:
+    """Yield (train, validation) splits for stratified k-fold CV."""
+    if folds < 2:
+        raise ValueError("need at least 2 folds")
+    positive = list(links.positive)
+    negative = list(links.negative)
+    rng.shuffle(positive)
+    rng.shuffle(negative)
+    pos_buckets = _partition(positive, folds)
+    neg_buckets = _partition(negative, folds)
+    for held_out in range(folds):
+        train_pos = [l for i in range(folds) if i != held_out for l in pos_buckets[i]]
+        train_neg = [l for i in range(folds) if i != held_out for l in neg_buckets[i]]
+        validation = ReferenceLinkSet(pos_buckets[held_out], neg_buckets[held_out])
+        train = ReferenceLinkSet(train_pos, train_neg)
+        yield train, validation
+
+
+def train_validation_split(
+    links: ReferenceLinkSet,
+    rng: random.Random,
+    train_fraction: float = 0.5,
+) -> tuple[ReferenceLinkSet, ReferenceLinkSet]:
+    """A single stratified split (the paper's 2-fold protocol)."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    positive = list(links.positive)
+    negative = list(links.negative)
+    rng.shuffle(positive)
+    rng.shuffle(negative)
+    pos_cut = max(1, round(len(positive) * train_fraction)) if positive else 0
+    neg_cut = max(1, round(len(negative) * train_fraction)) if negative else 0
+    pos_cut = min(pos_cut, max(len(positive) - 1, 0)) if len(positive) > 1 else pos_cut
+    neg_cut = min(neg_cut, max(len(negative) - 1, 0)) if len(negative) > 1 else neg_cut
+    train = ReferenceLinkSet(positive[:pos_cut], negative[:neg_cut])
+    validation = ReferenceLinkSet(positive[pos_cut:], negative[neg_cut:])
+    return train, validation

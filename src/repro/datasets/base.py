@@ -1,0 +1,108 @@
+"""Common dataset container and generator interface."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.data.reference_links import (
+    Link,
+    ReferenceLinkSet,
+    generate_negative_links,
+)
+from repro.data.source import DataSource
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Published statistics of a dataset (Tables 5 and 6)."""
+
+    name: str
+    entities_a: int
+    entities_b: int | None  # None for deduplication datasets
+    positive_links: int
+    properties_a: int
+    properties_b: int | None
+    coverage_a: float
+    coverage_b: float | None
+    description: str = ""
+
+    def scaled(self, scale: float) -> "DatasetSpec":
+        """Spec with entity/link counts scaled down for fast runs."""
+        if not 0.0 < scale <= 1.0:
+            raise ValueError("scale must be in (0, 1]")
+
+        def s(count: int | None) -> int | None:
+            if count is None:
+                return None
+            return max(8, int(round(count * scale)))
+
+        return DatasetSpec(
+            name=self.name,
+            entities_a=s(self.entities_a),
+            entities_b=s(self.entities_b),
+            positive_links=max(6, int(round(self.positive_links * scale))),
+            properties_a=self.properties_a,
+            properties_b=self.properties_b,
+            coverage_a=self.coverage_a,
+            coverage_b=self.coverage_b,
+            description=self.description,
+        )
+
+
+@dataclass
+class LinkageDataset:
+    """A generated dataset: two sources plus reference links.
+
+    For deduplication datasets (Cora, Restaurant) ``source_b`` is the
+    same object as ``source_a``; links then relate entities within the
+    single source.
+    """
+
+    name: str
+    source_a: DataSource
+    source_b: DataSource
+    links: ReferenceLinkSet
+    spec: DatasetSpec
+    description: str = ""
+
+    @property
+    def is_deduplication(self) -> bool:
+        return self.source_a is self.source_b
+
+    def summary(self) -> dict:
+        """Measured statistics in the shape of Tables 5 and 6."""
+        return {
+            "name": self.name,
+            "entities_a": len(self.source_a),
+            "entities_b": None if self.is_deduplication else len(self.source_b),
+            "positive_links": len(self.links.positive),
+            "negative_links": len(self.links.negative),
+            "properties_a": self.source_a.property_count(),
+            "properties_b": (
+                None if self.is_deduplication else self.source_b.property_count()
+            ),
+            "coverage_a": round(self.source_a.coverage(), 2),
+            "coverage_b": (
+                None if self.is_deduplication else round(self.source_b.coverage(), 2)
+            ),
+        }
+
+
+def balanced_links(
+    positive: list[Link],
+    rng: random.Random,
+    extra_negatives: list[Link] | None = None,
+) -> ReferenceLinkSet:
+    """Build a balanced link set: |R-| = |R+| via cross-pairing.
+
+    ``extra_negatives`` lets generators inject curated corner cases
+    (e.g. LinkedMDB's same-title/different-year movie pairs) which count
+    towards the balanced total.
+    """
+    extra = list(extra_negatives or ())
+    needed = max(0, len(positive) - len(extra))
+    generated = generate_negative_links(positive, rng, count=needed)
+    positive_set = set(positive)
+    negatives = [link for link in extra if link not in positive_set] + generated
+    return ReferenceLinkSet(positive, negatives[: len(positive)])

@@ -1,0 +1,60 @@
+"""Filler (distractor) properties for wide-schema datasets.
+
+The RDF datasets of the paper have up to 110 properties of which only a
+handful are useful for matching (Table 6); the rest are what makes the
+unseeded search space huge (Table 14). Filler properties carry values
+that are uncorrelated between matched entities, so comparisons over
+them are useless to the learner — exactly the role the real datasets'
+long-tail properties play.
+"""
+
+from __future__ import annotations
+
+import random
+
+# Disjoint word pools per side: in the real datasets the long-tail
+# properties of the two sources hold unrelated values, so they must not
+# trip Algorithm 2's token-compatibility check across sides.
+_FILLER_WORDS_A = [
+    "alpha", "gamma", "epsilon", "theta", "lambda", "omega", "basalt",
+    "obsidian", "harbor", "glacier", "tundra", "monsoon", "cobalt",
+    "viridian", "ivory", "umber", "cerulean", "magenta",
+]
+_FILLER_WORDS_B = [
+    "betavine", "deltoid", "zetavar", "kapstone", "sigmelle", "quartzen",
+    "granison", "meadowrel", "canyonet", "prairsten", "lagoonal",
+    "zephyrum", "crimsonet", "ambrelle", "sablewick", "ochreval",
+    "indigore", "vermelion",
+]
+
+
+def filler_value(rng: random.Random, side: int = 0) -> str:
+    """A random value that will not correlate across matched entities.
+
+    ``side`` (0 or 1) selects a per-source word pool and number range so
+    cross-side values are never Levenshtein- or numerically compatible.
+    """
+    words = _FILLER_WORDS_A if side == 0 else _FILLER_WORDS_B
+    kind = rng.randrange(3)
+    if kind == 0:
+        return f"{rng.choice(words)} {rng.choice(words)}"
+    if kind == 1:
+        if side == 0:
+            return str(rng.randint(10_000, 99_999))
+        return str(rng.randint(1_000_000, 9_999_999))
+    return "".join(rng.choice("abcdefghijklmnopqrstuvwxyz") for _ in range(8))
+
+
+def add_fillers(
+    record: dict[str, str | tuple[str, ...]],
+    prefix: str,
+    count: int,
+    presence: float,
+    rng: random.Random,
+    side: int = 0,
+) -> None:
+    """Add up to ``count`` filler properties, each present with
+    probability ``presence`` (tunes the Table 6 coverage figures)."""
+    for i in range(count):
+        if rng.random() < presence:
+            record[f"{prefix}{i:03d}"] = filler_value(rng, side=side)

@@ -1,0 +1,160 @@
+"""The LinkedMDB - DBpedia movies dataset.
+
+A small but non-trivial interlinking task (Section 6.2): movies cannot
+be matched by title alone because remakes share titles across years, so
+the reference links deliberately include same-title/different-year
+corner cases as negatives. DBpedia labels are occasionally decorated
+with a "(1994 film)" suffix, release dates are full ISO dates on the
+DBpedia side but bare years in LinkedMDB, and both schemas carry a long
+tail of distractor properties (100 and 46 properties at ~0.4 coverage,
+Table 6). A correct rule therefore combines a (tokenised) title
+comparison with a date comparison — exactly the structure of the
+human-written rule the paper compares against.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.entity import Entity
+from repro.data.source import DataSource
+from repro.datasets import noise, vocab
+from repro.datasets.base import DatasetSpec, LinkageDataset, balanced_links
+from repro.datasets.fillers import add_fillers
+
+SPEC = DatasetSpec(
+    name="linkedmdb",
+    entities_a=199,
+    entities_b=174,
+    positive_links=100,
+    properties_a=100,
+    properties_b=46,
+    coverage_a=0.4,
+    coverage_b=0.4,
+    description="Movies in DBpedia vs. LinkedMDB, with remake corner cases.",
+)
+
+
+def _director_pool(rng: random.Random, size: int = 25) -> list[str]:
+    """A small pool of directors: real directors make many movies, so
+    the director alone can never be a match key."""
+    pool: list[str] = []
+    while len(pool) < size:
+        first, last = vocab.person_name(rng)
+        name = f"{first} {last}"
+        if name not in pool:
+            pool.append(name)
+    return pool
+
+
+def _movie(rng: random.Random, directors: list[str]) -> dict:
+    return {
+        "title": vocab.movie_title(rng),
+        "year": rng.randint(1950, 2011),
+        "month": rng.randint(1, 12),
+        "day": rng.randint(1, 28),
+        "director": rng.choice(directors),
+    }
+
+
+def _dbpedia_record(movie: dict, rng: random.Random) -> dict:
+    label = movie["title"]
+    if noise.maybe(0.08, rng):
+        label = f"{label} ({movie['year']} film)"
+    record: dict = {"label": label}
+    if noise.maybe(0.98, rng):
+        record["releaseDate"] = (
+            f"{movie['year']:04d}-{movie['month']:02d}-{movie['day']:02d}"
+        )
+    if noise.maybe(0.80, rng):
+        record["director"] = movie["director"]
+    if noise.maybe(0.50, rng):
+        record["runtime"] = str(rng.randint(70, 200))
+    add_fillers(record, "dbpFilm", 96, presence=0.38, rng=rng, side=0)
+    return record
+
+
+def _linkedmdb_record(movie: dict, rng: random.Random) -> dict:
+    title = movie["title"]
+    if noise.maybe(0.12, rng):
+        title = title.lower()
+    record: dict = {"title": title}
+    if noise.maybe(0.98, rng):
+        record["initialReleaseDate"] = str(movie["year"])
+    if noise.maybe(0.80, rng):
+        record["director"] = movie["director"]
+    add_fillers(record, "lmdbProp", 43, presence=0.36, rng=rng, side=1)
+    return record
+
+
+def generate(spec: DatasetSpec, seed: int) -> LinkageDataset:
+    """Generate the LinkedMDB dataset at the sizes of ``spec``."""
+    rng = random.Random(seed)
+    dbpedia = DataSource("dbpedia_films")
+    linkedmdb = DataSource("linkedmdb")
+    positive: list[tuple[str, str]] = []
+    corner_negatives: list[tuple[str, str]] = []
+
+    linked = min(spec.positive_links, spec.entities_a, spec.entities_b or 0)
+    directors = _director_pool(rng)
+    a_index = 0
+    b_index = 0
+
+    def add_a(movie: dict) -> str:
+        nonlocal a_index
+        uid = f"dbpfilm:{a_index:04d}"
+        dbpedia.add(Entity(uid, _dbpedia_record(movie, rng)))
+        a_index += 1
+        return uid
+
+    def add_b(movie: dict) -> str:
+        nonlocal b_index
+        uid = f"lmdb:{b_index:04d}"
+        linkedmdb.add(Entity(uid, _linkedmdb_record(movie, rng)))
+        b_index += 1
+        return uid
+
+    remake_target = max(2, linked // 4)
+    movies: list[tuple[str, str, dict]] = []
+    for i in range(linked):
+        movie = _movie(rng, directors)
+        uid_a = add_a(movie)
+        uid_b = add_b(movie)
+        positive.append((uid_a, uid_b))
+        movies.append((uid_a, uid_b, movie))
+        # Remake corner case: same title, clearly different year.
+        if len(corner_negatives) < remake_target and len(dbpedia) < spec.entities_a:
+            remake = dict(movie)
+            remake["year"] = movie["year"] + rng.choice([-1, 1]) * rng.randint(3, 25)
+            remake["year"] = min(max(remake["year"], 1930), 2011)
+            remake["director"] = rng.choice(
+                [d for d in directors if d != movie["director"]]
+            )
+            remake_uid = add_a(remake)
+            corner_negatives.append((remake_uid, uid_b))
+
+    # Same-year, different-title corner cases: these rule out the
+    # degenerate date-only rule just as remakes rule out title-only.
+    same_year_target = max(2, linked // 4)
+    for i, (uid_a, _ub, movie) in enumerate(movies):
+        if len(corner_negatives) >= remake_target + same_year_target:
+            break
+        for other_a, other_b, other in movies[i + 1 :]:
+            if other["year"] == movie["year"] and other["title"] != movie["title"]:
+                corner_negatives.append((uid_a, other_b))
+                break
+
+    while len(dbpedia) < spec.entities_a:
+        add_a(_movie(rng, directors))
+    while len(linkedmdb) < (spec.entities_b or 0):
+        add_b(_movie(rng, directors))
+
+    links = balanced_links(positive, rng, extra_negatives=corner_negatives)
+    return LinkageDataset(
+        name=spec.name,
+        source_a=dbpedia,
+        source_b=linkedmdb,
+        links=links,
+        spec=spec,
+        description=SPEC.description,
+    )

@@ -1,0 +1,145 @@
+"""Noise models: the corruption operators applied by dataset generators.
+
+Each function takes the caller's ``random.Random`` so corruption is
+reproducible. The noise classes mirror the error structure the paper
+describes for its datasets: typos (Levenshtein-correctable), letter-case
+inconsistency (fixed by ``lowerCase``), token reordering (fixed by
+``tokenize`` + jaccard), abbreviations, dropped tokens, diverging value
+formats and URI-wrapping.
+"""
+
+from __future__ import annotations
+
+import random
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+def typo(value: str, rng: random.Random, edits: int = 1) -> str:
+    """Apply ``edits`` random character edits (insert/delete/substitute/swap)."""
+    chars = list(value)
+    for _ in range(edits):
+        if not chars:
+            chars = [rng.choice(_ALPHABET)]
+            continue
+        kind = rng.randrange(4)
+        pos = rng.randrange(len(chars))
+        if kind == 0:  # substitute
+            chars[pos] = rng.choice(_ALPHABET)
+        elif kind == 1:  # delete
+            del chars[pos]
+        elif kind == 2:  # insert
+            chars.insert(pos, rng.choice(_ALPHABET))
+        elif len(chars) >= 2:  # swap adjacent
+            pos = min(pos, len(chars) - 2)
+            chars[pos], chars[pos + 1] = chars[pos + 1], chars[pos]
+    return "".join(chars)
+
+
+def case_noise(value: str, rng: random.Random) -> str:
+    """Randomly recase a value (UPPER / lower / Title)."""
+    kind = rng.randrange(3)
+    if kind == 0:
+        return value.upper()
+    if kind == 1:
+        return value.lower()
+    return value.title()
+
+
+def shuffle_tokens(value: str, rng: random.Random) -> str:
+    """Reorder the whitespace tokens of a value."""
+    tokens = value.split()
+    if len(tokens) < 2:
+        return value
+    rng.shuffle(tokens)
+    return " ".join(tokens)
+
+
+def drop_token(value: str, rng: random.Random) -> str:
+    """Remove one random token (keeps at least one)."""
+    tokens = value.split()
+    if len(tokens) < 2:
+        return value
+    del tokens[rng.randrange(len(tokens))]
+    return " ".join(tokens)
+
+
+def abbreviate_name(first: str, last: str, rng: random.Random) -> str:
+    """Render a person name in one of the formats found in citations."""
+    style = rng.randrange(4)
+    if style == 0:
+        return f"{first} {last}"
+    if style == 1:
+        return f"{first[0]}. {last}"
+    if style == 2:
+        return f"{last}, {first}"
+    return f"{last}, {first[0]}."
+
+
+def author_list(
+    names: list[tuple[str, str]], rng: random.Random
+) -> str:
+    """A citation-style author list with a random separator convention."""
+    rendered = [abbreviate_name(first, last, rng) for first, last in names]
+    separator = rng.choice([", ", " and ", "; "])
+    return separator.join(rendered)
+
+
+def date_format(year: int, month: int, day: int, rng: random.Random) -> str:
+    """Render a date in one of several formats, sometimes year-only."""
+    style = rng.randrange(4)
+    if style == 0:
+        return f"{year:04d}-{month:02d}-{day:02d}"
+    if style == 1:
+        return f"{day:02d}.{month:02d}.{year:04d}"
+    if style == 2:
+        return f"{year}"
+    months = (
+        "January", "February", "March", "April", "May", "June", "July",
+        "August", "September", "October", "November", "December",
+    )
+    return f"{months[month - 1]} {day}, {year}"
+
+
+def coordinate_jitter(
+    lat: float, lon: float, rng: random.Random, max_metres: float = 500.0
+) -> tuple[float, float]:
+    """Perturb a coordinate by up to ``max_metres`` (roughly)."""
+    # ~1 degree latitude ≈ 111 km.
+    max_degrees = max_metres / 111_000.0
+    return (
+        lat + rng.uniform(-max_degrees, max_degrees),
+        lon + rng.uniform(-max_degrees, max_degrees),
+    )
+
+
+def wkt_point(lat: float, lon: float) -> str:
+    """Render a coordinate in WKT (``POINT(lon lat)``) notation."""
+    return f"POINT({lon:.5f} {lat:.5f})"
+
+
+def latlon_pair(lat: float, lon: float) -> str:
+    """Render a coordinate as a ``lat,lon`` pair."""
+    return f"{lat:.5f},{lon:.5f}"
+
+
+def uri_wrap(value: str, prefix: str = "http://dbpedia.org/resource/") -> str:
+    """Encode a label as a Linked Data URI."""
+    return prefix + value.replace(" ", "_")
+
+
+def punctuation_noise(value: str, rng: random.Random) -> str:
+    """Inject or vary punctuation (hyphens/periods) between tokens."""
+    tokens = value.split()
+    if len(tokens) < 2:
+        return value
+    joiner = rng.choice(["-", ". ", " - ", ", "])
+    position = rng.randrange(len(tokens) - 1)
+    head = " ".join(tokens[: position + 1])
+    tail = " ".join(tokens[position + 1 :])
+    return f"{head}{joiner}{tail}"
+
+
+def maybe(probability: float, rng: random.Random) -> bool:
+    """Shorthand for a Bernoulli draw."""
+    return rng.random() < probability

@@ -1,0 +1,131 @@
+"""The Sider - DrugBank interlinking dataset (OAEI 2010).
+
+Sider describes marketed drugs and their side effects with a compact
+8-property schema (coverage 1.0); DrugBank describes approved drugs
+with a wide 79-property schema of which roughly half is set per entity
+(Table 6). Names diverge between the sources — Sider uses lower-case
+generic names, DrugBank title-cased names, frequently decorated with
+salt suffixes ("Metoprolol Tartrate"), plus upper-case synonym lists —
+and CAS registry numbers are only partially present. Matching therefore
+needs a combination of identifier equality and case-normalising name
+comparison, which is why the participating OAEI systems struggled and
+why transformations help (Table 13).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.entity import Entity
+from repro.data.source import DataSource
+from repro.datasets import noise, vocab
+from repro.datasets.base import DatasetSpec, LinkageDataset, balanced_links
+from repro.datasets.fillers import add_fillers, filler_value
+
+SPEC = DatasetSpec(
+    name="sider_drugbank",
+    entities_a=924,
+    entities_b=4772,
+    positive_links=859,
+    properties_a=8,
+    properties_b=79,
+    coverage_a=1.0,
+    coverage_b=0.5,
+    description="Drugs in Sider vs. DrugBank (OAEI 2010 data interlinking).",
+)
+
+_SALTS = ("Tartrate", "Hydrochloride", "Sodium", "Sulfate", "Citrate", "Maleate")
+
+_SIDE_EFFECTS = (
+    "nausea", "headache", "dizziness", "fatigue", "insomnia", "rash",
+    "vomiting", "diarrhea", "constipation", "dry mouth", "drowsiness",
+    "anxiety", "tremor", "palpitations", "hypotension",
+)
+
+
+def _drug(rng: random.Random) -> dict:
+    """Ground truth for one drug shared by both sources."""
+    name = vocab.drug_name(rng)
+    return {
+        "name": name,
+        "cas": vocab.cas_number(rng),
+        "atc": vocab.atc_code(rng),
+        "decorated": noise.maybe(0.35, rng),
+        "salt": rng.choice(_SALTS),
+    }
+
+
+def _sider_record(drug: dict, index: int, rng: random.Random) -> dict:
+    """Sider side: 8 properties, all present (coverage 1.0)."""
+    return {
+        "siderName": drug["name"].lower(),
+        "siderLabel": drug["name"].lower(),
+        "casNumber": drug["cas"],
+        "siderId": f"CID{rng.randint(1, 9_999_999):07d}",
+        "sideEffect": tuple(rng.sample(_SIDE_EFFECTS, 3)),
+        "indication": filler_value(rng, side=0),
+        "frequency": f"{rng.randint(1, 99)}%",
+        "sourceUrl": f"http://sideeffects.embl.de/drugs/{rng.randint(1, 99_999)}",
+    }
+
+
+def _drugbank_record(drug: dict, index: int, rng: random.Random) -> dict:
+    """DrugBank side: wide schema, ~50% coverage."""
+    name = drug["name"].capitalize()
+    if drug["decorated"]:
+        name = f"{name} {drug['salt']}"
+    record: dict = {
+        "drugName": name,
+        "drugbankId": f"DB{rng.randint(1, 99_999):05d}",
+    }
+    if noise.maybe(0.80, rng):
+        # Synonym lists are upper-cased in DrugBank exports; lowerCase
+        # is the transformation that unlocks them.
+        record["synonym"] = (drug["name"].upper(),)
+    if noise.maybe(0.75, rng):
+        record["casNumber"] = drug["cas"]
+    if noise.maybe(0.60, rng):
+        record["atcCode"] = drug["atc"]
+    if noise.maybe(0.70, rng):
+        record["molecularWeight"] = f"{rng.uniform(100, 900):.2f}"
+    add_fillers(record, "dbProp", 73, presence=0.46, rng=rng, side=1)
+    return record
+
+
+def generate(spec: DatasetSpec, seed: int) -> LinkageDataset:
+    """Generate the Sider-DrugBank dataset at the sizes of ``spec``."""
+    rng = random.Random(seed)
+    sider = DataSource("sider")
+    drugbank = DataSource("drugbank")
+    positive: list[tuple[str, str]] = []
+
+    linked = min(spec.positive_links, spec.entities_a, spec.entities_b or 0)
+    for i in range(linked):
+        drug = _drug(rng)
+        uid_a = f"sider:{i:05d}"
+        uid_b = f"drugbank:{i:05d}"
+        sider.add(Entity(uid_a, _sider_record(drug, i, rng)))
+        drugbank.add(Entity(uid_b, _drugbank_record(drug, i, rng)))
+        positive.append((uid_a, uid_b))
+
+    index = linked
+    while len(sider) < spec.entities_a:
+        drug = _drug(rng)
+        sider.add(Entity(f"sider:{index:05d}", _sider_record(drug, index, rng)))
+        index += 1
+    while len(drugbank) < (spec.entities_b or 0):
+        drug = _drug(rng)
+        drugbank.add(
+            Entity(f"drugbank:{index:05d}", _drugbank_record(drug, index, rng))
+        )
+        index += 1
+
+    links = balanced_links(positive, rng)
+    return LinkageDataset(
+        name=spec.name,
+        source_a=sider,
+        source_b=drugbank,
+        links=links,
+        spec=spec,
+        description=SPEC.description,
+    )

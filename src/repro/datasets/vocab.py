@@ -1,0 +1,292 @@
+"""Deterministic vocabularies for the synthetic dataset generators.
+
+Small literal seed lists are expanded combinatorially so generators can
+draw thousands of distinct names without shipping data dumps. All
+sampling is done by the caller's ``random.Random`` so datasets are
+fully reproducible from their seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+FIRST_NAMES = [
+    "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael",
+    "Linda", "William", "Elizabeth", "David", "Barbara", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Christopher",
+    "Nancy", "Daniel", "Lisa", "Matthew", "Betty", "Anthony", "Margaret",
+    "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul",
+    "Emily", "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Dorothy",
+    "Kevin", "Carol", "Brian", "Amanda", "George", "Melissa", "Edward",
+    "Deborah", "Ronald", "Stephanie", "Timothy", "Rebecca", "Jason", "Sharon",
+    "Jeffrey", "Laura", "Ryan", "Cynthia", "Jacob", "Kathleen", "Gary",
+    "Amy", "Nicholas", "Shirley", "Eric", "Angela", "Jonathan", "Helen",
+    "Stephen", "Anna", "Larry", "Brenda", "Justin", "Pamela", "Scott",
+    "Nicole", "Brandon", "Emma", "Benjamin", "Samantha", "Samuel",
+    "Katherine", "Gregory", "Christine", "Frank", "Debra", "Alexander",
+    "Rachel", "Raymond", "Catherine", "Patrick", "Carolyn", "Jack", "Janet",
+    "Dennis", "Ruth", "Jerry", "Maria",
+]
+
+LAST_NAMES = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+    "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+    "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan",
+    "Cooper", "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos",
+    "Kim", "Cox", "Ward", "Richardson", "Watson", "Brooks", "Chavez",
+    "Wood", "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes",
+    "Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long",
+    "Ross", "Foster", "Jimenez",
+]
+
+TITLE_WORDS = [
+    "learning", "adaptive", "distributed", "efficient", "scalable",
+    "probabilistic", "neural", "genetic", "parallel", "incremental",
+    "approximate", "optimal", "robust", "dynamic", "hierarchical",
+    "structured", "statistical", "relational", "semantic", "declarative",
+    "query", "index", "matching", "classification", "clustering",
+    "inference", "retrieval", "integration", "optimization", "estimation",
+    "detection", "recognition", "programming", "networks", "databases",
+    "systems", "models", "algorithms", "methods", "analysis", "records",
+    "entities", "streams", "graphs", "transactions", "caching", "storage",
+    "evaluation", "selection", "extraction", "resolution", "deduplication",
+    "linkage", "schemas", "ontologies", "knowledge", "web", "data",
+]
+
+# (full form, abbreviated form): abbreviations keep the salient tokens,
+# as real citation strings do ("Proc. Very Large Data Bases").
+VENUES = [
+    ("Proceedings of the International Conference on Very Large Data Bases",
+     "Proc. Very Large Data Bases"),
+    ("Proceedings of the ACM SIGMOD International Conference on Management of Data",
+     "Proc. ACM SIGMOD Conf. Management of Data"),
+    ("Proceedings of the International Conference on Machine Learning",
+     "Proc. Int. Conf. Machine Learning"),
+    ("Proceedings of the ACM SIGKDD International Conference on Knowledge Discovery and Data Mining",
+     "Proc. ACM SIGKDD Knowledge Discovery and Data Mining"),
+    ("Proceedings of the International Conference on Data Engineering",
+     "Proc. Int. Conf. Data Engineering"),
+    ("Journal of the American Statistical Association",
+     "J. American Statistical Assoc."),
+    ("IEEE Transactions on Knowledge and Data Engineering",
+     "IEEE Trans. Knowledge and Data Engineering"),
+    ("Artificial Intelligence Journal", "Artificial Intelligence J."),
+    ("Machine Learning Journal", "Machine Learning J."),
+    ("Proceedings of the National Conference on Artificial Intelligence",
+     "Proc. Nat. Conf. Artificial Intelligence"),
+    ("Proceedings of the International Joint Conference on Artificial Intelligence",
+     "Proc. Int. Joint Conf. Artificial Intelligence"),
+    ("Proceedings of the Conference on Neural Information Processing Systems",
+     "Proc. Neural Information Processing Systems"),
+    ("Information Systems", "Information Syst."),
+    ("Data and Knowledge Engineering", "Data and Knowledge Eng."),
+    ("The VLDB Journal", "VLDB Journal"),
+]
+
+CUISINES = [
+    "American", "Italian", "French", "Chinese", "Japanese", "Mexican",
+    "Thai", "Indian", "Greek", "Spanish", "Korean", "Vietnamese",
+    "Mediterranean", "Seafood", "Steakhouse", "Barbecue", "Delicatessen",
+    "Vegetarian", "Cajun", "Continental",
+]
+
+RESTAURANT_WORDS = [
+    "Golden", "Blue", "Royal", "Little", "Grand", "Old", "New", "Silver",
+    "Red", "Green", "Corner", "Garden", "Palace", "House", "Kitchen",
+    "Table", "Bistro", "Grill", "Cafe", "Tavern", "Diner", "Oven",
+    "Harvest", "Spice", "Olive", "Lotus", "Dragon", "Rose", "Pearl",
+    "Anchor", "Lantern", "Orchard", "Willow", "Maple", "Cedar", "Summit",
+]
+
+STREET_NAMES = [
+    "Main", "Oak", "Pine", "Maple", "Cedar", "Elm", "Washington", "Lake",
+    "Hill", "Park", "River", "Spring", "Church", "High", "Center", "Union",
+    "Market", "Broad", "Water", "Franklin", "Highland", "Madison",
+    "Jefferson", "Chestnut", "Walnut", "Sunset", "Railroad", "Mill",
+    "Bridge", "Court",
+]
+
+STREET_TYPES = [
+    ("Street", "St."), ("Avenue", "Ave."), ("Boulevard", "Blvd."),
+    ("Road", "Rd."), ("Drive", "Dr."), ("Lane", "Ln."), ("Place", "Pl."),
+]
+
+US_CITIES = [
+    ("New York", "NY", 40.7128, -74.0060),
+    ("Los Angeles", "CA", 34.0522, -118.2437),
+    ("Chicago", "IL", 41.8781, -87.6298),
+    ("Houston", "TX", 29.7604, -95.3698),
+    ("Phoenix", "AZ", 33.4484, -112.0740),
+    ("Philadelphia", "PA", 39.9526, -75.1652),
+    ("San Antonio", "TX", 29.4241, -98.4936),
+    ("San Diego", "CA", 32.7157, -117.1611),
+    ("Dallas", "TX", 32.7767, -96.7970),
+    ("San Jose", "CA", 37.3382, -121.8863),
+    ("Austin", "TX", 30.2672, -97.7431),
+    ("Columbus", "OH", 39.9612, -82.9988),
+    ("Charlotte", "NC", 35.2271, -80.8431),
+    ("Indianapolis", "IN", 39.7684, -86.1581),
+    ("Seattle", "WA", 47.6062, -122.3321),
+    ("Denver", "CO", 39.7392, -104.9903),
+    ("Boston", "MA", 42.3601, -71.0589),
+    ("Nashville", "TN", 36.1627, -86.7816),
+    ("Portland", "OR", 45.5152, -122.6784),
+    ("Memphis", "TN", 35.1495, -90.0490),
+    ("Springfield", "IL", 39.7817, -89.6501),
+    ("Springfield", "MA", 42.1015, -72.5898),
+    ("Springfield", "MO", 37.2090, -93.2923),
+    ("Franklin", "TN", 35.9251, -86.8689),
+    ("Franklin", "MA", 42.0834, -71.3967),
+    ("Georgetown", "TX", 30.6333, -97.6770),
+    ("Georgetown", "KY", 38.2098, -84.5588),
+    ("Arlington", "TX", 32.7357, -97.1081),
+    ("Arlington", "VA", 38.8816, -77.0910),
+    ("Salem", "OR", 44.9429, -123.0351),
+    ("Salem", "MA", 42.5195, -70.8967),
+]
+
+MOVIE_TITLE_WORDS = [
+    "Night", "Day", "Shadow", "Light", "City", "Return", "Last", "First",
+    "Dark", "Silent", "Broken", "Lost", "Hidden", "Golden", "Iron",
+    "Crimson", "Winter", "Summer", "Storm", "River", "Mountain", "Ocean",
+    "Garden", "Empire", "Kingdom", "Legacy", "Promise", "Secret",
+    "Journey", "Memory", "Echo", "Horizon", "Mirror", "Crossing",
+    "Harvest", "Vengeance", "Redemption", "Paradise", "Fortune", "Destiny",
+]
+
+DRUG_SYLLABLES_START = [
+    "am", "ator", "benz", "carb", "ceft", "cipro", "clo", "dexa", "diaz",
+    "eso", "fluo", "gaba", "halo", "ibu", "keto", "lam", "levo", "met",
+    "nife", "olan", "oxy", "pento", "quin", "rami", "sert", "tetra",
+    "valp", "vera", "warf", "zolp", "predni", "hydro", "chlor", "phen",
+]
+
+DRUG_SYLLABLES_MIDDLE = [
+    "o", "i", "a", "ro", "ta", "xi", "do", "mo", "va", "ni", "co", "lo",
+    "pra", "tri", "flu", "ben", "met", "dra",
+]
+
+DRUG_SYLLABLES_END = [
+    "pril", "statin", "olol", "azepam", "cillin", "mycin", "oxacin",
+    "idine", "amide", "azole", "pine", "zide", "profen", "setron",
+    "mab", "tinib", "parin", "fenac", "triptan", "barbital",
+]
+
+LOCATION_PREFIXES = [
+    "North", "South", "East", "West", "New", "Old", "Upper", "Lower",
+    "Lake", "Mount", "Fort", "Port", "Saint", "Grand",
+]
+
+LOCATION_STEMS = [
+    "field", "ville", "ton", "burg", "ham", "wood", "land", "ford",
+    "haven", "ridge", "brook", "dale", "view", "port", "crest", "shore",
+]
+
+
+def person_name(rng: random.Random) -> tuple[str, str]:
+    """A (first, last) name pair."""
+    return rng.choice(FIRST_NAMES), rng.choice(LAST_NAMES)
+
+
+def paper_title(rng: random.Random, words: int | None = None) -> str:
+    """A synthetic paper title like 'Adaptive Learning of Neural Models'."""
+    count = words if words is not None else rng.randint(4, 8)
+    chosen = rng.sample(TITLE_WORDS, min(count, len(TITLE_WORDS)))
+    connector = rng.choice(["of", "for", "with", "in"])
+    head = " ".join(w.capitalize() for w in chosen[: max(2, count // 2)])
+    tail = " ".join(w.capitalize() for w in chosen[max(2, count // 2) :])
+    if tail:
+        return f"{head} {connector} {tail}"
+    return head
+
+
+def restaurant_name(rng: random.Random) -> str:
+    """Draw a plausible restaurant name."""
+    pattern = rng.randrange(3)
+    if pattern == 0:
+        return f"{rng.choice(RESTAURANT_WORDS)} {rng.choice(RESTAURANT_WORDS)}"
+    if pattern == 1:
+        first, last = person_name(rng)
+        return f"{last}'s {rng.choice(RESTAURANT_WORDS)}"
+    return f"The {rng.choice(RESTAURANT_WORDS)} {rng.choice(RESTAURANT_WORDS)}"
+
+
+def street_address(rng: random.Random) -> tuple[str, str]:
+    """(full form, abbreviated form) of a street address."""
+    number = rng.randint(1, 9999)
+    street = rng.choice(STREET_NAMES)
+    long_type, short_type = rng.choice(STREET_TYPES)
+    return (
+        f"{number} {street} {long_type}",
+        f"{number} {street} {short_type}",
+    )
+
+
+def phone_number(rng: random.Random, area: int | None = None) -> tuple[str, str]:
+    """(dashed form, slash-dotted form) of a US phone number.
+
+    ``area`` pins the area code, letting callers model the fact that
+    phones within one city share area codes (so the area code alone
+    cannot discriminate restaurants).
+    """
+    if area is None:
+        area = rng.randint(200, 989)
+    exchange = rng.randint(200, 999)
+    line = rng.randint(0, 9999)
+    return (
+        f"{area}-{exchange}-{line:04d}",
+        f"{area}/{exchange}.{line:04d}",
+    )
+
+
+def drug_name(rng: random.Random) -> str:
+    """A plausible generic drug name such as 'metoprolol'."""
+    name = rng.choice(DRUG_SYLLABLES_START)
+    if rng.random() < 0.6:
+        name += rng.choice(DRUG_SYLLABLES_MIDDLE)
+    name += rng.choice(DRUG_SYLLABLES_END)
+    return name
+
+
+def movie_title(rng: random.Random) -> str:
+    """Draw a plausible movie title."""
+    pattern = rng.randrange(3)
+    if pattern == 0:
+        return f"The {rng.choice(MOVIE_TITLE_WORDS)}"
+    if pattern == 1:
+        return (
+            f"{rng.choice(MOVIE_TITLE_WORDS)} of the "
+            f"{rng.choice(MOVIE_TITLE_WORDS)}"
+        )
+    return f"{rng.choice(MOVIE_TITLE_WORDS)} {rng.choice(MOVIE_TITLE_WORDS)}"
+
+
+def location_name(rng: random.Random) -> str:
+    """Draw a plausible place name."""
+    pattern = rng.randrange(3)
+    stem = rng.choice(LAST_NAMES) + rng.choice(LOCATION_STEMS)
+    if pattern == 0:
+        return f"{rng.choice(LOCATION_PREFIXES)} {stem.capitalize()}"
+    if pattern == 1:
+        return stem.capitalize()
+    return f"{stem.capitalize()} {rng.choice(['Heights', 'Park', 'Springs', 'Falls'])}"
+
+
+def cas_number(rng: random.Random) -> str:
+    """A CAS-registry-like identifier, e.g. '50-78-2'."""
+    return f"{rng.randint(50, 99999)}-{rng.randint(10, 99)}-{rng.randint(0, 9)}"
+
+
+def atc_code(rng: random.Random) -> str:
+    """An ATC-like drug classification code, e.g. 'C07AB02'."""
+    letter1 = rng.choice("ABCDGHJLMNPRSV")
+    letter2 = rng.choice("ABCDEFGHIJ")
+    letter3 = rng.choice("ABCDEFGHIJ")
+    return f"{letter1}{rng.randint(1, 16):02d}{letter2}{letter3}{rng.randint(1, 99):02d}"

@@ -1,0 +1,72 @@
+"""Common infrastructure for distance measures.
+
+A :class:`DistanceMeasure` maps two value sets to a non-negative float
+distance. ``INFINITE_DISTANCE`` is returned whenever a distance is
+undefined (empty inputs, unparseable values); any comparison operator
+then yields similarity 0 because the distance exceeds every threshold.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+#: Sentinel distance for undefined comparisons. Large but finite so that
+#: arithmetic on it stays well-behaved (no NaNs in score vectors).
+INFINITE_DISTANCE = 1.0e12
+
+
+class DistanceMeasure(ABC):
+    """A distance function between two value sets.
+
+    Subclasses define :meth:`evaluate` and advertise a sensible range of
+    distance thresholds via :attr:`threshold_range`, which the GP's
+    random rule generator samples from (e.g. character edits for
+    Levenshtein, metres for geographic distance).
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    #: Inclusive (low, high) range for sampling random thresholds.
+    threshold_range: tuple[float, float] = (0.0, 1.0)
+
+    @abstractmethod
+    def evaluate(self, values_a: Sequence[str], values_b: Sequence[str]) -> float:
+        """Return the distance between two value sets (>= 0)."""
+
+    def __call__(self, values_a: Sequence[str], values_b: Sequence[str]) -> float:
+        return self.evaluate(values_a, values_b)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def min_over_pairs(
+    values_a: Sequence[str],
+    values_b: Sequence[str],
+    pair_distance: Callable[[str, str], float],
+    max_pairs: int = 256,
+) -> float:
+    """Lift a pairwise distance to value sets via the minimum.
+
+    The minimum over the cross product is the Silk convention: two
+    entities are as close as their closest pair of values. ``max_pairs``
+    bounds the work on pathologically multi-valued properties; values
+    beyond the cap are ignored deterministically (first values win).
+    """
+    if not values_a or not values_b:
+        return INFINITE_DISTANCE
+    best = INFINITE_DISTANCE
+    budget = max_pairs
+    for va in values_a:
+        for vb in values_b:
+            d = pair_distance(va, vb)
+            if d < best:
+                best = d
+                if best == 0.0:
+                    return 0.0
+            budget -= 1
+            if budget <= 0:
+                return best
+    return best

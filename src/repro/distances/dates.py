@@ -1,0 +1,57 @@
+"""Date distance in days (Table 2: ``date``)."""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from typing import Sequence
+
+from repro.distances.base import DistanceMeasure, INFINITE_DISTANCE, min_over_pairs
+
+_FORMATS = (
+    "%Y-%m-%d",
+    "%Y/%m/%d",
+    "%d.%m.%Y",
+    "%d/%m/%Y",
+    "%m/%d/%Y",
+    "%B %d, %Y",
+    "%d %B %Y",
+    "%b %d, %Y",
+)
+
+_YEAR_RE = re.compile(r"^\s*(\d{4})\s*$")
+
+
+def parse_date(value: str) -> _dt.date | None:
+    """Parse a date string; bare years resolve to January 1st."""
+    text = value.strip()
+    year_match = _YEAR_RE.match(text)
+    if year_match is not None:
+        year = int(year_match.group(1))
+        if 1 <= year <= 9999:
+            return _dt.date(year, 1, 1)
+        return None
+    for fmt in _FORMATS:
+        try:
+            return _dt.datetime.strptime(text, fmt).date()
+        except ValueError:
+            continue
+    return None
+
+
+def _pair_distance(a: str, b: str) -> float:
+    da = parse_date(a)
+    db = parse_date(b)
+    if da is None or db is None:
+        return INFINITE_DISTANCE
+    return float(abs((da - db).days))
+
+
+class DateDistance(DistanceMeasure):
+    """Absolute difference between two dates in days."""
+
+    name = "date"
+    threshold_range = (0.0, 730.0)
+
+    def evaluate(self, values_a: Sequence[str], values_b: Sequence[str]) -> float:
+        return min_over_pairs(values_a, values_b, _pair_distance)

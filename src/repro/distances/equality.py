@@ -1,0 +1,27 @@
+"""Exact-equality distance.
+
+A degenerate measure (0 if any value is shared, 1 otherwise) useful for
+identifier properties such as CAS numbers in the drug datasets, and as a
+cheap building block in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.distances.base import DistanceMeasure, INFINITE_DISTANCE
+
+
+class EqualityDistance(DistanceMeasure):
+    """0.0 when the value sets intersect, 1.0 otherwise."""
+
+    name = "equality"
+    threshold_range = (0.0, 0.9)
+
+    def evaluate(self, values_a: Sequence[str], values_b: Sequence[str]) -> float:
+        if not values_a or not values_b:
+            return INFINITE_DISTANCE
+        set_b = set(values_b)
+        if any(v in set_b for v in values_a):
+            return 0.0
+        return 1.0

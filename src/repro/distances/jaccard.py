@@ -1,0 +1,37 @@
+"""Jaccard distance between value sets.
+
+The Jaccard coefficient treats the two value sets themselves as token
+sets: ``|A intersect B| / |A union B|``. The distance is one minus the
+coefficient, so it already lives in [0, 1] and needs no cross-product
+lifting. This is the natural companion of the ``tokenize``
+transformation: tokenising a label first and comparing with Jaccard
+yields order-insensitive matching, one of the paper's motivating
+examples (Section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.distances.base import DistanceMeasure, INFINITE_DISTANCE
+
+
+def jaccard_distance(values_a: Iterable[str], values_b: Iterable[str]) -> float:
+    """1 - |A n B| / |A u B| over the two value sets."""
+    set_a = set(values_a)
+    set_b = set(values_b)
+    if not set_a or not set_b:
+        return INFINITE_DISTANCE
+    intersection = len(set_a & set_b)
+    union = len(set_a | set_b)
+    return 1.0 - intersection / union
+
+
+class JaccardDistance(DistanceMeasure):
+    """Jaccard set distance in [0, 1]."""
+
+    name = "jaccard"
+    threshold_range = (0.1, 1.0)
+
+    def evaluate(self, values_a: Sequence[str], values_b: Sequence[str]) -> float:
+        return jaccard_distance(values_a, values_b)

@@ -1,0 +1,44 @@
+"""Numeric difference distance (Table 2: ``numeric``)."""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from repro.distances.base import DistanceMeasure, INFINITE_DISTANCE, min_over_pairs
+
+_NUMBER_RE = re.compile(r"[-+]?\d+(?:[.,]\d+)?(?:[eE][-+]?\d+)?")
+
+
+def parse_number(value: str) -> float | None:
+    """Extract the first number from a string, or None.
+
+    Accepts both ``.`` and ``,`` decimal separators, a common divergence
+    between data sources (e.g. "3,5 mg" vs "3.5mg").
+    """
+    match = _NUMBER_RE.search(value.strip())
+    if match is None:
+        return None
+    text = match.group(0).replace(",", ".")
+    try:
+        return float(text)
+    except ValueError:  # pragma: no cover - regex should guarantee parse
+        return None
+
+
+def _pair_distance(a: str, b: str) -> float:
+    na = parse_number(a)
+    nb = parse_number(b)
+    if na is None or nb is None:
+        return INFINITE_DISTANCE
+    return abs(na - nb)
+
+
+class NumericDistance(DistanceMeasure):
+    """Absolute numeric difference; unparseable values are infinitely far."""
+
+    name = "numeric"
+    threshold_range = (0.0, 10.0)
+
+    def evaluate(self, values_a: Sequence[str], values_b: Sequence[str]) -> float:
+        return min_over_pairs(values_a, values_b, _pair_distance)

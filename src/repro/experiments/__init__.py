@@ -1,0 +1,40 @@
+"""Experiment harness: the paper's evaluation protocol (Section 6.1).
+
+Every experiment follows the same shape: 10 independent runs, each with
+a random 2-fold split of the reference links, results averaged with
+standard deviation. :mod:`repro.experiments.scale` lets the whole suite
+run at reduced cost (fewer runs, smaller populations, scaled-down
+datasets) while keeping the protocol identical; set ``REPRO_SCALE=paper``
+for the full Table 4 parameters.
+"""
+
+from repro.experiments.aggregate import MeanStd, mean_std
+from repro.experiments.protocol import (
+    CrossValidationResult,
+    IterationAggregate,
+    run_genlink_cross_validation,
+)
+from repro.experiments.figures import (
+    Series,
+    bar_chart,
+    learning_curve_chart,
+    line_chart,
+)
+from repro.experiments.scale import ExperimentScale, current_scale
+from repro.experiments.tables import format_table, format_value
+
+__all__ = [
+    "MeanStd",
+    "mean_std",
+    "CrossValidationResult",
+    "IterationAggregate",
+    "run_genlink_cross_validation",
+    "Series",
+    "bar_chart",
+    "learning_curve_chart",
+    "line_chart",
+    "ExperimentScale",
+    "current_scale",
+    "format_table",
+    "format_value",
+]

@@ -1,0 +1,30 @@
+"""Mean / standard deviation aggregation for repeated runs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class MeanStd:
+    """A mean with its (population) standard deviation."""
+
+    mean: float
+    std: float
+    count: int
+
+    def format(self, digits: int = 3) -> str:
+        """Paper-style rendering: ``0.969 (0.003)``."""
+        return f"{self.mean:.{digits}f} ({self.std:.{digits}f})"
+
+
+def mean_std(values: Iterable[float]) -> MeanStd:
+    """Aggregate values into mean and population standard deviation."""
+    data: Sequence[float] = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot aggregate an empty sequence")
+    mean = sum(data) / len(data)
+    variance = sum((v - mean) ** 2 for v in data) / len(data)
+    return MeanStd(mean=mean, std=math.sqrt(variance), count=len(data))

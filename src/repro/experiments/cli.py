@@ -1,0 +1,260 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Runs any of the paper's experiments from the shell and prints the
+corresponding table, e.g.::
+
+    repro-experiments datasets
+    repro-experiments curve cora
+    repro-experiments representations --datasets cora restaurant
+    REPRO_SCALE=smoke repro-experiments seeding
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.datasets import DATASET_NAMES
+from repro.experiments import drivers
+from repro.experiments.scale import current_scale
+from repro.experiments.tables import format_table
+
+
+def _print_dataset_statistics(args: argparse.Namespace) -> None:
+    rows = drivers.dataset_statistics(seed=args.seed)
+    print(
+        format_table(
+            ["Dataset", "|A|", "|B|", "|R+|", "|R-|", "|A.P|", "|B.P|", "CA", "CB"],
+            [
+                [
+                    r["name"], r["entities_a"], r["entities_b"],
+                    r["positive_links"], r["negative_links"],
+                    r["properties_a"], r["properties_b"],
+                    r["coverage_a"], r["coverage_b"],
+                ]
+                for r in rows
+            ],
+            title="Tables 5 & 6: dataset statistics",
+        )
+    )
+
+
+def _print_learning_curve(args: argparse.Namespace) -> None:
+    result = drivers.learning_curve(args.dataset, seed=args.seed)
+    rows = [
+        [
+            row.iteration,
+            row.seconds.format(1),
+            row.train_f_measure.format(),
+            row.validation_f_measure.format(),
+        ]
+        for row in result.rows
+    ]
+    print(
+        format_table(
+            ["Iter.", "Time in s (σ)", "Train. F1 (σ)", "Val. F1 (σ)"],
+            rows,
+            title=f"Learning curve: {args.dataset} ({result.runs} runs)",
+        )
+    )
+    if args.baseline:
+        reference = drivers.carvalho_reference(args.dataset, seed=args.seed)
+        print(
+            f"Carvalho et al. reference: train "
+            f"{reference.train_f_measure.format()}, validation "
+            f"{reference.validation_f_measure.format()}"
+        )
+
+
+def _print_representations(args: argparse.Namespace) -> None:
+    table = drivers.representation_comparison(tuple(args.datasets), seed=args.seed)
+    rows = [
+        [name] + [table[name][r].format() for r in ("boolean", "linear", "nonlinear", "full")]
+        for name in table
+    ]
+    print(
+        format_table(
+            ["Dataset", "Boolean", "Linear", "Nonlin.", "Full"],
+            rows,
+            title="Table 13: representation comparison (validation F1)",
+        )
+    )
+
+
+def _print_seeding(args: argparse.Namespace) -> None:
+    table = drivers.seeding_comparison(tuple(args.datasets), seed=args.seed)
+    rows = [
+        [name, table[name]["random"].format(), table[name]["seeded"].format()]
+        for name in table
+    ]
+    print(
+        format_table(
+            ["Dataset", "Random", "Seeded"],
+            rows,
+            title="Table 14: initial population F1",
+        )
+    )
+
+
+def _learn_rule(args: argparse.Namespace) -> None:
+    """Learn one rule on a dataset; optionally prune/chart/export it."""
+    import random
+
+    from repro.core.evaluation import PairEvaluator
+    from repro.core.genlink import GenLink, GenLinkConfig
+    from repro.core.pruning import prune_rule
+    from repro.core.serialization import render_rule
+    from repro.data.splits import train_validation_split
+    from repro.datasets import load_dataset
+    from repro.experiments.figures import Series, line_chart
+    from repro.silk import SilkInterlink, silk_config
+
+    scale = current_scale()
+    dataset = load_dataset(
+        args.dataset, seed=args.seed, scale=scale.effective_dataset_scale(0)
+    )
+    rng = random.Random(args.seed)
+    train, validation = train_validation_split(dataset.links, rng)
+    config = GenLinkConfig(
+        population_size=scale.population_size,
+        max_iterations=scale.max_iterations,
+    )
+    result = GenLink(config).learn(
+        dataset.source_a, dataset.source_b, train, validation, rng=rng
+    )
+    rule = result.best_rule
+    final = result.history[-1]
+    print(render_rule(rule, title=f"learned rule ({args.dataset})"))
+    print(
+        f"\ntrain F1 {final.train_f_measure:.3f}, "
+        f"validation F1 {final.validation_f_measure:.3f}, "
+        f"{final.iteration} iteration(s)"
+    )
+
+    if args.prune:
+        pairs, labels = train.labelled_pairs(dataset.source_a, dataset.source_b)
+        pruned = prune_rule(rule, PairEvaluator(pairs), labels)
+        print("\n" + pruned.describe())
+        print(render_rule(pruned.rule, title="pruned rule"))
+        rule = pruned.rule
+
+    if args.chart:
+        iterations = tuple(float(r.iteration) for r in result.history)
+        print()
+        print(
+            line_chart(
+                [
+                    Series(
+                        "train F1",
+                        iterations,
+                        tuple(r.train_f_measure for r in result.history),
+                    ),
+                    Series(
+                        "validation F1",
+                        iterations,
+                        tuple(
+                            r.validation_f_measure
+                            for r in result.history
+                            if r.validation_f_measure is not None
+                        ),
+                    ),
+                ],
+                y_min=0.0,
+                y_max=1.0,
+                title=f"{args.dataset}: F-measure over iterations",
+            )
+        )
+
+    if args.silk:
+        interlink = SilkInterlink(
+            id=args.dataset,
+            rule=rule,
+            source_dataset=dataset.source_a.name,
+            target_dataset=dataset.source_b.name,
+        )
+        print()
+        print(silk_config([interlink]))
+
+
+def _print_crossover(args: argparse.Namespace) -> None:
+    comparisons = drivers.crossover_comparison(tuple(args.datasets), seed=args.seed)
+    for iteration_index in range(2):
+        rows = []
+        for comparison in comparisons:
+            iteration = comparison.iterations[iteration_index]
+            rows.append(
+                [
+                    comparison.dataset,
+                    comparison.subtree[iteration].format(),
+                    comparison.specialised[iteration].format(),
+                ]
+            )
+        iteration = comparisons[0].iterations[iteration_index] if comparisons else 0
+        print(
+            format_table(
+                ["Dataset", "Subtree C.", "Our Approach"],
+                rows,
+                title=f"Table 15: crossover comparison at {iteration} iterations",
+            )
+        )
+        print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``repro-experiments`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the GenLink paper's experiments.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("datasets", help="Tables 5 & 6")
+
+    curve = subparsers.add_parser("curve", help="Tables 7-12")
+    curve.add_argument("dataset", choices=DATASET_NAMES)
+    curve.add_argument(
+        "--baseline", action="store_true", help="also run the Carvalho baseline"
+    )
+
+    for name, help_text in (
+        ("representations", "Table 13"),
+        ("seeding", "Table 14"),
+        ("crossover", "Table 15"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument(
+            "--datasets", nargs="+", choices=DATASET_NAMES,
+            default=list(DATASET_NAMES),
+        )
+
+    learn = subparsers.add_parser(
+        "learn", help="learn one rule on a dataset and inspect it"
+    )
+    learn.add_argument("dataset", choices=DATASET_NAMES)
+    learn.add_argument(
+        "--prune", action="store_true", help="prune the learned rule"
+    )
+    learn.add_argument(
+        "--chart", action="store_true", help="ASCII learning-curve chart"
+    )
+    learn.add_argument(
+        "--silk", action="store_true", help="print a Silk-LSL configuration"
+    )
+
+    args = parser.parse_args(argv)
+    print(f"[scale: {current_scale().name}]")
+    handlers = {
+        "datasets": _print_dataset_statistics,
+        "curve": _print_learning_curve,
+        "representations": _print_representations,
+        "seeding": _print_seeding,
+        "crossover": _print_crossover,
+        "learn": _learn_rule,
+    }
+    handlers[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

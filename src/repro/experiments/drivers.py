@@ -1,0 +1,280 @@
+"""Experiment drivers: one function per paper table / in-text result.
+
+Each driver encapsulates the workload, parameters and measurement loop
+of one experiment and returns structured results; the benchmark suite
+and the CLI format them into the paper's table layouts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.baselines.carvalho import CarvalhoConfig, CarvalhoGP
+from repro.core.crossover import SubtreeCrossover, default_crossover_operators
+from repro.core.fitness import FitnessFunction
+from repro.core.evaluation import PairEvaluator
+from repro.core.genlink import GenLink, GenLinkConfig
+from repro.core.representation import (
+    BOOLEAN,
+    FULL,
+    LINEAR,
+    NONLINEAR,
+    Representation,
+)
+from repro.data.splits import train_validation_split
+from repro.datasets import DATASET_NAMES, dataset_spec, load_dataset
+from repro.datasets.base import LinkageDataset
+from repro.experiments.aggregate import MeanStd, mean_std
+from repro.experiments.protocol import (
+    CrossValidationResult,
+    run_genlink_cross_validation,
+)
+from repro.experiments.scale import ExperimentScale, current_scale
+
+
+def _config_for(
+    scale: ExperimentScale,
+    representation: Representation = FULL,
+    seeding: bool = True,
+) -> GenLinkConfig:
+    return GenLinkConfig(
+        population_size=scale.population_size,
+        max_iterations=scale.max_iterations,
+        representation=representation,
+        seeding=seeding,
+    )
+
+
+def load_scaled(
+    name: str, scale: ExperimentScale, seed: int
+):
+    """Load a dataset at the scale's effective per-dataset size."""
+    spec = dataset_spec(name)
+    effective = scale.effective_dataset_scale(spec.positive_links)
+    return load_dataset(name, seed=seed, scale=effective)
+
+
+# -- Tables 5 & 6 --------------------------------------------------------------
+def dataset_statistics(
+    scale: ExperimentScale | None = None, seed: int = 0
+) -> list[dict]:
+    """Measured statistics of all six datasets (Tables 5 and 6)."""
+    scale = scale if scale is not None else current_scale()
+    rows = []
+    for name in DATASET_NAMES:
+        dataset = load_scaled(name, scale, seed)
+        rows.append(dataset.summary())
+    return rows
+
+
+# -- Tables 7-12: learning curves ---------------------------------------------
+def learning_curve(
+    dataset_name: str,
+    scale: ExperimentScale | None = None,
+    seed: int = 0,
+    representation: Representation = FULL,
+) -> CrossValidationResult:
+    """GenLink learning curve for one dataset (Tables 7-12)."""
+    scale = scale if scale is not None else current_scale()
+    dataset = load_scaled(dataset_name, scale, seed)
+    config = _config_for(scale, representation=representation)
+    return run_genlink_cross_validation(
+        dataset,
+        config,
+        runs=scale.runs,
+        report_iterations=scale.report_iterations,
+        seed=seed,
+    )
+
+
+@dataclass
+class BaselineReference:
+    """Averaged train/validation F1 of the Carvalho et al. baseline."""
+
+    dataset: str
+    train_f_measure: MeanStd
+    validation_f_measure: MeanStd
+
+
+def carvalho_reference(
+    dataset_name: str,
+    scale: ExperimentScale | None = None,
+    seed: int = 0,
+) -> BaselineReference:
+    """The Carvalho et al. GP reference rows of Tables 7 and 8."""
+    scale = scale if scale is not None else current_scale()
+    dataset = load_scaled(dataset_name, scale, seed)
+    config = CarvalhoConfig(
+        population_size=scale.population_size,
+        max_generations=scale.max_iterations,
+    )
+    train_scores = []
+    validation_scores = []
+    for run in range(scale.runs):
+        rng = random.Random((seed * 99_991) + run)
+        train, validation = train_validation_split(dataset.links, rng)
+        learner = CarvalhoGP(config)
+        result = learner.learn(dataset.source_a, dataset.source_b, train, rng=rng)
+        train_scores.append(result.train_f_measure)
+        validation_scores.append(
+            learner.evaluate(result, dataset.source_a, dataset.source_b, validation)
+        )
+    return BaselineReference(
+        dataset=dataset_name,
+        train_f_measure=mean_std(train_scores),
+        validation_f_measure=mean_std(validation_scores),
+    )
+
+
+# -- Table 13: representation comparison ---------------------------------------
+REPRESENTATION_ORDER = (BOOLEAN, LINEAR, NONLINEAR, FULL)
+
+
+def representation_comparison(
+    dataset_names: tuple[str, ...] = DATASET_NAMES,
+    scale: ExperimentScale | None = None,
+    seed: int = 0,
+    at_iteration: int | None = None,
+) -> dict[str, dict[str, MeanStd]]:
+    """Validation F1 per representation (Table 13; paper: round 25).
+
+    Returns ``{dataset: {representation: MeanStd}}``.
+    """
+    scale = scale if scale is not None else current_scale()
+    iteration = (
+        min(at_iteration, scale.max_iterations)
+        if at_iteration is not None
+        else scale.max_iterations
+    )
+    table: dict[str, dict[str, MeanStd]] = {}
+    for name in dataset_names:
+        dataset = load_scaled(name, scale, seed)
+        row: dict[str, MeanStd] = {}
+        for representation in REPRESENTATION_ORDER:
+            result = run_genlink_cross_validation(
+                dataset,
+                _config_for(scale, representation=representation),
+                runs=scale.runs,
+                report_iterations=(iteration,),
+                seed=seed,
+            )
+            row[representation.name] = result.row_at(iteration).validation_f_measure
+        table[name] = row
+    return table
+
+
+# -- Table 14: seeding ----------------------------------------------------------
+def initial_population_f_measure(
+    dataset: LinkageDataset,
+    scale: ExperimentScale,
+    seeding: bool,
+    seed: int,
+) -> MeanStd:
+    """Best-rule F1 of the initial population, averaged over runs.
+
+    The Table 14 measurement: the paper's seeded column matches the
+    iteration-0 rows of its learning-curve tables (e.g. NYT 0.701 vs
+    0.703 in Table 10), i.e. the best rule of the freshly generated
+    population, not the population mean.
+    """
+    run_scores = []
+    for run in range(scale.runs):
+        rng = random.Random((seed * 7_919) + run)
+        train, _validation = train_validation_split(dataset.links, rng)
+        learner = GenLink(_config_for(scale, seeding=seeding))
+        generator = learner.build_generator(
+            dataset.source_a, dataset.source_b, train, rng
+        )
+        population = generator.population(scale.population_size)
+        pairs, labels = train.labelled_pairs(dataset.source_a, dataset.source_b)
+        fitness = FitnessFunction(PairEvaluator(pairs), labels)
+        run_scores.append(max(fitness.f_measure(rule) for rule in population))
+    return mean_std(run_scores)
+
+
+def seeding_comparison(
+    dataset_names: tuple[str, ...] = DATASET_NAMES,
+    scale: ExperimentScale | None = None,
+    seed: int = 0,
+) -> dict[str, dict[str, MeanStd]]:
+    """Random vs seeded initial population F1 (Table 14)."""
+    scale = scale if scale is not None else current_scale()
+    table: dict[str, dict[str, MeanStd]] = {}
+    for name in dataset_names:
+        dataset = load_scaled(name, scale, seed)
+        table[name] = {
+            "random": initial_population_f_measure(
+                dataset, scale, seeding=False, seed=seed
+            ),
+            "seeded": initial_population_f_measure(
+                dataset, scale, seeding=True, seed=seed
+            ),
+        }
+    return table
+
+
+# -- Table 15: crossover operators ----------------------------------------------
+@dataclass
+class CrossoverComparison:
+    """Validation F1 of subtree vs specialised crossover (Table 15)."""
+
+    dataset: str
+    iterations: tuple[int, int]
+    subtree: dict[int, MeanStd] = field(default_factory=dict)
+    specialised: dict[int, MeanStd] = field(default_factory=dict)
+
+
+def crossover_comparison(
+    dataset_names: tuple[str, ...] = DATASET_NAMES,
+    scale: ExperimentScale | None = None,
+    seed: int = 0,
+    iterations: tuple[int, int] = (10, 25),
+) -> list[CrossoverComparison]:
+    """Subtree crossover vs the specialised operators (Table 15)."""
+    scale = scale if scale is not None else current_scale()
+    capped = tuple(min(i, scale.max_iterations) for i in iterations)
+    comparisons = []
+    for name in dataset_names:
+        dataset = load_scaled(name, scale, seed)
+        comparison = CrossoverComparison(dataset=name, iterations=capped)
+        for label, operators in (
+            ("subtree", [SubtreeCrossover()]),
+            ("specialised", default_crossover_operators()),
+        ):
+            config = _config_for(scale)
+            config.max_iterations = max(capped)
+            learner = GenLink(config, crossover_operators=operators)
+            result = run_genlink_cross_validation(
+                dataset,
+                config,
+                runs=scale.runs,
+                report_iterations=capped,
+                seed=seed,
+                learner=learner,
+            )
+            scores = {
+                iteration: result.row_at(iteration).validation_f_measure
+                for iteration in capped
+            }
+            if label == "subtree":
+                comparison.subtree = scores
+            else:
+                comparison.specialised = scores
+        comparisons.append(comparison)
+    return comparisons
+
+
+# -- In-text ablation: Cora without transformations ------------------------------
+def cora_transform_ablation(
+    scale: ExperimentScale | None = None, seed: int = 0
+) -> dict[str, CrossValidationResult]:
+    """Section 6.2: re-running Cora with transformations disabled drops
+    GenLink to roughly the Carvalho et al. numbers."""
+    scale = scale if scale is not None else current_scale()
+    return {
+        "full": learning_curve("cora", scale=scale, seed=seed, representation=FULL),
+        "no_transformations": learning_curve(
+            "cora", scale=scale, seed=seed, representation=NONLINEAR
+        ),
+    }

@@ -1,0 +1,150 @@
+"""Text-mode charts for learning curves and comparisons.
+
+The paper reports its evaluation as tables; for quick inspection (and
+for the examples/CLI) this module renders the same data as ASCII
+charts: :func:`line_chart` plots one or more named series over a
+shared x axis, :func:`learning_curve_chart` adapts a
+:class:`~repro.experiments.protocol.CrossValidationResult`, and
+:func:`bar_chart` compares scalar scores (e.g. Table 13's
+representations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.experiments.protocol import CrossValidationResult
+
+#: Symbols assigned to series, in order.
+_MARKERS = "ox+*#@%&"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named line: parallel x/y vectors."""
+
+    name: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.name!r}: {len(self.x)} x values vs "
+                f"{len(self.y)} y values"
+            )
+        if not self.x:
+            raise ValueError(f"series {self.name!r} is empty")
+
+
+def _scale(value: float, low: float, high: float, size: int) -> int:
+    """Map ``value`` in [low, high] onto a cell index in [0, size-1]."""
+    if high <= low:
+        return 0
+    ratio = (value - low) / (high - low)
+    return min(size - 1, max(0, round(ratio * (size - 1))))
+
+
+def line_chart(
+    series: Sequence[Series],
+    width: int = 60,
+    height: int = 16,
+    y_min: float | None = None,
+    y_max: float | None = None,
+    title: str = "",
+) -> str:
+    """Plot the series on a shared character grid.
+
+    The y range defaults to a snug fit over all series; pass ``y_min``/
+    ``y_max`` (e.g. 0 and 1 for F-measures) to pin it.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 4:
+        raise ValueError("chart must be at least 8x4 characters")
+
+    all_x = [x for s in series for x in s.x]
+    all_y = [y for s in series for y in s.y]
+    x_low, x_high = min(all_x), max(all_x)
+    y_low = y_min if y_min is not None else min(all_y)
+    y_high = y_max if y_max is not None else max(all_y)
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for __ in range(height)]
+    for index, current in enumerate(series):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(current.x, current.y):
+            column = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            grid[row][column] = marker
+
+    label_width = max(len(f"{y_high:.2f}"), len(f"{y_low:.2f}"))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_high:.2f}"
+        elif row_index == height - 1:
+            label = f"{y_low:.2f}"
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_width)} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = f"{x_low:g}".ljust(width - len(f"{x_high:g}")) + f"{x_high:g}"
+    lines.append(" " * label_width + "  " + x_axis)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {s.name}" for i, s in enumerate(series)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def learning_curve_chart(
+    result: CrossValidationResult,
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """Chart a cross-validation result's train/validation F1 curves."""
+    iterations = tuple(float(row.iteration) for row in result.rows)
+    train = Series(
+        "train F1",
+        iterations,
+        tuple(row.train_f_measure.mean for row in result.rows),
+    )
+    validation = Series(
+        "validation F1",
+        iterations,
+        tuple(row.validation_f_measure.mean for row in result.rows),
+    )
+    return line_chart(
+        [train, validation],
+        width=width,
+        height=height,
+        y_min=0.0,
+        y_max=1.0,
+        title=f"{result.dataset}: F-measure over iterations ({result.runs} runs)",
+    )
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    maximum: float | None = None,
+    title: str = "",
+) -> str:
+    """Horizontal bars, one per labelled value (e.g. F1 per system)."""
+    if not values:
+        raise ValueError("need at least one value")
+    peak = maximum if maximum is not None else max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        filled = round(min(max(value, 0.0), peak) / peak * width)
+        bar = "#" * filled + "." * (width - filled)
+        lines.append(f"{label.ljust(label_width)} |{bar}| {value:.3f}")
+    return "\n".join(lines)

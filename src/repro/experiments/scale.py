@@ -1,0 +1,81 @@
+"""Experiment scale presets.
+
+Full paper scale (population 500, 50 iterations, 10 runs, full-size
+datasets, six datasets per table) is CPU-months in pure Python, so the
+benchmark suite defaults to a reduced scale that preserves the
+protocol and the qualitative orderings. Select with the
+``REPRO_SCALE`` environment variable: ``smoke`` (seconds, CI),
+``bench`` (default, minutes per table) or ``paper``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs shared by all experiment drivers."""
+
+    name: str
+    dataset_scale: float      # entity/link count multiplier
+    population_size: int
+    max_iterations: int
+    runs: int
+    #: Iterations at which learning-curve tables report rows.
+    report_iterations: tuple[int, ...]
+    #: Floor on positive link counts: small datasets (LinkedMDB has
+    #: only 100 links) are not scaled below this, otherwise single-link
+    #: noise dominates the aggregates.
+    min_positive_links: int = 0
+
+    def iteration_cap(self, iteration: int) -> int:
+        return min(iteration, self.max_iterations)
+
+    def effective_dataset_scale(self, positive_links: int) -> float:
+        """Per-dataset scale honouring the link floor."""
+        if positive_links <= 0 or self.min_positive_links <= 0:
+            return self.dataset_scale
+        floor = min(1.0, self.min_positive_links / positive_links)
+        return min(1.0, max(self.dataset_scale, floor))
+
+
+SMOKE = ExperimentScale(
+    name="smoke",
+    dataset_scale=0.06,
+    population_size=30,
+    max_iterations=6,
+    runs=1,
+    report_iterations=(0, 2, 4, 6),
+)
+
+BENCH = ExperimentScale(
+    name="bench",
+    dataset_scale=0.20,
+    population_size=100,
+    max_iterations=25,
+    runs=3,
+    report_iterations=(0, 5, 10, 15, 20, 25),
+    min_positive_links=100,
+)
+
+PAPER = ExperimentScale(
+    name="paper",
+    dataset_scale=1.0,
+    population_size=500,
+    max_iterations=50,
+    runs=10,
+    report_iterations=(0, 10, 20, 30, 40, 50),
+)
+
+_SCALES = {scale.name: scale for scale in (SMOKE, BENCH, PAPER)}
+
+
+def current_scale(default: str = "bench") -> ExperimentScale:
+    """The scale selected via ``REPRO_SCALE`` (default: bench)."""
+    name = os.environ.get("REPRO_SCALE", default).lower()
+    if name not in _SCALES:
+        known = ", ".join(sorted(_SCALES))
+        raise ValueError(f"unknown REPRO_SCALE {name!r}; known: {known}")
+    return _SCALES[name]

@@ -1,0 +1,38 @@
+"""Paper-style plain-text table formatting."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_value(value) -> str:
+    """Render one table cell (None -> empty, floats compact)."""
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table like the paper's tables."""
+    rendered_rows = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)

@@ -1,0 +1,39 @@
+"""Rule execution engine: apply linkage rules to whole data sources.
+
+The paper scopes rule *execution* out (Section 3) and refers to the
+MultiBlock engine of the Silk framework; this package provides the
+equivalent substrate: candidate generation via blocking, batch rule
+evaluation and link generation, plus evaluation of generated link sets
+against reference links.
+"""
+
+from repro.matching.blocking import (
+    Blocker,
+    FullIndexBlocker,
+    RuleBlocker,
+    SortedNeighbourhoodBlocker,
+    TokenBlocker,
+)
+from repro.matching.engine import GeneratedLink, MatchingEngine, generate_links
+from repro.matching.evaluation import LinkEvaluation, evaluate_links
+from repro.matching.multiblock import (
+    BlockingQuality,
+    MultiBlocker,
+    blocking_quality,
+)
+
+__all__ = [
+    "Blocker",
+    "FullIndexBlocker",
+    "RuleBlocker",
+    "SortedNeighbourhoodBlocker",
+    "TokenBlocker",
+    "GeneratedLink",
+    "MatchingEngine",
+    "generate_links",
+    "LinkEvaluation",
+    "evaluate_links",
+    "BlockingQuality",
+    "MultiBlocker",
+    "blocking_quality",
+]

@@ -1,0 +1,186 @@
+"""Candidate generation (blocking) strategies.
+
+Evaluating a linkage rule over the full Cartesian product A x B is
+quadratic; blocking prunes the candidate set before rule evaluation.
+Three classic strategies are provided plus a rule-aware blocker that
+derives its keys from the properties a rule actually compares — a
+light-weight stand-in for Silk's MultiBlock [19].
+"""
+
+from __future__ import annotations
+
+import re
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator
+
+from repro.core.nodes import PropertyNode, TransformationNode, ValueNode
+from repro.core.rule import LinkageRule
+from repro.data.entity import Entity
+from repro.data.source import DataSource
+
+CandidatePair = tuple[Entity, Entity]
+
+_TOKEN_RE = re.compile(r"[^\W_]+", re.UNICODE)
+
+
+class Blocker(ABC):
+    """Produces candidate entity pairs from two data sources."""
+
+    @abstractmethod
+    def candidates(
+        self, source_a: DataSource, source_b: DataSource
+    ) -> Iterator[CandidatePair]:
+        """Yield candidate pairs (each pair at most once)."""
+
+    def candidate_count(self, source_a: DataSource, source_b: DataSource) -> int:
+        return sum(1 for _ in self.candidates(source_a, source_b))
+
+
+class FullIndexBlocker(Blocker):
+    """The full Cartesian product — exact but quadratic.
+
+    For deduplication (both sources identical) only unordered pairs
+    ``(i, j)`` with ``i < j`` are produced.
+    """
+
+    def candidates(self, source_a, source_b):
+        if source_a is source_b:
+            entities = source_a.entities()
+            for i, entity_a in enumerate(entities):
+                for entity_b in entities[i + 1 :]:
+                    yield entity_a, entity_b
+            return
+        for entity_a in source_a:
+            for entity_b in source_b:
+                yield entity_a, entity_b
+
+
+def _tokens_of(entity: Entity, properties: Iterable[str]) -> set[str]:
+    tokens: set[str] = set()
+    for name in properties:
+        for value in entity.values(name):
+            tokens.update(t.lower() for t in _TOKEN_RE.findall(value))
+    return tokens
+
+
+class TokenBlocker(Blocker):
+    """Standard token blocking: pairs sharing a token on key properties.
+
+    ``max_block_size`` drops high-frequency tokens (stop words) whose
+    blocks would reintroduce quadratic behaviour.
+    """
+
+    def __init__(
+        self,
+        properties_a: Iterable[str],
+        properties_b: Iterable[str] | None = None,
+        max_block_size: int = 200,
+    ):
+        self._properties_a = list(properties_a)
+        self._properties_b = (
+            list(properties_b) if properties_b is not None else self._properties_a
+        )
+        self._max_block_size = max_block_size
+
+    def candidates(self, source_a, source_b):
+        index: dict[str, list[Entity]] = {}
+        for entity_b in source_b:
+            for token in _tokens_of(entity_b, self._properties_b):
+                index.setdefault(token, []).append(entity_b)
+        dedup = source_a is source_b
+        seen: set[tuple[str, str]] = set()
+        for entity_a in source_a:
+            for token in _tokens_of(entity_a, self._properties_a):
+                block = index.get(token)
+                if block is None or len(block) > self._max_block_size:
+                    continue
+                for entity_b in block:
+                    if dedup:
+                        if entity_a.uid >= entity_b.uid:
+                            continue
+                    elif entity_a.uid == entity_b.uid:
+                        continue
+                    key = (entity_a.uid, entity_b.uid)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield entity_a, entity_b
+
+
+class SortedNeighbourhoodBlocker(Blocker):
+    """Sorted neighbourhood: sort by a key property, slide a window."""
+
+    def __init__(self, key_property: str, window: int = 10):
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        self._key_property = key_property
+        self._window = window
+
+    def _key(self, entity: Entity) -> str:
+        values = entity.values(self._key_property)
+        return values[0].lower() if values else ""
+
+    def candidates(self, source_a, source_b):
+        dedup = source_a is source_b
+        if dedup:
+            ordered = sorted(source_a.entities(), key=self._key)
+            tagged = [(entity, "a") for entity in ordered]
+        else:
+            tagged = sorted(
+                [(entity, "a") for entity in source_a]
+                + [(entity, "b") for entity in source_b],
+                key=lambda pair: self._key(pair[0]),
+            )
+        seen: set[tuple[str, str]] = set()
+        for i, (entity_i, side_i) in enumerate(tagged):
+            for j in range(i + 1, min(i + self._window, len(tagged))):
+                entity_j, side_j = tagged[j]
+                if dedup:
+                    a, b = sorted((entity_i, entity_j), key=lambda e: e.uid)
+                elif side_i == "a" and side_j == "b":
+                    a, b = entity_i, entity_j
+                elif side_i == "b" and side_j == "a":
+                    a, b = entity_j, entity_i
+                else:
+                    continue
+                key = (a.uid, b.uid)
+                if key not in seen:
+                    seen.add(key)
+                    yield a, b
+
+
+def _root_property(node: ValueNode) -> str | None:
+    """The left-most property a value tree reads, if any."""
+    while isinstance(node, TransformationNode):
+        node = node.inputs[0]
+    if isinstance(node, PropertyNode):
+        return node.property_name
+    return None
+
+
+class RuleBlocker(Blocker):
+    """Rule-aware blocking: token-block on the properties the rule
+    compares (the MultiBlock idea, simplified).
+
+    Every comparison contributes its source/target property pair as a
+    blocking key, so any pair the rule could plausibly match shares at
+    least one token on at least one compared property.
+    """
+
+    def __init__(self, rule: LinkageRule, max_block_size: int = 200):
+        properties_a: list[str] = []
+        properties_b: list[str] = []
+        for comparison in rule.comparisons():
+            prop_a = _root_property(comparison.source)
+            prop_b = _root_property(comparison.target)
+            if prop_a is not None and prop_b is not None:
+                properties_a.append(prop_a)
+                properties_b.append(prop_b)
+        if not properties_a:
+            raise ValueError("rule has no property-based comparisons to block on")
+        self._delegate = TokenBlocker(
+            properties_a, properties_b, max_block_size=max_block_size
+        )
+
+    def candidates(self, source_a, source_b):
+        return self._delegate.candidates(source_a, source_b)

@@ -1,0 +1,102 @@
+"""Link generation: evaluate a rule over candidate pairs.
+
+This is the execution path a Silk user runs after learning: blocking
+produces candidates, the rule scores them in batches and every pair at
+or above the 0.5 threshold (Definition 3) becomes a link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.evaluation import PairEvaluator
+from repro.core.rule import MATCH_THRESHOLD, LinkageRule
+from repro.data.entity import Entity
+from repro.data.source import DataSource
+from repro.matching.blocking import Blocker, FullIndexBlocker, RuleBlocker
+
+
+@dataclass(frozen=True)
+class GeneratedLink:
+    """A link produced by executing a rule."""
+
+    uid_a: str
+    uid_b: str
+    score: float
+
+    def as_pair(self) -> tuple[str, str]:
+        return (self.uid_a, self.uid_b)
+
+
+class MatchingEngine:
+    """Executes linkage rules over data sources."""
+
+    def __init__(
+        self,
+        blocker: Blocker | None = None,
+        batch_size: int = 4096,
+        threshold: float = MATCH_THRESHOLD,
+    ):
+        """``blocker=None`` selects rule-aware blocking per executed
+        rule, falling back to the full index for rules without
+        property comparisons."""
+        self._blocker = blocker
+        self._batch_size = batch_size
+        self._threshold = threshold
+
+    def _resolve_blocker(self, rule: LinkageRule) -> Blocker:
+        if self._blocker is not None:
+            return self._blocker
+        try:
+            return RuleBlocker(rule)
+        except ValueError:
+            return FullIndexBlocker()
+
+    def execute(
+        self,
+        rule: LinkageRule,
+        source_a: DataSource,
+        source_b: DataSource,
+    ) -> list[GeneratedLink]:
+        """All links the rule generates between the two sources,
+        sorted by descending score."""
+        links = list(self.iter_links(rule, source_a, source_b))
+        links.sort(key=lambda link: (-link.score, link.uid_a, link.uid_b))
+        return links
+
+    def iter_links(
+        self,
+        rule: LinkageRule,
+        source_a: DataSource,
+        source_b: DataSource,
+    ) -> Iterator[GeneratedLink]:
+        """Stream links batch by batch (memory-bounded)."""
+        blocker = self._resolve_blocker(rule)
+        batch: list[tuple[Entity, Entity]] = []
+        for pair in blocker.candidates(source_a, source_b):
+            batch.append(pair)
+            if len(batch) >= self._batch_size:
+                yield from self._evaluate_batch(rule, batch)
+                batch = []
+        if batch:
+            yield from self._evaluate_batch(rule, batch)
+
+    def _evaluate_batch(
+        self, rule: LinkageRule, batch: list[tuple[Entity, Entity]]
+    ) -> Iterator[GeneratedLink]:
+        evaluator = PairEvaluator(batch)
+        scores = evaluator.scores(rule.root)
+        for (entity_a, entity_b), score in zip(batch, scores):
+            if score >= self._threshold:
+                yield GeneratedLink(entity_a.uid, entity_b.uid, float(score))
+
+
+def generate_links(
+    rule: LinkageRule,
+    source_a: DataSource,
+    source_b: DataSource,
+    blocker: Blocker | None = None,
+) -> list[GeneratedLink]:
+    """Convenience wrapper around :class:`MatchingEngine`."""
+    return MatchingEngine(blocker=blocker).execute(rule, source_a, source_b)

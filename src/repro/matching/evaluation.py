@@ -1,0 +1,59 @@
+"""Evaluating generated link sets against reference links."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.data.reference_links import Link
+from repro.matching.engine import GeneratedLink
+
+
+@dataclass(frozen=True)
+class LinkEvaluation:
+    """Precision / recall / F1 of a generated link set."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def f_measure(self) -> float:
+        p, r = self.precision, self.recall
+        return 2.0 * p * r / (p + r) if (p + r) > 0.0 else 0.0
+
+
+def evaluate_links(
+    generated: Iterable[GeneratedLink | Link],
+    expected_positive: Sequence[Link],
+    symmetric: bool = False,
+) -> LinkEvaluation:
+    """Compare generated links against the full positive link set.
+
+    ``symmetric=True`` treats (a, b) and (b, a) as the same link, which
+    is appropriate for deduplication where pair order is arbitrary.
+    """
+    produced: set[Link] = set()
+    for link in generated:
+        pair = link.as_pair() if isinstance(link, GeneratedLink) else tuple(link)
+        produced.add(pair)
+    expected = {tuple(link) for link in expected_positive}
+    if symmetric:
+        produced = {tuple(sorted(pair)) for pair in produced}
+        expected = {tuple(sorted(pair)) for pair in expected}
+    tp = len(produced & expected)
+    return LinkEvaluation(
+        true_positives=tp,
+        false_positives=len(produced) - tp,
+        false_negatives=len(expected) - tp,
+    )

@@ -1,0 +1,43 @@
+"""Silk Link Discovery Framework interoperability.
+
+The paper implements GenLink inside the Silk framework (Section 6.1,
+Silk 2.5.3), whose linkage rules are written in the Silk Link
+Specification Language (Silk-LSL), an XML dialect. This package
+converts between :class:`repro.core.LinkageRule` trees and Silk-LSL so
+rules learned here can be executed by Silk and hand-written Silk rules
+can be evaluated, pruned or used as seeds here.
+
+* :mod:`repro.silk.lsl` — ``<LinkageRule>`` element conversion,
+* :mod:`repro.silk.config` — full ``<Silk>`` link specification
+  documents (prefixes, data sources, interlinks).
+"""
+
+from repro.silk.lsl import (
+    LslError,
+    rule_from_lsl,
+    rule_from_lsl_element,
+    rule_to_lsl,
+    rule_to_lsl_element,
+)
+from repro.silk.config import (
+    SilkConfig,
+    SilkDataSource,
+    SilkInterlink,
+    SilkPrefix,
+    parse_silk_config,
+    silk_config,
+)
+
+__all__ = [
+    "LslError",
+    "rule_from_lsl",
+    "rule_from_lsl_element",
+    "rule_to_lsl",
+    "rule_to_lsl_element",
+    "SilkConfig",
+    "SilkDataSource",
+    "SilkInterlink",
+    "SilkPrefix",
+    "parse_silk_config",
+    "silk_config",
+]

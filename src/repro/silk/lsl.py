@@ -1,0 +1,326 @@
+"""Silk-LSL ``<LinkageRule>`` serialisation.
+
+Maps the operator tree of Section 3 onto the XML dialect used by Silk
+2.x (the framework the paper's experiments ran on):
+
+* :class:`~repro.core.nodes.ComparisonNode` -> ``<Compare metric=...
+  threshold=... weight=...>`` with exactly two inputs (source, target),
+* :class:`~repro.core.nodes.AggregationNode` -> ``<Aggregate type=...>``,
+* :class:`~repro.core.nodes.TransformationNode` -> ``<TransformInput
+  function=...>`` (parameters become ``<Param>`` children),
+* :class:`~repro.core.nodes.PropertyNode` -> ``<Input path="?a/prop"/>``.
+
+Measure/transformation names are translated to their Silk built-in
+counterparts where one exists (e.g. ``levenshtein`` here is Silk's
+``levenshteinDistance``; ``wmean`` is Silk's ``average``); names without
+a counterpart pass through unchanged, which Silk resolves against its
+plugin registry. Conversion is loss-free: ``rule_from_lsl(rule_to_lsl(
+rule)) == rule`` for every valid rule.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    SimilarityNode,
+    TransformationNode,
+    ValueNode,
+)
+from repro.core.rule import LinkageRule
+
+
+class LslError(ValueError):
+    """Raised when Silk-LSL XML cannot be mapped onto the rule model."""
+
+
+#: Our measure names -> Silk 2.x built-in distance measure ids.
+METRIC_TO_SILK = {
+    "levenshtein": "levenshteinDistance",
+    "normalizedLevenshtein": "levenshtein",
+    "jaccard": "jaccard",
+    "dice": "dice",
+    "jaro": "jaro",
+    "jaroWinkler": "jaroWinkler",
+    "equality": "equality",
+    "numeric": "num",
+    "geographic": "wgs84",
+    "date": "date",
+    "qgrams": "qGrams",
+    "softJaccard": "softjaccard",
+}
+
+SILK_TO_METRIC = {silk: ours for ours, silk in METRIC_TO_SILK.items()}
+
+#: Our transformation names -> Silk 2.x built-in transformation ids.
+TRANSFORM_TO_SILK = {
+    "lowerCase": "lowerCase",
+    "upperCase": "upperCase",
+    "capitalize": "capitalize",
+    "tokenize": "tokenize",
+    "concatenate": "concat",
+    "stripUriPrefix": "stripUriPrefix",
+    "stem": "stem",
+    "replace": "replace",
+}
+
+SILK_TO_TRANSFORM = {silk: ours for ours, silk in TRANSFORM_TO_SILK.items()}
+
+#: Aggregation functions -> Silk ``<Aggregate type>`` values.
+AGGREGATION_TO_SILK = {"min": "min", "max": "max", "wmean": "average"}
+
+SILK_TO_AGGREGATION = {silk: ours for ours, silk in AGGREGATION_TO_SILK.items()}
+
+#: Parameter-name translation per transformation (ours -> Silk).
+_PARAM_TO_SILK = {"replace": {"search": "search", "replacement": "replace"}}
+_PARAM_FROM_SILK = {
+    silk_function: {silk: ours for ours, silk in mapping.items()}
+    for silk_function, mapping in (
+        (TRANSFORM_TO_SILK[function], mapping)
+        for function, mapping in _PARAM_TO_SILK.items()
+    )
+}
+
+
+def _format_number(value: float) -> str:
+    """Thresholds render without a trailing ``.0`` for integral values,
+    matching the style of hand-written Silk configurations."""
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+# -- rule -> LSL --------------------------------------------------------------
+
+
+def _value_to_element(node: ValueNode, variable: str) -> ET.Element:
+    if isinstance(node, PropertyNode):
+        element = ET.Element("Input")
+        element.set("path", f"?{variable}/{node.property_name}")
+        return element
+    assert isinstance(node, TransformationNode)
+    element = ET.Element("TransformInput")
+    element.set(
+        "function", TRANSFORM_TO_SILK.get(node.function, node.function)
+    )
+    param_names = _PARAM_TO_SILK.get(node.function, {})
+    for name, value in node.params:
+        param = ET.SubElement(element, "Param")
+        param.set("name", param_names.get(name, name))
+        param.set("value", value)
+    for child in node.inputs:
+        element.append(_value_to_element(child, variable))
+    return element
+
+
+def _similarity_to_element(
+    node: SimilarityNode, source_var: str, target_var: str
+) -> ET.Element:
+    if isinstance(node, ComparisonNode):
+        element = ET.Element("Compare")
+        element.set("metric", METRIC_TO_SILK.get(node.metric, node.metric))
+        element.set("threshold", _format_number(node.threshold))
+        element.set("weight", str(node.weight))
+        element.append(_value_to_element(node.source, source_var))
+        element.append(_value_to_element(node.target, target_var))
+        return element
+    assert isinstance(node, AggregationNode)
+    element = ET.Element("Aggregate")
+    element.set(
+        "type", AGGREGATION_TO_SILK.get(node.function, node.function)
+    )
+    element.set("weight", str(node.weight))
+    for child in node.operators:
+        element.append(_similarity_to_element(child, source_var, target_var))
+    return element
+
+
+def rule_to_lsl_element(
+    rule: LinkageRule, source_var: str = "a", target_var: str = "b"
+) -> ET.Element:
+    """Convert a rule to a Silk-LSL ``<LinkageRule>`` element."""
+    root = ET.Element("LinkageRule")
+    root.append(_similarity_to_element(rule.root, source_var, target_var))
+    return root
+
+
+def rule_to_lsl(
+    rule: LinkageRule,
+    source_var: str = "a",
+    target_var: str = "b",
+    indent: str = "  ",
+) -> str:
+    """Serialise a rule to pretty-printed Silk-LSL XML text."""
+    element = rule_to_lsl_element(rule, source_var, target_var)
+    ET.indent(element, space=indent)
+    return ET.tostring(element, encoding="unicode")
+
+
+# -- LSL -> rule --------------------------------------------------------------
+
+
+def _parse_path(path: str) -> tuple[str, str]:
+    """Split ``?a/rdfs:label`` into variable and property name."""
+    if not path.startswith("?"):
+        raise LslError(f"input path must start with '?<var>/': {path!r}")
+    variable, separator, property_name = path[1:].partition("/")
+    if not separator or not variable or not property_name:
+        raise LslError(f"malformed input path: {path!r}")
+    return variable, property_name
+
+
+def _value_from_element(element: ET.Element) -> tuple[ValueNode, set[str]]:
+    """Parse a value operator; also return the variables it references."""
+    if element.tag == "Input":
+        path = element.get("path")
+        if path is None:
+            raise LslError("<Input> requires a path attribute")
+        variable, property_name = _parse_path(path)
+        return PropertyNode(property_name), {variable}
+    if element.tag == "TransformInput":
+        silk_function = element.get("function")
+        if silk_function is None:
+            raise LslError("<TransformInput> requires a function attribute")
+        function = SILK_TO_TRANSFORM.get(silk_function, silk_function)
+        params: list[tuple[str, str]] = []
+        inputs: list[ValueNode] = []
+        variables: set[str] = set()
+        param_names = _PARAM_FROM_SILK.get(silk_function, {})
+        for child in element:
+            if child.tag == "Param":
+                name = child.get("name")
+                value = child.get("value")
+                if name is None or value is None:
+                    raise LslError("<Param> requires name and value attributes")
+                params.append((param_names.get(name, name), value))
+            else:
+                node, child_vars = _value_from_element(child)
+                inputs.append(node)
+                variables |= child_vars
+        if not inputs:
+            raise LslError(
+                f"<TransformInput function={silk_function!r}> has no inputs"
+            )
+        node = TransformationNode(
+            function=function,
+            inputs=tuple(inputs),
+            params=tuple(sorted(params)),
+        )
+        return node, variables
+    raise LslError(f"unexpected element <{element.tag}> in value position")
+
+
+def _require_float(element: ET.Element, attribute: str) -> float:
+    raw = element.get(attribute)
+    if raw is None:
+        raise LslError(f"<{element.tag}> requires a {attribute} attribute")
+    try:
+        return float(raw)
+    except ValueError as error:
+        raise LslError(
+            f"<{element.tag}> {attribute}={raw!r} is not a number"
+        ) from error
+
+
+def _weight_of(element: ET.Element) -> int:
+    raw = element.get("weight", "1")
+    try:
+        weight = int(raw)
+    except ValueError as error:
+        raise LslError(f"weight={raw!r} is not an integer") from error
+    if weight < 1:
+        raise LslError(f"weight must be >= 1, got {weight}")
+    return weight
+
+
+def _similarity_from_element(
+    element: ET.Element, source_var: str, target_var: str
+) -> SimilarityNode:
+    if element.tag == "Compare":
+        silk_metric = element.get("metric")
+        if silk_metric is None:
+            raise LslError("<Compare> requires a metric attribute")
+        inputs = [
+            child for child in element if child.tag in ("Input", "TransformInput")
+        ]
+        if len(inputs) != 2:
+            raise LslError(
+                f"<Compare> requires exactly 2 inputs, got {len(inputs)}"
+            )
+        first, first_vars = _value_from_element(inputs[0])
+        second, second_vars = _value_from_element(inputs[1])
+        for variables in (first_vars, second_vars):
+            if len(variables) != 1:
+                raise LslError(
+                    "each comparison input must reference exactly one "
+                    f"variable, got {sorted(variables)}"
+                )
+        # Silk conventionally writes the source input first, but accept
+        # swapped inputs as long as the variables are unambiguous.
+        if first_vars == {source_var} and second_vars == {target_var}:
+            source, target = first, second
+        elif first_vars == {target_var} and second_vars == {source_var}:
+            source, target = second, first
+        else:
+            raise LslError(
+                f"comparison inputs use variables {sorted(first_vars)} / "
+                f"{sorted(second_vars)}; expected {source_var!r} and "
+                f"{target_var!r}"
+            )
+        return ComparisonNode(
+            metric=SILK_TO_METRIC.get(silk_metric, silk_metric),
+            threshold=_require_float(element, "threshold"),
+            source=source,
+            target=target,
+            weight=_weight_of(element),
+        )
+    if element.tag == "Aggregate":
+        silk_type = element.get("type")
+        if silk_type is None:
+            raise LslError("<Aggregate> requires a type attribute")
+        function = SILK_TO_AGGREGATION.get(silk_type)
+        if function is None:
+            known = ", ".join(sorted(SILK_TO_AGGREGATION))
+            raise LslError(
+                f"unsupported aggregation type {silk_type!r}; supported: {known}"
+            )
+        operators = tuple(
+            _similarity_from_element(child, source_var, target_var)
+            for child in element
+            if child.tag in ("Compare", "Aggregate")
+        )
+        if not operators:
+            raise LslError("<Aggregate> has no operators")
+        return AggregationNode(
+            function=function, operators=operators, weight=_weight_of(element)
+        )
+    raise LslError(f"unexpected element <{element.tag}> in similarity position")
+
+
+def rule_from_lsl_element(
+    element: ET.Element, source_var: str = "a", target_var: str = "b"
+) -> LinkageRule:
+    """Parse a ``<LinkageRule>`` element (or a bare similarity element)."""
+    if element.tag == "LinkageRule":
+        children = list(element)
+        if len(children) != 1:
+            raise LslError(
+                f"<LinkageRule> must contain exactly one similarity "
+                f"operator, got {len(children)}"
+            )
+        element = children[0]
+    return LinkageRule(_similarity_from_element(element, source_var, target_var))
+
+
+def rule_from_lsl(
+    text: str, source_var: str = "a", target_var: str = "b"
+) -> LinkageRule:
+    """Parse Silk-LSL XML text into a :class:`LinkageRule`."""
+    try:
+        element = ET.fromstring(text)
+    except ET.ParseError as error:
+        raise LslError(f"not well-formed XML: {error}") from error
+    return rule_from_lsl_element(element, source_var, target_var)

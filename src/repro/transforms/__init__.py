@@ -1,0 +1,47 @@
+"""Value transformations used by transformation operators.
+
+A transformation maps one or more input value sets to a single output
+value set (Definition 6: ``ft : Sigma^n -> Sigma``). The functions of
+Table 1 (lowerCase, tokenize, stripUriPrefix, concatenate) are provided,
+plus the ``stem`` operator appearing in Figure 6 and a few normalisers
+(replace, stripPunctuation, trim) that the complex human-written
+DBpedia-DrugBank rule relies on.
+"""
+
+from repro.transforms.base import Transformation
+from repro.transforms.case import LowerCase, UpperCase, Capitalize
+from repro.transforms.tokenize import Tokenize
+from repro.transforms.uri import StripUriPrefix
+from repro.transforms.concat import Concatenate
+from repro.transforms.stem import PorterStemmer, StemWords, porter_stem
+from repro.transforms.normalize import Replace, StripPunctuation, Trim
+from repro.transforms.reduce import AlphaReduce, NormalizeWhitespace, NumReduce
+from repro.transforms.registry import (
+    TransformationRegistry,
+    default_registry,
+    get_transformation,
+    transformation_names,
+)
+
+__all__ = [
+    "Transformation",
+    "LowerCase",
+    "UpperCase",
+    "Capitalize",
+    "Tokenize",
+    "StripUriPrefix",
+    "Concatenate",
+    "PorterStemmer",
+    "StemWords",
+    "porter_stem",
+    "Replace",
+    "AlphaReduce",
+    "NumReduce",
+    "NormalizeWhitespace",
+    "StripPunctuation",
+    "Trim",
+    "TransformationRegistry",
+    "default_registry",
+    "get_transformation",
+    "transformation_names",
+]

@@ -1,0 +1,34 @@
+"""Common interface for value transformations."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+
+class Transformation(ABC):
+    """A data transformation function over value sets.
+
+    ``arity`` declares how many input value operators the transformation
+    consumes. Most transformations are unary; ``concatenate`` is binary.
+    The GP only builds transformation nodes whose input count equals the
+    declared arity.
+    """
+
+    name: str = "abstract"
+    arity: int = 1
+
+    @abstractmethod
+    def apply(self, inputs: Sequence[tuple[str, ...]]) -> tuple[str, ...]:
+        """Transform the input value sets into a single value set."""
+
+    def __call__(self, inputs: Sequence[tuple[str, ...]]) -> tuple[str, ...]:
+        if len(inputs) != self.arity:
+            raise ValueError(
+                f"{self.name} expects {self.arity} input value set(s), "
+                f"got {len(inputs)}"
+            )
+        return self.apply(inputs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

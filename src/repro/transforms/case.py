@@ -1,0 +1,42 @@
+"""Letter-case transformations (Table 1: ``lowerCase``).
+
+Case normalisation is the canonical example the paper gives for noisy
+data ("iPod" vs "IPOD"); ``upperCase`` and ``capitalize`` round out the
+family so the GP has distinct functions for function crossover to swap.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.transforms.base import Transformation
+
+
+class LowerCase(Transformation):
+    """Convert every value to lower case."""
+
+    name = "lowerCase"
+    arity = 1
+
+    def apply(self, inputs: Sequence[tuple[str, ...]]) -> tuple[str, ...]:
+        return tuple(v.lower() for v in inputs[0])
+
+
+class UpperCase(Transformation):
+    """Convert every value to upper case."""
+
+    name = "upperCase"
+    arity = 1
+
+    def apply(self, inputs: Sequence[tuple[str, ...]]) -> tuple[str, ...]:
+        return tuple(v.upper() for v in inputs[0])
+
+
+class Capitalize(Transformation):
+    """Capitalise the first letter of every word in every value."""
+
+    name = "capitalize"
+    arity = 1
+
+    def apply(self, inputs: Sequence[tuple[str, ...]]) -> tuple[str, ...]:
+        return tuple(" ".join(w.capitalize() for w in v.split()) for v in inputs[0])

@@ -1,0 +1,44 @@
+"""Concatenation of two value operators (Table 1: ``concatenate``).
+
+The paper's motivating example: concatenating ``foaf:firstName`` and
+``foaf:lastName`` makes them comparable to a single ``dbpedia:name``
+property with a character-based measure.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.transforms.base import Transformation
+
+
+class Concatenate(Transformation):
+    """Join the cross product of two value sets with a separator.
+
+    With the (common) single-valued inputs this is a plain string join;
+    with multi-valued inputs every combination is produced so that the
+    correct pairing is always present (the min-over-pairs distance
+    lifting then picks it up). The cross product is capped to protect
+    against degenerate inputs.
+    """
+
+    name = "concatenate"
+    arity = 2
+    max_outputs = 64
+
+    def __init__(self, separator: str = " "):
+        self._separator = separator
+
+    def apply(self, inputs: Sequence[tuple[str, ...]]) -> tuple[str, ...]:
+        first, second = inputs
+        if not first:
+            return tuple(second)
+        if not second:
+            return tuple(first)
+        outputs: list[str] = []
+        for a in first:
+            for b in second:
+                outputs.append(f"{a}{self._separator}{b}")
+                if len(outputs) >= self.max_outputs:
+                    return tuple(outputs)
+        return tuple(outputs)

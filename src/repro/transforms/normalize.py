@@ -1,0 +1,57 @@
+"""Small normalising transformations.
+
+These correspond to the "complex transformations such as replacing
+specific parts of the strings" used by the human-written
+DBpedia-DrugBank rule (Section 6.2).
+"""
+
+from __future__ import annotations
+
+import re
+import string
+from typing import Sequence
+
+from repro.transforms.base import Transformation
+
+_PUNCT_TABLE = str.maketrans("", "", string.punctuation)
+_SPACE_RE = re.compile(r"\s+")
+
+
+class Replace(Transformation):
+    """Replace every occurrence of ``search`` with ``replacement``."""
+
+    name = "replace"
+    arity = 1
+
+    def __init__(self, search: str = "-", replacement: str = " "):
+        if not search:
+            raise ValueError("search string must be non-empty")
+        self._search = search
+        self._replacement = replacement
+
+    def apply(self, inputs: Sequence[tuple[str, ...]]) -> tuple[str, ...]:
+        return tuple(v.replace(self._search, self._replacement) for v in inputs[0])
+
+
+class StripPunctuation(Transformation):
+    """Remove ASCII punctuation and collapse runs of whitespace."""
+
+    name = "stripPunctuation"
+    arity = 1
+
+    def apply(self, inputs: Sequence[tuple[str, ...]]) -> tuple[str, ...]:
+        cleaned = []
+        for value in inputs[0]:
+            text = value.translate(_PUNCT_TABLE)
+            cleaned.append(_SPACE_RE.sub(" ", text).strip())
+        return tuple(cleaned)
+
+
+class Trim(Transformation):
+    """Strip surrounding whitespace from every value."""
+
+    name = "trim"
+    arity = 1
+
+    def apply(self, inputs: Sequence[tuple[str, ...]]) -> tuple[str, ...]:
+        return tuple(v.strip() for v in inputs[0])

@@ -1,0 +1,45 @@
+"""Reducing transformations from the Silk catalogue.
+
+``alphaReduce`` keeps letters only, ``numReduce`` keeps digits only
+(e.g. for comparing phone numbers irrespective of separators),
+``normalizeWhitespace`` collapses runs of whitespace.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from repro.transforms.base import Transformation
+
+_SPACE_RE = re.compile(r"\s+")
+
+
+class AlphaReduce(Transformation):
+    """Remove every non-letter character from every value."""
+
+    name = "alphaReduce"
+    arity = 1
+
+    def apply(self, inputs: Sequence[tuple[str, ...]]) -> tuple[str, ...]:
+        return tuple("".join(c for c in v if c.isalpha()) for v in inputs[0])
+
+
+class NumReduce(Transformation):
+    """Remove every non-digit character from every value."""
+
+    name = "numReduce"
+    arity = 1
+
+    def apply(self, inputs: Sequence[tuple[str, ...]]) -> tuple[str, ...]:
+        return tuple("".join(c for c in v if c.isdigit()) for v in inputs[0])
+
+
+class NormalizeWhitespace(Transformation):
+    """Collapse whitespace runs and trim every value."""
+
+    name = "normalizeWhitespace"
+    arity = 1
+
+    def apply(self, inputs: Sequence[tuple[str, ...]]) -> tuple[str, ...]:
+        return tuple(_SPACE_RE.sub(" ", v).strip() for v in inputs[0])

@@ -1,0 +1,93 @@
+"""Registry mapping transformation names to instances.
+
+Mirrors :mod:`repro.distances.registry`: rules reference transformations
+by name, evaluation resolves them here, and users may register their
+own (see ``examples/custom_operators.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.transforms.base import Transformation
+from repro.transforms.case import Capitalize, LowerCase, UpperCase
+from repro.transforms.concat import Concatenate
+from repro.transforms.normalize import Replace, StripPunctuation, Trim
+from repro.transforms.reduce import AlphaReduce, NormalizeWhitespace, NumReduce
+from repro.transforms.stem import StemWords
+from repro.transforms.tokenize import Tokenize
+from repro.transforms.uri import StripUriPrefix
+
+
+class TransformationRegistry:
+    """Name -> transformation lookup with registration support."""
+
+    def __init__(self) -> None:
+        self._transformations: dict[str, Transformation] = {}
+
+    def register(self, transformation: Transformation) -> None:
+        if not transformation.name or transformation.name == "abstract":
+            raise ValueError("transformation must define a concrete name")
+        self._transformations[transformation.name] = transformation
+
+    def get(self, name: str) -> Transformation:
+        try:
+            return self._transformations[name]
+        except KeyError:
+            known = ", ".join(sorted(self._transformations))
+            raise KeyError(f"unknown transformation {name!r}; known: {known}")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._transformations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._transformations)
+
+    def names(self) -> list[str]:
+        return sorted(self._transformations)
+
+    def unary_names(self) -> list[str]:
+        """Names of single-input transformations (chainable by the GP)."""
+        return sorted(
+            name
+            for name, transformation in self._transformations.items()
+            if transformation.arity == 1
+        )
+
+
+_DEFAULT: TransformationRegistry | None = None
+
+
+def default_registry() -> TransformationRegistry:
+    """The process-wide registry with all built-in transformations."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        registry = TransformationRegistry()
+        for transformation in (
+            LowerCase(),
+            UpperCase(),
+            Capitalize(),
+            Tokenize(),
+            StripUriPrefix(),
+            Concatenate(),
+            StemWords(),
+            Replace(),
+            StripPunctuation(),
+            Trim(),
+            AlphaReduce(),
+            NumReduce(),
+            NormalizeWhitespace(),
+        ):
+            registry.register(transformation)
+        _DEFAULT = registry
+    return _DEFAULT
+
+
+def get_transformation(name: str) -> Transformation:
+    """Convenience lookup in the default registry."""
+    return default_registry().get(name)
+
+
+def transformation_names() -> list[str]:
+    """Names of all built-in transformations."""
+    return default_registry().names()

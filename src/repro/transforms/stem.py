@@ -1,0 +1,195 @@
+"""Porter stemming (the ``stem`` operator of Figure 6).
+
+A compact, dependency-free implementation of the classic Porter (1980)
+algorithm, sufficient for normalising English labels ("computers" /
+"computing" -> "comput"). Follows the five-step structure of the
+original paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.transforms.base import Transformation
+
+_VOWELS = "aeiou"
+
+
+class PorterStemmer:
+    """Stateless Porter stemmer; call :meth:`stem` per word."""
+
+    def stem(self, word: str) -> str:
+        if len(word) <= 2:
+            return word
+        w = word.lower()
+        w = self._step1a(w)
+        w = self._step1b(w)
+        w = self._step1c(w)
+        w = self._step2(w)
+        w = self._step3(w)
+        w = self._step4(w)
+        w = self._step5a(w)
+        w = self._step5b(w)
+        return w
+
+    # -- measure helpers ---------------------------------------------------
+    def _is_consonant(self, word: str, i: int) -> bool:
+        ch = word[i]
+        if ch in _VOWELS:
+            return False
+        if ch == "y":
+            return i == 0 or not self._is_consonant(word, i - 1)
+        return True
+
+    def _measure(self, stem: str) -> int:
+        """Count VC sequences (the 'm' of Porter's paper)."""
+        forms = []
+        for i in range(len(stem)):
+            forms.append("c" if self._is_consonant(stem, i) else "v")
+        collapsed = "".join(forms)
+        # Collapse runs, then count "vc" transitions.
+        run = []
+        for ch in collapsed:
+            if not run or run[-1] != ch:
+                run.append(ch)
+        return "".join(run).count("vc")
+
+    def _contains_vowel(self, stem: str) -> bool:
+        return any(not self._is_consonant(stem, i) for i in range(len(stem)))
+
+    def _ends_double_consonant(self, word: str) -> bool:
+        return (
+            len(word) >= 2
+            and word[-1] == word[-2]
+            and self._is_consonant(word, len(word) - 1)
+        )
+
+    def _ends_cvc(self, word: str) -> bool:
+        if len(word) < 3:
+            return False
+        c1 = self._is_consonant(word, len(word) - 3)
+        v = not self._is_consonant(word, len(word) - 2)
+        c2 = self._is_consonant(word, len(word) - 1)
+        return c1 and v and c2 and word[-1] not in "wxy"
+
+    # -- steps -------------------------------------------------------------
+    def _step1a(self, w: str) -> str:
+        if w.endswith("sses"):
+            return w[:-2]
+        if w.endswith("ies"):
+            return w[:-2]
+        if w.endswith("ss"):
+            return w
+        if w.endswith("s"):
+            return w[:-1]
+        return w
+
+    def _step1b(self, w: str) -> str:
+        if w.endswith("eed"):
+            if self._measure(w[:-3]) > 0:
+                return w[:-1]
+            return w
+        flag = False
+        if w.endswith("ed") and self._contains_vowel(w[:-2]):
+            w = w[:-2]
+            flag = True
+        elif w.endswith("ing") and self._contains_vowel(w[:-3]):
+            w = w[:-3]
+            flag = True
+        if flag:
+            if w.endswith(("at", "bl", "iz")):
+                return w + "e"
+            if self._ends_double_consonant(w) and w[-1] not in "lsz":
+                return w[:-1]
+            if self._measure(w) == 1 and self._ends_cvc(w):
+                return w + "e"
+        return w
+
+    def _step1c(self, w: str) -> str:
+        if w.endswith("y") and self._contains_vowel(w[:-1]):
+            return w[:-1] + "i"
+        return w
+
+    _STEP2_SUFFIXES = (
+        ("ational", "ate"), ("tional", "tion"), ("enci", "ence"),
+        ("anci", "ance"), ("izer", "ize"), ("abli", "able"),
+        ("alli", "al"), ("entli", "ent"), ("eli", "e"), ("ousli", "ous"),
+        ("ization", "ize"), ("ation", "ate"), ("ator", "ate"),
+        ("alism", "al"), ("iveness", "ive"), ("fulness", "ful"),
+        ("ousness", "ous"), ("aliti", "al"), ("iviti", "ive"),
+        ("biliti", "ble"),
+    )
+
+    def _step2(self, w: str) -> str:
+        for suffix, replacement in self._STEP2_SUFFIXES:
+            if w.endswith(suffix):
+                stem = w[: -len(suffix)]
+                if self._measure(stem) > 0:
+                    return stem + replacement
+                return w
+        return w
+
+    _STEP3_SUFFIXES = (
+        ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+        ("ical", "ic"), ("ful", ""), ("ness", ""),
+    )
+
+    def _step3(self, w: str) -> str:
+        for suffix, replacement in self._STEP3_SUFFIXES:
+            if w.endswith(suffix):
+                stem = w[: -len(suffix)]
+                if self._measure(stem) > 0:
+                    return stem + replacement
+                return w
+        return w
+
+    _STEP4_SUFFIXES = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    )
+
+    def _step4(self, w: str) -> str:
+        for suffix in self._STEP4_SUFFIXES:
+            if w.endswith(suffix):
+                stem = w[: -len(suffix)]
+                if self._measure(stem) > 1:
+                    return stem
+                return w
+        if w.endswith("ion") and len(w) > 3 and w[-4] in "st":
+            stem = w[:-3]
+            if self._measure(stem) > 1:
+                return stem
+        return w
+
+    def _step5a(self, w: str) -> str:
+        if w.endswith("e"):
+            stem = w[:-1]
+            m = self._measure(stem)
+            if m > 1 or (m == 1 and not self._ends_cvc(stem)):
+                return stem
+        return w
+
+    def _step5b(self, w: str) -> str:
+        if self._measure(w) > 1 and self._ends_double_consonant(w) and w.endswith("l"):
+            return w[:-1]
+        return w
+
+
+_STEMMER = PorterStemmer()
+
+
+def porter_stem(word: str) -> str:
+    """Stem a single word with the shared stemmer instance."""
+    return _STEMMER.stem(word)
+
+
+class StemWords(Transformation):
+    """Porter-stem every whitespace-separated word of every value."""
+
+    name = "stem"
+    arity = 1
+
+    def apply(self, inputs: Sequence[tuple[str, ...]]) -> tuple[str, ...]:
+        return tuple(
+            " ".join(porter_stem(w) for w in value.split()) for value in inputs[0]
+        )

@@ -1,0 +1,36 @@
+"""Tokenisation (Table 1: ``tokenize``).
+
+Splitting values into tokens turns character-level measures into
+token-level ones: tokenize + jaccard is the paper's recipe for matching
+labels with reordered or partially shared words.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from repro.transforms.base import Transformation
+
+_TOKEN_RE = re.compile(r"[^\W_]+", re.UNICODE)
+
+
+class Tokenize(Transformation):
+    """Split every value into alphanumeric tokens, flattening the result.
+
+    Duplicate tokens are preserved in first-seen order; the output is
+    still a value *set* in the paper's sense (a tuple of strings).
+    """
+
+    name = "tokenize"
+    arity = 1
+
+    def apply(self, inputs: Sequence[tuple[str, ...]]) -> tuple[str, ...]:
+        tokens: list[str] = []
+        seen: set[str] = set()
+        for value in inputs[0]:
+            for token in _TOKEN_RE.findall(value):
+                if token not in seen:
+                    seen.add(token)
+                    tokens.append(token)
+        return tuple(tokens)

@@ -1,0 +1,38 @@
+"""URI prefix stripping (Table 1: ``stripUriPrefix``).
+
+Linked Data identifiers such as ``http://dbpedia.org/resource/Berlin``
+carry the discriminative information in the local part only; stripping
+the prefix (and decoding the common percent/underscore escapes) exposes
+it to string measures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+from urllib.parse import unquote
+
+from repro.transforms.base import Transformation
+
+
+def strip_uri_prefix(value: str) -> str:
+    """Return the local name of a URI-like value, decoded for comparison."""
+    text = value
+    if "://" in text:
+        text = text.rstrip("/#")
+        for separator in ("#", "/"):
+            idx = text.rfind(separator)
+            if idx >= 0:
+                text = text[idx + 1 :]
+                break
+    text = unquote(text)
+    return text.replace("_", " ")
+
+
+class StripUriPrefix(Transformation):
+    """Strip URI prefixes, keeping non-URI values unchanged."""
+
+    name = "stripUriPrefix"
+    arity = 1
+
+    def apply(self, inputs: Sequence[tuple[str, ...]]) -> tuple[str, ...]:
+        return tuple(strip_uri_prefix(v) for v in inputs[0])

@@ -1,0 +1,231 @@
+"""Tests for the decision tree baseline (repro.baselines.decision_tree)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.decision_tree import (
+    DecisionTreeClassifier,
+    DecisionTreeConfig,
+    TreeNode,
+    _best_split,
+    _gini,
+)
+
+
+def separable_data():
+    """One feature cleanly separates the classes at 0.5."""
+    matrix = np.array(
+        [[0.9, 0.1], [0.8, 0.9], [0.7, 0.2], [0.95, 0.5],
+         [0.1, 0.8], [0.2, 0.1], [0.3, 0.9], [0.05, 0.4]]
+    )
+    labels = np.array([True, True, True, True, False, False, False, False])
+    return matrix, labels
+
+
+class TestGini:
+    def test_pure_node_zero(self):
+        assert _gini(5, 0) == 0.0
+        assert _gini(0, 7) == 0.0
+
+    def test_balanced_is_half(self):
+        assert _gini(4, 4) == pytest.approx(0.5)
+
+    def test_empty_is_zero(self):
+        assert _gini(0, 0) == 0.0
+
+
+class TestBestSplit:
+    def test_finds_separating_feature(self):
+        matrix, labels = separable_data()
+        split = _best_split(matrix, labels, min_gain=1e-6)
+        assert split is not None
+        feature, threshold, gain = split
+        assert feature == 0
+        assert 0.3 < threshold < 0.7
+        assert gain == pytest.approx(0.5)
+
+    def test_no_split_on_constant_feature(self):
+        matrix = np.ones((6, 1))
+        labels = np.array([True, False, True, False, True, False])
+        assert _best_split(matrix, labels, min_gain=1e-6) is None
+
+    def test_min_gain_filters_weak_splits(self):
+        matrix, labels = separable_data()
+        assert _best_split(matrix, labels, min_gain=0.9) is None
+
+
+class TestFitPredict:
+    def test_perfect_fit_on_separable_data(self):
+        matrix, labels = separable_data()
+        tree = DecisionTreeClassifier()
+        tree.fit_matrix(matrix, labels)
+        assert (tree.predict_matrix(matrix) == labels).all()
+
+    def test_depth_limit_respected(self):
+        rng = np.random.default_rng(7)
+        matrix = rng.random((64, 3))
+        labels = matrix[:, 0] + matrix[:, 1] * 0.5 > 0.8
+        tree = DecisionTreeClassifier(DecisionTreeConfig(max_depth=2))
+        tree.fit_matrix(matrix, labels)
+        assert tree.root is not None
+        assert tree.root.depth() <= 3  # depth counts nodes, max_depth splits
+
+    def test_pure_training_set_single_leaf(self):
+        matrix = np.random.default_rng(0).random((10, 2))
+        labels = np.ones(10, dtype=bool)
+        tree = DecisionTreeClassifier()
+        tree.fit_matrix(matrix, labels)
+        assert tree.root is not None
+        assert tree.root.is_leaf
+        assert tree.root.prediction
+
+    def test_empty_training_set_raises(self):
+        tree = DecisionTreeClassifier()
+        with pytest.raises(ValueError, match="empty"):
+            tree.fit_matrix(np.zeros((0, 2)), np.zeros(0, dtype=bool))
+
+    def test_shape_mismatch_raises(self):
+        tree = DecisionTreeClassifier()
+        with pytest.raises(ValueError, match="label count"):
+            tree.fit_matrix(np.zeros((3, 2)), np.zeros(2, dtype=bool))
+
+    def test_predict_before_fit_raises(self):
+        tree = DecisionTreeClassifier()
+        with pytest.raises(RuntimeError, match="not trained"):
+            tree.predict_matrix(np.zeros((1, 2)))
+
+
+class TestExplanations:
+    def test_render_mentions_feature_names(self):
+        matrix, labels = separable_data()
+        tree = DecisionTreeClassifier()
+        tree.fit_matrix(matrix, labels, feature_names=["levenshtein(a,b)", "x"])
+        text = tree.render()
+        assert "levenshtein(a,b)" in text
+        assert "MATCH" in text and "NO-MATCH" in text
+
+    def test_positive_paths_form_dnf(self):
+        matrix, labels = separable_data()
+        tree = DecisionTreeClassifier()
+        tree.fit_matrix(matrix, labels, feature_names=["sim", "other"])
+        paths = tree.positive_paths()
+        assert paths, "separable data must yield at least one match path"
+        for path in paths:
+            for name, op, threshold in path:
+                assert op in (">=", "<")
+                assert isinstance(threshold, float)
+        # The separating literal must appear in every positive path.
+        assert all(any(name == "sim" for name, _, __ in path) for path in paths)
+
+    def test_paths_consistent_with_predictions(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.random((40, 2))
+        labels = matrix[:, 0] > 0.6
+        tree = DecisionTreeClassifier()
+        tree.fit_matrix(matrix, labels, feature_names=["a", "b"])
+        predictions = tree.predict_matrix(matrix)
+        paths = tree.positive_paths()
+
+        def path_matches(row) -> bool:
+            names = {"a": 0, "b": 1}
+            for path in paths:
+                if all(
+                    (row[names[n]] >= t) if op == ">=" else (row[names[n]] < t)
+                    for n, op, t in path
+                ):
+                    return True
+            return False
+
+        for i in range(len(matrix)):
+            assert path_matches(matrix[i]) == predictions[i]
+
+
+class TestLearnOnSources:
+    def test_learn_cities(self, city_sources, reference_links=None):
+        from repro.data.reference_links import ReferenceLinkSet
+
+        source_a, source_b = city_sources
+        positive = [
+            ("a:berlin", "b:berlin"),
+            ("a:hamburg", "b:hamburg"),
+            ("a:munich", "b:munich"),
+        ]
+        negative = [
+            ("a:berlin", "b:hamburg"),
+            ("a:hamburg", "b:munich"),
+            ("a:munich", "b:leipzig"),
+            ("a:cologne", "b:berlin"),
+        ]
+        links = ReferenceLinkSet(positive=positive, negative=negative)
+        tree = DecisionTreeClassifier()
+        f1 = tree.learn(source_a, source_b, links, rng=5)
+        assert f1 >= 0.8
+        assert tree.attribute_pairs
+
+
+# -- property-based -----------------------------------------------------------
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    n=st.integers(min_value=4, max_value=60),
+    d=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_tree_never_exceeds_configured_depth(seed, n, d):
+    rng = np.random.default_rng(seed)
+    matrix = rng.random((n, d))
+    labels = rng.random(n) > 0.5
+    if labels.all() or not labels.any():
+        labels[0] = not labels[0]
+    config = DecisionTreeConfig(max_depth=3)
+    tree = DecisionTreeClassifier(config)
+    tree.fit_matrix(matrix, labels)
+    assert tree.root is not None
+    assert tree.root.depth() <= config.max_depth + 1
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    n=st.integers(min_value=4, max_value=50),
+)
+@settings(max_examples=30, deadline=None)
+def test_training_accuracy_beats_majority_class(seed, n):
+    """The tree is at least as accurate as always predicting the
+    majority class on its own training data."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.random((n, 2))
+    labels = matrix[:, 0] > rng.random()
+    if labels.all() or not labels.any():
+        labels[0] = not labels[0]
+    tree = DecisionTreeClassifier()
+    tree.fit_matrix(matrix, labels)
+    predictions = tree.predict_matrix(matrix)
+    accuracy = (predictions == labels).mean()
+    majority = max(labels.mean(), 1.0 - labels.mean())
+    assert accuracy >= majority - 1e-9
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=20, deadline=None)
+def test_node_count_consistent(seed):
+    rng = np.random.default_rng(seed)
+    matrix = rng.random((30, 3))
+    labels = matrix[:, 1] > 0.5
+    if labels.all() or not labels.any():
+        labels[0] = not labels[0]
+    tree = DecisionTreeClassifier()
+    tree.fit_matrix(matrix, labels)
+    root = tree.root
+    assert root is not None
+
+    def count(node: TreeNode) -> int:
+        if node.is_leaf:
+            return 1
+        return 1 + count(node.left) + count(node.right)
+
+    assert count(root) == root.node_count()

@@ -1,0 +1,190 @@
+"""Tests for the Fellegi-Sunter baseline (repro.baselines.fellegi_sunter)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.fellegi_sunter import (
+    FellegiSunterClassifier,
+    FellegiSunterConfig,
+    log_likelihood_ratio,
+)
+
+
+def separable_data():
+    matrix = np.array(
+        [[0.9, 0.2], [0.95, 0.8], [0.85, 0.4], [0.99, 0.6],
+         [0.1, 0.7], [0.2, 0.3], [0.15, 0.9], [0.05, 0.1]]
+    )
+    labels = np.array([True, True, True, True, False, False, False, False])
+    return matrix, labels
+
+
+class TestWeights:
+    def test_log_likelihood_ratio_signs(self):
+        agree, disagree = log_likelihood_ratio(m=0.95, u=0.05)
+        assert agree > 0.0
+        assert disagree < 0.0
+
+    def test_uninformative_indicator_is_zero(self):
+        agree, disagree = log_likelihood_ratio(m=0.5, u=0.5)
+        assert agree == pytest.approx(0.0)
+        assert disagree == pytest.approx(0.0)
+
+    def test_degenerate_probability_raises(self):
+        with pytest.raises(ValueError):
+            log_likelihood_ratio(m=1.0, u=0.1)
+        with pytest.raises(ValueError):
+            log_likelihood_ratio(m=0.9, u=0.0)
+
+    def test_fitted_weights_favor_informative_feature(self):
+        matrix, labels = separable_data()
+        model = FellegiSunterClassifier()
+        model.fit_matrix(matrix, labels)
+        assert model.log_agree is not None
+        # Feature 0 separates, feature 1 does not.
+        assert model.log_agree[0] > model.log_agree[1]
+
+    def test_smoothing_keeps_weights_finite(self):
+        matrix, labels = separable_data()
+        model = FellegiSunterClassifier()
+        model.fit_matrix(matrix, labels)
+        assert model.log_agree is not None and model.log_disagree is not None
+        assert np.isfinite(model.log_agree).all()
+        assert np.isfinite(model.log_disagree).all()
+
+
+class TestFitPredict:
+    def test_perfect_fit_on_separable_data(self):
+        matrix, labels = separable_data()
+        model = FellegiSunterClassifier()
+        model.fit_matrix(matrix, labels)
+        assert (model.predict_matrix(matrix) == labels).all()
+
+    def test_single_class_training_raises(self):
+        matrix = np.random.default_rng(0).random((6, 2))
+        model = FellegiSunterClassifier()
+        with pytest.raises(ValueError, match="matches and non-matches"):
+            model.fit_matrix(matrix, np.ones(6, dtype=bool))
+
+    def test_shape_mismatch_raises(self):
+        model = FellegiSunterClassifier()
+        with pytest.raises(ValueError, match="label count"):
+            model.fit_matrix(np.zeros((3, 2)), np.zeros(4, dtype=bool))
+
+    def test_predict_before_fit_raises(self):
+        model = FellegiSunterClassifier()
+        with pytest.raises(RuntimeError, match="not trained"):
+            model.predict_matrix(np.zeros((1, 2)))
+
+    def test_scores_are_llr_sums(self):
+        matrix, labels = separable_data()
+        config = FellegiSunterConfig(agreement_threshold=0.5)
+        model = FellegiSunterClassifier(config)
+        model.fit_matrix(matrix, labels)
+        scores = model.score_matrix(matrix)
+        assert model.log_agree is not None and model.log_disagree is not None
+        i = 0
+        expected = 0.0
+        for j in range(matrix.shape[1]):
+            if matrix[i, j] >= 0.5:
+                expected += model.log_agree[j]
+            else:
+                expected += model.log_disagree[j]
+        assert scores[i] == pytest.approx(expected)
+
+    def test_agreement_threshold_changes_binarisation(self):
+        matrix, labels = separable_data()
+        strict = FellegiSunterClassifier(
+            FellegiSunterConfig(agreement_threshold=0.97)
+        )
+        strict.fit_matrix(matrix, labels)
+        # Only one row exceeds 0.97 on feature 0, so strict binarisation
+        # weakens the m estimate versus the default threshold.
+        default = FellegiSunterClassifier()
+        default.fit_matrix(matrix, labels)
+        assert strict.log_agree[0] != pytest.approx(default.log_agree[0])
+
+
+class TestLearnOnSources:
+    def test_learn_cities(self, city_sources):
+        from repro.data.reference_links import ReferenceLinkSet
+
+        source_a, source_b = city_sources
+        links = ReferenceLinkSet(
+            positive=[
+                ("a:berlin", "b:berlin"),
+                ("a:hamburg", "b:hamburg"),
+                ("a:munich", "b:munich"),
+            ],
+            negative=[
+                ("a:berlin", "b:hamburg"),
+                ("a:hamburg", "b:munich"),
+                ("a:munich", "b:leipzig"),
+                ("a:cologne", "b:berlin"),
+            ],
+        )
+        model = FellegiSunterClassifier()
+        f1 = model.learn(source_a, source_b, links, rng=5)
+        assert f1 >= 0.8
+        table = model.weight_table()
+        assert "decision threshold" in table
+
+
+# -- property-based -----------------------------------------------------------
+
+
+@given(
+    m=st.floats(min_value=0.01, max_value=0.99),
+    u=st.floats(min_value=0.01, max_value=0.99),
+)
+@settings(max_examples=60, deadline=None)
+def test_weight_ordering_follows_m_vs_u(m, u):
+    agree, disagree = log_likelihood_ratio(m, u)
+    if m > u:
+        assert agree > 0.0 and disagree < 0.0
+    elif m < u:
+        assert agree < 0.0 and disagree > 0.0
+    assert math.isfinite(agree) and math.isfinite(disagree)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=25, deadline=None)
+def test_training_f1_beats_all_positive_predictor(seed):
+    """The chosen decision threshold is at least as good (train F1) as
+    predicting every pair as a match."""
+    from repro.core.fitness import confusion_counts
+
+    rng = np.random.default_rng(seed)
+    matrix = rng.random((40, 3))
+    labels = matrix[:, 0] > 0.5
+    if labels.all() or not labels.any():
+        labels[0] = not labels[0]
+    model = FellegiSunterClassifier()
+    model.fit_matrix(matrix, labels)
+    f1_model = confusion_counts(model.predict_matrix(matrix), labels).f_measure()
+    f1_all = confusion_counts(np.ones_like(labels), labels).f_measure()
+    assert f1_model >= f1_all - 1e-9
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    threshold=st.floats(min_value=0.1, max_value=0.9),
+)
+@settings(max_examples=25, deadline=None)
+def test_scores_deterministic(seed, threshold):
+    rng = np.random.default_rng(seed)
+    matrix = rng.random((20, 2))
+    labels = matrix[:, 0] > 0.5
+    if labels.all() or not labels.any():
+        labels[0] = not labels[0]
+    model = FellegiSunterClassifier(
+        FellegiSunterConfig(agreement_threshold=threshold)
+    )
+    model.fit_matrix(matrix, labels)
+    assert np.array_equal(model.score_matrix(matrix), model.score_matrix(matrix))

@@ -1,0 +1,99 @@
+"""Tests for the repro-experiments command line interface."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+@pytest.fixture(autouse=True)
+def smoke_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "smoke")
+
+
+class TestCli:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        for name in ("cora", "restaurant", "nyt", "linkedmdb"):
+            assert name in output
+
+    def test_curve_command(self, capsys):
+        assert main(["curve", "restaurant"]) == 0
+        output = capsys.readouterr().out
+        assert "Train. F1" in output
+        assert "Iter." in output
+
+    def test_curve_with_baseline(self, capsys):
+        assert main(["curve", "restaurant", "--baseline"]) == 0
+        output = capsys.readouterr().out
+        assert "Carvalho" in output
+
+    def test_curve_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["curve", "unknown_dataset"])
+
+    def test_representations_command(self, capsys):
+        assert main(["representations", "--datasets", "restaurant"]) == 0
+        output = capsys.readouterr().out
+        for column in ("Boolean", "Linear", "Nonlin.", "Full"):
+            assert column in output
+
+    def test_seeding_command(self, capsys):
+        assert main(["seeding", "--datasets", "restaurant"]) == 0
+        output = capsys.readouterr().out
+        assert "Random" in output and "Seeded" in output
+
+    def test_crossover_command(self, capsys):
+        assert main(["crossover", "--datasets", "restaurant"]) == 0
+        output = capsys.readouterr().out
+        assert "Subtree C." in output
+
+    def test_seed_flag(self, capsys):
+        assert main(["--seed", "3", "datasets"]) == 0
+
+    def test_scale_banner(self, capsys):
+        main(["datasets"])
+        assert "[scale: smoke]" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestLearnCommand:
+    def test_learn_prints_rule_and_scores(self, capsys):
+        assert main(["learn", "restaurant"]) == 0
+        output = capsys.readouterr().out
+        assert "learned rule" in output
+        assert "train F1" in output
+
+    def test_learn_with_prune(self, capsys):
+        assert main(["learn", "restaurant", "--prune"]) == 0
+        output = capsys.readouterr().out
+        assert "pruned rule" in output
+        assert "mcc" in output
+
+    def test_learn_with_chart(self, capsys):
+        assert main(["learn", "restaurant", "--chart"]) == 0
+        output = capsys.readouterr().out
+        assert "train F1" in output
+        assert "+---" in output  # the chart's x axis
+
+    def test_learn_with_silk_export(self, capsys):
+        assert main(["learn", "restaurant", "--silk"]) == 0
+        output = capsys.readouterr().out
+        assert "<Silk>" in output
+        assert "<LinkageRule>" in output
+
+    def test_learn_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["learn", "nope"])
+
+    def test_learn_silk_output_reimports(self, capsys):
+        from repro.silk import parse_silk_config
+
+        assert main(["learn", "restaurant", "--silk"]) == 0
+        output = capsys.readouterr().out
+        document = output[output.index("<Silk>"):]
+        config = parse_silk_config(document)
+        assert config.interlink("restaurant").rule is not None

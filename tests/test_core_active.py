@@ -1,0 +1,134 @@
+"""Tests for the active learning extension."""
+
+import random
+
+import pytest
+
+from repro.core.active import (
+    ActiveGenLink,
+    ActiveLearningConfig,
+    oracle_from_links,
+)
+from repro.core.genlink import GenLinkConfig
+from repro.data.entity import Entity
+from repro.data.reference_links import ReferenceLinkSet
+from repro.data.source import DataSource
+
+
+def _task(n: int = 20):
+    source_a = DataSource("A")
+    source_b = DataSource("B")
+    positive = []
+    for i in range(n):
+        source_a.add(Entity(f"a{i}", {"label": f"item number {i:03d}"}))
+        source_b.add(Entity(f"b{i}", {"name": f"ITEM NUMBER {i:03d}"}))
+        positive.append((f"a{i}", f"b{i}"))
+    candidates = [(f"a{i}", f"b{j}") for i in range(n) for j in range(n)
+                  if abs(i - j) <= 3]
+    reference = ReferenceLinkSet(
+        positive, [(f"a{i}", f"b{(i + 2) % n}") for i in range(n)]
+    )
+    return source_a, source_b, positive, candidates, reference
+
+
+def _config(**kwargs) -> ActiveLearningConfig:
+    defaults = dict(
+        max_queries=12,
+        bootstrap_queries=4,
+        committee_size=5,
+        genlink=GenLinkConfig(population_size=20, max_iterations=4),
+    )
+    defaults.update(kwargs)
+    return ActiveLearningConfig(**defaults)
+
+
+class TestActiveGenLink:
+    def test_learns_with_few_queries(self):
+        source_a, source_b, positive, candidates, reference = _task()
+        learner = ActiveGenLink(_config())
+        result = learner.run(
+            source_a, source_b, candidates,
+            oracle_from_links(positive), rng=3, reference=reference,
+        )
+        assert result.f_measure_curve[-1] >= 0.9
+        assert len(result.queries) <= 12
+
+    def test_query_budget_respected(self):
+        source_a, source_b, positive, _candidates, _ = _task()
+        # A dense pool (every pair within distance 1 — one third are
+        # positives) so the bootstrap finds both classes quickly.
+        n = len(positive)
+        dense = [
+            (f"a{i}", f"b{j}")
+            for i in range(n)
+            for j in range(n)
+            if abs(i - j) <= 1
+        ]
+        learner = ActiveGenLink(_config(max_queries=8))
+        result = learner.run(
+            source_a, source_b, dense, oracle_from_links(positive), rng=1
+        )
+        assert len(result.queries) <= 8
+
+    def test_labels_match_oracle(self):
+        source_a, source_b, positive, candidates, _ = _task()
+        learner = ActiveGenLink(_config())
+        result = learner.run(
+            source_a, source_b, candidates, oracle_from_links(positive), rng=2
+        )
+        truth = set(positive)
+        for record in result.queries:
+            assert record.label == (record.link in truth)
+        assert set(result.labelled.positive) <= truth
+
+    def test_queries_are_unique(self):
+        source_a, source_b, positive, candidates, _ = _task()
+        learner = ActiveGenLink(_config())
+        result = learner.run(
+            source_a, source_b, candidates, oracle_from_links(positive), rng=4
+        )
+        links = [record.link for record in result.queries]
+        assert len(links) == len(set(links))
+
+    def test_random_strategy_runs(self):
+        source_a, source_b, positive, candidates, reference = _task()
+        learner = ActiveGenLink(_config(strategy="random"))
+        result = learner.run(
+            source_a, source_b, candidates,
+            oracle_from_links(positive), rng=3, reference=reference,
+        )
+        assert result.f_measure_curve
+
+    def test_pool_too_small_rejected(self):
+        source_a, source_b, positive, candidates, _ = _task()
+        learner = ActiveGenLink(_config(max_queries=10_000))
+        with pytest.raises(ValueError, match="pool"):
+            learner.run(
+                source_a, source_b, candidates[:5], oracle_from_links(positive)
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ActiveLearningConfig(max_queries=0)
+        with pytest.raises(ValueError):
+            ActiveLearningConfig(bootstrap_queries=1)
+        with pytest.raises(ValueError):
+            ActiveLearningConfig(strategy="psychic")
+
+    def test_disagreement_recorded(self):
+        source_a, source_b, positive, candidates, _ = _task()
+        learner = ActiveGenLink(_config())
+        result = learner.run(
+            source_a, source_b, candidates, oracle_from_links(positive), rng=6
+        )
+        assert all(0.0 <= q.disagreement <= 1.0 for q in result.queries)
+
+
+class TestOracleFromLinks:
+    def test_positive_pair(self):
+        oracle = oracle_from_links([("a1", "b1")])
+        assert oracle(Entity("a1", {}), Entity("b1", {}))
+
+    def test_negative_pair(self):
+        oracle = oracle_from_links([("a1", "b1")])
+        assert not oracle(Entity("a1", {}), Entity("b2", {}))

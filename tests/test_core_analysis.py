@@ -1,0 +1,146 @@
+"""Tests for rule simplification and analysis."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import rule_summary, simplify_rule
+from repro.core.compatible import CompatibleProperty
+from repro.core.evaluation import PairEvaluator
+from repro.core.generation import RandomRuleGenerator
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    TransformationNode,
+)
+from repro.core.rule import LinkageRule, validate_tree
+from repro.data.entity import Entity
+
+
+def _cmp(prop="x", metric="levenshtein", threshold=1.0, weight=1):
+    return ComparisonNode(
+        metric, threshold, PropertyNode(prop), PropertyNode(prop), weight=weight
+    )
+
+
+class TestSimplifyRule:
+    def test_duplicate_children_dropped_in_min(self):
+        rule = LinkageRule(AggregationNode("min", (_cmp(), _cmp())))
+        simplified = simplify_rule(rule)
+        assert isinstance(simplified.root, ComparisonNode)
+
+    def test_duplicate_wmean_children_merge_weights(self):
+        rule = LinkageRule(
+            AggregationNode(
+                "wmean", (_cmp(weight=2), _cmp(weight=3), _cmp("y", weight=5))
+            )
+        )
+        simplified = simplify_rule(rule)
+        assert isinstance(simplified.root, AggregationNode)
+        weights = sorted(c.weight for c in simplified.root.operators)
+        assert weights == [5, 5]
+
+    def test_nested_same_function_flattened(self):
+        inner = AggregationNode("max", (_cmp("a"), _cmp("b")))
+        rule = LinkageRule(AggregationNode("max", (inner, _cmp("c"))))
+        simplified = simplify_rule(rule)
+        assert isinstance(simplified.root, AggregationNode)
+        assert len(simplified.root.operators) == 3
+        assert all(
+            isinstance(child, ComparisonNode)
+            for child in simplified.root.operators
+        )
+
+    def test_nested_different_functions_kept(self):
+        inner = AggregationNode("min", (_cmp("a"), _cmp("b")))
+        rule = LinkageRule(AggregationNode("max", (inner, _cmp("c"))))
+        simplified = simplify_rule(rule)
+        assert len(simplified.root.operators) == 2
+
+    def test_wmean_hierarchies_not_flattened(self):
+        inner = AggregationNode("wmean", (_cmp("a"), _cmp("b")))
+        rule = LinkageRule(AggregationNode("wmean", (inner, _cmp("c"))))
+        simplified = simplify_rule(rule)
+        # wmean of wmean is not a flat wmean.
+        assert any(
+            isinstance(child, AggregationNode)
+            for child in simplified.root.operators
+        )
+
+    def test_single_child_aggregation_unwrapped(self):
+        rule = LinkageRule(AggregationNode("min", (_cmp(),)))
+        assert isinstance(simplify_rule(rule).root, ComparisonNode)
+
+    def test_simplified_rule_is_valid(self):
+        rule = LinkageRule(
+            AggregationNode(
+                "max",
+                (AggregationNode("max", (_cmp("a"), _cmp("a"))), _cmp("a")),
+            )
+        )
+        simplified = simplify_rule(rule)
+        validate_tree(simplified.root, expect_similarity=True)
+
+    def test_scores_preserved_on_random_rules(self):
+        """Simplification never changes a rule's score on any pair."""
+        generator = RandomRuleGenerator(
+            [
+                CompatibleProperty("label", "name", "levenshtein"),
+                CompatibleProperty("num", "num2", "numeric"),
+            ],
+            random.Random(5),
+        )
+        pairs = [
+            (
+                Entity(f"a{i}", {"label": f"v{i % 3}", "num": str(i)}),
+                Entity(f"b{i}", {"name": f"v{i % 2}", "num2": str(i % 4)}),
+            )
+            for i in range(8)
+        ]
+        evaluator = PairEvaluator(pairs)
+        for _ in range(60):
+            rule = generator.random_rule()
+            simplified = simplify_rule(rule)
+            before = evaluator.scores(rule.root)
+            after = evaluator.scores(simplified.root)
+            assert np.allclose(before, after), str(rule)
+
+    def test_simplification_never_grows(self):
+        generator = RandomRuleGenerator(
+            [CompatibleProperty("x", "y", "levenshtein")], random.Random(9)
+        )
+        for _ in range(40):
+            rule = generator.random_rule()
+            assert simplify_rule(rule).operator_count() <= rule.operator_count()
+
+
+class TestRuleSummary:
+    def test_counts(self):
+        rule = LinkageRule(
+            AggregationNode(
+                "min",
+                (
+                    ComparisonNode(
+                        "levenshtein",
+                        1.0,
+                        TransformationNode("lowerCase", (PropertyNode("label"),)),
+                        PropertyNode("name"),
+                    ),
+                    _cmp("geo", metric="geographic", threshold=100.0),
+                ),
+            )
+        )
+        summary = rule_summary(rule)
+        assert summary.comparisons == 2
+        assert summary.aggregations == 1
+        assert summary.transformations == 1
+        assert summary.properties == 4
+        assert summary.measures == ("geographic", "levenshtein")
+        assert summary.transformation_functions == ("lowerCase",)
+        assert ("label", "name") in summary.compared_properties
+
+    def test_describe(self):
+        summary = rule_summary(LinkageRule(_cmp()))
+        assert "1 comparison(s)" in summary.describe()

@@ -1,0 +1,91 @@
+"""Tests for the compatible property search (Algorithm 2)."""
+
+import random
+
+import pytest
+
+from repro.core.compatible import CompatibleProperty, find_compatible_properties
+from repro.data.entity import Entity
+from repro.data.source import DataSource
+
+
+def _sources():
+    source_a = DataSource(
+        "A",
+        [
+            Entity("a1", {"label": "Berlin", "pop": "3500000", "junk": "qqqq"}),
+            Entity("a2", {"label": "Hamburg", "pop": "1800000", "junk": "wwww"}),
+            Entity("a3", {"label": "Munich", "pop": "1500000", "junk": "rrrr"}),
+        ],
+    )
+    source_b = DataSource(
+        "B",
+        [
+            Entity("b1", {"name": "berlin", "population": "3500000", "misc": "zz12"}),
+            Entity("b2", {"name": "hamburg", "population": "1800000", "misc": "yy34"}),
+            Entity("b3", {"name": "munich", "population": "1500000", "misc": "xx56"}),
+        ],
+    )
+    links = [("a1", "b1"), ("a2", "b2"), ("a3", "b3")]
+    return source_a, source_b, links
+
+
+class TestFindCompatibleProperties:
+    def test_finds_label_name_pair(self):
+        source_a, source_b, links = _sources()
+        pairs = find_compatible_properties(source_a, source_b, links)
+        assert CompatibleProperty("label", "name", "levenshtein") in pairs
+
+    def test_finds_numeric_pair(self):
+        source_a, source_b, links = _sources()
+        pairs = find_compatible_properties(source_a, source_b, links)
+        measures = {
+            p.measure for p in pairs if (p.source_property, p.target_property)
+            == ("pop", "population")
+        }
+        assert measures  # detected via at least one detector
+
+    def test_junk_properties_excluded(self):
+        source_a, source_b, links = _sources()
+        pairs = find_compatible_properties(source_a, source_b, links)
+        assert not any(
+            p.source_property == "junk" and p.target_property == "misc"
+            for p in pairs
+        )
+
+    def test_geographic_detection(self):
+        source_a = DataSource("A", [Entity("a1", {"geo": "52.52,13.40"})])
+        source_b = DataSource("B", [Entity("b1", {"point": "POINT(13.41 52.53)"})])
+        pairs = find_compatible_properties(source_a, source_b, [("a1", "b1")])
+        assert CompatibleProperty("geo", "point", "geographic") in pairs
+
+    def test_date_detection(self):
+        source_a = DataSource("A", [Entity("a1", {"released": "1994-05-20"})])
+        source_b = DataSource("B", [Entity("b1", {"year": "1994"})])
+        pairs = find_compatible_properties(source_a, source_b, [("a1", "b1")])
+        assert CompatibleProperty("released", "year", "date") in pairs
+
+    def test_empty_links(self):
+        source_a, source_b, _ = _sources()
+        assert find_compatible_properties(source_a, source_b, []) == []
+
+    def test_min_support_filters_spurious_pairs(self):
+        source_a, source_b, links = _sources()
+        # With min_support of 100% every pair must hold on all links.
+        pairs = find_compatible_properties(
+            source_a, source_b, links, min_support=1.0
+        )
+        assert CompatibleProperty("label", "name", "levenshtein") in pairs
+
+    def test_max_links_sampling(self):
+        source_a, source_b, links = _sources()
+        pairs = find_compatible_properties(
+            source_a, source_b, links, max_links=1, rng=random.Random(0)
+        )
+        assert pairs  # still finds the label pair from a single link
+
+    def test_ranked_by_support(self):
+        source_a, source_b, links = _sources()
+        pairs = find_compatible_properties(source_a, source_b, links)
+        # label/name holds on all three links and should rank first.
+        assert pairs[0].source_property == "label"

@@ -1,0 +1,325 @@
+"""Tests for the specialised crossover operators (Section 5.3)."""
+
+import random
+
+import pytest
+
+from repro.core.compatible import CompatibleProperty
+from repro.core.crossover import (
+    AggregationCrossover,
+    FunctionCrossover,
+    OperatorsCrossover,
+    SubtreeCrossover,
+    ThresholdCrossover,
+    TransformationCrossover,
+    WeightCrossover,
+    default_crossover_operators,
+)
+from repro.core.generation import RandomRuleGenerator
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    TransformationNode,
+)
+from repro.core.representation import FULL, LINEAR
+from repro.core.rule import LinkageRule, validate_tree
+
+
+@pytest.fixture
+def generator(rng) -> RandomRuleGenerator:
+    return RandomRuleGenerator(
+        [
+            CompatibleProperty("label", "name", "levenshtein"),
+            CompatibleProperty("point", "coord", "geographic"),
+        ],
+        rng,
+    )
+
+
+def _rule_one() -> LinkageRule:
+    return LinkageRule(
+        AggregationNode(
+            "min",
+            (
+                ComparisonNode(
+                    "levenshtein",
+                    2.0,
+                    TransformationNode("lowerCase", (PropertyNode("label"),)),
+                    PropertyNode("name"),
+                    weight=2,
+                ),
+                ComparisonNode(
+                    "geographic", 1000.0, PropertyNode("point"), PropertyNode("coord")
+                ),
+            ),
+        )
+    )
+
+
+def _rule_two() -> LinkageRule:
+    return LinkageRule(
+        AggregationNode(
+            "wmean",
+            (
+                ComparisonNode(
+                    "jaccard",
+                    0.6,
+                    TransformationNode(
+                        "tokenize",
+                        (TransformationNode("stem", (PropertyNode("label"),)),),
+                    ),
+                    TransformationNode("tokenize", (PropertyNode("name"),)),
+                    weight=6,
+                ),
+                ComparisonNode(
+                    "date", 100.0, PropertyNode("date"), PropertyNode("released"),
+                    weight=4,
+                ),
+            ),
+        )
+    )
+
+
+def _apply_many(operator, rule1, rule2, generator, rng, n=40):
+    children = []
+    for _ in range(n):
+        children.append(operator.apply(rule1, rule2, rng, generator, FULL))
+    return children
+
+
+class TestAllOperators:
+    def test_offspring_always_valid(self, rng, generator):
+        for operator in default_crossover_operators() + [SubtreeCrossover()]:
+            for child in _apply_many(operator, _rule_one(), _rule_two(), generator, rng):
+                validate_tree(child.root, expect_similarity=True)
+
+    def test_parents_untouched(self, rng, generator):
+        rule1, rule2 = _rule_one(), _rule_two()
+        snapshot1, snapshot2 = rule1.root, rule2.root
+        for operator in default_crossover_operators():
+            operator.apply(rule1, rule2, rng, generator, FULL)
+        assert rule1.root == snapshot1
+        assert rule2.root == snapshot2
+
+    def test_six_default_operators(self):
+        names = [op.name for op in default_crossover_operators()]
+        assert names == [
+            "function", "operators", "aggregation",
+            "transformation", "threshold", "weight",
+        ]
+
+
+class TestFunctionCrossover:
+    def test_swaps_a_function_from_second_parent(self, rng, generator):
+        functions_before = {"min", "levenshtein", "geographic", "lowerCase"}
+        donor_functions = {"wmean", "jaccard", "date", "tokenize", "stem"}
+        found_donor_function = False
+        for child in _apply_many(
+            FunctionCrossover(), _rule_one(), _rule_two(), generator, rng
+        ):
+            child_functions = {a.function for a in child.aggregations()}
+            child_functions |= {c.metric for c in child.comparisons()}
+            child_functions |= {t.function for t in child.transformations()}
+            if child_functions & donor_functions:
+                found_donor_function = True
+                break
+        assert found_donor_function
+
+    def test_metric_swap_resamples_threshold(self, rng, generator):
+        # Swapping levenshtein -> geographic must move the threshold
+        # into the geographic range.
+        for child in _apply_many(
+            FunctionCrossover(), _rule_one(), _rule_two(), generator, rng, n=100
+        ):
+            for comparison in child.comparisons():
+                if comparison.metric == "jaccard":
+                    assert comparison.threshold <= 1.0
+
+    def test_structure_preserved(self, rng, generator):
+        child = FunctionCrossover().apply(
+            _rule_one(), _rule_two(), rng, generator, FULL
+        )
+        assert len(child.comparisons()) == 2
+
+
+class TestOperatorsCrossover:
+    def test_pools_comparisons_from_both_parents(self, rng, generator):
+        all_metrics = set()
+        for child in _apply_many(
+            OperatorsCrossover(), _rule_one(), _rule_two(), generator, rng
+        ):
+            all_metrics |= {c.metric for c in child.comparisons()}
+        assert "levenshtein" in all_metrics or "geographic" in all_metrics
+        assert "jaccard" in all_metrics or "date" in all_metrics
+
+    def test_never_produces_empty_aggregation(self, rng, generator):
+        for child in _apply_many(
+            OperatorsCrossover(), _rule_one(), _rule_two(), generator, rng
+        ):
+            for aggregation in child.aggregations():
+                assert aggregation.operators
+
+    def test_bare_comparison_parent_handled(self, rng, generator):
+        bare = LinkageRule(
+            ComparisonNode("equality", 0.5, PropertyNode("x"), PropertyNode("y"))
+        )
+        for child in _apply_many(
+            OperatorsCrossover(), bare, _rule_two(), generator, rng, n=20
+        ):
+            validate_tree(child.root, expect_similarity=True)
+
+
+class TestAggregationCrossover:
+    def test_can_grow_hierarchy(self, rng, generator):
+        grew = False
+        for child in _apply_many(
+            AggregationCrossover(), _rule_one(), _rule_two(), generator, rng, n=100
+        ):
+            if child.depth() > _rule_one().depth():
+                grew = True
+                break
+        assert grew
+
+    def test_can_replace_root(self, rng, generator):
+        replaced = False
+        for child in _apply_many(
+            AggregationCrossover(), _rule_one(), _rule_two(), generator, rng, n=100
+        ):
+            if isinstance(child.root, AggregationNode) and (
+                child.root.function == "wmean"
+            ):
+                replaced = True
+                break
+        assert replaced
+
+
+class TestTransformationCrossover:
+    def test_grafts_onto_transformation_free_rule(self, rng, generator):
+        bare = LinkageRule(
+            ComparisonNode("levenshtein", 1.0, PropertyNode("a"), PropertyNode("b"))
+        )
+        grafted = False
+        for child in _apply_many(
+            TransformationCrossover(), bare, _rule_two(), generator, rng, n=50
+        ):
+            if child.transformations():
+                grafted = True
+        assert grafted
+
+    def test_noop_when_neither_parent_has_transformations(self, rng, generator):
+        bare = LinkageRule(
+            ComparisonNode("levenshtein", 1.0, PropertyNode("a"), PropertyNode("b"))
+        )
+        child = TransformationCrossover().apply(bare, bare, rng, generator, FULL)
+        assert child.root == bare.root
+
+    def test_deduplicates_chains(self, rng, generator):
+        # lowerCase(lowerCase(x)) collapses to lowerCase(x).
+        doubled = LinkageRule(
+            ComparisonNode(
+                "levenshtein",
+                1.0,
+                TransformationNode(
+                    "lowerCase",
+                    (TransformationNode("lowerCase", (PropertyNode("a"),)),),
+                ),
+                PropertyNode("b"),
+            )
+        )
+        for child in _apply_many(
+            TransformationCrossover(), doubled, _rule_two(), generator, rng, n=30
+        ):
+            for transformation in child.transformations():
+                for node in transformation.inputs:
+                    if isinstance(node, TransformationNode):
+                        assert not (
+                            node.function == transformation.function
+                            and node.params == transformation.params
+                        )
+
+    def test_can_build_longer_chains(self, rng, generator):
+        lengthened = False
+        for child in _apply_many(
+            TransformationCrossover(), _rule_one(), _rule_two(), generator, rng, n=100
+        ):
+            if len(child.transformations()) > len(_rule_one().transformations()):
+                lengthened = True
+                break
+        assert lengthened
+
+
+class TestThresholdCrossover:
+    def test_averages_same_metric_thresholds(self, rng, generator):
+        rule1 = LinkageRule(
+            ComparisonNode("levenshtein", 2.0, PropertyNode("a"), PropertyNode("b"))
+        )
+        rule2 = LinkageRule(
+            ComparisonNode("levenshtein", 4.0, PropertyNode("a"), PropertyNode("b"))
+        )
+        child = ThresholdCrossover().apply(rule1, rule2, rng, generator, FULL)
+        assert child.comparisons()[0].threshold == pytest.approx(3.0)
+
+    def test_prefers_same_metric_donor(self, rng, generator):
+        rule1 = LinkageRule(
+            ComparisonNode("levenshtein", 2.0, PropertyNode("a"), PropertyNode("b"))
+        )
+        rule2 = LinkageRule(
+            AggregationNode(
+                "min",
+                (
+                    ComparisonNode(
+                        "levenshtein", 4.0, PropertyNode("a"), PropertyNode("b")
+                    ),
+                    ComparisonNode(
+                        "geographic", 9000.0, PropertyNode("p"), PropertyNode("c")
+                    ),
+                ),
+            )
+        )
+        for _ in range(20):
+            child = ThresholdCrossover().apply(rule1, rule2, rng, generator, FULL)
+            assert child.comparisons()[0].threshold == pytest.approx(3.0)
+
+
+class TestWeightCrossover:
+    def test_averages_weights(self, rng, generator):
+        rule1 = LinkageRule(
+            ComparisonNode(
+                "levenshtein", 1.0, PropertyNode("a"), PropertyNode("b"), weight=2
+            )
+        )
+        rule2 = LinkageRule(
+            ComparisonNode(
+                "levenshtein", 1.0, PropertyNode("a"), PropertyNode("b"), weight=8
+            )
+        )
+        child = WeightCrossover().apply(rule1, rule2, rng, generator, FULL)
+        assert child.comparisons()[0].weight == 5
+
+    def test_weight_stays_positive(self, rng, generator):
+        rule = LinkageRule(
+            ComparisonNode(
+                "levenshtein", 1.0, PropertyNode("a"), PropertyNode("b"), weight=1
+            )
+        )
+        child = WeightCrossover().apply(rule, rule, rng, generator, FULL)
+        assert child.comparisons()[0].weight >= 1
+
+
+class TestSubtreeCrossover:
+    def test_type_correct_offspring(self, rng, generator):
+        for child in _apply_many(
+            SubtreeCrossover(), _rule_one(), _rule_two(), generator, rng, n=100
+        ):
+            validate_tree(child.root, expect_similarity=True)
+
+
+class TestRepresentationRepair:
+    def test_linear_offspring_stay_linear(self, rng, generator):
+        for operator in default_crossover_operators():
+            for _ in range(20):
+                child = operator.apply(_rule_one(), _rule_two(), rng, generator, LINEAR)
+                assert LINEAR.allows(child.root), (
+                    f"{operator.name} produced a non-linear offspring"
+                )

@@ -1,0 +1,216 @@
+"""Tests for population diversity diagnostics (repro.core.diversity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.diversity import (
+    DiversityTracker,
+    PopulationSnapshot,
+    snapshot_population,
+    structural_signature,
+)
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    TransformationNode,
+)
+from repro.core.rule import LinkageRule
+
+
+def compare(metric="levenshtein", threshold=1.0, prop="label", weight=1):
+    return ComparisonNode(
+        metric=metric,
+        threshold=threshold,
+        source=PropertyNode(prop),
+        target=PropertyNode(prop),
+        weight=weight,
+    )
+
+
+class TestStructuralSignature:
+    def test_same_rule_same_signature(self):
+        a = LinkageRule(compare())
+        b = LinkageRule(compare())
+        assert structural_signature(a) == structural_signature(b)
+
+    def test_threshold_ignored(self):
+        a = LinkageRule(compare(threshold=1.0))
+        b = LinkageRule(compare(threshold=3.0))
+        assert structural_signature(a) == structural_signature(b)
+
+    def test_weight_ignored(self):
+        a = LinkageRule(compare(weight=1))
+        b = LinkageRule(compare(weight=7))
+        assert structural_signature(a) == structural_signature(b)
+
+    def test_metric_distinguishes(self):
+        a = LinkageRule(compare(metric="levenshtein"))
+        b = LinkageRule(compare(metric="jaccard"))
+        assert structural_signature(a) != structural_signature(b)
+
+    def test_property_distinguishes(self):
+        a = LinkageRule(compare(prop="label"))
+        b = LinkageRule(compare(prop="name"))
+        assert structural_signature(a) != structural_signature(b)
+
+    def test_transformation_distinguishes(self):
+        plain = LinkageRule(compare())
+        wrapped = LinkageRule(
+            ComparisonNode(
+                metric="levenshtein",
+                threshold=1.0,
+                source=TransformationNode("lowerCase", (PropertyNode("label"),)),
+                target=PropertyNode("label"),
+            )
+        )
+        assert structural_signature(plain) != structural_signature(wrapped)
+
+    def test_aggregation_child_order_irrelevant(self):
+        x = compare(metric="levenshtein")
+        y = compare(metric="jaccard")
+        a = LinkageRule(AggregationNode(function="min", operators=(x, y)))
+        b = LinkageRule(AggregationNode(function="min", operators=(y, x)))
+        assert structural_signature(a) == structural_signature(b)
+
+    def test_aggregation_function_distinguishes(self):
+        x = compare(metric="levenshtein")
+        y = compare(metric="jaccard")
+        a = LinkageRule(AggregationNode(function="min", operators=(x, y)))
+        b = LinkageRule(AggregationNode(function="max", operators=(x, y)))
+        assert structural_signature(a) != structural_signature(b)
+
+    def test_signature_is_hashable(self):
+        hash(structural_signature(LinkageRule(compare())))
+
+
+class TestSnapshot:
+    def fitness(self, rule):
+        return float(rule.root.threshold)
+
+    def test_basic_statistics(self):
+        population = [
+            LinkageRule(compare(threshold=1.0)),
+            LinkageRule(compare(threshold=2.0)),
+            LinkageRule(compare(threshold=3.0)),
+        ]
+        snapshot = snapshot_population(population, self.fitness, iteration=4)
+        assert snapshot.iteration == 4
+        assert snapshot.size == 3
+        assert snapshot.best_fitness == 3.0
+        assert snapshot.mean_fitness == pytest.approx(2.0)
+        assert snapshot.unique_rule_ratio == 1.0
+        # Same structure everywhere: one signature across 3 rules.
+        assert snapshot.unique_signature_ratio == pytest.approx(1 / 3)
+
+    def test_duplicate_rules_lower_unique_ratio(self):
+        rule = LinkageRule(compare())
+        snapshot = snapshot_population([rule, rule, rule, rule], self.fitness)
+        assert snapshot.unique_rule_ratio == pytest.approx(0.25)
+
+    def test_measure_usage_counts_rules_not_nodes(self):
+        double = LinkageRule(
+            AggregationNode(
+                function="min",
+                operators=(compare(metric="jaccard"), compare(metric="jaccard",
+                                                              threshold=2.0)),
+            )
+        )
+        snapshot = snapshot_population(
+            [double, LinkageRule(compare(metric="jaccard"))],
+            lambda rule: 0.0,
+        )
+        usage = dict(snapshot.measure_usage)
+        assert usage["jaccard"] == 2  # two rules, not three comparison nodes
+
+    def test_empty_population_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            snapshot_population([], self.fitness)
+
+    def test_describe_mentions_key_numbers(self):
+        snapshot = snapshot_population([LinkageRule(compare())], self.fitness)
+        text = snapshot.describe()
+        assert "best=" in text and "unique=" in text
+
+
+class TestDiversityTracker:
+    def fitness(self, rule):
+        return float(rule.root.threshold)
+
+    def population(self, *thresholds):
+        return [LinkageRule(compare(threshold=t)) for t in thresholds]
+
+    def test_observer_protocol(self):
+        tracker = DiversityTracker(self.fitness)
+        tracker(0, self.population(1.0, 2.0))
+        tracker(1, self.population(2.0, 3.0))
+        assert len(tracker.snapshots) == 2
+        assert tracker.latest.iteration == 1
+        assert isinstance(tracker.latest, PopulationSnapshot)
+
+    def test_latest_before_observation_raises(self):
+        tracker = DiversityTracker(self.fitness)
+        with pytest.raises(ValueError, match="not observed"):
+            tracker.latest
+
+    def test_convergence_on_fitness_plateau(self):
+        tracker = DiversityTracker(self.fitness)
+        for i in range(8):
+            tracker(i, self.population(5.0, 4.0))
+        assert tracker.converged(window=5)
+
+    def test_no_convergence_while_improving(self):
+        tracker = DiversityTracker(self.fitness)
+        for i in range(8):
+            tracker(i, self.population(float(i), float(i) / 2))
+        # Signature diversity is low (all rules share one structure),
+        # so raise the collapse threshold out of the way.
+        assert not tracker.converged(window=5, signature_ratio=0.0)
+
+    def test_convergence_on_signature_collapse(self):
+        tracker = DiversityTracker(self.fitness)
+        rule = LinkageRule(compare())
+        tracker(0, [rule] * 50)
+        assert tracker.converged(signature_ratio=0.05)
+
+    def test_stagnation_length(self):
+        tracker = DiversityTracker(self.fitness)
+        tracker(0, self.population(1.0))
+        tracker(1, self.population(2.0))
+        tracker(2, self.population(2.0))
+        tracker(3, self.population(2.0))
+        assert tracker.stagnation_length() == 2
+
+    def test_render_one_line_per_snapshot(self):
+        tracker = DiversityTracker(self.fitness)
+        tracker(0, self.population(1.0))
+        tracker(1, self.population(2.0))
+        lines = tracker.render().splitlines()
+        assert len(lines) == 2 + 2  # header + separator + 2 rows
+
+    def test_integration_with_genlink(self, city_sources):
+        from repro.core.genlink import GenLink, GenLinkConfig
+        from repro.data.reference_links import ReferenceLinkSet
+
+        source_a, source_b = city_sources
+        links = ReferenceLinkSet(
+            positive=[
+                ("a:berlin", "b:berlin"),
+                ("a:hamburg", "b:hamburg"),
+                ("a:munich", "b:munich"),
+            ],
+            negative=[
+                ("a:berlin", "b:hamburg"),
+                ("a:hamburg", "b:munich"),
+                ("a:munich", "b:leipzig"),
+            ],
+        )
+        learner = GenLink(GenLinkConfig(population_size=20, max_iterations=3))
+        tracker = DiversityTracker(lambda rule: 0.0)
+        result = learner.learn(source_a, source_b, links, rng=7, observer=tracker)
+        assert tracker.snapshots
+        assert tracker.snapshots[0].iteration == 0
+        assert tracker.snapshots[0].size == 20
+        # One snapshot per recorded iteration (early stop allowed).
+        assert len(tracker.snapshots) == len(result.history)

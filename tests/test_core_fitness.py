@@ -1,0 +1,129 @@
+"""Tests for fitness measures: confusion counts, F1, MCC, parsimony."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import PairEvaluator
+from repro.core.fitness import (
+    ConfusionCounts,
+    FitnessFunction,
+    confusion_counts,
+    f_measure,
+    matthews_correlation,
+)
+from repro.core.nodes import ComparisonNode, PropertyNode
+from repro.core.rule import LinkageRule
+from repro.data.entity import Entity
+
+
+class TestConfusionCounts:
+    def test_from_vectors(self):
+        counts = confusion_counts(
+            [True, True, False, False], [True, False, True, False]
+        )
+        assert (counts.tp, counts.fp, counts.fn, counts.tn) == (1, 1, 1, 1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_counts([True], [True, False])
+
+    def test_precision_recall(self):
+        counts = ConfusionCounts(tp=8, tn=5, fp=2, fn=4)
+        assert counts.precision() == pytest.approx(0.8)
+        assert counts.recall() == pytest.approx(8 / 12)
+
+    def test_f_measure_harmonic_mean(self):
+        counts = ConfusionCounts(tp=8, tn=5, fp=2, fn=4)
+        p, r = counts.precision(), counts.recall()
+        assert counts.f_measure() == pytest.approx(2 * p * r / (p + r))
+
+    def test_degenerate_zero(self):
+        counts = ConfusionCounts(tp=0, tn=10, fp=0, fn=0)
+        assert counts.precision() == 0.0
+        assert counts.recall() == 0.0
+        assert counts.f_measure() == 0.0
+
+    def test_accuracy(self):
+        counts = ConfusionCounts(tp=3, tn=5, fp=1, fn=1)
+        assert counts.accuracy() == pytest.approx(0.8)
+
+
+class TestMCC:
+    def test_perfect_classifier(self):
+        assert matthews_correlation([True, False], [True, False]) == 1.0
+
+    def test_inverted_classifier(self):
+        assert matthews_correlation([False, True], [True, False]) == -1.0
+
+    def test_degenerate_all_positive_predictions(self):
+        assert matthews_correlation([True, True], [True, False]) == 0.0
+
+    def test_known_value(self):
+        counts = ConfusionCounts(tp=90, tn=80, fp=10, fn=20)
+        expected = (90 * 80 - 10 * 20) / math.sqrt(100 * 110 * 90 * 100)
+        assert counts.mcc() == pytest.approx(expected)
+
+    def test_mcc_bounded(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            predictions = rng.random(20) > 0.5
+            labels = rng.random(20) > 0.5
+            assert -1.0 <= matthews_correlation(predictions, labels) <= 1.0
+
+
+class TestFitnessFunction:
+    def _setup(self):
+        pairs = [
+            (Entity("a1", {"x": "foo"}), Entity("b1", {"x": "foo"})),
+            (Entity("a2", {"x": "bar"}), Entity("b2", {"x": "bar"})),
+            (Entity("a3", {"x": "foo"}), Entity("b3", {"x": "qux"})),
+        ]
+        labels = [True, True, False]
+        return PairEvaluator(pairs), labels
+
+    def _rule(self) -> LinkageRule:
+        return LinkageRule(
+            ComparisonNode("levenshtein", 1.0, PropertyNode("x"), PropertyNode("x"))
+        )
+
+    def test_perfect_rule_mcc(self):
+        evaluator, labels = self._setup()
+        fitness = FitnessFunction(evaluator, labels)
+        assert fitness.mcc(self._rule()) == 1.0
+
+    def test_parsimony_penalty_subtracted(self):
+        evaluator, labels = self._setup()
+        fitness = FitnessFunction(evaluator, labels, parsimony_weight=0.05)
+        # similarity mode: 1 comparison, 0 aggregations -> penalty 0.05
+        assert fitness.fitness(self._rule()) == pytest.approx(1.0 - 0.05)
+
+    def test_parsimony_all_mode_counts_every_node(self):
+        evaluator, labels = self._setup()
+        fitness = FitnessFunction(
+            evaluator, labels, parsimony_weight=0.05, parsimony_mode="all"
+        )
+        # comparison + 2 properties = 3 operators
+        assert fitness.fitness(self._rule()) == pytest.approx(1.0 - 0.15)
+
+    def test_invalid_parsimony_mode(self):
+        evaluator, labels = self._setup()
+        with pytest.raises(ValueError):
+            FitnessFunction(evaluator, labels, parsimony_mode="bogus")
+
+    def test_label_count_mismatch(self):
+        evaluator, _ = self._setup()
+        with pytest.raises(ValueError):
+            FitnessFunction(evaluator, [True])
+
+    def test_f_measure(self):
+        evaluator, labels = self._setup()
+        fitness = FitnessFunction(evaluator, labels)
+        assert fitness.f_measure(self._rule()) == 1.0
+
+    def test_f_measure_and_mcc_agree_on_perfection(self):
+        evaluator, labels = self._setup()
+        fitness = FitnessFunction(evaluator, labels)
+        rule = self._rule()
+        assert fitness.f_measure(rule) == fitness.mcc(rule) == 1.0

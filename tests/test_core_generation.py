@@ -1,0 +1,134 @@
+"""Tests for random rule generation (Section 5.1)."""
+
+import random
+
+import pytest
+
+from repro.core.compatible import CompatibleProperty
+from repro.core.generation import RandomRuleGenerator
+from repro.core.nodes import AggregationNode, PropertyNode, TransformationNode
+from repro.core.representation import BOOLEAN, FULL, LINEAR
+from repro.core.rule import validate_tree
+
+
+def _generator(rng=None, representation=FULL, **kwargs) -> RandomRuleGenerator:
+    pairs = [
+        CompatibleProperty("label", "name", "levenshtein"),
+        CompatibleProperty("point", "coord", "geographic"),
+        CompatibleProperty("date", "released", "date"),
+    ]
+    return RandomRuleGenerator(
+        pairs,
+        rng if rng is not None else random.Random(7),
+        representation=representation,
+        **kwargs,
+    )
+
+
+class TestRandomRuleGenerator:
+    def test_rules_are_valid(self):
+        generator = _generator()
+        for _ in range(50):
+            rule = generator.random_rule()
+            validate_tree(rule.root, expect_similarity=True)
+
+    def test_initial_rules_have_one_or_two_comparisons(self):
+        generator = _generator()
+        for _ in range(50):
+            assert 1 <= len(generator.random_rule().comparisons()) <= 2
+
+    def test_comparisons_use_seeded_pairs(self):
+        generator = _generator()
+        allowed = {("label", "name"), ("point", "coord"), ("date", "released")}
+        for _ in range(30):
+            comparison = generator.random_comparison()
+            source = comparison.source
+            while isinstance(source, TransformationNode):
+                source = source.inputs[0]
+            target = comparison.target
+            while isinstance(target, TransformationNode):
+                target = target.inputs[0]
+            assert (source.property_name, target.property_name) in allowed
+
+    def test_seeded_measures_dominate_with_exploration(self):
+        generator = _generator()
+        metrics = [generator.random_comparison().metric for _ in range(200)]
+        seeded = {"levenshtein", "geographic", "date"}
+        catalogue = seeded | {"jaccard", "numeric", "normalizedLevenshtein"}
+        assert set(metrics) <= catalogue
+        # Most comparisons keep the seeded measure; exploration and
+        # token-level seeding are the minority.
+        seeded_fraction = sum(1 for m in metrics if m in seeded) / len(metrics)
+        assert seeded_fraction > 0.55
+
+    def test_transformation_probability_zero(self):
+        generator = _generator(transformation_probability=0.0)
+        for _ in range(30):
+            assert generator.random_rule().transformations() == []
+
+    def test_transformation_probability_one(self):
+        generator = _generator(transformation_probability=1.0)
+        rule = generator.random_rule()
+        # Every property gets at least one transformation appended
+        # (occasionally a two-step chain).
+        transformation_count = len(rule.transformations())
+        property_count = 2 * len(rule.comparisons())
+        assert property_count <= transformation_count <= 2 * property_count
+        for comparison in rule.comparisons():
+            from repro.core.nodes import TransformationNode
+
+            assert isinstance(comparison.source, TransformationNode)
+            assert isinstance(comparison.target, TransformationNode)
+
+    def test_thresholds_within_measure_range(self):
+        generator = _generator()
+        for _ in range(50):
+            comparison = generator.random_comparison()
+            from repro.distances.registry import get_measure
+
+            low, high = get_measure(comparison.metric).threshold_range
+            assert low <= comparison.threshold <= high
+
+    def test_boolean_representation_restricts_functions(self):
+        generator = _generator(representation=BOOLEAN)
+        for _ in range(30):
+            rule = generator.random_rule()
+            for aggregation in rule.aggregations():
+                assert aggregation.function in ("min", "max")
+            assert rule.transformations() == []
+
+    def test_linear_representation_uses_wmean_only(self):
+        generator = _generator(representation=LINEAR)
+        for _ in range(30):
+            rule = generator.random_rule()
+            for aggregation in rule.aggregations():
+                assert aggregation.function == "wmean"
+
+    def test_unseeded_fallback_uses_property_lists(self):
+        generator = RandomRuleGenerator(
+            [],
+            random.Random(1),
+            source_properties=["p1", "p2"],
+            target_properties=["q1"],
+        )
+        comparison = generator.random_comparison()
+        source = comparison.source
+        while isinstance(source, TransformationNode):
+            source = source.inputs[0]
+        assert source.property_name in ("p1", "p2")
+
+    def test_requires_pairs_or_properties(self):
+        with pytest.raises(ValueError):
+            RandomRuleGenerator([], random.Random(1))
+
+    def test_population_size(self):
+        assert len(_generator().population(25)) == 25
+
+    def test_population_requires_positive_size(self):
+        with pytest.raises(ValueError):
+            _generator().population(0)
+
+    def test_deterministic_given_seed(self):
+        rules1 = _generator(rng=random.Random(42)).population(10)
+        rules2 = _generator(rng=random.Random(42)).population(10)
+        assert rules1 == rules2

@@ -1,0 +1,193 @@
+"""Tests for rule linting (repro.core.lint)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lint import LintReport, lint_rule
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    TransformationNode,
+)
+from repro.core.rule import LinkageRule
+from repro.data.entity import Entity
+from repro.data.source import DataSource
+
+
+def compare(metric="levenshtein", threshold=1.0, source="label", target="label",
+            weight=1):
+    return ComparisonNode(
+        metric=metric,
+        threshold=threshold,
+        source=PropertyNode(source),
+        target=PropertyNode(target),
+        weight=weight,
+    )
+
+
+@pytest.fixture
+def sources():
+    source_a = DataSource("a", [Entity("a1", {"label": "x", "date": "1999"})])
+    source_b = DataSource("b", [Entity("b1", {"label": "x", "year": "1999"})])
+    return source_a, source_b
+
+
+class TestCleanRules:
+    def test_clean_rule_passes(self, sources):
+        report = lint_rule(LinkageRule(compare()), *sources)
+        assert report.ok
+        assert report.findings == ()
+        assert report.render() == "no findings"
+
+    def test_without_sources_property_checks_skipped(self):
+        report = lint_rule(LinkageRule(compare(source="anything")))
+        assert report.ok
+
+
+class TestErrors:
+    def test_unknown_measure(self, sources):
+        report = lint_rule(LinkageRule(compare(metric="nope")), *sources)
+        assert not report.ok
+        assert any(f.code == "unknown-measure" for f in report.errors)
+
+    def test_unknown_property_source_side(self, sources):
+        report = lint_rule(LinkageRule(compare(source="missing")), *sources)
+        codes = [f.code for f in report.errors]
+        assert "unknown-property" in codes
+        assert "source" in report.errors[0].message
+
+    def test_unknown_property_target_side(self, sources):
+        report = lint_rule(LinkageRule(compare(target="date")), *sources)
+        # 'date' exists in source A but not in B.
+        assert any(f.code == "unknown-property" for f in report.errors)
+
+    def test_unknown_transformation(self, sources):
+        rule = LinkageRule(
+            ComparisonNode(
+                metric="levenshtein",
+                threshold=1.0,
+                source=TransformationNode("frobnicate", (PropertyNode("label"),)),
+                target=PropertyNode("label"),
+            )
+        )
+        report = lint_rule(rule, *sources)
+        assert any(f.code == "unknown-transformation" for f in report.errors)
+
+    def test_bad_arity(self, sources):
+        rule = LinkageRule(
+            ComparisonNode(
+                metric="levenshtein",
+                threshold=1.0,
+                source=TransformationNode(
+                    "concatenate", (PropertyNode("label"),)
+                ),
+                target=PropertyNode("label"),
+            )
+        )
+        report = lint_rule(rule, *sources)
+        assert any(f.code == "bad-arity" for f in report.errors)
+
+
+class TestWarnings:
+    def test_threshold_out_of_range(self, sources):
+        report = lint_rule(
+            LinkageRule(compare(metric="levenshtein", threshold=5000.0)), *sources
+        )
+        assert report.ok  # warnings only
+        assert any(f.code == "threshold-out-of-range" for f in report.warnings)
+
+    def test_zero_threshold_on_continuous_measure(self, sources):
+        report = lint_rule(
+            LinkageRule(compare(metric="numeric", threshold=0.0)), *sources
+        )
+        assert any(f.code == "zero-threshold" for f in report.warnings)
+
+    def test_zero_threshold_on_equality_is_fine(self, sources):
+        report = lint_rule(
+            LinkageRule(compare(metric="equality", threshold=0.0)), *sources
+        )
+        assert not any(f.code == "zero-threshold" for f in report.warnings)
+
+    def test_duplicate_comparison(self, sources):
+        rule = LinkageRule(
+            AggregationNode(function="min", operators=(compare(), compare()))
+        )
+        report = lint_rule(rule, *sources)
+        assert any(f.code == "duplicate-comparison" for f in report.warnings)
+
+    def test_constant_wmean_weight(self, sources):
+        rule = LinkageRule(
+            AggregationNode(
+                function="wmean",
+                operators=(
+                    compare(weight=5),
+                    compare(metric="jaccard", threshold=0.4, weight=5),
+                ),
+            )
+        )
+        report = lint_rule(rule, *sources)
+        assert any(f.code == "constant-wmean-weight" for f in report.warnings)
+
+    def test_weight_one_everywhere_not_flagged(self, sources):
+        rule = LinkageRule(
+            AggregationNode(
+                function="wmean",
+                operators=(compare(), compare(metric="jaccard", threshold=0.4)),
+            )
+        )
+        report = lint_rule(rule, *sources)
+        assert not any(
+            f.code == "constant-wmean-weight" for f in report.warnings
+        )
+
+
+class TestReport:
+    def test_render_lists_findings(self, sources):
+        report = lint_rule(LinkageRule(compare(metric="nope")), *sources)
+        assert "unknown-measure" in report.render()
+
+    def test_errors_and_warnings_partition(self, sources):
+        rule = LinkageRule(
+            AggregationNode(
+                function="min",
+                operators=(compare(metric="nope"), compare(threshold=9000.0)),
+            )
+        )
+        report = lint_rule(rule, *sources)
+        assert set(report.errors) | set(report.warnings) == set(report.findings)
+        assert not set(report.errors) & set(report.warnings)
+
+    def test_lints_nested_aggregations(self, sources):
+        inner = AggregationNode(
+            function="max", operators=(compare(metric="alsoNope"),)
+        )
+        rule = LinkageRule(
+            AggregationNode(function="min", operators=(inner, compare()))
+        )
+        report = lint_rule(rule, *sources)
+        assert any(f.code == "unknown-measure" for f in report.errors)
+
+    def test_learned_rules_lint_clean(self, sources):
+        """GenLink never produces rules that lint with errors."""
+        from repro.core.genlink import GenLink, GenLinkConfig
+        from repro.data.reference_links import ReferenceLinkSet
+
+        source_a = DataSource(
+            "a",
+            [Entity(f"a{i}", {"label": f"Item {i}"}) for i in range(6)],
+        )
+        source_b = DataSource(
+            "b",
+            [Entity(f"b{i}", {"label": f"ITEM {i}"}) for i in range(6)],
+        )
+        links = ReferenceLinkSet(
+            positive=[(f"a{i}", f"b{i}") for i in range(4)],
+            negative=[(f"a{i}", f"b{(i + 2) % 4}") for i in range(4)],
+        )
+        result = GenLink(GenLinkConfig(population_size=20, max_iterations=3)).learn(
+            source_a, source_b, links, rng=5
+        )
+        report = lint_rule(result.best_rule, source_a, source_b)
+        assert report.ok, report.render()

@@ -1,0 +1,143 @@
+"""Tests for the linkage rule operator tree."""
+
+import pytest
+
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    TransformationNode,
+    collect_nodes,
+    iter_nodes,
+    replace_node,
+)
+
+
+def _simple_rule_root() -> AggregationNode:
+    return AggregationNode(
+        function="min",
+        operators=(
+            ComparisonNode(
+                metric="levenshtein",
+                threshold=1.0,
+                source=TransformationNode("lowerCase", (PropertyNode("label"),)),
+                target=PropertyNode("name"),
+            ),
+            ComparisonNode(
+                metric="geographic",
+                threshold=1000.0,
+                source=PropertyNode("point"),
+                target=PropertyNode("coord"),
+            ),
+        ),
+    )
+
+
+class TestNodeConstruction:
+    def test_property_is_leaf(self):
+        assert PropertyNode("x").children() == ()
+
+    def test_transformation_requires_inputs(self):
+        with pytest.raises(ValueError):
+            TransformationNode("lowerCase", ())
+
+    def test_comparison_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            ComparisonNode("levenshtein", -1.0, PropertyNode("a"), PropertyNode("b"))
+
+    def test_comparison_rejects_zero_weight(self):
+        with pytest.raises(ValueError):
+            ComparisonNode(
+                "levenshtein", 1.0, PropertyNode("a"), PropertyNode("b"), weight=0
+            )
+
+    def test_aggregation_requires_operators(self):
+        with pytest.raises(ValueError):
+            AggregationNode("min", ())
+
+    def test_nodes_are_hashable(self):
+        node = _simple_rule_root()
+        assert hash(node) == hash(_simple_rule_root())
+
+    def test_nodes_are_frozen(self):
+        node = PropertyNode("x")
+        with pytest.raises(AttributeError):
+            node.property_name = "y"  # type: ignore[misc]
+
+
+class TestOperatorCount:
+    def test_property_counts_one(self):
+        assert PropertyNode("x").operator_count() == 1
+
+    def test_full_tree_count(self):
+        # agg + 2 comparisons + 1 transformation + 4 properties = 8
+        assert _simple_rule_root().operator_count() == 8
+
+    def test_nested_transformations(self):
+        node = TransformationNode(
+            "lowerCase", (TransformationNode("tokenize", (PropertyNode("x"),)),)
+        )
+        assert node.operator_count() == 3
+
+
+class TestTraversal:
+    def test_iter_nodes_preorder(self):
+        root = _simple_rule_root()
+        nodes = list(iter_nodes(root))
+        assert nodes[0] is root
+        assert len(nodes) == 8
+
+    def test_collect_nodes_by_type(self):
+        root = _simple_rule_root()
+        assert len(collect_nodes(root, (ComparisonNode,))) == 2
+        assert len(collect_nodes(root, (PropertyNode,))) == 4
+        assert len(collect_nodes(root, (TransformationNode,))) == 1
+        assert len(collect_nodes(root, (AggregationNode,))) == 1
+
+
+class TestReplaceNode:
+    def test_replace_leaf(self):
+        root = _simple_rule_root()
+        old = collect_nodes(root, (PropertyNode,))[0]
+        new_root = replace_node(root, old, PropertyNode("renamed"))
+        properties = {
+            n.property_name for n in collect_nodes(new_root, (PropertyNode,))
+        }
+        assert "renamed" in properties
+
+    def test_replace_is_non_destructive(self):
+        root = _simple_rule_root()
+        old = collect_nodes(root, (PropertyNode,))[0]
+        replace_node(root, old, PropertyNode("renamed"))
+        assert "renamed" not in {
+            n.property_name for n in collect_nodes(root, (PropertyNode,))
+        }
+
+    def test_replace_root(self):
+        root = _simple_rule_root()
+        new = PropertyNode("whole")
+        assert replace_node(root, root, new) is new
+
+    def test_replace_by_identity_targets_specific_twin(self):
+        twin_a = PropertyNode("same")
+        twin_b = PropertyNode("same")
+        root = ComparisonNode("levenshtein", 1.0, twin_a, twin_b)
+        new_root = replace_node(root, twin_b, PropertyNode("other"))
+        # Identity match replaces the first identical twin encountered
+        # in pre-order; equality fallback makes either acceptable, but
+        # exactly one must change.
+        assert isinstance(new_root, ComparisonNode)
+        names = [new_root.source.property_name, new_root.target.property_name]
+        assert sorted(names) == ["other", "same"]
+
+    def test_replace_missing_returns_equal_tree(self):
+        root = _simple_rule_root()
+        result = replace_node(root, PropertyNode("not-there"), PropertyNode("x"))
+        assert result == root
+
+    def test_unchanged_subtrees_shared(self):
+        root = _simple_rule_root()
+        old = collect_nodes(root, (PropertyNode,))[-1]
+        new_root = replace_node(root, old, PropertyNode("renamed"))
+        # The untouched first comparison is reused, not copied.
+        assert new_root.operators[0] is root.operators[0]

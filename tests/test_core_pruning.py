@@ -1,0 +1,376 @@
+"""Tests for fitness-guided rule pruning (repro.core.pruning)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.evaluation import PairEvaluator, evaluate_rule
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    TransformationNode,
+)
+from repro.core.pruning import (
+    CASE_TRANSFORMATIONS,
+    IDEMPOTENT_TRANSFORMATIONS,
+    PruneResult,
+    prune_rule,
+    simplify_transformations,
+)
+from repro.core.rule import LinkageRule
+from repro.data.entity import Entity
+
+
+def prop(name: str) -> PropertyNode:
+    return PropertyNode(name)
+
+
+def transform(function: str, *inputs, params=()) -> TransformationNode:
+    return TransformationNode(function=function, inputs=tuple(inputs), params=params)
+
+
+def compare(metric="levenshtein", threshold=1.0, source=None, target=None, weight=1):
+    return ComparisonNode(
+        metric=metric,
+        threshold=threshold,
+        source=source if source is not None else prop("label"),
+        target=target if target is not None else prop("label"),
+        weight=weight,
+    )
+
+
+def entity(uid: str, **properties) -> Entity:
+    return Entity(
+        uid=uid,
+        properties={k: tuple(v) for k, v in properties.items()},
+    )
+
+
+class TestSimplifyTransformations:
+    def test_nested_idempotent_collapses(self):
+        rule = LinkageRule(
+            compare(source=transform("lowerCase", transform("lowerCase", prop("a"))))
+        )
+        simplified = simplify_transformations(rule)
+        assert simplified.root.source == transform("lowerCase", prop("a"))
+
+    def test_triple_nesting_collapses_to_one(self):
+        chain = transform(
+            "trim", transform("trim", transform("trim", prop("a")))
+        )
+        rule = LinkageRule(compare(source=chain))
+        simplified = simplify_transformations(rule)
+        assert simplified.root.source == transform("trim", prop("a"))
+
+    def test_case_absorption(self):
+        rule = LinkageRule(
+            compare(source=transform("lowerCase", transform("upperCase", prop("a"))))
+        )
+        simplified = simplify_transformations(rule)
+        assert simplified.root.source == transform("lowerCase", prop("a"))
+
+    def test_case_absorption_disabled(self):
+        inner = transform("lowerCase", transform("upperCase", prop("a")))
+        rule = LinkageRule(compare(source=inner))
+        simplified = simplify_transformations(rule, absorb_case=False)
+        assert simplified.root.source == inner
+
+    def test_non_idempotent_kept(self):
+        chain = transform("stem", transform("stem", prop("a")))
+        rule = LinkageRule(compare(source=chain))
+        simplified = simplify_transformations(rule)
+        assert simplified.root.source == chain
+
+    def test_different_functions_kept(self):
+        chain = transform("tokenize", transform("lowerCase", prop("a")))
+        rule = LinkageRule(compare(source=chain))
+        simplified = simplify_transformations(rule)
+        assert simplified.root.source == chain
+
+    def test_replace_params_must_match(self):
+        inner = transform(
+            "replace", prop("a"), params=(("replacement", " "), ("search", "-"))
+        )
+        outer = transform(
+            "replace", inner, params=(("replacement", "_"), ("search", "-"))
+        )
+        rule = LinkageRule(compare(source=outer))
+        simplified = simplify_transformations(rule)
+        # replace is not idempotent, so nothing collapses even with
+        # matching params.
+        assert simplified.root.source == outer
+
+    def test_concatenate_inputs_simplified_recursively(self):
+        left = transform("lowerCase", transform("lowerCase", prop("first")))
+        node = transform("concatenate", left, prop("last"))
+        rule = LinkageRule(compare(source=node))
+        simplified = simplify_transformations(rule)
+        assert simplified.root.source == transform(
+            "concatenate", transform("lowerCase", prop("first")), prop("last")
+        )
+
+    def test_target_side_also_simplified(self):
+        rule = LinkageRule(
+            compare(target=transform("trim", transform("trim", prop("b"))))
+        )
+        simplified = simplify_transformations(rule)
+        assert simplified.root.target == transform("trim", prop("b"))
+
+    def test_aggregation_children_simplified(self):
+        leaf = compare(source=transform("trim", transform("trim", prop("a"))))
+        rule = LinkageRule(AggregationNode(function="min", operators=(leaf, leaf)))
+        simplified = simplify_transformations(rule)
+        for child in simplified.root.operators:
+            assert child.source == transform("trim", prop("a"))
+
+    def test_collapse_preserves_scores(self):
+        pairs = [
+            (entity("a1", label=("Berlin",)), entity("b1", label=("BERLIN",))),
+            (entity("a2", label=("Paris",)), entity("b2", label=("London",))),
+        ]
+        rule = LinkageRule(
+            compare(
+                source=transform("lowerCase", transform("lowerCase", prop("label"))),
+                target=transform("lowerCase", prop("label")),
+            )
+        )
+        simplified = simplify_transformations(rule)
+        for a, b in pairs:
+            assert evaluate_rule(simplified.root, a, b) == pytest.approx(
+                evaluate_rule(rule.root, a, b)
+            )
+
+    def test_catalogue_constants_disjoint_semantics(self):
+        assert CASE_TRANSFORMATIONS <= IDEMPOTENT_TRANSFORMATIONS
+        assert "stem" not in IDEMPOTENT_TRANSFORMATIONS
+        assert "replace" not in IDEMPOTENT_TRANSFORMATIONS
+
+
+def _labelled_pairs():
+    """A small labelled pair set with an informative and a noise signal.
+
+    ``label`` separates matches from non-matches; ``noise`` does not.
+    """
+    pairs = []
+    labels = []
+    for i in range(6):
+        a = entity(f"a{i}", label=(f"City {i}",), noise=(str(i % 2),))
+        b = entity(f"b{i}", label=(f"city {i}",), noise=(str((i + 1) % 2),))
+        pairs.append((a, b))
+        labels.append(True)
+    for i in range(6):
+        a = entity(f"a{i}x", label=(f"City {i}",), noise=(str(i % 2),))
+        b = entity(f"b{i}x", label=(f"Town {i + 7}",), noise=(str(i % 2),))
+        pairs.append((a, b))
+        labels.append(False)
+    return pairs, labels
+
+
+class TestPruneRule:
+    def test_drops_uninformative_comparison(self):
+        pairs, labels = _labelled_pairs()
+        good = compare(
+            source=transform("lowerCase", prop("label")),
+            target=transform("lowerCase", prop("label")),
+            threshold=1.0,
+        )
+        noisy = compare(metric="equality", threshold=0.0, source=prop("noise"),
+                        target=prop("noise"))
+        rule = LinkageRule(
+            AggregationNode(function="wmean", operators=(good, noisy))
+        )
+        evaluator = PairEvaluator(pairs)
+        result = prune_rule(rule, evaluator, labels)
+        assert isinstance(result, PruneResult)
+        assert result.mcc_after >= result.mcc_before
+        assert result.rule.operator_count() < rule.operator_count()
+        metrics = {c.metric for c in result.rule.comparisons()}
+        assert "equality" not in metrics
+
+    def test_keeps_required_comparison(self):
+        pairs, labels = _labelled_pairs()
+        good = compare(
+            source=transform("lowerCase", prop("label")),
+            target=transform("lowerCase", prop("label")),
+            threshold=1.0,
+        )
+        rule = LinkageRule(good)
+        evaluator = PairEvaluator(pairs)
+        result = prune_rule(rule, evaluator, labels)
+        assert result.mcc_after == pytest.approx(result.mcc_before)
+        assert len(result.rule.comparisons()) == 1
+
+    def test_strips_useless_transformation(self):
+        pairs, labels = _labelled_pairs()
+        # trim adds nothing here: values carry no surrounding whitespace.
+        rule = LinkageRule(
+            compare(
+                source=transform("trim", transform("lowerCase", prop("label"))),
+                target=transform("lowerCase", prop("label")),
+                threshold=1.0,
+            )
+        )
+        evaluator = PairEvaluator(pairs)
+        result = prune_rule(rule, evaluator, labels)
+        functions = {t.function for t in result.rule.transformations()}
+        assert "trim" not in functions
+        assert result.mcc_after >= result.mcc_before
+
+    def test_keeps_needed_transformation(self):
+        pairs, labels = _labelled_pairs()
+        rule = LinkageRule(
+            compare(
+                source=transform("lowerCase", prop("label")),
+                target=transform("lowerCase", prop("label")),
+                threshold=0.0,
+                metric="equality",
+            )
+        )
+        evaluator = PairEvaluator(pairs)
+        result = prune_rule(rule, evaluator, labels)
+        # Case differs between sides, so lowerCase is load-bearing on at
+        # least one side and MCC must not degrade.
+        assert result.mcc_after >= result.mcc_before
+        assert result.rule.transformations()
+
+    def test_steps_recorded(self):
+        pairs, labels = _labelled_pairs()
+        good = compare(
+            source=transform("lowerCase", prop("label")),
+            target=transform("lowerCase", prop("label")),
+            threshold=1.0,
+        )
+        noisy = compare(metric="equality", threshold=0.0, source=prop("noise"),
+                        target=prop("noise"))
+        rule = LinkageRule(
+            AggregationNode(function="wmean", operators=(good, noisy))
+        )
+        result = prune_rule(rule, PairEvaluator(pairs), labels)
+        assert result.edits == len(result.steps)
+        for step in result.steps:
+            assert step.operators_after < step.operators_before
+            assert step.action in ("drop-operator", "strip-transformation")
+        text = result.describe()
+        assert "mcc" in text
+
+    def test_label_count_mismatch_raises(self):
+        pairs, labels = _labelled_pairs()
+        rule = LinkageRule(compare())
+        with pytest.raises(ValueError, match="label count"):
+            prune_rule(rule, PairEvaluator(pairs), labels[:-1])
+
+    def test_max_edits_bounds_work(self):
+        pairs, labels = _labelled_pairs()
+        comparisons = tuple(
+            compare(
+                source=transform("lowerCase", prop("label")),
+                target=transform("lowerCase", prop("label")),
+                threshold=float(t),
+            )
+            for t in range(1, 6)
+        )
+        rule = LinkageRule(AggregationNode(function="max", operators=comparisons))
+        result = prune_rule(rule, PairEvaluator(pairs), labels, max_edits=1)
+        assert result.edits <= 1
+
+    def test_prune_monotone_operator_count(self):
+        pairs, labels = _labelled_pairs()
+        comparisons = tuple(
+            compare(
+                source=transform("lowerCase", prop("label")),
+                target=transform("lowerCase", prop("label")),
+                threshold=float(t),
+            )
+            for t in range(1, 5)
+        )
+        rule = LinkageRule(AggregationNode(function="max", operators=comparisons))
+        result = prune_rule(rule, PairEvaluator(pairs), labels)
+        counts = [rule.operator_count()]
+        counts.extend(step.operators_after for step in result.steps)
+        assert counts == sorted(counts, reverse=True)
+        # max over identical-score children collapses to one comparison.
+        assert len(result.rule.comparisons()) == 1
+
+
+# -- property-based ----------------------------------------------------------
+
+_idempotent = st.sampled_from(sorted(IDEMPOTENT_TRANSFORMATIONS - {"tokenize"}))
+_values = st.lists(
+    st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+        min_size=0,
+        max_size=12,
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+@st.composite
+def _transformation_chains(draw):
+    """A value tree of nested idempotent transformations over one property."""
+    depth = draw(st.integers(min_value=1, max_value=4))
+    node = prop("p")
+    for __ in range(depth):
+        node = transform(draw(_idempotent), node)
+    return node
+
+
+@given(chain=_transformation_chains(), values=_values)
+@settings(max_examples=60, deadline=None)
+def test_simplification_preserves_values(chain, values):
+    """simplify_transformations never changes a comparison's inputs."""
+    from repro.core.evaluation import evaluate_value
+    from repro.transforms.registry import default_registry
+
+    rule = LinkageRule(compare(source=chain, target=prop("p")))
+    simplified = simplify_transformations(rule)
+    registry = default_registry()
+    e = entity("e", p=tuple(values))
+    assert evaluate_value(simplified.root.source, e, registry) == evaluate_value(
+        chain, e, registry
+    )
+
+
+@given(chain=_transformation_chains(), values=_values)
+@settings(max_examples=30, deadline=None)
+def test_simplification_idempotent(chain, values):
+    rule = LinkageRule(compare(source=chain, target=prop("p")))
+    once = simplify_transformations(rule)
+    twice = simplify_transformations(once)
+    assert once == twice
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**30),
+    tolerance=st.floats(min_value=0.0, max_value=0.2),
+)
+@settings(max_examples=20, deadline=None)
+def test_prune_never_degrades_beyond_tolerance(seed, tolerance):
+    """End-state MCC is bounded below by mcc_before - edits * tolerance."""
+    rng = random.Random(seed)
+    pairs, labels = _labelled_pairs()
+    comparisons = tuple(
+        compare(
+            source=transform("lowerCase", prop("label")),
+            target=transform("lowerCase", prop("label")),
+            threshold=rng.uniform(0.5, 3.0),
+        )
+        for __ in range(rng.randint(1, 4))
+    )
+    root = (
+        comparisons[0]
+        if len(comparisons) == 1
+        else AggregationNode(
+            function=rng.choice(("min", "max", "wmean")), operators=comparisons
+        )
+    )
+    rule = LinkageRule(root)
+    result = prune_rule(rule, PairEvaluator(pairs), labels, tolerance=tolerance)
+    assert result.mcc_after >= result.mcc_before - tolerance * max(1, result.edits)
+    assert result.rule.operator_count() <= rule.operator_count()

@@ -1,0 +1,162 @@
+"""Tests for representation restrictions (Table 13 variants)."""
+
+import random
+
+import pytest
+
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    TransformationNode,
+)
+from repro.core.representation import (
+    BOOLEAN,
+    FULL,
+    LINEAR,
+    NONLINEAR,
+    Representation,
+    get_representation,
+)
+from repro.core.rule import validate_tree
+
+
+def _transformed_comparison() -> ComparisonNode:
+    return ComparisonNode(
+        "levenshtein",
+        1.0,
+        TransformationNode("lowerCase", (PropertyNode("label"),)),
+        TransformationNode(
+            "tokenize", (TransformationNode("stem", (PropertyNode("name"),)),)
+        ),
+    )
+
+
+def _nested_tree() -> AggregationNode:
+    return AggregationNode(
+        "wmean",
+        (
+            _transformed_comparison(),
+            AggregationNode(
+                "max",
+                (
+                    ComparisonNode(
+                        "geographic", 500.0, PropertyNode("p"), PropertyNode("c")
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+class TestRepresentationDefinitions:
+    def test_boolean_matches_definition10(self):
+        assert BOOLEAN.aggregation_functions == ("min", "max")
+        assert not BOOLEAN.allow_transformations
+
+    def test_linear_matches_definition9(self):
+        assert LINEAR.aggregation_functions == ("wmean",)
+        assert not LINEAR.allow_nesting
+
+    def test_full_is_unrestricted(self):
+        assert FULL.allow_transformations
+        assert FULL.allow_nesting
+        assert set(FULL.aggregation_functions) == {"min", "max", "wmean"}
+
+    def test_lookup_by_name(self):
+        assert get_representation("boolean") is BOOLEAN
+        with pytest.raises(KeyError):
+            get_representation("quantum")
+
+
+class TestAllows:
+    def test_full_allows_everything(self):
+        assert FULL.allows(_nested_tree())
+
+    def test_boolean_rejects_transformations(self):
+        assert not BOOLEAN.allows(_transformed_comparison())
+
+    def test_boolean_rejects_wmean(self):
+        assert not BOOLEAN.allows(_nested_tree())
+
+    def test_linear_rejects_nesting(self):
+        nested = AggregationNode(
+            "wmean",
+            (
+                AggregationNode(
+                    "wmean",
+                    (
+                        ComparisonNode(
+                            "levenshtein", 1.0, PropertyNode("a"), PropertyNode("b")
+                        ),
+                    ),
+                ),
+            ),
+        )
+        assert not LINEAR.allows(nested)
+
+    def test_nonlinear_allows_nesting_without_transformations(self):
+        tree = AggregationNode(
+            "min",
+            (
+                AggregationNode(
+                    "wmean",
+                    (
+                        ComparisonNode(
+                            "levenshtein", 1.0, PropertyNode("a"), PropertyNode("b")
+                        ),
+                    ),
+                ),
+            ),
+        )
+        assert NONLINEAR.allows(tree)
+
+
+class TestRepair:
+    def test_repair_strips_transformations_for_boolean(self):
+        rng = random.Random(0)
+        repaired = BOOLEAN.repair(_transformed_comparison(), rng)
+        assert BOOLEAN.allows(repaired)
+        assert isinstance(repaired.source, PropertyNode)
+        assert repaired.source.property_name == "label"
+        # The transformation chain bottoms out at 'name'.
+        assert repaired.target.property_name == "name"
+
+    def test_repair_flattens_for_linear(self):
+        rng = random.Random(0)
+        repaired = LINEAR.repair(_nested_tree(), rng)
+        assert LINEAR.allows(repaired)
+        assert isinstance(repaired, AggregationNode)
+        assert all(
+            isinstance(child, ComparisonNode) for child in repaired.operators
+        )
+        # Both comparisons survive the flattening.
+        assert len(repaired.operators) == 2
+
+    def test_repair_replaces_disallowed_function(self):
+        rng = random.Random(0)
+        repaired = BOOLEAN.repair(_nested_tree(), rng)
+        assert BOOLEAN.allows(repaired)
+
+    def test_repair_preserves_valid_trees(self):
+        rng = random.Random(0)
+        tree = AggregationNode(
+            "min",
+            (ComparisonNode("levenshtein", 1.0, PropertyNode("a"), PropertyNode("b")),),
+        )
+        assert BOOLEAN.repair(tree, rng) == tree
+
+    def test_repaired_trees_are_valid(self):
+        rng = random.Random(0)
+        for representation in (BOOLEAN, LINEAR, NONLINEAR, FULL):
+            repaired = representation.repair(_nested_tree(), rng)
+            validate_tree(repaired, expect_similarity=True)
+
+    def test_requires_aggregation_function(self):
+        with pytest.raises(ValueError):
+            Representation(
+                name="broken",
+                aggregation_functions=(),
+                allow_transformations=True,
+                allow_nesting=True,
+            )

@@ -1,0 +1,89 @@
+"""Tests for LinkageRule and grammar validation."""
+
+import pytest
+
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    TransformationNode,
+)
+from repro.core.rule import LinkageRule, RuleValidationError, validate_tree
+
+
+def _comparison(prop_a="a", prop_b="b") -> ComparisonNode:
+    return ComparisonNode("levenshtein", 1.0, PropertyNode(prop_a), PropertyNode(prop_b))
+
+
+class TestValidation:
+    def test_valid_comparison_root(self):
+        LinkageRule(_comparison())  # no raise
+
+    def test_valid_nested_aggregations(self):
+        inner = AggregationNode("max", (_comparison(),))
+        LinkageRule(AggregationNode("min", (inner, _comparison())))
+
+    def test_property_cannot_be_root(self):
+        with pytest.raises(RuleValidationError):
+            validate_tree(PropertyNode("x"), expect_similarity=True)
+
+    def test_transformation_cannot_be_root(self):
+        with pytest.raises(RuleValidationError):
+            validate_tree(
+                TransformationNode("lowerCase", (PropertyNode("x"),)),
+                expect_similarity=True,
+            )
+
+    def test_transformations_nest_inside_values_only(self):
+        nested = TransformationNode(
+            "tokenize", (TransformationNode("lowerCase", (PropertyNode("x"),)),)
+        )
+        LinkageRule(
+            ComparisonNode("jaccard", 0.5, nested, PropertyNode("y"))
+        )  # no raise
+
+
+class TestLinkageRule:
+    def _rule(self) -> LinkageRule:
+        return LinkageRule(
+            AggregationNode(
+                "wmean",
+                (
+                    _comparison("title", "title"),
+                    AggregationNode("max", (_comparison("date", "date"),)),
+                ),
+            )
+        )
+
+    def test_operator_count(self):
+        # 2 agg + 2 cmp + 4 props = 8
+        assert self._rule().operator_count() == 8
+
+    def test_comparisons(self):
+        assert len(self._rule().comparisons()) == 2
+
+    def test_aggregations(self):
+        assert len(self._rule().aggregations()) == 2
+
+    def test_transformations_empty(self):
+        assert self._rule().transformations() == []
+
+    def test_properties(self):
+        assert len(self._rule().properties()) == 4
+
+    def test_depth(self):
+        # wmean -> max -> comparison -> property = 4
+        assert self._rule().depth() == 4
+
+    def test_with_root(self):
+        rule = self._rule()
+        new_rule = rule.with_root(_comparison())
+        assert new_rule.operator_count() == 3
+        assert rule.operator_count() == 8
+
+    def test_str_renders_functions(self):
+        assert "wmean" in str(self._rule())
+
+    def test_rule_is_frozen_and_hashable(self):
+        rule = self._rule()
+        assert hash(rule) == hash(self._rule())

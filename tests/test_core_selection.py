@@ -1,0 +1,72 @@
+"""Tests for tournament selection."""
+
+import random
+
+import pytest
+
+from repro.core.nodes import ComparisonNode, PropertyNode
+from repro.core.rule import LinkageRule
+from repro.core.selection import TournamentSelector
+
+
+def _rules(n: int) -> list[LinkageRule]:
+    return [
+        LinkageRule(
+            ComparisonNode(
+                "levenshtein", float(i + 1), PropertyNode("a"), PropertyNode("b")
+            )
+        )
+        for i in range(n)
+    ]
+
+
+class TestTournamentSelector:
+    def test_selects_best_with_full_tournament(self):
+        rules = _rules(5)
+        fitness = {rule: i for i, rule in enumerate(rules)}
+        selector = TournamentSelector(tournament_size=50)
+        winner = selector.select(rules, lambda r: fitness[r], random.Random(0))
+        # A huge tournament almost surely samples the best rule.
+        assert fitness[winner] == 4
+
+    def test_tournament_size_one_is_uniform(self):
+        rules = _rules(3)
+        selector = TournamentSelector(tournament_size=1)
+        rng = random.Random(0)
+        seen = {selector.select(rules, lambda r: 0.0, rng) for _ in range(100)}
+        assert len(seen) == 3
+
+    def test_selection_pressure_monotone(self):
+        """Bigger tournaments pick better rules on average."""
+        rules = _rules(10)
+        fitness = {rule: float(i) for i, rule in enumerate(rules)}
+
+        def mean_fitness(size: int) -> float:
+            selector = TournamentSelector(tournament_size=size)
+            rng = random.Random(1)
+            total = sum(
+                fitness[selector.select(rules, lambda r: fitness[r], rng)]
+                for _ in range(300)
+            )
+            return total / 300
+
+        assert mean_fitness(5) > mean_fitness(1)
+
+    def test_empty_population_raises(self):
+        selector = TournamentSelector()
+        with pytest.raises(ValueError):
+            selector.select([], lambda r: 0.0, random.Random(0))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            TournamentSelector(tournament_size=0)
+
+    def test_select_pair_returns_two(self):
+        rules = _rules(4)
+        selector = TournamentSelector()
+        pair = selector.select_pair(rules, lambda r: 1.0, random.Random(0))
+        assert len(pair) == 2
+        assert all(rule in rules for rule in pair)
+
+    def test_paper_default_size_is_five(self):
+        assert TournamentSelector().tournament_size == 5

@@ -1,0 +1,122 @@
+"""Tests for rule serialisation and rendering."""
+
+import json
+
+import pytest
+
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    TransformationNode,
+)
+from repro.core.rule import LinkageRule
+from repro.core.serialization import (
+    render_rule,
+    rule_from_dict,
+    rule_from_json,
+    rule_to_dict,
+    rule_to_json,
+)
+
+
+def _complex_rule() -> LinkageRule:
+    return LinkageRule(
+        AggregationNode(
+            "wmean",
+            (
+                ComparisonNode(
+                    "levenshtein",
+                    1.5,
+                    TransformationNode(
+                        "replace",
+                        (PropertyNode("label"),),
+                        params=(("replacement", " "), ("search", "-")),
+                    ),
+                    TransformationNode("lowerCase", (PropertyNode("name"),)),
+                    weight=3,
+                ),
+                AggregationNode(
+                    "max",
+                    (
+                        ComparisonNode(
+                            "geographic", 1000.0, PropertyNode("p"), PropertyNode("c")
+                        ),
+                    ),
+                    weight=2,
+                ),
+            ),
+        )
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        rule = _complex_rule()
+        assert rule_from_dict(rule_to_dict(rule)) == rule
+
+    def test_json_round_trip(self):
+        rule = _complex_rule()
+        assert rule_from_json(rule_to_json(rule)) == rule
+
+    def test_json_is_valid_json(self):
+        json.loads(rule_to_json(_complex_rule()))
+
+    def test_params_preserved(self):
+        rule = rule_from_dict(rule_to_dict(_complex_rule()))
+        transformations = rule.transformations()
+        replace = next(t for t in transformations if t.function == "replace")
+        assert dict(replace.params) == {"replacement": " ", "search": "-"}
+
+    def test_weights_preserved(self):
+        rule = rule_from_dict(rule_to_dict(_complex_rule()))
+        assert rule.comparisons()[0].weight == 3
+
+    def test_missing_key_raises(self):
+        with pytest.raises(ValueError, match="linkageRule"):
+            rule_from_dict({})
+
+    def test_value_root_rejected(self):
+        with pytest.raises(ValueError):
+            rule_from_dict({"linkageRule": {"type": "property", "property": "x"}})
+
+    def test_unknown_node_type_rejected(self):
+        with pytest.raises(ValueError, match="mystery"):
+            rule_from_dict({"linkageRule": {"type": "mystery"}})
+
+    def test_invalid_tree_rejected_on_load(self):
+        payload = {
+            "linkageRule": {
+                "type": "aggregation",
+                "function": "min",
+                "operators": [{"type": "property", "property": "x"}],
+            }
+        }
+        with pytest.raises(Exception):
+            rule_from_dict(payload)
+
+
+class TestRendering:
+    def test_render_contains_all_operators(self, city_rule):
+        text = render_rule(city_rule)
+        assert "Aggregate: min" in text
+        assert "Compare: levenshtein" in text
+        assert "Compare: geographic" in text
+        assert "Transform: lowerCase" in text
+        assert "Property: label" in text
+
+    def test_render_title(self, city_rule):
+        text = render_rule(city_rule, title="Figure 2")
+        assert text.startswith("Figure 2")
+
+    def test_render_comparison_root(self):
+        rule = LinkageRule(
+            ComparisonNode("jaccard", 0.5, PropertyNode("a"), PropertyNode("b"))
+        )
+        text = render_rule(rule)
+        assert "Compare: jaccard" in text
+        assert "θ=0.5" in text
+
+    def test_render_shows_params(self):
+        text = render_rule(_complex_rule())
+        assert "search" in text

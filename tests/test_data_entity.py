@@ -1,0 +1,52 @@
+"""Tests for the Entity data model."""
+
+import pytest
+
+from repro.data.entity import Entity
+
+
+class TestEntity:
+    def test_single_string_value_normalised_to_tuple(self):
+        entity = Entity("e1", {"name": "Berlin"})
+        assert entity.values("name") == ("Berlin",)
+
+    def test_multi_valued_property(self):
+        entity = Entity("e1", {"synonym": ("a", "b")})
+        assert entity.values("synonym") == ("a", "b")
+
+    def test_missing_property_is_empty_tuple(self):
+        entity = Entity("e1", {"name": "x"})
+        assert entity.values("other") == ()
+
+    def test_empty_values_dropped(self):
+        entity = Entity("e1", {"name": "", "kept": "v"})
+        assert not entity.has("name")
+        assert entity.has("kept")
+
+    def test_uid_required(self):
+        with pytest.raises(ValueError):
+            Entity("", {"name": "x"})
+
+    def test_property_names(self):
+        entity = Entity("e1", {"b": "1", "a": "2"})
+        assert set(entity.property_names()) == {"a", "b"}
+
+    def test_equality_by_uid_and_content(self):
+        assert Entity("e1", {"a": "1"}) == Entity("e1", {"a": "1"})
+        assert Entity("e1", {"a": "1"}) != Entity("e1", {"a": "2"})
+        assert Entity("e1", {"a": "1"}) != Entity("e2", {"a": "1"})
+
+    def test_hash_by_uid(self):
+        assert hash(Entity("e1", {})) == hash(Entity("e1", {"a": "1"}))
+
+    def test_properties_mapping_readonly(self):
+        entity = Entity("e1", {"a": "1"})
+        with pytest.raises(TypeError):
+            entity.properties["b"] = ("2",)  # type: ignore[index]
+
+    def test_values_coerced_to_str(self):
+        entity = Entity("e1", {"n": (42,)})  # type: ignore[dict-item]
+        assert entity.values("n") == ("42",)
+
+    def test_repr_contains_uid(self):
+        assert "e1" in repr(Entity("e1", {"a": "1"}))

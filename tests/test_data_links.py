@@ -1,0 +1,130 @@
+"""Tests for reference links and splits."""
+
+import random
+
+import pytest
+
+from repro.data.entity import Entity
+from repro.data.reference_links import (
+    ReferenceLinkSet,
+    generate_negative_links,
+)
+from repro.data.source import DataSource
+from repro.data.splits import cross_validation_folds, train_validation_split
+
+
+class TestReferenceLinkSet:
+    def test_counts(self):
+        links = ReferenceLinkSet([("a", "b")], [("a", "c"), ("d", "b")])
+        assert len(links) == 3
+        assert len(links.positive) == 1
+        assert len(links.negative) == 2
+
+    def test_duplicates_removed(self):
+        links = ReferenceLinkSet([("a", "b"), ("a", "b")], [])
+        assert len(links.positive) == 1
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            ReferenceLinkSet([("a", "b")], [("a", "b")])
+
+    def test_iteration_positives_first(self):
+        links = ReferenceLinkSet([("a", "b")], [("c", "d")])
+        assert list(links) == [(("a", "b"), True), (("c", "d"), False)]
+
+    def test_labelled_pairs(self):
+        source_a = DataSource("A", [Entity("a", {"x": "1"})])
+        source_b = DataSource("B", [Entity("b", {"x": "1"}), Entity("c", {"x": "2"})])
+        links = ReferenceLinkSet([("a", "b")], [("a", "c")])
+        pairs, labels = links.labelled_pairs(source_a, source_b)
+        assert [(p[0].uid, p[1].uid) for p in pairs] == [("a", "b"), ("a", "c")]
+        assert labels == [True, False]
+
+    def test_subset(self):
+        links = ReferenceLinkSet([("a", "b"), ("c", "d")], [("a", "d")])
+        subset = links.subset([0, 2])
+        assert subset.positive == [("a", "b")]
+        assert subset.negative == [("a", "d")]
+
+    def test_shuffled_preserves_content(self):
+        links = ReferenceLinkSet([("a", "b"), ("c", "d")], [("a", "d"), ("c", "b")])
+        shuffled = links.shuffled(random.Random(3))
+        assert set(shuffled.positive) == set(links.positive)
+        assert set(shuffled.negative) == set(links.negative)
+
+    def test_with_negatives(self):
+        links = ReferenceLinkSet([("a", "b")])
+        extended = links.with_negatives([("a", "c")])
+        assert extended.negative == [("a", "c")]
+
+
+class TestGenerateNegativeLinks:
+    def test_cross_pairing_scheme(self):
+        positive = [("a", "b"), ("c", "d"), ("e", "f"), ("g", "h")]
+        negatives = generate_negative_links(positive, random.Random(0))
+        for uid_a, uid_b in negatives:
+            # Every negative is a cross-combination of two positives.
+            assert any(uid_a == p[0] for p in positive)
+            assert any(uid_b == p[1] for p in positive)
+            assert (uid_a, uid_b) not in positive
+
+    def test_balanced_count_by_default(self):
+        positive = [(f"a{i}", f"b{i}") for i in range(20)]
+        negatives = generate_negative_links(positive, random.Random(1))
+        assert len(negatives) == len(positive)
+
+    def test_explicit_count(self):
+        positive = [(f"a{i}", f"b{i}") for i in range(10)]
+        negatives = generate_negative_links(positive, random.Random(1), count=5)
+        assert len(negatives) == 5
+
+    def test_no_duplicates(self):
+        positive = [(f"a{i}", f"b{i}") for i in range(15)]
+        negatives = generate_negative_links(positive, random.Random(2))
+        assert len(negatives) == len(set(negatives))
+
+    def test_single_positive_yields_nothing(self):
+        assert generate_negative_links([("a", "b")], random.Random(0)) == []
+
+
+class TestSplits:
+    def _links(self, n: int = 20) -> ReferenceLinkSet:
+        positive = [(f"a{i}", f"b{i}") for i in range(n)]
+        negative = [(f"a{i}", f"b{(i + 1) % n}") for i in range(n)]
+        return ReferenceLinkSet(positive, negative)
+
+    def test_train_validation_split_is_partition(self):
+        links = self._links()
+        train, validation = train_validation_split(links, random.Random(0))
+        assert set(train.positive) | set(validation.positive) == set(links.positive)
+        assert set(train.positive) & set(validation.positive) == set()
+        assert set(train.negative) | set(validation.negative) == set(links.negative)
+
+    def test_split_is_stratified(self):
+        train, validation = train_validation_split(self._links(), random.Random(0))
+        assert len(train.positive) == 10
+        assert len(train.negative) == 10
+
+    def test_split_fraction(self):
+        train, _ = train_validation_split(
+            self._links(), random.Random(0), train_fraction=0.75
+        )
+        assert len(train.positive) == 15
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_validation_split(self._links(), random.Random(0), train_fraction=1.5)
+
+    def test_cross_validation_folds_cover_everything(self):
+        links = self._links(12)
+        folds = list(cross_validation_folds(links, 3, random.Random(0)))
+        assert len(folds) == 3
+        all_validation_positives = set()
+        for train, validation in folds:
+            assert set(train.positive) & set(validation.positive) == set()
+            all_validation_positives.update(validation.positive)
+        assert all_validation_positives == set(links.positive)
+
+    def test_folds_minimum(self):
+        with pytest.raises(ValueError):
+            list(cross_validation_folds(self._links(), 1, random.Random(0)))

@@ -1,0 +1,95 @@
+"""Tests for data source profiling (repro.data.profiling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.entity import Entity
+from repro.data.profiling import PropertyProfile, SourceProfile, profile_source
+from repro.data.source import DataSource
+
+
+def sample_source() -> DataSource:
+    return DataSource(
+        "shop",
+        [
+            Entity("e1", {"label": "iPod Nano", "sku": "A1", "price": "199"}),
+            Entity("e2", {"label": "ThinkPad", "sku": "A2", "price": "899"}),
+            Entity("e3", {"label": "iPod Nano", "sku": "A3"}),
+            Entity("e4", {"label": ("Galaxy", "Note"), "sku": "A4"}),
+        ],
+    )
+
+
+class TestProfileSource:
+    def test_counts(self):
+        profile = profile_source(sample_source())
+        assert isinstance(profile, SourceProfile)
+        assert profile.entity_count == 4
+        assert profile.property_count == 3
+
+    def test_coverage(self):
+        profile = profile_source(sample_source())
+        assert profile.property_profile("label").coverage == 1.0
+        assert profile.property_profile("price").coverage == pytest.approx(0.5)
+
+    def test_distinctness(self):
+        profile = profile_source(sample_source())
+        # labels: iPod Nano x2, ThinkPad, Galaxy, Note -> 4 distinct / 5
+        assert profile.property_profile("label").distinctness == pytest.approx(
+            4 / 5
+        )
+        assert profile.property_profile("sku").distinctness == 1.0
+
+    def test_values_per_entity(self):
+        profile = profile_source(sample_source())
+        assert profile.property_profile("label").values_per_entity == pytest.approx(
+            5 / 4
+        )
+
+    def test_numeric_ratio(self):
+        profile = profile_source(sample_source())
+        assert profile.property_profile("price").numeric_ratio == 1.0
+        assert profile.property_profile("label").numeric_ratio == 0.0
+
+    def test_mean_coverage_is_table6_number(self):
+        profile = profile_source(sample_source())
+        expected = (1.0 + 1.0 + 0.5) / 3
+        assert profile.mean_coverage == pytest.approx(expected)
+
+    def test_key_candidates(self):
+        profile = profile_source(sample_source())
+        assert profile.key_candidates() == ["sku"]
+
+    def test_unknown_property_raises(self):
+        profile = profile_source(sample_source())
+        with pytest.raises(KeyError, match="no property"):
+            profile.property_profile("missing")
+
+    def test_empty_source(self):
+        profile = profile_source(DataSource("empty", []))
+        assert profile.entity_count == 0
+        assert profile.properties == ()
+        assert profile.mean_coverage == 0.0
+
+    def test_render_mentions_each_property(self):
+        text = profile_source(sample_source()).render()
+        for name in ("label", "sku", "price"):
+            assert name in text
+
+    def test_example_truncated(self):
+        source = DataSource("s", [Entity("e", {"long": "x" * 100})])
+        profile = profile_source(source, max_example_length=10)
+        assert len(profile.property_profile("long").example) == 10
+
+    def test_profile_on_generated_dataset_matches_summary(self):
+        """The profiler agrees with the dataset's own Table 6 summary."""
+        from repro.datasets import load_dataset
+
+        dataset = load_dataset("restaurant", seed=3, scale=0.1)
+        profile = profile_source(dataset.source_a)
+        summary = dataset.summary()
+        assert profile.property_count == summary["properties_a"]
+        assert profile.mean_coverage == pytest.approx(
+            summary["coverage_a"], abs=0.02
+        )

@@ -1,0 +1,64 @@
+"""Tests for the DataSource container."""
+
+import pytest
+
+from repro.data.entity import Entity
+from repro.data.source import DataSource
+
+
+def _source() -> DataSource:
+    return DataSource(
+        "test",
+        [
+            Entity("e1", {"name": "a", "extra": "x"}),
+            Entity("e2", {"name": "b"}),
+            Entity("e3", {"name": "c", "extra": "y"}),
+            Entity("e4", {"name": "d"}),
+        ],
+    )
+
+
+class TestDataSource:
+    def test_len(self):
+        assert len(_source()) == 4
+
+    def test_get(self):
+        assert _source().get("e2").values("name") == ("b",)
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyError, match="nope"):
+            _source().get("nope")
+
+    def test_contains(self):
+        source = _source()
+        assert "e1" in source
+        assert "zz" not in source
+
+    def test_duplicate_uid_rejected(self):
+        source = _source()
+        with pytest.raises(ValueError, match="duplicate"):
+            source.add(Entity("e1", {}))
+
+    def test_iteration_order_is_insertion_order(self):
+        assert [e.uid for e in _source()] == ["e1", "e2", "e3", "e4"]
+
+    def test_property_names_union(self):
+        assert _source().property_names() == ["extra", "name"]
+
+    def test_property_count(self):
+        assert _source().property_count() == 2
+
+    def test_coverage(self):
+        # name on 4/4, extra on 2/4 -> (4 + 2) / (2 * 4) = 0.75
+        assert _source().coverage() == pytest.approx(0.75)
+
+    def test_coverage_empty_source(self):
+        assert DataSource("empty").coverage() == 0.0
+
+    def test_property_coverage_per_property(self):
+        coverage = _source().property_coverage()
+        assert coverage["name"] == 1.0
+        assert coverage["extra"] == 0.5
+
+    def test_uids(self):
+        assert _source().uids() == ["e1", "e2", "e3", "e4"]

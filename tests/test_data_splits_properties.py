@@ -1,0 +1,111 @@
+"""Property-based tests for cross-validation splits (repro.data.splits).
+
+The Section 6.1 protocol rests on these invariants: splits partition
+the links (nothing lost, nothing duplicated, no train/validation leak)
+and stratification keeps both polarities present on both sides.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.reference_links import ReferenceLinkSet
+from repro.data.splits import cross_validation_folds, train_validation_split
+
+
+@st.composite
+def _link_sets(draw, min_links=2, max_links=40):
+    n_positive = draw(st.integers(min_value=min_links, max_value=max_links))
+    n_negative = draw(st.integers(min_value=min_links, max_value=max_links))
+    positive = [(f"a{i}", f"b{i}") for i in range(n_positive)]
+    negative = [(f"a{i}", f"b{i + 1000}") for i in range(n_negative)]
+    return ReferenceLinkSet(positive, negative)
+
+
+@given(links=_link_sets(), seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=60, deadline=None)
+def test_two_fold_split_partitions_links(links, seed):
+    train, validation = train_validation_split(links, random.Random(seed))
+    all_positive = set(links.positive)
+    all_negative = set(links.negative)
+    assert set(train.positive) | set(validation.positive) == all_positive
+    assert set(train.negative) | set(validation.negative) == all_negative
+    assert not set(train.positive) & set(validation.positive)
+    assert not set(train.negative) & set(validation.negative)
+
+
+@given(links=_link_sets(), seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=60, deadline=None)
+def test_two_fold_split_stratified(links, seed):
+    """Both polarities stay non-empty on both sides (the learner
+    requires positive and negative training links)."""
+    train, validation = train_validation_split(links, random.Random(seed))
+    for side in (train, validation):
+        assert side.positive
+        assert side.negative
+
+
+@given(
+    links=_link_sets(min_links=6),
+    folds=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_k_fold_validation_sets_partition_links(links, folds, seed):
+    validations = [
+        validation
+        for __, validation in cross_validation_folds(
+            links, folds, random.Random(seed)
+        )
+    ]
+    assert len(validations) == folds
+    seen_positive: list = []
+    for validation in validations:
+        seen_positive.extend(validation.positive)
+    assert sorted(seen_positive) == sorted(links.positive)
+    # Disjoint across folds:
+    assert len(seen_positive) == len(set(seen_positive))
+
+
+@given(
+    links=_link_sets(min_links=6),
+    folds=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_k_fold_train_and_validation_complementary(links, folds, seed):
+    for train, validation in cross_validation_folds(
+        links, folds, random.Random(seed)
+    ):
+        assert not set(train.positive) & set(validation.positive)
+        assert not set(train.negative) & set(validation.negative)
+        assert set(train.positive) | set(validation.positive) == set(
+            links.positive
+        )
+
+
+@given(
+    links=_link_sets(),
+    seed=st.integers(min_value=0, max_value=2**31),
+    fraction=st.floats(min_value=0.2, max_value=0.8),
+)
+@settings(max_examples=40, deadline=None)
+def test_train_fraction_respected(links, seed, fraction):
+    train, __ = train_validation_split(
+        links, random.Random(seed), train_fraction=fraction
+    )
+    expected = round(len(links.positive) * fraction)
+    # The split clamps to keep both sides non-empty.
+    assert abs(len(train.positive) - expected) <= 1
+
+
+@given(links=_link_sets(), seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=30, deadline=None)
+def test_split_deterministic_for_same_rng_seed(links, seed):
+    first = train_validation_split(links, random.Random(seed))
+    second = train_validation_split(links, random.Random(seed))
+    assert first[0].positive == second[0].positive
+    assert first[1].negative == second[1].negative

@@ -1,0 +1,165 @@
+"""Tests for the noise models and vocabularies behind the datasets."""
+
+import random
+
+import pytest
+
+from repro.datasets import noise, vocab
+from repro.datasets.fillers import add_fillers, filler_value
+from repro.distances.dates import parse_date
+from repro.distances.geographic import haversine_metres, parse_point
+from repro.distances.levenshtein import levenshtein
+
+
+@pytest.fixture
+def rng():
+    return random.Random(99)
+
+
+class TestTypo:
+    def test_single_edit_within_levenshtein_two(self, rng):
+        # A transposition costs two classic Levenshtein operations.
+        for _ in range(50):
+            word = "reference"
+            assert levenshtein(word, noise.typo(word, rng, edits=1)) <= 2.0
+
+    def test_multiple_edits_bounded(self, rng):
+        for _ in range(30):
+            corrupted = noise.typo("reference", rng, edits=3)
+            assert levenshtein("reference", corrupted) <= 6.0
+
+    def test_empty_string_survives(self, rng):
+        assert isinstance(noise.typo("", rng), str)
+
+
+class TestCaseAndTokens:
+    def test_case_noise_changes_only_case(self, rng):
+        for _ in range(20):
+            value = "Mixed Case Words"
+            assert noise.case_noise(value, rng).lower() == value.lower()
+
+    def test_shuffle_tokens_preserves_token_set(self, rng):
+        value = "alpha beta gamma delta"
+        shuffled = noise.shuffle_tokens(value, rng)
+        assert sorted(shuffled.split()) == sorted(value.split())
+
+    def test_shuffle_single_token_noop(self, rng):
+        assert noise.shuffle_tokens("single", rng) == "single"
+
+    def test_drop_token_removes_exactly_one(self, rng):
+        value = "alpha beta gamma"
+        dropped = noise.drop_token(value, rng)
+        assert len(dropped.split()) == 2
+
+    def test_drop_token_keeps_last(self, rng):
+        assert noise.drop_token("only", rng) == "only"
+
+
+class TestNameFormats:
+    def test_abbreviate_contains_last_name(self, rng):
+        for _ in range(20):
+            rendered = noise.abbreviate_name("John", "Smith", rng)
+            assert "Smith" in rendered
+
+    def test_author_list_contains_all_last_names(self, rng):
+        names = [("John", "Smith"), ("Mary", "Davis")]
+        rendered = noise.author_list(names, rng)
+        assert "Smith" in rendered and "Davis" in rendered
+
+
+class TestFormats:
+    def test_date_format_always_parseable(self, rng):
+        for _ in range(40):
+            rendered = noise.date_format(1994, 5, 20, rng)
+            assert parse_date(rendered) is not None
+
+    def test_wkt_point_round_trips(self):
+        assert parse_point(noise.wkt_point(52.52, 13.405)) == pytest.approx(
+            (52.52, 13.405), abs=1e-4
+        )
+
+    def test_latlon_pair_round_trips(self):
+        assert parse_point(noise.latlon_pair(52.52, 13.405)) == pytest.approx(
+            (52.52, 13.405), abs=1e-4
+        )
+
+    def test_coordinate_jitter_bounded(self, rng):
+        for _ in range(20):
+            lat, lon = noise.coordinate_jitter(52.0, 13.0, rng, max_metres=500.0)
+            # Diagonal jitter of 500m in both axes is < 1500m total.
+            assert haversine_metres(52.0, 13.0, lat, lon) < 1500.0
+
+    def test_uri_wrap(self):
+        assert (
+            noise.uri_wrap("New York City")
+            == "http://dbpedia.org/resource/New_York_City"
+        )
+
+    def test_punctuation_noise_keeps_tokens(self, rng):
+        value = "beta blocker drug"
+        noisy = noise.punctuation_noise(value, rng)
+        for token in value.split():
+            assert token in noisy
+
+
+class TestVocab:
+    def test_paper_title_word_count(self, rng):
+        for _ in range(20):
+            title = vocab.paper_title(rng, words=6)
+            # connector word adds one token.
+            assert 5 <= len(title.split()) <= 8
+
+    def test_venue_abbreviations_share_tokens(self):
+        for full, short in vocab.VENUES:
+            full_tokens = {t.lower().strip(".") for t in full.split()}
+            short_tokens = {t.lower().strip(".") for t in short.split()}
+            assert full_tokens & short_tokens, (full, short)
+
+    def test_phone_number_formats(self, rng):
+        dashed, dotted = vocab.phone_number(rng, area=310)
+        assert dashed.startswith("310-")
+        assert dotted.startswith("310/")
+
+    def test_drug_name_is_lowercase_word(self, rng):
+        for _ in range(20):
+            name = vocab.drug_name(rng)
+            assert name.isalpha() and name == name.lower()
+
+    def test_cas_number_shape(self, rng):
+        import re
+
+        assert re.match(r"^\d+-\d{2}-\d$", vocab.cas_number(rng))
+
+    def test_atc_code_shape(self, rng):
+        import re
+
+        assert re.match(r"^[A-Z]\d{2}[A-J]{2}\d{2}$", vocab.atc_code(rng))
+
+    def test_street_address_forms(self, rng):
+        full, short = vocab.street_address(rng)
+        assert full.split()[0] == short.split()[0]  # same house number
+
+
+class TestFillers:
+    def test_sides_never_levenshtein_compatible(self, rng):
+        """Cross-side filler words must not trip Algorithm 2."""
+        from repro.datasets.fillers import _FILLER_WORDS_A, _FILLER_WORDS_B
+
+        for a in _FILLER_WORDS_A:
+            for b in _FILLER_WORDS_B:
+                assert levenshtein(a, b, bound=1) > 1.0, (a, b)
+
+    def test_add_fillers_presence(self, rng):
+        record: dict = {}
+        add_fillers(record, "p", 100, presence=0.5, rng=rng)
+        assert 25 <= len(record) <= 75
+
+    def test_add_fillers_zero_presence(self, rng):
+        record: dict = {}
+        add_fillers(record, "p", 50, presence=0.0, rng=rng)
+        assert record == {}
+
+    def test_filler_value_nonempty(self, rng):
+        for side in (0, 1):
+            for _ in range(20):
+                assert filler_value(rng, side=side)

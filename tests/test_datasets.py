@@ -1,0 +1,182 @@
+"""Tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.datasets import DATASET_NAMES, dataset_spec, load_dataset
+from repro.datasets.base import DatasetSpec
+
+#: Small scale keeps the suite fast while exercising every generator.
+SCALE = 0.12
+
+
+@pytest.fixture(scope="module")
+def all_datasets():
+    return {name: load_dataset(name, seed=11, scale=SCALE) for name in DATASET_NAMES}
+
+
+class TestRegistry:
+    def test_six_datasets(self):
+        assert len(DATASET_NAMES) == 6
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("imaginary")
+        with pytest.raises(KeyError):
+            dataset_spec("imaginary")
+
+    def test_specs_match_table5(self):
+        # Table 5 of the paper.
+        expectations = {
+            "cora": (1879, None, 1617),
+            "restaurant": (864, None, 112),
+            "sider_drugbank": (924, 4772, 859),
+            "nyt": (5620, 1819, 1920),
+            "linkedmdb": (199, 174, 100),
+            "dbpedia_drugbank": (4854, 4772, 1403),
+        }
+        for name, (entities_a, entities_b, links) in expectations.items():
+            spec = dataset_spec(name)
+            assert spec.entities_a == entities_a
+            assert spec.entities_b == entities_b
+            assert spec.positive_links == links
+
+    def test_specs_match_table6(self):
+        # Table 6 of the paper.
+        expectations = {
+            "cora": (4, None, 0.8, None),
+            "restaurant": (5, None, 1.0, None),
+            "sider_drugbank": (8, 79, 1.0, 0.5),
+            "nyt": (38, 110, 0.3, 0.2),
+            "linkedmdb": (100, 46, 0.4, 0.4),
+            "dbpedia_drugbank": (110, 79, 0.3, 0.5),
+        }
+        for name, (props_a, props_b, cov_a, cov_b) in expectations.items():
+            spec = dataset_spec(name)
+            assert spec.properties_a == props_a
+            assert spec.properties_b == props_b
+            assert spec.coverage_a == cov_a
+            assert spec.coverage_b == cov_b
+
+
+class TestGeneratedDatasets:
+    def test_all_links_resolve(self, all_datasets):
+        for dataset in all_datasets.values():
+            for (uid_a, uid_b), _label in dataset.links:
+                assert uid_a in dataset.source_a
+                assert uid_b in dataset.source_b
+
+    def test_balanced_links(self, all_datasets):
+        for dataset in all_datasets.values():
+            positive = len(dataset.links.positive)
+            negative = len(dataset.links.negative)
+            assert negative >= positive * 0.8
+
+    def test_no_positive_negative_overlap(self, all_datasets):
+        for dataset in all_datasets.values():
+            assert not set(dataset.links.positive) & set(dataset.links.negative)
+
+    def test_deduplication_datasets_share_source(self, all_datasets):
+        assert all_datasets["cora"].is_deduplication
+        assert all_datasets["restaurant"].is_deduplication
+        assert not all_datasets["nyt"].is_deduplication
+
+    def test_coverage_close_to_spec(self, all_datasets):
+        for name, dataset in all_datasets.items():
+            spec = dataset_spec(name)
+            measured = dataset.source_a.coverage()
+            assert measured == pytest.approx(spec.coverage_a, abs=0.08), name
+            if spec.coverage_b is not None:
+                measured_b = dataset.source_b.coverage()
+                assert measured_b == pytest.approx(spec.coverage_b, abs=0.08), name
+
+    def test_property_counts_close_to_spec(self, all_datasets):
+        for name, dataset in all_datasets.items():
+            spec = dataset_spec(name)
+            assert dataset.source_a.property_count() == pytest.approx(
+                spec.properties_a, abs=4
+            ), name
+
+    def test_deterministic_per_seed(self):
+        first = load_dataset("cora", seed=5, scale=SCALE)
+        second = load_dataset("cora", seed=5, scale=SCALE)
+        assert first.links.positive == second.links.positive
+        assert [e.uid for e in first.source_a] == [e.uid for e in second.source_a]
+        uids = first.source_a.uids()[:10]
+        for uid in uids:
+            assert first.source_a.get(uid) == second.source_a.get(uid)
+
+    def test_different_seeds_differ(self):
+        first = load_dataset("cora", seed=5, scale=SCALE)
+        second = load_dataset("cora", seed=6, scale=SCALE)
+        assert first.links.positive != second.links.positive
+
+    def test_summary_shape(self, all_datasets):
+        summary = all_datasets["nyt"].summary()
+        assert {"name", "entities_a", "entities_b", "positive_links"} <= set(summary)
+
+
+class TestScaling:
+    def test_scaled_spec(self):
+        spec = dataset_spec("cora").scaled(0.1)
+        assert spec.entities_a == 188
+        assert spec.positive_links == 162
+        assert spec.properties_a == 4  # property counts never scale
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            dataset_spec("cora").scaled(0.0)
+        with pytest.raises(ValueError):
+            load_dataset("cora", scale=2.0)
+
+    def test_minimum_sizes_enforced(self):
+        spec = DatasetSpec(
+            name="tiny", entities_a=10, entities_b=10, positive_links=5,
+            properties_a=2, properties_b=2, coverage_a=1.0, coverage_b=1.0,
+        ).scaled(0.01)
+        assert spec.entities_a >= 8
+        assert spec.positive_links >= 6
+
+
+class TestDatasetStructure:
+    def test_cora_has_paper_properties(self, all_datasets):
+        names = set(all_datasets["cora"].source_a.property_names())
+        assert names == {"title", "author", "venue", "date"}
+
+    def test_restaurant_has_five_properties(self, all_datasets):
+        names = set(all_datasets["restaurant"].source_a.property_names())
+        assert names == {"name", "address", "city", "phone", "type"}
+
+    def test_nyt_geo_formats_differ(self, all_datasets):
+        dataset = all_datasets["nyt"]
+        nyt_geo = next(
+            e.values("geo")[0] for e in dataset.source_a if e.has("geo")
+        )
+        dbp_point = next(
+            e.values("point")[0] for e in dataset.source_b if e.has("point")
+        )
+        assert "," in nyt_geo
+        assert dbp_point.startswith("POINT(")
+
+    def test_dbpedia_labels_are_uris(self, all_datasets):
+        dataset = all_datasets["nyt"]
+        label = next(e.values("label")[0] for e in dataset.source_b)
+        assert label.startswith("http://dbpedia.org/resource/")
+
+    def test_sider_names_lowercase(self, all_datasets):
+        dataset = all_datasets["sider_drugbank"]
+        for entity in list(dataset.source_a)[:20]:
+            name = entity.values("siderName")[0]
+            assert name == name.lower()
+
+    def test_linkedmdb_has_remake_negatives(self, all_datasets):
+        dataset = all_datasets["linkedmdb"]
+        found_remake = False
+        for uid_a, uid_b in dataset.links.negative:
+            label = dataset.source_a.get(uid_a).values("label")
+            title = dataset.source_b.get(uid_b).values("title")
+            if label and title:
+                l0 = label[0].split(" (")[0].lower()
+                if l0 == title[0].lower():
+                    found_remake = True
+                    break
+        assert found_remake

@@ -1,0 +1,53 @@
+"""Tests for the date distance."""
+
+import datetime
+
+from repro.distances.base import INFINITE_DISTANCE
+from repro.distances.dates import DateDistance, parse_date
+
+
+class TestParseDate:
+    def test_iso(self):
+        assert parse_date("1994-05-20") == datetime.date(1994, 5, 20)
+
+    def test_slash(self):
+        assert parse_date("1994/05/20") == datetime.date(1994, 5, 20)
+
+    def test_german_dotted(self):
+        assert parse_date("20.05.1994") == datetime.date(1994, 5, 20)
+
+    def test_long_month_name(self):
+        assert parse_date("May 20, 1994") == datetime.date(1994, 5, 20)
+
+    def test_bare_year_resolves_to_january_first(self):
+        assert parse_date("1994") == datetime.date(1994, 1, 1)
+
+    def test_whitespace_tolerated(self):
+        assert parse_date("  1994  ") == datetime.date(1994, 1, 1)
+
+    def test_garbage(self):
+        assert parse_date("not a date") is None
+
+    def test_year_zero_rejected(self):
+        assert parse_date("0000") is None
+
+
+class TestDateDistance:
+    def test_same_date_zero(self):
+        assert DateDistance().evaluate(("1994-05-20",), ("20.05.1994",)) == 0.0
+
+    def test_days_difference(self):
+        assert DateDistance().evaluate(("1994-05-20",), ("1994-05-25",)) == 5.0
+
+    def test_year_vs_full_date(self):
+        # 1994 -> Jan 1; May 20 is 139 days later.
+        assert DateDistance().evaluate(("1994",), ("1994-05-20",)) == 139.0
+
+    def test_unparseable_infinite(self):
+        assert DateDistance().evaluate(("soon",), ("1994",)) == INFINITE_DISTANCE
+
+    def test_min_over_sets(self):
+        distance = DateDistance().evaluate(
+            ("1990-01-01", "1994-05-20"), ("1994-05-21",)
+        )
+        assert distance == 1.0

@@ -1,0 +1,77 @@
+"""Tests for the geographic distance."""
+
+import pytest
+
+from repro.distances.base import INFINITE_DISTANCE
+from repro.distances.geographic import (
+    GeographicDistance,
+    haversine_metres,
+    parse_point,
+)
+
+
+class TestParsePoint:
+    def test_wkt_lon_lat_order(self):
+        assert parse_point("POINT(13.4050 52.5200)") == (52.52, 13.405)
+
+    def test_wkt_case_insensitive(self):
+        assert parse_point("point(0 0)") == (0.0, 0.0)
+
+    def test_comma_pair_lat_lon(self):
+        assert parse_point("52.52,13.405") == (52.52, 13.405)
+
+    def test_space_pair(self):
+        assert parse_point("52.52 13.405") == (52.52, 13.405)
+
+    def test_negative_coordinates(self):
+        assert parse_point("-33.86,151.21") == (-33.86, 151.21)
+
+    def test_out_of_range_latitude(self):
+        assert parse_point("95.0,10.0") is None
+
+    def test_out_of_range_longitude(self):
+        assert parse_point("10.0,190.0") is None
+
+    def test_garbage(self):
+        assert parse_point("not a point") is None
+
+    def test_plain_number_is_not_a_point(self):
+        assert parse_point("42") is None
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_metres(52.52, 13.405, 52.52, 13.405) == 0.0
+
+    def test_berlin_hamburg_about_255km(self):
+        distance = haversine_metres(52.52, 13.405, 53.5511, 9.9937)
+        assert 240_000 < distance < 270_000
+
+    def test_equator_degree_about_111km(self):
+        distance = haversine_metres(0.0, 0.0, 0.0, 1.0)
+        assert 110_000 < distance < 112_000
+
+    def test_symmetry(self):
+        d1 = haversine_metres(10, 20, 30, 40)
+        d2 = haversine_metres(30, 40, 10, 20)
+        assert d1 == pytest.approx(d2)
+
+
+class TestGeographicDistance:
+    def test_mixed_formats(self):
+        measure = GeographicDistance()
+        distance = measure.evaluate(
+            ("52.5200,13.4050",), ("POINT(13.4050 52.5200)",)
+        )
+        assert distance == pytest.approx(0.0, abs=1.0)
+
+    def test_unparseable_infinite(self):
+        measure = GeographicDistance()
+        assert measure.evaluate(("somewhere",), ("52.5,13.4",)) == INFINITE_DISTANCE
+
+    def test_min_over_sets(self):
+        measure = GeographicDistance()
+        distance = measure.evaluate(
+            ("0.0,0.0", "52.52,13.405"), ("52.53,13.405",)
+        )
+        assert distance < 2000

@@ -1,0 +1,43 @@
+"""Tests for the Jaccard distance."""
+
+import pytest
+
+from repro.distances.base import INFINITE_DISTANCE
+from repro.distances.jaccard import JaccardDistance, jaccard_distance
+
+
+class TestJaccardDistance:
+    def test_identical_sets(self):
+        assert jaccard_distance(("a", "b"), ("a", "b")) == 0.0
+
+    def test_disjoint_sets(self):
+        assert jaccard_distance(("a",), ("b",)) == 1.0
+
+    def test_half_overlap(self):
+        # {a,b} vs {b,c}: intersection 1, union 3
+        assert jaccard_distance(("a", "b"), ("b", "c")) == pytest.approx(2 / 3)
+
+    def test_subset(self):
+        assert jaccard_distance(("a",), ("a", "b")) == pytest.approx(0.5)
+
+    def test_duplicates_ignored(self):
+        assert jaccard_distance(("a", "a", "b"), ("a", "b")) == 0.0
+
+    def test_empty_left_infinite(self):
+        assert jaccard_distance((), ("a",)) == INFINITE_DISTANCE
+
+    def test_empty_right_infinite(self):
+        assert jaccard_distance(("a",), ()) == INFINITE_DISTANCE
+
+    def test_symmetry(self):
+        d1 = jaccard_distance(("a", "b", "c"), ("b", "d"))
+        d2 = jaccard_distance(("b", "d"), ("a", "b", "c"))
+        assert d1 == d2
+
+    def test_case_sensitive(self):
+        assert jaccard_distance(("Berlin",), ("berlin",)) == 1.0
+
+    def test_measure_wrapper(self):
+        measure = JaccardDistance()
+        assert measure.evaluate(("x", "y"), ("y", "x")) == 0.0
+        assert measure.name == "jaccard"

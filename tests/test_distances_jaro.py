@@ -1,0 +1,66 @@
+"""Tests for Jaro and Jaro-Winkler similarity."""
+
+import pytest
+
+from repro.distances.jaro import (
+    JaroDistance,
+    JaroWinklerDistance,
+    jaro_similarity,
+    jaro_winkler_similarity,
+)
+
+
+class TestJaroSimilarity:
+    def test_identical(self):
+        assert jaro_similarity("martha", "martha") == 1.0
+
+    def test_classic_martha_marhta(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_classic_dixon_dicksonx(self):
+        assert jaro_similarity("dixon", "dicksonx") == pytest.approx(0.7667, abs=1e-3)
+
+    def test_no_match(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_empty_string(self):
+        assert jaro_similarity("", "abc") == 0.0
+
+    def test_symmetry(self):
+        assert jaro_similarity("crate", "trace") == pytest.approx(
+            jaro_similarity("trace", "crate")
+        )
+
+    def test_range(self):
+        for a, b in [("a", "b"), ("ab", "ba"), ("hello", "hallo")]:
+            assert 0.0 <= jaro_similarity(a, b) <= 1.0
+
+
+class TestJaroWinkler:
+    def test_prefix_boost(self):
+        base = jaro_similarity("prefixes", "prefixed")
+        boosted = jaro_winkler_similarity("prefixes", "prefixed")
+        assert boosted > base
+
+    def test_identical(self):
+        assert jaro_winkler_similarity("same", "same") == 1.0
+
+    def test_no_common_prefix_equals_jaro(self):
+        assert jaro_winkler_similarity("abcd", "xbcd") == pytest.approx(
+            jaro_similarity("abcd", "xbcd")
+        )
+
+    def test_range(self):
+        assert 0.0 <= jaro_winkler_similarity("dwayne", "duane") <= 1.0
+
+
+class TestJaroMeasures:
+    def test_distance_is_one_minus_similarity(self):
+        measure = JaroDistance()
+        assert measure.evaluate(("martha",), ("marhta",)) == pytest.approx(
+            1.0 - 0.9444, abs=1e-3
+        )
+
+    def test_winkler_measure(self):
+        measure = JaroWinklerDistance()
+        assert measure.evaluate(("same",), ("same",)) == 0.0

@@ -1,0 +1,55 @@
+"""Tests for the numeric distance."""
+
+import pytest
+
+from repro.distances.base import INFINITE_DISTANCE
+from repro.distances.numeric import NumericDistance, parse_number
+
+
+class TestParseNumber:
+    def test_plain_integer(self):
+        assert parse_number("42") == 42.0
+
+    def test_decimal_point(self):
+        assert parse_number("3.5") == 3.5
+
+    def test_decimal_comma(self):
+        assert parse_number("3,5") == 3.5
+
+    def test_negative(self):
+        assert parse_number("-7") == -7.0
+
+    def test_embedded_in_text(self):
+        assert parse_number("approx. 12 units") == 12.0
+
+    def test_scientific_notation(self):
+        assert parse_number("1.5e3") == 1500.0
+
+    def test_no_number(self):
+        assert parse_number("hello") is None
+
+    def test_empty(self):
+        assert parse_number("") is None
+
+    def test_leading_whitespace(self):
+        assert parse_number("  250  ") == 250.0
+
+
+class TestNumericDistance:
+    def test_equal_numbers(self):
+        assert NumericDistance().evaluate(("5",), ("5.0",)) == 0.0
+
+    def test_absolute_difference(self):
+        assert NumericDistance().evaluate(("3",), ("7",)) == 4.0
+
+    def test_min_over_sets(self):
+        assert NumericDistance().evaluate(("1", "10"), ("12",)) == 2.0
+
+    def test_unparseable_is_infinite(self):
+        assert NumericDistance().evaluate(("abc",), ("5",)) == INFINITE_DISTANCE
+
+    def test_empty_is_infinite(self):
+        assert NumericDistance().evaluate((), ("5",)) == INFINITE_DISTANCE
+
+    def test_comma_and_point_formats_agree(self):
+        assert NumericDistance().evaluate(("2,5 mg",), ("2.5mg",)) == 0.0

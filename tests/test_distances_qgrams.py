@@ -1,0 +1,156 @@
+"""Tests for q-gram and soft-Jaccard distances (repro.distances.qgrams)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distances.base import INFINITE_DISTANCE
+from repro.distances.qgrams import (
+    QGramsDistance,
+    SoftJaccardDistance,
+    qgrams,
+)
+
+_words = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=0,
+    max_size=16,
+)
+
+
+class TestQGramsFunction:
+    def test_padded_grams(self):
+        assert qgrams("ab") == {"^a", "ab", "b$"}
+
+    def test_short_string_is_single_gram(self):
+        assert qgrams("", q=2) == {"^$"}
+        assert qgrams("x", q=3) == {"^x$"}
+
+    def test_q3(self):
+        assert qgrams("abc", q=3) == {"^ab", "abc", "bc$"}
+
+    def test_never_empty(self):
+        for value in ("", "a", "ab", "abc"):
+            assert qgrams(value)
+
+
+class TestQGramsDistance:
+    def test_identical_strings_distance_zero(self):
+        measure = QGramsDistance()
+        assert measure.evaluate(("berlin",), ("berlin",)) == 0.0
+
+    def test_case_insensitive(self):
+        measure = QGramsDistance()
+        assert measure.evaluate(("Berlin",), ("BERLIN",)) == 0.0
+
+    def test_single_edit_small_distance(self):
+        measure = QGramsDistance()
+        d = measure.evaluate(("berlin",), ("berlim",))
+        assert 0.0 < d < 0.6
+
+    def test_disjoint_strings_distance_one(self):
+        measure = QGramsDistance()
+        assert measure.evaluate(("aaaa",), ("zzzz",)) == 1.0
+
+    def test_empty_side_is_infinite(self):
+        measure = QGramsDistance()
+        assert measure.evaluate((), ("x",)) == INFINITE_DISTANCE
+
+    def test_min_over_value_pairs(self):
+        measure = QGramsDistance()
+        assert measure.evaluate(("zzzz", "berlin"), ("berlin",)) == 0.0
+
+    def test_invalid_q_raises(self):
+        with pytest.raises(ValueError, match="q must be"):
+            QGramsDistance(q=0)
+
+    def test_registered(self):
+        from repro.distances.registry import get_measure
+
+        assert isinstance(get_measure("qgrams"), QGramsDistance)
+
+
+class TestSoftJaccardDistance:
+    def test_identical_token_sets_distance_zero(self):
+        measure = SoftJaccardDistance()
+        assert measure.evaluate(("new york",), ("york new",)) == 0.0
+
+    def test_typo_within_budget_still_covered(self):
+        measure = SoftJaccardDistance()
+        # one-edit typo in one token out of two
+        d = measure.evaluate(("new yorc",), ("new york",))
+        assert d == 0.0
+
+    def test_typo_beyond_budget_counts(self):
+        measure = SoftJaccardDistance(max_token_distance=0)
+        d = measure.evaluate(("new yorc",), ("new york",))
+        assert d == pytest.approx(0.5)
+
+    def test_disjoint_tokens_distance_one(self):
+        measure = SoftJaccardDistance()
+        assert measure.evaluate(("alpha",), ("omega",)) == 1.0
+
+    def test_empty_side_is_infinite(self):
+        measure = SoftJaccardDistance()
+        assert measure.evaluate(("",), ("x",)) == INFINITE_DISTANCE
+
+    def test_negative_budget_raises(self):
+        with pytest.raises(ValueError, match="max_token_distance"):
+            SoftJaccardDistance(max_token_distance=-1)
+
+    def test_softer_than_exact_jaccard(self):
+        """With typos present, softJaccard is never farther than jaccard
+        over the same tokens."""
+        from repro.distances.jaccard import jaccard_distance
+
+        soft = SoftJaccardDistance()
+        values_a, values_b = ("new yorc city",), ("new york city",)
+        tokens_a = values_a[0].split()
+        tokens_b = values_b[0].split()
+        assert soft.evaluate(values_a, values_b) <= jaccard_distance(
+            tokens_a, tokens_b
+        )
+
+    def test_registered(self):
+        from repro.distances.registry import get_measure
+
+        assert isinstance(get_measure("softJaccard"), SoftJaccardDistance)
+
+
+# -- property-based -----------------------------------------------------------
+
+
+@given(a=_words, b=_words)
+@settings(max_examples=80, deadline=None)
+def test_qgrams_distance_symmetric_and_bounded(a, b):
+    measure = QGramsDistance()
+    d_ab = measure.evaluate((a,), (b,))
+    d_ba = measure.evaluate((b,), (a,))
+    assert d_ab == d_ba
+    assert 0.0 <= d_ab <= 1.0
+    if a == b:
+        assert d_ab == 0.0
+
+
+@given(a=_words.filter(bool), b=_words.filter(bool))
+@settings(max_examples=60, deadline=None)
+def test_soft_jaccard_symmetric_and_bounded(a, b):
+    measure = SoftJaccardDistance()
+    d_ab = measure.evaluate((a,), (b,))
+    d_ba = measure.evaluate((b,), (a,))
+    assert d_ab == pytest.approx(d_ba)
+    assert 0.0 <= d_ab <= 1.0
+
+
+@given(word=_words.filter(lambda w: len(w) >= 3))
+@settings(max_examples=60, deadline=None)
+def test_single_substitution_keeps_qgrams_distance_under_one(word):
+    """One substituted character always leaves shared padded bigrams
+    for strings of length >= 3 (the MultiBlock q-gram index relies on
+    this in practice)."""
+    mutated = "z" + word[1:]
+    measure = QGramsDistance()
+    if mutated != word:
+        assert measure.evaluate((word,), (mutated,)) < 1.0

@@ -1,0 +1,69 @@
+"""Tests for the distance registry."""
+
+import pytest
+
+from repro.distances.base import DistanceMeasure
+from repro.distances.registry import (
+    DistanceRegistry,
+    default_registry,
+    get_measure,
+    measure_names,
+)
+
+
+class TestDefaultRegistry:
+    def test_contains_all_table2_measures(self):
+        # Table 2 of the paper.
+        for name in ("levenshtein", "jaccard", "numeric", "geographic", "date"):
+            assert name in default_registry()
+
+    def test_contains_baseline_measures(self):
+        for name in ("jaro", "jaroWinkler", "equality"):
+            assert name in default_registry()
+
+    def test_get_returns_measure(self):
+        assert isinstance(get_measure("levenshtein"), DistanceMeasure)
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="levenshtein"):
+            get_measure("nope")
+
+    def test_names_sorted(self):
+        names = measure_names()
+        assert names == sorted(names)
+
+    def test_singleton(self):
+        assert default_registry() is default_registry()
+
+
+class TestCustomRegistry:
+    def test_register_and_get(self):
+        class Always42(DistanceMeasure):
+            name = "always42"
+
+            def evaluate(self, values_a, values_b):
+                return 42.0
+
+        registry = DistanceRegistry()
+        registry.register(Always42())
+        assert registry.get("always42").evaluate(("x",), ("y",)) == 42.0
+
+    def test_register_requires_concrete_name(self):
+        class Nameless(DistanceMeasure):
+            name = "abstract"
+
+            def evaluate(self, values_a, values_b):
+                return 0.0
+
+        with pytest.raises(ValueError):
+            DistanceRegistry().register(Nameless())
+
+    def test_iteration(self):
+        registry = default_registry()
+        assert set(iter(registry)) == set(registry.names())
+
+    def test_threshold_ranges_well_formed(self):
+        registry = default_registry()
+        for name in registry.names():
+            low, high = registry.get(name).threshold_range
+            assert low < high

@@ -1,0 +1,142 @@
+"""Tests for the additional token-based and relative measures."""
+
+import pytest
+
+from repro.distances.base import INFINITE_DISTANCE
+from repro.distances.tokenbased import (
+    DiceDistance,
+    MongeElkanDistance,
+    OverlapDistance,
+    RelativeNumericDistance,
+)
+
+
+class TestDice:
+    def test_identical(self):
+        assert DiceDistance().evaluate(("a", "b"), ("a", "b")) == 0.0
+
+    def test_disjoint(self):
+        assert DiceDistance().evaluate(("a",), ("b",)) == 1.0
+
+    def test_half_overlap(self):
+        # {a,b} vs {b,c}: 2*1 / 4 = 0.5 -> distance 0.5
+        assert DiceDistance().evaluate(("a", "b"), ("b", "c")) == pytest.approx(0.5)
+
+    def test_dice_leq_jaccard_distance(self):
+        from repro.distances.jaccard import jaccard_distance
+
+        pairs = [(("a", "b"), ("b", "c")), (("x",), ("x", "y", "z"))]
+        for a, b in pairs:
+            assert DiceDistance().evaluate(a, b) <= jaccard_distance(a, b)
+
+    def test_empty_infinite(self):
+        assert DiceDistance().evaluate((), ("a",)) == INFINITE_DISTANCE
+
+
+class TestOverlap:
+    def test_containment_is_zero(self):
+        assert OverlapDistance().evaluate(("a",), ("a", "b", "c")) == 0.0
+
+    def test_disjoint(self):
+        assert OverlapDistance().evaluate(("a",), ("b",)) == 1.0
+
+    def test_partial(self):
+        # {a,b} vs {b,c}: 1 / 2
+        assert OverlapDistance().evaluate(("a", "b"), ("b", "c")) == pytest.approx(0.5)
+
+    def test_empty_infinite(self):
+        assert OverlapDistance().evaluate((), ("a",)) == INFINITE_DISTANCE
+
+
+class TestMongeElkan:
+    def test_identical(self):
+        measure = MongeElkanDistance()
+        assert measure.evaluate(("John Smith",), ("John Smith",)) == pytest.approx(0.0)
+
+    def test_reordered_tokens_close(self):
+        measure = MongeElkanDistance()
+        assert measure.evaluate(("John Smith",), ("Smith John",)) < 0.05
+
+    def test_typo_tolerated(self):
+        measure = MongeElkanDistance()
+        assert measure.evaluate(("John Smith",), ("Jon Smith",)) < 0.15
+
+    def test_different_names_far(self):
+        measure = MongeElkanDistance()
+        assert measure.evaluate(("John Smith",), ("Mary Davis",)) > 0.3
+
+    def test_symmetrised(self):
+        measure = MongeElkanDistance()
+        d1 = measure.evaluate(("John Smith",), ("John Smith extra tokens",))
+        d2 = measure.evaluate(("John Smith extra tokens",), ("John Smith",))
+        assert d1 == pytest.approx(d2)
+
+    def test_empty_infinite(self):
+        assert MongeElkanDistance().evaluate((), ("x",)) == INFINITE_DISTANCE
+
+    def test_bounded(self):
+        measure = MongeElkanDistance()
+        assert 0.0 <= measure.evaluate(("abc def",), ("xyz uvw",)) <= 1.0
+
+
+class TestRelativeNumeric:
+    def test_equal(self):
+        assert RelativeNumericDistance().evaluate(("100",), ("100.0",)) == 0.0
+
+    def test_ten_percent(self):
+        assert RelativeNumericDistance().evaluate(("100",), ("110",)) == pytest.approx(
+            10 / 110
+        )
+
+    def test_scale_free(self):
+        measure = RelativeNumericDistance()
+        small = measure.evaluate(("1.0",), ("1.1",))
+        large = measure.evaluate(("1000",), ("1100",))
+        assert small == pytest.approx(large)
+
+    def test_both_zero(self):
+        assert RelativeNumericDistance().evaluate(("0",), ("0",)) == 0.0
+
+    def test_unparseable_infinite(self):
+        assert (
+            RelativeNumericDistance().evaluate(("abc",), ("1",))
+            == INFINITE_DISTANCE
+        )
+
+    def test_min_over_sets(self):
+        distance = RelativeNumericDistance().evaluate(("1", "100"), ("105",))
+        assert distance == pytest.approx(5 / 105)
+
+
+class TestRegistryIntegration:
+    def test_new_measures_registered(self):
+        from repro.distances.registry import default_registry
+
+        for name in ("dice", "overlap", "mongeElkan", "relativeNumeric"):
+            assert name in default_registry()
+
+
+class TestReduceTransforms:
+    def test_alpha_reduce(self):
+        from repro.transforms.reduce import AlphaReduce
+
+        assert AlphaReduce()([("ab-12 cd!",)]) == ("abcd",)
+
+    def test_num_reduce_phone_numbers(self):
+        from repro.transforms.reduce import NumReduce
+
+        assert NumReduce()([("310-246-1501", "310/246.1501")]) == (
+            "3102461501",
+            "3102461501",
+        )
+
+    def test_normalize_whitespace(self):
+        from repro.transforms.reduce import NormalizeWhitespace
+
+        assert NormalizeWhitespace()([("  a \t b  ",)]) == ("a b",)
+
+    def test_registered(self):
+        from repro.transforms.registry import default_registry
+
+        for name in ("alphaReduce", "numReduce", "normalizeWhitespace"):
+            assert name in default_registry()

@@ -1,0 +1,59 @@
+"""Documentation completeness: every public item carries a docstring.
+
+A release-quality library documents its surface. This meta-test walks
+every module under ``repro`` and asserts that modules, public classes
+and public functions have docstrings — so documentation debt fails CI
+instead of accumulating.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _iter_modules():
+    yield "repro"
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield info.name
+
+
+MODULES = sorted(_iter_modules())
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"module {module_name} lacks a docstring"
+    )
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    """Classes and module-level functions must be documented.
+
+    Methods are exempt: one-line accessors (``children()``,
+    ``describe()``) explain themselves, and their contracts live in the
+    class docstring.
+    """
+    module = importlib.import_module(module_name)
+    undocumented: list[str] = []
+    for name, item in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(item) or inspect.isfunction(item)):
+            continue
+        # Only police items defined in this module (not re-exports).
+        if getattr(item, "__module__", None) != module_name:
+            continue
+        if not (item.__doc__ and item.__doc__.strip()):
+            undocumented.append(name)
+    assert not undocumented, (
+        f"{module_name}: missing docstrings on {', '.join(sorted(undocumented))}"
+    )

@@ -1,0 +1,49 @@
+"""Smoke tests: the fast example scripts run end to end.
+
+Examples are the first code a new user executes; API drift that breaks
+them must fail the suite. Only the sub-two-second examples run here —
+the longer scenarios (movie/drug interlinking, active learning) are
+exercised manually and through the benchmark suite's equivalent
+drivers.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = (
+    "quickstart.py",
+    "custom_operators.py",
+    "silk_interop.py",
+    "baseline_comparison.py",
+)
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_cleanly(script):
+    """The script exits 0 and produces output."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_all_examples_exist_and_have_docstrings():
+    """Every example advertised in the README exists and documents
+    itself (the docstring is the usage text)."""
+    scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 7
+    for script in scripts:
+        text = script.read_text()
+        assert text.lstrip().startswith('"""'), f"{script.name} lacks a docstring"
+        assert "def main(" in text, f"{script.name} lacks a main()"

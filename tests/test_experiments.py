@@ -1,0 +1,154 @@
+"""Tests for the experiment harness."""
+
+import os
+
+import pytest
+
+from repro.core.genlink import GenLinkConfig
+from repro.datasets import load_dataset
+from repro.experiments.aggregate import MeanStd, mean_std
+from repro.experiments.protocol import run_genlink_cross_validation
+from repro.experiments.scale import BENCH, PAPER, SMOKE, current_scale
+from repro.experiments.tables import format_table, format_value
+
+
+class TestAggregate:
+    def test_mean_std(self):
+        agg = mean_std([1.0, 2.0, 3.0])
+        assert agg.mean == pytest.approx(2.0)
+        assert agg.std == pytest.approx((2 / 3) ** 0.5)
+        assert agg.count == 3
+
+    def test_single_value(self):
+        agg = mean_std([5.0])
+        assert agg.mean == 5.0
+        assert agg.std == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_std([])
+
+    def test_format(self):
+        assert MeanStd(0.9686, 0.0034, 10).format() == "0.969 (0.003)"
+        assert MeanStd(1.25, 0.5, 2).format(1) == "1.2 (0.5)"
+
+
+class TestScale:
+    def test_presets(self):
+        assert SMOKE.population_size < BENCH.population_size < PAPER.population_size
+        assert PAPER.population_size == 500  # Table 4
+        assert PAPER.max_iterations == 50
+        assert PAPER.runs == 10
+
+    def test_current_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert current_scale().name == "smoke"
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert current_scale().name == "paper"
+
+    def test_unknown_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_default_is_bench(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale().name == "bench"
+
+    def test_iteration_cap(self):
+        assert SMOKE.iteration_cap(100) == SMOKE.max_iterations
+
+
+class TestTables:
+    def test_format_value(self):
+        assert format_value(None) == ""
+        assert format_value(0.5) == "0.500"
+        assert format_value(3) == "3"
+        assert format_value("x") == "x"
+
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["Name", "Score"], [["cora", 0.97], ["nyt", 0.91]], title="T"
+        )
+        lines = table.split("\n")
+        assert lines[0] == "T"
+        assert "Name" in lines[1]
+        assert all("  " in line for line in lines[3:])
+
+    def test_empty_rows(self):
+        table = format_table(["A"], [])
+        assert "A" in table
+
+
+class TestProtocol:
+    def test_cross_validation_aggregates(self):
+        dataset = load_dataset("restaurant", seed=2, scale=0.3)
+        config = GenLinkConfig(population_size=20, max_iterations=3)
+        result = run_genlink_cross_validation(
+            dataset, config, runs=2, report_iterations=(0, 3), seed=1
+        )
+        assert result.dataset == "restaurant"
+        assert result.runs == 2
+        assert [row.iteration for row in result.rows] == [0, 3]
+        for row in result.rows:
+            assert 0.0 <= row.train_f_measure.mean <= 1.0
+            assert 0.0 <= row.validation_f_measure.mean <= 1.0
+            assert row.seconds.mean >= 0.0
+
+    def test_report_iterations_clamped(self):
+        dataset = load_dataset("restaurant", seed=2, scale=0.3)
+        config = GenLinkConfig(population_size=20, max_iterations=2)
+        result = run_genlink_cross_validation(
+            dataset, config, runs=1, report_iterations=(0, 50), seed=1
+        )
+        assert result.rows[-1].iteration == 2
+
+    def test_row_at(self):
+        dataset = load_dataset("restaurant", seed=2, scale=0.3)
+        config = GenLinkConfig(population_size=20, max_iterations=2)
+        result = run_genlink_cross_validation(
+            dataset, config, runs=1, report_iterations=(0, 2), seed=1
+        )
+        assert result.row_at(0).iteration == 0
+        with pytest.raises(KeyError):
+            result.row_at(99)
+
+    def test_requires_runs(self):
+        dataset = load_dataset("restaurant", seed=2, scale=0.3)
+        with pytest.raises(ValueError):
+            run_genlink_cross_validation(
+                dataset, GenLinkConfig(), runs=0, report_iterations=(0,)
+            )
+
+
+class TestDriversSmoke:
+    """End-to-end driver runs at the smallest scale."""
+
+    @pytest.fixture(autouse=True)
+    def smoke_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+
+    def test_dataset_statistics(self):
+        from repro.experiments.drivers import dataset_statistics
+
+        rows = dataset_statistics()
+        assert len(rows) == 6
+
+    def test_learning_curve(self):
+        from repro.experiments.drivers import learning_curve
+
+        result = learning_curve("restaurant", seed=3)
+        assert result.rows[-1].train_f_measure.mean > 0.5
+
+    def test_seeding_comparison(self):
+        from repro.experiments.drivers import seeding_comparison
+
+        table = seeding_comparison(("restaurant",), seed=3)
+        assert set(table["restaurant"]) == {"random", "seeded"}
+
+    def test_cli_datasets(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "cora" in output

@@ -1,0 +1,152 @@
+"""Tests for the ASCII chart renderer (repro.experiments.figures)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.aggregate import MeanStd
+from repro.experiments.figures import Series, bar_chart, learning_curve_chart, line_chart
+from repro.experiments.protocol import CrossValidationResult, IterationAggregate
+
+
+class TestSeries:
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="x values"):
+            Series("s", (1.0, 2.0), (1.0,))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            Series("s", (), ())
+
+
+class TestLineChart:
+    def curve(self):
+        return Series("f1", (0.0, 10.0, 20.0), (0.2, 0.8, 0.95))
+
+    def test_contains_title_and_legend(self):
+        text = line_chart([self.curve()], title="Cora")
+        assert text.splitlines()[0] == "Cora"
+        assert "o f1" in text
+
+    def test_y_axis_labels(self):
+        text = line_chart([self.curve()], y_min=0.0, y_max=1.0)
+        assert "1.00" in text
+        assert "0.00" in text
+
+    def test_marker_positions_monotone_curve(self):
+        text = line_chart([self.curve()], y_min=0.0, y_max=1.0, width=30, height=10)
+        rows = [line for line in text.splitlines() if "|" in line]
+        columns = {}
+        for row_index, row in enumerate(rows):
+            body = row.split("|", 1)[1]
+            for column_index, char in enumerate(body):
+                if char == "o":
+                    columns[column_index] = row_index
+        # Rising curve: later x -> higher on the chart (smaller row).
+        ordered = [columns[c] for c in sorted(columns)]
+        assert ordered == sorted(ordered, reverse=True)
+
+    def test_two_series_use_distinct_markers(self):
+        other = Series("val", (0.0, 10.0, 20.0), (0.1, 0.5, 0.7))
+        text = line_chart([self.curve(), other])
+        assert "o f1" in text and "x val" in text
+
+    def test_no_series_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            line_chart([])
+
+    def test_tiny_chart_raises(self):
+        with pytest.raises(ValueError, match="at least"):
+            line_chart([self.curve()], width=4, height=2)
+
+    def test_flat_series_renders(self):
+        flat = Series("flat", (0.0, 1.0), (0.5, 0.5))
+        text = line_chart([flat])
+        assert "flat" in text
+
+
+class TestLearningCurveChart:
+    def result(self) -> CrossValidationResult:
+        rows = [
+            IterationAggregate(
+                iteration=i,
+                seconds=MeanStd(float(i), 0.0, 3),
+                train_f_measure=MeanStd(0.5 + i * 0.05, 0.01, 3),
+                validation_f_measure=MeanStd(0.45 + i * 0.05, 0.01, 3),
+                comparisons=MeanStd(2.0, 0.0, 3),
+                transformations=MeanStd(1.0, 0.0, 3),
+            )
+            for i in range(0, 30, 10)
+        ]
+        return CrossValidationResult(dataset="cora", runs=3, rows=rows)
+
+    def test_renders_both_curves(self):
+        text = learning_curve_chart(self.result())
+        assert "train F1" in text
+        assert "validation F1" in text
+        assert "cora" in text
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        text = bar_chart({"Boolean": 0.5, "Full": 1.0}, width=10, maximum=1.0)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_values_printed(self):
+        text = bar_chart({"a": 0.123})
+        assert "0.123" in text
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            bar_chart({})
+
+    def test_negative_clamped(self):
+        text = bar_chart({"neg": -0.5}, width=10, maximum=1.0)
+        assert "#" not in text.splitlines()[0].split("|")[1]
+
+    def test_title(self):
+        text = bar_chart({"a": 1.0}, title="Table 13")
+        assert text.splitlines()[0] == "Table 13"
+
+
+# -- property-based -----------------------------------------------------------
+
+
+@given(
+    ys=st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    ),
+    width=st.integers(min_value=8, max_value=100),
+    height=st.integers(min_value=4, max_value=30),
+)
+@settings(max_examples=50, deadline=None)
+def test_line_chart_never_crashes_and_has_fixed_geometry(ys, width, height):
+    series = Series("s", tuple(float(i) for i in range(len(ys))), tuple(ys))
+    text = line_chart([series], width=width, height=height)
+    body_rows = [line for line in text.splitlines() if "|" in line]
+    assert len(body_rows) == height
+    assert all(len(row.split("|", 1)[1]) == width for row in body_rows)
+
+
+@given(
+    values=st.dictionaries(
+        st.text(
+            alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+            min_size=1,
+            max_size=8,
+        ),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_bar_chart_one_line_per_value(values):
+    text = bar_chart(values, maximum=1.0)
+    assert len(text.splitlines()) == len(values)

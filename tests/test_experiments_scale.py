@@ -1,0 +1,33 @@
+"""Tests for the effective per-dataset scale logic."""
+
+import pytest
+
+from repro.experiments.scale import BENCH, PAPER, SMOKE, ExperimentScale
+
+
+class TestEffectiveScale:
+    def test_floor_applies_to_small_datasets(self):
+        # LinkedMDB has 100 positive links; with a 100-link floor it
+        # runs at full size under the bench scale.
+        assert BENCH.effective_dataset_scale(100) == pytest.approx(1.0)
+        assert BENCH.effective_dataset_scale(200) == pytest.approx(0.5)
+
+    def test_large_datasets_keep_configured_scale(self):
+        assert BENCH.effective_dataset_scale(1617) == BENCH.dataset_scale
+
+    def test_never_above_one(self):
+        scale = ExperimentScale(
+            name="x", dataset_scale=0.5, population_size=10,
+            max_iterations=1, runs=1, report_iterations=(0,),
+            min_positive_links=1000,
+        )
+        assert scale.effective_dataset_scale(100) == 1.0
+
+    def test_no_floor_configured(self):
+        assert SMOKE.effective_dataset_scale(100) == SMOKE.dataset_scale
+
+    def test_paper_scale_is_identity(self):
+        assert PAPER.effective_dataset_scale(100) == 1.0
+
+    def test_zero_links_guard(self):
+        assert BENCH.effective_dataset_scale(0) == BENCH.dataset_scale

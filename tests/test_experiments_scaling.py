@@ -1,0 +1,75 @@
+"""Cross-scale consistency of the experiment presets.
+
+The bench suite's credibility rests on the reduced scales preserving
+the protocol: datasets shrink proportionally but never below the link
+floor, statistics stay within the published shape, and the presets are
+strictly ordered in cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import DATASET_NAMES, dataset_spec, load_dataset
+from repro.experiments.scale import BENCH, PAPER, SMOKE
+
+
+class TestPresetOrdering:
+    def test_cost_strictly_increases(self):
+        for attribute in ("dataset_scale", "population_size", "max_iterations",
+                          "runs"):
+            values = [getattr(scale, attribute) for scale in (SMOKE, BENCH, PAPER)]
+            assert values == sorted(values), attribute
+            assert values[0] < values[-1], attribute
+
+    def test_paper_matches_table4(self):
+        assert PAPER.population_size == 500
+        assert PAPER.max_iterations == 50
+        assert PAPER.runs == 10
+        assert PAPER.dataset_scale == 1.0
+
+    def test_link_floor_only_below_full_scale(self):
+        # At paper scale the floor must not inflate datasets.
+        assert PAPER.effective_dataset_scale(100) == 1.0
+        # At bench scale a 100-link dataset is not shrunk below 100.
+        assert BENCH.effective_dataset_scale(100) == 1.0
+        # ...but large datasets still shrink.
+        assert BENCH.effective_dataset_scale(2000) == pytest.approx(
+            BENCH.dataset_scale, abs=0.05
+        )
+
+
+class TestDatasetScaling:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_entity_counts_scale_proportionally(self, name):
+        small = load_dataset(name, seed=5, scale=0.1)
+        large = load_dataset(name, seed=5, scale=0.3)
+        assert len(large.source_a) > len(small.source_a)
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_property_counts_stable_across_scales(self, name):
+        """Table 6's property counts are a schema property, not a
+        sample-size property — scaling must not change them much."""
+        spec = dataset_spec(name)
+        small = load_dataset(name, seed=5, scale=0.15)
+        measured = small.source_a.property_count()
+        assert measured == pytest.approx(spec.properties_a, abs=2)
+
+    def test_same_seed_same_dataset(self):
+        first = load_dataset("restaurant", seed=11, scale=0.1)
+        second = load_dataset("restaurant", seed=11, scale=0.1)
+        assert [e.uid for e in first.source_a] == [e.uid for e in second.source_a]
+        assert first.links.positive == second.links.positive
+
+    def test_different_seed_different_noise(self):
+        first = load_dataset("restaurant", seed=1, scale=0.1)
+        second = load_dataset("restaurant", seed=2, scale=0.1)
+        values_first = [e.values("name") for e in first.source_a]
+        values_second = [e.values("name") for e in second.source_a]
+        assert values_first != values_second
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_positive_and_negative_links_balanced(self, name):
+        """The paper generates one negative per positive (Section 6.1)."""
+        dataset = load_dataset(name, seed=7, scale=0.1)
+        assert len(dataset.links.negative) == len(dataset.links.positive)

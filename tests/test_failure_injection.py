@@ -1,0 +1,181 @@
+"""Cross-module failure injection: broken inputs fail loudly and early.
+
+Production linkage runs hit degenerate inputs constantly — empty
+sources, dangling reference links, rules naming measures that are not
+installed. These tests pin the library's behaviour on each: a clear
+exception naming the offending item, or a well-defined empty result,
+never a silent wrong answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.evaluation import PairEvaluator
+from repro.core.genlink import GenLink, GenLinkConfig
+from repro.core.nodes import AggregationNode, ComparisonNode, PropertyNode, TransformationNode
+from repro.core.rule import LinkageRule, RuleValidationError
+from repro.data.entity import Entity
+from repro.data.reference_links import ReferenceLinkSet
+from repro.data.source import DataSource
+from repro.matching.engine import MatchingEngine
+from repro.matching.multiblock import MultiBlocker
+
+
+def simple_rule(metric: str = "levenshtein") -> LinkageRule:
+    return LinkageRule(
+        ComparisonNode(
+            metric=metric,
+            threshold=1.0,
+            source=PropertyNode("label"),
+            target=PropertyNode("label"),
+        )
+    )
+
+
+class TestDegenerateSources:
+    def test_engine_on_empty_sources_returns_no_links(self):
+        empty = DataSource("empty", [])
+        assert MatchingEngine().execute(simple_rule(), empty, empty) == []
+
+    def test_multiblock_on_empty_sources_returns_no_candidates(self):
+        empty = DataSource("empty", [])
+        assert list(MultiBlocker(simple_rule()).candidates(empty, empty)) == []
+
+    def test_engine_with_missing_property_yields_no_links(self):
+        """Entities lacking the compared property never match (the
+        documented absent-value semantics), rather than erroring."""
+        source = DataSource("s", [Entity("a1", {"other": "x"})])
+        target = DataSource("t", [Entity("b1", {"label": "x"})])
+        assert MatchingEngine().execute(simple_rule(), source, target) == []
+
+    def test_entity_with_empty_value_tuple_scores_zero(self):
+        evaluator = PairEvaluator(
+            [(Entity("a", {"label": ()}), Entity("b", {"label": "x"}))]
+        )
+        assert evaluator.scores(simple_rule().root)[0] == 0.0
+
+
+class TestDanglingLinks:
+    def test_labelled_pairs_names_the_missing_entity(self):
+        source = DataSource("s", [Entity("a1", {"label": "x"})])
+        target = DataSource("t", [Entity("b1", {"label": "x"})])
+        links = ReferenceLinkSet(positive=[("a1", "MISSING")])
+        with pytest.raises(KeyError, match="MISSING"):
+            links.labelled_pairs(source, target)
+
+    def test_learning_with_dangling_link_fails_loudly(self):
+        source = DataSource("s", [Entity("a1", {"label": "x"})])
+        target = DataSource("t", [Entity("b1", {"label": "x"})])
+        links = ReferenceLinkSet(
+            positive=[("a1", "b1")], negative=[("GONE", "b1")]
+        )
+        learner = GenLink(GenLinkConfig(population_size=10, max_iterations=1))
+        with pytest.raises(KeyError, match="GONE"):
+            learner.learn(source, target, links, rng=1)
+
+    def test_single_class_training_links_rejected(self):
+        source = DataSource("s", [Entity("a1", {"label": "x"})])
+        target = DataSource("t", [Entity("b1", {"label": "x"})])
+        learner = GenLink(GenLinkConfig(population_size=10, max_iterations=1))
+        with pytest.raises(ValueError, match="positive and negative"):
+            learner.learn(
+                source, target, ReferenceLinkSet(positive=[("a1", "b1")]), rng=1
+            )
+
+
+class TestUnknownFunctions:
+    def pair_evaluator(self) -> PairEvaluator:
+        return PairEvaluator(
+            [(Entity("a", {"label": "x"}), Entity("b", {"label": "x"}))]
+        )
+
+    def test_unknown_metric_names_known_alternatives(self):
+        with pytest.raises(KeyError, match="levenshtein"):
+            self.pair_evaluator().scores(simple_rule("doesNotExist").root)
+
+    def test_unknown_transformation_names_known_alternatives(self):
+        rule = LinkageRule(
+            ComparisonNode(
+                metric="levenshtein",
+                threshold=1.0,
+                source=TransformationNode("doesNotExist", (PropertyNode("label"),)),
+                target=PropertyNode("label"),
+            )
+        )
+        with pytest.raises(KeyError, match="tokenize"):
+            self.pair_evaluator().scores(rule.root)
+
+    def test_unknown_aggregation_function_rejected(self):
+        node = AggregationNode(
+            function="median",
+            operators=(simple_rule().root,),
+        )
+        with pytest.raises(ValueError, match="median"):
+            self.pair_evaluator().scores(node)
+
+
+class TestMalformedRules:
+    def test_comparison_as_transformation_input_rejected(self):
+        comparison = simple_rule().root
+        with pytest.raises(RuleValidationError):
+            LinkageRule(
+                ComparisonNode(
+                    metric="levenshtein",
+                    threshold=1.0,
+                    source=TransformationNode("lowerCase", (comparison,)),  # type: ignore[arg-type]
+                    target=PropertyNode("label"),
+                )
+            )
+
+    def test_property_as_rule_root_rejected(self):
+        with pytest.raises(RuleValidationError):
+            LinkageRule(PropertyNode("label"))  # type: ignore[arg-type]
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            ComparisonNode(
+                metric="levenshtein",
+                threshold=-1.0,
+                source=PropertyNode("label"),
+                target=PropertyNode("label"),
+            )
+
+    def test_empty_aggregation_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            AggregationNode(function="min", operators=())
+
+
+class TestUnparseableValues:
+    def test_geographic_over_text_never_matches(self):
+        rule = simple_rule("geographic")
+        evaluator = PairEvaluator(
+            [(Entity("a", {"label": "not a point"}),
+              Entity("b", {"label": "also not"}))]
+        )
+        assert evaluator.scores(rule.root)[0] == 0.0
+
+    def test_date_over_text_never_matches(self):
+        rule = simple_rule("date")
+        evaluator = PairEvaluator(
+            [(Entity("a", {"label": "yesterday"}), Entity("b", {"label": "now"}))]
+        )
+        assert evaluator.scores(rule.root)[0] == 0.0
+
+    def test_numeric_over_text_never_matches(self):
+        rule = simple_rule("numeric")
+        evaluator = PairEvaluator(
+            [(Entity("a", {"label": "twelve"}), Entity("b", {"label": "12"}))]
+        )
+        assert evaluator.scores(rule.root)[0] == 0.0
+
+    def test_mixed_parseable_values_still_match(self):
+        """One parseable value among garbage is enough (min-over-pairs)."""
+        rule = simple_rule("numeric")
+        evaluator = PairEvaluator(
+            [(
+                Entity("a", {"label": ("garbage", "12")}),
+                Entity("b", {"label": "12.4"}),
+            )]
+        )
+        assert evaluator.scores(rule.root)[0] > 0.0

@@ -1,0 +1,123 @@
+"""Edge-case and behavioural tests for the GenLink learner."""
+
+import random
+
+import pytest
+
+from repro.core.genlink import GenLink, GenLinkConfig
+from repro.core.nodes import AggregationNode, ComparisonNode, PropertyNode
+from repro.core.rule import LinkageRule
+from repro.data.entity import Entity
+from repro.data.reference_links import ReferenceLinkSet
+from repro.data.source import DataSource
+
+
+def _task(n: int = 16):
+    source_a = DataSource("A")
+    source_b = DataSource("B")
+    positive = []
+    for i in range(n):
+        source_a.add(Entity(f"a{i}", {"key": f"value-{i:03d}"}))
+        source_b.add(Entity(f"b{i}", {"ident": f"VALUE-{i:03d}"}))
+        positive.append((f"a{i}", f"b{i}"))
+    negative = [(f"a{i}", f"b{(i + 4) % n}") for i in range(n)]
+    return source_a, source_b, ReferenceLinkSet(positive, negative)
+
+
+class TestSeedingModes:
+    def test_unseeded_learning_runs(self):
+        source_a, source_b, links = _task()
+        config = GenLinkConfig(
+            population_size=20, max_iterations=3, seeding=False
+        )
+        result = GenLink(config).learn(source_a, source_b, links, rng=1)
+        assert result.history
+
+    def test_unseeded_generator_uses_schema_properties(self):
+        source_a, source_b, links = _task()
+        config = GenLinkConfig(population_size=10, seeding=False)
+        learner = GenLink(config)
+        generator = learner.build_generator(
+            source_a, source_b, links, random.Random(0)
+        )
+        rule = generator.random_rule()
+        properties = {p.property_name for p in rule.properties()}
+        assert properties <= {"key", "ident"}
+
+    def test_seeded_generator_finds_compatible_pair(self):
+        source_a, source_b, links = _task()
+        learner = GenLink(GenLinkConfig(population_size=10))
+        generator = learner.build_generator(
+            source_a, source_b, links, random.Random(0)
+        )
+        # 'value-003' vs 'VALUE-003' tokens are within Levenshtein
+        # distance... actually case-differing tokens are not, so the
+        # generator may fall back; either way rules must be valid.
+        rule = generator.random_rule()
+        assert rule.operator_count() >= 3
+
+
+class TestSizeControl:
+    def test_max_operator_count_enforced(self):
+        source_a, source_b, links = _task()
+        config = GenLinkConfig(
+            population_size=20, max_iterations=6, max_operator_count=10,
+            stop_f_measure=2.0,
+        )
+        result = GenLink(config).learn(source_a, source_b, links, rng=3)
+        assert result.best_rule.operator_count() <= 10
+
+    def test_parsimony_prefers_smaller_equal_rules(self):
+        """Two rules with equal MCC: the smaller one has higher fitness."""
+        from repro.core.evaluation import PairEvaluator
+        from repro.core.fitness import FitnessFunction
+
+        source_a, source_b, links = _task()
+        pairs, labels = links.labelled_pairs(source_a, source_b)
+        fitness = FitnessFunction(PairEvaluator(pairs), labels)
+        small = LinkageRule(
+            ComparisonNode("equality", 0.5, PropertyNode("key"), PropertyNode("key"))
+        )
+        big = LinkageRule(
+            AggregationNode(
+                "min",
+                (
+                    small.root,
+                    ComparisonNode(
+                        "equality", 0.5, PropertyNode("key"), PropertyNode("key")
+                    ),
+                ),
+            )
+        )
+        assert fitness.mcc(small) == fitness.mcc(big)
+        assert fitness.fitness(small) > fitness.fitness(big)
+
+
+class TestHistorySemantics:
+    def test_best_so_far_never_decreases_without_elitism(self):
+        source_a, source_b, links = _task()
+        config = GenLinkConfig(
+            population_size=20, max_iterations=8, elitism=0, stop_f_measure=2.0
+        )
+        result = GenLink(config).learn(source_a, source_b, links, rng=4)
+        scores = [r.train_f_measure for r in result.history]
+        assert scores == sorted(scores)
+
+    def test_record_at_unknown_early_iteration_raises(self):
+        source_a, source_b, links = _task()
+        config = GenLinkConfig(population_size=20, max_iterations=2)
+        result = GenLink(config).learn(source_a, source_b, links, rng=4)
+        with pytest.raises(KeyError):
+            result.record_at(-1)
+
+    def test_zero_iterations_returns_initial_best(self):
+        source_a, source_b, links = _task()
+        config = GenLinkConfig(population_size=20, max_iterations=0)
+        result = GenLink(config).learn(source_a, source_b, links, rng=4)
+        assert [r.iteration for r in result.history] == [0]
+
+    def test_rng_accepts_int_and_none(self):
+        source_a, source_b, links = _task()
+        config = GenLinkConfig(population_size=10, max_iterations=1)
+        GenLink(config).learn(source_a, source_b, links, rng=5)
+        GenLink(config).learn(source_a, source_b, links, rng=None)

@@ -1,0 +1,47 @@
+"""Integration: GenLink learns a usable rule on every dataset.
+
+Small-scale end-to-end runs — a regression net for the dataset
+generators and the learner together. Thresholds are deliberately loose
+(tiny populations and datasets); the benchmark suite checks the real
+shapes at larger scale.
+"""
+
+import random
+
+import pytest
+
+from repro.core.genlink import GenLink, GenLinkConfig
+from repro.data.splits import train_validation_split
+from repro.datasets import DATASET_NAMES, load_dataset
+
+#: (scale, minimum final training F1) per dataset at test budgets.
+EXPECTATIONS = {
+    "cora": (0.10, 0.70),
+    "restaurant": (0.60, 0.90),
+    "sider_drugbank": (0.15, 0.90),
+    "nyt": (0.08, 0.70),
+    "linkedmdb": (0.60, 0.80),
+    "dbpedia_drugbank": (0.10, 0.90),
+}
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_genlink_learns_dataset(name):
+    scale, minimum_f1 = EXPECTATIONS[name]
+    dataset = load_dataset(name, seed=5, scale=scale)
+    rng = random.Random(5)
+    train, validation = train_validation_split(dataset.links, rng)
+    config = GenLinkConfig(population_size=50, max_iterations=10)
+    result = GenLink(config).learn(
+        dataset.source_a, dataset.source_b, train,
+        validation_links=validation, rng=rng,
+    )
+    last = result.history[-1]
+    assert last.train_f_measure >= minimum_f1, (
+        f"{name}: train F1 {last.train_f_measure:.3f} < {minimum_f1}"
+    )
+    # The learned rule must be serialisable and renderable.
+    from repro.core.serialization import render_rule, rule_from_json, rule_to_json
+
+    assert rule_from_json(rule_to_json(result.best_rule)) == result.best_rule
+    assert render_rule(result.best_rule)

@@ -1,0 +1,205 @@
+"""End-to-end integration: the full linkage workflow across modules.
+
+Each test chains several subsystems the way a downstream user would:
+learn → lint → prune → export → re-import → execute → evaluate. The
+goal is to catch interface drift between packages, not to re-test each
+piece.
+"""
+
+from __future__ import annotations
+
+import io as io_module
+import random
+
+import pytest
+
+from repro.core.evaluation import PairEvaluator
+from repro.core.genlink import GenLink, GenLinkConfig
+from repro.core.lint import lint_rule
+from repro.core.pruning import prune_rule
+from repro.data.entity import Entity
+from repro.data.io import (
+    load_links_csv,
+    load_source_csv,
+    load_source_ntriples,
+    save_links_csv,
+    save_source_csv,
+    save_source_ntriples,
+)
+from repro.data.reference_links import ReferenceLinkSet
+from repro.data.source import DataSource
+from repro.matching.engine import MatchingEngine
+from repro.matching.evaluation import evaluate_links
+from repro.matching.multiblock import MultiBlocker, blocking_quality
+from repro.silk import SilkInterlink, parse_silk_config, silk_config
+
+
+def build_city_workload(n: int = 20):
+    """Two sources with case noise; returns sources and true matches."""
+    names = [f"City Number {i}" for i in range(n)]
+    source_a = DataSource(
+        "a",
+        [
+            Entity(f"a{i}", {"label": name, "population": str(1000 + 7 * i)})
+            for i, name in enumerate(names)
+        ],
+    )
+    source_b = DataSource(
+        "b",
+        [
+            Entity(f"b{i}", {"label": name.upper(), "population": str(1000 + 7 * i)})
+            for i, name in enumerate(names)
+        ],
+    )
+    matches = [(f"a{i}", f"b{i}") for i in range(n)]
+    return source_a, source_b, matches
+
+
+def train_links(matches, k: int = 10) -> ReferenceLinkSet:
+    rng = random.Random(99)
+    positive = matches[:k]
+    negative = [
+        (positive[i][0], positive[(i + 3) % k][1]) for i in range(k)
+    ]
+    return ReferenceLinkSet(positive=positive, negative=negative)
+
+
+class TestFullPipeline:
+    def test_learn_lint_prune_export_execute_evaluate(self):
+        source_a, source_b, matches = build_city_workload()
+        links = train_links(matches)
+
+        # 1. learn
+        result = GenLink(GenLinkConfig(population_size=40, max_iterations=10)).learn(
+            source_a, source_b, links, rng=17
+        )
+        assert result.history[-1].train_f_measure >= 0.9
+
+        # 2. lint: learned rules must be clean against their sources
+        report = lint_rule(result.best_rule, source_a, source_b)
+        assert report.ok, report.render()
+
+        # 3. prune: never degrades training MCC
+        pairs, labels = links.labelled_pairs(source_a, source_b)
+        pruned = prune_rule(result.best_rule, PairEvaluator(pairs), labels)
+        assert pruned.mcc_after >= pruned.mcc_before - 1e-9
+
+        # 4. Silk round trip is loss-free
+        document = silk_config(
+            [SilkInterlink(id="cities", rule=pruned.rule)]
+        )
+        reimported = parse_silk_config(document).interlink("cities").rule
+        assert reimported == pruned.rule
+
+        # 5. execute with MultiBlock and evaluate against all matches
+        engine = MatchingEngine(blocker=MultiBlocker(reimported))
+        generated = engine.execute(reimported, source_a, source_b)
+        evaluation = evaluate_links(
+            [link.as_pair() for link in generated], matches
+        )
+        assert evaluation.f_measure >= 0.9
+
+    def test_multiblock_equals_full_index_on_learned_rule(self):
+        source_a, source_b, matches = build_city_workload()
+        links = train_links(matches)
+        result = GenLink(GenLinkConfig(population_size=40, max_iterations=10)).learn(
+            source_a, source_b, links, rng=23
+        )
+        quality = blocking_quality(
+            MultiBlocker(result.best_rule), source_a, source_b, matches
+        )
+        assert quality.pairs_completeness == 1.0
+
+
+class TestIoRoundTrips:
+    def test_csv_round_trip_preserves_learning(self):
+        """Learning after a CSV save/load cycle gives the same curve —
+        the serialisation loses nothing the learner sees."""
+        source_a, source_b, matches = build_city_workload(12)
+        links = train_links(matches, k=8)
+
+        buffer_a, buffer_b, buffer_links = (
+            io_module.StringIO(),
+            io_module.StringIO(),
+            io_module.StringIO(),
+        )
+        save_source_csv(source_a, buffer_a)
+        save_source_csv(source_b, buffer_b)
+        save_links_csv(links, buffer_links)
+        for buffer in (buffer_a, buffer_b, buffer_links):
+            buffer.seek(0)
+        reloaded_a = load_source_csv(buffer_a, "a")
+        reloaded_b = load_source_csv(buffer_b, "b")
+        reloaded_links = load_links_csv(buffer_links)
+
+        config = GenLinkConfig(population_size=30, max_iterations=5)
+        original = GenLink(config).learn(source_a, source_b, links, rng=7)
+        reloaded = GenLink(config).learn(
+            reloaded_a, reloaded_b, reloaded_links, rng=7
+        )
+        assert [r.train_f_measure for r in original.history] == [
+            r.train_f_measure for r in reloaded.history
+        ]
+
+    def test_ntriples_sources_feed_the_learner(self, tmp_path):
+        """The RDF path: dump sources as N-Triples, reload, learn."""
+        source_a, source_b, matches = build_city_workload(10)
+        path_a = tmp_path / "a.nt"
+        path_b = tmp_path / "b.nt"
+        save_source_ntriples(source_a, path_a)
+        save_source_ntriples(source_b, path_b)
+        prefixes = {
+            "http://example.org/entity/": "",
+            "http://example.org/property/": "",
+        }
+        reloaded_a = load_source_ntriples(path_a, "a", prefixes=prefixes)
+        reloaded_b = load_source_ntriples(path_b, "b", prefixes=prefixes)
+        links = train_links(matches, k=6)
+        result = GenLink(GenLinkConfig(population_size=30, max_iterations=6)).learn(
+            reloaded_a, reloaded_b, links, rng=3
+        )
+        assert result.history[-1].train_f_measure >= 0.9
+
+
+class TestDiagnosticsIntegration:
+    def test_tracker_and_pruning_on_one_run(self):
+        from repro.core.diversity import DiversityTracker
+        from repro.core.fitness import FitnessFunction
+
+        source_a, source_b, matches = build_city_workload()
+        links = train_links(matches)
+        pairs, labels = links.labelled_pairs(source_a, source_b)
+        fitness = FitnessFunction(PairEvaluator(pairs), labels)
+        tracker = DiversityTracker(fitness.fitness)
+        learner = GenLink(GenLinkConfig(population_size=30, max_iterations=6))
+        result = learner.learn(source_a, source_b, links, rng=11, observer=tracker)
+        assert len(tracker.snapshots) == len(result.history)
+        # Best fitness in the tracker is monotonically non-decreasing
+        # (elitism keeps the best rule alive).
+        best = [s.best_fitness for s in tracker.snapshots]
+        assert best == sorted(best)
+
+    def test_profiler_guides_rule_construction(self):
+        """key_candidates surfaces the property a good rule compares."""
+        from repro.data.profiling import profile_source
+
+        source_a, source_b, matches = build_city_workload()
+        profile = profile_source(source_a)
+        candidates = profile.key_candidates()
+        assert "label" in candidates
+        links = train_links(matches)
+        result = GenLink(GenLinkConfig(population_size=40, max_iterations=8)).learn(
+            source_a, source_b, links, rng=29
+        )
+        compared = {
+            prop
+            for comparison in result.best_rule.comparisons()
+            for prop in [
+                node.property_name
+                for node in comparison.source.children() or [comparison.source]
+                if hasattr(node, "property_name")
+            ]
+        }
+        # The learner's chosen properties are a subset of the profiled
+        # schema (sanity: profiling and learning see the same world).
+        assert compared <= set(p.name for p in profile.properties)

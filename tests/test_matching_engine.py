@@ -1,0 +1,161 @@
+"""Tests for the matching engine and link evaluation."""
+
+import pytest
+
+from repro.core.nodes import ComparisonNode, PropertyNode, TransformationNode
+from repro.core.rule import LinkageRule
+from repro.data.entity import Entity
+from repro.data.source import DataSource
+from repro.matching.blocking import FullIndexBlocker
+from repro.matching.engine import GeneratedLink, MatchingEngine, generate_links
+from repro.matching.evaluation import evaluate_links
+
+
+@pytest.fixture
+def rule() -> LinkageRule:
+    return LinkageRule(
+        ComparisonNode(
+            "levenshtein",
+            1.0,
+            TransformationNode("lowerCase", (PropertyNode("label"),)),
+            TransformationNode("lowerCase", (PropertyNode("name"),)),
+        )
+    )
+
+
+@pytest.fixture
+def sources():
+    source_a = DataSource(
+        "A",
+        [
+            Entity("a1", {"label": "Berlin"}),
+            Entity("a2", {"label": "Hamburg"}),
+            Entity("a3", {"label": "Unmatched Place"}),
+        ],
+    )
+    source_b = DataSource(
+        "B",
+        [
+            Entity("b1", {"name": "berlin"}),
+            Entity("b2", {"name": "HAMBURG"}),
+            Entity("b3", {"name": "something else"}),
+        ],
+    )
+    return source_a, source_b
+
+
+class TestMatchingEngine:
+    def test_generates_expected_links(self, rule, sources):
+        source_a, source_b = sources
+        links = generate_links(rule, source_a, source_b)
+        pairs = {link.as_pair() for link in links}
+        assert pairs == {("a1", "b1"), ("a2", "b2")}
+
+    def test_scores_at_least_threshold(self, rule, sources):
+        source_a, source_b = sources
+        for link in generate_links(rule, source_a, source_b):
+            assert link.score >= 0.5
+
+    def test_sorted_by_score_desc(self, rule, sources):
+        source_a, source_b = sources
+        links = MatchingEngine().execute(rule, source_a, source_b)
+        scores = [link.score for link in links]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_explicit_full_blocker(self, rule, sources):
+        source_a, source_b = sources
+        links = generate_links(rule, source_a, source_b, blocker=FullIndexBlocker())
+        assert {link.as_pair() for link in links} == {("a1", "b1"), ("a2", "b2")}
+
+    def test_small_batches_match_single_batch(self, rule, sources):
+        source_a, source_b = sources
+        small = MatchingEngine(blocker=FullIndexBlocker(), batch_size=2)
+        big = MatchingEngine(blocker=FullIndexBlocker(), batch_size=1000)
+        assert {l.as_pair() for l in small.execute(rule, source_a, source_b)} == {
+            l.as_pair() for l in big.execute(rule, source_a, source_b)
+        }
+
+    def test_custom_threshold(self, rule, sources):
+        source_a, source_b = sources
+        strict = MatchingEngine(blocker=FullIndexBlocker(), threshold=1.0)
+        links = strict.execute(rule, source_a, source_b)
+        assert all(link.score == 1.0 for link in links)
+
+    def test_deduplication_execution(self, rule):
+        source = DataSource(
+            "dedup",
+            [
+                Entity("e1", {"label": "Berlin", "name": "irrelevant"}),
+                Entity("e2", {"label": "x", "name": "berlin"}),
+                Entity("e3", {"label": "y", "name": "zzz"}),
+            ],
+        )
+        links = generate_links(rule, source, source, blocker=FullIndexBlocker())
+        assert {link.as_pair() for link in links} == {("e1", "e2")}
+
+
+class TestEvaluateLinks:
+    def test_perfect(self):
+        generated = [GeneratedLink("a1", "b1", 1.0), GeneratedLink("a2", "b2", 0.9)]
+        expected = [("a1", "b1"), ("a2", "b2")]
+        result = evaluate_links(generated, expected)
+        assert result.precision == 1.0
+        assert result.recall == 1.0
+        assert result.f_measure == 1.0
+
+    def test_partial(self):
+        generated = [GeneratedLink("a1", "b1", 1.0), GeneratedLink("a9", "b9", 0.8)]
+        expected = [("a1", "b1"), ("a2", "b2")]
+        result = evaluate_links(generated, expected)
+        assert result.precision == 0.5
+        assert result.recall == 0.5
+
+    def test_accepts_plain_tuples(self):
+        result = evaluate_links([("a1", "b1")], [("a1", "b1")])
+        assert result.f_measure == 1.0
+
+    def test_symmetric_mode(self):
+        result = evaluate_links(
+            [("b1", "a1")], [("a1", "b1")], symmetric=True
+        )
+        assert result.f_measure == 1.0
+
+    def test_empty_generated(self):
+        result = evaluate_links([], [("a1", "b1")])
+        assert result.recall == 0.0
+        assert result.f_measure == 0.0
+
+    def test_empty_expected(self):
+        result = evaluate_links([GeneratedLink("a1", "b1", 1.0)], [])
+        assert result.precision == 0.0
+
+
+class TestEndToEnd:
+    def test_learn_then_execute(self):
+        """Learned rules generalise to unlinked entities at execution."""
+        from repro.core.genlink import GenLink, GenLinkConfig
+        from repro.data.reference_links import ReferenceLinkSet
+
+        words = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta",
+                 "theta", "kappa", "sigma", "omega", "lambda", "omicron"]
+        source_a = DataSource("A")
+        source_b = DataSource("B")
+        for i, word in enumerate(words):
+            source_a.add(Entity(f"a{i}", {"label": word.capitalize()}))
+            source_b.add(Entity(f"b{i}", {"name": word.upper()}))
+        train = ReferenceLinkSet(
+            [(f"a{i}", f"b{i}") for i in range(8)],
+            [(f"a{i}", f"b{(i + 3) % 8}") for i in range(8)],
+        )
+        config = GenLinkConfig(population_size=30, max_iterations=10)
+        result = GenLink(config).learn(source_a, source_b, train, rng=3)
+        links = generate_links(
+            result.best_rule, source_a, source_b, blocker=FullIndexBlocker()
+        )
+        evaluation = evaluate_links(
+            links, [(f"a{i}", f"b{i}") for i in range(len(words))]
+        )
+        assert evaluation.recall >= 0.9
+        # Trained on 8 of 12 pairs; a couple of near-miss false positives
+        # are acceptable at this scale.
+        assert evaluation.precision >= 0.75

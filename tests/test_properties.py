@@ -1,0 +1,302 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compatible import CompatibleProperty
+from repro.core.crossover import default_crossover_operators
+from repro.core.evaluation import PairEvaluator, evaluate_rule
+from repro.core.fitness import confusion_counts
+from repro.core.generation import RandomRuleGenerator
+from repro.core.nodes import ComparisonNode, PropertyNode
+from repro.core.representation import BOOLEAN, FULL, LINEAR, NONLINEAR
+from repro.core.rule import LinkageRule, validate_tree
+from repro.core.serialization import rule_from_dict, rule_to_dict
+from repro.data.entity import Entity
+from repro.distances.jaccard import jaccard_distance
+from repro.distances.jaro import jaro_similarity, jaro_winkler_similarity
+from repro.distances.levenshtein import levenshtein
+from repro.transforms.stem import porter_stem
+
+# -- strategies -----------------------------------------------------------------
+text = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=0x2FF),
+    max_size=12,
+)
+token_sets = st.lists(text.filter(bool), min_size=1, max_size=4).map(tuple)
+
+
+# -- Levenshtein metric axioms ----------------------------------------------------
+class TestLevenshteinProperties:
+    @given(text)
+    def test_identity(self, s):
+        assert levenshtein(s, s) == 0.0
+
+    @given(text, text)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(text, text)
+    def test_non_negative_and_bounded(self, a, b):
+        d = levenshtein(a, b)
+        assert 0.0 <= d <= max(len(a), len(b))
+
+    @given(text, text)
+    def test_length_difference_lower_bound(self, a, b):
+        assert levenshtein(a, b) >= abs(len(a) - len(b))
+
+    @given(text, text, text)
+    @settings(max_examples=50)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(text, text, st.integers(min_value=0, max_value=6))
+    def test_bounded_dp_agrees_within_bound(self, a, b, bound):
+        exact = levenshtein(a, b)
+        banded = levenshtein(a, b, bound=bound)
+        if exact <= bound:
+            assert banded == exact
+        else:
+            assert banded > bound
+
+
+class TestJaccardProperties:
+    @given(token_sets)
+    def test_identity(self, values):
+        assert jaccard_distance(values, values) == 0.0
+
+    @given(token_sets, token_sets)
+    def test_symmetry(self, a, b):
+        assert jaccard_distance(a, b) == jaccard_distance(b, a)
+
+    @given(token_sets, token_sets)
+    def test_bounded(self, a, b):
+        assert 0.0 <= jaccard_distance(a, b) <= 1.0
+
+
+class TestJaroProperties:
+    @given(text, text)
+    def test_bounded(self, a, b):
+        assert 0.0 <= jaro_similarity(a, b) <= 1.0
+
+    @given(text, text)
+    def test_winkler_dominates_jaro(self, a, b):
+        assert jaro_winkler_similarity(a, b) >= jaro_similarity(a, b) - 1e-12
+
+    @given(text)
+    def test_self_similarity(self, s):
+        if s:
+            assert jaro_similarity(s, s) == 1.0
+
+
+ascii_words = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=12)
+
+
+class TestStemProperties:
+    @given(ascii_words)
+    @settings(max_examples=100)
+    def test_stem_never_longer(self, word):
+        assert len(porter_stem(word)) <= max(len(word), 2)
+
+    @given(ascii_words.filter(lambda s: len(s) > 2))
+    @settings(max_examples=100)
+    def test_stem_nonempty(self, word):
+        assert porter_stem(word)
+
+
+# -- rule-level invariants ---------------------------------------------------------
+def _generator(seed: int, representation=FULL) -> RandomRuleGenerator:
+    return RandomRuleGenerator(
+        [
+            CompatibleProperty("label", "name", "levenshtein"),
+            CompatibleProperty("geo", "point", "geographic"),
+            CompatibleProperty("date", "released", "date"),
+        ],
+        random.Random(seed),
+        representation=representation,
+    )
+
+
+class TestRandomRuleProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=80)
+    def test_random_rules_valid_and_serialisable(self, seed):
+        rule = _generator(seed).random_rule()
+        validate_tree(rule.root, expect_similarity=True)
+        assert rule_from_dict(rule_to_dict(rule)) == rule
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40)
+    def test_restricted_generation_stays_in_class(self, seed):
+        for representation in (BOOLEAN, LINEAR, NONLINEAR):
+            rule = _generator(seed, representation).random_rule()
+            assert representation.allows(rule.root)
+
+
+class TestCrossoverProperties:
+    @given(
+        st.integers(min_value=0, max_value=5_000),
+        st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_offspring_always_valid_and_bounded(self, seed, operator_index):
+        rng = random.Random(seed)
+        generator = _generator(seed)
+        rule1 = generator.random_rule()
+        rule2 = generator.random_rule()
+        operator = default_crossover_operators()[operator_index]
+        child = operator.apply(rule1, rule2, rng, generator, FULL)
+        validate_tree(child.root, expect_similarity=True)
+        combined = rule1.operator_count() + rule2.operator_count()
+        assert child.operator_count() <= combined + 2
+
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=30, deadline=None)
+    def test_offspring_repair_keeps_linear(self, seed):
+        rng = random.Random(seed)
+        generator = _generator(seed, LINEAR)
+        rule1 = generator.random_rule()
+        rule2 = generator.random_rule()
+        for operator in default_crossover_operators():
+            child = operator.apply(rule1, rule2, rng, generator, LINEAR)
+            assert LINEAR.allows(child.root)
+
+
+class TestEvaluationProperties:
+    @given(st.integers(min_value=0, max_value=2_000))
+    @settings(max_examples=30, deadline=None)
+    def test_scores_always_in_unit_interval(self, seed):
+        rng = random.Random(seed)
+        rule = _generator(seed).random_rule()
+        pairs = []
+        for i in range(6):
+            pairs.append(
+                (
+                    Entity(f"a{i}", {"label": f"w{rng.randint(0, 3)}", "geo": "1,1"}),
+                    Entity(f"b{i}", {"name": f"w{rng.randint(0, 3)}", "point": "1,1"}),
+                )
+            )
+        scores = PairEvaluator(pairs).scores(rule.root)
+        assert np.all(scores >= 0.0)
+        assert np.all(scores <= 1.0)
+
+    @given(st.integers(min_value=0, max_value=2_000))
+    @settings(max_examples=20, deadline=None)
+    def test_batch_equals_single(self, seed):
+        rng = random.Random(seed)
+        rule = _generator(seed).random_rule()
+        pairs = [
+            (
+                Entity(f"a{i}", {"label": f"val{rng.randint(0, 2)}"}),
+                Entity(f"b{i}", {"name": f"val{rng.randint(0, 2)}"}),
+            )
+            for i in range(4)
+        ]
+        batch = PairEvaluator(pairs).scores(rule.root)
+        for i, (entity_a, entity_b) in enumerate(pairs):
+            single = evaluate_rule(rule.root, entity_a, entity_b)
+            assert abs(batch[i] - single) < 1e-12
+
+
+class TestMetricProperties:
+    @given(
+        st.lists(st.booleans(), min_size=1, max_size=30),
+        st.lists(st.booleans(), min_size=1, max_size=30),
+    )
+    @settings(max_examples=100)
+    def test_confusion_invariants(self, predictions, labels):
+        n = min(len(predictions), len(labels))
+        counts = confusion_counts(predictions[:n], labels[:n])
+        assert counts.total == n
+        assert 0.0 <= counts.f_measure() <= 1.0
+        assert -1.0 <= counts.mcc() <= 1.0
+        assert 0.0 <= counts.precision() <= 1.0
+        assert 0.0 <= counts.recall() <= 1.0
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=30))
+    def test_perfect_predictions(self, labels):
+        counts = confusion_counts(labels, labels)
+        assert counts.fp == counts.fn == 0
+        if any(labels) and not all(labels):
+            assert counts.mcc() == 1.0
+            assert counts.f_measure() == 1.0
+
+
+class TestSimplificationProperties:
+    """simplify_rule and structural pruning are semantics-preserving."""
+
+    def _pairs(self, rng: random.Random):
+        return [
+            (
+                Entity(
+                    f"a{i}",
+                    {
+                        "label": f"word{rng.randint(0, 3)}",
+                        "geo": "52.5,13.4",
+                        "date": "1999-01-01",
+                    },
+                ),
+                Entity(
+                    f"b{i}",
+                    {
+                        "name": f"word{rng.randint(0, 3)}",
+                        "point": "52.5,13.4",
+                        "released": "1999-06-01",
+                    },
+                ),
+            )
+            for i in range(5)
+        ]
+
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=40, deadline=None)
+    def test_simplify_rule_preserves_scores(self, seed):
+        from repro.core.analysis import simplify_rule
+
+        rng = random.Random(seed)
+        rule = _generator(seed).random_rule()
+        simplified = simplify_rule(rule)
+        pairs = self._pairs(rng)
+        evaluator = PairEvaluator(pairs)
+        original = evaluator.scores(rule.root)
+        reduced = evaluator.scores(simplified.root)
+        assert np.allclose(original, reduced, atol=1e-12)
+        assert simplified.operator_count() <= rule.operator_count()
+
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=40, deadline=None)
+    def test_simplify_transformations_preserves_scores(self, seed):
+        from repro.core.pruning import simplify_transformations
+
+        rng = random.Random(seed)
+        rule = _generator(seed).random_rule()
+        simplified = simplify_transformations(rule)
+        pairs = self._pairs(rng)
+        evaluator = PairEvaluator(pairs)
+        assert np.allclose(
+            evaluator.scores(rule.root),
+            evaluator.scores(simplified.root),
+            atol=1e-12,
+        )
+
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=25, deadline=None)
+    def test_crossover_offspring_simplify_cleanly(self, seed):
+        """Structural simplification is safe on anything crossover
+        emits, not only on freshly generated rules."""
+        from repro.core.analysis import simplify_rule
+        from repro.core.rule import validate_tree as validate
+
+        rng = random.Random(seed)
+        generator = _generator(seed)
+        rule1 = generator.random_rule()
+        rule2 = generator.random_rule()
+        for operator in default_crossover_operators():
+            child = operator.apply(rule1, rule2, rng, generator, FULL)
+            simplified = simplify_rule(child)
+            validate(simplified.root, expect_similarity=True)

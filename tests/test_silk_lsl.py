@@ -1,0 +1,345 @@
+"""Tests for Silk-LSL rule serialisation (repro.silk.lsl)."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    TransformationNode,
+)
+from repro.core.rule import LinkageRule
+from repro.silk.lsl import (
+    AGGREGATION_TO_SILK,
+    METRIC_TO_SILK,
+    SILK_TO_METRIC,
+    TRANSFORM_TO_SILK,
+    LslError,
+    rule_from_lsl,
+    rule_to_lsl,
+)
+
+
+def simple_rule() -> LinkageRule:
+    """The paper's Figure 2 city rule: min(levenshtein labels, geo)."""
+    label = ComparisonNode(
+        metric="levenshtein",
+        threshold=1.0,
+        source=TransformationNode("lowerCase", (PropertyNode("label"),)),
+        target=TransformationNode("lowerCase", (PropertyNode("label"),)),
+    )
+    geo = ComparisonNode(
+        metric="geographic",
+        threshold=50.0,
+        source=PropertyNode("point"),
+        target=PropertyNode("coord"),
+    )
+    return LinkageRule(AggregationNode(function="min", operators=(label, geo)))
+
+
+class TestEmit:
+    def test_root_element(self):
+        text = rule_to_lsl(simple_rule())
+        element = ET.fromstring(text)
+        assert element.tag == "LinkageRule"
+        assert element[0].tag == "Aggregate"
+        assert element[0].get("type") == "min"
+
+    def test_metric_names_translated(self):
+        text = rule_to_lsl(simple_rule())
+        assert 'metric="levenshteinDistance"' in text
+        assert 'metric="wgs84"' in text
+        assert "levenshtein\"" not in text.replace("levenshteinDistance", "")
+
+    def test_paths_carry_variables(self):
+        text = rule_to_lsl(simple_rule())
+        assert 'path="?a/label"' in text
+        assert 'path="?b/label"' in text
+        assert 'path="?a/point"' in text
+        assert 'path="?b/coord"' in text
+
+    def test_custom_variables(self):
+        text = rule_to_lsl(simple_rule(), source_var="x", target_var="y")
+        assert 'path="?x/label"' in text
+        assert 'path="?y/coord"' in text
+
+    def test_integral_threshold_is_compact(self):
+        text = rule_to_lsl(simple_rule())
+        assert 'threshold="1"' in text
+        assert 'threshold="50"' in text
+
+    def test_wmean_is_average(self):
+        rule = LinkageRule(
+            AggregationNode(
+                function="wmean",
+                operators=(
+                    ComparisonNode(
+                        metric="jaccard",
+                        threshold=0.4,
+                        source=PropertyNode("p"),
+                        target=PropertyNode("q"),
+                        weight=3,
+                    ),
+                    ComparisonNode(
+                        metric="equality",
+                        threshold=0.0,
+                        source=PropertyNode("r"),
+                        target=PropertyNode("s"),
+                    ),
+                ),
+            )
+        )
+        text = rule_to_lsl(rule)
+        assert '<Aggregate type="average"' in text
+        assert 'weight="3"' in text
+
+    def test_transformation_params_emitted(self):
+        rule = LinkageRule(
+            ComparisonNode(
+                metric="levenshtein",
+                threshold=1.0,
+                source=TransformationNode(
+                    "replace",
+                    (PropertyNode("name"),),
+                    params=(("replacement", " "), ("search", "-")),
+                ),
+                target=PropertyNode("name"),
+            )
+        )
+        text = rule_to_lsl(rule)
+        # 'replacement' translates to Silk's parameter name 'replace'.
+        assert '<Param name="replace" value=" " />' in text or (
+            '<Param name="replace" value=" "/>' in text
+        )
+        assert 'name="search"' in text
+
+    def test_concatenate_is_concat(self):
+        rule = LinkageRule(
+            ComparisonNode(
+                metric="levenshtein",
+                threshold=2.0,
+                source=TransformationNode(
+                    "concatenate",
+                    (PropertyNode("firstName"), PropertyNode("lastName")),
+                ),
+                target=PropertyNode("name"),
+            )
+        )
+        text = rule_to_lsl(rule)
+        assert 'function="concat"' in text
+
+
+class TestParse:
+    def test_round_trip_simple(self):
+        rule = simple_rule()
+        assert rule_from_lsl(rule_to_lsl(rule)) == rule
+
+    def test_parse_bare_compare(self):
+        text = """
+        <Compare metric="jaccard" threshold="0.5">
+          <Input path="?a/tags"/>
+          <Input path="?b/tags"/>
+        </Compare>
+        """
+        rule = rule_from_lsl(text)
+        assert isinstance(rule.root, ComparisonNode)
+        assert rule.root.metric == "jaccard"
+        assert rule.root.threshold == 0.5
+
+    def test_parse_swapped_inputs(self):
+        text = """
+        <Compare metric="equality" threshold="0">
+          <Input path="?b/id"/>
+          <Input path="?a/id"/>
+        </Compare>
+        """
+        rule = rule_from_lsl(text)
+        assert rule.root.source == PropertyNode("id")
+        assert rule.root.target == PropertyNode("id")
+
+    def test_unknown_metric_passes_through(self):
+        text = """
+        <Compare metric="substring" threshold="0.3">
+          <Input path="?a/x"/><Input path="?b/y"/>
+        </Compare>
+        """
+        rule = rule_from_lsl(text)
+        assert rule.root.metric == "substring"
+
+    def test_missing_threshold_raises(self):
+        text = '<Compare metric="equality"><Input path="?a/x"/><Input path="?b/y"/></Compare>'
+        with pytest.raises(LslError, match="threshold"):
+            rule_from_lsl(text)
+
+    def test_wrong_input_count_raises(self):
+        text = '<Compare metric="equality" threshold="0"><Input path="?a/x"/></Compare>'
+        with pytest.raises(LslError, match="exactly 2"):
+            rule_from_lsl(text)
+
+    def test_mixed_variable_subtree_raises(self):
+        text = """
+        <Compare metric="levenshteinDistance" threshold="1">
+          <TransformInput function="concat">
+            <Input path="?a/first"/><Input path="?b/last"/>
+          </TransformInput>
+          <Input path="?b/name"/>
+        </Compare>
+        """
+        with pytest.raises(LslError, match="exactly one"):
+            rule_from_lsl(text)
+
+    def test_unknown_variable_raises(self):
+        text = """
+        <Compare metric="equality" threshold="0">
+          <Input path="?z/x"/><Input path="?b/y"/>
+        </Compare>
+        """
+        with pytest.raises(LslError, match="variables"):
+            rule_from_lsl(text)
+
+    def test_bad_path_raises(self):
+        text = '<Compare metric="equality" threshold="0"><Input path="label"/><Input path="?b/y"/></Compare>'
+        with pytest.raises(LslError, match="path"):
+            rule_from_lsl(text)
+
+    def test_unsupported_aggregation_raises(self):
+        text = """
+        <Aggregate type="quadraticMean">
+          <Compare metric="equality" threshold="0">
+            <Input path="?a/x"/><Input path="?b/y"/>
+          </Compare>
+        </Aggregate>
+        """
+        with pytest.raises(LslError, match="quadraticMean"):
+            rule_from_lsl(text)
+
+    def test_empty_aggregate_raises(self):
+        with pytest.raises(LslError, match="no operators"):
+            rule_from_lsl('<Aggregate type="min"></Aggregate>')
+
+    def test_malformed_xml_raises(self):
+        with pytest.raises(LslError, match="not well-formed"):
+            rule_from_lsl("<LinkageRule><Compare>")
+
+    def test_zero_weight_raises(self):
+        text = """
+        <Compare metric="equality" threshold="0" weight="0">
+          <Input path="?a/x"/><Input path="?b/y"/>
+        </Compare>
+        """
+        with pytest.raises(LslError, match="weight"):
+            rule_from_lsl(text)
+
+    def test_nested_aggregation_round_trip(self):
+        inner = AggregationNode(
+            function="max",
+            operators=(
+                ComparisonNode(
+                    metric="date",
+                    threshold=364.0,
+                    source=PropertyNode("date"),
+                    target=PropertyNode("released"),
+                ),
+                ComparisonNode(
+                    metric="equality",
+                    threshold=0.0,
+                    source=PropertyNode("year"),
+                    target=PropertyNode("year"),
+                ),
+            ),
+            weight=2,
+        )
+        outer = AggregationNode(
+            function="wmean",
+            operators=(
+                inner,
+                ComparisonNode(
+                    metric="jaroWinkler",
+                    threshold=0.2,
+                    source=PropertyNode("title"),
+                    target=PropertyNode("label"),
+                    weight=5,
+                ),
+            ),
+        )
+        rule = LinkageRule(outer)
+        assert rule_from_lsl(rule_to_lsl(rule)) == rule
+
+
+# -- property-based round trip ------------------------------------------------
+
+_property_names = st.sampled_from(
+    ["label", "name", "title", "date", "point", "rdfs:label", "foaf:name"]
+)
+_metrics = st.sampled_from(sorted(METRIC_TO_SILK))
+_unary_transforms = st.sampled_from(
+    sorted(set(TRANSFORM_TO_SILK) - {"concatenate", "replace"})
+)
+_weights = st.integers(min_value=1, max_value=9)
+_thresholds = st.one_of(
+    st.integers(min_value=0, max_value=500).map(float),
+    st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+)
+
+
+@st.composite
+def _value_nodes(draw, max_depth=3):
+    if max_depth == 0 or draw(st.booleans()):
+        return PropertyNode(draw(_property_names))
+    if max_depth >= 2 and draw(st.integers(0, 3)) == 0:
+        left = draw(_value_nodes(max_depth=max_depth - 1))
+        right = draw(_value_nodes(max_depth=max_depth - 1))
+        return TransformationNode("concatenate", (left, right))
+    inner = draw(_value_nodes(max_depth=max_depth - 1))
+    return TransformationNode(draw(_unary_transforms), (inner,))
+
+
+@st.composite
+def _comparison_nodes(draw):
+    return ComparisonNode(
+        metric=draw(_metrics),
+        threshold=draw(_thresholds),
+        source=draw(_value_nodes()),
+        target=draw(_value_nodes()),
+        weight=draw(_weights),
+    )
+
+
+@st.composite
+def _similarity_nodes(draw, max_depth=3):
+    if max_depth == 0 or draw(st.booleans()):
+        return draw(_comparison_nodes())
+    children = draw(
+        st.lists(_similarity_nodes(max_depth=max_depth - 1), min_size=1, max_size=3)
+    )
+    return AggregationNode(
+        function=draw(st.sampled_from(sorted(AGGREGATION_TO_SILK))),
+        operators=tuple(children),
+        weight=draw(_weights),
+    )
+
+
+@given(node=_similarity_nodes())
+@settings(max_examples=120, deadline=None)
+def test_lsl_round_trip_random_rules(node):
+    rule = LinkageRule(node)
+    assert rule_from_lsl(rule_to_lsl(rule)) == rule
+
+
+@given(node=_similarity_nodes())
+@settings(max_examples=40, deadline=None)
+def test_lsl_output_is_well_formed_xml(node):
+    text = rule_to_lsl(LinkageRule(node))
+    element = ET.fromstring(text)
+    assert element.tag == "LinkageRule"
+
+
+def test_metric_maps_are_bijective():
+    assert len(SILK_TO_METRIC) == len(METRIC_TO_SILK)
+    assert set(SILK_TO_METRIC.values()) == set(METRIC_TO_SILK)

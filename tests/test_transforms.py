@@ -1,0 +1,164 @@
+"""Tests for all value transformations."""
+
+import pytest
+
+from repro.transforms.base import Transformation
+from repro.transforms.case import Capitalize, LowerCase, UpperCase
+from repro.transforms.concat import Concatenate
+from repro.transforms.normalize import Replace, StripPunctuation, Trim
+from repro.transforms.stem import PorterStemmer, StemWords, porter_stem
+from repro.transforms.tokenize import Tokenize
+from repro.transforms.uri import StripUriPrefix, strip_uri_prefix
+
+
+class TestCaseTransformations:
+    def test_lower_case(self):
+        assert LowerCase()([("iPod", "IPOD")]) == ("ipod", "ipod")
+
+    def test_upper_case(self):
+        assert UpperCase()([("iPod",)]) == ("IPOD",)
+
+    def test_capitalize(self):
+        assert Capitalize()([("new york city",)]) == ("New York City",)
+
+    def test_empty_value_set(self):
+        assert LowerCase()([()]) == ()
+
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError):
+            LowerCase()([("a",), ("b",)])
+
+
+class TestTokenize:
+    def test_splits_on_whitespace_and_punctuation(self):
+        assert Tokenize()([("Salem, Massachusetts",)]) == ("Salem", "Massachusetts")
+
+    def test_flattens_multiple_values(self):
+        assert Tokenize()([("a b", "c")]) == ("a", "b", "c")
+
+    def test_deduplicates_preserving_order(self):
+        assert Tokenize()([("x y x",)]) == ("x", "y")
+
+    def test_underscores_split(self):
+        assert Tokenize()([("New_York",)]) == ("New", "York")
+
+    def test_numbers_kept(self):
+        assert Tokenize()([("route 66",)]) == ("route", "66")
+
+    def test_empty(self):
+        assert Tokenize()([("",)]) == ()
+
+
+class TestStripUriPrefix:
+    def test_dbpedia_resource(self):
+        assert strip_uri_prefix("http://dbpedia.org/resource/Berlin") == "Berlin"
+
+    def test_underscores_become_spaces(self):
+        assert (
+            strip_uri_prefix("http://dbpedia.org/resource/New_York_City")
+            == "New York City"
+        )
+
+    def test_fragment_uri(self):
+        assert strip_uri_prefix("http://example.org/onto#Thing") == "Thing"
+
+    def test_percent_decoding(self):
+        assert strip_uri_prefix("http://x.org/r/Caf%C3%A9") == "Café"
+
+    def test_non_uri_unchanged(self):
+        assert strip_uri_prefix("Berlin") == "Berlin"
+
+    def test_trailing_slash(self):
+        assert strip_uri_prefix("http://x.org/r/Berlin/") == "Berlin"
+
+    def test_transformation_wrapper(self):
+        transform = StripUriPrefix()
+        assert transform([("http://dbpedia.org/resource/Paris", "Lyon")]) == (
+            "Paris",
+            "Lyon",
+        )
+
+
+class TestConcatenate:
+    def test_single_values(self):
+        assert Concatenate()([("John",), ("Smith",)]) == ("John Smith",)
+
+    def test_custom_separator(self):
+        assert Concatenate(separator=", ")([("Smith",), ("John",)]) == ("Smith, John",)
+
+    def test_cross_product(self):
+        result = Concatenate()([("a", "b"), ("x",)])
+        assert result == ("a x", "b x")
+
+    def test_empty_side_passthrough(self):
+        assert Concatenate()([(), ("x",)]) == ("x",)
+        assert Concatenate()([("x",), ()]) == ("x",)
+
+    def test_arity_is_two(self):
+        with pytest.raises(ValueError):
+            Concatenate()([("only one",)])
+
+    def test_cross_product_capped(self):
+        many = tuple(str(i) for i in range(20))
+        result = Concatenate()([many, many])
+        assert len(result) == Concatenate.max_outputs
+
+
+class TestPorterStemmer:
+    @pytest.mark.parametrize(
+        "word,stem",
+        [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("motoring", "motor"),
+            ("happy", "happi"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("hopefulness", "hope"),
+            ("formalize", "formal"),
+            ("adjustable", "adjust"),
+            ("probate", "probat"),
+            ("cease", "ceas"),
+        ],
+    )
+    def test_known_stems(self, word, stem):
+        assert porter_stem(word) == stem
+
+    def test_short_words_unchanged(self):
+        assert porter_stem("at") == "at"
+
+    def test_lowercases(self):
+        assert porter_stem("Running") == porter_stem("running")
+
+    def test_stem_words_transformation(self):
+        assert StemWords()([("running computers",)]) == ("run comput",)
+
+    def test_idempotent_on_stems(self):
+        stemmer = PorterStemmer()
+        once = stemmer.stem("computers")
+        assert stemmer.stem(once) == once
+
+
+class TestNormalizeTransformations:
+    def test_replace(self):
+        assert Replace(search="-", replacement=" ")([("beta-blocker",)]) == (
+            "beta blocker",
+        )
+
+    def test_replace_requires_search(self):
+        with pytest.raises(ValueError):
+            Replace(search="")
+
+    def test_strip_punctuation(self):
+        assert StripPunctuation()([("St. John's, #1!",)]) == ("St Johns 1",)
+
+    def test_strip_punctuation_collapses_whitespace(self):
+        assert StripPunctuation()([("a  -  b",)]) == ("a b",)
+
+    def test_trim(self):
+        assert Trim()([("  padded  ",)]) == ("padded",)

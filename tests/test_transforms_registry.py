@@ -1,0 +1,58 @@
+"""Tests for the transformation registry."""
+
+import pytest
+
+from repro.transforms.base import Transformation
+from repro.transforms.registry import (
+    TransformationRegistry,
+    default_registry,
+    get_transformation,
+    transformation_names,
+)
+
+
+class TestDefaultRegistry:
+    def test_contains_table1_transformations(self):
+        # Table 1 of the paper.
+        for name in ("lowerCase", "tokenize", "stripUriPrefix", "concatenate"):
+            assert name in default_registry()
+
+    def test_contains_figure6_stem(self):
+        assert "stem" in default_registry()
+
+    def test_unary_names_exclude_concatenate(self):
+        unary = default_registry().unary_names()
+        assert "concatenate" not in unary
+        assert "lowerCase" in unary
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_transformation("fooBar")
+
+    def test_names_sorted(self):
+        names = transformation_names()
+        assert names == sorted(names)
+
+
+class TestCustomRegistry:
+    def test_register_custom(self):
+        class Reverse(Transformation):
+            name = "reverse"
+            arity = 1
+
+            def apply(self, inputs):
+                return tuple(v[::-1] for v in inputs[0])
+
+        registry = TransformationRegistry()
+        registry.register(Reverse())
+        assert registry.get("reverse")([("abc",)]) == ("cba",)
+
+    def test_register_requires_name(self):
+        class Nameless(Transformation):
+            name = "abstract"
+
+            def apply(self, inputs):
+                return inputs[0]
+
+        with pytest.raises(ValueError):
+            TransformationRegistry().register(Nameless())
