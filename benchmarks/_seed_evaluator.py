@@ -1,0 +1,122 @@
+"""The pre-engine ``PairEvaluator`` implementation, frozen verbatim.
+
+``repro.core.evaluation.PairEvaluator`` now delegates to the compiled
+engine (``repro.engine``); this module preserves the original per-pair
+loop so ``bench_micro_engine.py`` can measure the engine against the
+exact path it replaced. Do not "fix" or optimise this file — it is a
+measurement baseline, not production code.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.evaluation import evaluate_value
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    SimilarityNode,
+    ValueNode,
+)
+from repro.data.entity import Entity
+from repro.distances.base import INFINITE_DISTANCE
+from repro.distances.registry import DistanceRegistry
+from repro.distances.registry import default_registry as default_distances
+from repro.transforms.registry import TransformationRegistry
+from repro.transforms.registry import default_registry as default_transforms
+
+
+class SeedPairEvaluator:
+    """The seed repository's batch evaluator (per-pair Python loop with
+    clear-at-capacity caches)."""
+
+    def __init__(
+        self,
+        pairs: Sequence[tuple[Entity, Entity]],
+        distances: DistanceRegistry | None = None,
+        transforms: TransformationRegistry | None = None,
+        max_cached_comparisons: int = 30_000,
+        max_cached_values: int = 500_000,
+    ):
+        self._pairs = list(pairs)
+        self._distances = distances if distances is not None else default_distances()
+        self._transforms = (
+            transforms if transforms is not None else default_transforms()
+        )
+        self._comparison_cache: dict[tuple, np.ndarray] = {}
+        self._value_cache: dict[tuple, tuple[str, ...]] = {}
+        self._max_cached_comparisons = max_cached_comparisons
+        self._max_cached_values = max_cached_values
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def _values(self, node: ValueNode, entity: Entity, side: str) -> tuple[str, ...]:
+        key = (node, side, entity.uid)
+        cached = self._value_cache.get(key)
+        if cached is not None:
+            return cached
+        values = evaluate_value(node, entity, self._transforms)
+        if len(self._value_cache) >= self._max_cached_values:
+            self._value_cache.clear()
+        self._value_cache[key] = values
+        return values
+
+    def scores(self, node: SimilarityNode) -> np.ndarray:
+        if isinstance(node, ComparisonNode):
+            return self._comparison_scores(node)
+        if isinstance(node, AggregationNode):
+            return self._aggregation_scores(node)
+        raise TypeError(f"not a similarity operator: {type(node).__name__}")
+
+    def _comparison_scores(self, node: ComparisonNode) -> np.ndarray:
+        key = (node.metric, node.threshold, node.source, node.target)
+        cached = self._comparison_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        measure = self._distances.get(node.metric)
+        threshold = node.threshold
+        out = np.zeros(len(self._pairs), dtype=np.float64)
+        for i, (entity_a, entity_b) in enumerate(self._pairs):
+            values_a = self._values(node.source, entity_a, "a")
+            if not values_a:
+                continue
+            values_b = self._values(node.target, entity_b, "b")
+            if not values_b:
+                continue
+            distance = measure.evaluate(values_a, values_b)
+            if distance >= INFINITE_DISTANCE:
+                continue
+            if threshold <= 0.0:
+                if distance == 0.0:
+                    out[i] = 1.0
+            elif distance <= threshold:
+                out[i] = 1.0 - distance / threshold
+        out.setflags(write=False)
+        if len(self._comparison_cache) >= self._max_cached_comparisons:
+            self._comparison_cache.clear()
+        self._comparison_cache[key] = out
+        return out
+
+    def _aggregation_scores(self, node: AggregationNode) -> np.ndarray:
+        child_scores = [self.scores(child) for child in node.operators]
+        stacked = np.vstack(child_scores)
+        if node.function == "min":
+            return stacked.min(axis=0)
+        if node.function == "max":
+            return stacked.max(axis=0)
+        if node.function == "wmean":
+            weights = np.array(
+                [child.weight for child in node.operators], dtype=np.float64
+            )
+            return weights @ stacked / weights.sum()
+        raise ValueError(f"unknown aggregation function {node.function!r}")
+
+    def predictions(self, node: SimilarityNode) -> np.ndarray:
+        return self.scores(node) >= 0.5

@@ -45,6 +45,7 @@ from repro.core import (
     simplify_rule,
 )
 from repro.data import DataSource, Entity, ReferenceLinkSet
+from repro.engine import EngineSession, EngineStats
 
 __version__ = "1.0.0"
 
@@ -52,6 +53,8 @@ __all__ = [
     "AggregationNode",
     "ComparisonNode",
     "DataSource",
+    "EngineSession",
+    "EngineStats",
     "Entity",
     "GenLink",
     "GenLinkConfig",

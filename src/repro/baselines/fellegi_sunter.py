@@ -181,7 +181,19 @@ class FellegiSunterClassifier:
 def log_likelihood_ratio(m: float, u: float) -> tuple[float, float]:
     """The classic Fellegi-Sunter agreement/disagreement weights for
     one indicator with match probability ``m`` and chance-agreement
-    probability ``u``."""
+    probability ``u``.
+
+    The naive ``log(m/u)`` / ``log((1-m)/(1-u))`` loses the weights'
+    signs for nearly-equal probabilities: the ratio (or the ``1 - x``
+    complements) rounds to exactly 1.0 and the weight collapses to 0.
+    Rewritten as ``log1p`` of the relative difference, the sign of
+    ``m - u`` survives exactly — float subtraction of nearby values is
+    exact (Sterbenz) and ``log1p`` preserves the sign of arbitrarily
+    small arguments — so the weight ordering always follows the m-vs-u
+    ordering.
+    """
     if not (0.0 < m < 1.0 and 0.0 < u < 1.0):
         raise ValueError("m and u must lie strictly between 0 and 1")
-    return math.log(m / u), math.log((1.0 - m) / (1.0 - u))
+    agree = math.log1p((m - u) / u)
+    disagree = math.log1p((u - m) / (1.0 - u))
+    return agree, disagree

@@ -1,15 +1,11 @@
 """Linkage rule semantics (Definitions 5-8) and batch evaluation.
 
-:class:`PairEvaluator` evaluates similarity nodes over a *fixed* list of
-entity pairs and returns numpy score vectors. Two memoisation layers
-make GP fitness evaluation tractable in pure Python:
-
-* value subtrees are cached per (subtree, entity) — transformations of
-  an entity's values do not depend on the pair it appears in;
-* comparison subtrees are cached per evaluator — populations evolved by
-  crossover share most of their genetic material, so the same
-  comparison subtree is typically evaluated by many rules per
-  generation.
+:class:`PairEvaluator` evaluates similarity nodes over a *fixed* list
+of entity pairs and returns numpy score vectors. Since the engine
+refactor it is a thin facade over :class:`repro.engine.EngineSession`:
+rule trees are compiled into deduplicated plans, transformed values are
+materialised per unique entity, and thresholding runs as numpy array
+operations over cached distance columns (see ``docs/engine.md``).
 
 Semantics notes:
 
@@ -33,16 +29,15 @@ import numpy as np
 from repro.core.nodes import (
     AggregationNode,
     ComparisonNode,
-    PropertyNode,
     SimilarityNode,
-    TransformationNode,
     ValueNode,
 )
 from repro.data.entity import Entity
 from repro.distances.base import INFINITE_DISTANCE
 from repro.distances.registry import DistanceRegistry
 from repro.distances.registry import default_registry as default_distances
-from repro.transforms.base import Transformation
+from repro.engine.session import EngineSession, EngineStats
+from repro.engine.values import evaluate_value_op
 from repro.transforms.registry import TransformationRegistry
 from repro.transforms.registry import default_registry as default_transforms
 
@@ -56,33 +51,7 @@ def evaluate_value(
     transforms: TransformationRegistry,
 ) -> tuple[str, ...]:
     """Evaluate a value operator for one entity (Definitions 5 & 6)."""
-    if isinstance(node, PropertyNode):
-        return entity.values(node.property_name)
-    if isinstance(node, TransformationNode):
-        transformation = _resolve_transformation(node, transforms)
-        inputs = [evaluate_value(child, entity, transforms) for child in node.inputs]
-        return transformation(inputs)
-    raise TypeError(f"not a value operator: {type(node).__name__}")
-
-
-def _resolve_transformation(
-    node: TransformationNode, transforms: TransformationRegistry
-) -> Transformation:
-    base = transforms.get(node.function)
-    if not node.params:
-        return base
-    # Parameterised transformations are instantiated on the fly so the
-    # node stays a pure description. Only `replace` takes parameters in
-    # the built-in set.
-    params = dict(node.params)
-    if node.function == "replace":
-        from repro.transforms.normalize import Replace
-
-        return Replace(
-            search=params.get("search", "-"),
-            replacement=params.get("replacement", " "),
-        )
-    return base
+    return evaluate_value_op(node, entity, transforms)
 
 
 def compare_value_sets(
@@ -106,110 +75,129 @@ def compare_value_sets(
 
 
 class PairEvaluator:
-    """Evaluates similarity nodes over a fixed list of entity pairs."""
+    """Evaluates similarity nodes over a fixed list of entity pairs.
+
+    A compatibility facade over one :class:`EngineSession` pair
+    context. Passing ``session`` shares an existing session (and its
+    caches) instead of creating a private one; registries and cache
+    capacities are then owned by the session and may not be overridden
+    here. ``cache_hits`` / ``cache_misses`` report the score tier of
+    the backing session — with a private session that matches the
+    seed's per-evaluator comparison-cache counters, with a shared
+    session the counts aggregate all sharers.
+    """
 
     def __init__(
         self,
         pairs: Sequence[tuple[Entity, Entity]],
         distances: DistanceRegistry | None = None,
         transforms: TransformationRegistry | None = None,
-        max_cached_comparisons: int = 30_000,
-        max_cached_values: int = 500_000,
+        max_cached_comparisons: int | None = None,
+        max_cached_values: int | None = None,
+        session: EngineSession | None = None,
     ):
-        self._pairs = list(pairs)
-        self._distances = distances if distances is not None else default_distances()
-        self._transforms = (
-            transforms if transforms is not None else default_transforms()
-        )
-        self._comparison_cache: dict[tuple, np.ndarray] = {}
-        self._value_cache: dict[tuple, tuple[str, ...]] = {}
-        self._max_cached_comparisons = max_cached_comparisons
-        self._max_cached_values = max_cached_values
-        self.cache_hits = 0
-        self.cache_misses = 0
+        if session is None:
+            # None means "engine defaults". An explicit comparison bound
+            # caps both per-comparison tiers (distance columns and score
+            # vectors) — the column tier is what actually holds the bulk
+            # of per-comparison memory now.
+            capacities: dict[str, int] = {}
+            if max_cached_values is not None:
+                capacities["max_value_entries"] = max_cached_values
+            if max_cached_comparisons is not None:
+                capacities["max_column_entries"] = max_cached_comparisons
+                capacities["max_score_entries"] = max_cached_comparisons
+            session = EngineSession(
+                distances=distances, transforms=transforms, **capacities
+            )
+        else:
+            # A shared session evaluates with *its* registries and cache
+            # bounds; accepting different ones here would silently
+            # change semantics (or silently do nothing).
+            if distances is not None and distances is not session.distances:
+                raise ValueError(
+                    "conflicting distance registries: pass either a session "
+                    "or a registry, not both"
+                )
+            if transforms is not None and transforms is not session.transforms:
+                raise ValueError(
+                    "conflicting transformation registries: pass either a "
+                    "session or a registry, not both"
+                )
+            if max_cached_comparisons is not None or max_cached_values is not None:
+                raise ValueError(
+                    "cache capacities are owned by the session; configure "
+                    "them on EngineSession instead"
+                )
+        self._session = session
+        self._context = session.context(pairs)
 
     @property
     def pairs(self) -> list[tuple[Entity, Entity]]:
-        return list(self._pairs)
+        return self._context.pairs
 
     def __len__(self) -> int:
-        return len(self._pairs)
+        return len(self._context)
 
-    # -- value operators ----------------------------------------------------
-    def _values(self, node: ValueNode, entity: Entity, side: str) -> tuple[str, ...]:
-        key = (node, side, entity.uid)
-        cached = self._value_cache.get(key)
-        if cached is not None:
-            return cached
-        values = evaluate_value(node, entity, self._transforms)
-        if len(self._value_cache) >= self._max_cached_values:
-            self._value_cache.clear()
-        self._value_cache[key] = values
-        return values
+    @property
+    def session(self) -> EngineSession:
+        """The engine session backing this evaluator."""
+        return self._session
 
     # -- similarity operators -----------------------------------------------
     def scores(self, node: SimilarityNode) -> np.ndarray:
-        """Score vector of a similarity node over all pairs (read-only)."""
-        if isinstance(node, ComparisonNode):
-            return self._comparison_scores(node)
-        if isinstance(node, AggregationNode):
-            return self._aggregation_scores(node)
-        raise TypeError(f"not a similarity operator: {type(node).__name__}")
-
-    def _comparison_scores(self, node: ComparisonNode) -> np.ndarray:
-        # Weight does not influence the comparison's own score, so it is
-        # excluded from the cache key.
-        key = (node.metric, node.threshold, node.source, node.target)
-        cached = self._comparison_cache.get(key)
-        if cached is not None:
-            self.cache_hits += 1
-            return cached
-        self.cache_misses += 1
-        measure = self._distances.get(node.metric)
-        threshold = node.threshold
-        out = np.zeros(len(self._pairs), dtype=np.float64)
-        for i, (entity_a, entity_b) in enumerate(self._pairs):
-            values_a = self._values(node.source, entity_a, "a")
-            if not values_a:
-                continue
-            values_b = self._values(node.target, entity_b, "b")
-            if not values_b:
-                continue
-            distance = measure.evaluate(values_a, values_b)
-            if distance >= INFINITE_DISTANCE:
-                continue
-            if threshold <= 0.0:
-                if distance == 0.0:
-                    out[i] = 1.0
-            elif distance <= threshold:
-                out[i] = 1.0 - distance / threshold
-        out.setflags(write=False)
-        if len(self._comparison_cache) >= self._max_cached_comparisons:
-            self._comparison_cache.clear()
-        self._comparison_cache[key] = out
-        return out
-
-    def _aggregation_scores(self, node: AggregationNode) -> np.ndarray:
-        child_scores = [self.scores(child) for child in node.operators]
-        stacked = np.vstack(child_scores)
-        if node.function == "min":
-            return stacked.min(axis=0)
-        if node.function == "max":
-            return stacked.max(axis=0)
-        if node.function == "wmean":
-            weights = np.array(
-                [child.weight for child in node.operators], dtype=np.float64
-            )
-            return weights @ stacked / weights.sum()
-        raise ValueError(f"unknown aggregation function {node.function!r}")
+        """Score vector of a similarity node over all pairs (comparison
+        vectors are cached and read-only)."""
+        return self._context.scores(node)
 
     def predictions(self, node: SimilarityNode) -> np.ndarray:
         """Boolean match predictions at the 0.5 threshold."""
-        return self.scores(node) >= 0.5
+        return self._context.predictions(node)
+
+    def prime_population(self, roots: Sequence[SimilarityNode]) -> None:
+        """Evaluate a whole population through one compiled plan,
+        warming the distance-column and score caches; subsequent
+        per-rule :meth:`scores` calls hit those caches."""
+        self._context.population_scores(roots)
+
+    # -- cache statistics ----------------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        """Comparison-level (score tier) cache hits of the backing
+        session (session-wide when the session is shared)."""
+        return self._session.stats().scores.hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Comparison-level (score tier) cache misses of the backing
+        session (session-wide when the session is shared)."""
+        return self._session.stats().scores.misses
+
+    def engine_stats(self) -> EngineStats:
+        """Full per-tier cache and compiler statistics."""
+        return self._session.stats()
 
     def clear_caches(self) -> None:
-        self._comparison_cache.clear()
-        self._value_cache.clear()
+        """Drop the backing session's cached values, columns, scores."""
+        self._session.clear_caches()
+
+    def release(self) -> None:
+        """Evict this evaluator's context-local (column/score) cache
+        entries from the backing session.
+
+        Only relevant when sharing a session across many short-lived
+        evaluators: released entries can never hit again once the
+        evaluator is discarded, and releasing keeps them from crowding
+        out live ones. The entity-keyed value tier stays. Usable as a
+        context manager: ``with PairEvaluator(pairs, session=s) as ev:``.
+        """
+        self._session.release_context(self._context)
+
+    def __enter__(self) -> "PairEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
 
 
 def evaluate_rule(
@@ -221,7 +209,8 @@ def evaluate_rule(
 ) -> float:
     """One-off evaluation of a rule on a single entity pair.
 
-    Convenience wrapper for interactive use; batch workloads should use
+    Convenience wrapper for interactive use and the reference semantics
+    for engine parity tests; batch workloads should use
     :class:`PairEvaluator`.
     """
     distances = distances if distances is not None else default_distances()

@@ -193,6 +193,10 @@ class GenLink:
 
         generator = self.build_generator(source_a, source_b, train_links, rng)
         population = generator.population(config.population_size)
+        # Population-level evaluation: one compiled plan per generation
+        # computes every unique comparison exactly once; the per-rule
+        # stats() calls below then reduce over cached score vectors.
+        fitness_fn.prime_population(population)
 
         stats_cache: dict = {}
 
@@ -261,6 +265,7 @@ class GenLink:
             population = self._next_generation(
                 population, stats, selector, generator, rng
             )
+            fitness_fn.prime_population(population)
             entry = record(iteration)
             if observer is not None:
                 observer(iteration, population)

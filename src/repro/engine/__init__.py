@@ -1,0 +1,39 @@
+"""Compiled, vectorized rule-execution engine.
+
+The execution substrate shared by GP learning and link generation:
+rule trees compile into deduplicated plans (:mod:`repro.engine.compiler`),
+pair lists materialise into columnar stores (:mod:`repro.engine.columns`),
+and numpy kernels (:mod:`repro.engine.kernels`) turn cached distance
+columns into score vectors. :class:`EngineSession` is the persistent
+entry point; see ``docs/engine.md`` for the architecture.
+"""
+
+from repro.engine.compiler import (
+    CompiledAggregation,
+    CompiledComparison,
+    CompiledPlan,
+    CompiledSimilarity,
+    ComparisonOp,
+    RuleCompiler,
+)
+from repro.engine.kernels import aggregate_scores, threshold_scores
+from repro.engine.lru import CacheStats, LRUCache
+from repro.engine.session import EngineSession, EngineStats, PairContext
+from repro.engine.values import evaluate_value_op
+
+__all__ = [
+    "CacheStats",
+    "CompiledAggregation",
+    "CompiledComparison",
+    "CompiledPlan",
+    "CompiledSimilarity",
+    "ComparisonOp",
+    "EngineSession",
+    "EngineStats",
+    "LRUCache",
+    "PairContext",
+    "RuleCompiler",
+    "aggregate_scores",
+    "threshold_scores",
+    "evaluate_value_op",
+]

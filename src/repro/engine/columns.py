@@ -1,0 +1,138 @@
+"""Columnar storage for a fixed list of entity pairs.
+
+:class:`PairStore` factors a pair list into its unique entities per
+side plus integer index columns. Value ops are then materialised once
+per *unique entity* instead of once per pair — on real workloads the
+same entity appears in many candidate pairs (one A entity against a
+whole block of B candidates), so this collapses both the number of
+transformation evaluations and the per-pair dict lookups the seed
+evaluator paid on its hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.entity import Entity
+from repro.distances.base import INFINITE_DISTANCE
+from repro.distances.registry import DistanceRegistry
+from repro.engine.compiler import ComparisonOp
+from repro.engine.lru import LRUCache
+from repro.engine.values import evaluate_value_op
+from repro.transforms.registry import TransformationRegistry
+
+
+def _index_side(
+    pairs: Sequence[tuple[Entity, Entity]], side: int
+) -> tuple[list[Entity], list[int]]:
+    """Unique entities of one pair side plus the pair -> entity index.
+
+    Keyed by the entity itself, not its uid: hashing costs only the uid
+    hash, while full equality keeps degenerate pair lists (same uid,
+    different properties) from sharing a column — the seed evaluator's
+    uid-keyed cache silently merged those.
+    """
+    entities: list[Entity] = []
+    positions: dict[Entity, int] = {}
+    index: list[int] = []
+    for pair in pairs:
+        entity = pair[side]
+        position = positions.get(entity)
+        if position is None:
+            position = len(entities)
+            positions[entity] = position
+            entities.append(entity)
+        index.append(position)
+    return entities, index
+
+
+class PairStore:
+    """Pair topology plus materialised value and distance columns.
+
+    The store owns nothing persistent itself: the value cache (shared
+    across stores, keyed by entity) and the distance-column cache
+    (keyed per store) are handed in by the owning session, which
+    enforces the LRU bounds and aggregates statistics.
+    """
+
+    def __init__(
+        self,
+        pairs: Sequence[tuple[Entity, Entity]],
+        store_id: int,
+        distances: DistanceRegistry,
+        transforms: TransformationRegistry,
+        value_cache: LRUCache,
+        column_cache: LRUCache,
+    ):
+        self._pairs = list(pairs)
+        self._store_id = store_id
+        self._distances = distances
+        self._transforms = transforms
+        self._value_cache = value_cache
+        self._column_cache = column_cache
+        self._entities_a, index_a = _index_side(self._pairs, 0)
+        self._entities_b, index_b = _index_side(self._pairs, 1)
+        self._pair_index = list(zip(index_a, index_b))
+
+    @property
+    def pairs(self) -> list[tuple[Entity, Entity]]:
+        return list(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    # -- value columns --------------------------------------------------------
+    def value_column(
+        self, sig, node, side: str
+    ) -> list[tuple[str, ...]]:
+        """Transformed value tuples of a value op, one per unique entity
+        on the given side ('a' = pair sources, 'b' = pair targets)."""
+        entities = self._entities_a if side == "a" else self._entities_b
+        cache = self._value_cache
+        transforms = self._transforms
+        column: list[tuple[str, ...]] = []
+        for entity in entities:
+            # Keyed by the entity itself (not its uid): hashing costs the
+            # uid hash, while equality protects a long-lived session from
+            # uid collisions across unrelated sources. The pair side is
+            # deliberately absent — transformed values depend only on
+            # (value op, entity), so dedup workloads where an entity
+            # appears on both sides share one entry.
+            key = (sig, entity)
+            values = cache.get(key)
+            if values is None:
+                values = evaluate_value_op(node, entity, transforms)
+                cache.put(key, values)
+            column.append(values)
+        return column
+
+    # -- distance columns -----------------------------------------------------
+    def distance_column(self, op: ComparisonOp) -> np.ndarray:
+        """Distances of a comparison op over all pairs.
+
+        Pairs where either side has no values get ``INFINITE_DISTANCE``
+        (they can never score above 0, Definition 7 note). The column
+        is threshold-free: every threshold over the same (metric,
+        source, target) shares it.
+        """
+        key = (self._store_id, op.sig)
+        cached = self._column_cache.get(key)
+        if cached is not None:
+            return cached
+        values_a = self.value_column(op.source_sig, op.source, "a")
+        values_b = self.value_column(op.target_sig, op.target, "b")
+        evaluate = self._distances.get(op.metric).evaluate
+        out = np.full(len(self._pairs), INFINITE_DISTANCE, dtype=np.float64)
+        for i, (index_a, index_b) in enumerate(self._pair_index):
+            value_set_a = values_a[index_a]
+            if not value_set_a:
+                continue
+            value_set_b = values_b[index_b]
+            if not value_set_b:
+                continue
+            out[i] = evaluate(value_set_a, value_set_b)
+        out.setflags(write=False)
+        self._column_cache.put(key, out)
+        return out

@@ -1,0 +1,236 @@
+"""Compile linkage-rule trees into deduplicated execution plans.
+
+Populations evolved by crossover share most of their genetic material
+(Section 5.3 of the paper; the seed evaluator's docstring makes the
+same observation), so evaluating a population rule-by-rule recomputes
+the same subtrees hundreds of times per generation. The compiler
+flattens rule trees into a DAG of *unique* operations keyed by
+structural hash:
+
+* a **value op** is a value subtree (property reads + transformations);
+  two structurally identical subtrees anywhere in a population compile
+  to the same op, so their transformed values are materialised once per
+  entity;
+* a **comparison op** is ``(metric, source value op, target value op)``
+  — deliberately *without* the threshold, because the threshold only
+  enters in the final ``1 - d/theta`` array operation. GP mutation
+  constantly perturbs thresholds; under this keying a mutated
+  comparison re-uses the cached distance column and costs one numpy
+  expression instead of a full re-evaluation;
+* aggregations stay as a tree of cheap array reductions over compiled
+  children (weights excluded from comparison identity, as in the seed
+  cache key).
+
+A :class:`RuleCompiler` is persistent: ops are interned across calls,
+so compiling generation N+1 mostly re-resolves to the ops of
+generation N.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence, Union
+
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    SimilarityNode,
+    TransformationNode,
+    ValueNode,
+)
+
+#: Canonical structural signature of a value subtree (hashable tuple).
+ValueSignature = Hashable
+#: Canonical structural signature of a comparison op (threshold-free).
+ComparisonSignature = Hashable
+
+
+@dataclass(frozen=True)
+class ComparisonOp:
+    """A unique (metric, source, target) distance computation."""
+
+    sig: ComparisonSignature
+    metric: str
+    source_sig: ValueSignature
+    target_sig: ValueSignature
+    #: Representative value trees (first occurrence wins; structurally
+    #: identical by construction).
+    source: ValueNode
+    target: ValueNode
+
+
+@dataclass(frozen=True)
+class CompiledComparison:
+    """A comparison node bound to its distance op and threshold."""
+
+    op: ComparisonOp
+    threshold: float
+    weight: int = 1
+
+
+@dataclass(frozen=True)
+class CompiledAggregation:
+    """An aggregation over compiled children."""
+
+    function: str
+    children: tuple["CompiledSimilarity", ...]
+    weights: tuple[int, ...]
+    weight: int = 1
+
+
+CompiledSimilarity = Union[CompiledComparison, CompiledAggregation]
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """The result of compiling a population of rule trees."""
+
+    roots: tuple[CompiledSimilarity, ...]
+    #: Unique comparison ops referenced by ``roots``.
+    comparison_ops: tuple[ComparisonOp, ...]
+    #: Unique value ops referenced by ``comparison_ops``.
+    value_op_count: int
+    #: Total comparison nodes across the input trees, before dedup.
+    comparison_node_count: int
+
+
+def iter_compiled_comparisons(
+    node: CompiledSimilarity,
+) -> Iterable[CompiledComparison]:
+    """Depth-first iteration over the comparisons of a compiled tree."""
+    if isinstance(node, CompiledComparison):
+        yield node
+        return
+    for child in node.children:
+        yield from iter_compiled_comparisons(child)
+
+
+class RuleCompiler:
+    """Interns value and comparison ops by structural hash.
+
+    Frozen dataclass nodes hash and compare structurally, so the memo
+    tables are keyed by the nodes themselves; the canonical tuple
+    signatures exist so caches downstream can key on something stable
+    that excludes thresholds and weights.
+    """
+
+    def __init__(self, max_memo_entries: int = 200_000) -> None:
+        if max_memo_entries < 1:
+            raise ValueError("max_memo_entries must be >= 1")
+        #: The node-keyed memo tables grow with every *distinct* node —
+        #: including each threshold/weight mutation — so a long-lived
+        #: session would accumulate them without bound. At the cap they
+        #: are dropped wholesale (they are pure memoisation; dropping
+        #: costs recompilation, never correctness). The interned op
+        #: tables are genuinely deduplicated (threshold-free) and stay.
+        self._max_memo_entries = max_memo_entries
+        self._value_sigs: dict[ValueNode, ValueSignature] = {}
+        self._value_ops: dict[ValueSignature, ValueNode] = {}
+        self._comparison_ops: dict[ComparisonSignature, ComparisonOp] = {}
+        self._compiled: dict[SimilarityNode, CompiledSimilarity] = {}
+
+    # -- signatures -----------------------------------------------------------
+    def value_signature(self, node: ValueNode) -> ValueSignature:
+        """Canonical signature of a value subtree (interned)."""
+        sig = self._value_sigs.get(node)
+        if sig is not None:
+            return sig
+        if isinstance(node, PropertyNode):
+            sig = ("prop", node.property_name)
+        elif isinstance(node, TransformationNode):
+            sig = (
+                "tf",
+                node.function,
+                tuple(sorted(node.params)),
+                tuple(self.value_signature(child) for child in node.inputs),
+            )
+        else:
+            raise TypeError(f"not a value operator: {type(node).__name__}")
+        if len(self._value_sigs) >= self._max_memo_entries:
+            self._value_sigs.clear()
+        self._value_sigs[node] = sig
+        self._value_ops.setdefault(sig, node)
+        return sig
+
+    def value_op(self, sig: ValueSignature) -> ValueNode:
+        """The representative value tree of an interned signature."""
+        return self._value_ops[sig]
+
+    # -- compilation ----------------------------------------------------------
+    def compile(self, node: SimilarityNode) -> CompiledSimilarity:
+        """Compile one similarity tree (memoised structurally)."""
+        compiled = self._compiled.get(node)
+        if compiled is not None:
+            return compiled
+        if isinstance(node, ComparisonNode):
+            source_sig = self.value_signature(node.source)
+            target_sig = self.value_signature(node.target)
+            op_sig = ("cmp", node.metric, source_sig, target_sig)
+            op = self._comparison_ops.get(op_sig)
+            if op is None:
+                op = ComparisonOp(
+                    sig=op_sig,
+                    metric=node.metric,
+                    source_sig=source_sig,
+                    target_sig=target_sig,
+                    source=node.source,
+                    target=node.target,
+                )
+                self._comparison_ops[op_sig] = op
+            compiled = CompiledComparison(
+                op=op, threshold=node.threshold, weight=node.weight
+            )
+        elif isinstance(node, AggregationNode):
+            children = tuple(self.compile(child) for child in node.operators)
+            compiled = CompiledAggregation(
+                function=node.function,
+                children=children,
+                weights=tuple(child.weight for child in node.operators),
+                weight=node.weight,
+            )
+        else:
+            raise TypeError(f"not a similarity operator: {type(node).__name__}")
+        if len(self._compiled) >= self._max_memo_entries:
+            self._compiled.clear()
+        self._compiled[node] = compiled
+        return compiled
+
+    def compile_population(
+        self, roots: Sequence[SimilarityNode]
+    ) -> CompiledPlan:
+        """Compile a whole population into one deduplicated plan."""
+        compiled_roots = tuple(self.compile(root) for root in roots)
+        ops: dict[ComparisonSignature, ComparisonOp] = {}
+        node_count = 0
+        for root in compiled_roots:
+            for comparison in iter_compiled_comparisons(root):
+                node_count += 1
+                ops.setdefault(comparison.op.sig, comparison.op)
+        value_sigs = set()
+        for op in ops.values():
+            value_sigs.add(op.source_sig)
+            value_sigs.add(op.target_sig)
+        return CompiledPlan(
+            roots=compiled_roots,
+            comparison_ops=tuple(ops.values()),
+            value_op_count=len(value_sigs),
+            comparison_node_count=node_count,
+        )
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def value_op_count(self) -> int:
+        """Unique value ops interned so far."""
+        return len(self._value_ops)
+
+    @property
+    def comparison_op_count(self) -> int:
+        """Unique comparison ops interned so far."""
+        return len(self._comparison_ops)
+
+    def clear(self) -> None:
+        self._value_sigs.clear()
+        self._value_ops.clear()
+        self._comparison_ops.clear()
+        self._compiled.clear()

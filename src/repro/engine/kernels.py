@@ -1,0 +1,60 @@
+"""Vectorized comparison and aggregation kernels.
+
+Numpy array expressions over precomputed distance columns. The
+elementwise float64 arithmetic is IEEE-identical to the scalar
+per-pair loop of the seed evaluator, so switching engines does not
+perturb a single score bit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.distances.base import INFINITE_DISTANCE
+
+
+def threshold_scores(distances: np.ndarray, threshold: float) -> np.ndarray:
+    """Similarity scores ``1 - d/theta`` over a distance column
+    (Definition 7).
+
+    ``theta <= 0`` degenerates to exact matching. Distances at or above
+    ``INFINITE_DISTANCE`` (undefined comparisons, empty value sets)
+    score 0 regardless of the threshold. The returned array is
+    read-only so it can be cached and shared safely.
+    """
+    if threshold <= 0.0:
+        out = (distances == 0.0).astype(np.float64)
+    else:
+        valid = (distances <= threshold) & (distances < INFINITE_DISTANCE)
+        # Masked divide: the sentinel lanes would overflow against tiny
+        # thresholds and emit RuntimeWarnings the per-pair loop never did.
+        scaled = np.divide(
+            distances, threshold, out=np.zeros_like(distances), where=valid
+        )
+        out = np.where(valid, 1.0 - scaled, 0.0)
+    out.setflags(write=False)
+    return out
+
+
+def aggregate_scores(
+    function: str,
+    child_scores: Sequence[np.ndarray],
+    weights: Sequence[int],
+) -> np.ndarray:
+    """Combine child score vectors (Definition 8).
+
+    ``min``/``max`` ignore weights; ``wmean`` uses the integer weights
+    of the child operators. Operation order matches the seed evaluator
+    exactly (vstack + axis reduction / matmul) for bit-stable scores.
+    """
+    stacked = np.vstack(child_scores)
+    if function == "min":
+        return stacked.min(axis=0)
+    if function == "max":
+        return stacked.max(axis=0)
+    if function == "wmean":
+        weight_vector = np.array(weights, dtype=np.float64)
+        return weight_vector @ stacked / weight_vector.sum()
+    raise ValueError(f"unknown aggregation function {function!r}")

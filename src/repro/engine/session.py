@@ -1,0 +1,225 @@
+"""The persistent rule-execution engine session.
+
+An :class:`EngineSession` owns the compiler and the three LRU cache
+tiers, and hands out :class:`PairContext` objects bound to concrete
+pair lists:
+
+* **value tier** (session-wide, keyed by entity): transformed value
+  tuples per (value op, entity). Survives across contexts, so a
+  matching run that streams 4096-pair batches re-uses every entity's
+  transformed values from earlier batches;
+* **column tier** (keyed per context): threshold-free distance columns
+  per comparison op. Shared by every rule and every threshold mutation
+  within a context;
+* **score tier** (keyed per context): thresholded score vectors per
+  (comparison op, threshold), matching the seed evaluator's comparison
+  cache granularity.
+
+``context()`` creates a context; :meth:`PairContext.scores` evaluates
+one rule, :meth:`PairContext.population_scores` evaluates a whole GP
+population through one compiled plan so shared subtrees are computed
+exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.nodes import SimilarityNode, ValueNode
+from repro.data.entity import Entity
+from repro.distances.registry import DistanceRegistry
+from repro.distances.registry import default_registry as default_distances
+from repro.engine.columns import PairStore
+from repro.engine.compiler import (
+    CompiledAggregation,
+    CompiledComparison,
+    CompiledPlan,
+    CompiledSimilarity,
+    RuleCompiler,
+)
+from repro.engine.kernels import aggregate_scores, threshold_scores
+from repro.engine.lru import CacheStats, LRUCache
+from repro.transforms.registry import TransformationRegistry
+from repro.transforms.registry import default_registry as default_transforms
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Cache and compiler statistics of one session."""
+
+    values: CacheStats
+    columns: CacheStats
+    scores: CacheStats
+    #: Unique ops interned by the compiler over the session lifetime.
+    value_ops: int
+    comparison_ops: int
+
+
+class EngineSession:
+    """Compiles rules once and evaluates them over pair contexts."""
+
+    def __init__(
+        self,
+        distances: DistanceRegistry | None = None,
+        transforms: TransformationRegistry | None = None,
+        max_value_entries: int = 500_000,
+        max_column_entries: int = 30_000,
+        max_score_entries: int = 30_000,
+    ):
+        self._distances = distances if distances is not None else default_distances()
+        self._transforms = (
+            transforms if transforms is not None else default_transforms()
+        )
+        self._compiler = RuleCompiler()
+        self._value_cache = LRUCache(max_value_entries)
+        self._column_cache = LRUCache(max_column_entries)
+        self._score_cache = LRUCache(max_score_entries)
+        self._next_context_id = 0
+
+    @property
+    def distances(self) -> DistanceRegistry:
+        return self._distances
+
+    @property
+    def transforms(self) -> TransformationRegistry:
+        return self._transforms
+
+    # -- compilation ----------------------------------------------------------
+    def compile(self, root: SimilarityNode) -> CompiledSimilarity:
+        return self._compiler.compile(root)
+
+    def compile_population(
+        self, roots: Sequence[SimilarityNode]
+    ) -> CompiledPlan:
+        return self._compiler.compile_population(roots)
+
+    # -- contexts -------------------------------------------------------------
+    def context(self, pairs: Sequence[tuple[Entity, Entity]]) -> "PairContext":
+        """A pair context sharing this session's caches and compiler."""
+        context_id = self._next_context_id
+        self._next_context_id += 1
+        store = PairStore(
+            pairs,
+            store_id=context_id,
+            distances=self._distances,
+            transforms=self._transforms,
+            value_cache=self._value_cache,
+            column_cache=self._column_cache,
+        )
+        return PairContext(self, store, context_id)
+
+    # -- standalone value evaluation ------------------------------------------
+    def entity_values(self, node: ValueNode, entity: Entity) -> tuple[str, ...]:
+        """Transformed values of one value tree for one entity, through
+        the session value cache (used by blocking-index construction so
+        index keys share work with rule evaluation)."""
+        sig = self._compiler.value_signature(node)
+        key = (sig, entity)
+        values = self._value_cache.get(key)
+        if values is None:
+            from repro.engine.values import evaluate_value_op
+
+            values = evaluate_value_op(node, entity, self._transforms)
+            self._value_cache.put(key, values)
+        return values
+
+    # -- maintenance ----------------------------------------------------------
+    def release_context(self, context: "PairContext") -> None:
+        """Evict a context's column- and score-tier entries.
+
+        Column and score vectors are keyed per context and can never
+        hit again once the context is discarded; streaming consumers
+        (one context per batch) call this so dead vectors don't sit in
+        the tiers until capacity eviction. Value-tier entries are keyed
+        by entity and stay — they are exactly what later batches reuse.
+        """
+        context_id = context._context_id
+        self._column_cache.evict_matching(lambda key: key[0] == context_id)
+        self._score_cache.evict_matching(lambda key: key[0] == context_id)
+
+    def clear_caches(self) -> None:
+        """Drop all cached values, columns and scores (the compiler's
+        interned ops are kept — they are tiny and never stale)."""
+        self._value_cache.clear()
+        self._column_cache.clear()
+        self._score_cache.clear()
+
+    def stats(self) -> EngineStats:
+        return EngineStats(
+            values=self._value_cache.stats(),
+            columns=self._column_cache.stats(),
+            scores=self._score_cache.stats(),
+            value_ops=self._compiler.value_op_count,
+            comparison_ops=self._compiler.comparison_op_count,
+        )
+
+
+class PairContext:
+    """Evaluates compiled rules over one fixed pair list."""
+
+    def __init__(self, session: EngineSession, store: PairStore, context_id: int):
+        self._session = session
+        self._store = store
+        self._context_id = context_id
+
+    @property
+    def session(self) -> EngineSession:
+        return self._session
+
+    @property
+    def pairs(self) -> list[tuple[Entity, Entity]]:
+        return self._store.pairs
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    # -- execution ------------------------------------------------------------
+    def scores(self, node: SimilarityNode) -> np.ndarray:
+        """Score vector of a similarity node over all pairs.
+
+        Comparison vectors come from the score cache and are read-only;
+        aggregation results are fresh arrays.
+        """
+        return self.execute(self._session.compile(node))
+
+    def predictions(self, node: SimilarityNode) -> np.ndarray:
+        """Boolean match predictions at the 0.5 threshold."""
+        return self.scores(node) >= 0.5
+
+    def population_scores(
+        self, roots: Sequence[SimilarityNode]
+    ) -> list[np.ndarray]:
+        """Score vectors for a whole population through one plan.
+
+        Unique comparison ops are evaluated first (each one exactly
+        once — this is where the deduplicated DAG pays off), then each
+        root reduces over the shared vectors.
+        """
+        plan = self._session.compile_population(roots)
+        for op in plan.comparison_ops:
+            self._store.distance_column(op)
+        return [self.execute(root) for root in plan.roots]
+
+    def execute(self, compiled: CompiledSimilarity) -> np.ndarray:
+        """Evaluate a compiled similarity tree."""
+        if isinstance(compiled, CompiledComparison):
+            return self._comparison_scores(compiled)
+        if isinstance(compiled, CompiledAggregation):
+            child_scores = [self.execute(child) for child in compiled.children]
+            return aggregate_scores(
+                compiled.function, child_scores, compiled.weights
+            )
+        raise TypeError(f"not a compiled similarity: {type(compiled).__name__}")
+
+    def _comparison_scores(self, compiled: CompiledComparison) -> np.ndarray:
+        cache = self._session._score_cache
+        key = (self._context_id, compiled.op.sig, compiled.threshold)
+        scores = cache.get(key)
+        if scores is None:
+            distances = self._store.distance_column(compiled.op)
+            scores = threshold_scores(distances, compiled.threshold)
+            cache.put(key, scores)
+        return scores

@@ -1,0 +1,35 @@
+"""Value-operator evaluation (Definitions 5 & 6).
+
+This is the single implementation of value semantics in the codebase;
+:func:`repro.core.evaluation.evaluate_value` delegates here. It lives
+in the engine package (rather than ``repro.core``) so the execution
+layers below — columnar stores, compiled plans — can evaluate value
+trees without importing the evaluation facade that sits on top of them.
+
+Parameterised transformations are resolved through
+:meth:`TransformationRegistry.resolve`, so custom transformations with
+parameters work without any special-casing here.
+"""
+
+from __future__ import annotations
+
+from repro.core.nodes import PropertyNode, TransformationNode, ValueNode
+from repro.data.entity import Entity
+from repro.transforms.registry import TransformationRegistry
+
+
+def evaluate_value_op(
+    node: ValueNode,
+    entity: Entity,
+    transforms: TransformationRegistry,
+) -> tuple[str, ...]:
+    """Evaluate a value operator for one entity."""
+    if isinstance(node, PropertyNode):
+        return entity.values(node.property_name)
+    if isinstance(node, TransformationNode):
+        transformation = transforms.resolve(node.function, node.params)
+        inputs = [
+            evaluate_value_op(child, entity, transforms) for child in node.inputs
+        ]
+        return transformation(inputs)
+    raise TypeError(f"not a value operator: {type(node).__name__}")

@@ -189,6 +189,7 @@ def initial_population_f_measure(
         population = generator.population(scale.population_size)
         pairs, labels = train.labelled_pairs(dataset.source_a, dataset.source_b)
         fitness = FitnessFunction(PairEvaluator(pairs), labels)
+        fitness.prime_population(population)
         run_scores.append(max(fitness.f_measure(rule) for rule in population))
     return mean_std(run_scores)
 

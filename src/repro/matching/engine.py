@@ -2,18 +2,22 @@
 
 This is the execution path a Silk user runs after learning: blocking
 produces candidates, the rule scores them in batches and every pair at
-or above the 0.5 threshold (Definition 3) becomes a link.
+or above the 0.5 threshold (Definition 3) becomes a link. Batches are
+evaluated through one persistent :class:`repro.engine.EngineSession`
+per execution, so an entity's transformed values computed in one batch
+are re-used by every later batch it appears in (the seed discarded all
+caches every 4096 pairs).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Iterator
 
-from repro.core.evaluation import PairEvaluator
 from repro.core.rule import MATCH_THRESHOLD, LinkageRule
 from repro.data.entity import Entity
 from repro.data.source import DataSource
+from repro.engine.session import EngineSession
 from repro.matching.blocking import Blocker, FullIndexBlocker, RuleBlocker
 
 
@@ -37,13 +41,19 @@ class MatchingEngine:
         blocker: Blocker | None = None,
         batch_size: int = 4096,
         threshold: float = MATCH_THRESHOLD,
+        session: EngineSession | None = None,
     ):
         """``blocker=None`` selects rule-aware blocking per executed
         rule, falling back to the full index for rules without
-        property comparisons."""
+        property comparisons. ``session=None`` creates a fresh engine
+        session per :meth:`iter_links` call (caches persist across the
+        batches of one execution but cannot go stale across data
+        sources); pass a session explicitly to share caches across
+        executions over the same sources."""
         self._blocker = blocker
         self._batch_size = batch_size
         self._threshold = threshold
+        self._session = session
 
     def _resolve_blocker(self, rule: LinkageRule) -> Blocker:
         if self._blocker is not None:
@@ -73,20 +83,30 @@ class MatchingEngine:
     ) -> Iterator[GeneratedLink]:
         """Stream links batch by batch (memory-bounded)."""
         blocker = self._resolve_blocker(rule)
+        session = self._session if self._session is not None else EngineSession()
         batch: list[tuple[Entity, Entity]] = []
         for pair in blocker.candidates(source_a, source_b):
             batch.append(pair)
             if len(batch) >= self._batch_size:
-                yield from self._evaluate_batch(rule, batch)
+                yield from self._evaluate_batch(session, rule, batch)
                 batch = []
         if batch:
-            yield from self._evaluate_batch(rule, batch)
+            yield from self._evaluate_batch(session, rule, batch)
 
     def _evaluate_batch(
-        self, rule: LinkageRule, batch: list[tuple[Entity, Entity]]
+        self,
+        session: EngineSession,
+        rule: LinkageRule,
+        batch: list[tuple[Entity, Entity]],
     ) -> Iterator[GeneratedLink]:
-        evaluator = PairEvaluator(batch)
-        scores = evaluator.scores(rule.root)
+        context = session.context(batch)
+        try:
+            scores = context.scores(rule.root)
+        finally:
+            # Column/score vectors are batch-local; evict them so long
+            # streams don't pin dead arrays until capacity eviction.
+            # (Value-tier entries persist — that's the cross-batch win.)
+            session.release_context(context)
         for (entity_a, entity_b), score in zip(batch, scores):
             if score >= self._threshold:
                 yield GeneratedLink(entity_a.uid, entity_b.uid, float(score))

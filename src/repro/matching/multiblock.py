@@ -36,7 +36,6 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
-from repro.core.evaluation import evaluate_value
 from repro.core.nodes import (
     AggregationNode,
     ComparisonNode,
@@ -48,9 +47,25 @@ from repro.data.source import DataSource
 from repro.distances.dates import parse_date
 from repro.distances.geographic import parse_point
 from repro.distances.numeric import parse_number
+from repro.engine.session import EngineSession
+from repro.engine.values import evaluate_value_op
 from repro.matching.blocking import Blocker, CandidatePair, FullIndexBlocker
 from repro.transforms.registry import TransformationRegistry
 from repro.transforms.registry import default_registry as default_transforms
+
+
+def _entity_values(
+    node,
+    entity: Entity,
+    transforms: TransformationRegistry,
+    session: "EngineSession | None",
+) -> tuple[str, ...]:
+    """Transformed values for index construction/probing: through the
+    session value cache when one is available (shared with rule
+    evaluation), plain evaluation otherwise."""
+    if session is not None:
+        return session.entity_values(node, entity)
+    return evaluate_value_op(node, entity, transforms)
 
 #: Metres per degree of latitude (conservative lower bound).
 _METRES_PER_DEGREE_LATITUDE = 110_574.0
@@ -264,9 +279,12 @@ class ComparisonIndex:
     blocks: dict
 
     def candidates_for(
-        self, entity: Entity, transforms: TransformationRegistry
+        self,
+        entity: Entity,
+        transforms: TransformationRegistry,
+        session: EngineSession | None = None,
     ) -> set[str]:
-        values = evaluate_value(self.comparison.source, entity, transforms)
+        values = _entity_values(self.comparison.source, entity, transforms, session)
         uids: set[str] = set()
         for key in self.indexer.probe_keys(values):
             uids.update(self.blocks.get(key, ()))
@@ -277,14 +295,21 @@ def build_comparison_index(
     comparison: ComparisonNode,
     source_b: DataSource,
     transforms: TransformationRegistry,
+    session: EngineSession | None = None,
 ) -> ComparisonIndex | None:
-    """Index source B under a comparison's target value tree."""
+    """Index source B under a comparison's target value tree.
+
+    With a ``session``, transformed values go through the engine's
+    value cache: comparisons sharing a value tree (and the rule
+    evaluation that follows blocking, when it shares the session) reuse
+    the work instead of re-running the transformations per index.
+    """
     indexer = indexer_for_comparison(comparison)
     if indexer is None:
         return None
     blocks: dict = {}
     for entity in source_b:
-        values = evaluate_value(comparison.target, entity, transforms)
+        values = _entity_values(comparison.target, entity, transforms, session)
         for key in indexer.block_keys(values):
             blocks.setdefault(key, set()).add(entity.uid)
     return ComparisonIndex(comparison=comparison, indexer=indexer, blocks=blocks)
@@ -303,12 +328,25 @@ class MultiBlocker(Blocker):
         rule: LinkageRule,
         transforms: TransformationRegistry | None = None,
         max_comparisons: int = 8,
+        session: EngineSession | None = None,
     ):
         self._rule = rule
-        self._transforms = (
-            transforms if transforms is not None else default_transforms()
-        )
         self._max_comparisons = max_comparisons
+        if session is None:
+            self._transforms = (
+                transforms if transforms is not None else default_transforms()
+            )
+            self._session = EngineSession(transforms=self._transforms)
+        else:
+            if transforms is not None and transforms is not session.transforms:
+                raise ValueError(
+                    "conflicting transformation registries: pass either a "
+                    "session or a registry, not both"
+                )
+            # Index construction goes through the session's value cache,
+            # so blocking must use the session's registry.
+            self._transforms = session.transforms
+            self._session = session
 
     # -- candidate set algebra -------------------------------------------------
     def _node_candidates(
@@ -324,7 +362,9 @@ class MultiBlocker(Blocker):
             index = indexes.get(id(node))
             if index is None:
                 return all_uids
-            return frozenset(index.candidates_for(entity, self._transforms))
+            return frozenset(
+                index.candidates_for(entity, self._transforms, self._session)
+            )
         assert isinstance(node, AggregationNode)
         child_sets = [
             self._node_candidates(child, entity, indexes, all_uids)
@@ -348,7 +388,9 @@ class MultiBlocker(Blocker):
         comparisons = self._rule.comparisons()[: self._max_comparisons]
         indexes: dict[int, ComparisonIndex] = {}
         for comparison in comparisons:
-            index = build_comparison_index(comparison, source_b, self._transforms)
+            index = build_comparison_index(
+                comparison, source_b, self._transforms, self._session
+            )
             if index is not None:
                 indexes[id(comparison)] = index
         if not indexes:

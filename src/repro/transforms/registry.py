@@ -7,9 +7,14 @@ own (see ``examples/custom_operators.py``).
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Callable, Iterator, Mapping
 
 from repro.transforms.base import Transformation
+
+#: Builds a configured transformation instance from a parameter
+#: mapping. Registered alongside a transformation so rules can carry
+#: parameterised nodes (``TransformationNode.params``) for it.
+TransformationFactory = Callable[[Mapping[str, str]], Transformation]
 from repro.transforms.case import Capitalize, LowerCase, UpperCase
 from repro.transforms.concat import Concatenate
 from repro.transforms.normalize import Replace, StripPunctuation, Trim
@@ -24,11 +29,40 @@ class TransformationRegistry:
 
     def __init__(self) -> None:
         self._transformations: dict[str, Transformation] = {}
+        self._factories: dict[str, TransformationFactory] = {}
+        self._instances: dict[tuple, Transformation] = {}
 
-    def register(self, transformation: Transformation) -> None:
+    def register(
+        self,
+        transformation: Transformation,
+        factory: TransformationFactory | None = None,
+    ) -> None:
+        """Register a transformation, optionally with a parameter-aware
+        factory used by :meth:`resolve` for nodes carrying ``params``."""
         if not transformation.name or transformation.name == "abstract":
             raise ValueError("transformation must define a concrete name")
         self._transformations[transformation.name] = transformation
+        self._drop_instances(transformation.name)
+        # Re-registration replaces the whole registration: without a new
+        # factory, a previously installed one must not keep building
+        # instances of the replaced implementation.
+        if factory is not None:
+            self._factories[transformation.name] = factory
+        else:
+            self._factories.pop(transformation.name, None)
+
+    def register_factory(self, name: str, factory: TransformationFactory) -> None:
+        """Attach a parameter factory to an already registered name."""
+        if name not in self._transformations:
+            raise KeyError(f"unknown transformation {name!r}")
+        self._factories[name] = factory
+        self._drop_instances(name)
+
+    def _drop_instances(self, name: str) -> None:
+        """Invalidate memoised parameterised instances of a name so a
+        re-registered transformation or factory takes effect."""
+        for key in [k for k in self._instances if k[0] == name]:
+            del self._instances[key]
 
     def get(self, name: str) -> Transformation:
         try:
@@ -36,6 +70,30 @@ class TransformationRegistry:
         except KeyError:
             known = ", ".join(sorted(self._transformations))
             raise KeyError(f"unknown transformation {name!r}; known: {known}")
+
+    def resolve(
+        self, name: str, params: tuple[tuple[str, str], ...] = ()
+    ) -> Transformation:
+        """The transformation instance for a (name, params) pair.
+
+        Without params (or without a registered factory) this is the
+        plain :meth:`get` lookup. With params, the registered factory
+        builds a configured instance, memoised per parameter tuple so
+        rule evaluation never re-instantiates per call.
+        """
+        if not params:
+            return self.get(name)
+        key = (name, tuple(sorted(params)))
+        instance = self._instances.get(key)
+        if instance is None:
+            factory = self._factories.get(name)
+            if factory is None:
+                # No factory: parameters are ignored, matching the
+                # behaviour for non-parameterised built-ins.
+                return self.get(name)
+            instance = factory(dict(key[1]))
+            self._instances[key] = instance
+        return instance
 
     def __contains__(self, name: str) -> bool:
         return name in self._transformations
@@ -71,7 +129,6 @@ def default_registry() -> TransformationRegistry:
             StripUriPrefix(),
             Concatenate(),
             StemWords(),
-            Replace(),
             StripPunctuation(),
             Trim(),
             AlphaReduce(),
@@ -79,6 +136,13 @@ def default_registry() -> TransformationRegistry:
             NormalizeWhitespace(),
         ):
             registry.register(transformation)
+        registry.register(
+            Replace(),
+            factory=lambda params: Replace(
+                search=params.get("search", "-"),
+                replacement=params.get("replacement", " "),
+            ),
+        )
         _DEFAULT = registry
     return _DEFAULT
 

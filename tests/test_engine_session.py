@@ -1,0 +1,326 @@
+"""Tests for the compiled rule-execution engine: LRU cache tiers,
+structural-hash deduplication, persistent sessions and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    TransformationNode,
+)
+from repro.data.entity import Entity
+from repro.engine import EngineSession, LRUCache, RuleCompiler
+
+
+def _comparison(metric="levenshtein", threshold=2.0, prop_a="name", prop_b="name"):
+    return ComparisonNode(
+        metric,
+        threshold,
+        TransformationNode("lowerCase", (PropertyNode(prop_a),)),
+        TransformationNode("lowerCase", (PropertyNode(prop_b),)),
+    )
+
+
+def _pairs(n=4):
+    return [
+        (
+            Entity(f"a{i}", {"name": f"entity {i}", "year": str(1990 + i)}),
+            Entity(f"b{i}", {"name": f"entity {i % 2}", "year": str(1990 + i)}),
+        )
+        for i in range(n)
+    ]
+
+
+class TestLRUCache:
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # renews "a"
+        cache.put("c", 3)  # evicts "b", not "a"
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_eviction_is_single_entry_not_wholesale(self):
+        cache = LRUCache(3)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) == 3
+        assert cache.stats().evictions == 7
+
+    def test_stats_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.size == 1
+        assert stats.capacity == 2
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_clear_keeps_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().hits == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestRuleCompiler:
+    def test_structurally_equal_comparisons_share_one_op(self):
+        compiler = RuleCompiler()
+        # Two distinct node objects, same structure, different thresholds
+        # and weights: one distance op.
+        c1 = _comparison(threshold=1.0)
+        c2 = ComparisonNode(
+            "levenshtein",
+            2.5,
+            TransformationNode("lowerCase", (PropertyNode("name"),)),
+            TransformationNode("lowerCase", (PropertyNode("name"),)),
+            weight=3,
+        )
+        plan = compiler.compile_population([c1, c2])
+        assert plan.comparison_node_count == 2
+        assert len(plan.comparison_ops) == 1
+        assert compiler.comparison_op_count == 1
+
+    def test_shared_value_subtrees_dedupe(self):
+        compiler = RuleCompiler()
+        root = AggregationNode(
+            "max",
+            (
+                _comparison("levenshtein", 1.0),
+                _comparison("jaro", 0.3),
+            ),
+        )
+        plan = compiler.compile_population([root])
+        # Both comparisons read lowerCase(name) on both sides: one
+        # unique value op.
+        assert plan.value_op_count == 1
+
+    def test_population_plan_across_rules(self):
+        compiler = RuleCompiler()
+        shared = _comparison()
+        rules = [
+            AggregationNode("min", (shared, _comparison(prop_a="year"))),
+            AggregationNode("max", (shared,)),
+            shared,
+        ]
+        plan = compiler.compile_population(rules)
+        assert len(plan.roots) == 3
+        assert len(plan.comparison_ops) == 2
+
+    def test_interning_persists_across_compilations(self):
+        compiler = RuleCompiler()
+        compiler.compile(_comparison())
+        compiler.compile(_comparison(threshold=9.0))
+        assert compiler.comparison_op_count == 1
+
+
+class TestEngineSession:
+    def test_threshold_mutation_reuses_distance_column(self):
+        session = EngineSession()
+        context = session.context(_pairs())
+        context.scores(_comparison(threshold=1.0))
+        columns_after_first = session.stats().columns.misses
+        context.scores(_comparison(threshold=2.0))
+        stats = session.stats()
+        # Second threshold: no new distance column, only a new score
+        # vector.
+        assert stats.columns.misses == columns_after_first
+        assert stats.columns.hits >= 1
+
+    def test_value_cache_survives_across_contexts(self):
+        session = EngineSession()
+        pairs = _pairs()
+        session.context(pairs[:2]).scores(_comparison())
+        value_misses = session.stats().values.misses
+        # Second "batch" re-uses the first batch's entities.
+        session.context(pairs[:2]).scores(_comparison())
+        stats = session.stats()
+        assert stats.values.misses == value_misses
+        assert stats.values.hits > 0
+
+    def test_population_scores_match_per_rule_scores(self):
+        rules = [
+            _comparison(threshold=1.0),
+            AggregationNode(
+                "wmean",
+                (
+                    ComparisonNode(
+                        "levenshtein",
+                        2.0,
+                        PropertyNode("name"),
+                        PropertyNode("name"),
+                        weight=2,
+                    ),
+                    _comparison("equality", 0.0, "year", "year"),
+                ),
+            ),
+        ]
+        pairs = _pairs()
+        vectors = EngineSession().context(pairs).population_scores(rules)
+        for rule, vector in zip(rules, vectors):
+            expected = EngineSession().context(pairs).scores(rule)
+            np.testing.assert_array_equal(vector, expected)
+
+    def test_bounded_score_cache_evicts_not_clears(self):
+        session = EngineSession(max_score_entries=2)
+        context = session.context(_pairs())
+        for threshold in (1.0, 2.0, 3.0, 4.0):
+            context.scores(_comparison(threshold=threshold))
+        stats = session.stats()
+        assert stats.scores.size == 2
+        assert stats.scores.evictions == 2
+
+    def test_entity_values_cached(self):
+        session = EngineSession()
+        node = TransformationNode("lowerCase", (PropertyNode("name"),))
+        entity = Entity("e", {"name": "Berlin"})
+        assert session.entity_values(node, entity) == ("berlin",)
+        hits_before = session.stats().values.hits
+        session.entity_values(node, entity)
+        assert session.stats().values.hits == hits_before + 1
+
+    def test_dedup_workload_shares_value_entries_across_sides(self):
+        # Deduplication pair lists put the same entity on both sides;
+        # the value tier must hold one entry per (op, entity), not two.
+        entities = [Entity(f"e{i}", {"name": f"n{i}"}) for i in range(3)]
+        pairs = [(entities[0], entities[1]), (entities[1], entities[2])]
+        session = EngineSession()
+        session.context(pairs).scores(_comparison())
+        stats = session.stats()
+        assert stats.values.size == 3  # one per unique entity
+        assert stats.values.hits >= 1  # e1 reused across sides
+
+    def test_facade_release_evicts_context_entries(self):
+        from repro.core.evaluation import PairEvaluator
+
+        session = EngineSession()
+        with PairEvaluator(_pairs(), session=session) as evaluator:
+            evaluator.scores(_comparison())
+            assert session.stats().scores.size == 1
+        stats = session.stats()
+        assert stats.scores.size == 0
+        assert stats.columns.size == 0
+        assert stats.values.size > 0  # value tier survives release
+
+    def test_clear_caches(self):
+        session = EngineSession()
+        context = session.context(_pairs())
+        context.scores(_comparison())
+        session.clear_caches()
+        stats = session.stats()
+        assert stats.values.size == 0
+        assert stats.columns.size == 0
+        assert stats.scores.size == 0
+        # Compiler interning survives (never stale).
+        assert stats.comparison_ops == 1
+
+    def test_comparison_scores_read_only(self):
+        context = EngineSession().context(_pairs())
+        scores = context.scores(_comparison())
+        with pytest.raises(ValueError):
+            scores[0] = 0.5
+
+    def test_engine_stats_through_evaluator_facade(self):
+        from repro.core.evaluation import PairEvaluator
+
+        evaluator = PairEvaluator(_pairs())
+        evaluator.scores(_comparison())
+        stats = evaluator.engine_stats()
+        assert stats.scores.misses == 1
+        assert stats.comparison_ops == 1
+        assert evaluator.cache_misses == 1
+
+    def test_facade_capacity_bounds_column_tier(self):
+        from repro.core.evaluation import PairEvaluator
+
+        evaluator = PairEvaluator(_pairs(), max_cached_comparisons=2)
+        for prop in ("name", "year"):
+            for threshold in (1.0, 2.0):
+                evaluator.scores(
+                    ComparisonNode(
+                        "levenshtein",
+                        threshold,
+                        PropertyNode(prop),
+                        PropertyNode(prop),
+                    )
+                )
+        stats = evaluator.engine_stats()
+        assert stats.columns.capacity == 2
+        assert stats.scores.capacity == 2
+        assert stats.columns.size <= 2
+        assert stats.scores.size <= 2
+
+    def test_shared_session_rejects_conflicting_registries(self):
+        from repro.core.evaluation import PairEvaluator
+        from repro.transforms.registry import TransformationRegistry
+
+        session = EngineSession()
+        with pytest.raises(ValueError, match="conflicting"):
+            PairEvaluator(
+                _pairs(), transforms=TransformationRegistry(), session=session
+            )
+        # The session's own registries are accepted.
+        PairEvaluator(
+            _pairs(),
+            distances=session.distances,
+            transforms=session.transforms,
+            session=session,
+        )
+
+    def test_huge_sentinel_distances_no_overflow_warning(self):
+        import warnings
+
+        pairs = [
+            (Entity("a0", {"name": "x"}), Entity("b0", {})),  # empty side
+            (Entity("a1", {"name": "x"}), Entity("b1", {"name": "x"})),
+        ]
+        context = EngineSession().context(pairs)
+        node = ComparisonNode(
+            "levenshtein", 1e-9, PropertyNode("name"), PropertyNode("name")
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            scores = context.scores(node)
+        assert scores[0] == 0.0
+        assert scores[1] == 1.0
+
+    def test_release_context_evicts_batch_local_tiers_only(self):
+        session = EngineSession()
+        pairs = _pairs()
+        ctx1 = session.context(pairs[:2])
+        ctx2 = session.context(pairs[2:])
+        ctx1.scores(_comparison())
+        ctx2.scores(_comparison())
+        values_before = session.stats().values.size
+        session.release_context(ctx1)
+        stats = session.stats()
+        # ctx1's column/score vectors are gone, ctx2's remain, and the
+        # entity-keyed value tier is untouched (cross-batch reuse).
+        assert stats.columns.size == 1
+        assert stats.scores.size == 1
+        assert stats.values.size == values_before
+        np.testing.assert_array_equal(
+            ctx2.scores(_comparison()),
+            EngineSession().context(pairs[2:]).scores(_comparison()),
+        )
+
+    def test_compiler_memo_bound(self):
+        compiler = RuleCompiler(max_memo_entries=4)
+        for i in range(20):
+            compiler.compile(_comparison(threshold=float(i + 1)))
+        # Memo tables stay bounded; interned threshold-free ops persist.
+        assert len(compiler._compiled) <= 4
+        assert compiler.comparison_op_count == 1

@@ -56,3 +56,96 @@ class TestCustomRegistry:
 
         with pytest.raises(ValueError):
             TransformationRegistry().register(Nameless())
+
+
+class _Affix(Transformation):
+    """A parameterised test transformation (prefix/suffix wrapping)."""
+
+    name = "affix"
+    arity = 1
+
+    def __init__(self, prefix: str = "", suffix: str = ""):
+        self._prefix = prefix
+        self._suffix = suffix
+
+    def apply(self, inputs):
+        return tuple(f"{self._prefix}{v}{self._suffix}" for v in inputs[0])
+
+
+class TestParameterisedResolve:
+    def test_resolve_without_params_is_get(self):
+        registry = default_registry()
+        assert registry.resolve("lowerCase") is registry.get("lowerCase")
+
+    def test_default_replace_factory(self):
+        replaced = default_registry().resolve(
+            "replace", (("replacement", " "), ("search", "-"))
+        )
+        assert replaced([("beta-blocker",)]) == ("beta blocker",)
+
+    def test_params_without_factory_fall_back_to_base(self):
+        registry = default_registry()
+        assert (
+            registry.resolve("lowerCase", (("irrelevant", "x"),))
+            is registry.get("lowerCase")
+        )
+
+    def test_custom_parameterised_transform(self):
+        # Custom parameterised transformations work end-to-end without
+        # editing core: register a factory, evaluate a rule node
+        # carrying params.
+        from repro.core.evaluation import evaluate_value
+        from repro.core.nodes import PropertyNode, TransformationNode
+        from repro.data.entity import Entity
+
+        registry = TransformationRegistry()
+        registry.register(
+            _Affix(),
+            factory=lambda params: _Affix(
+                prefix=params.get("prefix", ""), suffix=params.get("suffix", "")
+            ),
+        )
+        node = TransformationNode(
+            "affix", (PropertyNode("name"),), params=(("prefix", "dr. "),)
+        )
+        entity = Entity("e", {"name": "who"})
+        assert evaluate_value(node, entity, registry) == ("dr. who",)
+
+    def test_resolve_memoises_instances(self):
+        registry = TransformationRegistry()
+        registry.register(_Affix(), factory=lambda params: _Affix(**params))
+        params = (("prefix", "x"),)
+        assert registry.resolve("affix", params) is registry.resolve(
+            "affix", params
+        )
+
+    def test_register_factory_requires_known_name(self):
+        with pytest.raises(KeyError):
+            TransformationRegistry().register_factory("ghost", lambda p: _Affix())
+
+    def test_reregister_without_factory_drops_old_factory(self):
+        registry = TransformationRegistry()
+        registry.register(
+            _Affix(), factory=lambda params: _Affix(prefix=params["prefix"])
+        )
+
+        class PlainAffix(_Affix):
+            pass
+
+        replacement = PlainAffix()
+        registry.register(replacement)
+        # Parameterised nodes now resolve to the new registration, not
+        # through the stale factory of the replaced one.
+        assert registry.resolve("affix", (("prefix", "x"),)) is replacement
+
+    def test_replacing_factory_invalidates_memoised_instances(self):
+        registry = TransformationRegistry()
+        registry.register(
+            _Affix(), factory=lambda params: _Affix(prefix=params["prefix"])
+        )
+        params = (("prefix", "x"),)
+        assert registry.resolve("affix", params)([("v",)]) == ("xv",)
+        registry.register_factory(
+            "affix", lambda p: _Affix(prefix=p["prefix"].upper())
+        )
+        assert registry.resolve("affix", params)([("v",)]) == ("Xv",)
