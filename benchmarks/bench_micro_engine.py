@@ -254,6 +254,97 @@ def test_population_fitness_speedup():
     )
 
 
+def _distance_columns(rng: random.Random, count: int, kind: str):
+    """Per-pair value-set columns shaped like engine workloads: few
+    unique entities (shared tuple objects) fanned out over many pairs."""
+    if kind == "numeric":
+        unique = [(f"{rng.uniform(0, 500):.2f}",) for _ in range(200)]
+    elif kind == "date":
+        unique = [
+            (f"{rng.randint(1950, 2020)}-{rng.randint(1, 12):02d}-"
+             f"{rng.randint(1, 28):02d}",)
+            for _ in range(200)
+        ]
+    else:
+        raise ValueError(kind)
+    columns_a = [unique[rng.randrange(len(unique))] for _ in range(count)]
+    columns_b = [unique[rng.randrange(len(unique))] for _ in range(count)]
+    return columns_a, columns_b
+
+
+def test_batch_kernel_speedup():
+    """`evaluate_column` must be at least 2x faster than the per-pair
+    `evaluate` loop on numeric and date columns (the ISSUE 2 bar; in
+    practice the parse memoisation plus the vectorized singleton path
+    lands far above it), while staying bit-identical."""
+    from repro.distances.registry import default_registry
+
+    registry = default_registry()
+    rng = random.Random(13)
+    for kind in ("numeric", "date"):
+        measure = registry.get(kind)
+        columns_a, columns_b = _distance_columns(rng, 4000, kind)
+
+        start = time.perf_counter()
+        loop = [
+            measure.evaluate(a, b) for a, b in zip(columns_a, columns_b)
+        ]
+        loop_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        batch = measure.evaluate_column(columns_a, columns_b)
+        batch_seconds = time.perf_counter() - start
+
+        assert batch.tolist() == loop  # bit-identical distances
+        speedup = loop_seconds / batch_seconds
+        print(
+            f"\n{kind} batch kernel: loop {loop_seconds * 1000:.1f} ms, "
+            f"batch {batch_seconds * 1000:.1f} ms, speedup {speedup:.1f}x"
+        )
+        if os.environ.get("CI"):
+            # Same policy as the population benchmark: shared runners
+            # make wall-clock ratios flaky; CI keeps the bit-identity
+            # assertion and reports the ratio.
+            continue
+        assert speedup >= 2.0, (
+            f"{kind} batch kernel speedup {speedup:.2f}x below the "
+            f"required 2x (loop {loop_seconds:.3f}s vs batch "
+            f"{batch_seconds:.3f}s)"
+        )
+
+
+def test_population_fitness_multiworker():
+    """Measured (not asserted) multi-worker speedup on population
+    fitness evaluation: thread workers must stay bit-identical to
+    serial; the wall-clock ratio is reported because it depends on the
+    machine (1-core CI boxes and the GIL bound it near 1x)."""
+    rng = random.Random(7)
+    pairs, _labels = _fitness_pairs(rng, 400)
+    population = _gp_population(rng, 60)
+    roots = [rule.root for rule in population]
+
+    start = time.perf_counter()
+    serial_vectors = (
+        EngineSession(executor=0).context(pairs).population_scores(roots)
+    )
+    serial_seconds = time.perf_counter() - start
+
+    workers = min(4, max(2, os.cpu_count() or 2))
+    with EngineSession(executor=workers) as session:
+        start = time.perf_counter()
+        parallel_vectors = session.context(pairs).population_scores(roots)
+        parallel_seconds = time.perf_counter() - start
+
+    for serial, parallel in zip(serial_vectors, parallel_vectors):
+        assert serial.tobytes() == parallel.tobytes()
+    print(
+        f"\npopulation fitness: serial {serial_seconds * 1000:.1f} ms, "
+        f"{workers} thread workers {parallel_seconds * 1000:.1f} ms, "
+        f"speedup {serial_seconds / parallel_seconds:.2f}x "
+        f"({os.cpu_count()} cpus)"
+    )
+
+
 def test_engine_population_eval(benchmark):
     """pytest-benchmark timing of the engine population path alone."""
     rng = random.Random(7)

@@ -8,6 +8,15 @@ the full sources.
 Run with::
 
     python examples/quickstart.py
+
+Learning and link generation both run on the parallel engine when you
+ask for workers — results are byte-identical, only faster::
+
+    REPRO_ENGINE_WORKERS=4 python examples/quickstart.py   # thread pool
+    repro-experiments --workers 4 learn restaurant         # CLI flag
+
+or per component: ``GenLink(config, workers=4)`` and
+``generate_links(..., workers=4)`` (see ``docs/engine.md``).
 """
 
 from __future__ import annotations

@@ -95,12 +95,15 @@ class PairEvaluator:
         max_cached_comparisons: int | None = None,
         max_cached_values: int | None = None,
         session: EngineSession | None = None,
+        workers: "int | str | None" = None,
     ):
         if session is None:
             # None means "engine defaults". An explicit comparison bound
             # caps both per-comparison tiers (distance columns and score
             # vectors) — the column tier is what actually holds the bulk
-            # of per-comparison memory now.
+            # of per-comparison memory now. ``workers`` selects the
+            # session's executor for population-level evaluation
+            # (default: the REPRO_ENGINE_WORKERS environment variable).
             capacities: dict[str, int] = {}
             if max_cached_values is not None:
                 capacities["max_value_entries"] = max_cached_values
@@ -108,7 +111,10 @@ class PairEvaluator:
                 capacities["max_column_entries"] = max_cached_comparisons
                 capacities["max_score_entries"] = max_cached_comparisons
             session = EngineSession(
-                distances=distances, transforms=transforms, **capacities
+                distances=distances,
+                transforms=transforms,
+                executor=workers,
+                **capacities,
             )
         else:
             # A shared session evaluates with *its* registries and cache
@@ -128,6 +134,11 @@ class PairEvaluator:
                 raise ValueError(
                     "cache capacities are owned by the session; configure "
                     "them on EngineSession instead"
+                )
+            if workers is not None:
+                raise ValueError(
+                    "the executor is owned by the session; configure "
+                    "workers on EngineSession instead"
                 )
         self._session = session
         self._context = session.context(pairs)

@@ -29,6 +29,7 @@ from repro.data.reference_links import ReferenceLinkSet
 from repro.data.source import DataSource
 from repro.distances.registry import DistanceRegistry
 from repro.distances.registry import default_registry as default_distances
+from repro.engine.session import EngineSession
 from repro.transforms.registry import TransformationRegistry
 from repro.transforms.registry import default_registry as default_transforms
 
@@ -128,7 +129,18 @@ class GenLink:
         crossover_operators: Sequence[CrossoverOperator] | None = None,
         distances: DistanceRegistry | None = None,
         transforms: TransformationRegistry | None = None,
+        workers: "int | str | None" = None,
     ):
+        """``workers`` selects the engine executor used for
+        population-level fitness evaluation (``None`` consults the
+        ``REPRO_ENGINE_WORKERS`` environment variable; 0 = serial).
+        Use thread workers here: fitness evaluation parallelises by
+        fanning independent distance columns out over shared caches,
+        which a ``process:N`` executor cannot share — process specs run
+        the learning path serially (they accelerate
+        :class:`repro.matching.engine.MatchingEngine` sharding
+        instead). Learning results are byte-identical for every
+        setting — the GP itself is sequential."""
         self.config = config if config is not None else GenLinkConfig()
         self._operators = (
             list(crossover_operators)
@@ -141,6 +153,7 @@ class GenLink:
         self._transforms = (
             transforms if transforms is not None else default_transforms()
         )
+        self._workers = workers
 
     # -- public API -----------------------------------------------------------
     def learn(
@@ -159,6 +172,33 @@ class GenLink:
         :class:`repro.core.diversity.DiversityTracker` collecting
         convergence diagnostics.
         """
+        # One engine session backs both evaluators: entities shared
+        # between the train and validation pair lists transform once,
+        # and a single executor (``workers``) owns the parallel fan-out
+        # of each generation's distance columns.
+        session = EngineSession(
+            distances=self._distances,
+            transforms=self._transforms,
+            executor=self._workers,
+        )
+        try:
+            return self._learn(
+                session, source_a, source_b, train_links, validation_links,
+                rng, observer,
+            )
+        finally:
+            session.close()
+
+    def _learn(
+        self,
+        session: EngineSession,
+        source_a: DataSource,
+        source_b: DataSource,
+        train_links: ReferenceLinkSet,
+        validation_links: ReferenceLinkSet | None,
+        rng: random.Random | int | None,
+        observer: "PopulationObserver | None",
+    ) -> LearningResult:
         rng = _resolve_rng(rng)
         config = self.config
         start = time.perf_counter()
@@ -168,9 +208,7 @@ class GenLink:
             raise ValueError(
                 "training links must contain both positive and negative links"
             )
-        evaluator = PairEvaluator(
-            train_pairs, distances=self._distances, transforms=self._transforms
-        )
+        evaluator = PairEvaluator(train_pairs, session=session)
         fitness_fn = FitnessFunction(
             evaluator,
             train_labels,
@@ -183,11 +221,7 @@ class GenLink:
                 source_a, source_b
             )
             validation_fn = FitnessFunction(
-                PairEvaluator(
-                    validation_pairs,
-                    distances=self._distances,
-                    transforms=self._transforms,
-                ),
+                PairEvaluator(validation_pairs, session=session),
                 validation_labels,
             )
 

@@ -53,6 +53,16 @@ class Entity:
     def property_names(self) -> tuple[str, ...]:
         return tuple(self._properties)
 
+    def __reduce__(self) -> tuple:
+        """Pickle support (mappingproxy is not picklable by default).
+
+        Entities cross process boundaries when matching shards run on a
+        process-pool executor; reconstruction through ``__init__``
+        re-normalises the already-normalised values, which is a no-op,
+        so the round trip is exact.
+        """
+        return (Entity, (self._uid, dict(self._properties)))
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Entity):
             return NotImplemented

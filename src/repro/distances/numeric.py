@@ -5,7 +5,15 @@ from __future__ import annotations
 import re
 from typing import Sequence
 
-from repro.distances.base import DistanceMeasure, INFINITE_DISTANCE, min_over_pairs
+import numpy as np
+
+from repro.distances.base import (
+    DistanceMeasure,
+    INFINITE_DISTANCE,
+    ValueColumn,
+    absdiff_column,
+    min_over_pairs,
+)
 
 _NUMBER_RE = re.compile(r"[-+]?\d+(?:[.,]\d+)?(?:[eE][-+]?\d+)?")
 
@@ -39,6 +47,16 @@ class NumericDistance(DistanceMeasure):
 
     name = "numeric"
     threshold_range = (0.0, 10.0)
+    batch_capable = True
 
     def evaluate(self, values_a: Sequence[str], values_b: Sequence[str]) -> float:
         return min_over_pairs(values_a, values_b, _pair_distance)
+
+    def evaluate_column(
+        self, columns_a: ValueColumn, columns_b: ValueColumn
+    ) -> np.ndarray:
+        """Vectorized ``|a - b|`` over parsed numbers (see
+        :func:`repro.distances.base.absdiff_column`): each distinct
+        value set is regex-parsed once per batch instead of once per
+        pair, and singleton rows run as one numpy expression."""
+        return absdiff_column(columns_a, columns_b, parse_number)

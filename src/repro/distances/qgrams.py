@@ -15,7 +15,15 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.distances.base import DistanceMeasure, INFINITE_DISTANCE, min_over_pairs
+import numpy as np
+
+from repro.distances.base import (
+    DistanceMeasure,
+    INFINITE_DISTANCE,
+    ValueColumn,
+    fallback_column,
+    min_over_pairs,
+)
 from repro.distances.levenshtein import levenshtein
 
 
@@ -36,6 +44,7 @@ class QGramsDistance(DistanceMeasure):
 
     name = "qgrams"
     threshold_range = (0.1, 1.0)
+    batch_capable = True
 
     def __init__(self, q: int = 2):
         if q < 1:
@@ -51,6 +60,45 @@ class QGramsDistance(DistanceMeasure):
 
     def evaluate(self, values_a: Sequence[str], values_b: Sequence[str]) -> float:
         return min_over_pairs(values_a, values_b, self._pair_distance)
+
+    def evaluate_column(
+        self, columns_a: ValueColumn, columns_b: ValueColumn
+    ) -> np.ndarray:
+        """Batch q-gram Jaccard: gram sets are built once per distinct
+        string and the set intersections once per distinct string pair,
+        instead of once per candidate pair; value-set combinations
+        dedupe through :func:`repro.distances.base.fallback_column`.
+        The min-over-pairs control flow (budget, early exit) is shared
+        with the scalar path, so results are bit-identical."""
+        grams_cache: dict[str, set[str]] = {}
+        pair_cache: dict[tuple[str, str], float] = {}
+        q = self._q
+
+        def pair_distance(a: str, b: str) -> float:
+            key = (a, b)
+            distance = pair_cache.get(key)
+            if distance is None:
+                grams_a = grams_cache.get(a)
+                if grams_a is None:
+                    grams_a = qgrams(a.lower(), q)
+                    grams_cache[a] = grams_a
+                grams_b = grams_cache.get(b)
+                if grams_b is None:
+                    grams_b = qgrams(b.lower(), q)
+                    grams_cache[b] = grams_b
+                intersection = len(grams_a & grams_b)
+                union = len(grams_a | grams_b)
+                distance = 1.0 - intersection / union
+                pair_cache[key] = distance
+            return distance
+
+        return fallback_column(
+            lambda values_a, values_b: min_over_pairs(
+                values_a, values_b, pair_distance
+            ),
+            columns_a,
+            columns_b,
+        )
 
 
 class SoftJaccardDistance(DistanceMeasure):

@@ -14,7 +14,16 @@ from repro.engine.compiler import (
     CompiledPlan,
     CompiledSimilarity,
     ComparisonOp,
+    GenerationDiff,
     RuleCompiler,
+)
+from repro.engine.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    WORKERS_ENV,
+    resolve_executor,
 )
 from repro.engine.kernels import aggregate_scores, threshold_scores
 from repro.engine.lru import CacheStats, LRUCache
@@ -30,10 +39,17 @@ __all__ = [
     "ComparisonOp",
     "EngineSession",
     "EngineStats",
+    "Executor",
+    "GenerationDiff",
     "LRUCache",
     "PairContext",
+    "ProcessExecutor",
     "RuleCompiler",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "WORKERS_ENV",
     "aggregate_scores",
     "threshold_scores",
     "evaluate_value_op",
+    "resolve_executor",
 ]

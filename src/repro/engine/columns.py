@@ -16,7 +16,6 @@ from typing import Sequence
 import numpy as np
 
 from repro.data.entity import Entity
-from repro.distances.base import INFINITE_DISTANCE
 from repro.distances.registry import DistanceRegistry
 from repro.engine.compiler import ComparisonOp
 from repro.engine.lru import LRUCache
@@ -116,6 +115,14 @@ class PairStore:
         (they can never score above 0, Definition 7 note). The column
         is threshold-free: every threshold over the same (metric,
         source, target) shares it.
+
+        Evaluation goes through the measure's batch API
+        (:meth:`repro.distances.base.DistanceMeasure.evaluate_column`):
+        batch-capable measures run vectorized kernels over the whole
+        column, everything else takes the deduplicated per-pair
+        fallback. Safe to call concurrently for different ops — the
+        caches are thread-safe and the computation is pure, so races
+        only cost duplicated work, never divergent results.
         """
         key = (self._store_id, op.sig)
         cached = self._column_cache.get(key)
@@ -123,16 +130,15 @@ class PairStore:
             return cached
         values_a = self.value_column(op.source_sig, op.source, "a")
         values_b = self.value_column(op.target_sig, op.target, "b")
-        evaluate = self._distances.get(op.metric).evaluate
-        out = np.full(len(self._pairs), INFINITE_DISTANCE, dtype=np.float64)
-        for i, (index_a, index_b) in enumerate(self._pair_index):
-            value_set_a = values_a[index_a]
-            if not value_set_a:
-                continue
-            value_set_b = values_b[index_b]
-            if not value_set_b:
-                continue
-            out[i] = evaluate(value_set_a, value_set_b)
+        measure = self._distances.get(op.metric)
+        columns_a = [values_a[index_a] for index_a, _ in self._pair_index]
+        columns_b = [values_b[index_b] for _, index_b in self._pair_index]
+        out = measure.evaluate_column(columns_a, columns_b)
+        if out.shape != (len(self._pairs),) or out.dtype != np.float64:
+            raise ValueError(
+                f"measure {op.metric!r} returned a malformed batch column: "
+                f"shape {out.shape}, dtype {out.dtype}"
+            )
         out.setflags(write=False)
         self._column_cache.put(key, out)
         return out

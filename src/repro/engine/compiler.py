@@ -28,6 +28,7 @@ generation N.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Sequence, Union
 
@@ -95,6 +96,44 @@ class CompiledPlan:
     comparison_node_count: int
 
 
+@dataclass(frozen=True)
+class GenerationDiff:
+    """Incremental op reuse of one compiled population.
+
+    Crossover-heavy generations mostly re-resolve to the interned ops
+    of earlier generations; a low reuse ratio means the operators are
+    churning genetic material (lots of fresh distance columns to pay
+    for), which is exactly the signal needed to tune crossover
+    operators. ``new_*`` counts ops interned for the first time by this
+    ``compile_population`` call.
+    """
+
+    #: 0-based index of the ``compile_population`` call.
+    index: int
+    #: Unique comparison ops referenced by this generation's plan.
+    comparison_ops: int
+    new_comparison_ops: int
+    #: Unique value ops referenced by this generation's comparisons.
+    value_ops: int
+    new_value_ops: int
+
+    @property
+    def comparison_reuse_ratio(self) -> float:
+        """Share of this generation's comparison ops that were already
+        interned by earlier generations (1.0 = nothing new)."""
+        if not self.comparison_ops:
+            return 1.0
+        return 1.0 - self.new_comparison_ops / self.comparison_ops
+
+    @property
+    def value_reuse_ratio(self) -> float:
+        """Share of this generation's value ops that were already
+        interned by earlier generations."""
+        if not self.value_ops:
+            return 1.0
+        return 1.0 - self.new_value_ops / self.value_ops
+
+
 def iter_compiled_comparisons(
     node: CompiledSimilarity,
 ) -> Iterable[CompiledComparison]:
@@ -129,10 +168,24 @@ class RuleCompiler:
         self._value_ops: dict[ValueSignature, ValueNode] = {}
         self._comparison_ops: dict[ComparisonSignature, ComparisonOp] = {}
         self._compiled: dict[SimilarityNode, CompiledSimilarity] = {}
+        #: Per-``compile_population`` reuse records (bounded; a GP run
+        #: is one record per generation).
+        self._generation_diffs: list[GenerationDiff] = []
+        self._max_generation_diffs = 10_000
+        # Compilation mutates the intern tables; engine workers may
+        # compile concurrently (e.g. matching shards sharing a
+        # session), so the public entry points serialise on one
+        # reentrant lock. Compilation is cheap relative to evaluation —
+        # the lock is not on the hot path.
+        self._lock = threading.RLock()
 
     # -- signatures -----------------------------------------------------------
     def value_signature(self, node: ValueNode) -> ValueSignature:
         """Canonical signature of a value subtree (interned)."""
+        with self._lock:
+            return self._value_signature(node)
+
+    def _value_signature(self, node: ValueNode) -> ValueSignature:
         sig = self._value_sigs.get(node)
         if sig is not None:
             return sig
@@ -143,7 +196,7 @@ class RuleCompiler:
                 "tf",
                 node.function,
                 tuple(sorted(node.params)),
-                tuple(self.value_signature(child) for child in node.inputs),
+                tuple(self._value_signature(child) for child in node.inputs),
             )
         else:
             raise TypeError(f"not a value operator: {type(node).__name__}")
@@ -160,12 +213,16 @@ class RuleCompiler:
     # -- compilation ----------------------------------------------------------
     def compile(self, node: SimilarityNode) -> CompiledSimilarity:
         """Compile one similarity tree (memoised structurally)."""
+        with self._lock:
+            return self._compile(node)
+
+    def _compile(self, node: SimilarityNode) -> CompiledSimilarity:
         compiled = self._compiled.get(node)
         if compiled is not None:
             return compiled
         if isinstance(node, ComparisonNode):
-            source_sig = self.value_signature(node.source)
-            target_sig = self.value_signature(node.target)
+            source_sig = self._value_signature(node.source)
+            target_sig = self._value_signature(node.target)
             op_sig = ("cmp", node.metric, source_sig, target_sig)
             op = self._comparison_ops.get(op_sig)
             if op is None:
@@ -182,7 +239,7 @@ class RuleCompiler:
                 op=op, threshold=node.threshold, weight=node.weight
             )
         elif isinstance(node, AggregationNode):
-            children = tuple(self.compile(child) for child in node.operators)
+            children = tuple(self._compile(child) for child in node.operators)
             compiled = CompiledAggregation(
                 function=node.function,
                 children=children,
@@ -199,24 +256,50 @@ class RuleCompiler:
     def compile_population(
         self, roots: Sequence[SimilarityNode]
     ) -> CompiledPlan:
-        """Compile a whole population into one deduplicated plan."""
-        compiled_roots = tuple(self.compile(root) for root in roots)
-        ops: dict[ComparisonSignature, ComparisonOp] = {}
-        node_count = 0
-        for root in compiled_roots:
-            for comparison in iter_compiled_comparisons(root):
-                node_count += 1
-                ops.setdefault(comparison.op.sig, comparison.op)
-        value_sigs = set()
-        for op in ops.values():
-            value_sigs.add(op.source_sig)
-            value_sigs.add(op.target_sig)
-        return CompiledPlan(
-            roots=compiled_roots,
-            comparison_ops=tuple(ops.values()),
-            value_op_count=len(value_sigs),
-            comparison_node_count=node_count,
-        )
+        """Compile a whole population into one deduplicated plan.
+
+        Each call also records a :class:`GenerationDiff` — how many of
+        the plan's ops were interned for the first time by this call —
+        so sessions can report per-generation reuse ratios.
+        """
+        with self._lock:
+            # Membership snapshots, not size deltas: the diff counts how
+            # many of *this plan's* ops were first interned by this call,
+            # over the same basis as the totals — a size delta would also
+            # count nested value subtrees and ops interned by unrelated
+            # single-rule compiles, letting the ratio leave [0, 1].
+            comparisons_before = set(self._comparison_ops)
+            values_before = set(self._value_ops)
+            compiled_roots = tuple(self._compile(root) for root in roots)
+            ops: dict[ComparisonSignature, ComparisonOp] = {}
+            node_count = 0
+            for root in compiled_roots:
+                for comparison in iter_compiled_comparisons(root):
+                    node_count += 1
+                    ops.setdefault(comparison.op.sig, comparison.op)
+            value_sigs = set()
+            for op in ops.values():
+                value_sigs.add(op.source_sig)
+                value_sigs.add(op.target_sig)
+            diff = GenerationDiff(
+                index=len(self._generation_diffs),
+                comparison_ops=len(ops),
+                new_comparison_ops=sum(
+                    1 for sig in ops if sig not in comparisons_before
+                ),
+                value_ops=len(value_sigs),
+                new_value_ops=sum(
+                    1 for sig in value_sigs if sig not in values_before
+                ),
+            )
+            if len(self._generation_diffs) < self._max_generation_diffs:
+                self._generation_diffs.append(diff)
+            return CompiledPlan(
+                roots=compiled_roots,
+                comparison_ops=tuple(ops.values()),
+                value_op_count=len(value_sigs),
+                comparison_node_count=node_count,
+            )
 
     # -- introspection --------------------------------------------------------
     @property
@@ -229,8 +312,22 @@ class RuleCompiler:
         """Unique comparison ops interned so far."""
         return len(self._comparison_ops)
 
+    @property
+    def generation_diffs(self) -> tuple[GenerationDiff, ...]:
+        """Reuse records of every ``compile_population`` call so far."""
+        with self._lock:
+            return tuple(self._generation_diffs)
+
+    @property
+    def last_generation_diff(self) -> GenerationDiff | None:
+        """The most recent generation's reuse record, if any."""
+        with self._lock:
+            return self._generation_diffs[-1] if self._generation_diffs else None
+
     def clear(self) -> None:
-        self._value_sigs.clear()
-        self._value_ops.clear()
-        self._comparison_ops.clear()
-        self._compiled.clear()
+        with self._lock:
+            self._value_sigs.clear()
+            self._value_ops.clear()
+            self._comparison_ops.clear()
+            self._compiled.clear()
+            self._generation_diffs.clear()

@@ -1,0 +1,233 @@
+"""Pluggable parallel execution for the engine.
+
+Both halves of the hot path are embarrassingly parallel: distance
+columns within one compiled plan are independent per comparison op, and
+candidate-pair shards within one matching run are independent per
+shard. :class:`Executor` abstracts *how* that independent work runs —
+inline (:class:`SerialExecutor`), on a shared-memory thread pool
+(:class:`ThreadExecutor`), or on a process pool
+(:class:`ProcessExecutor`) — behind one order-preserving ``map``.
+
+Determinism is the design constraint: every task the engine submits is
+a pure function, and consumers always consume results in submission
+order, so outputs are byte-identical regardless of executor kind or
+worker count. Parallelism may change *cache statistics* (who computed
+what first), never results.
+
+Selection is explicit (constructor argument) or ambient via the
+``REPRO_ENGINE_WORKERS`` environment variable::
+
+    REPRO_ENGINE_WORKERS=0          # serial (the default)
+    REPRO_ENGINE_WORKERS=4          # thread pool, 4 workers
+    REPRO_ENGINE_WORKERS=thread:4   # same, explicit
+    REPRO_ENGINE_WORKERS=process:4  # process pool, 4 workers
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Sequence
+
+#: Environment variable consulted when no executor is configured.
+WORKERS_ENV = "REPRO_ENGINE_WORKERS"
+
+
+class Executor(ABC):
+    """Maps a pure function over items, preserving input order.
+
+    ``kind`` names the strategy (``serial`` / ``thread`` / ``process``),
+    ``workers`` is the configured worker count (0 for serial), and
+    ``shares_memory`` tells callers whether submitted callables may
+    close over shared mutable state (sessions, caches) — true for
+    serial and thread executors, false for process pools, whose tasks
+    must be picklable and self-contained.
+    """
+
+    kind: str = "abstract"
+    workers: int = 0
+    shares_memory: bool = True
+
+    @abstractmethod
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        """Apply ``fn`` to every item; results in input order."""
+
+    def close(self) -> None:
+        """Release pooled workers (idempotent; a closed executor may
+        not be reused)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialExecutor(Executor):
+    """Inline execution — the zero-dependency, zero-overhead default."""
+
+    kind = "serial"
+    workers = 0
+
+    def map(self, fn, items):
+        return [fn(item) for item in items]
+
+
+class ThreadExecutor(Executor):
+    """A persistent shared-memory thread pool.
+
+    Python threads cooperate through the engine's thread-safe caches, so
+    closures over a shared :class:`~repro.engine.session.EngineSession`
+    are fine. Throughput gains come from numpy kernels and (on
+    free-threaded builds) the pure-Python parse loops; on GIL builds the
+    win is bounded, but results are identical either way.
+    """
+
+    kind = "thread"
+    shares_memory = True
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("thread executor needs at least 1 worker")
+        self.workers = workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-engine"
+            )
+        return self._pool
+
+    def map(self, fn, items):
+        items = list(items)
+        # Not worth a thread hop for trivial fan-outs.
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(self._ensure_pool().map(fn, items))
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessExecutor(Executor):
+    """A persistent process pool for GIL-free sharding.
+
+    Submitted callables and their arguments must be picklable (use
+    module-level functions). Worker processes keep their own module
+    state between tasks, which shard consumers exploit to hold one
+    per-process engine session whose value cache persists across
+    shards.
+    """
+
+    kind = "process"
+    shares_memory = False
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("process executor needs at least 1 worker")
+        self.workers = workers
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def map(self, fn, items):
+        items = list(items)
+        if not items:
+            return []
+        return list(self._ensure_pool().map(fn, items))
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def parse_workers_spec(spec: str) -> Executor:
+    """Build an executor from a spec string.
+
+    Accepted forms: ``"serial"`` / ``"0"`` (serial), ``"N"`` (thread
+    pool of N), ``"thread:N"``, ``"process:N"``.
+    """
+    text = spec.strip().lower()
+    if text in ("", "0", "serial"):
+        return SerialExecutor()
+    kind, _, count_text = text.partition(":")
+    if not _:
+        kind, count_text = "thread", text
+    try:
+        count = int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"invalid workers spec {spec!r}: expected 'serial', a worker "
+            f"count, 'thread:N' or 'process:N'"
+        ) from None
+    if count < 0:
+        raise ValueError(f"invalid workers spec {spec!r}: count must be >= 0")
+    if count == 0:
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadExecutor(count)
+    if kind == "process":
+        return ProcessExecutor(count)
+    raise ValueError(
+        f"invalid workers spec {spec!r}: unknown executor kind {kind!r}"
+    )
+
+
+def resolve_executor(
+    workers: "int | str | Executor | None" = None,
+) -> Executor:
+    """Resolve a workers argument to an :class:`Executor`.
+
+    ``None`` consults ``REPRO_ENGINE_WORKERS`` (absent or ``0`` means
+    serial); an int selects a thread pool of that size (0 = serial); a
+    string is parsed by :func:`parse_workers_spec`; an executor
+    instance passes through unchanged.
+    """
+    if workers is None:
+        return parse_workers_spec(os.environ.get(WORKERS_ENV, ""))
+    if isinstance(workers, Executor):
+        return workers
+    if isinstance(workers, bool):  # bool is an int subclass; reject it
+        raise TypeError("workers must be an int, str, Executor or None")
+    if isinstance(workers, int):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        return ThreadExecutor(workers) if workers else SerialExecutor()
+    if isinstance(workers, str):
+        return parse_workers_spec(workers)
+    raise TypeError(
+        f"workers must be an int, str, Executor or None, "
+        f"not {type(workers).__name__}"
+    )
+
+
+def window_batches(
+    batches: Iterable[Any], window: int
+) -> Iterable[list[Any]]:
+    """Group an iterable into windows of at most ``window`` items.
+
+    Shard consumers evaluate one window concurrently while keeping
+    memory bounded: only ``window`` batches are materialised at a time,
+    and emitting windows in order preserves the global batch order.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    group: list[Any] = []
+    for batch in batches:
+        group.append(batch)
+        if len(group) >= window:
+            yield group
+            group = []
+    if group:
+        yield group

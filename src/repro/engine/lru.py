@@ -6,10 +6,18 @@ memory bound by wholesale ``.clear()`` at capacity, which throws away
 the shared genetic material the cache exists to exploit right when the
 population is largest; :class:`LRUCache` evicts one least-recently-used
 entry instead, so hot entries survive across generations and batches.
+
+The cache is thread-safe: a hit mutates recency state (delete +
+re-insert), so concurrent engine workers
+(:mod:`repro.engine.executor`) would corrupt an unlocked dict. All
+operations take one short uncontended lock; cached values themselves
+are immutable (tuples, read-only arrays), so no lock is needed around
+their use.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Hashable
 
@@ -39,7 +47,7 @@ class LRUCache:
     """A dict-backed LRU cache (Python dicts preserve insertion order:
     a hit re-inserts the key at the end, eviction pops the front)."""
 
-    __slots__ = ("_data", "_capacity", "_hits", "_misses", "_evictions")
+    __slots__ = ("_data", "_capacity", "_hits", "_misses", "_evictions", "_lock")
 
     def __init__(self, capacity: int):
         if capacity < 1:
@@ -49,6 +57,7 @@ class LRUCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._data)
@@ -60,46 +69,51 @@ class LRUCache:
     def get(self, key: Hashable) -> Any | None:
         """The cached value or None; counts a hit or a miss and renews
         the entry's recency on a hit."""
-        data = self._data
-        value = data.get(key)
-        if value is None:
-            self._misses += 1
-            return None
-        self._hits += 1
-        # Move to the most-recently-used position.
-        del data[key]
-        data[key] = value
-        return value
+        with self._lock:
+            data = self._data
+            value = data.get(key)
+            if value is None:
+                self._misses += 1
+                return None
+            self._hits += 1
+            # Move to the most-recently-used position.
+            del data[key]
+            data[key] = value
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert an entry, evicting the least recently used at capacity."""
-        data = self._data
-        if key in data:
-            del data[key]
-        elif len(data) >= self._capacity:
-            data.pop(next(iter(data)))
-            self._evictions += 1
-        data[key] = value
+        with self._lock:
+            data = self._data
+            if key in data:
+                del data[key]
+            elif len(data) >= self._capacity:
+                data.pop(next(iter(data)))
+                self._evictions += 1
+            data[key] = value
 
     def clear(self) -> None:
         """Drop all entries (statistics counters keep accumulating)."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def evict_matching(self, predicate) -> int:
         """Evict every entry whose key satisfies ``predicate``; returns
         the number evicted. Used to release a discarded context's
         entries instead of waiting for capacity eviction."""
-        doomed = [key for key in self._data if predicate(key)]
-        for key in doomed:
-            del self._data[key]
-        self._evictions += len(doomed)
-        return len(doomed)
+        with self._lock:
+            doomed = [key for key in self._data if predicate(key)]
+            for key in doomed:
+                del self._data[key]
+            self._evictions += len(doomed)
+            return len(doomed)
 
     def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            size=len(self._data),
-            capacity=self._capacity,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._data),
+                capacity=self._capacity,
+            )

@@ -23,6 +23,7 @@ exactly once.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -38,8 +39,10 @@ from repro.engine.compiler import (
     CompiledComparison,
     CompiledPlan,
     CompiledSimilarity,
+    GenerationDiff,
     RuleCompiler,
 )
+from repro.engine.executor import Executor, resolve_executor
 from repro.engine.kernels import aggregate_scores, threshold_scores
 from repro.engine.lru import CacheStats, LRUCache
 from repro.transforms.registry import TransformationRegistry
@@ -56,6 +59,20 @@ class EngineStats:
     #: Unique ops interned by the compiler over the session lifetime.
     value_ops: int
     comparison_ops: int
+    #: Populations compiled so far (one per GP generation).
+    generations: int = 0
+    #: Reuse record of the most recently compiled population, if any.
+    last_generation: GenerationDiff | None = None
+
+    @property
+    def last_comparison_reuse(self) -> float | None:
+        """Comparison-op reuse ratio of the most recent generation
+        (None before the first compiled population)."""
+        return (
+            self.last_generation.comparison_reuse_ratio
+            if self.last_generation is not None
+            else None
+        )
 
 
 class EngineSession:
@@ -68,7 +85,15 @@ class EngineSession:
         max_value_entries: int = 500_000,
         max_column_entries: int = 30_000,
         max_score_entries: int = 30_000,
+        executor: Executor | int | str | None = None,
     ):
+        """``executor`` selects the parallel execution strategy for
+        independent work within this session (distance columns of one
+        compiled plan). ``None`` consults ``REPRO_ENGINE_WORKERS``
+        (default serial); an int selects a thread pool of that size;
+        see :func:`repro.engine.executor.resolve_executor` for the full
+        spec grammar. Results are byte-identical for every setting —
+        only wall-clock and cache statistics change."""
         self._distances = distances if distances is not None else default_distances()
         self._transforms = (
             transforms if transforms is not None else default_transforms()
@@ -77,7 +102,9 @@ class EngineSession:
         self._value_cache = LRUCache(max_value_entries)
         self._column_cache = LRUCache(max_column_entries)
         self._score_cache = LRUCache(max_score_entries)
+        self._executor = resolve_executor(executor)
         self._next_context_id = 0
+        self._context_id_lock = threading.Lock()
 
     @property
     def distances(self) -> DistanceRegistry:
@@ -86,6 +113,11 @@ class EngineSession:
     @property
     def transforms(self) -> TransformationRegistry:
         return self._transforms
+
+    @property
+    def executor(self) -> Executor:
+        """The execution strategy for this session's parallel work."""
+        return self._executor
 
     # -- compilation ----------------------------------------------------------
     def compile(self, root: SimilarityNode) -> CompiledSimilarity:
@@ -98,9 +130,15 @@ class EngineSession:
 
     # -- contexts -------------------------------------------------------------
     def context(self, pairs: Sequence[tuple[Entity, Entity]]) -> "PairContext":
-        """A pair context sharing this session's caches and compiler."""
-        context_id = self._next_context_id
-        self._next_context_id += 1
+        """A pair context sharing this session's caches and compiler.
+
+        Safe to call from engine worker threads (shard consumers create
+        one context per batch); context ids are allocated under a lock
+        so concurrent contexts never share column/score cache keys.
+        """
+        with self._context_id_lock:
+            context_id = self._next_context_id
+            self._next_context_id += 1
         store = PairStore(
             pairs,
             store_id=context_id,
@@ -148,13 +186,33 @@ class EngineSession:
         self._score_cache.clear()
 
     def stats(self) -> EngineStats:
+        diffs = self._compiler.generation_diffs
         return EngineStats(
             values=self._value_cache.stats(),
             columns=self._column_cache.stats(),
             scores=self._score_cache.stats(),
             value_ops=self._compiler.value_op_count,
             comparison_ops=self._compiler.comparison_op_count,
+            generations=len(diffs),
+            last_generation=diffs[-1] if diffs else None,
         )
+
+    def generation_diffs(self) -> "tuple[GenerationDiff, ...]":
+        """Per-generation op-reuse records (one per compiled
+        population), for crossover-operator tuning."""
+        return self._compiler.generation_diffs
+
+    def close(self) -> None:
+        """Release the executor's pooled workers (serial: a no-op).
+        The session itself stays usable — a later parallel map lazily
+        recreates the pool. Usable as a context manager."""
+        self._executor.close()
+
+    def __enter__(self) -> "EngineSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class PairContext:
@@ -196,11 +254,21 @@ class PairContext:
 
         Unique comparison ops are evaluated first (each one exactly
         once — this is where the deduplicated DAG pays off), then each
-        root reduces over the shared vectors.
+        root reduces over the shared vectors. Column building is
+        independent per op, so a shared-memory executor fans it out
+        across workers; the columns land in the shared cache either
+        way, and every op is pure, so results are byte-identical for
+        any worker count.
         """
         plan = self._session.compile_population(roots)
-        for op in plan.comparison_ops:
-            self._store.distance_column(op)
+        executor = self._session.executor
+        if executor.shares_memory and executor.workers > 1:
+            executor.map(self._store.distance_column, plan.comparison_ops)
+        else:
+            # Process pools cannot share the column cache; build
+            # inline (the shards themselves parallelise elsewhere).
+            for op in plan.comparison_ops:
+                self._store.distance_column(op)
         return [self.execute(root) for root in plan.roots]
 
     def execute(self, compiled: CompiledSimilarity) -> np.ndarray:

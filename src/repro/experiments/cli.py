@@ -12,9 +12,11 @@ corresponding table, e.g.::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.datasets import DATASET_NAMES
+from repro.engine.executor import WORKERS_ENV, parse_workers_spec
 from repro.experiments import drivers
 from repro.experiments.scale import current_scale
 from repro.experiments.tables import format_table
@@ -207,6 +209,17 @@ def main(argv: list[str] | None = None) -> int:
         description="Reproduce the GenLink paper's experiments.",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers",
+        default=None,
+        metavar="SPEC",
+        help="engine executor: 0/serial, N or thread:N (thread pool; "
+        "parallelises fitness evaluation and link generation) or "
+        "process:N (process pool; parallelises link-generation "
+        "sharding only — learning runs serially); results are "
+        "identical for every setting (default: the "
+        f"{WORKERS_ENV} environment variable)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("datasets", help="Tables 5 & 6")
@@ -243,7 +256,18 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     args = parser.parse_args(argv)
+    if args.workers is not None:
+        # Validate eagerly for a clean CLI error, then hand the spec to
+        # every engine session created below via the environment.
+        try:
+            parse_workers_spec(args.workers)
+        except ValueError as error:
+            parser.error(str(error))
+        os.environ[WORKERS_ENV] = args.workers
     print(f"[scale: {current_scale().name}]")
+    workers_spec = os.environ.get(WORKERS_ENV, "")
+    if workers_spec:
+        print(f"[workers: {workers_spec}]")
     handlers = {
         "datasets": _print_dataset_statistics,
         "curve": _print_learning_curve,

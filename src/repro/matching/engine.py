@@ -7,16 +7,32 @@ evaluated through one persistent :class:`repro.engine.EngineSession`
 per execution, so an entity's transformed values computed in one batch
 are re-used by every later batch it appears in (the seed discarded all
 caches every 4096 pairs).
+
+Batches are additionally **sharded across workers** through a
+pluggable :class:`repro.engine.executor.Executor` (``workers=`` or the
+``REPRO_ENGINE_WORKERS`` environment variable): a window of batches is
+scored concurrently — on threads sharing the session's caches, or on a
+process pool with one persistent engine session per worker process —
+and results are merged back in submission order. Batch boundaries
+depend only on ``batch_size`` and every shard is scored by pure
+functions, so the generated links are byte-identical for every worker
+count, including their order.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Sequence
+
+import numpy as np
 
 from repro.core.rule import MATCH_THRESHOLD, LinkageRule
+from repro.core.nodes import SimilarityNode
 from repro.data.entity import Entity
 from repro.data.source import DataSource
+from repro.engine.executor import Executor, resolve_executor, window_batches
+from repro.engine.lru import CacheStats
 from repro.engine.session import EngineSession
 from repro.matching.blocking import Blocker, FullIndexBlocker, RuleBlocker
 
@@ -33,6 +49,61 @@ class GeneratedLink:
         return (self.uid_a, self.uid_b)
 
 
+@dataclass(frozen=True)
+class MatchStats:
+    """Execution statistics of one :meth:`MatchingEngine.iter_links`
+    run (available after the iterator is exhausted)."""
+
+    batches: int
+    pairs: int
+    links: int
+    #: Value-tier cache statistics: the shared session's snapshot on
+    #: serial/thread runs, or the per-worker snapshots summed on
+    #: process runs (each worker process owns a private session).
+    value_stats: CacheStats | None
+
+
+#: One engine session per worker process, lazily created and reused
+#: across shards so a worker's transformed-value cache persists for the
+#: whole execution (the process-pool analogue of the shared session).
+_WORKER_SESSION: EngineSession | None = None
+
+
+def _shard_scores(
+    payload: tuple[SimilarityNode, list[tuple[Entity, Entity]]],
+) -> tuple[int, np.ndarray, CacheStats]:
+    """Score one candidate-pair shard inside a worker process.
+
+    Module-level so process pools can pickle it. The worker session is
+    explicitly serial — nesting a thread pool per worker process would
+    oversubscribe the machine without changing any result.
+    """
+    global _WORKER_SESSION
+    root, pairs = payload
+    if _WORKER_SESSION is None:
+        _WORKER_SESSION = EngineSession(executor=0)
+    context = _WORKER_SESSION.context(pairs)
+    try:
+        scores = context.scores(root)
+    finally:
+        _WORKER_SESSION.release_context(context)
+    return os.getpid(), scores, _WORKER_SESSION.stats().values
+
+
+def _sum_cache_stats(snapshots: Sequence[CacheStats]) -> CacheStats | None:
+    """Merge per-worker cache snapshots by summation (capacities too:
+    the merged view describes the fleet, not one worker)."""
+    if not snapshots:
+        return None
+    return CacheStats(
+        hits=sum(s.hits for s in snapshots),
+        misses=sum(s.misses for s in snapshots),
+        evictions=sum(s.evictions for s in snapshots),
+        size=sum(s.size for s in snapshots),
+        capacity=sum(s.capacity for s in snapshots),
+    )
+
+
 class MatchingEngine:
     """Executes linkage rules over data sources."""
 
@@ -42,6 +113,7 @@ class MatchingEngine:
         batch_size: int = 4096,
         threshold: float = MATCH_THRESHOLD,
         session: EngineSession | None = None,
+        workers: Executor | int | str | None = None,
     ):
         """``blocker=None`` selects rule-aware blocking per executed
         rule, falling back to the full index for rules without
@@ -49,11 +121,46 @@ class MatchingEngine:
         session per :meth:`iter_links` call (caches persist across the
         batches of one execution but cannot go stale across data
         sources); pass a session explicitly to share caches across
-        executions over the same sources."""
+        executions. ``workers`` selects the sharding executor (see
+        :func:`repro.engine.executor.resolve_executor`); ``None``
+        consults ``REPRO_ENGINE_WORKERS``. A process-pool executor
+        requires the default registries (worker processes build their
+        own sessions) and therefore rejects an explicit ``session``."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self._blocker = blocker
         self._batch_size = batch_size
         self._threshold = threshold
         self._session = session
+        self._executor = resolve_executor(workers)
+        if self._executor.kind == "process" and session is not None:
+            raise ValueError(
+                "process-pool sharding cannot share an in-process engine "
+                "session; drop the session= argument or use thread workers"
+            )
+        self._last_stats: MatchStats | None = None
+
+    @property
+    def executor(self) -> Executor:
+        """The sharding executor of this engine."""
+        return self._executor
+
+    def last_run_stats(self) -> MatchStats | None:
+        """Statistics of the most recently *completed* run (None before
+        the first run; a partially consumed :meth:`iter_links` iterator
+        does not update this)."""
+        return self._last_stats
+
+    def close(self) -> None:
+        """Release pooled executor workers. Usable as a context
+        manager."""
+        self._executor.close()
+
+    def __enter__(self) -> "MatchingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _resolve_blocker(self, rule: LinkageRule) -> Blocker:
         if self._blocker is not None:
@@ -81,35 +188,86 @@ class MatchingEngine:
         source_a: DataSource,
         source_b: DataSource,
     ) -> Iterator[GeneratedLink]:
-        """Stream links batch by batch (memory-bounded)."""
+        """Stream links batch by batch (memory-bounded).
+
+        With a parallel executor, a window of ``workers`` batches is in
+        flight at a time; links are always emitted in batch order, then
+        pair order within a batch — the same order the serial engine
+        produces, whatever the worker count.
+        """
         blocker = self._resolve_blocker(rule)
+        executor = self._executor
         session = self._session if self._session is not None else EngineSession()
+        window = max(1, executor.workers)
+        batches = pairs = links = 0
+        worker_values: dict[int, CacheStats] = {}
+        for group in window_batches(
+            self._iter_batches(blocker, source_a, source_b), window
+        ):
+            if executor.kind == "process":
+                results = executor.map(
+                    _shard_scores, [(rule.root, batch) for batch in group]
+                )
+                score_vectors = []
+                for pid, scores, value_stats in results:
+                    worker_values[pid] = value_stats
+                    score_vectors.append(scores)
+            else:
+                score_vectors = executor.map(
+                    lambda batch: self._batch_scores(session, rule, batch),
+                    group,
+                )
+            # Sort-stable merge: groups arrive in stream order and
+            # map preserves submission order within a group, so plain
+            # concatenation reproduces the serial emission order.
+            for batch, scores in zip(group, score_vectors):
+                batches += 1
+                pairs += len(batch)
+                for (entity_a, entity_b), score in zip(batch, scores):
+                    if score >= self._threshold:
+                        links += 1
+                        yield GeneratedLink(
+                            entity_a.uid, entity_b.uid, float(score)
+                        )
+        if executor.kind == "process":
+            value_stats = _sum_cache_stats(list(worker_values.values()))
+        else:
+            value_stats = session.stats().values
+        self._last_stats = MatchStats(
+            batches=batches, pairs=pairs, links=links, value_stats=value_stats
+        )
+
+    def _iter_batches(
+        self,
+        blocker: Blocker,
+        source_a: DataSource,
+        source_b: DataSource,
+    ) -> Iterator[list[tuple[Entity, Entity]]]:
         batch: list[tuple[Entity, Entity]] = []
         for pair in blocker.candidates(source_a, source_b):
             batch.append(pair)
             if len(batch) >= self._batch_size:
-                yield from self._evaluate_batch(session, rule, batch)
+                yield batch
                 batch = []
         if batch:
-            yield from self._evaluate_batch(session, rule, batch)
+            yield batch
 
-    def _evaluate_batch(
+    def _batch_scores(
         self,
         session: EngineSession,
         rule: LinkageRule,
         batch: list[tuple[Entity, Entity]],
-    ) -> Iterator[GeneratedLink]:
+    ) -> np.ndarray:
+        """Score one batch through the shared session (serial and
+        thread paths; thread-safe via the session's locked caches)."""
         context = session.context(batch)
         try:
-            scores = context.scores(rule.root)
+            return context.scores(rule.root)
         finally:
             # Column/score vectors are batch-local; evict them so long
             # streams don't pin dead arrays until capacity eviction.
             # (Value-tier entries persist — that's the cross-batch win.)
             session.release_context(context)
-        for (entity_a, entity_b), score in zip(batch, scores):
-            if score >= self._threshold:
-                yield GeneratedLink(entity_a.uid, entity_b.uid, float(score))
 
 
 def generate_links(
@@ -117,6 +275,11 @@ def generate_links(
     source_a: DataSource,
     source_b: DataSource,
     blocker: Blocker | None = None,
+    workers: Executor | int | str | None = None,
 ) -> list[GeneratedLink]:
     """Convenience wrapper around :class:`MatchingEngine`."""
-    return MatchingEngine(blocker=blocker).execute(rule, source_a, source_b)
+    engine = MatchingEngine(blocker=blocker, workers=workers)
+    try:
+        return engine.execute(rule, source_a, source_b)
+    finally:
+        engine.close()
