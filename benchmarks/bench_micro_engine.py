@@ -345,6 +345,46 @@ def test_population_fitness_multiworker():
     )
 
 
+def test_persistent_store_warm_rerun():
+    """The persistent column store must let a warm rerun skip >= 90% of
+    distance-column builds (it skips all of them: every store lookup
+    hits) with bit-identical scores; the wall-clock ratio is reported
+    but not asserted — mmap loads vs recompute depends on the metric
+    mix and the disk."""
+    import tempfile
+
+    rng = random.Random(7)
+    pairs, _labels = _fitness_pairs(rng, 400)
+    population = _gp_population(rng, 60)
+    roots = [rule.root for rule in population]
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold_session = EngineSession(store=cache_dir)
+        start = time.perf_counter()
+        cold_vectors = cold_session.context(pairs).population_scores(roots)
+        cold_seconds = time.perf_counter() - start
+        cold_store = cold_session.stats().store
+        assert cold_store.writes == cold_store.misses > 0
+
+        warm_session = EngineSession(store=cache_dir)
+        start = time.perf_counter()
+        warm_vectors = warm_session.context(pairs).population_scores(roots)
+        warm_seconds = time.perf_counter() - start
+        warm_store = warm_session.stats().store
+
+    for cold, warm in zip(cold_vectors, warm_vectors):
+        assert cold.tobytes() == warm.tobytes()
+    assert warm_store.lookups == cold_store.lookups
+    assert warm_store.hits / warm_store.lookups >= 0.9
+    print(
+        f"\npersistent store: cold {cold_seconds * 1000:.1f} ms "
+        f"({cold_store.writes} columns built), warm "
+        f"{warm_seconds * 1000:.1f} ms ({warm_store.hits} loaded, "
+        f"{warm_store.misses} rebuilt), speedup "
+        f"{cold_seconds / warm_seconds:.1f}x"
+    )
+
+
 def test_engine_population_eval(benchmark):
     """pytest-benchmark timing of the engine population path alone."""
     rng = random.Random(7)

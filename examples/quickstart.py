@@ -17,15 +17,31 @@ ask for workers — results are byte-identical, only faster::
 
 or per component: ``GenLink(config, workers=4)`` and
 ``generate_links(..., workers=4)`` (see ``docs/engine.md``).
+
+Point ``REPRO_ENGINE_CACHE`` at a directory and reruns get warm-cache
+distance columns — the second invocation loads every column from disk
+instead of recomputing it, with byte-identical output::
+
+    REPRO_ENGINE_CACHE=/tmp/engine-cache python examples/quickstart.py
+    REPRO_ENGINE_CACHE=/tmp/engine-cache python examples/quickstart.py
+
+    repro-experiments --cache-dir /tmp/engine-cache learn restaurant
+    repro-experiments --cache-dir /tmp/engine-cache cache info
+
+or per component: ``GenLink(config, cache_dir=...)``,
+``MatchingEngine(cache_dir=...)``. When the cache is active this
+script reports the store's hit/miss counters on stderr (stdout stays
+identical across runs, which CI's cache-reuse leg asserts).
 """
 
 from __future__ import annotations
 
 import random
+import sys
 
 from repro import DataSource, Entity, GenLink, GenLinkConfig, ReferenceLinkSet
 from repro import render_rule, rule_to_json
-from repro.matching import FullIndexBlocker, evaluate_links, generate_links
+from repro.matching import FullIndexBlocker, MatchingEngine, evaluate_links
 
 
 def build_sources() -> tuple[DataSource, DataSource, list[tuple[str, str]]]:
@@ -76,9 +92,22 @@ def main() -> None:
 
     # Execute the rule over the full sources, including the four
     # products that were never part of the reference links.
-    links = generate_links(
-        result.best_rule, shop_a, shop_b, blocker=FullIndexBlocker()
-    )
+    engine = MatchingEngine(blocker=FullIndexBlocker())
+    try:
+        links = engine.execute(result.best_rule, shop_a, shop_b)
+    finally:
+        engine.close()
+    match_stats = engine.last_run_stats()
+    if match_stats is not None and match_stats.store is not None:
+        # Persistent column store active (REPRO_ENGINE_CACHE): report
+        # its counters on stderr so stdout stays byte-identical between
+        # cold and warm runs.
+        store = match_stats.store
+        print(
+            f"[engine store] hits={store.hits} misses={store.misses} "
+            f"writes={store.writes}",
+            file=sys.stderr,
+        )
     evaluation = evaluate_links(links, matches)
     print(f"Generated {len(links)} links over the full catalogues:")
     for link in links:

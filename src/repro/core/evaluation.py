@@ -96,6 +96,7 @@ class PairEvaluator:
         max_cached_values: int | None = None,
         session: EngineSession | None = None,
         workers: "int | str | None" = None,
+        cache_dir: "str | None" = None,
     ):
         if session is None:
             # None means "engine defaults". An explicit comparison bound
@@ -114,6 +115,7 @@ class PairEvaluator:
                 distances=distances,
                 transforms=transforms,
                 executor=workers,
+                store=cache_dir,
                 **capacities,
             )
         else:
@@ -139,6 +141,11 @@ class PairEvaluator:
                 raise ValueError(
                     "the executor is owned by the session; configure "
                     "workers on EngineSession instead"
+                )
+            if cache_dir is not None:
+                raise ValueError(
+                    "the persistent store is owned by the session; "
+                    "configure store= on EngineSession instead"
                 )
         self._session = session
         self._context = session.context(pairs)

@@ -130,6 +130,7 @@ class GenLink:
         distances: DistanceRegistry | None = None,
         transforms: TransformationRegistry | None = None,
         workers: "int | str | None" = None,
+        cache_dir: "str | None" = None,
     ):
         """``workers`` selects the engine executor used for
         population-level fitness evaluation (``None`` consults the
@@ -140,7 +141,14 @@ class GenLink:
         the learning path serially (they accelerate
         :class:`repro.matching.engine.MatchingEngine` sharding
         instead). Learning results are byte-identical for every
-        setting — the GP itself is sequential."""
+        setting — the GP itself is sequential.
+
+        ``cache_dir`` enables the engine's persistent distance-column
+        store for the learning session (``None`` consults
+        ``REPRO_ENGINE_CACHE``; ``""`` forces it off): repeated
+        learning runs over the same reference links skip the distance
+        pass for every comparison op already persisted. Also
+        result-invisible — only cold-start cost changes."""
         self.config = config if config is not None else GenLinkConfig()
         self._operators = (
             list(crossover_operators)
@@ -154,6 +162,7 @@ class GenLink:
             transforms if transforms is not None else default_transforms()
         )
         self._workers = workers
+        self._cache_dir = cache_dir
 
     # -- public API -----------------------------------------------------------
     def learn(
@@ -180,6 +189,7 @@ class GenLink:
             distances=self._distances,
             transforms=self._transforms,
             executor=self._workers,
+            store=self._cache_dir,
         )
         try:
             return self._learn(

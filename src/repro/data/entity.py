@@ -9,6 +9,7 @@ between data sources, pair lists and caches.
 
 from __future__ import annotations
 
+import hashlib
 from types import MappingProxyType
 from typing import Iterable, Mapping
 
@@ -16,7 +17,7 @@ from typing import Iterable, Mapping
 class Entity:
     """An immutable entity with a unique id and multi-valued properties."""
 
-    __slots__ = ("_uid", "_properties")
+    __slots__ = ("_uid", "_properties", "_fingerprint")
 
     def __init__(
         self,
@@ -34,6 +35,7 @@ class Entity:
                 normalized[name] = value_tuple
         self._uid = uid
         self._properties = MappingProxyType(normalized)
+        self._fingerprint: str | None = None
 
     @property
     def uid(self) -> str:
@@ -52,6 +54,40 @@ class Entity:
 
     def property_names(self) -> tuple[str, ...]:
         return tuple(self._properties)
+
+    def fingerprint(self) -> str:
+        """Content hash of this entity (uid + every property value).
+
+        The persistent column store keys cached distance columns by
+        pair-content fingerprints, so any change to any property value
+        changes the key and stale columns are never served. Computed
+        lazily and cached — entities are immutable, so the hash can
+        never go stale.
+        """
+        cached = self._fingerprint
+        if cached is None:
+            digest = hashlib.sha256()
+
+            def feed(text: str) -> None:
+                # Length-prefixed so the encoding is injective: a value
+                # containing a would-be separator byte cannot collide
+                # with two separate values of the same concatenation.
+                encoded = text.encode("utf-8")
+                digest.update(str(len(encoded)).encode("ascii"))
+                digest.update(b":")
+                digest.update(encoded)
+
+            feed(self._uid)
+            for name in sorted(self._properties):
+                values = self._properties[name]
+                feed(name)
+                digest.update(str(len(values)).encode("ascii"))
+                digest.update(b";")
+                for value in values:
+                    feed(value)
+            cached = digest.hexdigest()
+            self._fingerprint = cached
+        return cached
 
     def __reduce__(self) -> tuple:
         """Pickle support (mappingproxy is not picklable by default).

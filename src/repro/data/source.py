@@ -8,6 +8,7 @@ average fraction of entities on which a property is actually set.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Mapping
 
 from repro.data.entity import Entity
@@ -19,6 +20,7 @@ class DataSource:
     def __init__(self, name: str, entities: Iterable[Entity] = ()):
         self._name = name
         self._entities: dict[str, Entity] = {}
+        self._fingerprint: str | None = None
         for entity in entities:
             self.add(entity)
 
@@ -30,6 +32,27 @@ class DataSource:
         if entity.uid in self._entities:
             raise ValueError(f"duplicate entity uid {entity.uid!r} in {self._name!r}")
         self._entities[entity.uid] = entity
+        self._fingerprint = None
+
+    def fingerprint(self) -> str:
+        """Content hash of this source's snapshot — every entity's
+        content fingerprint, in insertion order.
+
+        Deliberately excludes the source *name*: two identically-loaded
+        snapshots under different names describe the same data, so
+        persistent caches keyed by this fingerprint (the engine's
+        column store) can share work between them. Cached until the
+        next :meth:`add`; entities themselves are immutable.
+        """
+        cached = self._fingerprint
+        if cached is None:
+            digest = hashlib.sha256()
+            for entity in self._entities.values():
+                digest.update(entity.fingerprint().encode("ascii"))
+                digest.update(b"\x1e")
+            cached = digest.hexdigest()
+            self._fingerprint = cached
+        return cached
 
     def get(self, uid: str) -> Entity:
         try:

@@ -71,6 +71,24 @@ class DistanceMeasure(ABC):
         """
         return fallback_column(self.evaluate, columns_a, columns_b)
 
+    def cache_token(self) -> str:
+        """Stable identity of this measure for *persistent* cache keys.
+
+        The registry name alone is not enough across processes: two
+        runs sharing a cache directory could resolve the same name to
+        different implementations or configurations (a custom
+        ``levenshtein``, ``QGramsDistance(q=3)`` vs the default q=2).
+        The token therefore records the implementation class and its
+        scalar configuration attributes; memo tables and other
+        non-scalar state are excluded — they never change results.
+        """
+        params = ",".join(
+            f"{name}={value!r}"
+            for name, value in sorted(vars(self).items())
+            if value is None or isinstance(value, (bool, int, float, str))
+        )
+        return f"{type(self).__module__}.{type(self).__qualname__}({params})"
+
     def __call__(self, values_a: Sequence[str], values_b: Sequence[str]) -> float:
         return self.evaluate(values_a, values_b)
 

@@ -28,10 +28,19 @@ from repro.engine.executor import (
 from repro.engine.kernels import aggregate_scores, threshold_scores
 from repro.engine.lru import CacheStats, LRUCache
 from repro.engine.session import EngineSession, EngineStats, PairContext
+from repro.engine.store import (
+    CACHE_ENV,
+    ColumnStore,
+    StoreStats,
+    resolve_store,
+)
 from repro.engine.values import evaluate_value_op
 
 __all__ = [
+    "CACHE_ENV",
     "CacheStats",
+    "ColumnStore",
+    "StoreStats",
     "CompiledAggregation",
     "CompiledComparison",
     "CompiledPlan",
@@ -52,4 +61,5 @@ __all__ = [
     "threshold_scores",
     "evaluate_value_op",
     "resolve_executor",
+    "resolve_store",
 ]

@@ -17,8 +17,9 @@ import numpy as np
 
 from repro.data.entity import Entity
 from repro.distances.registry import DistanceRegistry
-from repro.engine.compiler import ComparisonOp
+from repro.engine.compiler import ComparisonOp, signature_token
 from repro.engine.lru import LRUCache
+from repro.engine.store import ColumnStore, column_key, pairs_fingerprint
 from repro.engine.values import evaluate_value_op
 from repro.transforms.registry import TransformationRegistry
 
@@ -64,6 +65,7 @@ class PairStore:
         transforms: TransformationRegistry,
         value_cache: LRUCache,
         column_cache: LRUCache,
+        persistent_store: ColumnStore | None = None,
     ):
         self._pairs = list(pairs)
         self._store_id = store_id
@@ -71,6 +73,10 @@ class PairStore:
         self._transforms = transforms
         self._value_cache = value_cache
         self._column_cache = column_cache
+        self._persistent_store = persistent_store
+        #: Content fingerprint of the pair list, computed on first
+        #: persistent lookup (hashing is wasted work without a store).
+        self._pairs_fingerprint: str | None = None
         self._entities_a, index_a = _index_side(self._pairs, 0)
         self._entities_b, index_b = _index_side(self._pairs, 1)
         self._pair_index = list(zip(index_a, index_b))
@@ -128,9 +134,25 @@ class PairStore:
         cached = self._column_cache.get(key)
         if cached is not None:
             return cached
+        measure = self._distances.get(op.metric)
+        # Fourth tier: the persistent cross-run store. Keys are pure
+        # content hashes (pair-list fingerprint × threshold-free op
+        # signature × measure identity), so a warm run over unchanged
+        # sources loads the exact bytes an earlier run computed —
+        # bit-identical scores — while a changed entity *or* a
+        # reconfigured measure behind the same metric name changes the
+        # key and misses cleanly.
+        persistent = self._persistent_store
+        persistent_key: str | None = None
+        if persistent is not None:
+            op_token = f"{signature_token(op.sig)}|{measure.cache_token()}"
+            persistent_key = column_key(self._persist_fingerprint(), op_token)
+            loaded = persistent.load(persistent_key, len(self._pairs))
+            if loaded is not None:
+                self._column_cache.put(key, loaded)
+                return loaded
         values_a = self.value_column(op.source_sig, op.source, "a")
         values_b = self.value_column(op.target_sig, op.target, "b")
-        measure = self._distances.get(op.metric)
         columns_a = [values_a[index_a] for index_a, _ in self._pair_index]
         columns_b = [values_b[index_b] for _, index_b in self._pair_index]
         out = measure.evaluate_column(columns_a, columns_b)
@@ -140,5 +162,19 @@ class PairStore:
                 f"shape {out.shape}, dtype {out.dtype}"
             )
         out.setflags(write=False)
+        if persistent is not None and persistent_key is not None:
+            persistent.save(
+                persistent_key,
+                out,
+                meta={"metric": op.metric, "op": signature_token(op.sig)},
+            )
         self._column_cache.put(key, out)
         return out
+
+    def _persist_fingerprint(self) -> str:
+        """Content fingerprint of this store's pair list (lazy)."""
+        fingerprint = self._pairs_fingerprint
+        if fingerprint is None:
+            fingerprint = pairs_fingerprint(self._pairs)
+            self._pairs_fingerprint = fingerprint
+        return fingerprint

@@ -47,6 +47,19 @@ ValueSignature = Hashable
 ComparisonSignature = Hashable
 
 
+def signature_token(sig: Hashable) -> str:
+    """A deterministic text form of a structural signature.
+
+    Signatures are nested tuples of strings built by
+    :class:`RuleCompiler`, so their ``repr`` is stable across processes
+    and Python runs (no id()s, no hash randomisation) — exactly what a
+    *persistent* cache key needs. The in-memory tiers keep keying on
+    the tuples themselves; only the on-disk column store pays for the
+    string form.
+    """
+    return repr(sig)
+
+
 @dataclass(frozen=True)
 class ComparisonOp:
     """A unique (metric, source, target) distance computation."""

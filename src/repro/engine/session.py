@@ -13,7 +13,11 @@ pair lists:
   within a context;
 * **score tier** (keyed per context): thresholded score vectors per
   (comparison op, threshold), matching the seed evaluator's comparison
-  cache granularity.
+  cache granularity;
+* **persistent tier** (optional, content-keyed): an on-disk
+  :class:`~repro.engine.store.ColumnStore` below the column tier that
+  lets *separate runs* over unchanged sources reuse distance columns
+  (``store=`` or the ``REPRO_ENGINE_CACHE`` environment variable).
 
 ``context()`` creates a context; :meth:`PairContext.scores` evaluates
 one rule, :meth:`PairContext.population_scores` evaluates a whole GP
@@ -45,6 +49,7 @@ from repro.engine.compiler import (
 from repro.engine.executor import Executor, resolve_executor
 from repro.engine.kernels import aggregate_scores, threshold_scores
 from repro.engine.lru import CacheStats, LRUCache
+from repro.engine.store import ColumnStore, StoreStats, resolve_store
 from repro.transforms.registry import TransformationRegistry
 from repro.transforms.registry import default_registry as default_transforms
 
@@ -63,6 +68,11 @@ class EngineStats:
     generations: int = 0
     #: Reuse record of the most recently compiled population, if any.
     last_generation: GenerationDiff | None = None
+    #: Persistent-tier counters (None when no column store is
+    #: configured). Kept separate from the in-memory tiers so
+    #: consumers — CI assertions, docs — can tell a cross-run store
+    #: hit from an in-memory value/column hit unambiguously.
+    store: StoreStats | None = None
 
     @property
     def last_comparison_reuse(self) -> float | None:
@@ -86,6 +96,7 @@ class EngineSession:
         max_column_entries: int = 30_000,
         max_score_entries: int = 30_000,
         executor: Executor | int | str | None = None,
+        store: "ColumnStore | str | None" = None,
     ):
         """``executor`` selects the parallel execution strategy for
         independent work within this session (distance columns of one
@@ -93,7 +104,14 @@ class EngineSession:
         (default serial); an int selects a thread pool of that size;
         see :func:`repro.engine.executor.resolve_executor` for the full
         spec grammar. Results are byte-identical for every setting —
-        only wall-clock and cache statistics change."""
+        only wall-clock and cache statistics change.
+
+        ``store`` enables the persistent distance-column tier: a
+        :class:`~repro.engine.store.ColumnStore`, a cache-directory
+        path, or ``None`` to consult ``REPRO_ENGINE_CACHE`` (absent or
+        empty: no persistent tier; pass ``""`` to force it off). The
+        store is below the in-memory tiers and equally
+        result-invisible — only cold-start cost and statistics change."""
         self._distances = distances if distances is not None else default_distances()
         self._transforms = (
             transforms if transforms is not None else default_transforms()
@@ -103,6 +121,7 @@ class EngineSession:
         self._column_cache = LRUCache(max_column_entries)
         self._score_cache = LRUCache(max_score_entries)
         self._executor = resolve_executor(executor)
+        self._store = resolve_store(store)
         self._next_context_id = 0
         self._context_id_lock = threading.Lock()
 
@@ -118,6 +137,11 @@ class EngineSession:
     def executor(self) -> Executor:
         """The execution strategy for this session's parallel work."""
         return self._executor
+
+    @property
+    def store(self) -> ColumnStore | None:
+        """The persistent column store, or None when disabled."""
+        return self._store
 
     # -- compilation ----------------------------------------------------------
     def compile(self, root: SimilarityNode) -> CompiledSimilarity:
@@ -146,6 +170,7 @@ class EngineSession:
             transforms=self._transforms,
             value_cache=self._value_cache,
             column_cache=self._column_cache,
+            persistent_store=self._store,
         )
         return PairContext(self, store, context_id)
 
@@ -180,7 +205,9 @@ class EngineSession:
 
     def clear_caches(self) -> None:
         """Drop all cached values, columns and scores (the compiler's
-        interned ops are kept — they are tiny and never stale)."""
+        interned ops are kept — they are tiny and never stale; the
+        persistent store is untouched — surviving process boundaries is
+        its purpose, use :meth:`ColumnStore.clear` to invalidate it)."""
         self._value_cache.clear()
         self._column_cache.clear()
         self._score_cache.clear()
@@ -195,6 +222,7 @@ class EngineSession:
             comparison_ops=self._compiler.comparison_op_count,
             generations=len(diffs),
             last_generation=diffs[-1] if diffs else None,
+            store=self._store.stats() if self._store is not None else None,
         )
 
     def generation_diffs(self) -> "tuple[GenerationDiff, ...]":

@@ -1,0 +1,463 @@
+"""Persistent on-disk distance-column store.
+
+:class:`ColumnStore` is the engine's fourth, cross-run cache tier: it
+persists threshold-free distance columns as ``.npy`` blobs (loaded back
+memory-mapped) below the in-memory LRU tiers of an
+:class:`~repro.engine.session.EngineSession`. The in-memory tiers make
+reuse cheap *within* a process; the store makes it cheap *across*
+processes — a warm rerun of link generation or a Table-reproduction
+experiment over unchanged sources skips the distance pass entirely and
+produces byte-identical results (float64 round-trips through the npy
+format bit-exactly).
+
+Keying
+------
+A column is identified by a SHA-256 over two content tokens:
+
+* the **pair-list fingerprint** — a hash chain over the content
+  fingerprints (:meth:`repro.data.entity.Entity.fingerprint`) of every
+  pair, in order. Any change to any entity's properties, to the pair
+  set or to its order changes the fingerprint, so stale columns can
+  never be served for modified sources — invalidation is automatic and
+  needs no manifest bookkeeping;
+* the **comparison-op token** — the compiler's threshold-free
+  structural signature (:func:`repro.engine.compiler.signature_token`),
+  so every threshold and weight mutation over the same
+  ``(metric, source, target)`` shares one persisted column.
+
+Layout on disk
+--------------
+::
+
+    <root>/columns-v1/<key[:2]>/<key>.npy    # float64 column blob
+    <root>/columns-v1/<key[:2]>/<key>.json   # metadata sidecar
+
+Blobs are written to a temp file in the destination directory and
+published with ``os.replace``, so readers — including concurrent
+writer processes under a process-pool executor — never observe a
+partial file; racing writers produce identical bytes and the last
+rename wins. Corrupt or truncated blobs (killed writer mid-``os.replace``
+on a non-atomic filesystem, disk faults) are detected on load, counted
+as ``invalid``, deleted and rebuilt — never a crash.
+
+The store never raises for storage faults: a failed load is a miss and
+a failed save is skipped, so a read-only or full cache directory
+degrades to cold-cache behaviour.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+#: Environment variable selecting the cache directory when no store is
+#: configured explicitly (absent or empty means "no persistent tier").
+CACHE_ENV = "REPRO_ENGINE_CACHE"
+
+#: Bumped whenever the blob format or key derivation changes; old
+#: versions keep their own subdirectory and are simply ignored.
+STORE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """A point-in-time snapshot of one store's counters."""
+
+    hits: int
+    misses: int
+    #: Columns persisted by this process (one per store-level miss that
+    #: was subsequently built and written back).
+    writes: int
+    #: Corrupt/mismatched blobs dropped on load (each also counts as a
+    #: miss: the caller rebuilds the column).
+    invalid: int
+    bytes_read: int
+    bytes_written: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup; 0.0 before the first lookup."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def delta(self, baseline: "StoreStats | None") -> "StoreStats":
+        """Counters accumulated since ``baseline`` (an earlier snapshot
+        of the same store; every field is a monotonic counter).
+        ``baseline=None`` means the delta is the full history."""
+        if baseline is None:
+            return self
+        return StoreStats(
+            hits=self.hits - baseline.hits,
+            misses=self.misses - baseline.misses,
+            writes=self.writes - baseline.writes,
+            invalid=self.invalid - baseline.invalid,
+            bytes_read=self.bytes_read - baseline.bytes_read,
+            bytes_written=self.bytes_written - baseline.bytes_written,
+        )
+
+    @staticmethod
+    def merged(snapshots: Sequence["StoreStats"]) -> "StoreStats | None":
+        """Sum per-worker snapshots into one fleet-wide view."""
+        if not snapshots:
+            return None
+        return StoreStats(
+            hits=sum(s.hits for s in snapshots),
+            misses=sum(s.misses for s in snapshots),
+            writes=sum(s.writes for s in snapshots),
+            invalid=sum(s.invalid for s in snapshots),
+            bytes_read=sum(s.bytes_read for s in snapshots),
+            bytes_written=sum(s.bytes_written for s in snapshots),
+        )
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One persisted column, as seen by maintenance commands."""
+
+    key: str
+    path: Path
+    nbytes: int
+    #: Last use (mtime; renewed on every hit so GC evicts cold entries).
+    last_used: float
+
+
+@dataclass(frozen=True)
+class GCResult:
+    """Outcome of one :meth:`ColumnStore.gc` sweep."""
+
+    removed: int
+    freed_bytes: int
+    kept: int
+    kept_bytes: int
+
+
+def column_key(pairs_fingerprint: str, op_token: str) -> str:
+    """The store key of one (pair list, comparison op) column."""
+    payload = f"{pairs_fingerprint}\x1f{op_token}".encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def pairs_fingerprint(pairs: Sequence[tuple]) -> str:
+    """Content fingerprint of an ordered entity-pair list.
+
+    Hashes each pair's entity content fingerprints in order — columns
+    are positional, so order is part of the identity.
+    """
+    digest = hashlib.sha256()
+    for entity_a, entity_b in pairs:
+        digest.update(entity_a.fingerprint().encode("ascii"))
+        digest.update(b"\x1f")
+        digest.update(entity_b.fingerprint().encode("ascii"))
+        digest.update(b"\x1e")
+    return digest.hexdigest()
+
+
+class ColumnStore:
+    """An on-disk, content-keyed store of float64 distance columns.
+
+    Thread-safe (counters under one lock; the filesystem operations are
+    atomic-rename publications) and safe for concurrent processes
+    sharing one cache directory. ``mmap=False`` loads blobs into memory
+    instead of memory-mapping them — useful when the cache directory
+    lives on a filesystem with poor mmap behaviour.
+    """
+
+    def __init__(self, root: str | os.PathLike, mmap: bool = True):
+        self._root = Path(root).expanduser()
+        self._columns_dir = self._root / f"columns-v{STORE_FORMAT_VERSION}"
+        self._mmap = mmap
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._writes = 0
+        self._invalid = 0
+        self._bytes_read = 0
+        self._bytes_written = 0
+
+    @property
+    def root(self) -> Path:
+        """The cache directory this store persists under."""
+        return self._root
+
+    def _column_path(self, key: str) -> Path:
+        return self._columns_dir / key[:2] / f"{key}.npy"
+
+    # -- load / save ----------------------------------------------------------
+    def load(self, key: str, rows: int) -> np.ndarray | None:
+        """The persisted column for ``key``, or None on a miss.
+
+        A hit returns a read-only array of exactly ``rows`` float64
+        values (memory-mapped by default) and renews the blob's mtime
+        for GC recency. Anything unreadable — missing, truncated,
+        malformed, wrong shape or dtype — is a miss; corrupt blobs are
+        additionally deleted so the rebuilt column can replace them.
+        """
+        path = self._column_path(key)
+        try:
+            if self._mmap:
+                column = np.load(path, mmap_mode="r", allow_pickle=False)
+            else:
+                column = np.load(path, allow_pickle=False)
+        except FileNotFoundError:
+            with self._lock:
+                self._misses += 1
+            return None
+        except (ValueError, OSError, EOFError):
+            # Unreadable header or truncated data: drop the blob and
+            # report a miss so the caller rebuilds (and re-persists) it.
+            self._discard_corrupt(path)
+            return None
+        if column.shape != (rows,) or column.dtype != np.float64:
+            # Key collision cannot produce this (keys hash the pair
+            # list), so a shape/dtype mismatch means a damaged or
+            # foreign file squatting on the key: treat as corruption.
+            del column
+            self._discard_corrupt(path)
+            return None
+        if self._mmap:
+            # Force the data pages through validation: a blob truncated
+            # *after* a well-formed header would otherwise fault later,
+            # inside a kernel. Reading also warms the page cache.
+            try:
+                checksum = float(np.sum(column))
+            except (ValueError, OSError):
+                del column
+                self._discard_corrupt(path)
+                return None
+            del checksum
+        else:
+            column.setflags(write=False)
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
+        with self._lock:
+            self._hits += 1
+            self._bytes_read += column.nbytes
+        return column
+
+    def save(
+        self,
+        key: str,
+        column: np.ndarray,
+        meta: Mapping[str, object] | None = None,
+    ) -> bool:
+        """Persist a column under ``key`` (atomic; returns success).
+
+        Concurrent writers are safe: every writer publishes a complete
+        temp file via ``os.replace`` and all writers for one key write
+        identical bytes (the computation is deterministic), so the last
+        rename wins without a lock. Storage failures return False —
+        the engine then simply keeps the column in memory only.
+        """
+        path = self._column_path(key)
+        column = np.ascontiguousarray(column, dtype=np.float64)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".npy"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    np.save(handle, column)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self._write_sidecar(path, column, meta)
+        except OSError:
+            return False
+        with self._lock:
+            self._writes += 1
+            self._bytes_written += column.nbytes
+        return True
+
+    def _write_sidecar(
+        self,
+        column_path: Path,
+        column: np.ndarray,
+        meta: Mapping[str, object] | None,
+    ) -> None:
+        """Best-effort metadata sidecar (introspection only — loading
+        never consults it, so a missing/partial sidecar is harmless)."""
+        payload = {
+            "rows": int(column.shape[0]),
+            "nbytes": int(column.nbytes),
+            "created": time.time(),
+            "format_version": STORE_FORMAT_VERSION,
+        }
+        if meta:
+            payload.update({str(k): v for k, v in meta.items()})
+        sidecar = column_path.with_suffix(".json")
+        try:
+            fd, tmp = tempfile.mkstemp(
+                dir=column_path.parent, prefix=".tmp-", suffix=".json"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, default=str)
+            os.replace(tmp, sidecar)
+        except OSError:
+            pass
+
+    def _discard_corrupt(self, path: Path) -> None:
+        for doomed in (path, path.with_suffix(".json")):
+            try:
+                os.unlink(doomed)
+            except OSError:
+                pass
+        with self._lock:
+            self._invalid += 1
+            self._misses += 1
+
+    # -- maintenance ----------------------------------------------------------
+    def entries(self) -> Iterator[StoreEntry]:
+        """All persisted columns, unordered."""
+        if not self._columns_dir.is_dir():
+            return
+        for path in sorted(self._columns_dir.glob("*/*.npy")):
+            if path.name.startswith(".tmp-"):
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            yield StoreEntry(
+                key=path.stem,
+                path=path,
+                nbytes=stat.st_size,
+                last_used=stat.st_mtime,
+            )
+
+    def describe(self) -> dict:
+        """Totals for ``cache info``: entry count and byte footprint."""
+        count = 0
+        total = 0
+        for entry in self.entries():
+            count += 1
+            total += entry.nbytes
+        return {
+            "path": str(self._root),
+            "entries": count,
+            "bytes": total,
+        }
+
+    def gc(
+        self,
+        max_age_days: float | None = None,
+        max_bytes: int | None = None,
+    ) -> GCResult:
+        """Evict cold columns by age and/or total size.
+
+        ``max_age_days`` removes entries not used (loaded or written)
+        within that window; ``max_bytes`` then removes
+        least-recently-used entries until the store fits. With neither
+        bound this is a no-op report.
+        """
+        entries = sorted(self.entries(), key=lambda e: e.last_used)
+        removed = 0
+        freed = 0
+        kept: list[StoreEntry] = []
+        now = time.time()
+        cutoff = (
+            now - max_age_days * 86400.0 if max_age_days is not None else None
+        )
+        for entry in entries:
+            if cutoff is not None and entry.last_used < cutoff:
+                if self._remove_entry(entry):
+                    removed += 1
+                    freed += entry.nbytes
+                    continue
+            kept.append(entry)
+        if max_bytes is not None:
+            kept_bytes = sum(e.nbytes for e in kept)
+            survivors: list[StoreEntry] = []
+            for entry in kept:
+                if kept_bytes > max_bytes:
+                    if self._remove_entry(entry):
+                        removed += 1
+                        freed += entry.nbytes
+                        kept_bytes -= entry.nbytes
+                        continue
+                survivors.append(entry)
+            kept = survivors
+        return GCResult(
+            removed=removed,
+            freed_bytes=freed,
+            kept=len(kept),
+            kept_bytes=sum(e.nbytes for e in kept),
+        )
+
+    def clear(self) -> int:
+        """Remove every persisted column; returns the number removed."""
+        removed = 0
+        for entry in list(self.entries()):
+            if self._remove_entry(entry):
+                removed += 1
+        return removed
+
+    def _remove_entry(self, entry: StoreEntry) -> bool:
+        ok = False
+        try:
+            os.unlink(entry.path)
+            ok = True
+        except OSError:
+            pass
+        try:
+            os.unlink(entry.path.with_suffix(".json"))
+        except OSError:
+            pass
+        return ok
+
+    # -- statistics -----------------------------------------------------------
+    def stats(self) -> StoreStats:
+        with self._lock:
+            return StoreStats(
+                hits=self._hits,
+                misses=self._misses,
+                writes=self._writes,
+                invalid=self._invalid,
+                bytes_read=self._bytes_read,
+                bytes_written=self._bytes_written,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ColumnStore({str(self._root)!r})"
+
+
+def resolve_store(
+    store: "ColumnStore | str | os.PathLike | None" = None,
+) -> ColumnStore | None:
+    """Resolve a cache-dir argument to a :class:`ColumnStore` or None.
+
+    ``None`` consults the ``REPRO_ENGINE_CACHE`` environment variable
+    (absent or empty means no persistent tier); an empty string
+    explicitly disables the tier; any other string/path opens a store
+    rooted there; a store instance passes through unchanged.
+    """
+    if store is None:
+        store = os.environ.get(CACHE_ENV, "")
+    if isinstance(store, ColumnStore):
+        return store
+    if isinstance(store, (str, os.PathLike)):
+        text = os.fspath(store)
+        return ColumnStore(text) if text else None
+    raise TypeError(
+        f"store must be a ColumnStore, path, str or None, "
+        f"not {type(store).__name__}"
+    )

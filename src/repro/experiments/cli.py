@@ -17,6 +17,7 @@ import sys
 
 from repro.datasets import DATASET_NAMES
 from repro.engine.executor import WORKERS_ENV, parse_workers_spec
+from repro.engine.store import CACHE_ENV, ColumnStore
 from repro.experiments import drivers
 from repro.experiments.scale import current_scale
 from repro.experiments.tables import format_table
@@ -178,6 +179,38 @@ def _learn_rule(args: argparse.Namespace) -> None:
         print(silk_config([interlink]))
 
 
+def _cache_maintenance(args: argparse.Namespace) -> None:
+    """``cache info | gc | clear`` over the persistent column store."""
+    path = os.environ.get(CACHE_ENV, "")
+    if not path:
+        print(
+            f"no cache directory configured: pass --cache-dir or set "
+            f"{CACHE_ENV}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    store = ColumnStore(path)
+    if args.action == "info":
+        info = store.describe()
+        print(f"cache directory : {info['path']}")
+        print(f"columns         : {info['entries']}")
+        print(f"bytes           : {info['bytes']}")
+    elif args.action == "gc":
+        result = store.gc(
+            max_age_days=args.max_age_days, max_bytes=args.max_bytes
+        )
+        print(
+            f"removed {result.removed} column(s), freed "
+            f"{result.freed_bytes} bytes; {result.kept} column(s) "
+            f"({result.kept_bytes} bytes) kept"
+        )
+    elif args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} column(s)")
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown cache action {args.action!r}")
+
+
 def _print_crossover(args: argparse.Namespace) -> None:
     comparisons = drivers.crossover_comparison(tuple(args.datasets), seed=args.seed)
     for iteration_index in range(2):
@@ -220,6 +253,15 @@ def main(argv: list[str] | None = None) -> int:
         "identical for every setting (default: the "
         f"{WORKERS_ENV} environment variable)",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="persistent distance-column store: repeated runs over the "
+        "same sources load cached columns instead of rebuilding them "
+        "(results are byte-identical either way; default: the "
+        f"{CACHE_ENV} environment variable)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("datasets", help="Tables 5 & 6")
@@ -255,6 +297,26 @@ def main(argv: list[str] | None = None) -> int:
         "--silk", action="store_true", help="print a Silk-LSL configuration"
     )
 
+    cache = subparsers.add_parser(
+        "cache",
+        help="inspect / garbage-collect / clear the persistent "
+        "distance-column store",
+    )
+    cache.add_argument("action", choices=("info", "gc", "clear"))
+    cache.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="gc: drop columns not used within this many days",
+    )
+    cache.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="gc: drop least-recently-used columns until the store "
+        "fits this byte budget",
+    )
+
     args = parser.parse_args(argv)
     if args.workers is not None:
         # Validate eagerly for a clean CLI error, then hand the spec to
@@ -264,10 +326,20 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as error:
             parser.error(str(error))
         os.environ[WORKERS_ENV] = args.workers
+    if args.cache_dir is not None:
+        # Hand the cache dir to every engine session created below (and
+        # to process-pool workers, which inherit the environment).
+        os.environ[CACHE_ENV] = args.cache_dir
+    if args.command == "cache":
+        _cache_maintenance(args)
+        return 0
     print(f"[scale: {current_scale().name}]")
     workers_spec = os.environ.get(WORKERS_ENV, "")
     if workers_spec:
         print(f"[workers: {workers_spec}]")
+    cache_spec = os.environ.get(CACHE_ENV, "")
+    if cache_spec:
+        print(f"[cache: {cache_spec}]")
     handlers = {
         "datasets": _print_dataset_statistics,
         "curve": _print_learning_curve,

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterator
 
 import numpy as np
 
@@ -33,7 +33,8 @@ from repro.data.entity import Entity
 from repro.data.source import DataSource
 from repro.engine.executor import Executor, resolve_executor, window_batches
 from repro.engine.lru import CacheStats
-from repro.engine.session import EngineSession
+from repro.engine.session import EngineSession, EngineStats
+from repro.engine.store import ColumnStore, StoreStats
 from repro.matching.blocking import Blocker, FullIndexBlocker, RuleBlocker
 
 
@@ -52,56 +53,69 @@ class GeneratedLink:
 @dataclass(frozen=True)
 class MatchStats:
     """Execution statistics of one :meth:`MatchingEngine.iter_links`
-    run (available after the iterator is exhausted)."""
+    run (available after the iterator is exhausted).
+
+    The four cache tiers are reported separately — in-memory values /
+    columns / scores plus the persistent column store — so consumers
+    (CI assertions, docs, tuning scripts) can tell a cross-run store
+    hit from an in-memory hit unambiguously. Counters are **per run**:
+    sessions (and process-pool worker sessions) outlive individual
+    runs, so the engine snapshots their statistics at run start and
+    reports the delta — a warm rerun on a shared session really shows
+    ``store.misses == 0``, not the cold run's misses folded in.
+    ``size``/``capacity`` remain point-in-time gauges. On serial/thread
+    runs the snapshots come from the shared session; on process runs
+    they are the per-worker snapshots merged (each worker owns a
+    private session).
+    """
 
     batches: int
     pairs: int
     links: int
-    #: Value-tier cache statistics: the shared session's snapshot on
-    #: serial/thread runs, or the per-worker snapshots summed on
-    #: process runs (each worker process owns a private session).
-    value_stats: CacheStats | None
+    values: CacheStats | None
+    columns: CacheStats | None
+    scores: CacheStats | None
+    #: Persistent-tier counters; None when no cache dir is configured.
+    store: StoreStats | None
+
+    @property
+    def value_stats(self) -> CacheStats | None:
+        """Backward-compatible alias for the value tier."""
+        return self.values
 
 
 #: One engine session per worker process, lazily created and reused
 #: across shards so a worker's transformed-value cache persists for the
 #: whole execution (the process-pool analogue of the shared session).
 _WORKER_SESSION: EngineSession | None = None
+#: Cache-dir spec the worker session was created with; a different
+#: spec (engine reconfigured between runs) recreates the session.
+_WORKER_CACHE_DIR: str | None = None
 
 
 def _shard_scores(
-    payload: tuple[SimilarityNode, list[tuple[Entity, Entity]]],
-) -> tuple[int, np.ndarray, CacheStats]:
+    payload: tuple[SimilarityNode, list[tuple[Entity, Entity]], str | None],
+) -> tuple[int, np.ndarray, EngineStats]:
     """Score one candidate-pair shard inside a worker process.
 
     Module-level so process pools can pickle it. The worker session is
     explicitly serial — nesting a thread pool per worker process would
-    oversubscribe the machine without changing any result.
+    oversubscribe the machine without changing any result. The payload
+    carries the persistent cache dir (None = consult the environment):
+    worker processes share the same on-disk store as the parent —
+    atomic-rename writes make concurrent writers safe.
     """
-    global _WORKER_SESSION
-    root, pairs = payload
-    if _WORKER_SESSION is None:
-        _WORKER_SESSION = EngineSession(executor=0)
+    global _WORKER_SESSION, _WORKER_CACHE_DIR
+    root, pairs, cache_dir = payload
+    if _WORKER_SESSION is None or _WORKER_CACHE_DIR != cache_dir:
+        _WORKER_SESSION = EngineSession(executor=0, store=cache_dir)
+        _WORKER_CACHE_DIR = cache_dir
     context = _WORKER_SESSION.context(pairs)
     try:
         scores = context.scores(root)
     finally:
         _WORKER_SESSION.release_context(context)
-    return os.getpid(), scores, _WORKER_SESSION.stats().values
-
-
-def _sum_cache_stats(snapshots: Sequence[CacheStats]) -> CacheStats | None:
-    """Merge per-worker cache snapshots by summation (capacities too:
-    the merged view describes the fleet, not one worker)."""
-    if not snapshots:
-        return None
-    return CacheStats(
-        hits=sum(s.hits for s in snapshots),
-        misses=sum(s.misses for s in snapshots),
-        evictions=sum(s.evictions for s in snapshots),
-        size=sum(s.size for s in snapshots),
-        capacity=sum(s.capacity for s in snapshots),
-    )
+    return os.getpid(), scores, _WORKER_SESSION.stats()
 
 
 class MatchingEngine:
@@ -114,6 +128,7 @@ class MatchingEngine:
         threshold: float = MATCH_THRESHOLD,
         session: EngineSession | None = None,
         workers: Executor | int | str | None = None,
+        cache_dir: "ColumnStore | str | None" = None,
     ):
         """``blocker=None`` selects rule-aware blocking per executed
         rule, falling back to the full index for rules without
@@ -125,7 +140,16 @@ class MatchingEngine:
         :func:`repro.engine.executor.resolve_executor`); ``None``
         consults ``REPRO_ENGINE_WORKERS``. A process-pool executor
         requires the default registries (worker processes build their
-        own sessions) and therefore rejects an explicit ``session``."""
+        own sessions) and therefore rejects an explicit ``session``.
+
+        ``cache_dir`` enables the persistent distance-column store for
+        the sessions this engine creates (a path, a
+        :class:`~repro.engine.store.ColumnStore`, or ``None`` to
+        consult ``REPRO_ENGINE_CACHE``; ``""`` forces it off). A warm
+        rerun over unchanged sources then loads every distance column
+        from disk instead of rebuilding it — links are byte-identical
+        either way. An explicit ``session`` owns its own store and
+        rejects ``cache_dir``."""
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self._blocker = blocker
@@ -138,7 +162,17 @@ class MatchingEngine:
                 "process-pool sharding cannot share an in-process engine "
                 "session; drop the session= argument or use thread workers"
             )
+        if session is not None and cache_dir is not None:
+            raise ValueError(
+                "the persistent store is owned by the session; configure "
+                "store= on EngineSession instead of cache_dir="
+            )
+        self._cache_dir = cache_dir
         self._last_stats: MatchStats | None = None
+        #: Per-worker-process snapshots at the end of the previous run,
+        #: keyed by pid — worker sessions persist across the runs of
+        #: one engine, so per-run stats are deltas against these.
+        self._worker_baselines: dict[int, EngineStats] = {}
 
     @property
     def executor(self) -> Executor:
@@ -197,20 +231,32 @@ class MatchingEngine:
         """
         blocker = self._resolve_blocker(rule)
         executor = self._executor
-        session = self._session if self._session is not None else EngineSession()
+        session: EngineSession | None = None
+        baseline: EngineStats | None = None
+        if executor.kind != "process":
+            # Process pools score in per-worker sessions; building a
+            # parent session there would be pure dead weight.
+            session = (
+                self._session
+                if self._session is not None
+                else EngineSession(store=self._cache_dir)
+            )
+            baseline = session.stats()
         window = max(1, executor.workers)
         batches = pairs = links = 0
-        worker_values: dict[int, CacheStats] = {}
+        worker_stats: dict[int, EngineStats] = {}
+        shard_cache_dir = self._shard_cache_dir()
         for group in window_batches(
             self._iter_batches(blocker, source_a, source_b), window
         ):
             if executor.kind == "process":
                 results = executor.map(
-                    _shard_scores, [(rule.root, batch) for batch in group]
+                    _shard_scores,
+                    [(rule.root, batch, shard_cache_dir) for batch in group],
                 )
                 score_vectors = []
-                for pid, scores, value_stats in results:
-                    worker_values[pid] = value_stats
+                for pid, scores, engine_stats in results:
+                    worker_stats[pid] = engine_stats
                     score_vectors.append(scores)
             else:
                 score_vectors = executor.map(
@@ -230,12 +276,54 @@ class MatchingEngine:
                             entity_a.uid, entity_b.uid, float(score)
                         )
         if executor.kind == "process":
-            value_stats = _sum_cache_stats(list(worker_values.values()))
+            deltas = [
+                (snapshot, self._worker_baselines.get(pid))
+                for pid, snapshot in worker_stats.items()
+            ]
+            values = CacheStats.merged(
+                [s.values.delta(b.values if b else None) for s, b in deltas]
+            )
+            columns = CacheStats.merged(
+                [s.columns.delta(b.columns if b else None) for s, b in deltas]
+            )
+            scores_stats = CacheStats.merged(
+                [s.scores.delta(b.scores if b else None) for s, b in deltas]
+            )
+            store_stats = StoreStats.merged(
+                [
+                    s.store.delta(b.store if b is not None else None)
+                    for s, b in deltas
+                    if s.store is not None
+                ]
+            )
+            self._worker_baselines.update(worker_stats)
         else:
-            value_stats = session.stats().values
+            stats = session.stats()
+            values = stats.values.delta(baseline.values)
+            columns = stats.columns.delta(baseline.columns)
+            scores_stats = stats.scores.delta(baseline.scores)
+            store_stats = (
+                stats.store.delta(baseline.store)
+                if stats.store is not None
+                else None
+            )
         self._last_stats = MatchStats(
-            batches=batches, pairs=pairs, links=links, value_stats=value_stats
+            batches=batches,
+            pairs=pairs,
+            links=links,
+            values=values,
+            columns=columns,
+            scores=scores_stats,
+            store=store_stats,
         )
+
+    def _shard_cache_dir(self) -> str | None:
+        """The cache-dir spec shipped to process-pool shard workers
+        (workers resolve their own store; None = consult the
+        environment, as the parent would)."""
+        if isinstance(self._cache_dir, ColumnStore):
+            return str(self._cache_dir.root)
+        return self._cache_dir
 
     def _iter_batches(
         self,
@@ -276,9 +364,10 @@ def generate_links(
     source_b: DataSource,
     blocker: Blocker | None = None,
     workers: Executor | int | str | None = None,
+    cache_dir: "ColumnStore | str | None" = None,
 ) -> list[GeneratedLink]:
     """Convenience wrapper around :class:`MatchingEngine`."""
-    engine = MatchingEngine(blocker=blocker, workers=workers)
+    engine = MatchingEngine(blocker=blocker, workers=workers, cache_dir=cache_dir)
     try:
         return engine.execute(rule, source_a, source_b)
     finally:
