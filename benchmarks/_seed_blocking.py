@@ -1,0 +1,94 @@
+"""Frozen per-entity blocking baseline (pre-vectorization).
+
+Verbatim copies of the index-construction paths that
+``repro.matching.blocking.TokenBlocker`` and
+``repro.matching.multiblock.build_comparison_index`` shipped before the
+blocking front-end was vectorized: tokenisation/key extraction runs
+once per *entity occurrence* (no distinct-value memoisation, no bulk
+dict assembly, no executor fan-out). ``bench_micro_engine.py`` measures
+the live implementations against these, and asserts the candidate
+sets stay identical — the speedup must never buy a different result.
+
+Do not "improve" this module; its value is being frozen.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.data.entity import Entity
+from repro.data.source import DataSource
+
+_TOKEN_RE = re.compile(r"[^\W_]+", re.UNICODE)
+
+
+def _tokens_of(entity: Entity, properties: Iterable[str]) -> set[str]:
+    tokens: set[str] = set()
+    for name in properties:
+        for value in entity.values(name):
+            tokens.update(t.lower() for t in _TOKEN_RE.findall(value))
+    return tokens
+
+
+def seed_token_index(
+    source_b: DataSource, properties_b: list[str]
+) -> dict[str, list[Entity]]:
+    """The seed ``TokenBlocker.candidates`` index-construction loop."""
+    index: dict[str, list[Entity]] = {}
+    for entity_b in source_b:
+        for token in _tokens_of(entity_b, properties_b):
+            index.setdefault(token, []).append(entity_b)
+    return index
+
+
+class SeedTokenBlocker:
+    """The seed per-entity token blocker (index built per call)."""
+
+    def __init__(
+        self,
+        properties_a: Iterable[str],
+        properties_b: Iterable[str] | None = None,
+        max_block_size: int = 200,
+    ):
+        self._properties_a = list(properties_a)
+        self._properties_b = (
+            list(properties_b) if properties_b is not None else self._properties_a
+        )
+        self._max_block_size = max_block_size
+
+    def candidates(self, source_a, source_b):
+        index = seed_token_index(source_b, self._properties_b)
+        dedup = source_a is source_b
+        seen: set[tuple[str, str]] = set()
+        for entity_a in source_a:
+            for token in _tokens_of(entity_a, self._properties_a):
+                block = index.get(token)
+                if block is None or len(block) > self._max_block_size:
+                    continue
+                for entity_b in block:
+                    if dedup:
+                        if entity_a.uid >= entity_b.uid:
+                            continue
+                    elif entity_a.uid == entity_b.uid:
+                        continue
+                    key = (entity_a.uid, entity_b.uid)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield entity_a, entity_b
+
+
+def seed_comparison_blocks(comparison, source_b, indexer, entity_values) -> dict:
+    """The seed per-entity MultiBlock index-construction loop.
+
+    ``entity_values(node, entity)`` supplies transformed values (the
+    live path hands in the session value cache so both sides pay the
+    same transformation cost and the timing isolates index assembly).
+    """
+    blocks: dict = {}
+    for entity in source_b:
+        values = entity_values(comparison.target, entity)
+        for key in indexer.block_keys(values):
+            blocks.setdefault(key, set()).add(entity.uid)
+    return blocks

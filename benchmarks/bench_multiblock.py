@@ -2,11 +2,18 @@
 
 The paper executes rules through Silk's MultiBlock engine [19], whose
 promise is "no lost recall at a large reduction ratio". This bench
-measures exactly that trade-off on the synthetic evaluation datasets:
-pairs completeness (recall of the candidate set over the positive
-reference links) and reduction ratio (fraction of the Cartesian
-product pruned), for the full index, token blocking on all properties,
-and the rule-aware MultiBlock of :mod:`repro.matching.multiblock`.
+measures exactly that trade-off **across all bundled datasets**: pairs
+completeness (recall of the candidate set over the positive reference
+links) and reduction ratio (fraction of the Cartesian product pruned),
+for the full index, token blocking on all properties, and the
+rule-aware MultiBlock of :mod:`repro.matching.multiblock`.
+
+It is also the gate behind the engine's blocker default:
+``MatchingEngine`` resolves ``blocker=None`` to ``MultiBlocker``
+whenever :func:`repro.matching.multiblock.multiblock_supports` accepts
+the rule, and this bench asserts that on every dataset where that
+happens the MultiBlock execution generates exactly the full-index
+links.
 """
 
 from __future__ import annotations
@@ -15,15 +22,19 @@ import random
 
 from repro.core.genlink import GenLink, GenLinkConfig
 from repro.data.splits import train_validation_split
-from repro.datasets import load_dataset
+from repro.datasets import DATASET_NAMES, load_dataset
 from repro.experiments.scale import current_scale
 from repro.experiments.tables import format_table
 from repro.matching.blocking import FullIndexBlocker, TokenBlocker
-from repro.matching.multiblock import MultiBlocker, blocking_quality
+from repro.matching.multiblock import (
+    MultiBlocker,
+    blocking_quality,
+    multiblock_supports,
+)
 
 from benchmarks._util import emit, strict_assertions
 
-_DATASETS = ("restaurant", "linkedmdb", "nyt")
+_DATASETS = DATASET_NAMES
 
 
 def _quality_row(name: str, seed: int) -> dict:
@@ -64,7 +75,7 @@ def _quality_row(name: str, seed: int) -> dict:
     # links is reported for context but bounded by the rule itself —
     # positives whose compared properties are missing score 0 under
     # every blocker.)
-    from repro.matching.engine import MatchingEngine
+    from repro.matching.engine import MatchingEngine, default_blocker
 
     full_links = {
         link.as_pair()
@@ -83,6 +94,8 @@ def _quality_row(name: str, seed: int) -> dict:
         "qualities": qualities,
         "full_links": full_links,
         "multiblock_links": multiblock_links,
+        "auto_is_multiblock": isinstance(default_blocker(rule), MultiBlocker),
+        "supported": multiblock_supports(rule),
     }
 
 
@@ -132,6 +145,15 @@ def test_multiblock_blocking_quality(benchmark, results_dir):
             qualities["multiblock"].reduction_ratio
             >= qualities["full"].reduction_ratio
         )
+        # The default-blocker gate: wherever the structure check
+        # accepts a learned rule, auto resolution must pick MultiBlock
+        # — and the link-set equality above is exactly what makes that
+        # default safe.
+        assert row["auto_is_multiblock"] == row["supported"], row["dataset"]
     assert any(
         row["qualities"]["multiblock"].reduction_ratio > 0.5 for row in rows_data
     ), "MultiBlock should prune at least half the Cartesian product somewhere"
+    assert any(row["supported"] for row in rows_data), (
+        "auto selection should engage MultiBlock on at least one "
+        "bundled dataset's learned rule"
+    )

@@ -1,0 +1,85 @@
+"""Store-backed experiment drivers: warm-vs-cold wall clock.
+
+The Table-reproduction drivers route every run/seed through one shared
+persistent engine store (``cache_dir=`` on
+:func:`repro.experiments.drivers.learning_curve` /
+:func:`~repro.experiments.drivers.representation_comparison`, ambient
+``REPRO_ENGINE_CACHE``) instead of cold fresh sessions. This bench
+records the end-to-end delta a warm re-invocation buys on the
+``curve`` and ``representations`` experiments, and asserts that the
+warm results are identical to the cold ones — the store is a pure
+wall-clock optimisation.
+
+Scale notes: runs at whatever ``REPRO_SCALE`` selects (CI smoke keeps
+it to seconds). The GP's random draws are seeded, so cold and warm
+invocations execute the same learning trajectory; only where the
+distance columns come from differs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments import drivers
+from repro.experiments.scale import current_scale
+
+from benchmarks._util import emit
+
+
+def _rows_key(result):
+    return [
+        (
+            row.iteration,
+            row.train_f_measure.mean,
+            row.validation_f_measure.mean,
+        )
+        for row in result.rows
+    ]
+
+
+@pytest.mark.parametrize("experiment", ["curve", "representations"])
+def test_store_backed_driver_warm_rerun(experiment, results_dir, tmp_path):
+    cache_dir = str(tmp_path / "engine-cache")
+    scale = current_scale()
+
+    def invoke(directory):
+        if experiment == "curve":
+            return _rows_key(
+                drivers.learning_curve(
+                    "restaurant", scale=scale, seed=3, cache_dir=directory
+                )
+            )
+        table = drivers.representation_comparison(
+            ("restaurant",), scale=scale, seed=3, cache_dir=directory
+        )
+        return {
+            name: {rep: value.mean for rep, value in row.items()}
+            for name, row in table.items()
+        }
+
+    start = time.perf_counter()
+    cold = invoke(cache_dir)
+    cold_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = invoke(cache_dir)
+    warm_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    uncached = invoke("")  # "" forces the persistent tier off
+    uncached_seconds = time.perf_counter() - start
+
+    assert warm == cold  # the store never changes results
+    assert uncached == cold
+    emit(
+        results_dir,
+        f"store_drivers_{experiment}",
+        (
+            f"store-backed driver '{experiment}' (restaurant): "
+            f"cold {cold_seconds:.2f}s, warm rerun {warm_seconds:.2f}s "
+            f"({cold_seconds / max(warm_seconds, 1e-9):.2f}x), "
+            f"store off {uncached_seconds:.2f}s"
+        ),
+    )

@@ -30,8 +30,18 @@ instead of recomputing it, with byte-identical output::
 
 or per component: ``GenLink(config, cache_dir=...)``,
 ``MatchingEngine(cache_dir=...)``. When the cache is active this
-script reports the store's hit/miss counters on stderr (stdout stays
-identical across runs, which CI's cache-reuse leg asserts).
+script reports the store's hit/miss counters on stderr — distance
+columns *and* blocking indexes (stdout stays identical across runs,
+which CI's cache-reuse leg asserts).
+
+Link generation picks its blocking strategy from the learned rule's
+structure (MultiBlock where its comparisons support a dismissal-free
+index). Force a specific strategy with ``REPRO_ENGINE_BLOCKER`` or the
+CLI's ``--blocker`` flag — the generated links are identical, only the
+candidate count changes::
+
+    REPRO_ENGINE_BLOCKER=multiblock python examples/quickstart.py
+    repro-experiments --blocker multiblock learn restaurant --execute
 """
 
 from __future__ import annotations
@@ -41,7 +51,7 @@ import sys
 
 from repro import DataSource, Entity, GenLink, GenLinkConfig, ReferenceLinkSet
 from repro import render_rule, rule_to_json
-from repro.matching import FullIndexBlocker, MatchingEngine, evaluate_links
+from repro.matching import MatchingEngine, evaluate_links
 
 
 def build_sources() -> tuple[DataSource, DataSource, list[tuple[str, str]]]:
@@ -91,8 +101,11 @@ def main() -> None:
     print()
 
     # Execute the rule over the full sources, including the four
-    # products that were never part of the reference links.
-    engine = MatchingEngine(blocker=FullIndexBlocker())
+    # products that were never part of the reference links. The default
+    # blocker is rule-structure-aware (MultiBlock where the rule's
+    # comparisons support it; REPRO_ENGINE_BLOCKER overrides) and
+    # generates exactly the links the full index would.
+    engine = MatchingEngine()
     try:
         links = engine.execute(result.best_rule, shop_a, shop_b)
     finally:
@@ -101,11 +114,14 @@ def main() -> None:
     if match_stats is not None and match_stats.store is not None:
         # Persistent column store active (REPRO_ENGINE_CACHE): report
         # its counters on stderr so stdout stays byte-identical between
-        # cold and warm runs.
+        # cold and warm runs. Columns and blocking indexes are separate
+        # tiers — a warm run shows hits on both.
         store = match_stats.store
         print(
             f"[engine store] hits={store.hits} misses={store.misses} "
-            f"writes={store.writes}",
+            f"writes={store.writes} index_hits={store.index_hits} "
+            f"index_misses={store.index_misses} "
+            f"index_writes={store.index_writes}",
             file=sys.stderr,
         )
     evaluation = evaluate_links(links, matches)

@@ -71,6 +71,12 @@ IDEMPOTENT_TRANSFORMATIONS = frozenset(
 #: is why absorption is a flag on :func:`simplify_transformations`).
 CASE_TRANSFORMATIONS = frozenset({"lowerCase", "upperCase", "capitalize"})
 
+#: The subset safe to absorb as the *inner* layer: pure per-character
+#: case mappings. ``capitalize`` is excluded here because it also
+#: normalises whitespace (word-joins with single spaces), an effect an
+#: outer case transformation does not reproduce.
+_PURE_CASE_TRANSFORMATIONS = frozenset({"lowerCase", "upperCase"})
+
 
 def _simplify_value(node: ValueNode, absorb_case: bool) -> ValueNode:
     if isinstance(node, PropertyNode):
@@ -89,7 +95,7 @@ def _simplify_value(node: ValueNode, absorb_case: bool) -> ValueNode:
             case_absorbed = (
                 absorb_case
                 and node.function in CASE_TRANSFORMATIONS
-                and child.function in CASE_TRANSFORMATIONS
+                and child.function in _PURE_CASE_TRANSFORMATIONS
             )
             if same_idempotent or case_absorbed:
                 # Skip the inner layer entirely: f(g(x)) -> f(x).

@@ -47,6 +47,26 @@ ValueSignature = Hashable
 ComparisonSignature = Hashable
 
 
+def value_tree_signature(node: ValueNode) -> ValueSignature:
+    """Structural signature of a value subtree, without a compiler.
+
+    Produces exactly the tuples :meth:`RuleCompiler.value_signature`
+    interns (asserted by the engine test suite), so consumers that have
+    no session at hand — blocking-index cache keys, most prominently —
+    can still key on the canonical structural identity.
+    """
+    if isinstance(node, PropertyNode):
+        return ("prop", node.property_name)
+    if isinstance(node, TransformationNode):
+        return (
+            "tf",
+            node.function,
+            tuple(sorted(node.params)),
+            tuple(value_tree_signature(child) for child in node.inputs),
+        )
+    raise TypeError(f"not a value operator: {type(node).__name__}")
+
+
 def signature_token(sig: Hashable) -> str:
     """A deterministic text form of a structural signature.
 

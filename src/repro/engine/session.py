@@ -1,8 +1,8 @@
 """The persistent rule-execution engine session.
 
-An :class:`EngineSession` owns the compiler and the three LRU cache
-tiers, and hands out :class:`PairContext` objects bound to concrete
-pair lists:
+An :class:`EngineSession` owns the compiler and the in-memory LRU
+cache tiers, and hands out :class:`PairContext` objects bound to
+concrete pair lists:
 
 * **value tier** (session-wide, keyed by entity): transformed value
   tuples per (value op, entity). Survives across contexts, so a
@@ -14,10 +14,15 @@ pair lists:
 * **score tier** (keyed per context): thresholded score vectors per
   (comparison op, threshold), matching the seed evaluator's comparison
   cache granularity;
+* **index tier** (session-wide, keyed by source fingerprint × blocker
+  signature): blocking indexes resolved through
+  :meth:`EngineSession.blocking_index`, so repeated matching runs over
+  an unchanged source skip index construction;
 * **persistent tier** (optional, content-keyed): an on-disk
-  :class:`~repro.engine.store.ColumnStore` below the column tier that
-  lets *separate runs* over unchanged sources reuse distance columns
-  (``store=`` or the ``REPRO_ENGINE_CACHE`` environment variable).
+  :class:`~repro.engine.store.ColumnStore` below the column and index
+  tiers that lets *separate runs* over unchanged sources reuse
+  distance columns and blocking indexes (``store=`` or the
+  ``REPRO_ENGINE_CACHE`` environment variable).
 
 ``context()`` creates a context; :meth:`PairContext.scores` evaluates
 one rule, :meth:`PairContext.population_scores` evaluates a whole GP
@@ -95,6 +100,7 @@ class EngineSession:
         max_value_entries: int = 500_000,
         max_column_entries: int = 30_000,
         max_score_entries: int = 30_000,
+        max_index_entries: int = 64,
         executor: Executor | int | str | None = None,
         store: "ColumnStore | str | None" = None,
     ):
@@ -120,6 +126,10 @@ class EngineSession:
         self._value_cache = LRUCache(max_value_entries)
         self._column_cache = LRUCache(max_column_entries)
         self._score_cache = LRUCache(max_score_entries)
+        #: Blocking indexes keyed (source fingerprint, blocker token).
+        #: Few entries, each potentially large — the bound is an entry
+        #: count, not a byte budget, so keep it small.
+        self._index_cache = LRUCache(max_index_entries)
         self._executor = resolve_executor(executor)
         self._store = resolve_store(store)
         self._next_context_id = 0
@@ -189,6 +199,44 @@ class EngineSession:
             self._value_cache.put(key, values)
         return values
 
+    # -- blocking indexes ------------------------------------------------------
+    def blocking_index(
+        self,
+        source_fingerprint: str,
+        blocker_token: str,
+        build,
+    ):
+        """A blocking index through the session's index memo.
+
+        Resolution order mirrors the distance-column path: the
+        in-memory index cache first, then the persistent store's index
+        tier (when a store is configured), then ``build()`` — whose
+        result is persisted and memoised. Keys are pure content hashes
+        (source fingerprint × blocker construction signature), so a
+        changed source or a differently-configured blocker misses
+        cleanly and can never be served a stale index. Safe to call
+        concurrently: a racing build costs duplicated work, never a
+        divergent index (construction is deterministic).
+        """
+        memo_key = (source_fingerprint, blocker_token)
+        cached = self._index_cache.get(memo_key)
+        if cached is not None:
+            return cached
+        payload = None
+        store = self._store
+        persistent_key: str | None = None
+        if store is not None:
+            from repro.engine.store import index_key
+
+            persistent_key = index_key(source_fingerprint, blocker_token)
+            payload = store.load_index(persistent_key)
+        if payload is None:
+            payload = build()
+            if store is not None and persistent_key is not None:
+                store.save_index(persistent_key, payload)
+        self._index_cache.put(memo_key, payload)
+        return payload
+
     # -- maintenance ----------------------------------------------------------
     def release_context(self, context: "PairContext") -> None:
         """Evict a context's column- and score-tier entries.
@@ -211,6 +259,7 @@ class EngineSession:
         self._value_cache.clear()
         self._column_cache.clear()
         self._score_cache.clear()
+        self._index_cache.clear()
 
     def stats(self) -> EngineStats:
         diffs = self._compiler.generation_diffs

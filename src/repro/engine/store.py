@@ -25,12 +25,25 @@ A column is identified by a SHA-256 over two content tokens:
   so every threshold and weight mutation over the same
   ``(metric, source, target)`` shares one persisted column.
 
+Index tier
+----------
+Next to the column tier the store keeps a **blocking-index tier**:
+pickled candidate-generation indexes (token blocks, MultiBlock
+comparison indexes, sorted-neighbourhood key lists) keyed by
+``sha256(DataSource.fingerprint() x blocker signature)``. Indexes
+reference entities by uid only — the live source resolves uids back to
+entities on load — so a persisted index is valid exactly as long as the
+source content is unchanged, which the fingerprint key guarantees.
+Warm reruns of link generation then skip index construction the same
+way they already skip distance-column builds.
+
 Layout on disk
 --------------
 ::
 
     <root>/columns-v1/<key[:2]>/<key>.npy    # float64 column blob
     <root>/columns-v1/<key[:2]>/<key>.json   # metadata sidecar
+    <root>/indexes-v1/<key[:2]>/<key>.pkl    # pickled blocking index
 
 Blobs are written to a temp file in the destination directory and
 published with ``os.replace``, so readers — including concurrent
@@ -50,6 +63,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import pickle
 import tempfile
 import threading
 import time
@@ -67,6 +81,10 @@ CACHE_ENV = "REPRO_ENGINE_CACHE"
 #: versions keep their own subdirectory and are simply ignored.
 STORE_FORMAT_VERSION = 1
 
+#: Format version of the blocking-index tier (independent of the column
+#: tier: index payload layout can evolve without invalidating columns).
+INDEX_FORMAT_VERSION = 1
+
 
 @dataclass(frozen=True)
 class StoreStats:
@@ -82,6 +100,13 @@ class StoreStats:
     invalid: int
     bytes_read: int
     bytes_written: int
+    #: Blocking-index tier counters (separate from the column counters
+    #: so "warm run skipped index construction" is assertable without
+    #: conflating it with column hits).
+    index_hits: int = 0
+    index_misses: int = 0
+    index_writes: int = 0
+    index_invalid: int = 0
 
     @property
     def lookups(self) -> int:
@@ -92,6 +117,16 @@ class StoreStats:
         """Hits per lookup; 0.0 before the first lookup."""
         lookups = self.lookups
         return self.hits / lookups if lookups else 0.0
+
+    @property
+    def index_lookups(self) -> int:
+        return self.index_hits + self.index_misses
+
+    @property
+    def index_hit_rate(self) -> float:
+        """Index-tier hits per lookup; 0.0 before the first lookup."""
+        lookups = self.index_lookups
+        return self.index_hits / lookups if lookups else 0.0
 
     def delta(self, baseline: "StoreStats | None") -> "StoreStats":
         """Counters accumulated since ``baseline`` (an earlier snapshot
@@ -106,6 +141,10 @@ class StoreStats:
             invalid=self.invalid - baseline.invalid,
             bytes_read=self.bytes_read - baseline.bytes_read,
             bytes_written=self.bytes_written - baseline.bytes_written,
+            index_hits=self.index_hits - baseline.index_hits,
+            index_misses=self.index_misses - baseline.index_misses,
+            index_writes=self.index_writes - baseline.index_writes,
+            index_invalid=self.index_invalid - baseline.index_invalid,
         )
 
     @staticmethod
@@ -120,6 +159,10 @@ class StoreStats:
             invalid=sum(s.invalid for s in snapshots),
             bytes_read=sum(s.bytes_read for s in snapshots),
             bytes_written=sum(s.bytes_written for s in snapshots),
+            index_hits=sum(s.index_hits for s in snapshots),
+            index_misses=sum(s.index_misses for s in snapshots),
+            index_writes=sum(s.index_writes for s in snapshots),
+            index_invalid=sum(s.index_invalid for s in snapshots),
         )
 
 
@@ -147,6 +190,19 @@ class GCResult:
 def column_key(pairs_fingerprint: str, op_token: str) -> str:
     """The store key of one (pair list, comparison op) column."""
     payload = f"{pairs_fingerprint}\x1f{op_token}".encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def index_key(source_fingerprint: str, blocker_token: str) -> str:
+    """The store key of one (data source, blocker signature) index.
+
+    ``source_fingerprint`` is :meth:`repro.data.source.DataSource.
+    fingerprint` — a content hash over every entity — so any change to
+    the indexed source changes the key and stale indexes are never
+    served. ``blocker_token`` is the blocker's stable construction
+    signature (:meth:`repro.matching.blocking.Blocker.signature`).
+    """
+    payload = f"{source_fingerprint}\x1f{blocker_token}".encode("utf-8")
     return hashlib.sha256(payload).hexdigest()
 
 
@@ -178,6 +234,7 @@ class ColumnStore:
     def __init__(self, root: str | os.PathLike, mmap: bool = True):
         self._root = Path(root).expanduser()
         self._columns_dir = self._root / f"columns-v{STORE_FORMAT_VERSION}"
+        self._indexes_dir = self._root / f"indexes-v{INDEX_FORMAT_VERSION}"
         self._mmap = mmap
         self._lock = threading.Lock()
         self._hits = 0
@@ -186,6 +243,10 @@ class ColumnStore:
         self._invalid = 0
         self._bytes_read = 0
         self._bytes_written = 0
+        self._index_hits = 0
+        self._index_misses = 0
+        self._index_writes = 0
+        self._index_invalid = 0
 
     @property
     def root(self) -> Path:
@@ -194,6 +255,9 @@ class ColumnStore:
 
     def _column_path(self, key: str) -> Path:
         return self._columns_dir / key[:2] / f"{key}.npy"
+
+    def _index_path(self, key: str) -> Path:
+        return self._indexes_dir / key[:2] / f"{key}.pkl"
 
     # -- load / save ----------------------------------------------------------
     def load(self, key: str, rows: int) -> np.ndarray | None:
@@ -325,35 +389,123 @@ class ColumnStore:
             self._invalid += 1
             self._misses += 1
 
+    # -- blocking-index tier --------------------------------------------------
+    def load_index(self, key: str) -> object | None:
+        """The persisted blocking index for ``key``, or None on a miss.
+
+        Payloads are pickled pure-Python structures (dicts/tuples of
+        uids and block keys — never entity objects or code). A
+        truncated or otherwise unreadable blob is dropped, counted as
+        ``index_invalid`` and reported as a miss so the caller rebuilds
+        it. A hit renews the blob's mtime for GC recency.
+        """
+        path = self._index_path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            with self._lock:
+                self._index_misses += 1
+            return None
+        try:
+            payload = pickle.loads(blob)
+        except Exception:
+            # Truncated/corrupt pickle streams raise a zoo of error
+            # types (UnpicklingError, EOFError, AttributeError, ...);
+            # any of them means the blob is unusable.
+            for doomed in (path,):
+                try:
+                    os.unlink(doomed)
+                except OSError:
+                    pass
+            with self._lock:
+                self._index_invalid += 1
+                self._index_misses += 1
+            return None
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
+        with self._lock:
+            self._index_hits += 1
+            self._bytes_read += len(blob)
+        return payload
+
+    def save_index(self, key: str, payload: object) -> bool:
+        """Persist a blocking index under ``key`` (atomic; returns
+        success). Same publication discipline as :meth:`save`: complete
+        temp file + ``os.replace``, deterministic payloads make racing
+        writers harmless, storage faults degrade to cold behaviour."""
+        path = self._index_path(key)
+        try:
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return False
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".pkl"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        with self._lock:
+            self._index_writes += 1
+            self._bytes_written += len(blob)
+        return True
+
     # -- maintenance ----------------------------------------------------------
     def entries(self) -> Iterator[StoreEntry]:
-        """All persisted columns, unordered."""
-        if not self._columns_dir.is_dir():
-            return
-        for path in sorted(self._columns_dir.glob("*/*.npy")):
-            if path.name.startswith(".tmp-"):
+        """All persisted columns and blocking indexes, unordered.
+
+        Both tiers share the maintenance machinery: GC recency is mtime
+        (renewed on hits) for columns and indexes alike, ``clear``
+        drops both.
+        """
+        for directory, pattern in (
+            (self._columns_dir, "*/*.npy"),
+            (self._indexes_dir, "*/*.pkl"),
+        ):
+            if not directory.is_dir():
                 continue
-            try:
-                stat = path.stat()
-            except OSError:
-                continue
-            yield StoreEntry(
-                key=path.stem,
-                path=path,
-                nbytes=stat.st_size,
-                last_used=stat.st_mtime,
-            )
+            for path in sorted(directory.glob(pattern)):
+                if path.name.startswith(".tmp-"):
+                    continue
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                yield StoreEntry(
+                    key=path.stem,
+                    path=path,
+                    nbytes=stat.st_size,
+                    last_used=stat.st_mtime,
+                )
 
     def describe(self) -> dict:
-        """Totals for ``cache info``: entry count and byte footprint."""
-        count = 0
+        """Totals for ``cache info``: entry counts and byte footprint."""
+        columns = 0
+        indexes = 0
         total = 0
         for entry in self.entries():
-            count += 1
+            if entry.path.suffix == ".pkl":
+                indexes += 1
+            else:
+                columns += 1
             total += entry.nbytes
         return {
             "path": str(self._root),
-            "entries": count,
+            "entries": columns + indexes,
+            "columns": columns,
+            "indexes": indexes,
             "bytes": total,
         }
 
@@ -434,6 +586,10 @@ class ColumnStore:
                 invalid=self._invalid,
                 bytes_read=self._bytes_read,
                 bytes_written=self._bytes_written,
+                index_hits=self._index_hits,
+                index_misses=self._index_misses,
+                index_writes=self._index_writes,
+                index_invalid=self._index_invalid,
             )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

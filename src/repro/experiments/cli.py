@@ -18,6 +18,7 @@ import sys
 from repro.datasets import DATASET_NAMES
 from repro.engine.executor import WORKERS_ENV, parse_workers_spec
 from repro.engine.store import CACHE_ENV, ColumnStore
+from repro.matching.engine import BLOCKER_ENV
 from repro.experiments import drivers
 from repro.experiments.scale import current_scale
 from repro.experiments.tables import format_table
@@ -141,6 +142,34 @@ def _learn_rule(args: argparse.Namespace) -> None:
         print(render_rule(pruned.rule, title="pruned rule"))
         rule = pruned.rule
 
+    if args.execute:
+        from repro.matching.engine import MatchingEngine
+        from repro.matching.evaluation import evaluate_links
+
+        engine = MatchingEngine()
+        try:
+            links = engine.execute(rule, dataset.source_a, dataset.source_b)
+        finally:
+            engine.close()
+        stats = engine.last_run_stats()
+        evaluation = evaluate_links(links, dataset.links.positive)
+        print(
+            f"\nexecuted over the full sources: {len(links)} link(s) from "
+            f"{stats.pairs} candidate pair(s) in {stats.batches} shard(s)"
+        )
+        print(
+            f"precision={evaluation.precision:.3f} "
+            f"recall={evaluation.recall:.3f} F1={evaluation.f_measure:.3f}"
+        )
+        if stats.store is not None:
+            store = stats.store
+            print(
+                f"[engine store] hits={store.hits} misses={store.misses} "
+                f"writes={store.writes} index_hits={store.index_hits} "
+                f"index_misses={store.index_misses}",
+                file=sys.stderr,
+            )
+
     if args.chart:
         iterations = tuple(float(r.iteration) for r in result.history)
         print()
@@ -193,7 +222,8 @@ def _cache_maintenance(args: argparse.Namespace) -> None:
     if args.action == "info":
         info = store.describe()
         print(f"cache directory : {info['path']}")
-        print(f"columns         : {info['entries']}")
+        print(f"columns         : {info['columns']}")
+        print(f"indexes         : {info['indexes']}")
         print(f"bytes           : {info['bytes']}")
     elif args.action == "gc":
         result = store.gc(
@@ -257,10 +287,20 @@ def main(argv: list[str] | None = None) -> int:
         "--cache-dir",
         default=None,
         metavar="PATH",
-        help="persistent distance-column store: repeated runs over the "
-        "same sources load cached columns instead of rebuilding them "
-        "(results are byte-identical either way; default: the "
-        f"{CACHE_ENV} environment variable)",
+        help="persistent distance-column/blocking-index store: repeated "
+        "runs over the same sources load cached columns and indexes "
+        "instead of rebuilding them (results are byte-identical either "
+        f"way; default: the {CACHE_ENV} environment variable)",
+    )
+    parser.add_argument(
+        "--blocker",
+        default=None,
+        choices=("auto", "multiblock", "rule", "full"),
+        help="default blocking strategy for link generation: auto "
+        "(rule-structure-aware selection), multiblock (aggregation-"
+        "aware multidimensional indexes), rule (token blocking on the "
+        "compared properties) or full (no blocking; exact but "
+        f"quadratic). Default: the {BLOCKER_ENV} environment variable",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -296,6 +336,12 @@ def main(argv: list[str] | None = None) -> int:
     learn.add_argument(
         "--silk", action="store_true", help="print a Silk-LSL configuration"
     )
+    learn.add_argument(
+        "--execute",
+        action="store_true",
+        help="execute the learned rule over the full sources (uses the "
+        "--blocker strategy) and report link quality",
+    )
 
     cache = subparsers.add_parser(
         "cache",
@@ -330,6 +376,10 @@ def main(argv: list[str] | None = None) -> int:
         # Hand the cache dir to every engine session created below (and
         # to process-pool workers, which inherit the environment).
         os.environ[CACHE_ENV] = args.cache_dir
+    if args.blocker is not None:
+        # Same pattern: every matching engine created below (and in
+        # worker processes) resolves its default blocker from this.
+        os.environ[BLOCKER_ENV] = args.blocker
     if args.command == "cache":
         _cache_maintenance(args)
         return 0
@@ -340,6 +390,9 @@ def main(argv: list[str] | None = None) -> int:
     cache_spec = os.environ.get(CACHE_ENV, "")
     if cache_spec:
         print(f"[cache: {cache_spec}]")
+    blocker_spec = os.environ.get(BLOCKER_ENV, "")
+    if blocker_spec:
+        print(f"[blocker: {blocker_spec}]")
     handlers = {
         "datasets": _print_dataset_statistics,
         "curve": _print_learning_curve,

@@ -74,8 +74,15 @@ def learning_curve(
     scale: ExperimentScale | None = None,
     seed: int = 0,
     representation: Representation = FULL,
+    cache_dir: str | None = None,
 ) -> CrossValidationResult:
-    """GenLink learning curve for one dataset (Tables 7-12)."""
+    """GenLink learning curve for one dataset (Tables 7-12).
+
+    All runs share one persistent engine store via ``cache_dir``
+    (default: the ``REPRO_ENGINE_CACHE`` environment variable), so a
+    warm re-invocation over unchanged sources skips the distance pass
+    — see ``benchmarks/bench_store_drivers.py`` for the measured
+    cold/warm delta."""
     scale = scale if scale is not None else current_scale()
     dataset = load_scaled(dataset_name, scale, seed)
     config = _config_for(scale, representation=representation)
@@ -85,6 +92,7 @@ def learning_curve(
         runs=scale.runs,
         report_iterations=scale.report_iterations,
         seed=seed,
+        cache_dir=cache_dir,
     )
 
 
@@ -136,10 +144,15 @@ def representation_comparison(
     scale: ExperimentScale | None = None,
     seed: int = 0,
     at_iteration: int | None = None,
+    cache_dir: str | None = None,
 ) -> dict[str, dict[str, MeanStd]]:
     """Validation F1 per representation (Table 13; paper: round 25).
 
-    Returns ``{dataset: {representation: MeanStd}}``.
+    Returns ``{dataset: {representation: MeanStd}}``. The four
+    representation sweeps score the same entity pairs under overlapping
+    comparison ops, so sharing one ``cache_dir`` (default:
+    ``REPRO_ENGINE_CACHE``) across them — and across re-invocations —
+    skips redundant distance passes with byte-identical results.
     """
     scale = scale if scale is not None else current_scale()
     iteration = (
@@ -158,6 +171,7 @@ def representation_comparison(
                 runs=scale.runs,
                 report_iterations=(iteration,),
                 seed=seed,
+                cache_dir=cache_dir,
             )
             row[representation.name] = result.row_at(iteration).validation_f_measure
         table[name] = row

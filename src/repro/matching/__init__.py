@@ -14,12 +14,18 @@ from repro.matching.blocking import (
     SortedNeighbourhoodBlocker,
     TokenBlocker,
 )
-from repro.matching.engine import GeneratedLink, MatchingEngine, generate_links
+from repro.matching.engine import (
+    GeneratedLink,
+    MatchingEngine,
+    default_blocker,
+    generate_links,
+)
 from repro.matching.evaluation import LinkEvaluation, evaluate_links
 from repro.matching.multiblock import (
     BlockingQuality,
     MultiBlocker,
     blocking_quality,
+    multiblock_supports,
 )
 
 __all__ = [
@@ -30,10 +36,12 @@ __all__ = [
     "TokenBlocker",
     "GeneratedLink",
     "MatchingEngine",
+    "default_blocker",
     "generate_links",
     "LinkEvaluation",
     "evaluate_links",
     "BlockingQuality",
     "MultiBlocker",
     "blocking_quality",
+    "multiblock_supports",
 ]

@@ -4,27 +4,112 @@ Evaluating a linkage rule over the full Cartesian product A x B is
 quadratic; blocking prunes the candidate set before rule evaluation.
 Three classic strategies are provided plus a rule-aware blocker that
 derives its keys from the properties a rule actually compares — a
-light-weight stand-in for Silk's MultiBlock [19].
+light-weight stand-in for Silk's MultiBlock [19] (the full
+aggregation-aware variant lives in :mod:`repro.matching.multiblock`).
+
+Blocking is an **engine-integrated subsystem**, not a bare pair
+stream:
+
+* :meth:`Blocker.iter_shards` emits candidate pairs pre-chunked into
+  ready-to-score shards, so :class:`repro.matching.engine.
+  MatchingEngine` hands them straight to executor workers without a
+  re-chunking layer. Shard boundaries depend only on ``batch_size``
+  and the pair order never depends on it, so links stay byte-identical
+  across batch sizes and worker counts.
+* :meth:`Blocker.build_index` builds the blocker's reusable
+  target-side index **vectorized**: tokenisation / key extraction runs
+  once per *distinct value* (not once per entity occurrence), bulk
+  dict operations assemble the blocks, and construction fans across
+  the engine session's shared-memory executor for large sources.
+* With an :class:`~repro.engine.session.EngineSession`, indexes are
+  memoised in the session and — when the session has a persistent
+  :class:`~repro.engine.store.ColumnStore` — persisted in the store's
+  **index tier**, keyed by ``DataSource.fingerprint()`` ×
+  :meth:`Blocker.signature`. Warm reruns over unchanged sources then
+  skip index construction entirely, the same way they already skip
+  distance-column builds.
+
+Indexes reference entities by uid only; the live source resolves uids
+back to entities at emission time, which is what makes the persisted
+form safe (content fingerprints guarantee the uids still describe the
+same entities).
 """
 
 from __future__ import annotations
 
 import re
 from abc import ABC, abstractmethod
-from typing import Iterable, Iterator
+from itertools import islice
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from repro.core.nodes import PropertyNode, TransformationNode, ValueNode
 from repro.core.rule import LinkageRule
 from repro.data.entity import Entity
 from repro.data.source import DataSource
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.engine.session import EngineSession
+
 CandidatePair = tuple[Entity, Entity]
 
 _TOKEN_RE = re.compile(r"[^\W_]+", re.UNICODE)
 
+#: Sources below this size are indexed inline even when the session
+#: executor could fan out — the thread hop costs more than the work.
+_FAN_THRESHOLD = 512
+
+
+def fan_entity_chunks(
+    session: "EngineSession | None",
+    entities: Sequence[Entity],
+    fn: Callable[[Sequence[Entity]], list],
+) -> list:
+    """Map ``fn`` over contiguous entity chunks, fanned across the
+    session's shared-memory executor when one is available.
+
+    ``fn`` receives a chunk and returns a list of per-entity results;
+    chunk results are concatenated in chunk order, so the output is
+    identical to ``fn(entities)`` whatever the worker count. Falls back
+    to one inline call for serial/process executors and small inputs.
+    """
+    executor = session.executor if session is not None else None
+    if (
+        executor is None
+        or not executor.shares_memory
+        or executor.workers < 2
+        or len(entities) < _FAN_THRESHOLD
+    ):
+        return fn(entities)
+    workers = executor.workers
+    size = (len(entities) + workers - 1) // workers
+    chunks = [entities[i : i + size] for i in range(0, len(entities), size)]
+    merged: list = []
+    for part in executor.map(fn, chunks):
+        merged.extend(part)
+    return merged
+
+
+def _chunked(
+    pairs: Iterable[CandidatePair], batch_size: int
+) -> Iterator[list[CandidatePair]]:
+    """Group a pair stream into shards of at most ``batch_size``."""
+    shard: list[CandidatePair] = []
+    for pair in pairs:
+        shard.append(pair)
+        if len(shard) >= batch_size:
+            yield shard
+            shard = []
+    if shard:
+        yield shard
+
 
 class Blocker(ABC):
     """Produces candidate entity pairs from two data sources."""
+
+    #: Instance memo of the last built index: (source fingerprint,
+    #: signature, payload). Lets session-less callers reuse the index
+    #: across repeated runs over an unchanged source.
+    _index_memo: tuple[str, str, object] | None = None
 
     @abstractmethod
     def candidates(
@@ -35,23 +120,106 @@ class Blocker(ABC):
     def candidate_count(self, source_a: DataSource, source_b: DataSource) -> int:
         return sum(1 for _ in self.candidates(source_a, source_b))
 
+    def signature(self) -> str | None:
+        """Stable identity of the index this blocker builds over a
+        target source, or None when it builds no (persistable) index.
+
+        The persistent index tier keys on
+        ``DataSource.fingerprint() x signature()``, so the signature
+        must change whenever construction parameters that affect the
+        index content change, and must be stable across processes
+        (no ``id()``, no hash randomisation).
+        """
+        return None
+
+    def build_index(
+        self, source: DataSource, session: "EngineSession | None" = None
+    ) -> object | None:
+        """Build (or load) this blocker's reusable index over a target
+        source; None for blockers that don't index.
+
+        With a ``session`` the index resolves through the session's
+        index memo and — when the session has a persistent store — the
+        store's index tier. Without one, the blocker keeps a
+        one-entry instance memo keyed by the source's content
+        fingerprint, so repeated runs over an unchanged source still
+        reuse the index.
+        """
+        return None
+
+    def iter_shards(
+        self,
+        source_a: DataSource,
+        source_b: DataSource,
+        batch_size: int,
+        session: "EngineSession | None" = None,
+    ) -> Iterator[list[CandidatePair]]:
+        """Candidate pairs pre-chunked into ready-to-score shards.
+
+        The pair order is exactly :meth:`candidates` order and does not
+        depend on ``batch_size`` (only the chunk boundaries do), which
+        is what keeps generated links byte-identical across batch
+        sizes and worker counts. ``session`` lets index construction
+        share the engine's caches; the default implementation chunks
+        the plain pair stream.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        return _chunked(self._iter_pairs(source_a, source_b, session), batch_size)
+
+    def _iter_pairs(
+        self,
+        source_a: DataSource,
+        source_b: DataSource,
+        session: "EngineSession | None",
+    ) -> Iterator[CandidatePair]:
+        """Session-aware pair stream; the default ignores the session."""
+        return self.candidates(source_a, source_b)
+
+    def _resolve_index(
+        self,
+        source: DataSource,
+        session: "EngineSession | None",
+        build: Callable[[], object],
+    ) -> object:
+        """Index lookup through the session memo / persistent tier /
+        the blocker's own one-entry memo, building on miss."""
+        token = self.signature()
+        if token is None:
+            return build()
+        if session is not None:
+            return session.blocking_index(source.fingerprint(), token, build)
+        fingerprint = source.fingerprint()
+        memo = self._index_memo
+        if memo is not None and memo[0] == fingerprint and memo[1] == token:
+            return memo[2]
+        payload = build()
+        self._index_memo = (fingerprint, token, payload)
+        return payload
+
 
 class FullIndexBlocker(Blocker):
     """The full Cartesian product — exact but quadratic.
 
     For deduplication (both sources identical) only unordered pairs
-    ``(i, j)`` with ``i < j`` are produced.
+    ``(i, j)`` with ``i < j`` are produced. Both the pair stream and
+    the shard stream are fully lazy: nothing quadratic is materialised
+    ahead of consumption, so a streaming consumer stays memory-bounded
+    even on sources whose cross product would not fit in memory.
     """
 
     def candidates(self, source_a, source_b):
         if source_a is source_b:
             entities = source_a.entities()
             for i, entity_a in enumerate(entities):
-                for entity_b in entities[i + 1 :]:
+                # islice, not a slice: entities[i+1:] would copy O(n^2)
+                # references across the whole iteration.
+                for entity_b in islice(entities, i + 1, None):
                     yield entity_a, entity_b
             return
+        entities_b = source_b.entities()
         for entity_a in source_a:
-            for entity_b in source_b:
+            for entity_b in entities_b:
                 yield entity_a, entity_b
 
     def candidate_count(self, source_a: DataSource, source_b: DataSource) -> int:
@@ -63,12 +231,59 @@ class FullIndexBlocker(Blocker):
         return len(source_a.entities()) * len(source_b.entities())
 
 
+
 def _tokens_of(entity: Entity, properties: Iterable[str]) -> set[str]:
+    """Token set of one entity (the seed per-entity path, kept for
+    reference/tests; the blockers tokenise in bulk — see
+    :func:`_text_tokens`)."""
     tokens: set[str] = set()
     for name in properties:
         for value in entity.values(name):
             tokens.update(t.lower() for t in _TOKEN_RE.findall(value))
     return tokens
+
+
+#: ASCII fast path for tokenisation: every ASCII codepoint that is not
+#: alphanumeric maps to a space (including ``_``, which ``[^\W_]+``
+#: excludes from tokens); ``str.translate`` + ``str.split`` then
+#: tokenise an entire entity's text in C. Uppercase needs no mapping —
+#: the text is lowercased first.
+_ASCII_TOKEN_TABLE = {
+    i: " " for i in range(128) if not chr(i).isalnum()
+}
+
+
+def _text_tokens(text: str) -> list[str]:
+    """Lowercased word tokens of a text, in text order (duplicates
+    kept; callers dedup with ``dict.fromkeys`` where order matters).
+
+    ASCII text — the overwhelming share of real sources — tokenises
+    entirely in C (lower + translate + split), where lowering first is
+    provably boundary-preserving. Anything else tokenises *before*
+    lowering, exactly like :func:`_tokens_of`: lowering can decompose
+    characters into combining marks ('İ' → 'i' + U+0307) that would
+    otherwise split a token mid-word.
+    """
+    if text.isascii():
+        return text.lower().translate(_ASCII_TOKEN_TABLE).split()
+    return [token.lower() for token in _TOKEN_RE.findall(text)]
+
+
+def _entity_text(entity: Entity, properties: Sequence[str]) -> str:
+    """All of an entity's values on ``properties``, space-joined.
+
+    One joined string means one tokenisation call per entity instead of
+    one per value; the space separator is a token boundary in both
+    tokenisation paths, so the token stream equals the concatenation of
+    the per-value streams.
+    """
+    values = entity.properties
+    parts: list[str] = []
+    for name in properties:
+        entity_values = values.get(name)
+        if entity_values:
+            parts.extend(entity_values)
+    return " ".join(parts)
 
 
 class TokenBlocker(Blocker):
@@ -90,33 +305,90 @@ class TokenBlocker(Blocker):
         )
         self._max_block_size = max_block_size
 
+    def signature(self) -> str:
+        return (
+            f"token-index:v1:props={sorted(self._properties_b)!r}:"
+            f"max={self._max_block_size}"
+        )
+
+    def build_index(self, source, session=None):
+        """Token index of a target source: ``{token: (uids...)}`` in
+        source order, with oversized (stop-word) blocks dropped."""
+        return self._resolve_index(
+            source, session, lambda: self._build_blocks(source, session)
+        )
+
+    def _build_blocks(self, source: DataSource, session) -> dict:
+        properties = self._properties_b
+
+        def extract(chunk):
+            return [
+                (entity.uid, _text_tokens(_entity_text(entity, properties)))
+                for entity in chunk
+            ]
+
+        per_entity = fan_entity_chunks(session, source.entities(), extract)
+        # Single pass straight into the blocks; per-entity token dedup
+        # is deferred to one C-level dict.fromkeys per block below,
+        # which must run before the stop-word size filter (an entity
+        # repeating a token must not push its block over the limit).
+        blocks: dict[str, list[str]] = {}
+        get = blocks.get
+        for uid, tokens in per_entity:
+            for token in tokens:
+                block = get(token)
+                if block is None:
+                    blocks[token] = [uid]
+                else:
+                    block.append(uid)
+        limit = self._max_block_size
+        out: dict[str, tuple[str, ...]] = {}
+        for token, uids in blocks.items():
+            deduped = dict.fromkeys(uids)
+            if len(deduped) <= limit:
+                out[token] = tuple(deduped)
+        return out
+
     def candidates(self, source_a, source_b):
-        index: dict[str, list[Entity]] = {}
-        for entity_b in source_b:
-            for token in _tokens_of(entity_b, self._properties_b):
-                index.setdefault(token, []).append(entity_b)
+        return self._iter_pairs(source_a, source_b, None)
+
+    def _iter_pairs(self, source_a, source_b, session):
+        index = self.build_index(source_b, session=session)
+        properties_a = self._properties_a
         dedup = source_a is source_b
-        seen: set[tuple[str, str]] = set()
         for entity_a in source_a:
-            for token in _tokens_of(entity_a, self._properties_a):
+            uid_a = entity_a.uid
+            # Seen partners reset per probe entity: an entity occurs
+            # once in A, so duplicates only arise within its own tokens.
+            seen: set[str] = set()
+            tokens = dict.fromkeys(
+                _text_tokens(_entity_text(entity_a, properties_a))
+            )
+            for token in tokens:
                 block = index.get(token)
-                if block is None or len(block) > self._max_block_size:
+                if block is None:
                     continue
-                for entity_b in block:
+                for uid_b in block:
                     if dedup:
-                        if entity_a.uid >= entity_b.uid:
+                        if uid_a >= uid_b:
                             continue
-                    elif entity_a.uid == entity_b.uid:
+                    elif uid_a == uid_b:
                         continue
-                    key = (entity_a.uid, entity_b.uid)
-                    if key in seen:
+                    if uid_b in seen:
                         continue
-                    seen.add(key)
-                    yield entity_a, entity_b
+                    seen.add(uid_b)
+                    yield entity_a, source_b.get(uid_b)
 
 
 class SortedNeighbourhoodBlocker(Blocker):
-    """Sorted neighbourhood: sort by a key property, slide a window."""
+    """Sorted neighbourhood: sort by a key property, slide a window.
+
+    The per-source index is the key-sorted ``(key, uid)`` list; two
+    sources merge stably (ties keep A-then-B order, matching a stable
+    sort of the concatenated list), so candidates are identical to the
+    seed implementation while each side's sort is reusable and
+    persistable on its own.
+    """
 
     def __init__(self, key_property: str, window: int = 10):
         if window < 2:
@@ -124,20 +396,66 @@ class SortedNeighbourhoodBlocker(Blocker):
         self._key_property = key_property
         self._window = window
 
+    def signature(self) -> str:
+        # The window is a probe-time parameter: every window shares the
+        # same sorted index.
+        return f"snb-index:v1:key={self._key_property!r}"
+
     def _key(self, entity: Entity) -> str:
         values = entity.values(self._key_property)
         return values[0].lower() if values else ""
 
+    def build_index(self, source, session=None):
+        """Key-sorted ``((key, uid), ...)`` of one source (stable: tie
+        order is source insertion order)."""
+
+        def build():
+            key_property = self._key_property
+
+            def extract(chunk):
+                out = []
+                for entity in chunk:
+                    values = entity.values(key_property)
+                    out.append(
+                        (values[0].lower() if values else "", entity.uid)
+                    )
+                return out
+
+            keyed = fan_entity_chunks(session, source.entities(), extract)
+            keyed.sort(key=lambda item: item[0])
+            return tuple(keyed)
+
+        return self._resolve_index(source, session, build)
+
     def candidates(self, source_a, source_b):
+        return self._iter_pairs(source_a, source_b, None)
+
+    def _iter_pairs(self, source_a, source_b, session):
         dedup = source_a is source_b
         if dedup:
-            ordered = sorted(source_a.entities(), key=self._key)
-            tagged = [(entity, "a") for entity in ordered]
+            tagged = [
+                (source_a.get(uid), "a")
+                for __, uid in self.build_index(source_a, session=session)
+            ]
         else:
-            tagged = sorted(
-                [(entity, "a") for entity in source_a]
-                + [(entity, "b") for entity in source_b],
-                key=lambda pair: self._key(pair[0]),
+            index_a = self.build_index(source_a, session=session)
+            index_b = self.build_index(source_b, session=session)
+            tagged = []
+            i = j = 0
+            while i < len(index_a) and j < len(index_b):
+                # <= : ties take the A entity first, reproducing a
+                # stable sort over the concatenated [A..., B...] list.
+                if index_a[i][0] <= index_b[j][0]:
+                    tagged.append((source_a.get(index_a[i][1]), "a"))
+                    i += 1
+                else:
+                    tagged.append((source_b.get(index_b[j][1]), "b"))
+                    j += 1
+            tagged.extend(
+                (source_a.get(uid), "a") for __, uid in islice(index_a, i, None)
+            )
+            tagged.extend(
+                (source_b.get(uid), "b") for __, uid in islice(index_b, j, None)
             )
         seen: set[tuple[str, str]] = set()
         for i, (entity_i, side_i) in enumerate(tagged):
@@ -190,5 +508,14 @@ class RuleBlocker(Blocker):
             properties_a, properties_b, max_block_size=max_block_size
         )
 
+    def signature(self) -> str:
+        return self._delegate.signature()
+
+    def build_index(self, source, session=None):
+        return self._delegate.build_index(source, session=session)
+
     def candidates(self, source_a, source_b):
         return self._delegate.candidates(source_a, source_b)
+
+    def _iter_pairs(self, source_a, source_b, session):
+        return self._delegate._iter_pairs(source_a, source_b, session)

@@ -10,13 +10,23 @@ caches every 4096 pairs).
 
 Batches are additionally **sharded across workers** through a
 pluggable :class:`repro.engine.executor.Executor` (``workers=`` or the
-``REPRO_ENGINE_WORKERS`` environment variable): a window of batches is
-scored concurrently — on threads sharing the session's caches, or on a
-process pool with one persistent engine session per worker process —
-and results are merged back in submission order. Batch boundaries
+``REPRO_ENGINE_WORKERS`` environment variable): a window of batches
+(``window=``, default 2x the worker count) is scored concurrently — on
+threads sharing the session's caches, or on a process pool with one
+persistent engine session per worker process — and results are merged
+back in submission order. Candidate shards come straight from the
+blocker (:meth:`repro.matching.blocking.Blocker.iter_shards`) over the
+run's session, so blocking-index construction shares the executor, the
+value cache and the persistent store's index tier. Batch boundaries
 depend only on ``batch_size`` and every shard is scored by pure
 functions, so the generated links are byte-identical for every worker
 count, including their order.
+
+The default blocker is rule-structure-aware (:func:`default_blocker`):
+MultiBlock where the rule's comparisons support a dismissal-free
+index, token blocking on the compared properties otherwise, gated by
+``benchmarks/bench_multiblock.py`` asserting MultiBlock executions
+generate exactly the full-index links on every bundled dataset.
 """
 
 from __future__ import annotations
@@ -36,6 +46,47 @@ from repro.engine.lru import CacheStats
 from repro.engine.session import EngineSession, EngineStats
 from repro.engine.store import ColumnStore, StoreStats
 from repro.matching.blocking import Blocker, FullIndexBlocker, RuleBlocker
+from repro.matching.multiblock import MultiBlocker, multiblock_supports
+
+#: Environment variable selecting the default blocking strategy when an
+#: engine is constructed without an explicit ``blocker`` (values:
+#: ``auto`` — structure-aware selection, the default — ``multiblock``,
+#: ``rule``, ``full``).
+BLOCKER_ENV = "REPRO_ENGINE_BLOCKER"
+
+
+def default_blocker(
+    rule: LinkageRule,
+    spec: str = "auto",
+    session: "EngineSession | None" = None,
+) -> Blocker:
+    """The blocker an engine uses when none is configured explicitly.
+
+    ``auto`` picks :class:`~repro.matching.multiblock.MultiBlocker`
+    when the rule's comparison structure supports a selective,
+    dismissal-free index (:func:`~repro.matching.multiblock.
+    multiblock_supports` — gated on the ``bench_multiblock`` recall/
+    reduction benchmark across the bundled datasets), falling back to
+    token blocking on the compared properties
+    (:class:`~repro.matching.blocking.RuleBlocker`) and, for rules
+    without property comparisons, the full index. ``session`` binds
+    MultiBlock index construction to the engine's caches and
+    persistent index tier.
+    """
+    text = spec.strip().lower() or "auto"
+    if text == "full":
+        return FullIndexBlocker()
+    if text not in ("auto", "multiblock", "rule"):
+        raise ValueError(
+            f"invalid blocker spec {spec!r}: expected auto, multiblock, "
+            f"rule or full"
+        )
+    if text == "multiblock" or (text == "auto" and multiblock_supports(rule)):
+        return MultiBlocker(rule, session=session)
+    try:
+        return RuleBlocker(rule)
+    except ValueError:
+        return FullIndexBlocker()
 
 
 @dataclass(frozen=True)
@@ -76,6 +127,10 @@ class MatchStats:
     columns: CacheStats | None
     scores: CacheStats | None
     #: Persistent-tier counters; None when no cache dir is configured.
+    #: Covers both store tiers: distance columns (``hits``/``misses``/
+    #: ``writes``) and blocking indexes (``index_hits``/
+    #: ``index_misses``/``index_writes``) — a warm rerun that skipped
+    #: index construction shows ``index_misses == 0`` here.
     store: StoreStats | None
 
     @property
@@ -129,10 +184,17 @@ class MatchingEngine:
         session: EngineSession | None = None,
         workers: Executor | int | str | None = None,
         cache_dir: "ColumnStore | str | None" = None,
+        window: int | None = None,
     ):
         """``blocker=None`` selects rule-aware blocking per executed
-        rule, falling back to the full index for rules without
-        property comparisons. ``session=None`` creates a fresh engine
+        rule (:func:`default_blocker`; ``REPRO_ENGINE_BLOCKER``
+        overrides the ``auto`` strategy), falling back to the full
+        index for rules without property comparisons. ``window``
+        bounds how many shards are in flight at once: ``None`` keeps
+        2x the worker count (deeper than the workers themselves, so
+        skewed shard runtimes don't drain the pool); larger windows
+        hide more shard-size variance at proportionally more resident
+        pair memory. ``session=None`` creates a fresh engine
         session per :meth:`iter_links` call (caches persist across the
         batches of one execution but cannot go stale across data
         sources); pass a session explicitly to share caches across
@@ -152,10 +214,13 @@ class MatchingEngine:
         rejects ``cache_dir``."""
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1")
         self._blocker = blocker
         self._batch_size = batch_size
         self._threshold = threshold
         self._session = session
+        self._window = window
         self._executor = resolve_executor(workers)
         if self._executor.kind == "process" and session is not None:
             raise ValueError(
@@ -168,6 +233,11 @@ class MatchingEngine:
                 "store= on EngineSession instead of cache_dir="
             )
         self._cache_dir = cache_dir
+        #: Parent-side session of process-pool runs: blocking indexes
+        #: are built (and persisted) in the parent even though scoring
+        #: happens in worker sessions. Lazily created, persists across
+        #: runs so repeated executions reuse in-memory indexes.
+        self._process_parent_session: EngineSession | None = None
         self._last_stats: MatchStats | None = None
         #: Per-worker-process snapshots at the end of the previous run,
         #: keyed by pid — worker sessions persist across the runs of
@@ -179,6 +249,13 @@ class MatchingEngine:
         """The sharding executor of this engine."""
         return self._executor
 
+    @property
+    def window(self) -> int:
+        """Shards kept in flight per scheduling round (resolved)."""
+        if self._window is not None:
+            return self._window
+        return max(1, 2 * self._executor.workers)
+
     def last_run_stats(self) -> MatchStats | None:
         """Statistics of the most recently *completed* run (None before
         the first run; a partially consumed :meth:`iter_links` iterator
@@ -186,9 +263,12 @@ class MatchingEngine:
         return self._last_stats
 
     def close(self) -> None:
-        """Release pooled executor workers. Usable as a context
-        manager."""
+        """Release pooled executor workers (including the blocking
+        parent session's, on process-pool engines). Usable as a
+        context manager."""
         self._executor.close()
+        if self._process_parent_session is not None:
+            self._process_parent_session.close()
 
     def __enter__(self) -> "MatchingEngine":
         return self
@@ -196,13 +276,13 @@ class MatchingEngine:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _resolve_blocker(self, rule: LinkageRule) -> Blocker:
+    def _resolve_blocker(
+        self, rule: LinkageRule, session: EngineSession
+    ) -> Blocker:
         if self._blocker is not None:
             return self._blocker
-        try:
-            return RuleBlocker(rule)
-        except ValueError:
-            return FullIndexBlocker()
+        spec = os.environ.get(BLOCKER_ENV, "")
+        return default_blocker(rule, spec, session=session)
 
     def execute(
         self,
@@ -224,30 +304,49 @@ class MatchingEngine:
     ) -> Iterator[GeneratedLink]:
         """Stream links batch by batch (memory-bounded).
 
-        With a parallel executor, a window of ``workers`` batches is in
-        flight at a time; links are always emitted in batch order, then
-        pair order within a batch — the same order the serial engine
-        produces, whatever the worker count.
+        With a parallel executor, a window of shards (default 2x the
+        worker count, ``window=``) is in flight at a time; links are
+        always emitted in batch order, then pair order within a batch —
+        the same order the serial engine produces, whatever the worker
+        count.
+
+        Candidate shards come straight from the blocker
+        (:meth:`~repro.matching.blocking.Blocker.iter_shards`) — no
+        re-chunking layer — and the blocker shares the run's engine
+        session, so its index construction goes through the session
+        executor, the value cache and (when configured) the persistent
+        store's index tier. On process pools, scoring runs in
+        per-worker sessions while blocking indexes are built in a
+        parent-side session that persists across the engine's runs.
         """
-        blocker = self._resolve_blocker(rule)
         executor = self._executor
-        session: EngineSession | None = None
-        baseline: EngineStats | None = None
         if executor.kind != "process":
-            # Process pools score in per-worker sessions; building a
-            # parent session there would be pure dead weight.
             session = (
                 self._session
                 if self._session is not None
                 else EngineSession(store=self._cache_dir)
             )
-            baseline = session.stats()
-        window = max(1, executor.workers)
+        else:
+            # Scoring happens in per-worker sessions, but candidate
+            # generation is parent-side work: blocking gets a parent
+            # session (sharing the same on-disk store) for its index
+            # construction and value transformations.
+            if self._process_parent_session is None:
+                self._process_parent_session = EngineSession(
+                    store=self._cache_dir
+                )
+            session = self._process_parent_session
+        baseline = session.stats()
+        blocker = self._resolve_blocker(rule, session)
+        window = self.window
         batches = pairs = links = 0
         worker_stats: dict[int, EngineStats] = {}
         shard_cache_dir = self._shard_cache_dir()
         for group in window_batches(
-            self._iter_batches(blocker, source_a, source_b), window
+            blocker.iter_shards(
+                source_a, source_b, self._batch_size, session=session
+            ),
+            window,
         ):
             if executor.kind == "process":
                 results = executor.map(
@@ -276,10 +375,15 @@ class MatchingEngine:
                             entity_a.uid, entity_b.uid, float(score)
                         )
         if executor.kind == "process":
+            # Worker deltas plus the parent blocking session's delta:
+            # index-tier traffic (and MultiBlock value transformations)
+            # happen parent-side and would otherwise vanish from the
+            # per-run report.
+            parent = session.stats()
             deltas = [
                 (snapshot, self._worker_baselines.get(pid))
                 for pid, snapshot in worker_stats.items()
-            ]
+            ] + [(parent, baseline)]
             values = CacheStats.merged(
                 [s.values.delta(b.values if b else None) for s, b in deltas]
             )
@@ -324,21 +428,6 @@ class MatchingEngine:
         if isinstance(self._cache_dir, ColumnStore):
             return str(self._cache_dir.root)
         return self._cache_dir
-
-    def _iter_batches(
-        self,
-        blocker: Blocker,
-        source_a: DataSource,
-        source_b: DataSource,
-    ) -> Iterator[list[tuple[Entity, Entity]]]:
-        batch: list[tuple[Entity, Entity]] = []
-        for pair in blocker.candidates(source_a, source_b):
-            batch.append(pair)
-            if len(batch) >= self._batch_size:
-                yield batch
-                batch = []
-        if batch:
-            yield batch
 
     def _batch_scores(
         self,

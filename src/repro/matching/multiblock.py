@@ -27,6 +27,14 @@ principle dismiss a pair whose edit distance is large relative to the
 string length; with the thresholds GenLink learns this does not occur
 in practice (the recall of every blocker is measurable with
 :func:`blocking_quality`).
+
+Index construction is engine-integrated: block keys are derived once
+per *distinct* transformed value tuple, per-comparison builds fan
+across the session's shared-memory executor, and finished block tables
+persist in the session store's index tier keyed by source fingerprint
+× comparison structure — warm reruns skip construction entirely.
+:func:`multiblock_supports` is the structure test behind the engine's
+default-blocker selection.
 """
 
 from __future__ import annotations
@@ -47,9 +55,15 @@ from repro.data.source import DataSource
 from repro.distances.dates import parse_date
 from repro.distances.geographic import parse_point
 from repro.distances.numeric import parse_number
+from repro.engine.compiler import signature_token, value_tree_signature
 from repro.engine.session import EngineSession
 from repro.engine.values import evaluate_value_op
-from repro.matching.blocking import Blocker, CandidatePair, FullIndexBlocker
+from repro.matching.blocking import (
+    Blocker,
+    CandidatePair,
+    FullIndexBlocker,
+    fan_entity_chunks,
+)
 from repro.transforms.registry import TransformationRegistry
 from repro.transforms.registry import default_registry as default_transforms
 
@@ -90,6 +104,15 @@ class ComparisonIndexer(ABC):
         """
         return self.block_keys(values)
 
+    def cache_token(self) -> str:
+        """Stable identity of this indexer's block-key derivation.
+
+        Part of the persistent index-tier key: two indexers with the
+        same token must file identical values under identical keys
+        (grid indexers fold their extent in, q-gram indexers their q).
+        """
+        return type(self).__name__
+
 
 class EqualityIndexer(ComparisonIndexer):
     """Exact-value blocks; dismissal-free for the equality measure."""
@@ -124,6 +147,9 @@ class QGramIndexer(ComparisonIndexer):
             raise ValueError("q must be >= 1")
         self._q = q
 
+    def cache_token(self) -> str:
+        return f"QGramIndexer:q={self._q}"
+
     def block_keys(self, values: Sequence[str]) -> set:
         keys: set[str] = set()
         for value in values:
@@ -152,6 +178,12 @@ class GridIndexer(ComparisonIndexer):
         if not (extent > 0.0) or not math.isfinite(extent):
             raise ValueError(f"extent must be positive and finite, got {extent}")
         self._extent = extent
+
+    def cache_token(self) -> str:
+        # repr() of the float is exact, so extents that differ in any
+        # bit key differently (subclasses inherit: their class name and
+        # derived extent identify the projection + grid).
+        return f"{type(self).__name__}:extent={self._extent!r}"
 
     def project(self, value: str) -> float | None:
         """The numeric projection of one value; None if unparseable.
@@ -269,13 +301,37 @@ def indexer_for_comparison(node: ComparisonNode) -> ComparisonIndexer | None:
     return None
 
 
+def multiblock_supports(rule: LinkageRule) -> bool:
+    """Whether a rule's comparison structure gives MultiBlock a
+    selective, dismissal-free candidate set.
+
+    Mirrors the candidate-set algebra of :class:`MultiBlocker`: a
+    comparison is selective iff it has an indexer at its threshold; a
+    ``min`` aggregation is selective if *any* child is (intersection);
+    ``max``/``wmean`` need *every* child selective, because the union
+    with one unindexable child is the whole source. Engines use this to
+    pick :class:`MultiBlocker` as the default only where it actually
+    prunes.
+    """
+
+    def selective(node: SimilarityNode) -> bool:
+        if isinstance(node, ComparisonNode):
+            return indexer_for_comparison(node) is not None
+        assert isinstance(node, AggregationNode)
+        if node.function == "min":
+            return any(selective(child) for child in node.operators)
+        return all(selective(child) for child in node.operators)
+
+    return selective(rule.root)
+
+
 @dataclass(frozen=True)
 class ComparisonIndex:
     """A built index of source B for one comparison."""
 
     comparison: ComparisonNode
     indexer: ComparisonIndexer
-    #: block key -> uids of B entities filed under it.
+    #: block key -> uids of B entities filed under it (source order).
     blocks: dict
 
     def candidates_for(
@@ -291,27 +347,85 @@ class ComparisonIndex:
         return uids
 
 
+def comparison_index_token(
+    comparison: ComparisonNode, indexer: ComparisonIndexer
+) -> str:
+    """Persistent-tier key token of one comparison's target index.
+
+    Combines the indexer's block-key derivation (class + extent/q —
+    thresholds enter *only* through the indexer they select) with the
+    canonical structural signature of the target value tree, so every
+    weight mutation and every comparison sharing the same target tree
+    and indexer configuration shares one persisted index.
+    """
+    return (
+        f"cmpidx:v1:{indexer.cache_token()}:"
+        f"{signature_token(value_tree_signature(comparison.target))}"
+    )
+
+
 def build_comparison_index(
     comparison: ComparisonNode,
     source_b: DataSource,
     transforms: TransformationRegistry,
     session: EngineSession | None = None,
+    fan: bool = True,
 ) -> ComparisonIndex | None:
     """Index source B under a comparison's target value tree.
 
     With a ``session``, transformed values go through the engine's
-    value cache: comparisons sharing a value tree (and the rule
-    evaluation that follows blocking, when it shares the session) reuse
-    the work instead of re-running the transformations per index.
+    value cache (shared with the rule evaluation that follows blocking)
+    and the finished block table resolves through the session's index
+    memo and the persistent store's index tier — a warm rerun over an
+    unchanged source skips construction entirely.
+
+    Construction is value-memoised: block keys are derived once per
+    *distinct* transformed value tuple, and (with ``fan=True``) value
+    extraction fans across the session's shared-memory executor.
+    Callers that already parallelise per comparison pass ``fan=False``
+    — nesting executor fan-outs inside pool workers would deadlock a
+    saturated thread pool.
     """
     indexer = indexer_for_comparison(comparison)
     if indexer is None:
         return None
-    blocks: dict = {}
-    for entity in source_b:
-        values = _entity_values(comparison.target, entity, transforms, session)
-        for key in indexer.block_keys(values):
-            blocks.setdefault(key, set()).add(entity.uid)
+
+    def build() -> dict:
+        chunk_session = session if fan else None
+
+        def extract(chunk):
+            return [
+                (
+                    entity.uid,
+                    _entity_values(comparison.target, entity, transforms, session),
+                )
+                for entity in chunk
+            ]
+
+        per_entity = fan_entity_chunks(chunk_session, source_b.entities(), extract)
+        key_memo: dict[tuple[str, ...], tuple] = {}
+        blocks: dict = {}
+        for uid, values in per_entity:
+            keys = key_memo.get(values)
+            if keys is None:
+                keys = tuple(indexer.block_keys(values))
+                key_memo[values] = keys
+            for key in keys:
+                block = blocks.get(key)
+                if block is None:
+                    blocks[key] = [uid]
+                else:
+                    block.append(uid)
+        return {key: tuple(uids) for key, uids in blocks.items()}
+
+    if session is not None:
+        blocks = session.blocking_index(
+            source_b.fingerprint(),
+            comparison_index_token(comparison, indexer),
+            build,
+        )
+    else:
+        blocks = build()
     return ComparisonIndex(comparison=comparison, indexer=indexer, blocks=blocks)
 
 
@@ -332,6 +446,13 @@ class MultiBlocker(Blocker):
     ):
         self._rule = rule
         self._max_comparisons = max_comparisons
+        #: Built with defaults (no pinned transforms/session): such a
+        #: blocker adopts an engine-passed run session wholesale, so an
+        #: explicit `MatchingEngine(blocker=MultiBlocker(rule),
+        #: cache_dir=...)` still indexes through the engine's caches
+        #: and persistent index tier — and through the transforms the
+        #: engine will evaluate the rule under.
+        self._adoptable = session is None and transforms is None
         if session is None:
             self._transforms = (
                 transforms if transforms is not None else default_transforms()
@@ -348,6 +469,14 @@ class MultiBlocker(Blocker):
             self._transforms = session.transforms
             self._session = session
 
+    def _active_session(self, session: "EngineSession | None") -> EngineSession:
+        """The session one call runs under: an engine-passed session
+        when this blocker is adoptable (built with defaults), its own
+        pinned session otherwise."""
+        if session is not None and self._adoptable:
+            return session
+        return self._session
+
     # -- candidate set algebra -------------------------------------------------
     def _node_candidates(
         self,
@@ -355,6 +484,7 @@ class MultiBlocker(Blocker):
         entity: Entity,
         indexes: dict[int, ComparisonIndex],
         all_uids: frozenset[str],
+        session: EngineSession,
     ) -> frozenset[str]:
         """UIDs of B entities that could make ``node`` score > 0 for
         ``entity``; ``all_uids`` when the node is not indexable."""
@@ -363,11 +493,11 @@ class MultiBlocker(Blocker):
             if index is None:
                 return all_uids
             return frozenset(
-                index.candidates_for(entity, self._transforms, self._session)
+                index.candidates_for(entity, session.transforms, session)
             )
         assert isinstance(node, AggregationNode)
         child_sets = [
-            self._node_candidates(child, entity, indexes, all_uids)
+            self._node_candidates(child, entity, indexes, all_uids, session)
             for child in node.operators
         ]
         if node.function == "min":
@@ -382,17 +512,59 @@ class MultiBlocker(Blocker):
             result = result | child_set
         return result
 
+    def signature(self) -> str | None:
+        """None: MultiBlock persistence is finer-grained — each
+        comparison index is its own index-tier entry (see
+        :func:`comparison_index_token`), so rules sharing comparisons
+        share persisted indexes."""
+        return None
+
+    def build_index(self, source, session=None):
+        """All comparison indexes of this blocker's rule over a target
+        source, keyed by comparison node id (construction fans across
+        the session executor; each index resolves through the
+        session's memo and persistent index tier). A blocker with
+        pinned transforms or an explicit session uses its own session
+        regardless of ``session`` — its transforms define the index
+        keys."""
+        comparisons = self._rule.comparisons()[: self._max_comparisons]
+        own = self._active_session(session)
+        transforms = own.transforms
+        executor = own.executor
+        if (
+            executor.shares_memory
+            and executor.workers > 1
+            and len(comparisons) > 1
+        ):
+            built = executor.map(
+                lambda comparison: build_comparison_index(
+                    comparison, source, transforms, own, fan=False
+                ),
+                comparisons,
+            )
+        else:
+            built = [
+                build_comparison_index(
+                    comparison, source, transforms, own, fan=True
+                )
+                for comparison in comparisons
+            ]
+        return {
+            id(comparison): index
+            for comparison, index in zip(comparisons, built)
+            if index is not None
+        }
+
     def candidates(
         self, source_a: DataSource, source_b: DataSource
     ) -> Iterator[CandidatePair]:
-        comparisons = self._rule.comparisons()[: self._max_comparisons]
-        indexes: dict[int, ComparisonIndex] = {}
-        for comparison in comparisons:
-            index = build_comparison_index(
-                comparison, source_b, self._transforms, self._session
-            )
-            if index is not None:
-                indexes[id(comparison)] = index
+        return self._iter_pairs(source_a, source_b, None)
+
+    def _iter_pairs(self, source_a, source_b, session):
+        own = self._active_session(session)
+        indexes: dict[int, ComparisonIndex] = self.build_index(
+            source_b, session=session
+        )
         if not indexes:
             yield from FullIndexBlocker().candidates(source_a, source_b)
             return
@@ -402,7 +574,7 @@ class MultiBlocker(Blocker):
         dedup = source_a is source_b
         for entity_a in source_a:
             uids = self._node_candidates(
-                self._rule.root, entity_a, indexes, all_uids
+                self._rule.root, entity_a, indexes, all_uids, own
             )
             for uid in sorted(uids):
                 if dedup and entity_a.uid >= uid:

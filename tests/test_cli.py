@@ -97,3 +97,29 @@ class TestLearnCommand:
         document = output[output.index("<Silk>"):]
         config = parse_silk_config(document)
         assert config.interlink("restaurant").rule is not None
+
+    def test_learn_with_execute(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_BLOCKER", "auto")
+        assert main(["learn", "restaurant", "--execute"]) == 0
+        output = capsys.readouterr().out
+        assert "executed over the full sources" in output
+        assert "precision=" in output
+
+    def test_blocker_flag_sets_strategy_and_banner(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_BLOCKER", "")
+        assert main(["--blocker", "multiblock", "learn", "restaurant",
+                     "--execute"]) == 0
+        output = capsys.readouterr().out
+        assert "[blocker: multiblock]" in output
+        assert "executed over the full sources" in output
+
+    def test_invalid_blocker_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--blocker", "bogus", "learn", "restaurant"])
+
+    def test_cache_info_reports_both_tiers(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_CACHE", str(tmp_path))
+        assert main(["cache", "info"]) == 0
+        output = capsys.readouterr().out
+        assert "columns         : 0" in output
+        assert "indexes         : 0" in output

@@ -126,6 +126,66 @@ class TestRuleCompiler:
         compiler.compile(_comparison(threshold=9.0))
         assert compiler.comparison_op_count == 1
 
+    def test_value_tree_signature_matches_interned_signatures(self):
+        """The standalone signature function (used by blocking-index
+        cache keys) must produce exactly what the compiler interns."""
+        from repro.engine.compiler import value_tree_signature
+
+        compiler = RuleCompiler()
+        trees = [
+            PropertyNode("name"),
+            TransformationNode("lowerCase", (PropertyNode("name"),)),
+            TransformationNode(
+                "replace",
+                (TransformationNode("tokenize", (PropertyNode("x"),)),),
+                params=(("search", "a"), ("replace", "b")),
+            ),
+        ]
+        for tree in trees:
+            assert compiler.value_signature(tree) == value_tree_signature(tree)
+
+
+class TestBlockingIndexMemo:
+    def test_builds_once_per_key(self):
+        session = EngineSession()
+        calls = []
+
+        def build():
+            calls.append(1)
+            return {"tok": ("u1",)}
+
+        first = session.blocking_index("fp", "token:v1", build)
+        second = session.blocking_index("fp", "token:v1", build)
+        assert first is second
+        assert len(calls) == 1
+
+    def test_keys_separate_fingerprints_and_tokens(self):
+        session = EngineSession()
+        a = session.blocking_index("fp1", "tok", lambda: {"a": ()})
+        b = session.blocking_index("fp2", "tok", lambda: {"b": ()})
+        c = session.blocking_index("fp1", "other", lambda: {"c": ()})
+        assert a != b and a != c
+
+    def test_persists_through_the_store(self, tmp_path):
+        cold = EngineSession(store=str(tmp_path))
+        payload = cold.blocking_index("fp", "tok", lambda: {"a": ("x",)})
+        assert cold.stats().store.index_writes == 1
+
+        warm = EngineSession(store=str(tmp_path))
+        loaded = warm.blocking_index(
+            "fp", "tok", lambda: pytest.fail("must load, not rebuild")
+        )
+        assert loaded == payload
+        assert warm.stats().store.index_hits == 1
+
+    def test_clear_caches_drops_the_memo(self):
+        session = EngineSession()
+        session.blocking_index("fp", "tok", lambda: {"a": ()})
+        session.clear_caches()
+        calls = []
+        session.blocking_index("fp", "tok", lambda: calls.append(1) or {"a": ()})
+        assert calls == [1]
+
 
 class TestEngineSession:
     def test_threshold_mutation_reuses_distance_column(self):

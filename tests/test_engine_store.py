@@ -22,7 +22,12 @@ from repro.data.entity import Entity
 from repro.data.source import DataSource
 from repro.datasets import load_dataset
 from repro.engine import CACHE_ENV, ColumnStore, EngineSession, resolve_store
-from repro.engine.store import StoreStats, column_key, pairs_fingerprint
+from repro.engine.store import (
+    StoreStats,
+    column_key,
+    index_key,
+    pairs_fingerprint,
+)
 from repro.matching import FullIndexBlocker, MatchingEngine
 
 
@@ -302,6 +307,86 @@ class TestSessionTier:
         assert warm.stats().store.hits == 2
         for cold_vector, warm_vector in zip(cold_vectors, warm_vectors):
             np.testing.assert_array_equal(cold_vector, warm_vector)
+
+
+class TestIndexTier:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = ColumnStore(tmp_path)
+        payload = {"berlin": ("b1", "b3"), "bonn": ("b2",), 7: ("b4",)}
+        key = index_key("fp", "token-index:v1")
+        assert store.save_index(key, payload)
+        loaded = store.load_index(key)
+        assert loaded == payload
+        stats = store.stats()
+        assert stats.index_writes == 1
+        assert stats.index_hits == 1
+        assert stats.index_misses == 0
+        assert stats.bytes_written > 0 and stats.bytes_read > 0
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        store = ColumnStore(tmp_path)
+        assert store.load_index(index_key("fp", "nope")) is None
+        assert store.stats().index_misses == 1
+
+    def test_corrupt_blob_discarded_and_counted(self, tmp_path):
+        store = ColumnStore(tmp_path)
+        key = index_key("fp", "tok")
+        assert store.save_index(key, {"a": ("x",)})
+        path = store._index_path(key)
+        path.write_bytes(b"\x80\x05garbage-truncated")
+        assert store.load_index(key) is None
+        assert not path.exists()  # dropped so a rebuild can replace it
+        stats = store.stats()
+        assert stats.index_invalid == 1
+        assert stats.index_misses == 1
+
+    def test_index_keys_separate_sources_and_blockers(self):
+        assert index_key("fp1", "tok") != index_key("fp2", "tok")
+        assert index_key("fp1", "tok") != index_key("fp1", "snb")
+
+    def test_describe_and_clear_cover_indexes(self, tmp_path):
+        store = ColumnStore(tmp_path)
+        store.save(column_key("fp", "op"), np.zeros(4))
+        store.save_index(index_key("fp", "tok"), {"a": ("x",)})
+        info = store.describe()
+        assert info["columns"] == 1
+        assert info["indexes"] == 1
+        assert info["entries"] == 2
+        assert store.clear() == 2
+        assert store.describe()["entries"] == 0
+
+    def test_gc_evicts_cold_indexes(self, tmp_path):
+        store = ColumnStore(tmp_path)
+        store.save_index(index_key("fp", "cold"), {"a": ("x",)})
+        old = store._index_path(index_key("fp", "cold"))
+        stale = 10 * 86400
+        os.utime(old, (old.stat().st_atime - stale, old.stat().st_mtime - stale))
+        store.save_index(index_key("fp", "hot"), {"b": ("y",)})
+        result = store.gc(max_age_days=1.0)
+        assert result.removed == 1
+        assert store.load_index(index_key("fp", "hot")) is not None
+
+    def test_stats_delta_and_merge_cover_index_counters(self, tmp_path):
+        store = ColumnStore(tmp_path)
+        baseline = store.stats()
+        store.save_index(index_key("fp", "tok"), {"a": ("x",)})
+        store.load_index(index_key("fp", "tok"))
+        delta = store.stats().delta(baseline)
+        assert (delta.index_writes, delta.index_hits) == (1, 1)
+        merged = StoreStats.merged([delta, delta])
+        assert merged.index_hits == 2
+        assert merged.index_writes == 2
+
+    def test_unreadable_directory_degrades_to_cold(self, tmp_path):
+        store = ColumnStore(tmp_path / "missing")
+        with mock.patch("tempfile.mkstemp", side_effect=OSError("full")):
+            assert not store.save_index(index_key("fp", "tok"), {"a": ()})
+        assert store.load_index(index_key("fp", "tok")) is None
+
+    def test_unpicklable_payload_is_skipped(self, tmp_path):
+        store = ColumnStore(tmp_path)
+        assert not store.save_index(index_key("fp", "bad"), lambda: None)
+        assert store.stats().index_writes == 0
 
 
 class TestConcurrentWriters:

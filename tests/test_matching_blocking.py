@@ -6,11 +6,13 @@ from repro.core.nodes import ComparisonNode, PropertyNode, TransformationNode
 from repro.core.rule import LinkageRule
 from repro.data.entity import Entity
 from repro.data.source import DataSource
+from repro.engine.session import EngineSession
 from repro.matching.blocking import (
     FullIndexBlocker,
     RuleBlocker,
     SortedNeighbourhoodBlocker,
     TokenBlocker,
+    _tokens_of,
 )
 
 
@@ -93,6 +95,119 @@ class TestTokenBlocker:
             assert entity_a.uid < entity_b.uid
 
 
+class TestTokenIndex:
+    def test_index_maps_tokens_to_uids_in_source_order(self):
+        _, source_b = _sources()
+        index = TokenBlocker(["name"]).build_index(source_b)
+        assert index["berlin"] == ("b1",)
+        assert index["hamburg"] == ("b2",)
+
+    def test_index_tokens_match_seed_tokenisation(self):
+        """Bulk (translate/split) tokenisation produces exactly the
+        seed per-entity token sets."""
+        source_a, source_b = _sources()
+        for source in (source_a, source_b):
+            properties = source.property_names()
+            index = TokenBlocker(properties).build_index(source)
+            expected: set[str] = set()
+            for entity in source:
+                expected |= _tokens_of(entity, properties)
+            assert set(index) == expected
+
+    def test_non_ascii_tokens_match_seed_tokenisation(self):
+        """Lowering can decompose characters ('İ' → 'i' + combining
+        dot); tokenisation must happen before lowering on the Unicode
+        path so tokens never split mid-word."""
+        source = DataSource(
+            "B", [Entity("b1", {"label": "İstanbul Ölüdeniz"})]
+        )
+        index = TokenBlocker(["label"]).build_index(source)
+        assert set(index) == _tokens_of(source.get("b1"), ["label"])
+
+    def test_oversized_blocks_dropped_at_build(self):
+        source = DataSource(
+            "B", [Entity(f"b{i}", {"label": f"the item{i}"}) for i in range(9)]
+        )
+        index = TokenBlocker(["label"], max_block_size=5).build_index(source)
+        assert "the" not in index
+        assert index["item3"] == ("b3",)
+
+    def test_repeated_token_within_entity_counts_once(self):
+        """An entity repeating a token (across values/properties) files
+        once — and must not push its block over the size limit."""
+        source = DataSource(
+            "B",
+            [
+                Entity("b1", {"label": "echo echo", "alt": "echo"}),
+                Entity("b2", {"label": "echo"}),
+            ],
+        )
+        index = TokenBlocker(["label", "alt"], max_block_size=2).build_index(source)
+        assert index["echo"] == ("b1", "b2")
+
+    def test_instance_memo_reuses_index_for_unchanged_source(self):
+        _, source_b = _sources()
+        blocker = TokenBlocker(["name"])
+        assert blocker.build_index(source_b) is blocker.build_index(source_b)
+
+    def test_session_memo_shared_across_blocker_instances(self):
+        _, source_b = _sources()
+        session = EngineSession()
+        first = TokenBlocker(["name"]).build_index(source_b, session=session)
+        second = TokenBlocker(["name"]).build_index(source_b, session=session)
+        assert first is second
+        # A differently-configured blocker keys separately.
+        other = TokenBlocker(["name"], max_block_size=1).build_index(
+            source_b, session=session
+        )
+        assert other is not first
+
+    def test_signature_stable_and_parameter_sensitive(self):
+        base = TokenBlocker(["name"]).signature()
+        assert base == TokenBlocker(["name"]).signature()
+        assert TokenBlocker(["name"], max_block_size=9).signature() != base
+        assert TokenBlocker(["label"]).signature() != base
+
+    def test_executor_fanout_builds_identical_index(self):
+        source = DataSource(
+            "B",
+            [Entity(f"b{i}", {"label": f"tok{i % 50} fill{i}"}) for i in range(600)],
+        )
+        inline = TokenBlocker(["label"]).build_index(source)
+        with EngineSession(executor=4) as session:
+            fanned = TokenBlocker(["label"]).build_index(source, session=session)
+        assert fanned == inline
+
+
+class TestIterShards:
+    def test_default_chunking_matches_candidates(self):
+        source_a, source_b = _sources()
+        blocker = TokenBlocker(["label"], ["name"])
+        expected = [
+            (a.uid, b.uid) for a, b in blocker.candidates(source_a, source_b)
+        ]
+        shards = list(blocker.iter_shards(source_a, source_b, 1))
+        assert [(a.uid, b.uid) for s in shards for a, b in s] == expected
+        assert all(len(s) == 1 for s in shards)
+
+    def test_full_index_shards_are_lazy(self):
+        """The first shard of a quadratic source arrives without the
+        cross product being materialised."""
+        source = DataSource(
+            "big", [Entity(f"e{i}", {"label": str(i)}) for i in range(3000)]
+        )
+        shards = FullIndexBlocker().iter_shards(source, source, 128)
+        first = next(iter(shards))
+        assert len(first) == 128
+        assert first[0][0].uid == "e0"
+
+    def test_full_index_shards_cover_the_product(self):
+        source_a, source_b = _sources()
+        shards = list(FullIndexBlocker().iter_shards(source_a, source_b, 4))
+        assert sum(len(s) for s in shards) == 9
+        assert [len(s) for s in shards] == [4, 4, 1]
+
+
 class TestSortedNeighbourhood:
     def test_window_pairs_nearby_keys(self):
         source_a, source_b = _sources()
@@ -113,6 +228,52 @@ class TestSortedNeighbourhood:
         pairs = list(blocker.candidates(source_a, source_a))
         for entity_a, entity_b in pairs:
             assert entity_a.uid < entity_b.uid
+
+    def test_merge_matches_stable_concat_sort(self):
+        """The two-index merge reproduces a stable sort of the
+        concatenated tagged list: on key ties, all A entities come
+        before all B entities, each side in source order."""
+        source_a = DataSource(
+            "A",
+            [
+                Entity("a1", {"k": "m"}),
+                Entity("a2", {"k": "m"}),
+                Entity("a3", {"k": "a"}),
+            ],
+        )
+        source_b = DataSource(
+            "B",
+            [Entity("b1", {"k": "M"}), Entity("b2", {"k": "z"})],
+        )
+        blocker = SortedNeighbourhoodBlocker("k", window=5)
+        pairs = [(a.uid, b.uid) for a, b in blocker.candidates(source_a, source_b)]
+        # Sorted order: a3(a), a1(m), a2(m), b1(m), b2(z) — ties keep
+        # A-then-B, so a1 and a2 both precede b1.
+        assert pairs == [
+            ("a3", "b1"),
+            ("a3", "b2"),
+            ("a1", "b1"),
+            ("a1", "b2"),
+            ("a2", "b1"),
+            ("a2", "b2"),
+        ]
+
+    def test_every_window_shares_one_index(self):
+        """The window is probe-time-only: different windows share the
+        same signature and hence the same memoised sorted index."""
+        source_a, _ = _sources()
+        assert (
+            SortedNeighbourhoodBlocker("label", window=2).signature()
+            == SortedNeighbourhoodBlocker("label", window=9).signature()
+        )
+        session = EngineSession()
+        narrow = SortedNeighbourhoodBlocker("label", window=2).build_index(
+            source_a, session=session
+        )
+        wide = SortedNeighbourhoodBlocker("label", window=9).build_index(
+            source_a, session=session
+        )
+        assert narrow is wide
 
 
 class TestRuleBlocker:

@@ -2,13 +2,29 @@
 
 import pytest
 
-from repro.core.nodes import ComparisonNode, PropertyNode, TransformationNode
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    TransformationNode,
+)
 from repro.core.rule import LinkageRule
 from repro.data.entity import Entity
 from repro.data.source import DataSource
-from repro.matching.blocking import FullIndexBlocker
-from repro.matching.engine import GeneratedLink, MatchingEngine, generate_links
+from repro.matching.blocking import (
+    FullIndexBlocker,
+    RuleBlocker,
+    TokenBlocker,
+)
+from repro.matching.engine import (
+    BLOCKER_ENV,
+    GeneratedLink,
+    MatchingEngine,
+    default_blocker,
+    generate_links,
+)
 from repro.matching.evaluation import evaluate_links
+from repro.matching.multiblock import MultiBlocker
 
 
 @pytest.fixture
@@ -92,6 +108,127 @@ class TestMatchingEngine:
         )
         links = generate_links(rule, source, source, blocker=FullIndexBlocker())
         assert {link.as_pair() for link in links} == {("e1", "e2")}
+
+
+class TestDefaultBlocker:
+    def _indexable_rule(self):
+        return LinkageRule(
+            ComparisonNode(
+                "levenshtein",
+                1.0,
+                TransformationNode("lowerCase", (PropertyNode("label"),)),
+                TransformationNode("lowerCase", (PropertyNode("name"),)),
+            )
+        )
+
+    def _unindexable_rule(self):
+        # mongeElkan has no dismissal-free index; the property roots
+        # still allow token blocking.
+        return LinkageRule(
+            ComparisonNode(
+                "mongeElkan", 0.5, PropertyNode("label"), PropertyNode("name")
+            )
+        )
+
+    def test_auto_picks_multiblock_for_indexable_rules(self):
+        assert isinstance(default_blocker(self._indexable_rule()), MultiBlocker)
+
+    def test_auto_falls_back_to_rule_blocking(self):
+        assert isinstance(default_blocker(self._unindexable_rule()), RuleBlocker)
+
+    def test_auto_max_needs_every_branch_indexable(self):
+        rule = LinkageRule(
+            AggregationNode(
+                "max",
+                (
+                    self._indexable_rule().root,
+                    self._unindexable_rule().root,
+                ),
+            )
+        )
+        assert isinstance(default_blocker(rule), RuleBlocker)
+        intersecting = LinkageRule(
+            AggregationNode(
+                "min",
+                (
+                    self._indexable_rule().root,
+                    self._unindexable_rule().root,
+                ),
+            )
+        )
+        assert isinstance(default_blocker(intersecting), MultiBlocker)
+
+    def test_explicit_specs(self):
+        rule = self._unindexable_rule()
+        assert isinstance(default_blocker(rule, "full"), FullIndexBlocker)
+        assert isinstance(default_blocker(rule, "multiblock"), MultiBlocker)
+        assert isinstance(default_blocker(rule, "rule"), RuleBlocker)
+        with pytest.raises(ValueError, match="invalid blocker spec"):
+            default_blocker(rule, "bogus")
+
+    def test_env_var_overrides_auto(self, monkeypatch, rule, sources):
+        source_a, source_b = sources
+        monkeypatch.setenv(BLOCKER_ENV, "full")
+        engine = MatchingEngine()
+        links = engine.execute(rule, source_a, source_b)
+        assert {link.as_pair() for link in links} == {("a1", "b1"), ("a2", "b2")}
+
+    def test_default_run_equals_full_index_run(self, rule, sources):
+        source_a, source_b = sources
+        default_links = MatchingEngine().execute(rule, source_a, source_b)
+        full_links = MatchingEngine(blocker=FullIndexBlocker()).execute(
+            rule, source_a, source_b
+        )
+        assert default_links == full_links
+
+    def test_explicit_blocker_wins_over_env(self, monkeypatch, rule, sources):
+        source_a, source_b = sources
+        monkeypatch.setenv(BLOCKER_ENV, "full")
+        engine = MatchingEngine(blocker=TokenBlocker(["label"], ["name"]))
+        links = engine.execute(rule, source_a, source_b)
+        assert {link.as_pair() for link in links} == {("a1", "b1"), ("a2", "b2")}
+
+
+class TestWindow:
+    def test_default_window_is_twice_the_workers(self):
+        # Explicit worker counts: the ambient REPRO_ENGINE_WORKERS (set
+        # by CI's matrix legs) must not leak into this assertion.
+        assert MatchingEngine(workers=0).window == 1  # serial floor
+        engine = MatchingEngine(workers=3)
+        try:
+            assert engine.window == 6
+        finally:
+            engine.close()
+
+    def test_explicit_window_resolves(self):
+        engine = MatchingEngine(workers=2, window=7)
+        try:
+            assert engine.window == 7
+        finally:
+            engine.close()
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            MatchingEngine(window=0)
+
+    def test_window_depth_never_changes_links(self, rule, sources):
+        source_a, source_b = sources
+        reference = None
+        for window in (1, 2, 8):
+            engine = MatchingEngine(
+                blocker=FullIndexBlocker(),
+                batch_size=2,
+                workers=2,
+                window=window,
+            )
+            try:
+                links = list(engine.iter_links(rule, source_a, source_b))
+            finally:
+                engine.close()
+            if reference is None:
+                reference = links
+            else:
+                assert links == reference
 
 
 class TestEvaluateLinks:

@@ -292,6 +292,68 @@ class TestMultiBlocker:
         ]
 
 
+class TestSessionAdoption:
+    def _rule(self):
+        return LinkageRule(
+            ComparisonNode(
+                metric="levenshtein",
+                threshold=1.0,
+                source=TransformationNode("lowerCase", (PropertyNode("label"),)),
+                target=TransformationNode("lowerCase", (PropertyNode("label"),)),
+            )
+        )
+
+    def test_default_blocker_adopts_engine_session(self, tmp_path):
+        """An explicitly-passed, default-constructed MultiBlocker must
+        still index through the engine's cache_dir (persistent index
+        tier)."""
+        from repro.matching.engine import MatchingEngine
+
+        source_a, source_b, __ = city_sources()
+        rule = self._rule()
+        engine = MatchingEngine(
+            blocker=MultiBlocker(rule), cache_dir=str(tmp_path)
+        )
+        try:
+            cold = engine.execute(rule, source_a, source_b)
+        finally:
+            engine.close()
+        store = engine.last_run_stats().store
+        assert store.index_writes > 0
+
+        warm_engine = MatchingEngine(
+            blocker=MultiBlocker(rule), cache_dir=str(tmp_path)
+        )
+        try:
+            warm = warm_engine.execute(rule, source_a, source_b)
+        finally:
+            warm_engine.close()
+        warm_store = warm_engine.last_run_stats().store
+        assert warm == cold
+        assert warm_store.index_misses == 0
+        assert warm_store.index_hits > 0
+
+    def test_pinned_session_is_kept(self, tmp_path):
+        """A blocker constructed over an explicit session keeps it —
+        its transforms define the index keys — so the engine's store
+        sees no index traffic."""
+        from repro.engine.session import EngineSession
+        from repro.matching.engine import MatchingEngine
+
+        source_a, source_b, __ = city_sources()
+        rule = self._rule()
+        pinned = EngineSession()
+        engine = MatchingEngine(
+            blocker=MultiBlocker(rule, session=pinned),
+            cache_dir=str(tmp_path),
+        )
+        try:
+            engine.execute(rule, source_a, source_b)
+        finally:
+            engine.close()
+        assert engine.last_run_stats().store.index_writes == 0
+
+
 class TestComparisonIndex:
     def test_build_and_probe(self):
         source_a, source_b, __ = city_sources()
