@@ -1,13 +1,25 @@
 """Frozen per-entity blocking baseline (pre-vectorization).
 
-Verbatim copies of the index-construction paths that
-``repro.matching.blocking.TokenBlocker`` and
-``repro.matching.multiblock.build_comparison_index`` shipped before the
-blocking front-end was vectorized: tokenisation/key extraction runs
-once per *entity occurrence* (no distinct-value memoisation, no bulk
-dict assembly, no executor fan-out). ``bench_micro_engine.py`` measures
-the live implementations against these, and asserts the candidate
-sets stay identical — the speedup must never buy a different result.
+Two generations of frozen code live here:
+
+* **Index construction** (PR 4 baseline): verbatim copies of the
+  construction paths that ``repro.matching.blocking.TokenBlocker`` and
+  ``repro.matching.multiblock.build_comparison_index`` shipped before
+  the blocking front-end was vectorized — tokenisation/key extraction
+  runs once per *entity occurrence* (no distinct-value memoisation, no
+  bulk dict assembly, no executor fan-out).
+* **Probing** (PR 5 baseline): verbatim copies of the per-entity probe
+  loops the blockers shipped before batch probing —
+  ``seed_token_probe`` (per-A-entity tokenise + per-uid seen-set
+  loop), ``seed_snb_pairs`` (Python merge + sliding-window loop) and
+  ``seed_multiblock_probe`` (per-entity recursive candidate algebra,
+  no probe-key memoisation).
+
+``bench_micro_engine.py`` measures the live implementations against
+these, and asserts the candidate sets stay identical — the speedup
+must never buy a different result. ``tests/test_probe_parity.py``
+additionally pins batch probing to the frozen probe loops
+property-based.
 
 Do not "improve" this module; its value is being frozen.
 """
@@ -15,7 +27,8 @@ Do not "improve" this module; its value is being frozen.
 from __future__ import annotations
 
 import re
-from typing import Iterable
+from itertools import islice
+from typing import Iterable, Iterator, Sequence
 
 from repro.data.entity import Entity
 from repro.data.source import DataSource
@@ -92,3 +105,244 @@ def seed_comparison_blocks(comparison, source_b, indexer, entity_values) -> dict
         for key in indexer.block_keys(values):
             blocks.setdefault(key, set()).add(entity.uid)
     return blocks
+
+
+# ---------------------------------------------------------------------------
+# Frozen per-entity probe loops (the pre-batch-probing implementations,
+# operating over *live-built* indexes so timings isolate the probe side).
+# ---------------------------------------------------------------------------
+
+#: Frozen copy of the bulk tokenisation the per-entity probe loop used
+#: (the probe baseline postdates bulk tokenisation; what it predates is
+#: batch probing, so it tokenises exactly like the live path).
+_ASCII_TOKEN_TABLE = {i: " " for i in range(128) if not chr(i).isalnum()}
+
+
+def _text_tokens(text: str) -> list[str]:
+    if text.isascii():
+        return text.lower().translate(_ASCII_TOKEN_TABLE).split()
+    return [token.lower() for token in _TOKEN_RE.findall(text)]
+
+
+def _entity_text(entity: Entity, properties: Sequence[str]) -> str:
+    values = entity.properties
+    parts: list[str] = []
+    for name in properties:
+        entity_values = values.get(name)
+        if entity_values:
+            parts.extend(entity_values)
+    return " ".join(parts)
+
+
+def seed_token_probe(
+    source_a: DataSource,
+    source_b: DataSource,
+    index: dict,
+    properties_a: Sequence[str],
+) -> Iterator[tuple[Entity, Entity]]:
+    """The pre-batch ``TokenBlocker`` probe loop: per A entity,
+    tokenise, look up each token's block and dedup partners through a
+    per-entity Python ``seen`` set."""
+    dedup = source_a is source_b
+    for entity_a in source_a:
+        uid_a = entity_a.uid
+        seen: set[str] = set()
+        tokens = dict.fromkeys(_text_tokens(_entity_text(entity_a, properties_a)))
+        for token in tokens:
+            block = index.get(token)
+            if block is None:
+                continue
+            for uid_b in block:
+                if dedup:
+                    if uid_a >= uid_b:
+                        continue
+                elif uid_a == uid_b:
+                    continue
+                if uid_b in seen:
+                    continue
+                seen.add(uid_b)
+                yield entity_a, source_b.get(uid_b)
+
+
+def seed_snb_pairs(
+    source_a: DataSource,
+    source_b: DataSource,
+    index_a: Sequence[tuple[str, str]],
+    index_b: Sequence[tuple[str, str]],
+    window: int,
+) -> Iterator[tuple[Entity, Entity]]:
+    """The pre-batch sorted-neighbourhood probe: a Python two-index
+    merge into one tagged list, then a per-position sliding-window
+    loop with a global seen-set."""
+    dedup = source_a is source_b
+    if dedup:
+        tagged = [(source_a.get(uid), "a") for __, uid in index_a]
+    else:
+        tagged = []
+        i = j = 0
+        while i < len(index_a) and j < len(index_b):
+            if index_a[i][0] <= index_b[j][0]:
+                tagged.append((source_a.get(index_a[i][1]), "a"))
+                i += 1
+            else:
+                tagged.append((source_b.get(index_b[j][1]), "b"))
+                j += 1
+        tagged.extend(
+            (source_a.get(uid), "a") for __, uid in islice(index_a, i, None)
+        )
+        tagged.extend(
+            (source_b.get(uid), "b") for __, uid in islice(index_b, j, None)
+        )
+    seen: set[tuple[str, str]] = set()
+    for i, (entity_i, side_i) in enumerate(tagged):
+        for j in range(i + 1, min(i + window, len(tagged))):
+            entity_j, side_j = tagged[j]
+            if dedup:
+                a, b = sorted((entity_i, entity_j), key=lambda e: e.uid)
+            elif side_i == "a" and side_j == "b":
+                a, b = entity_i, entity_j
+            elif side_i == "b" and side_j == "a":
+                a, b = entity_j, entity_i
+            else:
+                continue
+            key = (a.uid, b.uid)
+            if key not in seen:
+                seen.add(key)
+                yield a, b
+
+
+def seed_multiblock_node_candidates(
+    node, entity: Entity, indexes: dict, all_uids: frozenset, session
+) -> frozenset:
+    """The pre-batch per-entity MultiBlock candidate algebra: probe
+    keys derived afresh for every entity (no memoisation across
+    entities sharing a transformed value tuple)."""
+    from repro.core.nodes import AggregationNode, ComparisonNode
+
+    if isinstance(node, ComparisonNode):
+        index = indexes.get(id(node))
+        if index is None:
+            return all_uids
+        values = session.entity_values(node.source, entity)
+        uids: set[str] = set()
+        for key in index.indexer.probe_keys(values):
+            uids.update(index.blocks.get(key, ()))
+        return frozenset(uids)
+    assert isinstance(node, AggregationNode)
+    child_sets = [
+        seed_multiblock_node_candidates(child, entity, indexes, all_uids, session)
+        for child in node.operators
+    ]
+    if node.function == "min":
+        result = child_sets[0]
+        for child_set in child_sets[1:]:
+            result = result & child_set
+        return result
+    result = frozenset()
+    for child_set in child_sets:
+        result = result | child_set
+    return result
+
+
+def seed_token_probe_kernel(
+    source_a: DataSource, index: dict, properties_a: Sequence[str]
+) -> list[tuple[str, list[str]]]:
+    """The probe *kernel* of the pre-batch token loop — per-entity
+    partner computation (tokenise, per-token block lookup, per-uid
+    ``seen``-set dedup) with the pair-level dedup/self filtering
+    lifted out, matching the unfiltered ``probe_batch`` contract.
+    Partner order is the loop's first-occurrence order."""
+    out: list[tuple[str, list[str]]] = []
+    for entity_a in source_a:
+        seen: set[str] = set()
+        partners: list[str] = []
+        tokens = dict.fromkeys(_text_tokens(_entity_text(entity_a, properties_a)))
+        for token in tokens:
+            block = index.get(token)
+            if block is None:
+                continue
+            for uid_b in block:
+                if uid_b in seen:
+                    continue
+                seen.add(uid_b)
+                partners.append(uid_b)
+        out.append((entity_a.uid, partners))
+    return out
+
+
+def seed_snb_probe_kernel(
+    source_a: DataSource,
+    source_b: DataSource,
+    index_a: Sequence[tuple[str, str]],
+    index_b: Sequence[tuple[str, str]],
+    window: int,
+) -> list[tuple[str, str]]:
+    """The probe kernel of the pre-batch sorted-neighbourhood loop —
+    the Python two-index merge plus the sliding-window scan, emitting
+    ``(uid_a, uid_b)`` window pairs without entity resolution."""
+    dedup = source_a is source_b
+    if dedup:
+        tagged = [(uid, "a") for __, uid in index_a]
+    else:
+        tagged = []
+        i = j = 0
+        while i < len(index_a) and j < len(index_b):
+            if index_a[i][0] <= index_b[j][0]:
+                tagged.append((index_a[i][1], "a"))
+                i += 1
+            else:
+                tagged.append((index_b[j][1], "b"))
+                j += 1
+        tagged.extend((uid, "a") for __, uid in islice(index_a, i, None))
+        tagged.extend((uid, "b") for __, uid in islice(index_b, j, None))
+    out: list[tuple[str, str]] = []
+    for i, (uid_i, side_i) in enumerate(tagged):
+        for j in range(i + 1, min(i + window, len(tagged))):
+            uid_j, side_j = tagged[j]
+            if dedup:
+                out.append((uid_i, uid_j) if uid_i < uid_j else (uid_j, uid_i))
+            elif side_i == "a" and side_j == "b":
+                out.append((uid_i, uid_j))
+            elif side_i == "b" and side_j == "a":
+                out.append((uid_j, uid_i))
+    return out
+
+
+def seed_multiblock_probe_kernel(
+    rule, source_a: DataSource, indexes: dict, all_uids: frozenset, session
+) -> list[tuple[str, list[str]]]:
+    """The probe kernel of the pre-batch MultiBlock loop — one
+    recursive candidate-algebra evaluation per entity plus the
+    per-entity sort that produced the deterministic emission order."""
+    out: list[tuple[str, list[str]]] = []
+    for entity_a in source_a:
+        uids = seed_multiblock_node_candidates(
+            rule.root, entity_a, indexes, all_uids, session
+        )
+        out.append((entity_a.uid, sorted(uids)))
+    return out
+
+
+def seed_multiblock_probe(
+    rule,
+    source_a: DataSource,
+    source_b: DataSource,
+    indexes: dict,
+    session,
+) -> Iterator[tuple[Entity, Entity]]:
+    """The pre-batch ``MultiBlocker`` probe loop: per A entity, one
+    recursive candidate-algebra evaluation, partners emitted in sorted
+    uid order."""
+    by_uid = {entity.uid: entity for entity in source_b}
+    all_uids = frozenset(by_uid)
+    dedup = source_a is source_b
+    for entity_a in source_a:
+        uids = seed_multiblock_node_candidates(
+            rule.root, entity_a, indexes, all_uids, session
+        )
+        for uid in sorted(uids):
+            if dedup and entity_a.uid >= uid:
+                continue
+            if not dedup and entity_a.uid == uid:
+                continue
+            yield entity_a, by_uid[uid]

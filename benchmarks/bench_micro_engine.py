@@ -28,7 +28,7 @@ from repro.core.nodes import (
 )
 from repro.core.rule import LinkageRule
 from repro.data.entity import Entity
-from repro.datasets import load_dataset
+from repro.datasets import DATASET_NAMES, load_dataset
 from repro.distances.levenshtein import levenshtein
 from repro.distances.jaro import jaro_winkler_similarity
 from repro.engine import EngineSession
@@ -503,6 +503,262 @@ def test_blocking_persistent_index_warm_rerun():
         f"\npersistent index tier: cold built {cold_store.index_writes} "
         f"index(es), warm loaded {warm_store.index_hits}, rebuilt "
         f"{warm_store.index_misses}"
+    )
+
+
+def _probe_rule(source_a, source_b):
+    """A two-comparison rule over the sources' leading properties —
+    both comparisons indexable, so MultiBlock always engages."""
+    props_a = source_a.property_names()
+    props_b = source_b.property_names()
+    second_a = props_a[1] if len(props_a) > 1 else props_a[0]
+    second_b = props_b[1] if len(props_b) > 1 else props_b[0]
+    return LinkageRule(
+        AggregationNode(
+            "max",
+            (
+                ComparisonNode(
+                    "jaccard",
+                    0.5,
+                    TransformationNode("tokenize", (PropertyNode(props_a[0]),)),
+                    TransformationNode("tokenize", (PropertyNode(props_b[0]),)),
+                ),
+                ComparisonNode(
+                    "equality",
+                    0.0,
+                    TransformationNode("lowerCase", (PropertyNode(second_a),)),
+                    TransformationNode("lowerCase", (PropertyNode(second_b),)),
+                ),
+            ),
+        )
+    )
+
+
+def _snb_key(source_a, source_b) -> str:
+    names_b = set(source_b.property_names())
+    for name in source_a.property_names():
+        if name in names_b:
+            return name
+    return source_a.property_names()[0]
+
+
+class _FrozenCandidates(FullIndexBlocker):
+    """Replays a fixed candidate-pair list (the frozen-probe reference
+    path for link-parity checks)."""
+
+    def __init__(self, pairs):
+        self._pairs = list(pairs)
+
+    def candidates(self, source_a, source_b):
+        return iter(self._pairs)
+
+
+def test_blocking_probe_speedup():
+    """Batch probing must beat the frozen per-entity probe loops by
+    >=2x on the engine's repeated-execution profile, and must never
+    buy a different result: candidate sets and generated links stay
+    byte-identical across all six bundled datasets x blockers
+    {multiblock, token, sorted-neighbourhood} x workers
+    {0, 2, process:2}.
+
+    The timed workload is the probe side proper — per-entity partner
+    computation over prebuilt indexes, two sweeps (one learning + one
+    matching pass, the minimum), including the batch path's one-off
+    code-view derivation — because pair materialisation downstream of
+    probing is shared by both implementations. Links are compared via
+    ``MatchingEngine.execute`` (deterministically sorted), with the
+    reference engine replaying the frozen probes' candidate pairs.
+    """
+    from _seed_blocking import (
+        seed_multiblock_probe,
+        seed_multiblock_probe_kernel,
+        seed_snb_pairs,
+        seed_snb_probe_kernel,
+        seed_token_probe,
+        seed_token_probe_kernel,
+    )
+
+    from repro.experiments.scale import current_scale
+    from repro.engine.executor import ProcessExecutor, ThreadExecutor
+    from repro.matching.blocking import (
+        _PROBE_CHUNK,
+        SortedNeighbourhoodBlocker,
+    )
+    from repro.matching.engine import MatchingEngine
+    from repro.matching.multiblock import MultiBlocker
+
+    # ---- speedup: 2-run probe workload over the heaviest bundled
+    # probe mass (cora at half scale, as in the index-build bench).
+    dataset = load_dataset("cora", seed=4, scale=0.5)
+    source_a, source_b = dataset.source_a, dataset.source_b
+    entities = source_a.entities()
+    props = source_b.property_names()
+    rule = _probe_rule(source_a, source_b)
+
+    token_blocker = TokenBlocker(props)
+    token_index = token_blocker.build_index(source_b)
+    snb = SortedNeighbourhoodBlocker(_snb_key(source_a, source_b), window=7)
+    snb_index_a = snb.build_index(source_a)
+    snb_index_b = snb.build_index(source_b)
+    multi = MultiBlocker(rule)
+    multi_indexes = multi.build_index(source_b)
+    seed_session = EngineSession()
+    all_uids = frozenset(entity.uid for entity in source_b)
+
+    runs = 2  # one learning pass + one matching pass, the minimum
+
+    def seed_workload():
+        for _ in range(runs):
+            seed_token_probe_kernel(source_a, token_index, props)
+            seed_snb_probe_kernel(
+                source_a, source_b, snb_index_a, snb_index_b, 7
+            )
+            seed_multiblock_probe_kernel(
+                rule, source_a, multi_indexes, all_uids, seed_session
+            )
+
+    def batch_workload():
+        session = EngineSession()
+        for _ in range(runs):
+            for blocker in (token_blocker, snb, multi):
+                probe_index = blocker.probe_index(
+                    source_a, source_b, session=session
+                )
+                memo: dict = {}
+                for start in range(0, len(entities), _PROBE_CHUNK):
+                    chunk = entities[start : start + _PROBE_CHUNK]
+                    if blocker is snb:
+                        blocker.probe_batch(chunk, probe_index, session)
+                    else:
+                        blocker.probe_batch(
+                            chunk, probe_index, session, memo=memo
+                        )
+
+    # Per-entity probe parity before timing anything: the batch results
+    # must be exactly the frozen kernels' candidates.
+    token_probe_index = token_blocker.probe_index(source_a, source_b)
+    batch_token = token_blocker.probe_batch(entities, token_probe_index)
+    for (uid_a, partners), codes in zip(
+        seed_token_probe_kernel(source_a, token_index, props), batch_token
+    ):
+        assert set(partners) == set(
+            token_blocker.probe_uids(token_probe_index, codes)
+        ), uid_a
+    multi_probe_index = multi.probe_index(source_a, source_b)
+    batch_multi = multi.probe_batch(entities, multi_probe_index)
+    for (uid_a, partners), codes in zip(
+        seed_multiblock_probe_kernel(
+            rule, source_a, multi_indexes, all_uids, seed_session
+        ),
+        batch_multi,
+    ):
+        assert tuple(partners) == multi.probe_uids(
+            multi_probe_index, codes
+        ), uid_a
+
+    def best_of(trials, fn):
+        best = float("inf")
+        for _ in range(trials):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    seed_seconds = best_of(3, seed_workload)
+    batch_seconds = best_of(3, batch_workload)
+    speedup = seed_seconds / batch_seconds
+    print(
+        f"\nblocking probe ({runs}-run workload, 3 blockers): seed "
+        f"{seed_seconds * 1000:.1f} ms, batch {batch_seconds * 1000:.1f} ms, "
+        f"speedup {speedup:.1f}x"
+    )
+
+    # ---- parity: candidate sets and links across every bundled
+    # dataset, blocker and worker strategy.
+    scale = current_scale().effective_dataset_scale(0)
+    thread_executor = ThreadExecutor(2)
+    process_executor = ProcessExecutor(2)
+    try:
+        for name in DATASET_NAMES:
+            bundle = load_dataset(name, seed=23, scale=scale)
+            a, b = bundle.source_a, bundle.source_b
+            bundle_rule = _probe_rule(a, b)
+            window = 8
+            key = _snb_key(a, b)
+            reference_session = EngineSession()
+            multi_reference = MultiBlocker(bundle_rule)
+
+            def seed_pairs_of(label):
+                if label == "token":
+                    blocker = TokenBlocker(
+                        a.property_names(), b.property_names()
+                    )
+                    return list(
+                        seed_token_probe(
+                            a, b, blocker.build_index(b), a.property_names()
+                        )
+                    )
+                if label == "snb":
+                    blocker = SortedNeighbourhoodBlocker(key, window=window)
+                    return list(
+                        seed_snb_pairs(
+                            a,
+                            b,
+                            blocker.build_index(a),
+                            blocker.build_index(b),
+                            window,
+                        )
+                    )
+                return list(
+                    seed_multiblock_probe(
+                        bundle_rule,
+                        a,
+                        b,
+                        multi_reference.build_index(b),
+                        reference_session,
+                    )
+                )
+
+            makers = {
+                "multiblock": lambda: MultiBlocker(bundle_rule),
+                "token": lambda: TokenBlocker(
+                    a.property_names(), b.property_names()
+                ),
+                "snb": lambda: SortedNeighbourhoodBlocker(key, window=window),
+            }
+            for label, make in makers.items():
+                seed_pairs = seed_pairs_of(label)
+                seed_set = {(x.uid, y.uid) for x, y in seed_pairs}
+                new_set = {(x.uid, y.uid) for x, y in make().candidates(a, b)}
+                assert new_set == seed_set, (name, label)
+
+                reference_links = MatchingEngine(
+                    blocker=_FrozenCandidates(seed_pairs)
+                ).execute(bundle_rule, a, b)
+                for workers_label, workers in (
+                    ("0", 0),
+                    ("2", thread_executor),
+                    ("process:2", process_executor),
+                ):
+                    engine = MatchingEngine(blocker=make(), workers=workers)
+                    links = engine.execute(bundle_rule, a, b)
+                    assert links == reference_links, (
+                        name,
+                        label,
+                        workers_label,
+                    )
+    finally:
+        thread_executor.close()
+        process_executor.close()
+
+    if os.environ.get("CI"):
+        # Same policy as the other ratio benchmarks: shared runners
+        # make wall-clock ratios flaky; CI keeps the parity assertions
+        # and reports the ratio.
+        return
+    assert speedup >= 2.0, (
+        f"blocking probe speedup {speedup:.2f}x below the required 2x "
+        f"(seed {seed_seconds:.3f}s vs batch {batch_seconds:.3f}s)"
     )
 
 

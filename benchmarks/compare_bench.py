@@ -1,0 +1,123 @@
+"""Micro-benchmark regression gate for CI.
+
+Compares two pytest-benchmark JSON files (the previous main-branch
+``BENCH_<sha>.json`` artifact versus the current run) on per-benchmark
+*medians*, prints a delta table, and exits non-zero when any benchmark
+slowed down by more than the threshold (default 1.5x). Benchmarks that
+only exist on one side (added or removed tests) are reported but never
+fail the gate — renames must not block unrelated pushes.
+
+Standalone on purpose: no repro imports, no third-party dependencies,
+so the CI step can run it before anything else is importable.
+
+Usage::
+
+    python benchmarks/compare_bench.py BASELINE.json CURRENT.json \
+        [--threshold 1.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_medians(path: str) -> dict[str, float]:
+    """``{benchmark name: median seconds}`` of one pytest-benchmark
+    JSON file (empty when the file has no benchmarks)."""
+    data = json.loads(Path(path).read_text())
+    return {
+        bench["name"]: float(bench["stats"]["median"])
+        for bench in data.get("benchmarks", [])
+    }
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+def compare(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    threshold: float,
+) -> tuple[list[list[str]], list[str]]:
+    """Delta rows (every benchmark on either side) plus the names that
+    exceed the slowdown threshold."""
+    rows: list[list[str]] = []
+    regressions: list[str] = []
+    for name in sorted(set(baseline) | set(current)):
+        old = baseline.get(name)
+        new = current.get(name)
+        if old is None:
+            rows.append([name, "-", _format_seconds(new), "-", "new"])
+            continue
+        if new is None:
+            rows.append([name, _format_seconds(old), "-", "-", "removed"])
+            continue
+        ratio = new / old if old > 0 else float("inf")
+        flag = f"REGRESSION (>{threshold:.2f}x)" if ratio > threshold else ""
+        if flag:
+            regressions.append(name)
+        rows.append(
+            [
+                name,
+                _format_seconds(old),
+                _format_seconds(new),
+                f"{ratio:.2f}x",
+                flag,
+            ]
+        )
+    return rows, regressions
+
+
+def format_table(rows: list[list[str]]) -> str:
+    header = ["Benchmark", "Baseline median", "Current median", "Ratio", ""]
+    table = [header] + rows
+    widths = [max(len(row[i]) for row in table) for i in range(len(header))]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths).rstrip())
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="previous BENCH_<sha>.json")
+    parser.add_argument("current", help="current BENCH_<sha>.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.5,
+        help="fail when current/baseline median exceeds this (default 1.5)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_medians(args.baseline)
+    current = load_medians(args.current)
+    rows, regressions = compare(baseline, current, args.threshold)
+    if not rows:
+        print("No benchmarks found in either file.")
+        return 0
+    print(format_table(rows))
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed beyond "
+            f"{args.threshold:.2f}x: {', '.join(regressions)}"
+        )
+        return 1
+    print(f"\nNo benchmark regressed beyond {args.threshold:.2f}x.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -121,7 +121,9 @@ def main() -> None:
             f"[engine store] hits={store.hits} misses={store.misses} "
             f"writes={store.writes} index_hits={store.index_hits} "
             f"index_misses={store.index_misses} "
-            f"index_writes={store.index_writes}",
+            f"index_writes={store.index_writes} "
+            f"probe_batches={match_stats.probe_batches} "
+            f"probe_memo_hits={match_stats.probe_memo_hits}",
             file=sys.stderr,
         )
     evaluation = evaluate_links(links, matches)

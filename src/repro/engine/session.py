@@ -78,6 +78,12 @@ class EngineStats:
     #: consumers — CI assertions, docs — can tell a cross-run store
     #: hit from an in-memory value/column hit unambiguously.
     store: StoreStats | None = None
+    #: Blocking probe-side counters: batch-probe invocations recorded
+    #: by the blockers (:meth:`EngineSession.record_probe`) and probe
+    #: results served from MultiBlock's distinct-value-tuple memo
+    #: instead of fresh key derivation + postings union.
+    probe_batches: int = 0
+    probe_memo_hits: int = 0
 
     @property
     def last_comparison_reuse(self) -> float | None:
@@ -134,6 +140,12 @@ class EngineSession:
         self._store = resolve_store(store)
         self._next_context_id = 0
         self._context_id_lock = threading.Lock()
+        #: Blocking probe-side counters (monotonic; reported through
+        #: :meth:`stats` and per-run deltas in ``MatchStats``). Locked:
+        #: probe chunks may record from executor worker threads.
+        self._probe_lock = threading.Lock()
+        self._probe_batches = 0
+        self._probe_memo_hits = 0
 
     @property
     def distances(self) -> DistanceRegistry:
@@ -237,6 +249,14 @@ class EngineSession:
         self._index_cache.put(memo_key, payload)
         return payload
 
+    def record_probe(self, batches: int = 0, memo_hits: int = 0) -> None:
+        """Record blocking probe-side traffic (called by the blockers'
+        :meth:`~repro.matching.blocking.Blocker.probe_batch` paths;
+        safe from executor worker threads)."""
+        with self._probe_lock:
+            self._probe_batches += batches
+            self._probe_memo_hits += memo_hits
+
     # -- maintenance ----------------------------------------------------------
     def release_context(self, context: "PairContext") -> None:
         """Evict a context's column- and score-tier entries.
@@ -272,6 +292,8 @@ class EngineSession:
             generations=len(diffs),
             last_generation=diffs[-1] if diffs else None,
             store=self._store.stats() if self._store is not None else None,
+            probe_batches=self._probe_batches,
+            probe_memo_hits=self._probe_memo_hits,
         )
 
     def generation_diffs(self) -> "tuple[GenerationDiff, ...]":

@@ -393,8 +393,10 @@ class ColumnStore:
     def load_index(self, key: str) -> object | None:
         """The persisted blocking index for ``key``, or None on a miss.
 
-        Payloads are pickled pure-Python structures (dicts/tuples of
-        uids and block keys — never entity objects or code). A
+        Payloads are pickled plain data structures (dicts/tuples of
+        uids and block keys, numpy code arrays — never entity objects
+        or code, and never private classes, so refactors only cost a
+        clean miss). A
         truncated or otherwise unreadable blob is dropped, counted as
         ``index_invalid`` and reported as a miss so the caller rebuilds
         it. A hit renews the blob's mtime for GC recency.

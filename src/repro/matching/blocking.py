@@ -21,6 +21,20 @@ stream:
   once per *distinct value* (not once per entity occurrence), bulk
   dict operations assemble the blocks, and construction fans across
   the engine session's shared-memory executor for large sources.
+* :meth:`Blocker.probe_batch` probes the index for a whole A-side
+  chunk at once — the probe side mirrors the build side:
+  :class:`TokenBlocker` bulk-tokenises the chunk through the same
+  C-level lower/translate/split path used for indexing and unions each
+  entity's postings lists in a single pass with C-level dedup
+  (``dict.fromkeys`` over chained block tuples);
+  :class:`SortedNeighbourhoodBlocker` resolves all windows of a chunk
+  with vectorized ``numpy.searchsorted`` over its sorted merged
+  positions; :class:`~repro.matching.multiblock.MultiBlocker` memoises
+  probe results per distinct transformed value tuple. Probe chunks fan
+  across the session's shared-memory executor via
+  :func:`fan_entity_chunks`, and probe traffic is reported through the
+  session (``EngineStats.probe_batches`` / ``probe_memo_hits``,
+  surfaced per run in ``MatchStats``).
 * With an :class:`~repro.engine.session.EngineSession`, indexes are
   memoised in the session and — when the session has a persistent
   :class:`~repro.engine.store.ColumnStore` — persisted in the store's
@@ -39,8 +53,12 @@ from __future__ import annotations
 
 import re
 from abc import ABC, abstractmethod
-from itertools import islice
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from itertools import chain, islice, repeat
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
+
+import numpy as np
 
 from repro.core.nodes import PropertyNode, TransformationNode, ValueNode
 from repro.core.rule import LinkageRule
@@ -57,6 +75,44 @@ _TOKEN_RE = re.compile(r"[^\W_]+", re.UNICODE)
 #: Sources below this size are indexed inline even when the session
 #: executor could fan out — the thread hop costs more than the work.
 _FAN_THRESHOLD = 512
+
+#: A-side entities probed per :meth:`Blocker.probe_batch` call inside
+#: the pair stream. Bounds resident per-entity candidate lists (the
+#: stream stays memory-bounded like the per-entity loop it replaced)
+#: while amortising batch machinery and giving `fan_entity_chunks`
+#: enough work to fan. Never affects results — only how many entities
+#: are probed per batch.
+_PROBE_CHUNK = 2048
+
+#: Entries kept in a run's probe memo before it is dropped wholesale.
+#: The memo caches one partner-code array per distinct probe input, so
+#: its footprint is bounded by O(limit x average candidate count);
+#: clearing resets hit statistics, never results.
+_PROBE_MEMO_LIMIT = 65536
+
+#: Shared empty partner result (probing never mutates code arrays).
+_EMPTY_CODES = np.empty(0, dtype=np.int32)
+
+
+def _union_codes(blocks: list, size: int) -> np.ndarray:
+    """Union of sorted unique code blocks, sorted: one concatenate +
+    one boolean-mask assignment + one ``flatnonzero`` — three C calls,
+    with zero-copy fast paths for zero and one block."""
+    if not blocks:
+        return _EMPTY_CODES
+    if len(blocks) == 1:
+        return blocks[0]
+    mask = np.zeros(size, dtype=bool)
+    mask[np.concatenate(blocks)] = True
+    return np.flatnonzero(mask)
+
+
+def _memo_put(memo: dict, key, value) -> None:
+    """Insert into a probe memo, dropping it wholesale at the size
+    bound (resets hit statistics, never results)."""
+    if len(memo) >= _PROBE_MEMO_LIMIT:
+        memo.clear()
+    memo[key] = value
 
 
 def fan_entity_chunks(
@@ -89,17 +145,50 @@ def fan_entity_chunks(
     return merged
 
 
+def _code_pair_lists(
+    chunk: Sequence[Entity],
+    code_lists: Sequence[np.ndarray],
+    uids: Sequence[str],
+    by_code: Sequence[Entity],
+    dedup: bool,
+) -> Iterator[list[CandidatePair]]:
+    """Per-entity candidate-pair lists from partner-code arrays.
+
+    Codes are sorted in uid order, so the dedup-mode constraint
+    (``uid_a < uid_b``) is a suffix — one bisect over the uid table
+    plus one searchsorted over the codes — and self-pairs delete in
+    one probe. Each entity's pair list is built entirely in C (``zip``
+    + ``map`` over the code->entity table), and callers flatten with
+    ``chain.from_iterable``, so the pair stream costs no per-pair
+    Python bytecode at all. Code arrays are never mutated.
+    """
+    for entity_a, codes in zip(chunk, code_lists):
+        uid_a = entity_a.uid
+        if dedup:
+            floor = bisect_right(uids, uid_a)
+            codes = codes[np.searchsorted(codes, floor) :]
+        else:
+            i = bisect_left(uids, uid_a)
+            if i < len(uids) and uids[i] == uid_a:
+                j = int(np.searchsorted(codes, i))
+                if j < len(codes) and codes[j] == i:
+                    codes = np.delete(codes, j)
+        yield list(
+            zip(repeat(entity_a), map(by_code.__getitem__, codes.tolist()))
+        )
+
+
 def _chunked(
     pairs: Iterable[CandidatePair], batch_size: int
 ) -> Iterator[list[CandidatePair]]:
-    """Group a pair stream into shards of at most ``batch_size``."""
-    shard: list[CandidatePair] = []
-    for pair in pairs:
-        shard.append(pair)
-        if len(shard) >= batch_size:
-            yield shard
-            shard = []
-    if shard:
+    """Group a pair stream into shards of at most ``batch_size``
+    (C-level: one ``islice`` materialisation per shard, no per-pair
+    Python bytecode)."""
+    iterator = iter(pairs)
+    while True:
+        shard = list(islice(iterator, batch_size))
+        if not shard:
+            return
         yield shard
 
 
@@ -110,6 +199,9 @@ class Blocker(ABC):
     #: signature, payload). Lets session-less callers reuse the index
     #: across repeated runs over an unchanged source.
     _index_memo: tuple[str, str, object] | None = None
+    #: Same, for the derived probe-side view (separate slot so
+    #: alternating build/probe resolution never thrashes either memo).
+    _probe_index_memo: tuple[str, str, object] | None = None
 
     @abstractmethod
     def candidates(
@@ -176,6 +268,65 @@ class Blocker(ABC):
         """Session-aware pair stream; the default ignores the session."""
         return self.candidates(source_a, source_b)
 
+    def probe_index(
+        self,
+        source_a: DataSource,
+        source_b: DataSource,
+        session: "EngineSession | None" = None,
+    ) -> object:
+        """The probe-side state of this blocker over a source pairing
+        (the argument :meth:`probe_batch` expects as ``index``).
+
+        Builds on :meth:`build_index` — token blocking derives an
+        integer *code view* of its block table (one code per distinct
+        B uid, in sorted uid order, each block a sorted ``int32`` code
+        array) so batch probing unions postings with numpy instead of
+        per-uid Python; sorted neighbourhood precomputes the merged
+        key positions of both sides. Token and MultiBlock resolve
+        their derived views through the same session index memo /
+        persistent index tier as the block tables themselves; sorted
+        neighbourhood re-derives its positions per run (they hold live
+        entity references and cost only two searchsorted calls over
+        the already-memoised sorted indexes).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no batch probe path"
+        )
+
+    def probe_batch(
+        self,
+        entities: Sequence[Entity],
+        index: object,
+        session: "EngineSession | None" = None,
+    ) -> list[Sequence]:
+        """Candidate B-side partners for a whole chunk of probe
+        entities, against this blocker's :meth:`probe_index`.
+
+        Returns one partner sequence per probe entity, in input order:
+        already partner-deduped, in the blocker's deterministic
+        emission order, **unfiltered** — self-pairs and dedup-mode
+        ordering are the caller's concern (:meth:`_iter_pairs` applies
+        them), so parity suites can compare raw probe results
+        directly. Partners are *references into the probe index* (code
+        arrays for token/MultiBlock probing, uid slices for sorted
+        neighbourhood); :meth:`probe_uids` materialises the uid view.
+
+        With a ``session``, chunks fan across its shared-memory
+        executor (:func:`fan_entity_chunks`) and probe traffic is
+        recorded in the session's probe counters. Results never depend
+        on the session, the worker count, or how entities are chunked
+        across calls.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no batch probe path"
+        )
+
+    def probe_uids(self, index: object, partners: Sequence) -> tuple[str, ...]:
+        """The uid view of one entity's :meth:`probe_batch` result."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no batch probe path"
+        )
+
     def _resolve_index(
         self,
         source: DataSource,
@@ -195,6 +346,27 @@ class Blocker(ABC):
             return memo[2]
         payload = build()
         self._index_memo = (fingerprint, token, payload)
+        return payload
+
+    def _resolve_probe_index(
+        self,
+        source: DataSource,
+        session: "EngineSession | None",
+        token: str,
+        build: Callable[[], object],
+    ) -> object:
+        """Probe-view lookup, mirroring :meth:`_resolve_index` with an
+        explicit token and its own instance-memo slot: session memo /
+        persistent index tier when a session is available, a one-entry
+        fingerprint-keyed memo otherwise."""
+        if session is not None:
+            return session.blocking_index(source.fingerprint(), token, build)
+        fingerprint = source.fingerprint()
+        memo = self._probe_index_memo
+        if memo is not None and memo[0] == fingerprint and memo[1] == token:
+            return memo[2]
+        payload = build()
+        self._probe_index_memo = (fingerprint, token, payload)
         return payload
 
 
@@ -286,11 +458,56 @@ def _entity_text(entity: Entity, properties: Sequence[str]) -> str:
     return " ".join(parts)
 
 
+@dataclass(frozen=True)
+class _TokenProbeIndex:
+    """Integer code view of one token block table.
+
+    Codes number the distinct B uids appearing in any block, in sorted
+    uid order — so sorted code arrays are sorted uid sequences, and the
+    dedup-mode ordering constraint becomes a suffix slice. Blocks are
+    sorted unique ``int32`` arrays; the whole view pickles, so it
+    persists in the store's index tier alongside the raw block table.
+    """
+
+    #: code -> uid, ascending.
+    uids: tuple[str, ...]
+    #: token -> sorted unique codes of the B entities filed under it.
+    blocks: dict
+    #: Code-space size (mask length for the postings union).
+    size: int
+
+
+def _token_code_payload(blocks: dict) -> tuple[tuple[str, ...], dict]:
+    """Derive the probe-side code view from a raw token block table.
+
+    Returned as a plain ``(uids, code blocks)`` tuple — the form the
+    persistent index tier pickles stays free of private classes, so
+    old blobs survive refactors (an unreadable blob is just a miss).
+    """
+    uids = sorted(set(chain.from_iterable(blocks.values())))
+    code_of = {uid: code for code, uid in enumerate(uids)}
+    code_blocks = {
+        token: np.unique(
+            np.fromiter(
+                (code_of[uid] for uid in block),
+                dtype=np.int32,
+                count=len(block),
+            )
+        )
+        for token, block in blocks.items()
+    }
+    return tuple(uids), code_blocks
+
+
 class TokenBlocker(Blocker):
     """Standard token blocking: pairs sharing a token on key properties.
 
     ``max_block_size`` drops high-frequency tokens (stop words) whose
-    blocks would reintroduce quadratic behaviour.
+    blocks would reintroduce quadratic behaviour. Probing is batch
+    (:meth:`probe_batch`, over the :meth:`probe_index` code view):
+    candidates are emitted grouped per A entity in source order, each
+    entity's partners in sorted uid order — the same deterministic
+    stream for every chunking, worker count and batch size.
     """
 
     def __init__(
@@ -352,32 +569,136 @@ class TokenBlocker(Blocker):
     def candidates(self, source_a, source_b):
         return self._iter_pairs(source_a, source_b, None)
 
-    def _iter_pairs(self, source_a, source_b, session):
-        index = self.build_index(source_b, session=session)
-        properties_a = self._properties_a
-        dedup = source_a is source_b
-        for entity_a in source_a:
-            uid_a = entity_a.uid
-            # Seen partners reset per probe entity: an entity occurs
-            # once in A, so duplicates only arise within its own tokens.
-            seen: set[str] = set()
-            tokens = dict.fromkeys(
-                _text_tokens(_entity_text(entity_a, properties_a))
-            )
-            for token in tokens:
-                block = index.get(token)
-                if block is None:
+    def probe_index(self, source_a, source_b, session=None):
+        """Code view of the target block table: distinct B uids number
+        into sorted-uid order, each block becomes a sorted ``int32``
+        code array. Resolves through the same memo / persistent index
+        tier as the block table itself (key suffix ``probe-codes-v1``),
+        so warm sessions and warm stores skip the derivation."""
+        # The raw block table is only materialised inside the builder:
+        # a probe-view hit (warm session or warm store) never loads it.
+        uids, blocks = self._resolve_probe_index(
+            source_b,
+            session,
+            f"{self.signature()}|probe-codes-v1",
+            lambda: _token_code_payload(
+                self.build_index(source_b, session=session)
+            ),
+        )
+        return _TokenProbeIndex(uids=uids, blocks=blocks, size=len(uids))
+
+    def probe_batch(self, entities, index, session=None, memo=None):
+        """Batch token probe: bulk tokenisation (the same C-level
+        lower/translate/split path the index build uses) plus one
+        single-pass postings-union per entity — a boolean mask over the
+        code space absorbs every block in C and ``flatnonzero`` reads
+        the union back sorted (an entity probing a single block reuses
+        the index's own array, zero-copy). Probe results memoise per
+        distinct property text (``memo``; ``_iter_pairs`` threads one
+        through the whole run), so duplicate-heavy sources skip
+        tokenisation *and* the union."""
+        properties = self._properties_a
+        get = index.blocks.get
+        size = index.size
+        shared_memo = memo if memo is not None else {}
+
+        def probe(chunk):
+            hits = 0
+            results = []
+            for entity in chunk:
+                text = _entity_text(entity, properties)
+                codes = shared_memo.get(text)
+                if codes is not None:
+                    hits += 1
+                    results.append(codes)
                     continue
-                for uid_b in block:
-                    if dedup:
-                        if uid_a >= uid_b:
-                            continue
-                    elif uid_a == uid_b:
-                        continue
-                    if uid_b in seen:
-                        continue
-                    seen.add(uid_b)
-                    yield entity_a, source_b.get(uid_b)
+                blocks = []
+                for token in dict.fromkeys(_text_tokens(text)):
+                    block = get(token)
+                    if block is not None:
+                        blocks.append(block)
+                codes = _union_codes(blocks, size)
+                _memo_put(shared_memo, text, codes)
+                results.append(codes)
+            if session is not None and hits:
+                session.record_probe(memo_hits=hits)
+            return results
+
+        if session is not None:
+            session.record_probe(batches=1)
+        return fan_entity_chunks(session, entities, probe)
+
+    def probe_uids(self, index, partners):
+        return tuple(map(index.uids.__getitem__, partners.tolist()))
+
+    def _iter_pairs(self, source_a, source_b, session):
+        return chain.from_iterable(
+            self._iter_pair_lists(source_a, source_b, session)
+        )
+
+    def _iter_pair_lists(self, source_a, source_b, session):
+        index = self.probe_index(source_a, source_b, session=session)
+        dedup = source_a is source_b
+        uids = index.uids
+        get_b = source_b.get
+        # Entities resolve by integer code (one list index per pair)
+        # instead of by uid string.
+        by_code = [get_b(uid) for uid in uids]
+        entities = source_a.entities()
+        memo: dict = {}
+        for start in range(0, len(entities), _PROBE_CHUNK):
+            chunk = entities[start : start + _PROBE_CHUNK]
+            yield from _code_pair_lists(
+                chunk,
+                self.probe_batch(chunk, index, session, memo=memo),
+                uids,
+                by_code,
+                dedup,
+            )
+
+
+@dataclass(frozen=True)
+class _SnbProbeState:
+    """Precomputed probe geometry of one sorted-neighbourhood pairing.
+
+    Positions are indices into the stable merged key order (A before B
+    on ties). ``partner_positions`` is sorted ascending — that is what
+    lets :meth:`SortedNeighbourhoodBlocker.probe_batch` resolve every
+    window with one vectorized ``numpy.searchsorted``.
+    """
+
+    dedup: bool
+    #: Probe entities in merged order (dedup: every entity; two-source:
+    #: the A side) — the deterministic emission order of the blocker.
+    probe_entities: list[Entity]
+    #: Merged position per probe entity, aligned with probe_entities.
+    positions: np.ndarray
+    #: uid -> merged position, so arbitrary entity chunks can probe.
+    position_of: dict[str, int]
+    #: Merged positions of the partner side, sorted ascending.
+    partner_positions: np.ndarray
+    #: Partner uids aligned with partner_positions.
+    partner_uids: list[str]
+
+
+def _key_arrays(
+    keys_a: Sequence[str], keys_b: Sequence[str]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted-key arrays for vectorized merging.
+
+    Fixed-width ``U`` dtype compares codepoint-lexicographically like
+    Python ``str`` — except embedded NULs (numpy pads with NUL and
+    strips trailing ones), so those pathological keys demote both
+    sides to object arrays (exact Python comparisons, still one
+    C-level searchsorted loop).
+    """
+    if any("\x00" in key for key in keys_a) or any(
+        "\x00" in key for key in keys_b
+    ):
+        dtype: object = object
+    else:
+        dtype = np.str_
+    return np.array(keys_a, dtype=dtype), np.array(keys_b, dtype=dtype)
 
 
 class SortedNeighbourhoodBlocker(Blocker):
@@ -385,9 +706,14 @@ class SortedNeighbourhoodBlocker(Blocker):
 
     The per-source index is the key-sorted ``(key, uid)`` list; two
     sources merge stably (ties keep A-then-B order, matching a stable
-    sort of the concatenated list), so candidates are identical to the
-    seed implementation while each side's sort is reusable and
-    persistable on its own.
+    sort of the concatenated list), so the candidate *set* is identical
+    to the seed sliding-window implementation while each side's sort is
+    reusable and persistable on its own. Probing is batch
+    (:meth:`probe_batch`): windows resolve via vectorized
+    ``numpy.searchsorted`` over the merged positions, and candidates
+    are emitted grouped per probe entity in merged order — the same
+    deterministic stream for every chunking, worker count and batch
+    size.
     """
 
     def __init__(self, key_property: str, window: int = 10):
@@ -430,49 +756,119 @@ class SortedNeighbourhoodBlocker(Blocker):
     def candidates(self, source_a, source_b):
         return self._iter_pairs(source_a, source_b, None)
 
-    def _iter_pairs(self, source_a, source_b, session):
+    def probe_index(
+        self, source_a, source_b, session: "EngineSession | None" = None
+    ) -> "_SnbProbeState":
+        """The probe-side state over a source pairing: merged positions
+        of both sides in the stable A-then-B key order, precomputed so
+        :meth:`probe_batch` resolves every window with vectorized
+        ``numpy.searchsorted`` instead of a Python merge + sliding
+        window.
+
+        The merge itself is vectorized: A's merged position is its own
+        rank plus the count of strictly-smaller B keys
+        (``searchsorted(..., "left")``); B's is its rank plus the count
+        of smaller-or-equal A keys (``"right"`` — ties take A first),
+        which reproduces the stable concat-sort order exactly.
+
+        The state holds live entity references, so it is re-derived
+        per run rather than memoised/persisted — the expensive part
+        (each side's key sort) already resolves through
+        :meth:`build_index`'s memo and the persistent index tier.
+        """
         dedup = source_a is source_b
+        index_a = self.build_index(source_a, session=session)
         if dedup:
-            tagged = [
-                (source_a.get(uid), "a")
-                for __, uid in self.build_index(source_a, session=session)
+            uids = [uid for __, uid in index_a]
+            n = len(uids)
+            return _SnbProbeState(
+                dedup=True,
+                probe_entities=[source_a.get(uid) for uid in uids],
+                positions=np.arange(n, dtype=np.int64),
+                position_of={uid: i for i, uid in enumerate(uids)},
+                partner_positions=np.arange(n, dtype=np.int64),
+                partner_uids=uids,
+            )
+        index_b = self.build_index(source_b, session=session)
+        keys_a, keys_b = _key_arrays(
+            [key for key, __ in index_a], [key for key, __ in index_b]
+        )
+        positions_a = np.arange(len(keys_a), dtype=np.int64) + np.searchsorted(
+            keys_b, keys_a, side="left"
+        )
+        positions_b = np.arange(len(keys_b), dtype=np.int64) + np.searchsorted(
+            keys_a, keys_b, side="right"
+        )
+        uids_a = [uid for __, uid in index_a]
+        return _SnbProbeState(
+            dedup=False,
+            probe_entities=[source_a.get(uid) for uid in uids_a],
+            positions=positions_a,
+            position_of={uid: int(pos) for uid, pos in zip(uids_a, positions_a)},
+            partner_positions=positions_b,
+            partner_uids=[uid for __, uid in index_b],
+        )
+
+    def probe_batch(self, entities, index, session=None):
+        """Batch window probe: all windows of a chunk resolve through
+        one vectorized ``numpy.searchsorted`` over the sorted partner
+        positions (two-source mode probes ``window - 1`` positions to
+        either side; dedup mode slices the forward window only, each
+        unordered pair once)."""
+        state: _SnbProbeState = index
+        window = self._window
+
+        def probe(chunk):
+            positions = np.fromiter(
+                (state.position_of[entity.uid] for entity in chunk),
+                dtype=np.int64,
+                count=len(chunk),
+            )
+            partner_uids = state.partner_uids
+            if state.dedup:
+                low = positions + 1
+                high = np.minimum(positions + window, len(partner_uids))
+            else:
+                partner_positions = state.partner_positions
+                low = np.searchsorted(
+                    partner_positions, positions - (window - 1), side="left"
+                )
+                high = np.searchsorted(
+                    partner_positions, positions + window, side="left"
+                )
+            return [
+                partner_uids[lo:hi]
+                for lo, hi in zip(low.tolist(), high.tolist())
             ]
-        else:
-            index_a = self.build_index(source_a, session=session)
-            index_b = self.build_index(source_b, session=session)
-            tagged = []
-            i = j = 0
-            while i < len(index_a) and j < len(index_b):
-                # <= : ties take the A entity first, reproducing a
-                # stable sort over the concatenated [A..., B...] list.
-                if index_a[i][0] <= index_b[j][0]:
-                    tagged.append((source_a.get(index_a[i][1]), "a"))
-                    i += 1
+
+        if session is not None:
+            session.record_probe(batches=1)
+        return fan_entity_chunks(session, entities, probe)
+
+    def probe_uids(self, index, partners):
+        return tuple(partners)
+
+    def _iter_pairs(self, source_a, source_b, session):
+        state = self.probe_index(source_a, source_b, session=session)
+        entities = state.probe_entities
+        get_a = source_a.get
+        get_b = source_b.get
+        for start in range(0, len(entities), _PROBE_CHUNK):
+            chunk = entities[start : start + _PROBE_CHUNK]
+            for entity_i, uids in zip(
+                chunk, self.probe_batch(chunk, state, session)
+            ):
+                if state.dedup:
+                    # Each unordered pair once (forward window); the
+                    # emitted pair is uid-ordered like the seed.
+                    uid_i = entity_i.uid
+                    for uid_j in uids:
+                        if uid_i < uid_j:
+                            yield entity_i, get_a(uid_j)
+                        else:
+                            yield get_a(uid_j), entity_i
                 else:
-                    tagged.append((source_b.get(index_b[j][1]), "b"))
-                    j += 1
-            tagged.extend(
-                (source_a.get(uid), "a") for __, uid in islice(index_a, i, None)
-            )
-            tagged.extend(
-                (source_b.get(uid), "b") for __, uid in islice(index_b, j, None)
-            )
-        seen: set[tuple[str, str]] = set()
-        for i, (entity_i, side_i) in enumerate(tagged):
-            for j in range(i + 1, min(i + self._window, len(tagged))):
-                entity_j, side_j = tagged[j]
-                if dedup:
-                    a, b = sorted((entity_i, entity_j), key=lambda e: e.uid)
-                elif side_i == "a" and side_j == "b":
-                    a, b = entity_i, entity_j
-                elif side_i == "b" and side_j == "a":
-                    a, b = entity_j, entity_i
-                else:
-                    continue
-                key = (a.uid, b.uid)
-                if key not in seen:
-                    seen.add(key)
-                    yield a, b
+                    yield from zip(repeat(entity_i), map(get_b, uids))
 
 
 def _root_property(node: ValueNode) -> str | None:
@@ -513,6 +909,15 @@ class RuleBlocker(Blocker):
 
     def build_index(self, source, session=None):
         return self._delegate.build_index(source, session=session)
+
+    def probe_index(self, source_a, source_b, session=None):
+        return self._delegate.probe_index(source_a, source_b, session=session)
+
+    def probe_batch(self, entities, index, session=None):
+        return self._delegate.probe_batch(entities, index, session=session)
+
+    def probe_uids(self, index, partners):
+        return self._delegate.probe_uids(index, partners)
 
     def candidates(self, source_a, source_b):
         return self._delegate.candidates(source_a, source_b)

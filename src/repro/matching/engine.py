@@ -132,6 +132,12 @@ class MatchStats:
     #: ``index_misses``/``index_writes``) — a warm rerun that skipped
     #: index construction shows ``index_misses == 0`` here.
     store: StoreStats | None
+    #: Probe-side counters (blocking's batch probe path, reported
+    #: alongside the ``index_*`` build-side counters): batch-probe
+    #: invocations this run, and probe results served from the
+    #: distinct-value-tuple memo instead of fresh key derivation.
+    probe_batches: int = 0
+    probe_memo_hits: int = 0
 
     @property
     def value_stats(self) -> CacheStats | None:
@@ -400,6 +406,16 @@ class MatchingEngine:
                     if s.store is not None
                 ]
             )
+            # Probing is parent-side work (workers only score), but sum
+            # every delta so the report stays correct if that changes.
+            probe_batches = sum(
+                s.probe_batches - (b.probe_batches if b else 0)
+                for s, b in deltas
+            )
+            probe_memo_hits = sum(
+                s.probe_memo_hits - (b.probe_memo_hits if b else 0)
+                for s, b in deltas
+            )
             self._worker_baselines.update(worker_stats)
         else:
             stats = session.stats()
@@ -411,6 +427,8 @@ class MatchingEngine:
                 if stats.store is not None
                 else None
             )
+            probe_batches = stats.probe_batches - baseline.probe_batches
+            probe_memo_hits = stats.probe_memo_hits - baseline.probe_memo_hits
         self._last_stats = MatchStats(
             batches=batches,
             pairs=pairs,
@@ -419,6 +437,8 @@ class MatchingEngine:
             columns=columns,
             scores=scores_stats,
             store=store_stats,
+            probe_batches=probe_batches,
+            probe_memo_hits=probe_memo_hits,
         )
 
     def _shard_cache_dir(self) -> str | None:

@@ -33,8 +33,11 @@ per *distinct* transformed value tuple, per-comparison builds fan
 across the session's shared-memory executor, and finished block tables
 persist in the session store's index tier keyed by source fingerprint
 × comparison structure — warm reruns skip construction entirely.
-:func:`multiblock_supports` is the structure test behind the engine's
-default-blocker selection.
+Probing mirrors it (:meth:`MultiBlocker.probe_batch`): whole A-side
+chunks evaluate the candidate algebra at once, per-comparison probe
+results memoise per distinct transformed value tuple, and chunks fan
+across the same executor. :func:`multiblock_supports` is the
+structure test behind the engine's default-blocker selection.
 """
 
 from __future__ import annotations
@@ -42,7 +45,10 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from itertools import chain
 from typing import Iterable, Iterator, Sequence
+
+import numpy as np
 
 from repro.core.nodes import (
     AggregationNode,
@@ -59,6 +65,10 @@ from repro.engine.compiler import signature_token, value_tree_signature
 from repro.engine.session import EngineSession
 from repro.engine.values import evaluate_value_op
 from repro.matching.blocking import (
+    _PROBE_CHUNK,
+    _code_pair_lists,
+    _memo_put,
+    _union_codes,
     Blocker,
     CandidatePair,
     FullIndexBlocker,
@@ -341,6 +351,13 @@ class ComparisonIndex:
         session: EngineSession | None = None,
     ) -> set[str]:
         values = _entity_values(self.comparison.source, entity, transforms, session)
+        return self.candidates_for_values(values)
+
+    def candidates_for_values(self, values: Sequence[str]) -> set[str]:
+        """Candidate uids for one transformed value tuple (the
+        memoisable half of :meth:`candidates_for` — identical values
+        always probe identical keys, so batch probing derives this
+        once per *distinct* tuple)."""
         uids: set[str] = set()
         for key in self.indexer.probe_keys(values):
             uids.update(self.blocks.get(key, ()))
@@ -429,6 +446,45 @@ def build_comparison_index(
     return ComparisonIndex(comparison=comparison, indexer=indexer, blocks=blocks)
 
 
+def _blocks_code_view(blocks: dict, code_of: dict) -> dict:
+    """One comparison's block table in code space: each block a sorted
+    unique ``int32`` array of B-entity codes."""
+    return {
+        key: np.unique(
+            np.fromiter(
+                (code_of[uid] for uid in uids),
+                dtype=np.int32,
+                count=len(uids),
+            )
+        )
+        for key, uids in blocks.items()
+    }
+
+
+@dataclass(frozen=True)
+class MultiProbeIndex:
+    """Probe-side state of one :class:`MultiBlocker` over a target
+    source: the per-comparison indexes, their code-space views, and
+    the shared code table. Codes number *all* B uids in sorted order
+    (unindexable nodes contribute ``all_codes`` to the candidate
+    algebra), so sorted code arrays are sorted uid sequences."""
+
+    indexes: dict[int, ComparisonIndex]
+    #: comparison node id -> {block key: sorted unique int32 codes}.
+    views: dict[int, dict]
+    #: code -> uid, ascending (the shared code table of every view).
+    uids: tuple[str, ...]
+    #: Candidate set of unindexable nodes (identity-compared sentinel).
+    all_codes: np.ndarray
+    #: Code-space size (mask length for unions/intersections).
+    size: int
+
+    @property
+    def all_uids(self) -> frozenset:
+        """uid view of the full candidate universe (parity suites)."""
+        return frozenset(self.uids)
+
+
 class MultiBlocker(Blocker):
     """Aggregation-aware multidimensional blocking for one rule.
 
@@ -478,39 +534,78 @@ class MultiBlocker(Blocker):
         return self._session
 
     # -- candidate set algebra -------------------------------------------------
-    def _node_candidates(
+    def _node_codes(
         self,
         node: SimilarityNode,
         entity: Entity,
-        indexes: dict[int, ComparisonIndex],
-        all_uids: frozenset[str],
+        probe: MultiProbeIndex,
         session: EngineSession,
-    ) -> frozenset[str]:
-        """UIDs of B entities that could make ``node`` score > 0 for
-        ``entity``; ``all_uids`` when the node is not indexable."""
+        memo: dict,
+        memo_hits: list[int],
+    ) -> np.ndarray:
+        """Codes of B entities that could make ``node`` score > 0 for
+        ``entity``; ``probe.all_codes`` (identity-compared) when the
+        node is not indexable.
+
+        The whole algebra runs in code space: a comparison unions its
+        probed blocks through a boolean mask over the code space (one
+        C pass, result sorted for free via ``flatnonzero``); ``min``
+        intersects and ``max``/``wmean`` union child sets the same
+        way. Per-comparison probe results memoise in ``memo`` keyed by
+        ``(comparison id, transformed value tuple)`` — the probe-side
+        mirror of the index build's distinct-value memo — so entities
+        sharing a transformed tuple (duplicate-heavy sources, constant
+        properties) skip probe-key derivation *and* the union;
+        ``memo_hits[0]`` counts the skips. The memo is shared across
+        fanned probe chunks — dict reads/writes are atomic and a
+        racing recompute is deterministic, so sharing can only save
+        work, never change a result.
+        """
         if isinstance(node, ComparisonNode):
-            index = indexes.get(id(node))
-            if index is None:
-                return all_uids
-            return frozenset(
-                index.candidates_for(entity, session.transforms, session)
+            view = probe.views.get(id(node))
+            if view is None:
+                return probe.all_codes
+            values = _entity_values(
+                node.source, entity, session.transforms, session
             )
+            key = (id(node), values)
+            cached = memo.get(key)
+            if cached is not None:
+                memo_hits[0] += 1
+                return cached
+            get = view.get
+            blocks = []
+            for probe_key in probe.indexes[id(node)].indexer.probe_keys(values):
+                block = get(probe_key)
+                if block is not None:
+                    blocks.append(block)
+            codes = _union_codes(blocks, probe.size)
+            _memo_put(memo, key, codes)
+            return codes
         assert isinstance(node, AggregationNode)
         child_sets = [
-            self._node_candidates(child, entity, indexes, all_uids, session)
+            self._node_codes(child, entity, probe, session, memo, memo_hits)
             for child in node.operators
         ]
+        all_codes = probe.all_codes
         if node.function == "min":
-            result = child_sets[0]
-            for child_set in child_sets[1:]:
-                result = result & child_set
-            return result
+            selective = [s for s in child_sets if s is not all_codes]
+            if not selective:
+                return all_codes
+            if len(selective) == 1:
+                return selective[0]
+            mask = np.zeros(probe.size, dtype=bool)
+            mask[selective[0]] = True
+            for child_set in selective[1:]:
+                other = np.zeros(probe.size, dtype=bool)
+                other[child_set] = True
+                mask &= other
+            return np.flatnonzero(mask)
         # max / wmean: a positive overall score requires at least one
         # positive child, so the union is dismissal-free.
-        result = frozenset()
-        for child_set in child_sets:
-            result = result | child_set
-        return result
+        if any(s is all_codes for s in child_sets):
+            return all_codes
+        return _union_codes(child_sets, probe.size)
 
     def signature(self) -> str | None:
         """None: MultiBlock persistence is finer-grained — each
@@ -555,33 +650,114 @@ class MultiBlocker(Blocker):
             if index is not None
         }
 
+    def probe_index(
+        self,
+        source_a: DataSource,
+        source_b: DataSource,
+        session: "EngineSession | None" = None,
+    ) -> "MultiProbeIndex":
+        """The probe-side state over a target source: the built
+        comparison indexes, their code-space views and the shared uid
+        code table. The uid table and each comparison's code view
+        resolve through the session's index memo and persistent index
+        tier (key suffix ``probe-codes-v1``), so warm sessions and
+        warm stores skip the derivation like they skip the block
+        tables themselves."""
+        own = self._active_session(session)
+        indexes = self.build_index(source_b, session=session)
+        uids: tuple[str, ...] = self._resolve_probe_index(
+            source_b,
+            own,
+            "multiblock-uid-codes-v1",
+            lambda: tuple(sorted(entity.uid for entity in source_b)),
+        )
+        code_of = {uid: code for code, uid in enumerate(uids)}
+        views: dict[int, dict] = {}
+        for node_id, comparison_index in indexes.items():
+            token = (
+                comparison_index_token(
+                    comparison_index.comparison, comparison_index.indexer
+                )
+                + "|probe-codes-v1"
+            )
+            views[node_id] = self._resolve_probe_index(
+                source_b,
+                own,
+                token,
+                lambda ci=comparison_index: _blocks_code_view(
+                    ci.blocks, code_of
+                ),
+            )
+        return MultiProbeIndex(
+            indexes=indexes,
+            views=views,
+            uids=uids,
+            all_codes=np.arange(len(uids), dtype=np.int32),
+            size=len(uids),
+        )
+
+    def probe_batch(self, entities, index, session=None, memo=None):
+        """Batch probe: evaluates the min/max/wmean candidate algebra
+        for a whole A-side chunk in code space, memoising
+        per-comparison probe results per distinct transformed value
+        tuple (mirroring the index build's distinct-value memo) and
+        fanning chunks across the session's shared-memory executor.
+        Returns one sorted partner-code array per entity (sorted codes
+        are sorted uids — the blocker's deterministic emission order);
+        :meth:`probe_uids` materialises the uid view.
+
+        ``memo`` lets a streaming caller share the distinct-value memo
+        across successive probe batches (``_iter_pairs`` threads one
+        through the whole run); ``None`` scopes it to this call.
+        """
+        own = self._active_session(session)
+        root = self._rule.root
+        shared_memo = memo if memo is not None else {}
+
+        def probe(chunk):
+            hits = [0]
+            results = [
+                self._node_codes(root, entity, index, own, shared_memo, hits)
+                for entity in chunk
+            ]
+            own.record_probe(memo_hits=hits[0])
+            return results
+
+        own.record_probe(batches=1)
+        return fan_entity_chunks(own, entities, probe)
+
+    def probe_uids(self, index, partners):
+        return tuple(map(index.uids.__getitem__, partners.tolist()))
+
     def candidates(
         self, source_a: DataSource, source_b: DataSource
     ) -> Iterator[CandidatePair]:
         return self._iter_pairs(source_a, source_b, None)
 
     def _iter_pairs(self, source_a, source_b, session):
-        own = self._active_session(session)
-        indexes: dict[int, ComparisonIndex] = self.build_index(
-            source_b, session=session
+        probe = self.probe_index(source_a, source_b, session=session)
+        if not probe.indexes:
+            # No indexable comparison: fall back to the (lazy) full
+            # product rather than a degenerate everything-matches probe.
+            return FullIndexBlocker().candidates(source_a, source_b)
+        return chain.from_iterable(
+            self._iter_pair_lists(source_a, source_b, session, probe)
         )
-        if not indexes:
-            yield from FullIndexBlocker().candidates(source_a, source_b)
-            return
 
-        by_uid = {entity.uid: entity for entity in source_b}
-        all_uids = frozenset(by_uid)
+    def _iter_pair_lists(self, source_a, source_b, session, probe):
+        by_code = [source_b.get(uid) for uid in probe.uids]
         dedup = source_a is source_b
-        for entity_a in source_a:
-            uids = self._node_candidates(
-                self._rule.root, entity_a, indexes, all_uids, own
+        memo: dict = {}
+        entities = source_a.entities()
+        for start in range(0, len(entities), _PROBE_CHUNK):
+            chunk = entities[start : start + _PROBE_CHUNK]
+            yield from _code_pair_lists(
+                chunk,
+                self.probe_batch(chunk, probe, session, memo=memo),
+                probe.uids,
+                by_code,
+                dedup,
             )
-            for uid in sorted(uids):
-                if dedup and entity_a.uid >= uid:
-                    continue
-                if not dedup and entity_a.uid == uid:
-                    continue
-                yield entity_a, by_uid[uid]
 
 
 @dataclass(frozen=True)

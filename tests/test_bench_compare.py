@@ -1,0 +1,84 @@
+"""The CI bench-regression gate (``benchmarks/compare_bench.py``).
+
+The gate runs standalone inside the ``bench-artifact`` workflow job, so
+its behaviour — what fails, what is merely reported — is pinned here in
+tier 1: a >threshold median slowdown fails, added/removed benchmarks
+and speedups never do, and the delta table always prints every
+benchmark with its ratio.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
+
+from compare_bench import (  # noqa: E402  (path set up above)
+    compare,
+    format_table,
+    load_medians,
+    main,
+)
+
+
+def _bench_file(tmp_path: Path, name: str, medians: dict[str, float]) -> str:
+    payload = {
+        "benchmarks": [
+            {"name": bench, "stats": {"median": median}}
+            for bench, median in medians.items()
+        ]
+    }
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_load_medians(tmp_path):
+    path = _bench_file(tmp_path, "a.json", {"bench_x": 0.5, "bench_y": 0.001})
+    assert load_medians(path) == {"bench_x": 0.5, "bench_y": 0.001}
+    empty = tmp_path / "empty.json"
+    empty.write_text("{}")
+    assert load_medians(str(empty)) == {}
+
+
+def test_within_threshold_passes(tmp_path, capsys):
+    baseline = _bench_file(tmp_path, "base.json", {"a": 1.0, "b": 0.010})
+    current = _bench_file(tmp_path, "cur.json", {"a": 1.4, "b": 0.005})
+    assert main([baseline, current, "--threshold", "1.5"]) == 0
+    out = capsys.readouterr().out
+    assert "1.40x" in out and "0.50x" in out
+    assert "REGRESSION" not in out
+
+
+def test_regression_fails_and_prints_delta_table(tmp_path, capsys):
+    baseline = _bench_file(tmp_path, "base.json", {"a": 0.010, "b": 0.010})
+    current = _bench_file(tmp_path, "cur.json", {"a": 0.016, "b": 0.010})
+    assert main([baseline, current, "--threshold", "1.5"]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+    assert "1.60x" in out  # the offender's ratio is in the table
+    assert "1.00x" in out  # the healthy benchmark is listed too
+
+
+def test_added_and_removed_benchmarks_never_fail(tmp_path, capsys):
+    baseline = _bench_file(tmp_path, "base.json", {"kept": 0.01, "gone": 0.01})
+    current = _bench_file(tmp_path, "cur.json", {"kept": 0.01, "fresh": 9.0})
+    assert main([baseline, current]) == 0
+    out = capsys.readouterr().out
+    assert "new" in out and "removed" in out
+
+
+def test_zero_baseline_median_counts_as_regression():
+    rows, regressions = compare({"a": 0.0}, {"a": 0.001}, threshold=1.5)
+    assert regressions == ["a"]
+    assert any("inf" in cell for cell in rows[0])
+
+
+def test_table_lists_every_benchmark():
+    rows, __ = compare(
+        {"a": 1.0, "b": 2.0}, {"b": 2.0, "c": 3.0}, threshold=1.5
+    )
+    table = format_table(rows)
+    assert all(name in table for name in ("a", "b", "c"))

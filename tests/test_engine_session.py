@@ -384,3 +384,18 @@ class TestEngineSession:
         # Memo tables stay bounded; interned threshold-free ops persist.
         assert len(compiler._compiled) <= 4
         assert compiler.comparison_op_count == 1
+
+    def test_record_probe_counters_surface_in_stats(self):
+        """Blocking probe traffic recorded via ``record_probe`` shows
+        up in ``EngineStats`` (and survives ``clear_caches`` — probe
+        counters are monotonic run statistics, not cache state)."""
+        session = EngineSession()
+        before = session.stats()
+        assert before.probe_batches == 0
+        assert before.probe_memo_hits == 0
+        session.record_probe(batches=2, memo_hits=7)
+        session.record_probe(memo_hits=1)
+        session.clear_caches()
+        stats = session.stats()
+        assert stats.probe_batches == 2
+        assert stats.probe_memo_hits == 8
