@@ -1,0 +1,212 @@
+"""The pre-vectorization string-distance column path, frozen verbatim.
+
+``repro.distances`` now routes the string-measure family (levenshtein,
+jaro/jaro-winkler, jaccard and the token set measures) through batch
+numpy kernels; this module preserves the original per-pair scalar
+implementations plus the deduplicated ``fallback_column`` loop that
+``evaluate_column`` used before, so ``bench_micro_engine.py`` can
+measure the kernels against the exact path they replaced. Do not "fix"
+or optimise this file — it is a measurement baseline, not production
+code.
+
+Note the frozen ``seed_levenshtein`` keeps the seed's loose out-of-range
+contract (any value above the bound may come back); the live scalar now
+pins out-of-range results to exactly ``bound + 1``. The benchmark
+therefore asserts bit-identity against the *live* scalar oracle and uses
+this module for timing only.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.distances.base import INFINITE_DISTANCE
+
+ValueColumn = Sequence[Sequence[str]]
+
+
+def seed_levenshtein(a: str, b: str, bound: int | None = None) -> float:
+    """Banded edit distance, seed version (row-at-a-time Python DP)."""
+    if a == b:
+        return 0.0
+    la, lb = len(a), len(b)
+    if la == 0:
+        return float(lb)
+    if lb == 0:
+        return float(la)
+    if bound is not None and abs(la - lb) > bound:
+        return float(bound + 1)
+    if la > lb:
+        a, b = b, a
+        la, lb = lb, la
+    previous = list(range(la + 1))
+    current = [0] * (la + 1)
+    for j in range(1, lb + 1):
+        current[0] = j
+        bj = b[j - 1]
+        row_min = current[0]
+        for i in range(1, la + 1):
+            cost = 0 if a[i - 1] == bj else 1
+            value = min(
+                previous[i] + 1,
+                current[i - 1] + 1,
+                previous[i - 1] + cost,
+            )
+            current[i] = value
+            if value < row_min:
+                row_min = value
+        if bound is not None and row_min > bound:
+            return float(bound + 1)
+        previous, current = current, previous
+    return float(previous[la])
+
+
+def seed_jaro_similarity(a: str, b: str) -> float:
+    """Classic Jaro similarity, seed version (per-character loops)."""
+    if a == b:
+        return 1.0
+    la, lb = len(a), len(b)
+    if la == 0 or lb == 0:
+        return 0.0
+    window = max(la, lb) // 2 - 1
+    if window < 0:
+        window = 0
+    matched_a = [False] * la
+    matched_b = [False] * lb
+    matches = 0
+    for i, ca in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(lb, i + window + 1)
+        for j in range(lo, hi):
+            if not matched_b[j] and b[j] == ca:
+                matched_a[i] = True
+                matched_b[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i in range(la):
+        if matched_a[i]:
+            while not matched_b[j]:
+                j += 1
+            if a[i] != b[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+    m = float(matches)
+    return (m / la + m / lb + (m - transpositions) / m) / 3.0
+
+
+def seed_jaro_winkler_similarity(a: str, b: str, prefix_scale: float = 0.1) -> float:
+    base = seed_jaro_similarity(a, b)
+    prefix = 0
+    for ca, cb in zip(a[:4], b[:4]):
+        if ca != cb:
+            break
+        prefix += 1
+    return base + prefix * prefix_scale * (1.0 - base)
+
+
+def seed_jaccard_distance(values_a: Iterable[str], values_b: Iterable[str]) -> float:
+    set_a = set(values_a)
+    set_b = set(values_b)
+    if not set_a or not set_b:
+        return INFINITE_DISTANCE
+    intersection = len(set_a & set_b)
+    union = len(set_a | set_b)
+    return 1.0 - intersection / union
+
+
+def seed_dice_distance(values_a: Iterable[str], values_b: Iterable[str]) -> float:
+    set_a = set(values_a)
+    set_b = set(values_b)
+    if not set_a or not set_b:
+        return INFINITE_DISTANCE
+    return 1.0 - 2.0 * len(set_a & set_b) / (len(set_a) + len(set_b))
+
+
+def seed_min_over_pairs(
+    values_a: Sequence[str],
+    values_b: Sequence[str],
+    pair_distance: Callable[[str, str], float],
+    max_pairs: int = 256,
+) -> float:
+    """Minimum over the value cross product with the 256-pair budget."""
+    if not values_a or not values_b:
+        return INFINITE_DISTANCE
+    best = INFINITE_DISTANCE
+    budget = max_pairs
+    for va in values_a:
+        for vb in values_b:
+            d = pair_distance(va, vb)
+            if d < best:
+                best = d
+                if best == 0.0:
+                    return 0.0
+            budget -= 1
+            if budget <= 0:
+                return best
+    return best
+
+
+def seed_string_column(
+    evaluate: Callable[[Sequence[str], Sequence[str]], float],
+    columns_a: ValueColumn,
+    columns_b: ValueColumn,
+) -> np.ndarray:
+    """The pre-kernel ``evaluate_column``: per-pair loop deduplicated by
+    value-tuple identity — exactly the seed ``fallback_column``."""
+    if len(columns_a) != len(columns_b):
+        raise ValueError(
+            f"column length mismatch: {len(columns_a)} vs {len(columns_b)}"
+        )
+    out = np.full(len(columns_a), INFINITE_DISTANCE, dtype=np.float64)
+    memo: dict[tuple[int, int], float] = {}
+    for i, (values_a, values_b) in enumerate(zip(columns_a, columns_b)):
+        if not values_a or not values_b:
+            continue
+        key = (id(values_a), id(values_b))
+        distance = memo.get(key)
+        if distance is None:
+            distance = evaluate(values_a, values_b)
+            memo[key] = distance
+        out[i] = distance
+    return out
+
+
+def seed_levenshtein_column(
+    columns_a: ValueColumn, columns_b: ValueColumn, max_bound: int = 11
+) -> np.ndarray:
+    return seed_string_column(
+        lambda va, vb: seed_min_over_pairs(
+            va, vb, lambda x, y: seed_levenshtein(x, y, bound=max_bound)
+        ),
+        columns_a,
+        columns_b,
+    )
+
+
+def seed_jaro_winkler_column(
+    columns_a: ValueColumn, columns_b: ValueColumn
+) -> np.ndarray:
+    return seed_string_column(
+        lambda va, vb: seed_min_over_pairs(
+            va, vb, lambda x, y: 1.0 - seed_jaro_winkler_similarity(x, y)
+        ),
+        columns_a,
+        columns_b,
+    )
+
+
+def seed_jaccard_column(
+    columns_a: ValueColumn, columns_b: ValueColumn
+) -> np.ndarray:
+    return seed_string_column(seed_jaccard_distance, columns_a, columns_b)
+
+
+def seed_dice_column(columns_a: ValueColumn, columns_b: ValueColumn) -> np.ndarray:
+    return seed_string_column(seed_dice_distance, columns_a, columns_b)

@@ -42,6 +42,14 @@ candidate count changes::
 
     REPRO_ENGINE_BLOCKER=multiblock python examples/quickstart.py
     repro-experiments --blocker multiblock learn restaurant --execute
+
+String measures route through vectorized batch kernels; pick the
+backend with ``REPRO_ENGINE_STRING_BACKEND`` (``numpy`` default,
+``rapidfuzz`` if installed, ``python`` for the scalar oracle) — links
+are bit-identical under every backend, only wall-clock changes. This
+script reports the per-measure batch/fallback routing on stderr::
+
+    REPRO_ENGINE_STRING_BACKEND=python python examples/quickstart.py
 """
 
 from __future__ import annotations
@@ -126,6 +134,15 @@ def main() -> None:
             f"probe_memo_hits={match_stats.probe_memo_hits}",
             file=sys.stderr,
         )
+    if match_stats is not None and match_stats.kernel_routing:
+        # Per-measure kernel routing on stderr (stdout must stay
+        # byte-identical across backends and cache states): a measure
+        # silently falling back to the per-pair loop shows up here.
+        routed = " ".join(
+            f"{name}:batch={batch},fallback={fallback}"
+            for name, batch, fallback in match_stats.kernel_routing
+        )
+        print(f"[engine kernels] {routed}", file=sys.stderr)
     evaluation = evaluate_links(links, matches)
     print(f"Generated {len(links)} links over the full catalogues:")
     for link in links:

@@ -50,6 +50,11 @@ from repro.distances.registry import (
     get_measure,
     measure_names,
 )
+from repro.distances.strings import (
+    BACKEND_ENV,
+    StringKernelMemo,
+    string_backend,
+)
 
 __all__ = [
     "DistanceMeasure",
@@ -81,4 +86,7 @@ __all__ = [
     "default_registry",
     "get_measure",
     "measure_names",
+    "BACKEND_ENV",
+    "StringKernelMemo",
+    "string_backend",
 ]

@@ -54,6 +54,13 @@ class DistanceMeasure(ABC):
     #: rather than the inherited per-pair fallback.
     batch_capable: bool = False
 
+    #: True when :meth:`evaluate_column` additionally accepts a
+    #: ``memo`` keyword (a :class:`repro.distances.strings.StringKernelMemo`)
+    #: carrying session-scoped encode caches and kernel-routing
+    #: counters. Kept as a separate flag so user-defined measures with
+    #: the plain two-argument signature keep working unchanged.
+    memo_capable: bool = False
+
     @abstractmethod
     def evaluate(self, values_a: Sequence[str], values_b: Sequence[str]) -> float:
         """Return the distance between two value sets (>= 0)."""

@@ -13,7 +13,20 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.distances.base import DistanceMeasure, INFINITE_DISTANCE
+import numpy as np
+
+from repro.distances.base import (
+    DistanceMeasure,
+    INFINITE_DISTANCE,
+    ValueColumn,
+    fallback_column,
+)
+from repro.distances.strings import (
+    StringKernelMemo,
+    count_nonempty,
+    set_algebra_column,
+    string_backend,
+)
 
 
 def jaccard_distance(values_a: Iterable[str], values_b: Iterable[str]) -> float:
@@ -32,6 +45,33 @@ class JaccardDistance(DistanceMeasure):
 
     name = "jaccard"
     threshold_range = (0.1, 1.0)
+    batch_capable = True
+    memo_capable = True
 
     def evaluate(self, values_a: Sequence[str], values_b: Sequence[str]) -> float:
         return jaccard_distance(values_a, values_b)
+
+    def evaluate_column(
+        self,
+        columns_a: ValueColumn,
+        columns_b: ValueColumn,
+        memo: StringKernelMemo | None = None,
+    ) -> np.ndarray:
+        backend = string_backend()
+        if backend == "python":
+            if memo is not None:
+                memo.record_routing(
+                    self.name, fallback=count_nonempty(columns_a, columns_b)
+                )
+            return fallback_column(self.evaluate, columns_a, columns_b)
+        return set_algebra_column(
+            columns_a, columns_b, _jaccard_finish, memo=memo, name=self.name
+        )
+
+
+def _jaccard_finish(
+    intersections: np.ndarray, sizes_a: np.ndarray, sizes_b: np.ndarray
+) -> np.ndarray:
+    # Scalar expression order: 1.0 - (intersection / union), int / int.
+    unions = sizes_a + sizes_b - intersections
+    return 1.0 - intersections / unions

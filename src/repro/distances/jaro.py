@@ -10,7 +10,22 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.distances.base import DistanceMeasure, INFINITE_DISTANCE, min_over_pairs
+import numpy as np
+
+from repro.distances.base import (
+    DistanceMeasure,
+    INFINITE_DISTANCE,
+    ValueColumn,
+    fallback_column,
+    min_over_pairs,
+)
+from repro.distances.strings import (
+    StringKernelMemo,
+    batch_pair_column,
+    count_nonempty,
+    jaro_pairs,
+    string_backend,
+)
 
 
 def jaro_similarity(a: str, b: str) -> float:
@@ -67,18 +82,53 @@ class JaroDistance(DistanceMeasure):
 
     name = "jaro"
     threshold_range = (0.0, 0.5)
+    batch_capable = True
+    memo_capable = True
+
+    #: Jaro winkler-prefix scale, or None for plain Jaro. The batch
+    #: kernel is shared between the two measures through this knob.
+    _prefix_scale: float | None = None
 
     def evaluate(self, values_a: Sequence[str], values_b: Sequence[str]) -> float:
         return min_over_pairs(
             values_a, values_b, lambda x, y: 1.0 - jaro_similarity(x, y)
         )
 
+    def evaluate_column(
+        self,
+        columns_a: ValueColumn,
+        columns_b: ValueColumn,
+        memo: StringKernelMemo | None = None,
+    ) -> np.ndarray:
+        # The rapidfuzz backend covers only the integer-valued
+        # levenshtein family; Jaro similarities are floats whose bit
+        # pattern depends on expression order, so they always use the
+        # numpy kernel (which mirrors the scalar order exactly).
+        backend = string_backend()
+        if backend == "python":
+            if memo is not None:
+                memo.record_routing(
+                    self.name, fallback=count_nonempty(columns_a, columns_b)
+                )
+            return fallback_column(self.evaluate, columns_a, columns_b)
+        prefix_scale = self._prefix_scale
 
-class JaroWinklerDistance(DistanceMeasure):
+        def kernel(strings_a, strings_b):
+            return 1.0 - jaro_pairs(
+                strings_a, strings_b, memo=memo, prefix_scale=prefix_scale
+            )
+
+        return batch_pair_column(
+            columns_a, columns_b, kernel, self.evaluate, memo=memo, name=self.name
+        )
+
+
+class JaroWinklerDistance(JaroDistance):
     """1 - Jaro-Winkler similarity, lifted to value sets via the minimum."""
 
     name = "jaroWinkler"
     threshold_range = (0.0, 0.5)
+    _prefix_scale = 0.1
 
     def evaluate(self, values_a: Sequence[str], values_b: Sequence[str]) -> float:
         return min_over_pairs(

@@ -5,31 +5,56 @@ DP can run inside a diagonal band of width ``2*bound + 1`` and abort as
 soon as every cell in a row exceeds the bound. This turns the usual
 O(n*m) cost into O(n*bound), which is what makes pure-Python GP fitness
 evaluation feasible at paper scale.
+
+Both measures also expose vectorized batch kernels
+(:mod:`repro.distances.strings`): the numpy backend runs the clamped DP
+as row sweeps across the whole pair column at once, and the optional
+``rapidfuzz`` backend maps the clamp contract onto ``score_cutoff``.
+The scalar functions here stay the bit-identical parity oracle.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from repro.distances.base import DistanceMeasure, INFINITE_DISTANCE, min_over_pairs
+import numpy as np
+
+from repro.distances.base import (
+    DistanceMeasure,
+    INFINITE_DISTANCE,
+    ValueColumn,
+    fallback_column,
+    min_over_pairs,
+)
+from repro.distances.strings import (
+    StringKernelMemo,
+    batch_pair_column,
+    count_nonempty,
+    levenshtein_pairs,
+    rapidfuzz_levenshtein_pairs,
+    string_backend,
+)
 
 
 def levenshtein(a: str, b: str, bound: int | None = None) -> float:
     """Edit distance between two strings.
 
-    When ``bound`` is given and the true distance exceeds it, any value
-    strictly greater than ``bound`` may be returned (the caller only
-    needs to know the distance is out of range).
+    When ``bound`` is given the result is exactly
+    ``min(distance, bound + 1)``: every out-of-range pair reports
+    ``bound + 1``, regardless of which shortcut detected it. The callers
+    only need "out of range", but pinning the clamped value is what lets
+    every batch backend (numpy row-DP, rapidfuzz ``score_cutoff``)
+    produce bit-identical columns.
     """
     if a == b:
         return 0.0
     la, lb = len(a), len(b)
+    if bound is not None and abs(la - lb) > bound:
+        return float(bound + 1)
     if la == 0:
         return float(lb)
     if lb == 0:
         return float(la)
-    if bound is not None and abs(la - lb) > bound:
-        return float(bound + 1)
     # Keep the shorter string as the row to minimise memory.
     if la > lb:
         a, b = b, a
@@ -53,7 +78,10 @@ def levenshtein(a: str, b: str, bound: int | None = None) -> float:
         if bound is not None and row_min > bound:
             return float(bound + 1)
         previous, current = current, previous
-    return float(previous[la])
+    distance = previous[la]
+    if bound is not None and distance > bound:
+        return float(bound + 1)
+    return float(distance)
 
 
 def normalized_levenshtein(a: str, b: str) -> float:
@@ -75,16 +103,47 @@ class LevenshteinDistance(DistanceMeasure):
 
     name = "levenshtein"
     threshold_range = (0.0, 10.0)
+    batch_capable = True
+    memo_capable = True
 
     def __init__(self, max_bound: int = 11):
         if max_bound < 1:
             raise ValueError("max_bound must be >= 1")
         self._max_bound = max_bound
+        # Contract revision, serialised into cache_token(): revision 2
+        # pins out-of-range distances to exactly bound + 1, so columns
+        # persisted under the older "any value > bound" contract miss
+        # cleanly instead of mixing both conventions.
+        self._contract = 2
 
     def evaluate(self, values_a: Sequence[str], values_b: Sequence[str]) -> float:
         bound = self._max_bound
         return min_over_pairs(
             values_a, values_b, lambda x, y: levenshtein(x, y, bound=bound)
+        )
+
+    def evaluate_column(
+        self,
+        columns_a: ValueColumn,
+        columns_b: ValueColumn,
+        memo: StringKernelMemo | None = None,
+    ) -> np.ndarray:
+        backend = string_backend()
+        if backend == "python":
+            if memo is not None:
+                memo.record_routing(
+                    self.name, fallback=count_nonempty(columns_a, columns_b)
+                )
+            return fallback_column(self.evaluate, columns_a, columns_b)
+        bound = self._max_bound
+        if backend == "rapidfuzz":
+            def kernel(strings_a, strings_b):
+                return rapidfuzz_levenshtein_pairs(strings_a, strings_b, bound)
+        else:
+            def kernel(strings_a, strings_b):
+                return levenshtein_pairs(strings_a, strings_b, bound, memo=memo)
+        return batch_pair_column(
+            columns_a, columns_b, kernel, self.evaluate, memo=memo, name=self.name
         )
 
 
@@ -93,8 +152,45 @@ class NormalizedLevenshteinDistance(DistanceMeasure):
 
     name = "normalizedLevenshtein"
     threshold_range = (0.0, 1.0)
+    batch_capable = True
+    memo_capable = True
 
     def evaluate(self, values_a: Sequence[str], values_b: Sequence[str]) -> float:
         if not values_a or not values_b:
             return INFINITE_DISTANCE
         return min_over_pairs(values_a, values_b, normalized_levenshtein)
+
+    def evaluate_column(
+        self,
+        columns_a: ValueColumn,
+        columns_b: ValueColumn,
+        memo: StringKernelMemo | None = None,
+    ) -> np.ndarray:
+        backend = string_backend()
+        if backend == "python":
+            if memo is not None:
+                memo.record_routing(
+                    self.name, fallback=count_nonempty(columns_a, columns_b)
+                )
+            return fallback_column(self.evaluate, columns_a, columns_b)
+
+        def kernel(strings_a, strings_b):
+            if backend == "rapidfuzz":
+                distances = rapidfuzz_levenshtein_pairs(strings_a, strings_b)
+            else:
+                distances = levenshtein_pairs(strings_a, strings_b, memo=memo)
+            count = len(strings_a)
+            longest = np.maximum(
+                np.fromiter(map(len, strings_a), np.int64, count),
+                np.fromiter(map(len, strings_b), np.int64, count),
+            ).astype(np.float64)
+            out = np.zeros(count, dtype=np.float64)
+            positive = longest > 0.0
+            # float / float division in the scalar expression order; the
+            # longest == 0 rows stay 0.0 exactly like the scalar guard.
+            out[positive] = distances[positive] / longest[positive]
+            return out
+
+        return batch_pair_column(
+            columns_a, columns_b, kernel, self.evaluate, memo=memo, name=self.name
+        )

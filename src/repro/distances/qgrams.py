@@ -25,6 +25,7 @@ from repro.distances.base import (
     min_over_pairs,
 )
 from repro.distances.levenshtein import levenshtein
+from repro.distances.strings import BoundedValueMemo
 
 
 def qgrams(value: str, q: int = 2) -> set[str]:
@@ -116,9 +117,15 @@ class SoftJaccardDistance(DistanceMeasure):
         if max_token_distance < 0:
             raise ValueError("max_token_distance must be >= 0")
         self._max_token_distance = max_token_distance
+        # Value tuples recur across calls (one tuple per unique
+        # entity), so token lists are memoised per distinct tuple.
+        self._token_memo = BoundedValueMemo()
+
+    def _tokens(self, values: Sequence[str]) -> list[str]:
+        return self._token_memo.get(values, self._split)
 
     @staticmethod
-    def _tokens(values: Sequence[str]) -> list[str]:
+    def _split(values: Sequence[str]) -> list[str]:
         tokens: list[str] = []
         seen: set[str] = set()
         for value in values:

@@ -5,6 +5,12 @@ evaluation resolves names through a registry. ``default_registry()``
 contains every measure from Table 2 plus the baseline extras. Users can
 register their own measures, which then become available to learning
 and execution alike (see ``examples/custom_operators.py``).
+
+The string measures in the registry route their batch kernels through
+the backend selected by ``REPRO_ENGINE_STRING_BACKEND`` (numpy by
+default, optionally the native ``rapidfuzz`` package, or the pure
+Python oracle) — see :mod:`repro.distances.strings`. Every backend is
+bit-identical; the variable only moves wall-clock.
 """
 
 from __future__ import annotations

@@ -1,0 +1,868 @@
+"""Vectorized batch kernels for the string-measure family.
+
+The levenshtein, jaro/jaro-winkler and jaccard/token measures were the
+last measures still running the deduplicated per-pair Python fallback in
+``DistanceMeasure.evaluate_column``. This module gives them real batch
+kernels over **pre-encoded integer code matrices**:
+
+* :func:`levenshtein_pairs` — a clamped edit-distance DP run as numpy
+  row sweeps across the whole distinct-pair column at once. Strings are
+  encoded once into int32 code-point arrays (UTF-32 — one code per
+  Python character, so batch equality is exactly ``str`` equality),
+  padded into per-chunk matrices, and the classic row recurrence is
+  evaluated for all pairs simultaneously; the sequential insertion
+  dependency inside a row becomes a logarithmic min-plus doubling scan.
+  The band contract: every intermediate cell is clamped at
+  ``bound + 1``, which provably yields ``min(true_distance, bound + 1)``
+  per pair, the length-difference pre-filter is one vectorized mask,
+  and pairs whose entire DP row hits the clamp are retired early
+  (the batch analogue of the scalar loop's early exit).
+* :func:`jaro_pairs` — bulk Jaro / Jaro-Winkler over the same encoded
+  matrices: the greedy match-window scan runs one character position at
+  a time across all pairs (first-fit ``argmax`` per row reproduces the
+  scalar loop's leftmost-unmatched choice exactly), transpositions are
+  counted by stable-argsort compaction of the matched flags, and the
+  final similarity arithmetic keeps the scalar expression's operation
+  order so IEEE float64 results are bit-identical.
+* :func:`set_algebra_column` — jaccard/dice/overlap as set algebra over
+  an interned integer token-code space: each distinct value tuple is
+  encoded once into a sorted-unique int64 code array, and intersection
+  sizes for *all* distinct tuple combinations are computed with one
+  sort over ``combo_id * token_space + code`` keys (each side holds
+  unique codes, so every adjacent duplicate is exactly one shared
+  token).
+
+Backends are selected via the ``REPRO_ENGINE_STRING_BACKEND``
+environment variable (:func:`string_backend`): ``numpy`` (the default)
+uses the kernels above, ``python`` forces the per-pair fallback (the
+parity oracle), ``rapidfuzz`` uses the optional native backend for the
+levenshtein family (bit-identical by construction — integer distances
+with ``score_cutoff`` matching the scalar clamp contract) and the numpy
+kernels elsewhere, and ``auto`` picks ``rapidfuzz`` when the package is
+importable. Every backend is bit-identical to the scalar oracle; only
+wall-clock changes.
+
+:class:`StringKernelMemo` is the session-scoped carrier for the
+encoded-matrix memoisation (per distinct string / per distinct value
+tuple, bounded like the blocking probe memo) and for the per-measure
+kernel-routing counters surfaced in ``EngineStats``/``MatchStats``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.distances.base import INFINITE_DISTANCE
+
+#: Environment variable selecting the string-kernel backend
+#: (``numpy`` | ``rapidfuzz`` | ``python`` | ``auto``; unset = numpy).
+BACKEND_ENV = "REPRO_ENGINE_STRING_BACKEND"
+
+#: Size bound for each memo table; at the bound the table is dropped
+#: wholesale (resets warm-up, never results) — the same policy as the
+#: blocking probe memo.
+_MEMO_LIMIT = 65536
+
+#: Cell budget for one padded DP/matching matrix (rows x width). Chunks
+#: are cut so no intermediate matrix exceeds this many int32 cells,
+#: which keeps one pathologically long string from inflating the
+#: padding of thousands of short ones.
+_CELL_BUDGET = 1 << 20
+
+_RAPIDFUZZ: object = None  # None = unprobed, False = unavailable
+
+
+def _rapidfuzz_levenshtein():
+    """The ``rapidfuzz.distance.Levenshtein`` module, or None when the
+    optional dependency is not installed (probed once per process)."""
+    global _RAPIDFUZZ
+    if _RAPIDFUZZ is None:
+        try:
+            from rapidfuzz.distance import Levenshtein  # noqa: deferred
+
+            _RAPIDFUZZ = Levenshtein
+        except ImportError:
+            _RAPIDFUZZ = False
+    return _RAPIDFUZZ if _RAPIDFUZZ is not False else None
+
+
+def string_backend() -> str:
+    """Resolve the active string-kernel backend.
+
+    Reads ``REPRO_ENGINE_STRING_BACKEND`` on every call (cheap, and
+    lets tests flip backends without re-importing): ``numpy`` is the
+    default, ``python`` forces the scalar per-pair fallback, and
+    ``rapidfuzz`` requires the package (``auto`` degrades to numpy
+    without it). Whatever the backend, results are bit-identical —
+    the selection only moves wall-clock.
+    """
+    spec = os.environ.get(BACKEND_ENV, "").strip().lower() or "numpy"
+    if spec == "auto":
+        return "rapidfuzz" if _rapidfuzz_levenshtein() is not None else "numpy"
+    if spec not in ("numpy", "rapidfuzz", "python"):
+        raise ValueError(
+            f"invalid {BACKEND_ENV} value {spec!r}: expected auto, numpy, "
+            f"rapidfuzz or python"
+        )
+    if spec == "rapidfuzz" and _rapidfuzz_levenshtein() is None:
+        raise RuntimeError(
+            f"{BACKEND_ENV}=rapidfuzz but the rapidfuzz package is not "
+            f"installed; pip install rapidfuzz or use the numpy backend"
+        )
+    return spec
+
+
+def encode_string(value: str) -> np.ndarray:
+    """One string as an int32 array of Unicode code points.
+
+    UTF-32-LE gives exactly one code unit per Python character, so
+    elementwise comparison of encoded arrays is exactly ``str``
+    character equality — including combining marks and astral-plane
+    characters, which stay separate code points just like they do for
+    the scalar measures.
+    """
+    return np.frombuffer(value.encode("utf-32-le"), dtype="<i4")
+
+
+def _local_encoder() -> Callable[[str], np.ndarray]:
+    """Per-call encode memo for kernels invoked without a session memo.
+
+    Pair columns repeat the same strings heavily (a few hundred unique
+    entities fanned over thousands of pairs), so even a single batch
+    call amortises encoding across occurrences.
+    """
+    table: dict[str, np.ndarray] = {}
+
+    def encode(value: str) -> np.ndarray:
+        codes = table.get(value)
+        if codes is None:
+            codes = encode_string(value)
+            table[value] = codes
+        return codes
+
+    return encode
+
+
+class StringKernelMemo:
+    """Session-scoped encode memo + kernel-routing counters.
+
+    Three bounded tables, each dropped wholesale at the limit (the
+    probe-memo policy — resets warm-up, never results):
+
+    * per distinct **string**: its int32 code-point array (levenshtein
+      and jaro kernels);
+    * per distinct **value tuple** (identity-keyed; the engine hands
+      out one tuple object per unique entity and keeps it alive in the
+      value cache): its sorted-unique token-code array over a shared
+      interning table (jaccard/dice/overlap set algebra);
+    * per **measure name**: counts of pairs routed through the batch
+      kernel vs the per-pair fallback, surfaced as
+      ``EngineStats.kernel_routing``.
+
+    Thread-safe: the token table and the counters take a lock (token
+    ids have a cross-key invariant), the string-code table relies on
+    GIL-atomic dict operations — races there only duplicate pure work.
+    """
+
+    def __init__(self, limit: int = _MEMO_LIMIT):
+        self._limit = limit
+        self._codes: dict[str, np.ndarray] = {}
+        self._token_ids: dict[str, int] = {}
+        #: id(tuple) -> (tuple, sorted unique code array); the tuple is
+        #: kept alive so its id cannot be recycled while cached.
+        self._token_sets: dict[int, tuple] = {}
+        self._routing: dict[str, list[int]] = {}
+        self._lock = threading.Lock()
+
+    def codes(self, value: str) -> np.ndarray:
+        """Encoded code-point array of one string (memoised)."""
+        arr = self._codes.get(value)
+        if arr is None:
+            if len(self._codes) >= self._limit:
+                self._codes.clear()
+            arr = encode_string(value)
+            self._codes[value] = arr
+        return arr
+
+    def token_sets(
+        self, value_sets: Sequence[Sequence[str]]
+    ) -> tuple[list[np.ndarray], int]:
+        """Sorted-unique token-code arrays for value tuples, plus the
+        current token-space size (every returned code is below it).
+
+        One lock window covers the whole batch so a concurrent bound
+        reset can never mix code assignments from two table
+        generations within one caller's result list.
+        """
+        with self._lock:
+            if (
+                len(self._token_ids) >= self._limit
+                or len(self._token_sets) >= self._limit
+            ):
+                self._token_ids.clear()
+                self._token_sets.clear()
+            table = self._token_ids
+            sets = self._token_sets
+            results: list[np.ndarray] = []
+            for values in value_sets:
+                key = id(values)
+                entry = sets.get(key)
+                if entry is None:
+                    ids = {table.setdefault(v, len(table)) for v in values}
+                    entry = (values, np.array(sorted(ids), dtype=np.int64))
+                    sets[key] = entry
+                results.append(entry[1])
+            return results, len(table)
+
+    # -- routing counters -----------------------------------------------------
+    def record_routing(self, name: str, batch: int = 0, fallback: int = 0) -> None:
+        """Count pairs routed through a measure's batch kernel vs the
+        per-pair fallback (empty-side pairs are counted by neither)."""
+        if not batch and not fallback:
+            return
+        with self._lock:
+            entry = self._routing.get(name)
+            if entry is None:
+                self._routing[name] = entry = [0, 0]
+            entry[0] += batch
+            entry[1] += fallback
+
+    def routing(self) -> tuple[tuple[str, int, int], ...]:
+        """Snapshot of the per-measure counters as sorted
+        ``(measure, batch_pairs, fallback_pairs)`` triples."""
+        with self._lock:
+            return tuple(
+                sorted((k, v[0], v[1]) for k, v in self._routing.items())
+            )
+
+
+class BoundedValueMemo:
+    """Bounded identity-keyed memo for data derived from value tuples.
+
+    Used by the token-based measures to stop re-tokenising each value
+    on every scalar call: the derived data (token lists) is cached per
+    distinct value tuple, keyed by identity — the engine hands out one
+    tuple object per unique entity — with the tuple kept alive in the
+    entry so its id cannot be recycled while cached. At the bound the
+    table is dropped wholesale, the probe-memo policy.
+    """
+
+    __slots__ = ("_limit", "_table")
+
+    def __init__(self, limit: int = _MEMO_LIMIT):
+        self._limit = limit
+        self._table: dict[int, tuple] = {}
+
+    def get(self, values, build: Callable):
+        entry = self._table.get(id(values))
+        if entry is None:
+            if len(self._table) >= self._limit:
+                self._table.clear()
+            entry = (values, build(values))
+            self._table[id(values)] = entry
+        return entry[1]
+
+
+def routing_delta(
+    current: tuple[tuple[str, int, int], ...],
+    baseline: "tuple[tuple[str, int, int], ...] | None",
+) -> tuple[tuple[str, int, int], ...]:
+    """Per-run routing counters: ``current - baseline`` per measure."""
+    if not baseline:
+        return current
+    base = {name: (batch, fallback) for name, batch, fallback in baseline}
+    out = []
+    for name, batch, fallback in current:
+        b_batch, b_fallback = base.get(name, (0, 0))
+        batch, fallback = batch - b_batch, fallback - b_fallback
+        if batch or fallback:
+            out.append((name, batch, fallback))
+    return tuple(out)
+
+
+def routing_merged(
+    snapshots: Sequence[tuple[tuple[str, int, int], ...]],
+) -> tuple[tuple[str, int, int], ...]:
+    """Sum routing snapshots across worker sessions."""
+    totals: dict[str, list[int]] = {}
+    for snapshot in snapshots:
+        for name, batch, fallback in snapshot:
+            entry = totals.setdefault(name, [0, 0])
+            entry[0] += batch
+            entry[1] += fallback
+    return tuple(sorted((k, v[0], v[1]) for k, v in totals.items()))
+
+
+def count_nonempty(columns_a, columns_b) -> int:
+    """Pairs where both sides have values (the pairs a kernel actually
+    evaluates — the routing-counter unit)."""
+    return sum(1 for a, b in zip(columns_a, columns_b) if a and b)
+
+
+# -- levenshtein ----------------------------------------------------------------
+
+
+def levenshtein_pairs(
+    strings_a: Sequence[str],
+    strings_b: Sequence[str],
+    bound: int | None = None,
+    memo: StringKernelMemo | None = None,
+) -> np.ndarray:
+    """Edit distances for aligned string pairs, as float64.
+
+    With ``bound`` the result is exactly ``min(d, bound + 1)`` per pair
+    — the scalar :func:`repro.distances.levenshtein.levenshtein`
+    contract. The DP runs as vectorized row sweeps over all pairs at
+    once; every cell is clamped at ``bound + 1`` (which by induction
+    clamps the final value and nothing else), ``|len(a) - len(b)| >
+    bound`` pairs are pre-filtered as one mask, and pairs whose whole
+    DP row reaches the clamp retire early.
+    """
+    count = len(strings_a)
+    out = np.empty(count, dtype=np.float64)
+    if count == 0:
+        return out
+    la = np.fromiter(map(len, strings_a), np.int64, count)
+    lb = np.fromiter(map(len, strings_b), np.int64, count)
+    eq = np.fromiter(
+        (x == y for x, y in zip(strings_a, strings_b)), np.bool_, count
+    )
+    out[eq] = 0.0
+    todo = ~eq
+    if bound is not None:
+        over = (np.abs(la - lb) > bound) & todo
+        out[over] = float(bound + 1)
+        todo &= ~over
+    indexes = np.flatnonzero(todo)
+    if indexes.size == 0:
+        return out
+    encode = memo.codes if memo is not None else _local_encoder()
+    shorts: list[np.ndarray] = []
+    longs: list[np.ndarray] = []
+    for i in indexes.tolist():
+        a, b = strings_a[i], strings_b[i]
+        if len(a) > len(b):
+            a, b = b, a
+        shorts.append(encode(a))
+        longs.append(encode(b))
+    slen = np.minimum(la[indexes], lb[indexes])
+    llen = np.maximum(la[indexes], lb[indexes])
+    if bound is not None:
+        cap = bound + 1
+    else:
+        cap = int(llen.max()) + 1  # unreachable: d <= max(la, lb)
+    order = np.argsort(llen, kind="stable")
+    for chunk in _budget_chunks(order, slen, llen):
+        rows = _lev_chunk(
+            [shorts[i] for i in chunk.tolist()],
+            [longs[i] for i in chunk.tolist()],
+            slen[chunk],
+            llen[chunk],
+            cap,
+        )
+        out[indexes[chunk]] = rows
+    return out
+
+
+def _budget_chunks(order: np.ndarray, width_len: np.ndarray, depth_len: np.ndarray):
+    """Split ``order`` (indexes sorted by cost driver) into chunks whose
+    padded matrix ``rows x (max width + 1)`` stays within the cell
+    budget, so one long string cannot inflate every row's padding."""
+    start = 0
+    count = order.size
+    while start < count:
+        end = start + 1
+        max_width = int(width_len[order[start]])
+        while end < count:
+            width = max(max_width, int(width_len[order[end]]))
+            if (end - start + 1) * (width + 1) > _CELL_BUDGET:
+                break
+            max_width = width
+            end += 1
+        yield order[start:end]
+        start = end
+
+
+def _pad_codes(arrays: list[np.ndarray], width: int, fill: int) -> np.ndarray:
+    matrix = np.full((len(arrays), width), fill, dtype=np.int32)
+    for row, arr in enumerate(arrays):
+        if arr.size:
+            matrix[row, : arr.size] = arr
+    return matrix
+
+
+def _lev_chunk(
+    shorts: list[np.ndarray],
+    longs: list[np.ndarray],
+    slen: np.ndarray,
+    llen: np.ndarray,
+    cap: int,
+) -> np.ndarray:
+    """Clamped edit distances for one padded chunk (all pairs at once).
+
+    Row sweep over the longer strings: ``prev``/``cur`` hold one DP row
+    per pair. The in-row insertion dependency is resolved by a min-plus
+    doubling scan (after step ``s``, ``cur[i]`` covers insertion chains
+    up to ``2^s`` long — log2(width) vector ops instead of a sequential
+    scan). Cells clamp at ``cap``; a pair whose whole row clamps can
+    never come back under it (distances are bounded below by row
+    minima along any alignment path), so those pairs retire with
+    ``cap`` immediately — the vectorized early exit.
+    """
+    width = int(slen.max()) if slen.size else 0
+    a_matrix = _pad_codes(shorts, max(width, 1), -1)
+    b_matrix = _pad_codes(longs, int(llen.max()), -2)
+    size = len(shorts)
+    results = np.empty(size, dtype=np.int32)
+    prev = np.minimum(np.arange(width + 1, dtype=np.int32), cap)
+    prev = np.broadcast_to(prev, (size, width + 1)).copy()
+    pending = np.arange(size)
+    sw, lw = slen.astype(np.int64), llen.astype(np.int64)
+    j = 1
+    while pending.size:
+        column = b_matrix[:, j - 1][:, None]
+        cur = np.empty((pending.size, width + 1), dtype=np.int32)
+        cur[:, 0] = min(j, cap)
+        np.minimum(
+            prev[:, :-1] + (a_matrix[:, :width] != column),
+            prev[:, 1:] + 1,
+            out=cur[:, 1:],
+        )
+        np.minimum(cur, cap, out=cur)
+        shift = 1
+        while shift <= width:
+            cur[:, shift:] = np.minimum(
+                cur[:, shift:], cur[:, :-shift] + shift
+            )
+            shift <<= 1
+        np.minimum(cur, cap, out=cur)
+        done = lw == j
+        finished = done | (cur.min(axis=1) >= cap)
+        if finished.any():
+            if done.any():
+                results[pending[done]] = cur[done, sw[done]]
+            capped = finished & ~done
+            if capped.any():
+                results[pending[capped]] = cap
+            keep = ~finished
+            pending = pending[keep]
+            a_matrix = a_matrix[keep]
+            b_matrix = b_matrix[keep]
+            sw, lw = sw[keep], lw[keep]
+            prev = cur[keep]
+        else:
+            prev = cur
+        j += 1
+    return results.astype(np.float64)
+
+
+def rapidfuzz_levenshtein_pairs(
+    strings_a: Sequence[str],
+    strings_b: Sequence[str],
+    bound: int | None = None,
+) -> np.ndarray:
+    """Edit distances via the native rapidfuzz backend.
+
+    ``score_cutoff`` makes rapidfuzz return ``bound + 1`` for any
+    distance above the bound — exactly the scalar clamp contract — and
+    distances are integers, so the backend is bit-identical by
+    construction (no float rounding to diverge on).
+    """
+    lev = _rapidfuzz_levenshtein()
+    if lev is None:  # pragma: no cover - guarded by string_backend()
+        raise RuntimeError("rapidfuzz is not installed")
+    distance = lev.distance
+    if bound is None:
+        values = [distance(a, b) for a, b in zip(strings_a, strings_b)]
+    else:
+        values = [
+            distance(a, b, score_cutoff=bound)
+            for a, b in zip(strings_a, strings_b)
+        ]
+    return np.array(values, dtype=np.float64)
+
+
+# -- jaro / jaro-winkler --------------------------------------------------------
+
+
+def jaro_pairs(
+    strings_a: Sequence[str],
+    strings_b: Sequence[str],
+    memo: StringKernelMemo | None = None,
+    prefix_scale: float | None = None,
+) -> np.ndarray:
+    """Jaro similarities for aligned string pairs (Jaro-Winkler when
+    ``prefix_scale`` is given), bit-identical to the scalar loops.
+
+    The greedy match scan runs one character position at a time across
+    all pairs: a boolean candidate matrix (``==`` over the encoded
+    codes, window mask, unmatched mask) and its per-row ``argmax``
+    reproduce the scalar loop's first-unmatched-in-window choice
+    exactly. Transpositions compare the k-th matched character of each
+    side via stable-argsort compaction. The final arithmetic keeps the
+    scalar expression order, so the float64 results match bit for bit.
+    """
+    count = len(strings_a)
+    out = np.empty(count, dtype=np.float64)
+    if count == 0:
+        return out
+    la = np.fromiter(map(len, strings_a), np.int64, count)
+    lb = np.fromiter(map(len, strings_b), np.int64, count)
+    eq = np.fromiter(
+        (x == y for x, y in zip(strings_a, strings_b)), np.bool_, count
+    )
+    out[eq] = 1.0
+    empty = ((la == 0) | (lb == 0)) & ~eq
+    out[empty] = 0.0
+    indexes = np.flatnonzero(~eq & ~empty)
+    if indexes.size == 0:
+        return out
+    encode = memo.codes if memo is not None else _local_encoder()
+    codes_a = [encode(strings_a[i]) for i in indexes.tolist()]
+    codes_b = [encode(strings_b[i]) for i in indexes.tolist()]
+    la, lb = la[indexes], lb[indexes]
+    order = np.argsort(la + lb, kind="stable")
+    for chunk in _budget_chunks(order, lb, la):
+        similarities = _jaro_chunk(
+            [codes_a[i] for i in chunk.tolist()],
+            [codes_b[i] for i in chunk.tolist()],
+            la[chunk],
+            lb[chunk],
+            prefix_scale,
+        )
+        out[indexes[chunk]] = similarities
+    return out
+
+
+def _jaro_chunk(
+    codes_a: list[np.ndarray],
+    codes_b: list[np.ndarray],
+    la: np.ndarray,
+    lb: np.ndarray,
+    prefix_scale: float | None,
+) -> np.ndarray:
+    size = len(codes_a)
+    width_a = int(la.max())
+    width_b = int(lb.max())
+    a_matrix = _pad_codes(codes_a, width_a, -1)
+    b_matrix = _pad_codes(codes_b, width_b, -2)
+    window = np.maximum(np.maximum(la, lb) // 2 - 1, 0)[:, None]
+    columns = np.arange(width_b, dtype=np.int64)
+    matched_a = np.zeros((size, width_a), dtype=bool)
+    matched_b = np.zeros((size, width_b), dtype=bool)
+    matches = np.zeros(size, dtype=np.int64)
+    rows = np.arange(size)
+    for i in range(width_a):
+        # The scalar window is [max(0, i - w), min(lb, i + w + 1)); the
+        # lb clamp only excludes padding columns, which can never win
+        # the equality test (pad codes differ by construction), so one
+        # |column - i| <= w band mask is enough.
+        candidates = (
+            (b_matrix == a_matrix[:, i][:, None])
+            & ~matched_b
+            & (np.abs(columns - i) <= window)
+        )
+        first = candidates.argmax(axis=1)
+        found = candidates[rows, first]
+        matched_b[rows[found], first[found]] = True
+        matched_a[found, i] = True
+        matches += found
+    # k-th matched character of each side, in original order (stable
+    # argsort floats matched positions to the front without reordering
+    # them — the scalar transposition walk).
+    order_a = np.argsort(~matched_a, axis=1, kind="stable")
+    order_b = np.argsort(~matched_b, axis=1, kind="stable")
+    gathered_a = np.take_along_axis(a_matrix, order_a, axis=1)
+    gathered_b = np.take_along_axis(b_matrix, order_b, axis=1)
+    width = min(width_a, width_b)
+    positions = np.arange(width, dtype=np.int64)
+    transpositions = (
+        (
+            (gathered_a[:, :width] != gathered_b[:, :width])
+            & (positions < matches[:, None])
+        ).sum(axis=1)
+        // 2
+    )
+    similarities = np.zeros(size, dtype=np.float64)
+    positive = matches > 0
+    m = matches[positive].astype(np.float64)
+    t = transpositions[positive].astype(np.float64)
+    la_f = la[positive].astype(np.float64)
+    lb_f = lb[positive].astype(np.float64)
+    # Exactly the scalar expression order: ((m/la + m/lb) + (m-t)/m) / 3.
+    similarities[positive] = (m / la_f + m / lb_f + (m - t) / m) / 3.0
+    if prefix_scale is not None:
+        limit = min(4, width_a, width_b)
+        shared = a_matrix[:, :limit] == b_matrix[:, :limit]
+        prefix = np.cumprod(shared, axis=1).sum(axis=1).astype(np.float64)
+        similarities = similarities + prefix * prefix_scale * (
+            1.0 - similarities
+        )
+    return similarities
+
+
+# -- set algebra (jaccard family) -----------------------------------------------
+
+
+def set_intersections(
+    sets_a: list[np.ndarray],
+    sets_b: list[np.ndarray],
+    token_space: int,
+) -> np.ndarray:
+    """Intersection sizes for aligned pairs of sorted-unique code sets.
+
+    One sort over ``combo_id * token_space + code`` keys: within a
+    combo each side holds unique codes, so every adjacent duplicate in
+    the sorted key array is exactly one token shared by both sides.
+    """
+    count = len(sets_a)
+    if count == 0:
+        return np.zeros(0, dtype=np.int64)
+    combo_ids = np.arange(count, dtype=np.int64)
+    space = max(token_space, 1)
+    keys = np.concatenate(
+        [
+            np.repeat(combo_ids * space, lens) + codes
+            for codes, lens in (
+                _gather_sets(sets_a, count),
+                _gather_sets(sets_b, count),
+            )
+        ]
+    )
+    keys.sort(kind="quicksort")
+    duplicates = keys[1:] == keys[:-1]
+    return np.bincount(
+        keys[1:][duplicates] // space, minlength=count
+    ).astype(np.int64)
+
+
+def _gather_sets(sets: list[np.ndarray], count: int):
+    """Concatenate per-combo code sets as ``(codes, lengths)``.
+
+    The combo list references only a handful of distinct array objects
+    (one per distinct value tuple, fanned out over combinations), so
+    instead of ``np.concatenate`` over thousands of tiny views — whose
+    per-array overhead dominates — pool each distinct array once and
+    expand per combo with O(total) index arithmetic.
+    """
+    ids = np.fromiter(map(id, sets), np.int64, count)
+    _, first, inverse = np.unique(ids, return_index=True, return_inverse=True)
+    distinct = [sets[i] for i in first.tolist()]
+    pool_lens = np.fromiter(map(len, distinct), np.int64, len(distinct))
+    pool_offsets = np.cumsum(pool_lens) - pool_lens
+    pool = (
+        np.concatenate(distinct)
+        if distinct
+        else np.zeros(0, np.int64)
+    )
+    lens = pool_lens[inverse]
+    starts = pool_offsets[inverse]
+    total = int(lens.sum())
+    positions = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(lens) - lens, lens
+    )
+    return pool[np.repeat(starts, lens) + positions], lens
+
+
+def set_algebra_column(
+    columns_a,
+    columns_b,
+    finish: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray],
+    memo: StringKernelMemo | None = None,
+    name: str | None = None,
+) -> np.ndarray:
+    """Batch driver for measures over the two value sets themselves
+    (jaccard, dice, overlap): deduplicate rows per distinct value-tuple
+    combination, encode each distinct tuple once into the integer
+    token-code space, compute all intersection sizes with one sorted
+    pass, and let ``finish(intersections, sizes_a, sizes_b)`` apply the
+    measure's arithmetic (which must keep the scalar operation order
+    for bit-parity).
+    """
+    if len(columns_a) != len(columns_b):
+        raise ValueError(
+            f"column length mismatch: {len(columns_a)} vs {len(columns_b)}"
+        )
+    n = len(columns_a)
+    out = np.full(n, INFINITE_DISTANCE, dtype=np.float64)
+    if n == 0:
+        return out
+    # Row dedup, vectorized: unique each side's tuple identities (the
+    # engine hands out one tuple object per unique entity), then unique
+    # the combination of the two small inverse indexes — cheaper than
+    # one np.unique over (id, id) rows.
+    ids_a = np.fromiter(map(id, columns_a), np.int64, n)
+    ids_b = np.fromiter(map(id, columns_b), np.int64, n)
+    lens_a = np.fromiter(map(len, columns_a), np.int64, n)
+    lens_b = np.fromiter(map(len, columns_b), np.int64, n)
+    rows = np.flatnonzero((lens_a > 0) & (lens_b > 0))
+    if rows.size == 0:
+        return out
+    _, first_a, inv_a = np.unique(
+        ids_a[rows], return_index=True, return_inverse=True
+    )
+    _, first_b, inv_b = np.unique(
+        ids_b[rows], return_index=True, return_inverse=True
+    )
+    local = memo if memo is not None else StringKernelMemo()
+    sets_a, _ = local.token_sets([columns_a[i] for i in rows[first_a].tolist()])
+    sets_b, token_space = local.token_sets(
+        [columns_b[i] for i in rows[first_b].tolist()]
+    )
+    combo_key = inv_a * np.int64(first_b.size) + inv_b
+    _, first_combo, row_combo = np.unique(
+        combo_key, return_index=True, return_inverse=True
+    )
+    select_a = inv_a[first_combo]
+    select_b = inv_b[first_combo]
+    intersections = _distinct_intersections(
+        sets_a, sets_b, select_a, select_b, token_space
+    )
+    sizes_a = np.fromiter(map(len, sets_a), np.int64, len(sets_a))[select_a]
+    sizes_b = np.fromiter(map(len, sets_b), np.int64, len(sets_b))[select_b]
+    distances = finish(intersections, sizes_a, sizes_b)
+    out[rows] = distances[row_combo]
+    if memo is not None and name is not None:
+        memo.record_routing(name, batch=rows.size)
+    return out
+
+
+#: Widest bitset (in 64-bit words) worth materialising per combination;
+#: beyond it (token spaces over 4096 codes) the sorted-key path wins.
+_BITSET_WORDS = 64
+
+
+def _distinct_intersections(
+    sets_a: list[np.ndarray],
+    sets_b: list[np.ndarray],
+    select_a: np.ndarray,
+    select_b: np.ndarray,
+    token_space: int,
+) -> np.ndarray:
+    """Intersection sizes for ``(select_a[i], select_b[i])`` pairs of
+    distinct code sets.
+
+    Small token spaces pack each distinct set into a fixed-width bitset
+    once and count shared tokens with ``bitwise_and`` +
+    ``bitwise_count`` per combination — O(words) per pair with a tiny
+    constant. Large spaces fall back to the sorted-key pass of
+    :func:`set_intersections`. Both produce exact integer counts, so
+    the choice cannot affect parity.
+    """
+    words = (max(token_space, 1) + 63) // 64
+    if words > _BITSET_WORDS:
+        return set_intersections(
+            [sets_a[k] for k in select_a.tolist()],
+            [sets_b[k] for k in select_b.tolist()],
+            token_space,
+        )
+    masks_a = _bitset_pack(sets_a, words)
+    masks_b = _bitset_pack(sets_b, words)
+    shared = masks_a[select_a] & masks_b[select_b]
+    return np.bitwise_count(shared).sum(axis=1, dtype=np.int64)
+
+
+def _bitset_pack(sets: list[np.ndarray], words: int) -> np.ndarray:
+    """Each sorted-unique code set as one row of a packed bit matrix."""
+    masks = np.zeros((len(sets), words), dtype=np.uint64)
+    lens = np.fromiter(map(len, sets), np.int64, len(sets))
+    codes = (
+        np.concatenate(sets)
+        if sets
+        else np.zeros(0, np.int64)
+    )
+    owner = np.repeat(np.arange(len(sets), dtype=np.int64), lens)
+    np.bitwise_or.at(
+        masks,
+        (owner, codes >> 6),
+        np.uint64(1) << (codes & 63).astype(np.uint64),
+    )
+    return masks
+
+
+# -- shared pairwise driver -----------------------------------------------------
+
+
+def batch_pair_column(
+    columns_a,
+    columns_b,
+    pair_kernel: Callable[[list[str], list[str]], np.ndarray],
+    evaluate,
+    memo: StringKernelMemo | None = None,
+    name: str | None = None,
+) -> np.ndarray:
+    """Batch driver for measures lifting a pairwise string distance via
+    ``min_over_pairs``: deduplicate rows per distinct value-set
+    combination, run every singleton-singleton combination's string
+    pair through one ``pair_kernel`` call (vectorized across the whole
+    column), and replay multi-valued combinations through the scalar
+    oracle ``evaluate`` — the per-pair fallback, counted as such in the
+    routing statistics.
+    """
+    if len(columns_a) != len(columns_b):
+        raise ValueError(
+            f"column length mismatch: {len(columns_a)} vs {len(columns_b)}"
+        )
+    n = len(columns_a)
+    out = np.full(n, INFINITE_DISTANCE, dtype=np.float64)
+    if n == 0:
+        return out
+    combo_of: dict[tuple[int, int], int] = {}
+    combos_a: list = []
+    combos_b: list = []
+    row_combo = np.full(n, -1, dtype=np.int64)
+    for i, (values_a, values_b) in enumerate(zip(columns_a, columns_b)):
+        if not values_a or not values_b:
+            continue
+        key = (id(values_a), id(values_b))
+        slot = combo_of.get(key)
+        if slot is None:
+            slot = len(combos_a)
+            combo_of[key] = slot
+            combos_a.append(values_a)
+            combos_b.append(values_b)
+        row_combo[i] = slot
+    combo_count = len(combos_a)
+    if combo_count == 0:
+        return out
+    values = np.empty(combo_count, dtype=np.float64)
+    is_batch = np.zeros(combo_count, dtype=bool)
+    pair_of: dict[tuple[str, str], int] = {}
+    pairs_a: list[str] = []
+    pairs_b: list[str] = []
+    single_slots: list[int] = []
+    single_pairs: list[int] = []
+    multi_slots: list[int] = []
+    for slot in range(combo_count):
+        values_a, values_b = combos_a[slot], combos_b[slot]
+        if len(values_a) == 1 and len(values_b) == 1:
+            is_batch[slot] = True
+            pair_key = (values_a[0], values_b[0])
+            pair = pair_of.get(pair_key)
+            if pair is None:
+                pair = len(pairs_a)
+                pair_of[pair_key] = pair
+                pairs_a.append(values_a[0])
+                pairs_b.append(values_b[0])
+            single_slots.append(slot)
+            single_pairs.append(pair)
+        else:
+            multi_slots.append(slot)
+    if pairs_a:
+        distances = pair_kernel(pairs_a, pairs_b)
+        values[single_slots] = distances[single_pairs]
+    for slot in multi_slots:
+        values[slot] = evaluate(combos_a[slot], combos_b[slot])
+    valid = row_combo >= 0
+    out[valid] = values[row_combo[valid]]
+    if memo is not None and name is not None:
+        routed = row_combo[valid]
+        batch_rows = int(is_batch[routed].sum())
+        memo.record_routing(
+            name, batch=batch_rows, fallback=int(routed.size - batch_rows)
+        )
+    return out

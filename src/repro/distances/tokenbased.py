@@ -12,12 +12,59 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.distances.base import DistanceMeasure, INFINITE_DISTANCE
+import numpy as np
+
+from repro.distances.base import (
+    DistanceMeasure,
+    INFINITE_DISTANCE,
+    ValueColumn,
+    fallback_column,
+)
 from repro.distances.jaro import jaro_winkler_similarity
 from repro.distances.numeric import parse_number
+from repro.distances.strings import (
+    BoundedValueMemo,
+    StringKernelMemo,
+    count_nonempty,
+    set_algebra_column,
+    string_backend,
+)
 
 
-class DiceDistance(DistanceMeasure):
+class _SetAlgebraDistance(DistanceMeasure):
+    """Shared batch plumbing for measures over the value sets
+    themselves (dice, overlap): set sizes and intersections come from
+    the sorted integer-token-code pass, the subclass supplies the
+    scalar measure and its vectorized arithmetic (same operation order
+    for bit-parity)."""
+
+    batch_capable = True
+    memo_capable = True
+
+    def _finish(
+        self, intersections: np.ndarray, sizes_a: np.ndarray, sizes_b: np.ndarray
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def evaluate_column(
+        self,
+        columns_a: ValueColumn,
+        columns_b: ValueColumn,
+        memo: StringKernelMemo | None = None,
+    ) -> np.ndarray:
+        backend = string_backend()
+        if backend == "python":
+            if memo is not None:
+                memo.record_routing(
+                    self.name, fallback=count_nonempty(columns_a, columns_b)
+                )
+            return fallback_column(self.evaluate, columns_a, columns_b)
+        return set_algebra_column(
+            columns_a, columns_b, self._finish, memo=memo, name=self.name
+        )
+
+
+class DiceDistance(_SetAlgebraDistance):
     """1 - 2|A n B| / (|A| + |B|) over the two value sets."""
 
     name = "dice"
@@ -30,8 +77,13 @@ class DiceDistance(DistanceMeasure):
             return INFINITE_DISTANCE
         return 1.0 - 2.0 * len(set_a & set_b) / (len(set_a) + len(set_b))
 
+    def _finish(
+        self, intersections: np.ndarray, sizes_a: np.ndarray, sizes_b: np.ndarray
+    ) -> np.ndarray:
+        return 1.0 - 2.0 * intersections / (sizes_a + sizes_b)
 
-class OverlapDistance(DistanceMeasure):
+
+class OverlapDistance(_SetAlgebraDistance):
     """1 - |A n B| / min(|A|, |B|): full containment scores 0."""
 
     name = "overlap"
@@ -43,6 +95,11 @@ class OverlapDistance(DistanceMeasure):
         if not set_a or not set_b:
             return INFINITE_DISTANCE
         return 1.0 - len(set_a & set_b) / min(len(set_a), len(set_b))
+
+    def _finish(
+        self, intersections: np.ndarray, sizes_a: np.ndarray, sizes_b: np.ndarray
+    ) -> np.ndarray:
+        return 1.0 - intersections / np.minimum(sizes_a, sizes_b)
 
 
 class MongeElkanDistance(DistanceMeasure):
@@ -58,7 +115,15 @@ class MongeElkanDistance(DistanceMeasure):
     threshold_range = (0.05, 0.6)
     max_tokens = 16
 
+    def __init__(self) -> None:
+        # Value tuples recur across calls (one tuple per unique
+        # entity), so token lists are memoised per distinct tuple.
+        self._token_memo = BoundedValueMemo()
+
     def _tokens(self, values: Sequence[str]) -> list[str]:
+        return self._token_memo.get(values, self._split)
+
+    def _split(self, values: Sequence[str]) -> list[str]:
         tokens: list[str] = []
         for value in values:
             tokens.extend(value.split())

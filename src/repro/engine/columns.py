@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.data.entity import Entity
 from repro.distances.registry import DistanceRegistry
+from repro.distances.strings import StringKernelMemo, count_nonempty
 from repro.engine.compiler import ComparisonOp, signature_token
 from repro.engine.lru import LRUCache
 from repro.engine.store import ColumnStore, column_key, pairs_fingerprint
@@ -66,6 +67,7 @@ class PairStore:
         value_cache: LRUCache,
         column_cache: LRUCache,
         persistent_store: ColumnStore | None = None,
+        string_memo: StringKernelMemo | None = None,
     ):
         self._pairs = list(pairs)
         self._store_id = store_id
@@ -74,6 +76,7 @@ class PairStore:
         self._value_cache = value_cache
         self._column_cache = column_cache
         self._persistent_store = persistent_store
+        self._string_memo = string_memo
         #: Content fingerprint of the pair list, computed on first
         #: persistent lookup (hashing is wasted work without a store).
         self._pairs_fingerprint: str | None = None
@@ -155,7 +158,20 @@ class PairStore:
         values_b = self.value_column(op.target_sig, op.target, "b")
         columns_a = [values_a[index_a] for index_a, _ in self._pair_index]
         columns_b = [values_b[index_b] for _, index_b in self._pair_index]
-        out = measure.evaluate_column(columns_a, columns_b)
+        memo = self._string_memo
+        if measure.memo_capable and memo is not None:
+            # Memo-capable measures take the session's string-kernel
+            # memo (encode caches) and record their own batch/fallback
+            # routing split internally.
+            out = measure.evaluate_column(columns_a, columns_b, memo=memo)
+        else:
+            out = measure.evaluate_column(columns_a, columns_b)
+            if memo is not None:
+                pairs = count_nonempty(columns_a, columns_b)
+                if measure.batch_capable:
+                    memo.record_routing(op.metric, batch=pairs)
+                else:
+                    memo.record_routing(op.metric, fallback=pairs)
         if out.shape != (len(self._pairs),) or out.dtype != np.float64:
             raise ValueError(
                 f"measure {op.metric!r} returned a malformed batch column: "

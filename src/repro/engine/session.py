@@ -42,6 +42,7 @@ from repro.core.nodes import SimilarityNode, ValueNode
 from repro.data.entity import Entity
 from repro.distances.registry import DistanceRegistry
 from repro.distances.registry import default_registry as default_distances
+from repro.distances.strings import StringKernelMemo
 from repro.engine.columns import PairStore
 from repro.engine.compiler import (
     CompiledAggregation,
@@ -84,6 +85,12 @@ class EngineStats:
     #: instead of fresh key derivation + postings union.
     probe_batches: int = 0
     probe_memo_hits: int = 0
+    #: Per-measure kernel routing: sorted ``(measure, batch_pairs,
+    #: fallback_pairs)`` triples counting non-empty pairs evaluated by
+    #: a vectorized batch kernel vs the per-pair scalar fallback (cache
+    #: and store hits evaluate nothing and count toward neither). A
+    #: measure that silently falls back shows up here immediately.
+    kernel_routing: tuple[tuple[str, int, int], ...] = ()
 
     @property
     def last_comparison_reuse(self) -> float | None:
@@ -146,6 +153,12 @@ class EngineSession:
         self._probe_lock = threading.Lock()
         self._probe_batches = 0
         self._probe_memo_hits = 0
+        #: Session-scoped string-kernel carrier: bounded encode memos
+        #: (code-point arrays per distinct string, token-code sets per
+        #: distinct value tuple) plus the per-measure kernel-routing
+        #: counters. Threaded through every PairStore like the probe
+        #: memo; thread-safe, so shared-memory executors are fine.
+        self._string_memo = StringKernelMemo()
 
     @property
     def distances(self) -> DistanceRegistry:
@@ -193,6 +206,7 @@ class EngineSession:
             value_cache=self._value_cache,
             column_cache=self._column_cache,
             persistent_store=self._store,
+            string_memo=self._string_memo,
         )
         return PairContext(self, store, context_id)
 
@@ -294,6 +308,7 @@ class EngineSession:
             store=self._store.stats() if self._store is not None else None,
             probe_batches=self._probe_batches,
             probe_memo_hits=self._probe_memo_hits,
+            kernel_routing=self._string_memo.routing(),
         )
 
     def generation_diffs(self) -> "tuple[GenerationDiff, ...]":

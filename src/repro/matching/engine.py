@@ -41,6 +41,7 @@ from repro.core.rule import MATCH_THRESHOLD, LinkageRule
 from repro.core.nodes import SimilarityNode
 from repro.data.entity import Entity
 from repro.data.source import DataSource
+from repro.distances.strings import routing_delta, routing_merged
 from repro.engine.executor import Executor, resolve_executor, window_batches
 from repro.engine.lru import CacheStats
 from repro.engine.session import EngineSession, EngineStats
@@ -138,6 +139,12 @@ class MatchStats:
     #: distinct-value-tuple memo instead of fresh key derivation.
     probe_batches: int = 0
     probe_memo_hits: int = 0
+    #: Per-measure kernel routing this run: sorted ``(measure,
+    #: batch_pairs, fallback_pairs)`` triples — non-empty pairs scored
+    #: by a vectorized batch kernel vs the per-pair scalar fallback
+    #: (cache and store hits count toward neither). Plain tuples so the
+    #: stats pickle cleanly out of process-pool workers.
+    kernel_routing: tuple[tuple[str, int, int], ...] = ()
 
     @property
     def value_stats(self) -> CacheStats | None:
@@ -416,6 +423,12 @@ class MatchingEngine:
                 s.probe_memo_hits - (b.probe_memo_hits if b else 0)
                 for s, b in deltas
             )
+            kernel_routing = routing_merged(
+                [
+                    routing_delta(s.kernel_routing, b.kernel_routing if b else None)
+                    for s, b in deltas
+                ]
+            )
             self._worker_baselines.update(worker_stats)
         else:
             stats = session.stats()
@@ -429,6 +442,9 @@ class MatchingEngine:
             )
             probe_batches = stats.probe_batches - baseline.probe_batches
             probe_memo_hits = stats.probe_memo_hits - baseline.probe_memo_hits
+            kernel_routing = routing_delta(
+                stats.kernel_routing, baseline.kernel_routing
+            )
         self._last_stats = MatchStats(
             batches=batches,
             pairs=pairs,
@@ -439,6 +455,7 @@ class MatchingEngine:
             store=store_stats,
             probe_batches=probe_batches,
             probe_memo_hits=probe_memo_hits,
+            kernel_routing=kernel_routing,
         )
 
     def _shard_cache_dir(self) -> str | None:

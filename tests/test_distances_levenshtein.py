@@ -55,6 +55,23 @@ class TestLevenshteinFunction:
     def test_bound_with_length_difference_shortcut(self):
         assert levenshtein("a", "abcdefgh", bound=3) > 3
 
+    def test_out_of_range_is_exactly_bound_plus_one(self):
+        """The clamp contract: every out-of-range result is exactly
+        ``bound + 1``, whichever shortcut detects it — that pinned
+        value is what lets the numpy and rapidfuzz batch backends stay
+        bit-identical to this oracle."""
+        # Early-exit path (rows of the DP all exceed the bound).
+        assert levenshtein("abcdefgh", "zyxwvuts", bound=2) == 3.0
+        # Length-difference prefilter, including empty strings.
+        assert levenshtein("a", "abcdefgh", bound=3) == 4.0
+        assert levenshtein("", "abc", bound=1) == 2.0
+        # Full DP finishing just above the bound (no early exit: the
+        # final row still has an in-bound cell, only the corner is out).
+        assert levenshtein("ab", "ba", bound=1) == 2.0
+        assert levenshtein("abcdefghij", "jihgfedcba", bound=5) == 6.0
+        # In-range distances stay exact.
+        assert levenshtein("kitten", "sitting", bound=3) == 3.0
+
     def test_unicode(self):
         assert levenshtein("café", "cafe") == 1.0
 

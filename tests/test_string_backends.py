@@ -1,0 +1,161 @@
+"""String-backend determinism: whatever backend
+``REPRO_ENGINE_STRING_BACKEND`` selects — the pure-Python oracle, the
+numpy kernels, or the optional rapidfuzz package — links, scores and
+learning history must be bit-identical. The variable may only move
+wall-clock. CI's optional-deps leg re-runs these suites with rapidfuzz
+installed; locally the rapidfuzz leg is skipped when absent.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.core.genlink import GenLink, GenLinkConfig
+from repro.core.nodes import AggregationNode, ComparisonNode, PropertyNode, TransformationNode
+from repro.core.rule import LinkageRule
+from repro.data.splits import train_validation_split
+from repro.datasets import load_dataset
+from repro.distances.strings import BACKEND_ENV, _rapidfuzz_levenshtein
+from repro.matching.engine import MatchingEngine
+
+
+def _backends() -> list[str]:
+    backends = ["python", "numpy"]
+    if _rapidfuzz_levenshtein() is not None:
+        backends.append("rapidfuzz")
+    return backends
+
+
+class _backend:
+    def __init__(self, spec: str):
+        self._spec = spec
+
+    def __enter__(self):
+        self._saved = os.environ.get(BACKEND_ENV)
+        os.environ[BACKEND_ENV] = self._spec
+
+    def __exit__(self, *exc_info):
+        if self._saved is None:
+            os.environ.pop(BACKEND_ENV, None)
+        else:
+            os.environ[BACKEND_ENV] = self._saved
+
+
+def _string_rule() -> LinkageRule:
+    """A rule leaning on every string-kernel family at once."""
+    name = PropertyNode("name")
+    tokens = TransformationNode("tokenize", (PropertyNode("address"),))
+    return LinkageRule(
+        AggregationNode(
+            function="wmean",
+            operators=(
+                ComparisonNode("levenshtein", 3.0, name, name),
+                ComparisonNode("jaroWinkler", 0.25, name, name),
+                ComparisonNode("jaccard", 0.8, tokens, tokens),
+            ),
+        )
+    )
+
+
+def _restaurant():
+    return load_dataset("restaurant", seed=5, scale=0.3)
+
+
+def test_links_identical_across_backends_and_workers():
+    """One string-heavy rule, every backend × workers {0, 2,
+    process:2}: identical links including emission order."""
+    dataset = _restaurant()
+    rule = _string_rule()
+    reference = None
+    for backend in _backends():
+        with _backend(backend):
+            for workers in (0, 2, "process:2"):
+                engine = MatchingEngine(workers=workers, batch_size=128)
+                try:
+                    links = [
+                        (link.uid_a, link.uid_b, link.score)
+                        for link in engine.iter_links(
+                            rule, dataset.source_a, dataset.source_b
+                        )
+                    ]
+                finally:
+                    engine.close()
+                if reference is None:
+                    reference = links
+                    assert links, "rule generated no links"
+                else:
+                    assert links == reference, (backend, workers)
+
+
+def test_routing_counters_reported_per_run():
+    """The per-run MatchStats carry the kernel-routing split: all-batch
+    under numpy, all-fallback under the python oracle."""
+    dataset = _restaurant()
+    rule = _string_rule()
+    for backend, expect_batch in (("numpy", True), ("python", False)):
+        with _backend(backend):
+            engine = MatchingEngine(batch_size=128)
+            try:
+                list(engine.iter_links(rule, dataset.source_a, dataset.source_b))
+                stats = engine.last_run_stats()
+            finally:
+                engine.close()
+        routing = {name: (batch, fallback) for name, batch, fallback in stats.kernel_routing}
+        assert set(routing) == {"levenshtein", "jaroWinkler", "jaccard"}, routing
+        for name, (batch, fallback) in routing.items():
+            total = batch + fallback
+            assert total > 0, (backend, name)
+            if expect_batch:
+                assert fallback == 0, (backend, name, routing)
+            else:
+                assert batch == 0, (backend, name, routing)
+
+
+def test_learning_identical_across_backends():
+    """Full GenLink learning (history and best rule) is bit-identical
+    across backends on a real dataset slice."""
+    results = []
+    for backend in _backends():
+        with _backend(backend):
+            dataset = _restaurant()
+            rng = random.Random(5)
+            train, validation = train_validation_split(dataset.links, rng)
+            result = GenLink(
+                GenLinkConfig(population_size=24, max_iterations=3)
+            ).learn(
+                dataset.source_a,
+                dataset.source_b,
+                train,
+                validation_links=validation,
+                rng=rng,
+            )
+        results.append(
+            (
+                result.best_rule,
+                [
+                    (
+                        record.iteration,
+                        record.best_fitness,
+                        record.train_f_measure,
+                    )
+                    for record in result.history
+                ],
+            )
+        )
+    for backend, got in zip(_backends()[1:], results[1:]):
+        assert got == results[0], backend
+
+
+def test_invalid_backend_fails_loudly():
+    dataset = _restaurant()
+    rule = _string_rule()
+    with _backend("turbo"):
+        engine = MatchingEngine(batch_size=128)
+        try:
+            with pytest.raises(ValueError, match="turbo"):
+                list(engine.iter_links(rule, dataset.source_a, dataset.source_b))
+        finally:
+            engine.close()
