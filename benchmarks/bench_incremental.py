@@ -1,0 +1,161 @@
+"""Incremental matching: cold execution versus delta re-scoring.
+
+The incremental path's promise is twofold: ``link_diff`` after a small
+source mutation must (a) produce links **byte-identical** to a cold
+re-run over rebuilt sources — asserted at every scale — and (b) do
+asymptotically less work: patch the persisted indexes forward instead
+of rebuilding them and re-score only the affected candidate pairs,
+reusing everything else. At bench/paper scale this file asserts the
+performance half on two datasets (one dedup, one two-source): the
+delta run after a ~1% mutation is at least 5x faster than the cold
+run, at least 90% of its blocking indexes arrive by patching rather
+than rebuilding, and its distance-column builds stay within 10% of the
+cold run's.
+
+The timed run is the *second* delta run: the first one pays a one-off
+cost the steady state never sees again (the reverse comparison index
+that bounds the affected set is built cold the first time, patched
+forward afterwards).
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+import time
+
+from repro.datasets import load_dataset
+from repro.experiments.scale import current_scale
+from repro.matching.blocking import TokenBlocker
+from repro.matching.engine import MatchingEngine
+from repro.matching.incremental import (
+    DATASET_RULE_PROPERTIES,
+    dataset_rule,
+    random_source_delta,
+    rebuilt,
+)
+
+from benchmarks._util import emit, strict_assertions
+
+import pytest
+
+#: One deduplication and one two-source workload — the two densest
+#: token-blocking candidate streams among the bundled datasets, so the
+#: cold run builds enough shards for the reuse ratios to be meaningful.
+_DATASETS = ("cora", "nyt")
+
+
+def _mutate(source, rng):
+    """~1% of the source mutated: half revisions/inserts, half deletes
+    (at least one of each)."""
+    budget = max(2, round(0.01 * len(source)))
+    deletes = max(1, budget // 2)
+    upserts = max(1, budget - deletes)
+    return random_source_delta(source, rng, upserts=upserts, deletes=deletes)
+
+
+def _cold_links(name, rule, source_a, source_b, dedup):
+    cold_a = rebuilt(source_a)
+    cold_b = cold_a if dedup else rebuilt(source_b)
+    prop_a, prop_b = DATASET_RULE_PROPERTIES[name]
+    verifier = MatchingEngine(
+        blocker=TokenBlocker([prop_a], [prop_b]), batch_size=512
+    )
+    try:
+        return [
+            (link.uid_a, link.uid_b, link.score)
+            for link in verifier.execute(rule, cold_a, cold_b)
+        ]
+    finally:
+        verifier.close()
+
+
+@pytest.mark.parametrize("name", _DATASETS)
+def test_incremental_delta_speedup(benchmark, results_dir, name):
+    scale = current_scale()
+    dataset = load_dataset(
+        name, seed=0, scale=scale.effective_dataset_scale(0)
+    )
+    rule = dataset_rule(name)
+    source_a, source_b = dataset.source_a, dataset.source_b
+    dedup = source_a is source_b
+    prop_a, prop_b = DATASET_RULE_PROPERTIES[name]
+    rng = random.Random(name)
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        engine = MatchingEngine(
+            blocker=TokenBlocker([prop_a], [prop_b]),
+            cache_dir=cache_dir,
+            batch_size=512,
+        )
+        try:
+            started = time.perf_counter()
+            previous = list(engine.execute(rule, source_a, source_b))
+            cold_seconds = time.perf_counter() - started
+            cold_stats = engine.last_run_stats()
+
+            # First delta run: absorbs the one-off reverse-index build.
+            deltas_a = [_mutate(source_a, rng)]
+            deltas_b = deltas_a if dedup else [_mutate(source_b, rng)]
+            warmup = engine.link_diff(
+                rule, source_a, source_b, previous,
+                deltas_a=deltas_a, deltas_b=deltas_b,
+            )
+            links = [
+                (l.uid_a, l.uid_b, l.score) for l in warmup.links
+            ]
+            assert links == _cold_links(name, rule, source_a, source_b, dedup)
+
+            # Second delta run: the steady state this bench times.
+            deltas_a = [_mutate(source_a, rng)]
+            deltas_b = deltas_a if dedup else [_mutate(source_b, rng)]
+            timings: list[float] = []
+
+            def delta_run():
+                started = time.perf_counter()
+                diff = engine.link_diff(
+                    rule, source_a, source_b, list(warmup.links),
+                    deltas_a=deltas_a, deltas_b=deltas_b,
+                )
+                timings.append(time.perf_counter() - started)
+                return diff
+
+            diff = benchmark.pedantic(delta_run, rounds=1, iterations=1)
+            delta_seconds = timings[0]
+            links = [(l.uid_a, l.uid_b, l.score) for l in diff.links]
+            assert links == _cold_links(name, rule, source_a, source_b, dedup)
+        finally:
+            engine.close()
+
+    stats = diff.stats
+    assert stats is not None and stats.store is not None
+    assert cold_stats is not None and cold_stats.store is not None
+    patch_total = stats.index_patches + stats.index_builds
+    patch_ratio = stats.index_patches / patch_total if patch_total else 1.0
+    column_ratio = (
+        stats.store.misses / cold_stats.store.misses
+        if cold_stats.store.misses
+        else 0.0
+    )
+    speedup = cold_seconds / delta_seconds if delta_seconds > 0 else float("inf")
+
+    text = "\n".join(
+        [
+            f"{name}: cold {cold_seconds:.3f}s ({cold_stats.pairs} pairs, "
+            f"{cold_stats.store.misses} column builds)",
+            f"{name}: delta {delta_seconds:.3f}s ({diff.rescored_pairs} "
+            f"pairs re-scored, {diff.kept_links} links carried, "
+            f"{stats.store.misses} column builds)",
+            f"{name}: speedup {speedup:.1f}x, index patch ratio "
+            f"{patch_ratio:.2f}, column build ratio {column_ratio:.2f}",
+        ]
+    )
+    emit(results_dir, f"incremental_{name}", text)
+
+    if not strict_assertions():
+        return
+    assert speedup >= 5.0, (name, speedup)
+    assert patch_ratio >= 0.9, (name, stats.index_patches, stats.index_builds)
+    assert column_ratio <= 0.1, (
+        name, stats.store.misses, cold_stats.store.misses,
+    )

@@ -89,6 +89,21 @@ class Entity:
             self._fingerprint = cached
         return cached
 
+    def revised(self, updates: Mapping[str, Iterable[str] | str]) -> "Entity":
+        """A copy of this entity with some property values replaced.
+
+        ``updates`` is merged over the existing properties; mapping a
+        property to an empty value removes it (the constructor drops
+        empty values). The uid is preserved, which is what makes the
+        result an *upsert* of this entity rather than a new one. The
+        copy's content fingerprint is recomputed lazily like any other
+        entity's, so delta ingestion pays the hash cost only for the
+        entities that actually changed.
+        """
+        merged: dict[str, Iterable[str] | str] = dict(self._properties)
+        merged.update(updates)
+        return Entity(self._uid, merged)
+
     def __reduce__(self) -> tuple:
         """Pickle support (mappingproxy is not picklable by default).
 

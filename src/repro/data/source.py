@@ -9,9 +9,54 @@ average fraction of entities on which a property is actually set.
 from __future__ import annotations
 
 import hashlib
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
 
 from repro.data.entity import Entity
+
+# Upper bound on the retained delta log. The log exists so persisted
+# index payloads a few epochs old can be patched forward instead of
+# rebuilt; beyond this horizon a rebuild is cheaper than replaying the
+# chain, so older deltas are dropped and patching falls back cleanly.
+_DELTA_LOG_LIMIT = 16
+
+
+@dataclass(frozen=True)
+class SourceDelta:
+    """One applied upsert/delete batch in a source's epoch chain.
+
+    Captures everything an index patcher needs to move a payload from
+    the parent epoch to this one without touching the source again:
+    the *new* entity versions (``upserts``), the *old* versions they
+    displaced (``replaced``), and the old versions of removed entities
+    (``deletes``). ``parent_fingerprint`` → ``fingerprint`` is the edge
+    this delta represents in the chain.
+    """
+
+    parent_fingerprint: str
+    fingerprint: str
+    upserts: tuple[Entity, ...] = ()
+    replaced: tuple[Entity, ...] = ()
+    deletes: tuple[Entity, ...] = ()
+
+    @property
+    def upsert_uids(self) -> frozenset[str]:
+        return frozenset(entity.uid for entity in self.upserts)
+
+    @property
+    def delete_uids(self) -> frozenset[str]:
+        return frozenset(entity.uid for entity in self.deletes)
+
+    @property
+    def changed_uids(self) -> frozenset[str]:
+        return self.upsert_uids | self.delete_uids
+
+    def old_entities(self) -> tuple[Entity, ...]:
+        """Displaced entity versions: replaced upserts plus deletes."""
+        return self.replaced + self.deletes
+
+    def __bool__(self) -> bool:
+        return bool(self.upserts or self.deletes)
 
 
 class DataSource:
@@ -21,6 +66,7 @@ class DataSource:
         self._name = name
         self._entities: dict[str, Entity] = {}
         self._fingerprint: str | None = None
+        self._delta_log: list[SourceDelta] = []
         for entity in entities:
             self.add(entity)
 
@@ -32,7 +78,93 @@ class DataSource:
         if entity.uid in self._entities:
             raise ValueError(f"duplicate entity uid {entity.uid!r} in {self._name!r}")
         self._entities[entity.uid] = entity
+        # A raw add bypasses the delta protocol, so the epoch chain no
+        # longer describes this content: fall back to a content rehash
+        # and void the lineage so nothing tries to patch across it.
         self._fingerprint = None
+        self._delta_log.clear()
+
+    def apply_delta(
+        self,
+        upserts: Iterable[Entity] = (),
+        deletes: Iterable[str] = (),
+    ) -> SourceDelta:
+        """Apply an upsert/delete batch and advance the epoch chain.
+
+        ``deletes`` (uids) are removed first, then ``upserts`` are
+        applied with dict semantics: an existing uid keeps its slot in
+        the insertion order, a new uid appends at the end. Deleting an
+        unknown uid raises; a uid may not appear twice in one batch.
+
+        Instead of rehashing every entity, the new source fingerprint
+        is chained from the parent: ``sha256(parent × delta-digest)``,
+        where the digest covers only the changed entities. Unchanged
+        entities keep their cached content fingerprints, so per-entity
+        store keys stay valid and only the source-level epoch moves.
+        The applied :class:`SourceDelta` is returned and kept in a
+        bounded log (:meth:`delta_chain`) for index patching.
+        """
+        delete_uids = list(dict.fromkeys(deletes))
+        upsert_list = list(upserts)
+        parent = self.fingerprint()
+        if not delete_uids and not upsert_list:
+            return SourceDelta(parent_fingerprint=parent, fingerprint=parent)
+
+        removed: list[Entity] = []
+        for uid in delete_uids:
+            try:
+                removed.append(self._entities.pop(uid))
+            except KeyError:
+                raise KeyError(f"no entity {uid!r} to delete in {self._name!r}")
+
+        replaced: list[Entity] = []
+        upsert_seen: set[str] = set()
+        for entity in upsert_list:
+            if entity.uid in upsert_seen:
+                raise ValueError(
+                    f"duplicate upsert uid {entity.uid!r} in one delta batch"
+                )
+            upsert_seen.add(entity.uid)
+            old = self._entities.get(entity.uid)
+            if old is not None:
+                replaced.append(old)
+            self._entities[entity.uid] = entity
+
+        digest = hashlib.sha256()
+        digest.update(parent.encode("ascii"))
+        for uid in delete_uids:
+            encoded = uid.encode("utf-8")
+            digest.update(b"-")
+            digest.update(str(len(encoded)).encode("ascii"))
+            digest.update(b":")
+            digest.update(encoded)
+        for entity in upsert_list:
+            digest.update(b"+")
+            digest.update(entity.fingerprint().encode("ascii"))
+        fingerprint = digest.hexdigest()
+
+        delta = SourceDelta(
+            parent_fingerprint=parent,
+            fingerprint=fingerprint,
+            upserts=tuple(upsert_list),
+            replaced=tuple(replaced),
+            deletes=tuple(removed),
+        )
+        self._fingerprint = fingerprint
+        self._delta_log.append(delta)
+        del self._delta_log[:-_DELTA_LOG_LIMIT]
+        return delta
+
+    def delta_chain(self) -> tuple[SourceDelta, ...]:
+        """Retained epoch chain, oldest delta first.
+
+        Each element's ``fingerprint`` equals the next element's
+        ``parent_fingerprint``; the last one's ``fingerprint`` is this
+        source's current :meth:`fingerprint`. Empty for sources that
+        were never mutated (or mutated through :meth:`add`, which voids
+        the chain).
+        """
+        return tuple(self._delta_log)
 
     def fingerprint(self) -> str:
         """Content hash of this source's snapshot — every entity's

@@ -33,6 +33,7 @@ exactly once.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -91,6 +92,13 @@ class EngineStats:
     #: and store hits evaluate nothing and count toward neither). A
     #: measure that silently falls back shows up here immediately.
     kernel_routing: tuple[tuple[str, int, int], ...] = ()
+    #: Blocking-index provenance: payloads constructed from scratch vs
+    #: payloads derived by patching a parent-epoch payload through a
+    #: source delta chain (:meth:`EngineSession.blocking_index` with
+    #: ``lineage=``/``patcher=``). A delta rerun should patch, not
+    #: build — the incremental benchmark gates on this ratio.
+    index_builds: int = 0
+    index_patches: int = 0
 
     @property
     def last_comparison_reuse(self) -> float | None:
@@ -153,6 +161,8 @@ class EngineSession:
         self._probe_lock = threading.Lock()
         self._probe_batches = 0
         self._probe_memo_hits = 0
+        self._index_builds = 0
+        self._index_patches = 0
         #: Session-scoped string-kernel carrier: bounded encode memos
         #: (code-point arrays per distinct string, token-code sets per
         #: distinct value tuple) plus the per-measure kernel-routing
@@ -231,18 +241,31 @@ class EngineSession:
         source_fingerprint: str,
         blocker_token: str,
         build,
+        *,
+        lineage=(),
+        patcher=None,
     ):
         """A blocking index through the session's index memo.
 
         Resolution order mirrors the distance-column path: the
         in-memory index cache first, then the persistent store's index
-        tier (when a store is configured), then ``build()`` — whose
-        result is persisted and memoised. Keys are pure content hashes
-        (source fingerprint × blocker construction signature), so a
-        changed source or a differently-configured blocker misses
-        cleanly and can never be served a stale index. Safe to call
-        concurrently: a racing build costs duplicated work, never a
-        divergent index (construction is deterministic).
+        tier (when a store is configured), then — new with delta
+        ingestion — *patching*: when the caller passes the source's
+        ``lineage`` (its :meth:`~repro.data.source.DataSource.
+        delta_chain`) and a ``patcher`` callable, an ancestor epoch's
+        payload found in the memo or store is moved forward one
+        :class:`~repro.data.source.SourceDelta` at a time
+        (``patcher(payload, delta) -> payload | None``; None abandons
+        patching) instead of rebuilding from scratch. Only as a last
+        resort does ``build()`` run. Whatever resolves is persisted
+        under the *current* epoch's key and memoised, so every epoch's
+        payload is internally consistent — a reader can never observe a
+        half-patched index. Keys are pure content hashes (source
+        fingerprint × blocker construction signature), so a changed
+        source or a differently-configured blocker misses cleanly and
+        can never be served a stale index. Safe to call concurrently: a
+        racing build costs duplicated work, never a divergent index
+        (construction and patching are deterministic).
         """
         memo_key = (source_fingerprint, blocker_token)
         cached = self._index_cache.get(memo_key)
@@ -257,11 +280,96 @@ class EngineSession:
             persistent_key = index_key(source_fingerprint, blocker_token)
             payload = store.load_index(persistent_key)
         if payload is None:
-            payload = build()
+            patched_from: str | None = None
+            steps = 0
+            if patcher is not None:
+                patched = self._patch_from_lineage(
+                    source_fingerprint, blocker_token, lineage, patcher
+                )
+                if patched is not None:
+                    payload, patched_from, steps = patched
+            if payload is not None:
+                with self._probe_lock:
+                    self._index_patches += 1
+            else:
+                payload = build()
+                with self._probe_lock:
+                    self._index_builds += 1
             if store is not None and persistent_key is not None:
                 store.save_index(persistent_key, payload)
+                if patched_from is not None:
+                    store.save_epoch(
+                        source_fingerprint,
+                        {
+                            "parent": patched_from,
+                            "token": blocker_token,
+                            "deltas": steps,
+                            "created": time.time(),
+                        },
+                    )
         self._index_cache.put(memo_key, payload)
         return payload
+
+    def _patch_from_lineage(
+        self, source_fingerprint: str, blocker_token: str, lineage, patcher
+    ):
+        """Try to derive the current epoch's payload from an ancestor.
+
+        Walks the delta chain newest-first looking for any ancestor
+        epoch whose payload is already resolved (memo or store), then
+        replays the intervening deltas oldest-first through ``patcher``.
+        Returns ``(payload, ancestor_fingerprint, steps)`` or None when
+        no ancestor is available, the chain doesn't lead to the current
+        fingerprint, or the patcher gives up.
+        """
+        chain = tuple(lineage)
+        if not chain or chain[-1].fingerprint != source_fingerprint:
+            return None
+        for earlier, later in zip(chain, chain[1:]):
+            if earlier.fingerprint != later.parent_fingerprint:
+                return None
+        store = self._store
+        pending = []
+        for delta in reversed(chain):
+            pending.append(delta)
+            ancestor = delta.parent_fingerprint
+            base = self._index_cache.get((ancestor, blocker_token))
+            if base is None and store is not None:
+                from repro.engine.store import index_key
+
+                base = store.load_index(index_key(ancestor, blocker_token))
+            if base is None:
+                continue
+            payload = base
+            for step in reversed(pending):
+                payload = patcher(payload, step)
+                if payload is None:
+                    return None
+            return payload, ancestor, len(pending)
+        return None
+
+    def peek_blocking_index(self, source_fingerprint: str, blocker_token: str):
+        """The already-resolved payload for one epoch, or None.
+
+        Never builds and never patches — this is how delta-affected-set
+        computation reconstructs the *previous* epoch's view (e.g. the
+        sorted-neighbourhood key order before the deltas) without
+        paying for a rebuild when it isn't available.
+        """
+        memo_key = (source_fingerprint, blocker_token)
+        cached = self._index_cache.get(memo_key)
+        if cached is not None:
+            return cached
+        if self._store is not None:
+            from repro.engine.store import index_key
+
+            payload = self._store.load_index(
+                index_key(source_fingerprint, blocker_token)
+            )
+            if payload is not None:
+                self._index_cache.put(memo_key, payload)
+                return payload
+        return None
 
     def record_probe(self, batches: int = 0, memo_hits: int = 0) -> None:
         """Record blocking probe-side traffic (called by the blockers'
@@ -309,6 +417,8 @@ class EngineSession:
             probe_batches=self._probe_batches,
             probe_memo_hits=self._probe_memo_hits,
             kernel_routing=self._string_memo.routing(),
+            index_builds=self._index_builds,
+            index_patches=self._index_patches,
         )
 
     def generation_diffs(self) -> "tuple[GenerationDiff, ...]":

@@ -44,6 +44,8 @@ Layout on disk
     <root>/columns-v1/<key[:2]>/<key>.npy    # float64 column blob
     <root>/columns-v1/<key[:2]>/<key>.json   # metadata sidecar
     <root>/indexes-v1/<key[:2]>/<key>.pkl    # pickled blocking index
+    <root>/probes-v1/<key[:2]>/<key>.pkl     # per-entity probe ledger
+    <root>/epochs-v1/<key[:2]>/<key>.json    # delta-epoch provenance
 
 Blobs are written to a temp file in the destination directory and
 published with ``os.replace``, so readers — including concurrent
@@ -85,6 +87,14 @@ STORE_FORMAT_VERSION = 1
 #: tier: index payload layout can evolve without invalidating columns).
 INDEX_FORMAT_VERSION = 1
 
+#: Format version of the probe-ledger tier: per-entity candidate-code
+#: results keyed entity fingerprint x probe signature.
+PROBE_FORMAT_VERSION = 1
+
+#: Format version of the delta-epoch record tier: small JSON provenance
+#: blobs recording which parent epoch a patched index derived from.
+EPOCH_FORMAT_VERSION = 1
+
 
 @dataclass(frozen=True)
 class StoreStats:
@@ -107,6 +117,13 @@ class StoreStats:
     index_misses: int = 0
     index_writes: int = 0
     index_invalid: int = 0
+    #: Probe-ledger tier counters: per-*entity* hit/miss granularity
+    #: (one blob holds many entities), so "the warm run probed only the
+    #: changed entities" is directly assertable.
+    probe_hits: int = 0
+    probe_misses: int = 0
+    probe_writes: int = 0
+    probe_invalid: int = 0
 
     @property
     def lookups(self) -> int:
@@ -145,6 +162,10 @@ class StoreStats:
             index_misses=self.index_misses - baseline.index_misses,
             index_writes=self.index_writes - baseline.index_writes,
             index_invalid=self.index_invalid - baseline.index_invalid,
+            probe_hits=self.probe_hits - baseline.probe_hits,
+            probe_misses=self.probe_misses - baseline.probe_misses,
+            probe_writes=self.probe_writes - baseline.probe_writes,
+            probe_invalid=self.probe_invalid - baseline.probe_invalid,
         )
 
     @staticmethod
@@ -163,6 +184,10 @@ class StoreStats:
             index_misses=sum(s.index_misses for s in snapshots),
             index_writes=sum(s.index_writes for s in snapshots),
             index_invalid=sum(s.index_invalid for s in snapshots),
+            probe_hits=sum(s.probe_hits for s in snapshots),
+            probe_misses=sum(s.probe_misses for s in snapshots),
+            probe_writes=sum(s.probe_writes for s in snapshots),
+            probe_invalid=sum(s.probe_invalid for s in snapshots),
         )
 
 
@@ -235,6 +260,8 @@ class ColumnStore:
         self._root = Path(root).expanduser()
         self._columns_dir = self._root / f"columns-v{STORE_FORMAT_VERSION}"
         self._indexes_dir = self._root / f"indexes-v{INDEX_FORMAT_VERSION}"
+        self._probes_dir = self._root / f"probes-v{PROBE_FORMAT_VERSION}"
+        self._epochs_dir = self._root / f"epochs-v{EPOCH_FORMAT_VERSION}"
         self._mmap = mmap
         self._lock = threading.Lock()
         self._hits = 0
@@ -247,6 +274,10 @@ class ColumnStore:
         self._index_misses = 0
         self._index_writes = 0
         self._index_invalid = 0
+        self._probe_hits = 0
+        self._probe_misses = 0
+        self._probe_writes = 0
+        self._probe_invalid = 0
 
     @property
     def root(self) -> Path:
@@ -258,6 +289,12 @@ class ColumnStore:
 
     def _index_path(self, key: str) -> Path:
         return self._indexes_dir / key[:2] / f"{key}.pkl"
+
+    def _probe_path(self, key: str) -> Path:
+        return self._probes_dir / key[:2] / f"{key}.pkl"
+
+    def _epoch_path(self, key: str) -> Path:
+        return self._epochs_dir / key[:2] / f"{key}.json"
 
     # -- load / save ----------------------------------------------------------
     def load(self, key: str, rows: int) -> np.ndarray | None:
@@ -464,17 +501,148 @@ class ColumnStore:
             self._bytes_written += len(blob)
         return True
 
+    # -- probe-ledger tier ----------------------------------------------------
+    def load_probe_ledger(self, key: str) -> dict | None:
+        """The persisted probe ledger for ``key``, or None when absent.
+
+        A ledger maps entity content fingerprints to their probed
+        candidate-code arrays for one (probe-side source epoch, probe
+        signature). Unlike the column/index tiers, hit/miss accounting
+        is per *entity*, not per blob — callers report it through
+        :meth:`record_probe_lookups` after consulting the ledger, so a
+        blob-level miss here counts nothing by itself.
+        """
+        path = self._probe_path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            payload = pickle.loads(blob)
+        except Exception:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            with self._lock:
+                self._probe_invalid += 1
+            return None
+        if not isinstance(payload, dict):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            with self._lock:
+                self._probe_invalid += 1
+            return None
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
+        with self._lock:
+            self._bytes_read += len(blob)
+        return payload
+
+    def save_probe_ledger(self, key: str, payload: Mapping) -> bool:
+        """Persist a probe ledger under ``key`` (atomic; returns
+        success). Racing writers may each persist a different superset
+        of the entries they loaded; any of them is a valid ledger —
+        absent entries are simply re-probed next run."""
+        path = self._probe_path(key)
+        try:
+            blob = pickle.dumps(dict(payload), protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return False
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".pkl"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        with self._lock:
+            self._bytes_written += len(blob)
+        return True
+
+    def record_probe_lookups(
+        self, hits: int = 0, misses: int = 0, writes: int = 0
+    ) -> None:
+        """Report per-entity ledger traffic (see :meth:`load_probe_ledger`)."""
+        if not (hits or misses or writes):
+            return
+        with self._lock:
+            self._probe_hits += hits
+            self._probe_misses += misses
+            self._probe_writes += writes
+
+    # -- delta-epoch records --------------------------------------------------
+    def save_epoch(self, fingerprint: str, payload: Mapping[str, object]) -> bool:
+        """Record provenance for a patched-index epoch (best effort).
+
+        One small JSON blob per source epoch fingerprint, written when
+        an index is patched forward rather than rebuilt. Purely
+        introspective — nothing loads it on the hot path — but it makes
+        ``cache info`` and GC aware of the epoch chain so orphaned
+        records age out with everything else.
+        """
+        path = self._epoch_path(
+            hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()
+        )
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(dict(payload), handle, default=str)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        return True
+
+    def load_epoch(self, fingerprint: str) -> dict | None:
+        """The provenance record for one source epoch, or None."""
+        path = self._epoch_path(
+            hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()
+        )
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
     # -- maintenance ----------------------------------------------------------
     def entries(self) -> Iterator[StoreEntry]:
-        """All persisted columns and blocking indexes, unordered.
+        """All persisted blobs across every tier, unordered.
 
-        Both tiers share the maintenance machinery: GC recency is mtime
-        (renewed on hits) for columns and indexes alike, ``clear``
-        drops both.
+        Columns, blocking indexes, probe ledgers and delta-epoch
+        records share the maintenance machinery: GC recency is mtime
+        (renewed on hits) for all of them, ``clear`` drops everything —
+        so orphaned epoch blobs age out like any cold column.
         """
         for directory, pattern in (
             (self._columns_dir, "*/*.npy"),
             (self._indexes_dir, "*/*.pkl"),
+            (self._probes_dir, "*/*.pkl"),
+            (self._epochs_dir, "*/*.json"),
         ):
             if not directory.is_dir():
                 continue
@@ -493,21 +661,30 @@ class ColumnStore:
                 )
 
     def describe(self) -> dict:
-        """Totals for ``cache info``: entry counts and byte footprint."""
+        """Totals for ``cache info``: per-tier entry counts and bytes."""
         columns = 0
         indexes = 0
+        probes = 0
+        epochs = 0
         total = 0
         for entry in self.entries():
-            if entry.path.suffix == ".pkl":
+            tier = entry.path.parent.parent.name
+            if tier.startswith("indexes-"):
                 indexes += 1
+            elif tier.startswith("probes-"):
+                probes += 1
+            elif tier.startswith("epochs-"):
+                epochs += 1
             else:
                 columns += 1
             total += entry.nbytes
         return {
             "path": str(self._root),
-            "entries": columns + indexes,
+            "entries": columns + indexes + probes + epochs,
             "columns": columns,
             "indexes": indexes,
+            "probes": probes,
+            "epochs": epochs,
             "bytes": total,
         }
 
@@ -592,6 +769,10 @@ class ColumnStore:
                 index_misses=self._index_misses,
                 index_writes=self._index_writes,
                 index_invalid=self._index_invalid,
+                probe_hits=self._probe_hits,
+                probe_misses=self._probe_misses,
+                probe_writes=self._probe_writes,
+                probe_invalid=self._probe_invalid,
             )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -224,6 +224,8 @@ def _cache_maintenance(args: argparse.Namespace) -> None:
         print(f"cache directory : {info['path']}")
         print(f"columns         : {info['columns']}")
         print(f"indexes         : {info['indexes']}")
+        print(f"probe ledgers   : {info['probes']}")
+        print(f"delta epochs    : {info['epochs']}")
         print(f"bytes           : {info['bytes']}")
     elif args.action == "gc":
         result = store.gc(
@@ -239,6 +241,124 @@ def _cache_maintenance(args: argparse.Namespace) -> None:
         print(f"removed {removed} column(s)")
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown cache action {args.action!r}")
+
+
+def _run_delta(args: argparse.Namespace) -> None:
+    """``delta``: cold run vs incremental re-run after a random delta."""
+    import random
+    import tempfile
+    import time
+
+    from repro.datasets import load_dataset
+    from repro.experiments.scale import current_scale
+    from repro.matching.engine import MatchingEngine
+    from repro.matching.incremental import (
+        dataset_rule,
+        random_source_delta,
+        rebuilt,
+    )
+
+    scale = current_scale()
+    dataset = load_dataset(
+        args.dataset, seed=args.seed, scale=scale.effective_dataset_scale(0)
+    )
+    rule = dataset_rule(args.dataset)
+    source_a, source_b = dataset.source_a, dataset.source_b
+    dedup = source_a is source_b
+    rng = random.Random(args.seed)
+
+    # Index patching needs a persistent store shared by the cold and
+    # delta runs; fall back to a throwaway one when none is configured.
+    cache_dir = os.environ.get(CACHE_ENV, "")
+    scratch = None if cache_dir else tempfile.TemporaryDirectory()
+    engine = MatchingEngine(cache_dir=cache_dir or scratch.name)
+    try:
+        started = time.perf_counter()
+        previous = list(engine.execute(rule, source_a, source_b))
+        cold_seconds = time.perf_counter() - started
+        cold_stats = engine.last_run_stats()
+
+        delta_a = random_source_delta(
+            source_a, rng, upserts=args.upserts, deletes=args.deletes
+        )
+        deltas_a = [delta_a]
+        deltas_b = deltas_a if dedup else [
+            random_source_delta(
+                source_b, rng, upserts=args.upserts, deletes=args.deletes
+            )
+        ]
+        started = time.perf_counter()
+        diff = engine.link_diff(
+            rule, source_a, source_b, previous,
+            deltas_a=deltas_a, deltas_b=deltas_b,
+        )
+        delta_seconds = time.perf_counter() - started
+        stats = diff.stats
+    finally:
+        engine.close()
+        if scratch is not None:
+            scratch.cleanup()
+
+    changed = {u for d in deltas_a for u in d.changed_uids}
+    if not dedup:
+        changed |= {u for d in deltas_b for u in d.changed_uids}
+    print(
+        f"cold run        : {len(previous)} link(s) from "
+        f"{cold_stats.pairs} pair(s) in {cold_seconds:.3f}s"
+    )
+    print(
+        f"delta applied   : {len(changed)} changed uid(s) "
+        f"({args.upserts} upsert(s), {args.deletes} delete(s) per side)"
+    )
+    affected = (
+        "all (full re-run)"
+        if diff.affected_uids is None
+        else str(len(diff.affected_uids))
+    )
+    print(
+        f"incremental run : {len(diff.links)} link(s), "
+        f"{diff.rescored_pairs} pair(s) re-scored, "
+        f"{diff.kept_links} link(s) carried over in {delta_seconds:.3f}s"
+    )
+    speedup = cold_seconds / delta_seconds if delta_seconds > 0 else float("inf")
+    print(f"affected probes : {affected}")
+    print(
+        f"diff            : +{len(diff.added)} -{len(diff.removed)} "
+        f"={len(diff.unchanged)}"
+    )
+    print(f"speedup         : {speedup:.1f}x")
+    if stats is not None:
+        print(
+            f"index reuse     : {stats.index_patches} patched, "
+            f"{stats.index_builds} rebuilt (window depth "
+            f"{stats.window_depth})"
+        )
+        if stats.store is not None:
+            store = stats.store
+            print(
+                f"[engine store] hits={store.hits} misses={store.misses} "
+                f"writes={store.writes} index_hits={store.index_hits} "
+                f"index_misses={store.index_misses} "
+                f"probe_hits={store.probe_hits} "
+                f"probe_misses={store.probe_misses}",
+                file=sys.stderr,
+            )
+    if args.verify:
+        verifier = MatchingEngine()
+        try:
+            # One rebuilt object per distinct source: a dedup run must
+            # stay a dedup run (source_a is source_b) after the rebuild.
+            cold_a = rebuilt(source_a)
+            cold_b = cold_a if dedup else rebuilt(source_b)
+            cold = list(verifier.execute(rule, cold_a, cold_b))
+        finally:
+            verifier.close()
+        identical = [
+            (l.uid_a, l.uid_b, l.score) for l in diff.links
+        ] == [(l.uid_a, l.uid_b, l.score) for l in cold]
+        print(f"verification    : {'identical to cold rerun' if identical else 'MISMATCH'}")
+        if not identical:
+            raise SystemExit(1)
 
 
 def _print_crossover(args: argparse.Namespace) -> None:
@@ -343,6 +463,26 @@ def main(argv: list[str] | None = None) -> int:
         "--blocker strategy) and report link quality",
     )
 
+    delta = subparsers.add_parser(
+        "delta",
+        help="incremental matching demo: cold run, random source delta, "
+        "then link_diff re-scoring only the affected candidates",
+    )
+    delta.add_argument("dataset", choices=DATASET_NAMES)
+    delta.add_argument(
+        "--upserts", type=int, default=10,
+        help="entities to revise/insert per side (default 10)",
+    )
+    delta.add_argument(
+        "--deletes", type=int, default=5,
+        help="entities to delete per side (default 5)",
+    )
+    delta.add_argument(
+        "--verify", action="store_true",
+        help="also cold-rerun over rebuilt sources and assert the "
+        "incremental links are byte-identical",
+    )
+
     cache = subparsers.add_parser(
         "cache",
         help="inspect / garbage-collect / clear the persistent "
@@ -400,6 +540,7 @@ def main(argv: list[str] | None = None) -> int:
         "seeding": _print_seeding,
         "crossover": _print_crossover,
         "learn": _learn_rule,
+        "delta": _run_delta,
     }
     handlers[args.command](args)
     return 0

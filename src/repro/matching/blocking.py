@@ -56,7 +56,7 @@ from abc import ABC, abstractmethod
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from itertools import chain, islice, repeat
-from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -178,6 +178,233 @@ def _code_pair_lists(
         )
 
 
+def _affected_code_pair_lists(
+    chunk: Sequence[Entity],
+    code_lists: Sequence[np.ndarray],
+    uids: Sequence[str],
+    by_code: Sequence[Entity],
+    dedup: bool,
+    affected: frozenset,
+) -> Iterator[list[CandidatePair]]:
+    """Per-entity candidate pairs for an *affected-only* rescore.
+
+    The probe chunk holds only affected entities. Two-source mode emits
+    every partner (each pair has a unique probe side, so each affected
+    pair appears exactly once). Dedup mode emits the forward
+    (``uid_a < uid_b``) partners unconditionally plus the backward
+    partners that are *not* themselves affected — an affected backward
+    partner emits the pair when it is probed itself. Pairs are
+    uid-ordered exactly like the cold stream, so rescored pairs key the
+    same columns a cold run would.
+    """
+    for entity_a, codes in zip(chunk, code_lists):
+        uid_a = entity_a.uid
+        if dedup:
+            floor = bisect_right(uids, uid_a)
+            split = int(np.searchsorted(codes, floor))
+            pairs: list[CandidatePair] = []
+            for code in codes[:split].tolist():
+                partner = by_code[code]
+                # Self-pairs drop here too: the probe entity is always
+                # in ``affected``.
+                if partner.uid not in affected:
+                    pairs.append((partner, entity_a))
+            pairs.extend(
+                zip(
+                    repeat(entity_a),
+                    map(by_code.__getitem__, codes[split:].tolist()),
+                )
+            )
+            yield pairs
+        else:
+            i = bisect_left(uids, uid_a)
+            if i < len(uids) and uids[i] == uid_a:
+                j = int(np.searchsorted(codes, i))
+                if j < len(codes) and codes[j] == i:
+                    codes = np.delete(codes, j)
+            yield list(
+                zip(repeat(entity_a), map(by_code.__getitem__, codes.tolist()))
+            )
+
+
+def _token_blocks(
+    source: DataSource, properties: Sequence[str], session
+) -> dict:
+    """Unfiltered token block table of one source: ``{token: (uids...)}``
+    in source order, per-block uid-deduped, no size filter — the
+    persisted form. Size filtering is a view concern
+    (:meth:`TokenBlocker.build_index`), so one persisted table serves
+    every ``max_block_size`` and stays patchable (a patch can never
+    resurrect uids a filter already dropped)."""
+
+    def extract(chunk):
+        return [
+            (entity.uid, _text_tokens(_entity_text(entity, properties)))
+            for entity in chunk
+        ]
+
+    per_entity = fan_entity_chunks(session, source.entities(), extract)
+    blocks: dict[str, list[str]] = {}
+    get = blocks.get
+    for uid, tokens in per_entity:
+        for token in tokens:
+            block = get(token)
+            if block is None:
+                blocks[token] = [uid]
+            else:
+                block.append(uid)
+    return {token: tuple(dict.fromkeys(uids)) for token, uids in blocks.items()}
+
+
+def _entity_tokens(entity: Entity, properties: Sequence[str]) -> list[str]:
+    """Deduped token list of one entity over ``properties``."""
+    return list(dict.fromkeys(_text_tokens(_entity_text(entity, properties))))
+
+
+def _raw_token_patcher(source: DataSource, properties: Sequence[str]):
+    """A :meth:`EngineSession.blocking_index` patcher moving an
+    unfiltered token block table one source delta forward: displaced
+    entity versions leave their old tokens' blocks, upserted versions
+    join their new tokens' blocks. Blocks an upsert joins are re-sorted
+    by the entity's *current* source position — deletions and
+    replacements preserve surviving uids' relative order, so only
+    joined blocks can drift, and restoring source order there makes
+    the patched table equal a cold rebuild block-for-block (dict
+    upsert semantics keep a replaced uid's slot; fresh uids append)."""
+
+    def patch(blocks: dict, delta) -> dict:
+        blocks = dict(blocks)
+        for old in delta.old_entities():
+            uid = old.uid
+            for token in _entity_tokens(old, properties):
+                block = blocks.get(token)
+                if block is None or uid not in block:
+                    continue
+                pruned = tuple(u for u in block if u != uid)
+                if pruned:
+                    blocks[token] = pruned
+                else:
+                    del blocks[token]
+        order: dict[str, int] | None = None
+        fallback = 0
+        for entity in delta.upserts:
+            uid = entity.uid
+            for token in _entity_tokens(entity, properties):
+                block = blocks.get(token)
+                if block is None:
+                    blocks[token] = (uid,)
+                elif uid not in block:
+                    if order is None:
+                        order = {u: i for i, u in enumerate(source.uids())}
+                        # Mid-chain uids a later delta removes are not
+                        # in the live source; park them at the end (a
+                        # later patch step deletes them anyway).
+                        fallback = len(order)
+                    blocks[token] = tuple(
+                        sorted(
+                            block + (uid,),
+                            key=lambda u: order.get(u, fallback),
+                        )
+                    )
+        return blocks
+
+    return patch
+
+
+def _patch_memo_payload(memo, fingerprint: str, token: str, lineage, patcher):
+    """Patch a blocker's one-entry instance memo forward to the current
+    epoch, mirroring the session's lineage walk for session-less use.
+    Returns the patched payload or None (wrong token, no patcher, memo
+    epoch not an ancestor, or the patcher gave up)."""
+    if memo is None or patcher is None or memo[1] != token:
+        return None
+    chain_deltas = tuple(lineage)
+    if not chain_deltas or chain_deltas[-1].fingerprint != fingerprint:
+        return None
+    pending = []
+    for delta in reversed(chain_deltas):
+        pending.append(delta)
+        if delta.parent_fingerprint == memo[0]:
+            payload = memo[2]
+            for step in reversed(pending):
+                payload = patcher(payload, step)
+                if payload is None:
+                    return None
+            return payload
+    return None
+
+
+class _ProbeLedger:
+    """Per-entity probe results over the store's ``probes-v1`` tier.
+
+    One ledger blob maps entity content fingerprints to their probed
+    partner-code arrays for a fixed (target-epoch, probe-signature)
+    key. Probing is deterministic, so a ledger entry equals what
+    :meth:`Blocker.probe_batch` would recompute — warm runs serve
+    unchanged entities from the ledger and probe only the rest.
+    Hit/miss traffic is per entity (``StoreStats.probe_hits`` /
+    ``probe_misses``); new entries persist on :meth:`flush` (called in
+    the pair stream's ``finally``, so partial consumption still saves
+    what was probed).
+    """
+
+    __slots__ = ("_store", "_session", "_key", "_entries", "_fresh")
+
+    def __init__(self, session, key: str):
+        store = session.store if session is not None else None
+        self._store = store
+        self._session = session
+        self._key = key
+        self._entries: dict = (
+            (store.load_probe_ledger(key) if store is not None else None) or {}
+        )
+        self._fresh: dict = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self._store is not None
+
+    def probe(self, chunk: Sequence[Entity], probe_missing):
+        """Chunk results, serving known entities and probing the rest
+        through ``probe_missing(entities) -> list[codes]``."""
+        if self._store is None:
+            return probe_missing(chunk)
+        entries = self._entries
+        fingerprints = [entity.fingerprint() for entity in chunk]
+        cached = [entries.get(fp) for fp in fingerprints]
+        missing = [
+            entity for entity, codes in zip(chunk, cached) if codes is None
+        ]
+        if missing:
+            fresh_iter = iter(probe_missing(missing))
+            results = []
+            for fp, codes in zip(fingerprints, cached):
+                if codes is None:
+                    codes = next(fresh_iter)
+                    self._fresh[fp] = codes
+                results.append(codes)
+        else:
+            # Fully served: no probe_batch call happened, but the chunk
+            # *was* probed — keep the batch counter's meaning stable.
+            if self._session is not None:
+                self._session.record_probe(batches=1)
+            results = cached
+        self._store.record_probe_lookups(
+            hits=len(chunk) - len(missing), misses=len(missing)
+        )
+        return results
+
+    def flush(self) -> None:
+        if self._store is None or not self._fresh:
+            return
+        merged = dict(self._entries)
+        merged.update(self._fresh)
+        if self._store.save_probe_ledger(self._key, merged):
+            self._store.record_probe_lookups(writes=len(self._fresh))
+        self._entries = merged
+        self._fresh = {}
+
+
 def _chunked(
     pairs: Iterable[CandidatePair], batch_size: int
 ) -> Iterator[list[CandidatePair]]:
@@ -202,6 +429,11 @@ class Blocker(ABC):
     #: Same, for the derived probe-side view (separate slot so
     #: alternating build/probe resolution never thrashes either memo).
     _probe_index_memo: tuple[str, str, object] | None = None
+    #: Derived public view (e.g. the size-filtered token table) — its
+    #: own slot for the same no-thrash reason.
+    _view_index_memo: tuple[str, str, object] | None = None
+    #: Reverse (probe-side) index used by affected-set computation.
+    _reverse_index_memo: tuple[str, str, object] | None = None
 
     @abstractmethod
     def candidates(
@@ -327,24 +559,84 @@ class Blocker(ABC):
             f"{type(self).__name__} has no batch probe path"
         )
 
+    def affected_probe_uids(
+        self,
+        source_a: DataSource,
+        source_b: DataSource,
+        deltas_a: Sequence,
+        deltas_b: Sequence,
+        session: "EngineSession | None" = None,
+    ) -> frozenset | None:
+        """Probe-side uids whose candidate sets may have changed after
+        the given :class:`~repro.data.source.SourceDelta` chains, or
+        None when this blocker cannot bound the impact (the engine then
+        falls back to a full rescore — always correct, never fast).
+
+        The contract is *soundness*, not minimality: any pair whose
+        candidate membership or participants changed must touch the
+        returned set once the engine unions in the changed/deleted uids
+        themselves. Over-approximation only costs rescoring work.
+        """
+        return None
+
+    def iter_affected_shards(
+        self,
+        source_a: DataSource,
+        source_b: DataSource,
+        affected: frozenset,
+        batch_size: int,
+        session: "EngineSession | None" = None,
+    ) -> Iterator[list[CandidatePair]]:
+        """Ready-to-score shards of exactly the candidate pairs that
+        touch ``affected`` (each such pair once, uid-ordered like the
+        cold stream). The default filters the full pair stream — always
+        correct; indexed blockers override it to probe only the
+        affected entities.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+
+        def touched(pairs: Iterable[CandidatePair]) -> Iterator[CandidatePair]:
+            for entity_a, entity_b in pairs:
+                if entity_a.uid in affected or entity_b.uid in affected:
+                    yield entity_a, entity_b
+
+        return _chunked(
+            touched(self._iter_pairs(source_a, source_b, session)), batch_size
+        )
+
     def _resolve_index(
         self,
         source: DataSource,
         session: "EngineSession | None",
         build: Callable[[], object],
+        patcher=None,
     ) -> object:
         """Index lookup through the session memo / persistent tier /
-        the blocker's own one-entry memo, building on miss."""
+        the blocker's own one-entry memo, building on miss. With a
+        ``patcher``, an ancestor epoch's payload (session, store or
+        instance memo) is patched forward through the source's delta
+        chain instead of rebuilding."""
         token = self.signature()
         if token is None:
             return build()
         if session is not None:
-            return session.blocking_index(source.fingerprint(), token, build)
+            return session.blocking_index(
+                source.fingerprint(),
+                token,
+                build,
+                lineage=source.delta_chain(),
+                patcher=patcher,
+            )
         fingerprint = source.fingerprint()
         memo = self._index_memo
         if memo is not None and memo[0] == fingerprint and memo[1] == token:
             return memo[2]
-        payload = build()
+        payload = _patch_memo_payload(
+            memo, fingerprint, token, source.delta_chain(), patcher
+        )
+        if payload is None:
+            payload = build()
         self._index_memo = (fingerprint, token, payload)
         return payload
 
@@ -354,19 +646,31 @@ class Blocker(ABC):
         session: "EngineSession | None",
         token: str,
         build: Callable[[], object],
+        patcher=None,
+        slot: str = "_probe_index_memo",
     ) -> object:
         """Probe-view lookup, mirroring :meth:`_resolve_index` with an
-        explicit token and its own instance-memo slot: session memo /
-        persistent index tier when a session is available, a one-entry
-        fingerprint-keyed memo otherwise."""
+        explicit token and its own instance-memo slot (``slot``):
+        session memo / persistent index tier when a session is
+        available, a one-entry fingerprint-keyed memo otherwise."""
         if session is not None:
-            return session.blocking_index(source.fingerprint(), token, build)
+            return session.blocking_index(
+                source.fingerprint(),
+                token,
+                build,
+                lineage=source.delta_chain(),
+                patcher=patcher,
+            )
         fingerprint = source.fingerprint()
-        memo = self._probe_index_memo
+        memo = getattr(self, slot)
         if memo is not None and memo[0] == fingerprint and memo[1] == token:
             return memo[2]
-        payload = build()
-        self._probe_index_memo = (fingerprint, token, payload)
+        payload = _patch_memo_payload(
+            memo, fingerprint, token, source.delta_chain(), patcher
+        )
+        if payload is None:
+            payload = build()
+        setattr(self, slot, (fingerprint, token, payload))
         return payload
 
 
@@ -523,48 +827,47 @@ class TokenBlocker(Blocker):
         self._max_block_size = max_block_size
 
     def signature(self) -> str:
+        # v2: the persisted payload is the *unfiltered* block table
+        # (see :func:`_token_blocks`); v1 blobs miss cleanly.
         return (
-            f"token-index:v1:props={sorted(self._properties_b)!r}:"
+            f"token-index:v2:props={sorted(self._properties_b)!r}:"
             f"max={self._max_block_size}"
         )
 
     def build_index(self, source, session=None):
         """Token index of a target source: ``{token: (uids...)}`` in
-        source order, with oversized (stop-word) blocks dropped."""
-        return self._resolve_index(
-            source, session, lambda: self._build_blocks(source, session)
+        source order, with oversized (stop-word) blocks dropped.
+
+        The underlying persisted/patched payload is the *unfiltered*
+        table (:meth:`_raw_blocks`) — a delta patch can shrink a block
+        back under the limit, which a filtered payload could not
+        express. The public filtered view resolves through its own memo
+        key; on a delta its "patch" is simply a refilter of the
+        already-patched raw table, so it never counts as a rebuild."""
+
+        def filtered():
+            raw = self._raw_blocks(source, session)
+            limit = self._max_block_size
+            return {
+                token: uids for token, uids in raw.items() if len(uids) <= limit
+            }
+
+        return self._resolve_probe_index(
+            source,
+            session,
+            f"{self.signature()}|filtered-blocks-v1",
+            filtered,
+            patcher=lambda payload, delta: filtered(),
+            slot="_view_index_memo",
         )
 
-    def _build_blocks(self, source: DataSource, session) -> dict:
-        properties = self._properties_b
-
-        def extract(chunk):
-            return [
-                (entity.uid, _text_tokens(_entity_text(entity, properties)))
-                for entity in chunk
-            ]
-
-        per_entity = fan_entity_chunks(session, source.entities(), extract)
-        # Single pass straight into the blocks; per-entity token dedup
-        # is deferred to one C-level dict.fromkeys per block below,
-        # which must run before the stop-word size filter (an entity
-        # repeating a token must not push its block over the limit).
-        blocks: dict[str, list[str]] = {}
-        get = blocks.get
-        for uid, tokens in per_entity:
-            for token in tokens:
-                block = get(token)
-                if block is None:
-                    blocks[token] = [uid]
-                else:
-                    block.append(uid)
-        limit = self._max_block_size
-        out: dict[str, tuple[str, ...]] = {}
-        for token, uids in blocks.items():
-            deduped = dict.fromkeys(uids)
-            if len(deduped) <= limit:
-                out[token] = tuple(deduped)
-        return out
+    def _raw_blocks(self, source: DataSource, session) -> dict:
+        return self._resolve_index(
+            source,
+            session,
+            lambda: _token_blocks(source, self._properties_b, session),
+            patcher=_raw_token_patcher(source, self._properties_b),
+        )
 
     def candidates(self, source_a, source_b):
         return self._iter_pairs(source_a, source_b, None)
@@ -574,7 +877,10 @@ class TokenBlocker(Blocker):
         into sorted-uid order, each block becomes a sorted ``int32``
         code array. Resolves through the same memo / persistent index
         tier as the block table itself (key suffix ``probe-codes-v1``),
-        so warm sessions and warm stores skip the derivation."""
+        so warm sessions and warm stores skip the derivation. On a
+        delta, the view patches in place: unaffected blocks renumber
+        through one vectorized mapping (only when the code space
+        changed), affected blocks recompute from the patched table."""
         # The raw block table is only materialised inside the builder:
         # a probe-view hit (warm session or warm store) never loads it.
         uids, blocks = self._resolve_probe_index(
@@ -584,8 +890,72 @@ class TokenBlocker(Blocker):
             lambda: _token_code_payload(
                 self.build_index(source_b, session=session)
             ),
+            patcher=lambda payload, delta: self._patch_probe_view(
+                payload, delta, self.build_index(source_b, session=session)
+            ),
         )
         return _TokenProbeIndex(uids=uids, blocks=blocks, size=len(uids))
+
+    def _patch_probe_view(self, payload, delta, filtered_blocks):
+        """Move a ``(uids, code blocks)`` probe view one delta forward.
+
+        Dead uids leave the code table (probing resolves codes back to
+        live entities, so they must go); genuinely new uids merge in
+        sorted position and surviving codes renumber through one
+        monotone ``mapping[codes]`` gather — sortedness is preserved,
+        so no per-block sort. Blocks touching any changed entity's
+        tokens (old or new version) recompute from the patched filtered
+        table; every other block is content-identical to a cold build.
+        ``filtered_blocks`` is the *final*-epoch table: a multi-step
+        patch recomputes affected tokens against it at every step,
+        which is idempotent-correct (uids not yet in the step's code
+        table are dropped and re-added by the later step that
+        introduces them).
+        """
+        uids_t, code_blocks = payload
+        properties = self._properties_b
+        affected_tokens: set[str] = set()
+        for entity in chain(delta.upserts, delta.old_entities()):
+            affected_tokens.update(_entity_tokens(entity, properties))
+        table = list(uids_t)
+        table_set = set(table)
+        upsert_uids = delta.upsert_uids
+        dead = (delta.delete_uids - upsert_uids) & table_set
+        inserted = upsert_uids - table_set
+        if dead or inserted:
+            new_table = sorted((table_set - dead) | upsert_uids)
+            code_of = {uid: code for code, uid in enumerate(new_table)}
+            mapping = np.fromiter(
+                (code_of.get(uid, -1) for uid in table),
+                dtype=np.int64,
+                count=len(table),
+            )
+            new_blocks = {}
+            for token, codes in code_blocks.items():
+                if token in affected_tokens:
+                    continue
+                remapped = mapping[codes]
+                remapped = remapped[remapped >= 0]
+                if remapped.size:
+                    new_blocks[token] = remapped.astype(np.int32)
+        else:
+            new_table = table
+            code_of = {uid: code for code, uid in enumerate(table)}
+            new_blocks = {
+                token: codes
+                for token, codes in code_blocks.items()
+                if token not in affected_tokens
+            }
+        for token in affected_tokens:
+            block = filtered_blocks.get(token)
+            if not block:
+                continue
+            codes = sorted(
+                {code_of[uid] for uid in block if uid in code_of}
+            )
+            if codes:
+                new_blocks[token] = np.array(codes, dtype=np.int32)
+        return tuple(new_table), new_blocks
 
     def probe_batch(self, entities, index, session=None, memo=None):
         """Batch token probe: bulk tokenisation (the same C-level
@@ -631,6 +1001,206 @@ class TokenBlocker(Blocker):
     def probe_uids(self, index, partners):
         return tuple(map(index.uids.__getitem__, partners.tolist()))
 
+    def affected_probe_uids(
+        self, source_a, source_b, deltas_a, deltas_b, session=None
+    ):
+        """Probe-side entities whose candidate sets may have changed.
+
+        Pairs touching a *changed* entity need no coverage here: the
+        engine unions changed uids into the drop set itself, and
+        :meth:`iter_affected_shards` re-emits their current pairs —
+        through the changed entity's own probe in dedup mode, through
+        a targeted reverse probe of changed B entities in two-source
+        mode. What remains is pairs between two *unchanged* entities,
+        and those can only move when a block crosses
+        ``max_block_size``: pairs among otherwise-unchanged members
+        appear when a block shrinks under the limit, vanish when it
+        grows past it. The affected set is therefore the changed uids
+        plus, for every limit-crossing block, its probe-side holders
+        (two-source, via the unfiltered reverse table) or its members
+        (dedup, where the two coincide). Parent-epoch block sizes
+        reconstruct exactly from the chain's membership deltas.
+        """
+        properties_b = self._properties_b
+
+        def entity_tokens(entity) -> frozenset:
+            return frozenset(_text_tokens(_entity_text(entity, properties_b)))
+
+        # Endpoint token sets per changed B uid across the whole chain:
+        # first old version wins the baseline, last state wins the
+        # final (deletes end absent; a mid-chain insert later deleted
+        # nets out to no membership change).
+        baseline: dict[str, "frozenset | None"] = {}
+        final: dict[str, "frozenset | None"] = {}
+        for delta in deltas_b:
+            for entity in delta.old_entities():
+                baseline.setdefault(entity.uid, entity_tokens(entity))
+            for uid in delta.delete_uids:
+                final[uid] = None
+            for entity in delta.upserts:
+                baseline.setdefault(entity.uid, None)
+                final[entity.uid] = entity_tokens(entity)
+        if not baseline and not final:
+            return frozenset()
+
+        if source_a is source_b:
+            limit = self._max_block_size
+            raw = self._raw_blocks(source_b, session)
+            affected: set[str] = set(baseline) | set(final)
+            growth: dict[str, int] = {}
+            for uid in affected:
+                before = baseline.get(uid) or frozenset()
+                after = final.get(uid) or frozenset()
+                for token in after - before:
+                    growth[token] = growth.get(token, 0) + 1
+                for token in before - after:
+                    growth[token] = growth.get(token, 0) - 1
+            for token, delta_size in growth.items():
+                members = raw.get(token, ())
+                new_size = len(members)
+                old_size = new_size - delta_size
+                if (old_size > limit) != (new_size > limit):
+                    # Members that *left* the block are changed uids,
+                    # already in the set.
+                    affected.update(members)
+            return frozenset(affected)
+
+        limit = self._max_block_size
+        raw = self._raw_blocks(source_b, session)
+        growth: dict[str, int] = {}
+        for uid in set(baseline) | set(final):
+            before = baseline.get(uid) or frozenset()
+            after = final.get(uid) or frozenset()
+            for token in after - before:
+                growth[token] = growth.get(token, 0) + 1
+            for token in before - after:
+                growth[token] = growth.get(token, 0) - 1
+        flipped = []
+        for token, delta_size in growth.items():
+            new_size = len(raw.get(token, ()))
+            if (new_size - delta_size > limit) != (new_size > limit):
+                flipped.append(token)
+        if not flipped:
+            return frozenset()
+        reverse = self._reverse_blocks(source_a, session)
+        affected: set[str] = set()
+        for token in flipped:
+            block = reverse.get(token)
+            if block:
+                affected.update(block)
+        return frozenset(affected)
+
+    def _reverse_blocks(self, source_a: DataSource, session) -> dict:
+        """Unfiltered token table over the *probe* side, keyed by the
+        probe properties — the reverse index that answers "which A
+        entities could pair with a B entity holding these tokens".
+        Unbounded (no stop-word filter): affected sets must
+        over-approximate, never drop. Persisted and patched like the
+        forward table, under its own ``:rev:`` token."""
+        properties = self._properties_a
+        token = f"token-index:v2:rev:props={sorted(properties)!r}"
+        build = lambda: _token_blocks(source_a, properties, session)
+        patcher = _raw_token_patcher(source_a, properties)
+        return self._resolve_probe_index(
+            source_a,
+            session,
+            token,
+            build,
+            patcher=patcher,
+            slot="_reverse_index_memo",
+        )
+
+    def iter_affected_shards(
+        self, source_a, source_b, affected, batch_size, session=None
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        return _chunked(
+            chain.from_iterable(
+                self._iter_affected_pair_lists(
+                    source_a, source_b, affected, session
+                )
+            ),
+            batch_size,
+        )
+
+    def _iter_affected_pair_lists(self, source_a, source_b, affected, session):
+        index = self.probe_index(source_a, source_b, session=session)
+        dedup = source_a is source_b
+        uids = index.uids
+        get_b = source_b.get
+        by_code = [get_b(uid) for uid in uids]
+        entities = [
+            entity for entity in source_a.entities() if entity.uid in affected
+        ]
+        memo: dict = {}
+        ledger = self._probe_ledger(source_a, source_b, session)
+        try:
+            for start in range(0, len(entities), _PROBE_CHUNK):
+                chunk = entities[start : start + _PROBE_CHUNK]
+                results = ledger.probe(
+                    chunk,
+                    lambda miss: self.probe_batch(
+                        miss, index, session, memo=memo
+                    ),
+                )
+                yield from _affected_code_pair_lists(
+                    chunk, results, uids, by_code, dedup, affected
+                )
+        finally:
+            ledger.flush()
+        if not dedup:
+            yield from self._targeted_reverse_pair_lists(
+                source_a, source_b, affected, session
+            )
+
+    def _targeted_reverse_pair_lists(
+        self, source_a, source_b, affected, session
+    ):
+        """Pairs of *unaffected* probe entities with affected stored
+        entities. Two-source emission is one-directional (only A
+        probes), so a changed B entity's pairs with unchanged A
+        partners never surface from the affected probes above; the
+        reverse table answers them directly, under the same stop-word
+        filter the forward probe applies. Affected probe entities are
+        excluded — their own full probe already emits these pairs —
+        which keeps every affected pair emitted exactly once."""
+        limit = self._max_block_size
+        raw = self._raw_blocks(source_b, session)
+        reverse = self._reverse_blocks(source_a, session)
+        properties_b = self._properties_b
+        get_a = source_a.get
+        for uid in sorted(affected):
+            if uid not in source_b:
+                continue
+            entity_b = source_b.get(uid)
+            partners: set[str] = set()
+            for token in set(
+                _text_tokens(_entity_text(entity_b, properties_b))
+            ):
+                if len(raw.get(token, ())) > limit:
+                    continue
+                partners.update(reverse.get(token, ()))
+            partners -= affected
+            partners.discard(uid)
+            if partners:
+                yield [
+                    (get_a(partner), entity_b) for partner in sorted(partners)
+                ]
+
+    def _probe_ledger(self, source_a, source_b, session) -> _ProbeLedger:
+        from repro.engine.store import index_key
+
+        if session is None or session.store is None:
+            return _ProbeLedger(None, "")
+        token = (
+            f"{self.signature()}|probe-results-v1:"
+            f"probe_props={sorted(self._properties_a)!r}"
+        )
+        return _ProbeLedger(
+            session, index_key(source_b.fingerprint(), token)
+        )
+
     def _iter_pairs(self, source_a, source_b, session):
         return chain.from_iterable(
             self._iter_pair_lists(source_a, source_b, session)
@@ -646,15 +1216,24 @@ class TokenBlocker(Blocker):
         by_code = [get_b(uid) for uid in uids]
         entities = source_a.entities()
         memo: dict = {}
-        for start in range(0, len(entities), _PROBE_CHUNK):
-            chunk = entities[start : start + _PROBE_CHUNK]
-            yield from _code_pair_lists(
-                chunk,
-                self.probe_batch(chunk, index, session, memo=memo),
-                uids,
-                by_code,
-                dedup,
-            )
+        ledger = self._probe_ledger(source_a, source_b, session)
+        try:
+            for start in range(0, len(entities), _PROBE_CHUNK):
+                chunk = entities[start : start + _PROBE_CHUNK]
+                yield from _code_pair_lists(
+                    chunk,
+                    ledger.probe(
+                        chunk,
+                        lambda miss: self.probe_batch(
+                            miss, index, session, memo=memo
+                        ),
+                    ),
+                    uids,
+                    by_code,
+                    dedup,
+                )
+        finally:
+            ledger.flush()
 
 
 @dataclass(frozen=True)
@@ -679,6 +1258,46 @@ class _SnbProbeState:
     partner_positions: np.ndarray
     #: Partner uids aligned with partner_positions.
     partner_uids: list[str]
+
+
+def _snb_merged_positions(
+    index_a: Sequence[tuple[str, str]], index_b: Sequence[tuple[str, str]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merged key-order positions of two key-sorted payloads (A before
+    B on ties), from the payloads alone — no live entities needed, so
+    affected-set computation can reconstruct a *previous* epoch's
+    geometry from peeked index payloads."""
+    keys_a, keys_b = _key_arrays(
+        [key for key, __ in index_a], [key for key, __ in index_b]
+    )
+    positions_a = np.arange(len(keys_a), dtype=np.int64) + np.searchsorted(
+        keys_b, keys_a, side="left"
+    )
+    positions_b = np.arange(len(keys_b), dtype=np.int64) + np.searchsorted(
+        keys_a, keys_b, side="right"
+    )
+    return positions_a, positions_b
+
+
+def _near_mask(
+    positions: np.ndarray, changed_sorted: np.ndarray, margin: int
+) -> np.ndarray:
+    """Boolean mask of positions within ``margin`` of any changed
+    position (one vectorized searchsorted against the sorted changed
+    array, then nearest-neighbour distance on either side)."""
+    if changed_sorted.size == 0 or positions.size == 0:
+        return np.zeros(positions.size, dtype=bool)
+    idx = np.searchsorted(changed_sorted, positions)
+    nearest = np.full(positions.size, np.inf)
+    right = idx < changed_sorted.size
+    nearest[right] = changed_sorted[idx[right]] - positions[right]
+    left = idx > 0
+    np.minimum(
+        nearest,
+        np.where(left, positions - changed_sorted[np.maximum(idx - 1, 0)], np.inf),
+        out=nearest,
+    )
+    return nearest <= margin
 
 
 def _key_arrays(
@@ -751,7 +1370,35 @@ class SortedNeighbourhoodBlocker(Blocker):
             keyed.sort(key=lambda item: item[0])
             return tuple(keyed)
 
-        return self._resolve_index(source, session, build)
+        return self._resolve_index(
+            source, session, build, patcher=self._patch_keyed(source)
+        )
+
+    def _patch_keyed(self, source: DataSource):
+        """Patcher moving a key-sorted ``((key, uid), ...)`` payload one
+        delta forward: changed uids' entries drop, upserted versions'
+        entries merge, and one near-sorted Timsort by ``(key, current
+        source position)`` restores exactly the cold build's order —
+        the cold sort is stable over source order, and dict upsert
+        semantics preserve each surviving uid's source position."""
+
+        def patch(payload, delta):
+            touched = delta.changed_uids
+            entries = [
+                (key, uid) for key, uid in payload if uid not in touched
+            ]
+            entries.extend(
+                (self._key(entity), entity.uid) for entity in delta.upserts
+            )
+            order = {uid: i for i, uid in enumerate(source.uids())}
+            # Mid-chain entries for uids a *later* delta removes are
+            # absent from the live source; park them at the end (any
+            # stable position works — that later patch deletes them).
+            fallback = len(order)
+            entries.sort(key=lambda item: (item[0], order.get(item[1], fallback)))
+            return tuple(entries)
+
+        return patch
 
     def candidates(self, source_a, source_b):
         return self._iter_pairs(source_a, source_b, None)
@@ -790,15 +1437,7 @@ class SortedNeighbourhoodBlocker(Blocker):
                 partner_uids=uids,
             )
         index_b = self.build_index(source_b, session=session)
-        keys_a, keys_b = _key_arrays(
-            [key for key, __ in index_a], [key for key, __ in index_b]
-        )
-        positions_a = np.arange(len(keys_a), dtype=np.int64) + np.searchsorted(
-            keys_b, keys_a, side="left"
-        )
-        positions_b = np.arange(len(keys_b), dtype=np.int64) + np.searchsorted(
-            keys_a, keys_b, side="right"
-        )
+        positions_a, positions_b = _snb_merged_positions(index_a, index_b)
         uids_a = [uid for __, uid in index_a]
         return _SnbProbeState(
             dedup=False,
@@ -847,6 +1486,177 @@ class SortedNeighbourhoodBlocker(Blocker):
 
     def probe_uids(self, index, partners):
         return tuple(partners)
+
+    def affected_probe_uids(
+        self, source_a, source_b, deltas_a, deltas_b, session=None
+    ):
+        """Probe entities whose sliding window may have changed.
+
+        Sorted-neighbourhood candidates couple *positionally*: an
+        insert or delete anywhere shifts every later merged position by
+        one, so a window's membership can change even when none of its
+        occupants did. The bound used here: a probe entity's window
+        content can only differ between the old and new epoch if the
+        entity sits within ``window + total_changed`` positions of a
+        changed entry — in *old* merged coordinates of a removed entry,
+        or *new* coordinates of an upserted one (positions shift by at
+        most the number of changed entries, so the margin absorbs the
+        drift; any membership flip has a changed entry between the two
+        endpoints in one of the coordinate systems).
+
+        Old-epoch geometry is rebuilt from the *peeked* chain-base
+        index payloads; when either side's old payload is no longer in
+        the session memo or store, returns None (full rescore).
+        """
+        dedup = source_a is source_b
+        deltas_a = tuple(deltas_a)
+        deltas_b = deltas_a if dedup else tuple(deltas_b)
+        chains = (deltas_a,) if dedup else (deltas_a, deltas_b)
+        changed_total = sum(
+            len(delta.upserts) + len(delta.deletes)
+            for chain in chains
+            for delta in chain
+        )
+        if changed_total == 0:
+            return frozenset()
+        token = self.signature()
+
+        def old_payload(source, deltas):
+            if not deltas:
+                # Side unchanged: the current index *is* the old one.
+                return self.build_index(source, session=session)
+            if session is None:
+                return None
+            return session.peek_blocking_index(
+                deltas[0].parent_fingerprint, token
+            )
+
+        old_a = old_payload(source_a, deltas_a)
+        if old_a is None:
+            return None
+        state = self.probe_index(source_a, source_b, session=session)
+        if dedup:
+            old_pos_of = {uid: pos for pos, (__, uid) in enumerate(old_a)}
+            old_pos_of_b = old_pos_of
+            new_partner_pos_of: Mapping[str, int] = state.position_of
+        else:
+            old_b = old_payload(source_b, deltas_b)
+            if old_b is None:
+                return None
+            old_positions_a, old_positions_b = _snb_merged_positions(
+                old_a, old_b
+            )
+            old_pos_of = {
+                uid: int(pos)
+                for (__, uid), pos in zip(old_a, old_positions_a.tolist())
+            }
+            old_pos_of_b = {
+                uid: int(pos)
+                for (__, uid), pos in zip(old_b, old_positions_b.tolist())
+            }
+            new_partner_pos_of = {
+                uid: int(pos)
+                for uid, pos in zip(
+                    state.partner_uids, state.partner_positions.tolist()
+                )
+            }
+
+        changed_old: set[int] = set()
+        changed_new: set[int] = set()
+
+        def collect(chain, old_map, new_map):
+            for delta in chain:
+                for entity in delta.old_entities():
+                    pos = old_map.get(entity.uid)
+                    if pos is not None:
+                        changed_old.add(pos)
+                for entity in delta.upserts:
+                    pos = new_map.get(entity.uid)
+                    if pos is not None:
+                        changed_new.add(pos)
+
+        collect(deltas_a, old_pos_of, state.position_of)
+        if not dedup:
+            collect(deltas_b, old_pos_of_b, new_partner_pos_of)
+
+        margin = self._window + changed_total
+        affected: set[str] = set()
+        probe_uids = [entity.uid for entity in state.probe_entities]
+        near_new = _near_mask(
+            state.positions,
+            np.array(sorted(changed_new), dtype=np.int64),
+            margin,
+        )
+        affected.update(
+            uid for uid, flag in zip(probe_uids, near_new.tolist()) if flag
+        )
+        old_uids: list[str] = []
+        old_positions: list[int] = []
+        for uid in probe_uids:
+            pos = old_pos_of.get(uid)
+            if pos is not None:
+                old_uids.append(uid)
+                old_positions.append(pos)
+        near_old = _near_mask(
+            np.array(old_positions, dtype=np.int64),
+            np.array(sorted(changed_old), dtype=np.int64),
+            margin,
+        )
+        affected.update(
+            uid for uid, flag in zip(old_uids, near_old.tolist()) if flag
+        )
+        return frozenset(affected)
+
+    def iter_affected_shards(
+        self, source_a, source_b, affected, batch_size, session=None
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        return _chunked(
+            self._iter_affected_pairs(source_a, source_b, affected, session),
+            batch_size,
+        )
+
+    def _iter_affected_pairs(self, source_a, source_b, affected, session):
+        """Pairs touching ``affected``, each exactly once, probing only
+        the affected entities. Dedup mode recovers the *backward*
+        window of each probed entity (pairs whose forward owner is an
+        unaffected earlier neighbour) by slicing the merged order
+        directly, skipping partners that are themselves affected —
+        those pairs are already owned by the partner's own forward
+        probe."""
+        state = self.probe_index(source_a, source_b, session=session)
+        window = self._window
+        entities = [
+            entity
+            for entity in state.probe_entities
+            if entity.uid in affected
+        ]
+        get_a = source_a.get
+        get_b = source_b.get
+        partner_uids = state.partner_uids
+        for start in range(0, len(entities), _PROBE_CHUNK):
+            chunk = entities[start : start + _PROBE_CHUNK]
+            for entity_i, uids in zip(
+                chunk, self.probe_batch(chunk, state, session)
+            ):
+                if state.dedup:
+                    uid_i = entity_i.uid
+                    pos = state.position_of[uid_i]
+                    low = max(0, pos - window + 1)
+                    for uid_j in partner_uids[low:pos]:
+                        if uid_j not in affected:
+                            if uid_i < uid_j:
+                                yield entity_i, get_a(uid_j)
+                            else:
+                                yield get_a(uid_j), entity_i
+                    for uid_j in uids:
+                        if uid_i < uid_j:
+                            yield entity_i, get_a(uid_j)
+                        else:
+                            yield get_a(uid_j), entity_i
+                else:
+                    yield from zip(repeat(entity_i), map(get_b, uids))
 
     def _iter_pairs(self, source_a, source_b, session):
         state = self.probe_index(source_a, source_b, session=session)
@@ -918,6 +1728,20 @@ class RuleBlocker(Blocker):
 
     def probe_uids(self, index, partners):
         return self._delegate.probe_uids(index, partners)
+
+    def affected_probe_uids(
+        self, source_a, source_b, deltas_a, deltas_b, session=None
+    ):
+        return self._delegate.affected_probe_uids(
+            source_a, source_b, deltas_a, deltas_b, session=session
+        )
+
+    def iter_affected_shards(
+        self, source_a, source_b, affected, batch_size, session=None
+    ):
+        return self._delegate.iter_affected_shards(
+            source_a, source_b, affected, batch_size, session=session
+        )
 
     def candidates(self, source_a, source_b):
         return self._delegate.candidates(source_a, source_b)

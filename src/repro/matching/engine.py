@@ -32,8 +32,10 @@ generate exactly the full-index links on every bundled dataset.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
-from typing import Iterator
+from itertools import islice
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -42,7 +44,7 @@ from repro.core.nodes import SimilarityNode
 from repro.data.entity import Entity
 from repro.data.source import DataSource
 from repro.distances.strings import routing_delta, routing_merged
-from repro.engine.executor import Executor, resolve_executor, window_batches
+from repro.engine.executor import Executor, resolve_executor
 from repro.engine.lru import CacheStats
 from repro.engine.session import EngineSession, EngineStats
 from repro.engine.store import ColumnStore, StoreStats
@@ -145,11 +147,56 @@ class MatchStats:
     #: (cache and store hits count toward neither). Plain tuples so the
     #: stats pickle cleanly out of process-pool workers.
     kernel_routing: tuple[tuple[str, int, int], ...] = ()
+    #: In-flight shard window depth the run finished with. Equals the
+    #: ``window=`` override when one is set; otherwise starts at 2x the
+    #: worker count and adapts to measured shard-time variance (up to
+    #: 4x the base — skewed shard runtimes need a deeper window to keep
+    #: the pool busy).
+    window_depth: int = 0
+    #: Blocking-index construction this run: payloads built from
+    #: scratch vs payloads patched forward from a persisted ancestor
+    #: epoch (the incremental path's reuse signal).
+    index_builds: int = 0
+    index_patches: int = 0
 
     @property
     def value_stats(self) -> CacheStats | None:
         """Backward-compatible alias for the value tier."""
         return self.values
+
+
+@dataclass(frozen=True)
+class LinkDiff:
+    """Result of one incremental :meth:`MatchingEngine.link_diff` run.
+
+    ``links`` is the complete, sorted link set of the *current* source
+    epochs — byte-identical to a cold :meth:`MatchingEngine.execute`
+    over the same data. The diff buckets compare exact
+    :class:`GeneratedLink` values against ``previous_links``: a pair
+    whose score changed appears in ``added`` (new version) *and*
+    ``removed`` (old version); ``unchanged`` holds links equal in pair
+    and score.
+    """
+
+    #: Links in the new set that were not in the previous set.
+    added: tuple[GeneratedLink, ...]
+    #: Previous links absent from the new set.
+    removed: tuple[GeneratedLink, ...]
+    #: Links identical (pair and score) in both sets.
+    unchanged: tuple[GeneratedLink, ...]
+    #: The full new link set, sorted by (-score, uid_a, uid_b).
+    links: tuple[GeneratedLink, ...]
+    #: Probe-side uids that were rescored (changed uids included);
+    #: None when the blocker could not bound the impact and the run
+    #: fell back to a full rescore.
+    affected_uids: frozenset | None
+    #: Candidate pairs actually scored this run.
+    rescored_pairs: int
+    #: Previous links carried over without rescoring.
+    kept_links: int
+    #: Statistics of the scoring pass (the full-rescore fallback
+    #: reports its complete run here).
+    stats: MatchStats | None
 
 
 #: One engine session per worker process, lazily created and reused
@@ -163,7 +210,7 @@ _WORKER_CACHE_DIR: str | None = None
 
 def _shard_scores(
     payload: tuple[SimilarityNode, list[tuple[Entity, Entity]], str | None],
-) -> tuple[int, np.ndarray, EngineStats]:
+) -> tuple[int, np.ndarray, EngineStats, float]:
     """Score one candidate-pair shard inside a worker process.
 
     Module-level so process pools can pickle it. The worker session is
@@ -171,19 +218,60 @@ def _shard_scores(
     oversubscribe the machine without changing any result. The payload
     carries the persistent cache dir (None = consult the environment):
     worker processes share the same on-disk store as the parent —
-    atomic-rename writes make concurrent writers safe.
+    atomic-rename writes make concurrent writers safe. The wall-clock
+    duration of the shard rides along for the parent's adaptive
+    window sizing.
     """
     global _WORKER_SESSION, _WORKER_CACHE_DIR
     root, pairs, cache_dir = payload
     if _WORKER_SESSION is None or _WORKER_CACHE_DIR != cache_dir:
         _WORKER_SESSION = EngineSession(executor=0, store=cache_dir)
         _WORKER_CACHE_DIR = cache_dir
+    started = time.perf_counter()
     context = _WORKER_SESSION.context(pairs)
     try:
         scores = context.scores(root)
     finally:
         _WORKER_SESSION.release_context(context)
-    return os.getpid(), scores, _WORKER_SESSION.stats()
+    duration = time.perf_counter() - started
+    return os.getpid(), scores, _WORKER_SESSION.stats(), duration
+
+
+class _RunState:
+    """Mutable per-run scoring state: the in-flight shard window depth
+    (adapted from measured shard durations when no ``window=`` override
+    pins it) plus the worker-session snapshots a process-pool run
+    reports from.
+
+    The adaptive rule: uniform shard times need no slack beyond the
+    2x-workers base, but high variance drains the pool while the long
+    shard finishes — so the depth grows with the coefficient of
+    variation of recent shard durations, clamped to [base, 4x base].
+    """
+
+    __slots__ = ("base", "adaptive", "depth", "max_depth", "durations", "worker_stats")
+
+    def __init__(self, base: int, adaptive: bool):
+        self.base = base
+        self.adaptive = adaptive
+        self.depth = base
+        self.max_depth = base * 4
+        self.durations: list[float] = []
+        self.worker_stats: dict[int, EngineStats] = {}
+
+    def adapt(self) -> None:
+        if not self.adaptive:
+            return
+        recent = self.durations[-16:]
+        if len(recent) < 4:
+            return
+        mean = sum(recent) / len(recent)
+        if mean <= 0.0:
+            return
+        variance = sum((d - mean) ** 2 for d in recent) / len(recent)
+        cv = variance**0.5 / mean
+        target = round(self.base * (1.0 + 2.0 * cv))
+        self.depth = max(self.base, min(self.max_depth, target))
 
 
 class MatchingEngine:
@@ -332,62 +420,231 @@ class MatchingEngine:
         per-worker sessions while blocking indexes are built in a
         parent-side session that persists across the engine's runs.
         """
-        executor = self._executor
-        if executor.kind != "process":
-            session = (
-                self._session
-                if self._session is not None
-                else EngineSession(store=self._cache_dir)
-            )
-        else:
-            # Scoring happens in per-worker sessions, but candidate
-            # generation is parent-side work: blocking gets a parent
-            # session (sharing the same on-disk store) for its index
-            # construction and value transformations.
-            if self._process_parent_session is None:
-                self._process_parent_session = EngineSession(
-                    store=self._cache_dir
-                )
-            session = self._process_parent_session
+        session = self._run_session()
         baseline = session.stats()
         blocker = self._resolve_blocker(rule, session)
-        window = self.window
+        state = self._run_state()
         batches = pairs = links = 0
-        worker_stats: dict[int, EngineStats] = {}
-        shard_cache_dir = self._shard_cache_dir()
-        for group in window_batches(
-            blocker.iter_shards(
-                source_a, source_b, self._batch_size, session=session
+        shards = blocker.iter_shards(
+            source_a, source_b, self._batch_size, session=session
+        )
+        for batch, scores in self._scored_batches(session, rule, shards, state):
+            batches += 1
+            pairs += len(batch)
+            for (entity_a, entity_b), score in zip(batch, scores):
+                if score >= self._threshold:
+                    links += 1
+                    yield GeneratedLink(entity_a.uid, entity_b.uid, float(score))
+        self._last_stats = self._finish_stats(
+            session, baseline, state, batches, pairs, links
+        )
+
+    def link_diff(
+        self,
+        rule: LinkageRule,
+        source_a: DataSource,
+        source_b: DataSource,
+        previous_links: "Iterable[GeneratedLink]",
+        deltas_a: "Iterable" = (),
+        deltas_b: "Iterable" = (),
+    ) -> LinkDiff:
+        """Incrementally re-derive the link set after source deltas.
+
+        ``previous_links`` is the link set generated over the *parent*
+        epochs (before ``deltas_a``/``deltas_b``, typically
+        ``DataSource.delta_chain()`` of each side; for deduplication
+        runs passing one side's chain is enough). The blocker bounds
+        which probe entities' candidate sets can have changed
+        (:meth:`~repro.matching.blocking.Blocker.affected_probe_uids`);
+        links not touching that set carry over unscored, and only the
+        affected candidate pairs re-score — against the patched
+        persisted indexes and the probe-result ledger, so the work is
+        proportional to the delta, not the source. The resulting
+        ``links`` are byte-identical to a cold
+        :meth:`execute` over the current sources; when the blocker
+        cannot bound the impact the run *is* a cold execute
+        (``affected_uids is None``).
+        """
+        previous = list(previous_links)
+        deltas_a = tuple(deltas_a)
+        deltas_b = tuple(deltas_b)
+        if source_a is source_b and (bool(deltas_a) != bool(deltas_b)):
+            deltas_a = deltas_b = deltas_a or deltas_b
+        session = self._run_session()
+        baseline = session.stats()
+        blocker = self._resolve_blocker(rule, session)
+        changed: set[str] = set()
+        chains = (
+            (deltas_a,) if source_a is source_b else (deltas_a, deltas_b)
+        )
+        for chain in chains:
+            for delta in chain:
+                changed |= delta.changed_uids
+        if deltas_a or deltas_b:
+            affected = blocker.affected_probe_uids(
+                source_a, source_b, deltas_a, deltas_b, session=session
+            )
+        else:
+            affected = frozenset()
+        if affected is None:
+            links = list(self.execute(rule, source_a, source_b))
+            stats = self._last_stats
+            aff = None
+            kept: list[GeneratedLink] = []
+            rescored_pairs = stats.pairs if stats is not None else 0
+        else:
+            aff = frozenset(affected) | changed
+            kept = [
+                link
+                for link in previous
+                if link.uid_a not in aff and link.uid_b not in aff
+            ]
+            state = self._run_state()
+            batches = pairs = 0
+            rescored: list[GeneratedLink] = []
+            shards = blocker.iter_affected_shards(
+                source_a, source_b, aff, self._batch_size, session=session
+            )
+            for batch, scores in self._scored_batches(
+                session, rule, shards, state
+            ):
+                batches += 1
+                pairs += len(batch)
+                for (entity_a, entity_b), score in zip(batch, scores):
+                    if score >= self._threshold:
+                        rescored.append(
+                            GeneratedLink(
+                                entity_a.uid, entity_b.uid, float(score)
+                            )
+                        )
+            links = kept + rescored
+            links.sort(key=lambda link: (-link.score, link.uid_a, link.uid_b))
+            rescored_pairs = pairs
+            stats = self._finish_stats(
+                session, baseline, state, batches, pairs, len(links)
+            )
+            self._last_stats = stats
+        prev_by_pair = {link.as_pair(): link for link in previous}
+        new_by_pair = {link.as_pair(): link for link in links}
+        return LinkDiff(
+            added=tuple(
+                link for link in links if prev_by_pair.get(link.as_pair()) != link
             ),
-            window,
-        ):
+            removed=tuple(
+                link
+                for link in previous
+                if new_by_pair.get(link.as_pair()) != link
+            ),
+            unchanged=tuple(
+                link for link in links if prev_by_pair.get(link.as_pair()) == link
+            ),
+            links=tuple(links),
+            affected_uids=aff,
+            rescored_pairs=rescored_pairs,
+            kept_links=len(kept),
+            stats=stats,
+        )
+
+    def iter_link_diff(
+        self,
+        rule: LinkageRule,
+        source_a: DataSource,
+        source_b: DataSource,
+        previous_links: "Iterable[GeneratedLink]",
+        deltas_a: "Iterable" = (),
+        deltas_b: "Iterable" = (),
+    ) -> Iterator[tuple[str, GeneratedLink]]:
+        """Streaming view of :meth:`link_diff`: yields ``(kind, link)``
+        with kind in ``{"added", "removed", "unchanged"}`` (removed
+        links carry their previous score)."""
+        diff = self.link_diff(
+            rule,
+            source_a,
+            source_b,
+            previous_links,
+            deltas_a=deltas_a,
+            deltas_b=deltas_b,
+        )
+        for link in diff.added:
+            yield "added", link
+        for link in diff.removed:
+            yield "removed", link
+        for link in diff.unchanged:
+            yield "unchanged", link
+
+    def _run_session(self) -> EngineSession:
+        """The session one run's candidate generation uses. Process
+        pools score in per-worker sessions, but blocking is parent-side
+        work — it gets a persistent parent session sharing the same
+        on-disk store."""
+        if self._executor.kind != "process":
+            if self._session is not None:
+                return self._session
+            return EngineSession(store=self._cache_dir)
+        if self._process_parent_session is None:
+            self._process_parent_session = EngineSession(store=self._cache_dir)
+        return self._process_parent_session
+
+    def _run_state(self) -> _RunState:
+        return _RunState(
+            base=self.window,
+            adaptive=self._window is None and self._executor.workers > 1,
+        )
+
+    def _scored_batches(
+        self,
+        session: EngineSession,
+        rule: LinkageRule,
+        shards,
+        state: _RunState,
+    ) -> Iterator[tuple[list[tuple[Entity, Entity]], np.ndarray]]:
+        """Score a shard stream across the executor, yielding
+        ``(batch, score_vector)`` in stream order — groups of
+        ``state.depth`` shards are in flight at a time, map preserves
+        submission order within a group, so concatenation reproduces
+        the serial emission order whatever the worker count. Shard
+        durations feed the adaptive window between groups."""
+        executor = self._executor
+        shard_cache_dir = self._shard_cache_dir()
+        stream = iter(shards)
+        while True:
+            group = list(islice(stream, state.depth))
+            if not group:
+                return
             if executor.kind == "process":
                 results = executor.map(
                     _shard_scores,
                     [(rule.root, batch, shard_cache_dir) for batch in group],
                 )
                 score_vectors = []
-                for pid, scores, engine_stats in results:
-                    worker_stats[pid] = engine_stats
+                for pid, scores, engine_stats, duration in results:
+                    state.worker_stats[pid] = engine_stats
+                    state.durations.append(duration)
                     score_vectors.append(scores)
             else:
-                score_vectors = executor.map(
-                    lambda batch: self._batch_scores(session, rule, batch),
-                    group,
-                )
-            # Sort-stable merge: groups arrive in stream order and
-            # map preserves submission order within a group, so plain
-            # concatenation reproduces the serial emission order.
-            for batch, scores in zip(group, score_vectors):
-                batches += 1
-                pairs += len(batch)
-                for (entity_a, entity_b), score in zip(batch, scores):
-                    if score >= self._threshold:
-                        links += 1
-                        yield GeneratedLink(
-                            entity_a.uid, entity_b.uid, float(score)
-                        )
-        if executor.kind == "process":
+
+                def timed(batch):
+                    started = time.perf_counter()
+                    scores = self._batch_scores(session, rule, batch)
+                    return scores, time.perf_counter() - started
+
+                score_vectors = []
+                for scores, duration in executor.map(timed, group):
+                    state.durations.append(duration)
+                    score_vectors.append(scores)
+            state.adapt()
+            yield from zip(group, score_vectors)
+
+    def _finish_stats(
+        self,
+        session: EngineSession,
+        baseline: EngineStats,
+        state: _RunState,
+        batches: int,
+        pairs: int,
+        links: int,
+    ) -> MatchStats:
+        if self._executor.kind == "process":
             # Worker deltas plus the parent blocking session's delta:
             # index-tier traffic (and MultiBlock value transformations)
             # happen parent-side and would otherwise vanish from the
@@ -395,7 +652,7 @@ class MatchingEngine:
             parent = session.stats()
             deltas = [
                 (snapshot, self._worker_baselines.get(pid))
-                for pid, snapshot in worker_stats.items()
+                for pid, snapshot in state.worker_stats.items()
             ] + [(parent, baseline)]
             values = CacheStats.merged(
                 [s.values.delta(b.values if b else None) for s, b in deltas]
@@ -423,13 +680,21 @@ class MatchingEngine:
                 s.probe_memo_hits - (b.probe_memo_hits if b else 0)
                 for s, b in deltas
             )
+            index_builds = sum(
+                s.index_builds - (b.index_builds if b else 0)
+                for s, b in deltas
+            )
+            index_patches = sum(
+                s.index_patches - (b.index_patches if b else 0)
+                for s, b in deltas
+            )
             kernel_routing = routing_merged(
                 [
                     routing_delta(s.kernel_routing, b.kernel_routing if b else None)
                     for s, b in deltas
                 ]
             )
-            self._worker_baselines.update(worker_stats)
+            self._worker_baselines.update(state.worker_stats)
         else:
             stats = session.stats()
             values = stats.values.delta(baseline.values)
@@ -442,10 +707,12 @@ class MatchingEngine:
             )
             probe_batches = stats.probe_batches - baseline.probe_batches
             probe_memo_hits = stats.probe_memo_hits - baseline.probe_memo_hits
+            index_builds = stats.index_builds - baseline.index_builds
+            index_patches = stats.index_patches - baseline.index_patches
             kernel_routing = routing_delta(
                 stats.kernel_routing, baseline.kernel_routing
             )
-        self._last_stats = MatchStats(
+        return MatchStats(
             batches=batches,
             pairs=pairs,
             links=links,
@@ -456,6 +723,9 @@ class MatchingEngine:
             probe_batches=probe_batches,
             probe_memo_hits=probe_memo_hits,
             kernel_routing=kernel_routing,
+            window_depth=state.depth,
+            index_builds=index_builds,
+            index_patches=index_patches,
         )
 
     def _shard_cache_dir(self) -> str | None:

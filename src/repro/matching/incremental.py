@@ -1,0 +1,141 @@
+"""Incremental-matching helpers: synthetic deltas and gate rules.
+
+The incremental path (:meth:`repro.matching.engine.MatchingEngine.link_diff`)
+promises byte-identical links to a cold rerun after any sequence of
+:meth:`repro.data.source.DataSource.apply_delta` calls. Exercising that
+promise needs two reusable ingredients, shared by the equivalence test
+suite (``tests/test_incremental.py``), the delta benchmark
+(``benchmarks/bench_incremental.py``) and the ``repro-experiments
+delta`` command:
+
+- :func:`random_source_delta` mutates a live source in place with a
+  reproducible mix of value revisions, fresh inserts and deletes,
+  returning the :class:`~repro.data.source.SourceDelta` the engine
+  needs to bound re-scoring;
+- :func:`dataset_rule` builds the per-dataset single-comparison rule
+  the gate scores with — a normalised Levenshtein over the dataset's
+  near-identifying property pair, so every bundled dataset produces a
+  non-trivial link set without a learning run.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.nodes import ComparisonNode, PropertyNode, TransformationNode
+from repro.core.rule import LinkageRule
+from repro.data.entity import Entity
+from repro.data.source import DataSource, SourceDelta
+
+#: Near-identifying property pair per bundled dataset: the single
+#: comparison the incremental equivalence gate scores. Chosen to give
+#: every dataset a dense, non-trivial link surface (title/name-like
+#: values present on both sides).
+DATASET_RULE_PROPERTIES: dict[str, tuple[str, str]] = {
+    "cora": ("title", "title"),
+    "restaurant": ("name", "name"),
+    "sider_drugbank": ("siderName", "drugName"),
+    "nyt": ("nytName", "name"),
+    "linkedmdb": ("label", "title"),
+    "dbpedia_drugbank": ("label", "drugName"),
+}
+
+
+def dataset_rule(name: str) -> LinkageRule:
+    """The equivalence gate's rule for a bundled dataset.
+
+    One lowercased Levenshtein comparison over the dataset's
+    near-identifying property pair (:data:`DATASET_RULE_PROPERTIES`).
+    """
+    try:
+        prop_a, prop_b = DATASET_RULE_PROPERTIES[name]
+    except KeyError:
+        raise ValueError(
+            f"no gate rule for dataset {name!r}; known: "
+            f"{sorted(DATASET_RULE_PROPERTIES)}"
+        ) from None
+    return LinkageRule(
+        ComparisonNode(
+            "levenshtein",
+            1.0,
+            TransformationNode("lowerCase", (PropertyNode(prop_a),)),
+            TransformationNode("lowerCase", (PropertyNode(prop_b),)),
+        )
+    )
+
+
+def _perturbed(entity: Entity, rng: random.Random) -> dict:
+    """A value revision for one of the entity's populated properties.
+
+    Appends a short random marker to the first value, which moves
+    every string-distance score involving the entity without
+    destroying its blocking tokens entirely — revised entities stay
+    *plausible* candidates, the hard case for incremental re-scoring.
+    """
+    populated = [name for name, values in entity.properties.items() if values]
+    if not populated:
+        return {"delta": (f"rev {rng.randrange(10**6)}",)}
+    name = rng.choice(sorted(populated))
+    values = entity.properties[name]
+    return {name: (f"{values[0]} rev{rng.randrange(100)}",) + tuple(values[1:])}
+
+
+def random_source_delta(
+    source: DataSource,
+    rng: random.Random,
+    upserts: int = 0,
+    deletes: int = 0,
+) -> SourceDelta:
+    """Apply a reproducible random delta to ``source`` in place.
+
+    ``deletes`` entities are removed; ``upserts`` split roughly evenly
+    between revisions of surviving entities (same uid, perturbed
+    value — the replace case) and fresh inserts cloned from random
+    surviving entities under new uids (the insert case). Both counts
+    are clamped to what the source can sustain, and the same ``rng``
+    state always produces the same delta. Returns the
+    :class:`~repro.data.source.SourceDelta` recorded on the source's
+    epoch chain.
+    """
+    uids = source.uids()
+    deletes = max(0, min(deletes, len(uids) - 1))
+    delete_uids = rng.sample(uids, deletes) if deletes else []
+    survivors = [uid for uid in uids if uid not in set(delete_uids)]
+    upsert_entities: list[Entity] = []
+    used: set[str] = set(delete_uids)
+    for index in range(max(0, upserts)):
+        revise = index % 2 == 0
+        pool = [uid for uid in survivors if uid not in used]
+        if revise and pool:
+            uid = rng.choice(pool)
+            used.add(uid)
+            entity = source.get(uid)
+            upsert_entities.append(entity.revised(_perturbed(entity, rng)))
+        else:
+            uid = f"delta:{rng.randrange(10**9)}"
+            while uid in source or uid in used:
+                uid = f"delta:{rng.randrange(10**9)}"
+            used.add(uid)
+            if survivors:
+                template = source.get(rng.choice(survivors))
+                properties = {
+                    **dict(template.properties),
+                    **_perturbed(template, rng),
+                }
+            else:
+                properties = {"delta": (f"fresh {rng.randrange(10**6)}",)}
+            upsert_entities.append(Entity(uid, properties))
+    return source.apply_delta(upsert_entities, delete_uids)
+
+
+def rebuilt(source: DataSource) -> DataSource:
+    """A fresh source with the same name and current entities.
+
+    The cold-rerun side of the equivalence gate: no epoch chain, no
+    persisted lineage — exactly what a from-scratch ingestion of the
+    mutated data would produce. Its fingerprint intentionally differs
+    from the delta-bearing source's (epoch chains are provenance, not
+    content hashes); the gate compares *links*, which may not depend
+    on how the source reached its current state.
+    """
+    return DataSource(source.name, list(source))

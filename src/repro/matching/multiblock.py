@@ -42,6 +42,7 @@ structure test behind the engine's default-blocker selection.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
@@ -66,8 +67,11 @@ from repro.engine.session import EngineSession
 from repro.engine.values import evaluate_value_op
 from repro.matching.blocking import (
     _PROBE_CHUNK,
+    _affected_code_pair_lists,
+    _chunked,
     _code_pair_lists,
     _memo_put,
+    _ProbeLedger,
     _union_codes,
     Blocker,
     CandidatePair,
@@ -113,6 +117,20 @@ class ComparisonIndexer(ABC):
         default probes exactly the filing keys.
         """
         return self.block_keys(values)
+
+    def reverse_probe_keys(self, values: Sequence[str]) -> set:
+        """Keys to look up in a *reverse* index — probe-side entities
+        filed under their own block keys — to find every entity whose
+        :meth:`probe_keys` reach any of ``values``'s block keys.
+
+        Must over-approximate (missed entities would silently drop
+        candidate pairs from an incremental rescore). Exact for
+        indexers whose probe keys equal their block keys; grid
+        indexers widen by one extra cell per side to absorb the
+        floor-rounding asymmetry between probing from A and probing
+        back from B.
+        """
+        return self.probe_keys(values)
 
     def cache_token(self) -> str:
         """Stable identity of this indexer's block-key derivation.
@@ -223,6 +241,23 @@ class GridIndexer(ComparisonIndexer):
             guard = max(extent, abs(projected)) * 1e-9
             low = math.floor((projected - extent - guard) / extent)
             high = math.floor((projected + extent + guard) / extent)
+            keys.update(range(low, high + 1))
+        return keys
+
+    def reverse_probe_keys(self, values: Sequence[str]) -> set:
+        # One extra cell each side: a probe from value v_a reaches
+        # cell(v_b) whenever |v_a - v_b| <~ extent, which bounds
+        # |cell(v_a) - cell(v_b)| by 2 — one cell beyond the forward
+        # probe range of v_b.
+        keys: set[int] = set()
+        extent = self._extent
+        for value in values:
+            projected = self.project(value)
+            if projected is None:
+                continue
+            guard = max(extent, abs(projected)) * 1e-9
+            low = math.floor((projected - extent - guard) / extent) - 1
+            high = math.floor((projected + extent + guard) / extent) + 1
             keys.update(range(low, high + 1))
         return keys
 
@@ -381,31 +416,76 @@ def comparison_index_token(
     )
 
 
-def build_comparison_index(
-    comparison: ComparisonNode,
-    source_b: DataSource,
+def _comparison_blocks_patcher(
+    value_node,
+    source: DataSource,
+    indexer: ComparisonIndexer,
     transforms: TransformationRegistry,
-    session: EngineSession | None = None,
-    fan: bool = True,
-) -> ComparisonIndex | None:
-    """Index source B under a comparison's target value tree.
+    session: EngineSession | None,
+):
+    """An :meth:`EngineSession.blocking_index` patcher moving one
+    comparison block table a source delta forward: displaced entity
+    versions leave the blocks their old transformed values filed them
+    under, upserted versions join their new keys' blocks. Joined
+    blocks re-sort by the entity's current source position, so the
+    patched table equals a cold rebuild block-for-block (deletions
+    preserve surviving uids' relative order; dict upsert semantics
+    keep a replaced uid's slot)."""
 
-    With a ``session``, transformed values go through the engine's
-    value cache (shared with the rule evaluation that follows blocking)
-    and the finished block table resolves through the session's index
-    memo and the persistent store's index tier — a warm rerun over an
-    unchanged source skips construction entirely.
+    def patch(blocks: dict, delta) -> dict:
+        blocks = dict(blocks)
+        for old in delta.old_entities():
+            uid = old.uid
+            values = _entity_values(value_node, old, transforms, session)
+            for key in indexer.block_keys(values):
+                block = blocks.get(key)
+                if block is None or uid not in block:
+                    continue
+                pruned = tuple(u for u in block if u != uid)
+                if pruned:
+                    blocks[key] = pruned
+                else:
+                    del blocks[key]
+        order: dict[str, int] | None = None
+        fallback = 0
+        for entity in delta.upserts:
+            uid = entity.uid
+            values = _entity_values(value_node, entity, transforms, session)
+            for key in indexer.block_keys(values):
+                block = blocks.get(key)
+                if block is None:
+                    blocks[key] = (uid,)
+                elif uid not in block:
+                    if order is None:
+                        order = {u: i for i, u in enumerate(source.uids())}
+                        # Mid-chain uids a later delta removes are not
+                        # in the live source; park them at the end (a
+                        # later patch step deletes them anyway).
+                        fallback = len(order)
+                    blocks[key] = tuple(
+                        sorted(
+                            block + (uid,),
+                            key=lambda u: order.get(u, fallback),
+                        )
+                    )
+        return blocks
 
-    Construction is value-memoised: block keys are derived once per
-    *distinct* transformed value tuple, and (with ``fan=True``) value
-    extraction fans across the session's shared-memory executor.
-    Callers that already parallelise per comparison pass ``fan=False``
-    — nesting executor fan-outs inside pool workers would deadlock a
-    saturated thread pool.
-    """
-    indexer = indexer_for_comparison(comparison)
-    if indexer is None:
-        return None
+    return patch
+
+
+def _indexed_blocks(
+    value_node,
+    source: DataSource,
+    indexer: ComparisonIndexer,
+    transforms: TransformationRegistry,
+    session: EngineSession | None,
+    fan: bool,
+    token: str,
+) -> dict:
+    """One ``{block key: (uids...)}`` table of ``source`` under a value
+    tree × indexer, resolved through the session's index memo and
+    persistent index tier under ``token`` (patched forward along the
+    source's delta chain instead of rebuilt, when possible)."""
 
     def build() -> dict:
         chunk_session = session if fan else None
@@ -414,12 +494,12 @@ def build_comparison_index(
             return [
                 (
                     entity.uid,
-                    _entity_values(comparison.target, entity, transforms, session),
+                    _entity_values(value_node, entity, transforms, session),
                 )
                 for entity in chunk
             ]
 
-        per_entity = fan_entity_chunks(chunk_session, source_b.entities(), extract)
+        per_entity = fan_entity_chunks(chunk_session, source.entities(), extract)
         key_memo: dict[tuple[str, ...], tuple] = {}
         blocks: dict = {}
         for uid, values in per_entity:
@@ -436,13 +516,54 @@ def build_comparison_index(
         return {key: tuple(uids) for key, uids in blocks.items()}
 
     if session is not None:
-        blocks = session.blocking_index(
-            source_b.fingerprint(),
-            comparison_index_token(comparison, indexer),
+        return session.blocking_index(
+            source.fingerprint(),
+            token,
             build,
+            lineage=source.delta_chain(),
+            patcher=_comparison_blocks_patcher(
+                value_node, source, indexer, transforms, session
+            ),
         )
-    else:
-        blocks = build()
+    return build()
+
+
+def build_comparison_index(
+    comparison: ComparisonNode,
+    source_b: DataSource,
+    transforms: TransformationRegistry,
+    session: EngineSession | None = None,
+    fan: bool = True,
+) -> ComparisonIndex | None:
+    """Index source B under a comparison's target value tree.
+
+    With a ``session``, transformed values go through the engine's
+    value cache (shared with the rule evaluation that follows blocking)
+    and the finished block table resolves through the session's index
+    memo and the persistent store's index tier — a warm rerun over an
+    unchanged source skips construction entirely, and a source a few
+    deltas ahead of a persisted epoch patches the table forward
+    instead of rebuilding.
+
+    Construction is value-memoised: block keys are derived once per
+    *distinct* transformed value tuple, and (with ``fan=True``) value
+    extraction fans across the session's shared-memory executor.
+    Callers that already parallelise per comparison pass ``fan=False``
+    — nesting executor fan-outs inside pool workers would deadlock a
+    saturated thread pool.
+    """
+    indexer = indexer_for_comparison(comparison)
+    if indexer is None:
+        return None
+    blocks = _indexed_blocks(
+        comparison.target,
+        source_b,
+        indexer,
+        transforms,
+        session,
+        fan,
+        comparison_index_token(comparison, indexer),
+    )
     return ComparisonIndex(comparison=comparison, indexer=indexer, blocks=blocks)
 
 
@@ -665,11 +786,20 @@ class MultiBlocker(Blocker):
         tables themselves."""
         own = self._active_session(session)
         indexes = self.build_index(source_b, session=session)
+
+        def sorted_uids() -> tuple[str, ...]:
+            return tuple(sorted(entity.uid for entity in source_b))
+
+        # View patchers recompute from the already-patched block table
+        # and the current code table — the view *is* a derivation, so
+        # "patch" means re-derive against the final epoch (idempotent
+        # per chain step; counted as a patch, not a build).
         uids: tuple[str, ...] = self._resolve_probe_index(
             source_b,
             own,
             "multiblock-uid-codes-v1",
-            lambda: tuple(sorted(entity.uid for entity in source_b)),
+            sorted_uids,
+            patcher=lambda payload, delta: sorted_uids(),
         )
         code_of = {uid: code for code, uid in enumerate(uids)}
         views: dict[int, dict] = {}
@@ -686,6 +816,9 @@ class MultiBlocker(Blocker):
                 token,
                 lambda ci=comparison_index: _blocks_code_view(
                     ci.blocks, code_of
+                ),
+                patcher=lambda payload, delta, ci=comparison_index: (
+                    _blocks_code_view(ci.blocks, code_of)
                 ),
             )
         return MultiProbeIndex(
@@ -729,6 +862,149 @@ class MultiBlocker(Blocker):
     def probe_uids(self, index, partners):
         return tuple(map(index.uids.__getitem__, partners.tolist()))
 
+    def _reverse_blocks(
+        self,
+        comparison: ComparisonNode,
+        indexer: ComparisonIndexer,
+        source_a: DataSource,
+        session: "EngineSession | None",
+    ) -> dict:
+        """Reverse comparison index: probe-side (A) entities filed
+        under the block keys of the comparison's *source* value tree.
+        ``reverse[key]`` answers "which A entities' probe keys could
+        reach ``key``" (after :meth:`ComparisonIndexer.
+        reverse_probe_keys` expansion at lookup time). Persisted and
+        patched like the forward tables, under its own ``rev`` token."""
+        own = self._active_session(session)
+        token = (
+            f"cmpidx-rev:v1:{indexer.cache_token()}:"
+            f"{signature_token(value_tree_signature(comparison.source))}"
+        )
+        return _indexed_blocks(
+            comparison.source,
+            source_a,
+            indexer,
+            own.transforms,
+            own,
+            True,
+            token,
+        )
+
+    def affected_probe_uids(
+        self, source_a, source_b, deltas_a, deltas_b, session=None
+    ):
+        """Probe-side uids whose candidate sets may have changed.
+
+        The candidate algebra is a monotone function of the
+        per-comparison block relations, so a pair of *unchanged*
+        entities can only flip if some built comparison's relation
+        flipped — impossible when neither endpoint changed. The
+        affected set is therefore the union, over built comparisons,
+        of the reverse-index hits of every changed B entity's old and
+        new block keys. Returns None (full rescore) when the algebra
+        has a non-selective branch — there an inserted or deleted B
+        entity pairs with *every* probe entity."""
+        own = self._active_session(session)
+        dedup = source_a is source_b
+        deltas_b = tuple(deltas_a) if dedup else tuple(deltas_b)
+        if not deltas_b:
+            # Only the probe side changed: unchanged probe entities
+            # keep their candidate sets (the target index is frozen).
+            return frozenset()
+        probe = self.probe_index(source_a, source_b, session=session)
+        if not probe.indexes:
+            return None
+
+        def selective(node: SimilarityNode) -> bool:
+            if isinstance(node, ComparisonNode):
+                return id(node) in probe.views
+            assert isinstance(node, AggregationNode)
+            if node.function == "min":
+                return any(selective(child) for child in node.operators)
+            return all(selective(child) for child in node.operators)
+
+        if not selective(self._rule.root):
+            return None
+        transforms = own.transforms
+        affected: set[str] = set()
+        for comparison_index in probe.indexes.values():
+            comparison = comparison_index.comparison
+            indexer = comparison_index.indexer
+            reverse = self._reverse_blocks(
+                comparison, indexer, source_a, session
+            )
+            get = reverse.get
+            for delta in deltas_b:
+                for entity in chain(delta.upserts, delta.old_entities()):
+                    values = _entity_values(
+                        comparison.target, entity, transforms, own
+                    )
+                    for key in indexer.reverse_probe_keys(values):
+                        block = get(key)
+                        if block is not None:
+                            affected.update(block)
+        return frozenset(affected)
+
+    def iter_affected_shards(
+        self, source_a, source_b, affected, batch_size, session=None
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        probe = self.probe_index(source_a, source_b, session=session)
+        if not probe.indexes:
+            return super().iter_affected_shards(
+                source_a, source_b, affected, batch_size, session=session
+            )
+        return _chunked(
+            chain.from_iterable(
+                self._iter_affected_pair_lists(
+                    source_a, source_b, affected, session, probe
+                )
+            ),
+            batch_size,
+        )
+
+    def _iter_affected_pair_lists(
+        self, source_a, source_b, affected, session, probe
+    ):
+        by_code = [source_b.get(uid) for uid in probe.uids]
+        dedup = source_a is source_b
+        memo: dict = {}
+        entities = [
+            entity for entity in source_a.entities() if entity.uid in affected
+        ]
+        ledger = self._probe_ledger(source_a, source_b, session)
+        try:
+            for start in range(0, len(entities), _PROBE_CHUNK):
+                chunk = entities[start : start + _PROBE_CHUNK]
+                results = ledger.probe(
+                    chunk,
+                    lambda miss: self.probe_batch(
+                        miss, probe, session, memo=memo
+                    ),
+                )
+                yield from _affected_code_pair_lists(
+                    chunk, results, probe.uids, by_code, dedup, affected
+                )
+        finally:
+            ledger.flush()
+
+    def _probe_ledger(self, source_a, source_b, session) -> _ProbeLedger:
+        from repro.core.serialization import rule_to_json
+        from repro.engine.store import index_key
+
+        own = self._active_session(session)
+        if own.store is None:
+            return _ProbeLedger(None, "")
+        rule_token = hashlib.sha256(
+            rule_to_json(self._rule, indent=None).encode("utf-8")
+        ).hexdigest()[:24]
+        token = (
+            f"multiblock:v1:rule={rule_token}:"
+            f"max={self._max_comparisons}|probe-results-v1"
+        )
+        return _ProbeLedger(own, index_key(source_b.fingerprint(), token))
+
     def candidates(
         self, source_a: DataSource, source_b: DataSource
     ) -> Iterator[CandidatePair]:
@@ -749,15 +1025,24 @@ class MultiBlocker(Blocker):
         dedup = source_a is source_b
         memo: dict = {}
         entities = source_a.entities()
-        for start in range(0, len(entities), _PROBE_CHUNK):
-            chunk = entities[start : start + _PROBE_CHUNK]
-            yield from _code_pair_lists(
-                chunk,
-                self.probe_batch(chunk, probe, session, memo=memo),
-                probe.uids,
-                by_code,
-                dedup,
-            )
+        ledger = self._probe_ledger(source_a, source_b, session)
+        try:
+            for start in range(0, len(entities), _PROBE_CHUNK):
+                chunk = entities[start : start + _PROBE_CHUNK]
+                yield from _code_pair_lists(
+                    chunk,
+                    ledger.probe(
+                        chunk,
+                        lambda miss: self.probe_batch(
+                            miss, probe, session, memo=memo
+                        ),
+                    ),
+                    probe.uids,
+                    by_code,
+                    dedup,
+                )
+        finally:
+            ledger.flush()
 
 
 @dataclass(frozen=True)

@@ -415,6 +415,110 @@ class TestConcurrentWriters:
         assert store.stats().invalid == 0
         np.testing.assert_array_equal(store.load(key, 257), column)
 
+    def test_delta_writers_gc_and_readers_agree_per_epoch(self, tmp_path):
+        """Racing apply_delta writers, gc eviction and warm readers
+        never observe a mixed-epoch index.
+
+        Epoch fingerprints are deterministic functions of the parent
+        fingerprint and the delta content, so independent replays of
+        the same delta script land on the same chain. One thread
+        advances its replay epoch by epoch, building (and patching)
+        indexes into a shared store; reader threads hold frozen
+        replays pinned at every intermediate epoch and keep resolving
+        their index through the same store while a gc thread evicts
+        everything it can. Every resolved index — fresh build, store
+        hit, or lineage patch, with files vanishing underneath — must
+        equal the cold reference for exactly that epoch.
+        """
+        from repro.matching.blocking import TokenBlocker
+
+        blocker = TokenBlocker(["name"])
+        base = [
+            Entity(f"e{i}", {"name": f"alpha{i % 4} beta{i % 3}"})
+            for i in range(24)
+        ]
+        script = [
+            (
+                [
+                    Entity(f"e{step}", {"name": f"gamma{step} beta{step % 3}"}),
+                    Entity(f"n{step}", {"name": f"alpha{step % 4} delta{step}"}),
+                ],
+                [f"e{20 - step}"],
+            )
+            for step in range(4)
+        ]
+
+        def replay(steps: int) -> DataSource:
+            source = DataSource("S", [Entity(e.uid, dict(e.properties)) for e in base])
+            for upserts, deletes in script[:steps]:
+                source.apply_delta(
+                    [Entity(e.uid, dict(e.properties)) for e in upserts],
+                    deletes,
+                )
+            return source
+
+        # Cold references per epoch: store-less builds over one replay.
+        expected = {}
+        for steps in range(len(script) + 1):
+            source = replay(steps)
+            expected[source.fingerprint()] = blocker.build_index(
+                source, session=EngineSession()
+            )
+        assert len(expected) == len(script) + 1  # all epochs distinct
+
+        store = ColumnStore(tmp_path)
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def writer():
+            try:
+                source = replay(0)
+                for steps, (upserts, deletes) in enumerate(script, start=1):
+                    source.apply_delta(
+                        [Entity(e.uid, dict(e.properties)) for e in upserts],
+                        deletes,
+                    )
+                    for _ in range(5):
+                        index = blocker.build_index(
+                            source, session=EngineSession(store=store)
+                        )
+                        assert index == expected[source.fingerprint()], steps
+            except BaseException as error:  # pragma: no cover - fails test
+                errors.append(error)
+            finally:
+                stop.set()
+
+        def reader(steps: int):
+            source = replay(steps)
+            fingerprint = source.fingerprint()
+            try:
+                while not stop.is_set():
+                    index = blocker.build_index(
+                        source, session=EngineSession(store=store)
+                    )
+                    assert index == expected[fingerprint], steps
+            except BaseException as error:  # pragma: no cover - fails test
+                errors.append(error)
+
+        def collector():
+            try:
+                while not stop.is_set():
+                    store.gc(max_age_days=0.0)
+            except BaseException as error:  # pragma: no cover - fails test
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer)]
+        threads += [
+            threading.Thread(target=reader, args=(steps,))
+            for steps in range(len(script) + 1)
+        ]
+        threads.append(threading.Thread(target=collector))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
     def test_process_pool_shards_share_one_store(self, tmp_path):
         rule = LinkageRule(_comparison(prop="name"))
         source_a = DataSource(

@@ -1,0 +1,238 @@
+"""Incremental matching equivalence gate.
+
+The contract under test: after any sequence of
+``DataSource.apply_delta`` calls, ``MatchingEngine.link_diff`` produces
+a link list **byte-identical** to a cold ``execute`` over freshly
+rebuilt sources — across every bundled dataset, every delta-aware
+blocker and every executor shape. The diff's bookkeeping (added /
+removed / unchanged, carried-over links) must also reconcile exactly
+with the two link sets it claims to compare.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.source import DataSource
+from repro.datasets import load_dataset
+from repro.matching.blocking import SortedNeighbourhoodBlocker, TokenBlocker
+from repro.matching.engine import MatchingEngine
+from repro.matching.incremental import (
+    DATASET_RULE_PROPERTIES,
+    dataset_rule,
+    random_source_delta,
+    rebuilt,
+)
+from repro.matching.multiblock import MultiBlocker
+
+#: Subsample scales keeping the full dataset x blocker x executor
+#: matrix fast while every side stays large enough for K=25 mutations.
+_SCALES = {
+    "cora": 0.05,
+    "restaurant": 0.1,
+    "sider_drugbank": 0.05,
+    "nyt": 0.04,
+    "linkedmdb": 0.5,
+    "dbpedia_drugbank": 0.04,
+}
+
+#: K = 25 mutation events per side, split over two delta steps so the
+#: gate exercises multi-epoch chains (patch replay, not just one hop).
+_STEPS = ((9, 4), (8, 4))
+
+_BLOCKERS = ("multiblock", "token", "snb")
+_WORKERS = (0, 2, "process:2")
+
+
+def _blocker(kind: str, name: str):
+    prop_a, prop_b = DATASET_RULE_PROPERTIES[name]
+    if kind == "token":
+        return TokenBlocker([prop_a], [prop_b], max_block_size=200)
+    if kind == "snb":
+        return SortedNeighbourhoodBlocker(prop_a, window=6)
+    return MultiBlocker(dataset_rule(name))
+
+
+def _links(links) -> list[tuple[str, str, float]]:
+    return [(link.uid_a, link.uid_b, link.score) for link in links]
+
+
+def _run_combo(name: str, kind: str, workers, tmp_path) -> None:
+    rule = dataset_rule(name)
+    dataset = load_dataset(name, seed=0, scale=_SCALES[name])
+    source_a, source_b = dataset.source_a, dataset.source_b
+    dedup = source_a is source_b
+    rng = random.Random(f"{name}/{kind}/{workers}")
+    engine = MatchingEngine(
+        blocker=_blocker(kind, name),
+        cache_dir=str(tmp_path / f"{kind}-{workers}"),
+        workers=workers,
+        batch_size=512,
+    )
+    try:
+        previous = list(engine.execute(rule, source_a, source_b))
+        deltas_a = []
+        deltas_b = deltas_a if dedup else []
+        for upserts, deletes in _STEPS:
+            deltas_a.append(
+                random_source_delta(
+                    source_a,
+                    rng,
+                    upserts=upserts,
+                    deletes=min(deletes, len(source_a) // 3),
+                )
+            )
+            if not dedup:
+                deltas_b.append(
+                    random_source_delta(
+                        source_b,
+                        rng,
+                        upserts=upserts,
+                        deletes=min(deletes, len(source_b) // 3),
+                    )
+                )
+        diff = engine.link_diff(
+            rule,
+            source_a,
+            source_b,
+            previous,
+            deltas_a=deltas_a,
+            deltas_b=deltas_b,
+        )
+    finally:
+        engine.close()
+
+    # Cold reference: rebuilt sources (no epoch chain, no persisted
+    # lineage), fresh serial engine, no store. Dedup identity must
+    # survive the rebuild — two distinct copies would change the
+    # pair-orientation semantics.
+    cold_a = rebuilt(source_a)
+    cold_b = cold_a if dedup else rebuilt(source_b)
+    verifier = MatchingEngine(blocker=_blocker(kind, name), batch_size=512)
+    try:
+        cold = list(verifier.execute(rule, cold_a, cold_b))
+    finally:
+        verifier.close()
+
+    label = (name, kind, workers)
+    assert _links(diff.links) == _links(cold), label
+
+    # Diff bookkeeping reconciles with the two link sets exactly.
+    assert set(diff.added) | set(diff.unchanged) == set(diff.links), label
+    assert not set(diff.added) & set(diff.unchanged), label
+    assert set(diff.unchanged) <= set(previous), label
+    assert set(diff.removed) <= set(previous), label
+    previous_pairs = {link.as_pair(): link for link in previous}
+    for link in diff.added:
+        assert previous_pairs.get(link.as_pair()) != link, label
+    for link in diff.removed:
+        assert link not in diff.links, label
+    assert diff.kept_links <= len(previous), label
+    if diff.affected_uids is not None:
+        changed = set()
+        for delta in deltas_a:
+            changed |= delta.changed_uids
+        for delta in deltas_b:
+            changed |= delta.changed_uids
+        assert changed <= diff.affected_uids, label
+
+
+@pytest.mark.parametrize("name", sorted(_SCALES))
+@pytest.mark.parametrize("kind", _BLOCKERS)
+def test_incremental_equivalence(name, kind, tmp_path):
+    """Thread/serial legs of the matrix for every dataset x blocker."""
+    for workers in (0, 2):
+        _run_combo(name, kind, workers, tmp_path)
+
+
+@pytest.mark.parametrize("kind", _BLOCKERS)
+def test_incremental_equivalence_process_pool(kind, tmp_path):
+    """Process-pool leg: one dedup and one two-source dataset per
+    blocker (pool startup is too slow for the full dataset matrix;
+    the serial/thread legs above cover it)."""
+    for name in ("restaurant", "sider_drugbank"):
+        _run_combo(name, kind, "process:2", tmp_path)
+
+
+def test_empty_delta_is_identity(tmp_path):
+    """No deltas: everything carries over, nothing is re-scored."""
+    dataset = load_dataset("restaurant", seed=0, scale=_SCALES["restaurant"])
+    source = dataset.source_a
+    rule = dataset_rule("restaurant")
+    engine = MatchingEngine(
+        blocker=_blocker("token", "restaurant"), cache_dir=str(tmp_path)
+    )
+    try:
+        previous = list(engine.execute(rule, source, source))
+        diff = engine.link_diff(rule, source, source, previous)
+    finally:
+        engine.close()
+    assert list(diff.links) == previous
+    assert diff.added == () and diff.removed == ()
+    assert diff.unchanged == tuple(diff.links)
+    assert diff.rescored_pairs == 0
+    assert diff.kept_links == len(previous)
+    assert diff.affected_uids == frozenset()
+
+
+def test_full_rescore_fallback(tmp_path):
+    """A blocker without delta support returns None from
+    affected_probe_uids: link_diff degrades to a cold execute and
+    reports it (affected_uids is None)."""
+    from repro.matching.blocking import FullIndexBlocker
+
+    dataset = load_dataset("restaurant", seed=0, scale=_SCALES["restaurant"])
+    source = dataset.source_a
+    rule = dataset_rule("restaurant")
+    engine = MatchingEngine(blocker=FullIndexBlocker(), batch_size=512)
+    try:
+        previous = list(engine.execute(rule, source, source))
+        rng = random.Random(3)
+        delta = random_source_delta(source, rng, upserts=5, deletes=2)
+        diff = engine.link_diff(
+            rule, source, source, previous,
+            deltas_a=[delta], deltas_b=[delta],
+        )
+        cold_source = rebuilt(source)
+        cold = list(engine.execute(rule, cold_source, cold_source))
+    finally:
+        engine.close()
+    assert diff.affected_uids is None
+    assert diff.kept_links == 0
+    assert _links(diff.links) == _links(cold)
+
+
+def test_iter_link_diff_streams_the_diff(tmp_path):
+    dataset = load_dataset("restaurant", seed=0, scale=_SCALES["restaurant"])
+    source = dataset.source_a
+    rule = dataset_rule("restaurant")
+    engine = MatchingEngine(
+        blocker=_blocker("token", "restaurant"), cache_dir=str(tmp_path)
+    )
+    try:
+        previous = list(engine.execute(rule, source, source))
+        rng = random.Random(5)
+        delta = random_source_delta(source, rng, upserts=6, deletes=3)
+        events = list(
+            engine.iter_link_diff(
+                rule, source, source, previous,
+                deltas_a=[delta], deltas_b=[delta],
+            )
+        )
+    finally:
+        engine.close()
+    kinds = {kind for kind, _ in events}
+    assert kinds <= {"added", "removed", "unchanged"}
+    by_kind = {
+        kind: [link for k, link in events if k == kind]
+        for kind in ("added", "removed", "unchanged")
+    }
+    assert set(by_kind["unchanged"]) <= set(previous)
+    # Every event link is a real link of one of the two link sets.
+    new_links = set(by_kind["added"]) | set(by_kind["unchanged"])
+    for link in by_kind["removed"]:
+        assert link in previous
+    for link in new_links:
+        assert link.score >= 0.5
