@@ -361,6 +361,242 @@ def _run_delta(args: argparse.Namespace) -> None:
             raise SystemExit(1)
 
 
+def _service_dir(args: argparse.Namespace) -> str:
+    """The service directory a service command operates on (CLI flag,
+    then ``REPRO_SERVICE_DIR``)."""
+    from repro.service import SERVICE_DIR_ENV
+
+    path = args.service_dir or os.environ.get(SERVICE_DIR_ENV, "")
+    if not path:
+        print(
+            f"no service directory: pass --service-dir or set "
+            f"{SERVICE_DIR_ENV}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return path
+
+
+def _open_service(args: argparse.Namespace):
+    from repro.service import LinkageService
+
+    return LinkageService(
+        root=_service_dir(args), queue=getattr(args, "queue", None)
+    )
+
+
+def _run_service_worker(
+    root: str, worker_id: str, cache_dir: str, drain: bool, lease: float
+) -> None:
+    """Entry point of one spawned worker process (module-level so the
+    multiprocessing start method can import it)."""
+    from repro.service import run_worker
+
+    run_worker(
+        root, worker_id=worker_id, cache_dir=cache_dir, drain=drain, lease=lease
+    )
+
+
+def _serve(args: argparse.Namespace) -> None:
+    """``serve``: run N queue workers over a service directory."""
+    import multiprocessing
+
+    service = _open_service(args)
+    if service.inline:
+        reason = service.degraded_reason or "inline queue requested"
+        print(
+            f"no queue backend to serve ({reason}); submissions to this "
+            f"directory will execute inline",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    count = max(1, args.service_workers)
+    print(
+        f"serving {service.root} with {count} worker(s) "
+        f"[queue={service.queue.name} cache={service.cache_dir}"
+        f"{' drain' if args.drain else ''}]",
+        file=sys.stderr,
+    )
+    processes = [
+        multiprocessing.Process(
+            target=_run_service_worker,
+            args=(
+                str(service.root),
+                f"worker-{index}",
+                service.cache_dir,
+                args.drain,
+                args.lease,
+            ),
+            name=f"repro-worker-{index}",
+        )
+        for index in range(count)
+    ]
+    for process in processes:
+        process.start()
+    try:
+        for process in processes:
+            process.join()
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        for process in processes:
+            process.terminate()
+        for process in processes:
+            process.join()
+    failed = [p.name for p in processes if p.exitcode not in (0, None)]
+    if failed:
+        raise SystemExit(f"worker process(es) exited nonzero: {failed}")
+
+
+def _submit(args: argparse.Namespace) -> None:
+    """``submit``: create a job (link, learn, or delta) and optionally
+    wait for its terminal state."""
+    service = _open_service(args)
+    try:
+        if args.parent:
+            record = service.submit_delta(
+                args.parent,
+                seed=args.seed,
+                upserts=args.upserts,
+                deletes=args.deletes,
+            )
+        else:
+            if not args.dataset:
+                print(
+                    "submit needs a dataset (or --parent for delta jobs)",
+                    file=sys.stderr,
+                )
+                raise SystemExit(2)
+            spec = {
+                "dataset": args.dataset,
+                "seed": args.seed,
+                "scale": args.scale,
+            }
+            if args.rule_json:
+                import json
+
+                spec["rule"] = json.loads(
+                    open(args.rule_json, encoding="utf-8").read()
+                )
+            if args.learn:
+                spec["population_size"] = args.population
+                spec["iterations"] = args.iterations
+                record = service.submit("learn", spec)
+            else:
+                record = service.submit("link", spec)
+        if args.wait and record.state not in ("succeeded", "failed"):
+            record = service.wait(record.job_id, timeout=args.timeout)
+        print(f"{record.job_id} {record.state}")
+        if record.state == "failed":
+            print(f"error: {record.error}", file=sys.stderr)
+            raise SystemExit(1)
+    finally:
+        service.close()
+
+
+def _job_stats_lines(record) -> list[str]:
+    """Human-readable stat lines of one job record (plus the greppable
+    ``[job store]`` counter line the CI smoke leg asserts on)."""
+    lines: list[str] = []
+    stats = record.stats or {}
+    if stats:
+        lines.append(
+            f"  pairs={stats.get('pairs')} links={stats.get('links')} "
+            f"batches={stats.get('batches')} "
+            f"index_builds={stats.get('index_builds')} "
+            f"index_patches={stats.get('index_patches')}"
+        )
+        store = stats.get("store")
+        if store:
+            lines.append(
+                f"  [job store] hits={store['hits']} "
+                f"misses={store['misses']} writes={store['writes']} "
+                f"index_hits={store['index_hits']} "
+                f"index_misses={store['index_misses']} "
+                f"probe_hits={store['probe_hits']} "
+                f"probe_misses={store['probe_misses']}"
+            )
+    if record.result:
+        summary = {
+            key: value
+            for key, value in record.result.items()
+            if key != "rule"
+        }
+        lines.append(f"  result: {summary}")
+    if record.error:
+        lines.append(f"  error: {record.error}")
+    return lines
+
+
+def _status(args: argparse.Namespace) -> None:
+    """``status``: one job's record, or a table of every job."""
+    service = _open_service(args)
+    if args.job_id:
+        record = service.status(args.job_id)
+        print(
+            f"{record.job_id} {record.kind} {record.state} "
+            f"attempts={record.attempts}/{record.max_attempts} "
+            f"worker={record.worker or '-'}"
+        )
+        for line in _job_stats_lines(record):
+            print(line)
+        return
+    rows = [
+        [
+            record.job_id,
+            record.kind,
+            record.state,
+            f"{record.attempts}/{record.max_attempts}",
+            record.worker or "-",
+            (record.result or {}).get("links", "-"),
+        ]
+        for record in service.store.records()
+    ]
+    print(
+        format_table(
+            ["Job", "Kind", "State", "Attempts", "Worker", "Links"],
+            rows,
+            title=f"jobs in {service.root}",
+        )
+    )
+
+
+def _links_cmd(args: argparse.Namespace) -> None:
+    """``links``: print a job's stored links — or, with ``--direct``, a
+    direct in-process ``MatchingEngine.execute`` over the same inputs,
+    in the identical format (the byte-parity check's other half)."""
+    if args.direct:
+        from repro.datasets import load_dataset
+        from repro.matching.engine import MatchingEngine
+        from repro.matching.incremental import dataset_rule
+
+        if args.target not in DATASET_NAMES:
+            print(
+                f"--direct takes a dataset name, got {args.target!r}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        dataset = load_dataset(args.target, seed=args.seed, scale=args.scale)
+        engine = MatchingEngine()
+        try:
+            links = engine.execute(
+                dataset_rule(args.target), dataset.source_a, dataset.source_b
+            )
+        finally:
+            engine.close()
+    else:
+        service = _open_service(args)
+        links = service.links(args.target)
+    for link in links:
+        print(f"{link.uid_a}\t{link.uid_b}\t{link.score!r}")
+
+
+def _health(args: argparse.Namespace) -> None:
+    """``health``: the service's queue/store/worker/job snapshot."""
+    import json
+
+    service = _open_service(args)
+    print(json.dumps(service.health(), indent=2, sort_keys=True))
+
+
 def _print_crossover(args: argparse.Namespace) -> None:
     comparisons = drivers.crossover_comparison(tuple(args.datasets), seed=args.seed)
     for iteration_index in range(2):
@@ -483,6 +719,134 @@ def main(argv: list[str] | None = None) -> int:
         "incremental links are byte-identical",
     )
 
+    def add_service_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--service-dir",
+            default=None,
+            metavar="PATH",
+            help="service directory holding job records, queue tickets "
+            "and worker heartbeats (default: the REPRO_SERVICE_DIR "
+            "environment variable)",
+        )
+        sub.add_argument(
+            "--queue",
+            default=None,
+            choices=("file", "redis", "inline"),
+            help="queue backend: file (atomic-rename tickets, the "
+            "default), redis (degrades to inline when unavailable) or "
+            "inline (execute submissions in-process). Default: the "
+            "REPRO_SERVICE_QUEUE environment variable",
+        )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run queue workers over a service directory "
+        "(linkage-as-a-service)",
+    )
+    add_service_arguments(serve)
+    serve.add_argument(
+        "--service-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes to run (default 2); all share the "
+        "--cache-dir column store",
+    )
+    serve.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit once the queue is empty instead of serving forever",
+    )
+    serve.add_argument(
+        "--lease",
+        type=float,
+        default=30.0,
+        help="seconds without a heartbeat before a running job's claim "
+        "is considered lost and retried (default 30)",
+    )
+
+    submit = subparsers.add_parser(
+        "submit", help="submit a job to a service directory"
+    )
+    add_service_arguments(submit)
+    submit.add_argument(
+        "dataset", nargs="?", choices=DATASET_NAMES,
+        help="bundled dataset to link (omit for --parent delta jobs)",
+    )
+    submit.add_argument(
+        "--scale", type=float, default=1.0,
+        help="dataset scale factor (default 1.0)",
+    )
+    submit.add_argument(
+        "--rule-json", default=None, metavar="PATH",
+        help="JSON rule to execute (default: the dataset's gate rule)",
+    )
+    submit.add_argument(
+        "--learn", action="store_true",
+        help="learn a rule with GenLink before executing it",
+    )
+    submit.add_argument(
+        "--population", type=int, default=20,
+        help="--learn population size (default 20)",
+    )
+    submit.add_argument(
+        "--iterations", type=int, default=5,
+        help="--learn iteration budget (default 5)",
+    )
+    submit.add_argument(
+        "--parent", default=None, metavar="JOB",
+        help="submit a delta job against this succeeded job's links",
+    )
+    submit.add_argument(
+        "--upserts", type=int, default=10,
+        help="delta jobs: entities to revise/insert per side (default 10)",
+    )
+    submit.add_argument(
+        "--deletes", type=int, default=5,
+        help="delta jobs: entities to delete per side (default 5)",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job reaches a terminal state",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="--wait budget in seconds (default 600)",
+    )
+
+    status = subparsers.add_parser(
+        "status", help="job states and per-job MatchStats of a service"
+    )
+    add_service_arguments(status)
+    status.add_argument(
+        "job_id", nargs="?", default=None,
+        help="job to inspect (omit for a table of every job)",
+    )
+
+    links = subparsers.add_parser(
+        "links", help="print a job's generated links"
+    )
+    add_service_arguments(links)
+    links.add_argument(
+        "target",
+        help="job id — or, with --direct, a dataset name",
+    )
+    links.add_argument(
+        "--direct", action="store_true",
+        help="bypass the service: execute the dataset's gate rule "
+        "in-process and print links in the identical format (for "
+        "byte-parity checks against a service job)",
+    )
+    links.add_argument(
+        "--scale", type=float, default=1.0,
+        help="--direct dataset scale factor (default 1.0)",
+    )
+
+    health = subparsers.add_parser(
+        "health", help="queue/store/worker health snapshot of a service"
+    )
+    add_service_arguments(health)
+
     cache = subparsers.add_parser(
         "cache",
         help="inspect / garbage-collect / clear the persistent "
@@ -520,8 +884,20 @@ def main(argv: list[str] | None = None) -> int:
         # Same pattern: every matching engine created below (and in
         # worker processes) resolves its default blocker from this.
         os.environ[BLOCKER_ENV] = args.blocker
+    service_handlers = {
+        "serve": _serve,
+        "submit": _submit,
+        "status": _status,
+        "links": _links_cmd,
+        "health": _health,
+    }
     if args.command == "cache":
         _cache_maintenance(args)
+        return 0
+    if args.command in service_handlers:
+        # Service commands keep stdout machine-readable (job ids, link
+        # triples, health JSON) — no scale/cache banners.
+        service_handlers[args.command](args)
         return 0
     print(f"[scale: {current_scale().name}]")
     workers_spec = os.environ.get(WORKERS_ENV, "")

@@ -45,6 +45,7 @@ from __future__ import annotations
 import hashlib
 import math
 from abc import ABC, abstractmethod
+from bisect import bisect_left
 from dataclasses import dataclass
 from itertools import chain
 from typing import Iterable, Iterator, Sequence
@@ -896,15 +897,19 @@ class MultiBlocker(Blocker):
         """Probe-side uids whose candidate sets may have changed.
 
         The candidate algebra is a monotone function of the
-        per-comparison block relations, so a pair of *unchanged*
-        entities can only flip if some built comparison's relation
-        flipped — impossible when neither endpoint changed. The
-        affected set is therefore the union, over built comparisons,
-        of the reverse-index hits of every changed B entity's old and
-        new block keys. Returns None (full rescore) when the algebra
-        has a non-selective branch — there an inserted or deleted B
-        entity pairs with *every* probe entity."""
-        own = self._active_session(session)
+        per-comparison block relations, each of which depends only on
+        its two endpoints' values (MultiBlock has no data-dependent
+        block-size limit, unlike token blocking), and the set of
+        *built* comparisons is a pure function of the rule structure —
+        so a pair of two *unchanged* entities can never flip. The
+        minimal affected set is therefore empty: the engine unions in
+        the changed uids itself, and the pairs of a changed B entity
+        with unchanged probe entities are emitted by the targeted
+        reverse pass of :meth:`iter_affected_shards` instead of
+        re-probing every reverse-index hit in full. Returns None (full
+        rescore) when the algebra has a non-selective branch — there
+        an inserted or deleted B entity pairs with *every* probe
+        entity."""
         dedup = source_a is source_b
         deltas_b = tuple(deltas_a) if dedup else tuple(deltas_b)
         if not deltas_b:
@@ -925,25 +930,7 @@ class MultiBlocker(Blocker):
 
         if not selective(self._rule.root):
             return None
-        transforms = own.transforms
-        affected: set[str] = set()
-        for comparison_index in probe.indexes.values():
-            comparison = comparison_index.comparison
-            indexer = comparison_index.indexer
-            reverse = self._reverse_blocks(
-                comparison, indexer, source_a, session
-            )
-            get = reverse.get
-            for delta in deltas_b:
-                for entity in chain(delta.upserts, delta.old_entities()):
-                    values = _entity_values(
-                        comparison.target, entity, transforms, own
-                    )
-                    for key in indexer.reverse_probe_keys(values):
-                        block = get(key)
-                        if block is not None:
-                            affected.update(block)
-        return frozenset(affected)
+        return frozenset()
 
     def iter_affected_shards(
         self, source_a, source_b, affected, batch_size, session=None
@@ -988,6 +975,99 @@ class MultiBlocker(Blocker):
                 )
         finally:
             ledger.flush()
+        if not dedup:
+            yield from self._targeted_reverse_pair_lists(
+                source_a, source_b, affected, session, probe
+            )
+
+    def _targeted_reverse_pair_lists(
+        self, source_a, source_b, affected, session, probe
+    ):
+        """Pairs of *unaffected* probe entities with affected stored
+        entities (two-source mode; dedup probes emit both directions
+        via :func:`_affected_code_pair_lists`).
+
+        Two-source emission is one-directional — only A probes — so a
+        changed B entity's pairs with unchanged A partners never
+        surface from the affected probes above. For each affected B
+        entity this pass derives a coarse A-partner superset from the
+        per-comparison reverse indexes (sound because a candidate pair
+        satisfies at least one built comparison's block relation, and
+        :meth:`ComparisonIndexer.reverse_probe_keys` over-approximates
+        it), then *verifies* exact candidacy by probing those partners
+        against the current index and checking the B entity's code in
+        their partner-code arrays — emission without verification
+        would leak non-candidate pairs and break byte-parity with a
+        cold execute. Affected partners are excluded (their own probe
+        already emits the pair), keeping every affected pair emitted
+        exactly once; verification probes ride the probe-result ledger
+        and distinct-value memo like every other probe."""
+        own = self._active_session(session)
+        transforms = own.transforms
+        uids = probe.uids
+        get_a = source_a.get
+        reverse_tables: dict[int, dict] = {}
+        coarse: list[tuple[str, int, list[str]]] = []
+        partner_uids: set[str] = set()
+        for uid in sorted(affected):
+            if uid not in source_b:
+                continue
+            code = bisect_left(uids, uid)
+            if code >= len(uids) or uids[code] != uid:
+                continue
+            entity_b = source_b.get(uid)
+            partners: set[str] = set()
+            for node_id, comparison_index in probe.indexes.items():
+                comparison = comparison_index.comparison
+                indexer = comparison_index.indexer
+                reverse = reverse_tables.get(node_id)
+                if reverse is None:
+                    reverse = self._reverse_blocks(
+                        comparison, indexer, source_a, session
+                    )
+                    reverse_tables[node_id] = reverse
+                get = reverse.get
+                values = _entity_values(
+                    comparison.target, entity_b, transforms, own
+                )
+                for key in indexer.reverse_probe_keys(values):
+                    block = get(key)
+                    if block is not None:
+                        partners.update(block)
+            partners -= affected
+            partners.discard(uid)
+            if partners:
+                coarse.append((uid, code, sorted(partners)))
+                partner_uids.update(partners)
+        if not coarse:
+            return
+        entities = [get_a(uid) for uid in sorted(partner_uids)]
+        codes_of: dict[str, np.ndarray] = {}
+        memo: dict = {}
+        ledger = self._probe_ledger(source_a, source_b, session)
+        try:
+            for start in range(0, len(entities), _PROBE_CHUNK):
+                chunk = entities[start : start + _PROBE_CHUNK]
+                results = ledger.probe(
+                    chunk,
+                    lambda miss: self.probe_batch(
+                        miss, probe, session, memo=memo
+                    ),
+                )
+                for entity, codes in zip(chunk, results):
+                    codes_of[entity.uid] = codes
+        finally:
+            ledger.flush()
+        for uid_b, code_b, partners in coarse:
+            entity_b = source_b.get(uid_b)
+            pairs = []
+            for partner in partners:
+                codes = codes_of[partner]
+                position = int(np.searchsorted(codes, code_b))
+                if position < len(codes) and codes[position] == code_b:
+                    pairs.append((get_a(partner), entity_b))
+            if pairs:
+                yield pairs
 
     def _probe_ledger(self, source_a, source_b, session) -> _ProbeLedger:
         from repro.core.serialization import rule_to_json

@@ -1,0 +1,270 @@
+"""The client-facing service facade: submit, poll, fetch, health.
+
+:class:`LinkageService` binds the three service pieces — job store,
+queue backend, shared cache dir — behind the API a client (or the
+``repro-experiments serve|submit|status|links`` commands) talks to.
+
+Degradation is a first-class mode, not an error path: when the
+configured queue backend is unavailable (``queue="redis"`` with no
+redis) or no backend is wanted (``queue="inline"``), submissions
+execute *inline* in the calling process, through the exact same job
+records, state transitions and engine code path the workers use. The
+only observable difference is where the work ran — links, stats and
+the record schema are identical, which is what the degradation tests
+assert.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.engine.store import CACHE_ENV, ColumnStore
+from repro.matching.engine import GeneratedLink
+from repro.service.jobs import JobRecord, JobStore
+from repro.service.queue import QueueBackend, resolve_queue
+from repro.service.worker import (
+    DEFAULT_LEASE,
+    JobRunner,
+    live_workers,
+    recover_stale,
+)
+
+#: Environment variable naming the default service directory (job
+#: records, queue tickets, worker heartbeats) when none is passed.
+SERVICE_DIR_ENV = "REPRO_SERVICE_DIR"
+
+
+def _resolve_root(root: str | os.PathLike | None) -> Path:
+    if root is not None:
+        return Path(root)
+    env = os.environ.get(SERVICE_DIR_ENV, "")
+    if not env:
+        raise ValueError(
+            f"no service directory: pass root= or set {SERVICE_DIR_ENV}"
+        )
+    return Path(env)
+
+
+class LinkageService:
+    """A long-lived linkage service over one service directory.
+
+    ``root`` holds everything the service owns: job records, queue
+    tickets, worker heartbeats, and (by default) the shared
+    :class:`~repro.engine.store.ColumnStore` under ``<root>/cache``.
+    ``cache_dir`` overrides the store location (``REPRO_ENGINE_CACHE``
+    is consulted next, then the default); every worker process and the
+    inline path resolve the same directory, so any job warms all
+    later jobs whatever executes them.
+
+    ``queue`` selects the backend (``file``, ``redis``, ``inline``;
+    ``None`` consults ``REPRO_SERVICE_QUEUE``). An unavailable backend
+    degrades to inline execution and :meth:`health` reports why.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike | None = None,
+        queue: str | None = None,
+        cache_dir: str | None = None,
+        max_attempts: int = 3,
+        lease: float = DEFAULT_LEASE,
+    ):
+        self.root = _resolve_root(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.store = JobStore(self.root)
+        self._lease = lease
+        self._max_attempts = max_attempts
+        self.queue: QueueBackend | None
+        self.queue, self._degraded_reason = resolve_queue(self.root, queue)
+        if cache_dir is not None:
+            self.cache_dir = cache_dir
+        else:
+            self.cache_dir = os.environ.get(CACHE_ENV, "") or str(
+                self.root / "cache"
+            )
+        self._inline_runner: JobRunner | None = None
+
+    @property
+    def inline(self) -> bool:
+        """Whether submissions execute in this process (no queue)."""
+        return self.queue is None
+
+    @property
+    def degraded_reason(self) -> str | None:
+        """Why the service fell back to inline execution, or ``None``
+        when inline was requested or a queue is active."""
+        return self._degraded_reason
+
+    def close(self) -> None:
+        """Release the inline runner's engine, if one was created."""
+        if self._inline_runner is not None:
+            self._inline_runner.close()
+            self._inline_runner = None
+
+    def __enter__(self) -> "LinkageService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- submission --------------------------------------------------------
+    def submit(self, kind: str, spec: dict) -> JobRecord:
+        """Create a job and hand it to the execution mode in force.
+
+        With a queue: the record is persisted ``queued`` and a ticket
+        enqueued — a worker picks it up. Inline: the record runs
+        through the identical lifecycle (``queued -> running ->
+        succeeded``/``failed``) in this process before returning, so
+        callers poll and fetch exactly as they would against workers.
+        """
+        record = self.store.create(
+            kind, spec, max_attempts=self._max_attempts
+        )
+        if self.queue is not None:
+            self.queue.submit(record.job_id)
+            return record
+        return self._run_inline(record)
+
+    def submit_link(
+        self,
+        dataset: str,
+        seed: int = 0,
+        scale: float = 1.0,
+        rule: dict | None = None,
+    ) -> JobRecord:
+        """Submit a link-generation job over a bundled dataset (the
+        per-dataset gate rule when ``rule`` is ``None``)."""
+        spec: dict = {"dataset": dataset, "seed": seed, "scale": scale}
+        if rule is not None:
+            spec["rule"] = rule
+        return self.submit("link", spec)
+
+    def submit_delta(
+        self,
+        parent: str,
+        seed: int = 0,
+        upserts: int = 0,
+        deletes: int = 0,
+    ) -> JobRecord:
+        """Submit an incremental job re-deriving a parent job's links
+        after a reproducible random source delta."""
+        return self.submit(
+            "delta",
+            {
+                "parent": parent,
+                "seed": seed,
+                "upserts": upserts,
+                "deletes": deletes,
+            },
+        )
+
+    def _run_inline(self, record: JobRecord) -> JobRecord:
+        """Degraded-mode execution: same transitions, same engine path,
+        no queue and no worker process."""
+        runner = self._runner()
+        record = self.store.transition(
+            record.job_id,
+            "running",
+            expect="queued",
+            attempts=record.attempts + 1,
+            worker="inline",
+            heartbeat_at=time.time(),
+        )
+        try:
+            links, stats, result = runner.run(record, self.store)
+        except Exception as error:
+            return self.store.transition(
+                record.job_id,
+                "failed",
+                expect="running",
+                error=f"{type(error).__name__}: {error}",
+            )
+        self.store.save_links(record.job_id, links)
+        return self.store.transition(
+            record.job_id,
+            "succeeded",
+            expect="running",
+            stats=stats,
+            result=result,
+            error=None,
+        )
+
+    def _runner(self) -> JobRunner:
+        if self._inline_runner is None:
+            self._inline_runner = JobRunner(self.cache_dir)
+        return self._inline_runner
+
+    # -- polling and results -----------------------------------------------
+    def status(self, job_id: str) -> JobRecord:
+        """The job's current record (raises ``KeyError`` if unknown)."""
+        return self.store.get(job_id)
+
+    def wait(
+        self, job_id: str, timeout: float = 60.0, poll: float = 0.1
+    ) -> JobRecord:
+        """Block until the job reaches a terminal state.
+
+        Runs the reaper between polls (with a queue), so a submitter
+        waiting on a crashed worker sees the retry happen rather than
+        a silent hang; raises ``TimeoutError`` when the budget runs
+        out first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.store.get(job_id)
+            if record.state in ("succeeded", "failed"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record.state!r} after {timeout}s"
+                )
+            if self.queue is not None:
+                recover_stale(self.store, self.queue, lease=self._lease)
+            time.sleep(poll)
+
+    def links(self, job_id: str) -> list[GeneratedLink]:
+        """A succeeded job's links, exact to the executing engine's
+        output (``KeyError`` when the job has no stored links)."""
+        return self.store.load_links(job_id)
+
+    def requeue(self, job_id: str) -> JobRecord:
+        """Re-enqueue a ``queued`` job whose ticket was lost (operator
+        escape hatch; inline services just re-run it)."""
+        record = self.store.get(job_id)
+        if record.state != "queued":
+            raise ValueError(
+                f"job {job_id} is {record.state!r}; only queued jobs requeue"
+            )
+        if self.queue is None:
+            return self._run_inline(record)
+        self.queue.submit(job_id, not_before=record.not_before)
+        return record
+
+    # -- health ------------------------------------------------------------
+    def health(self) -> dict:
+        """One structured snapshot of queue, store, workers and jobs.
+
+        ``mode`` is ``"queue"`` or ``"inline"``; ``degraded_reason``
+        explains an involuntary fallback. ``workers`` lists liveness
+        records with a fresh heartbeat; ``store`` summarises the
+        shared persistent cache. Running the reaper first means the
+        snapshot reflects recovered state, not stale claims.
+        """
+        if self.queue is not None:
+            recover_stale(self.store, self.queue, lease=self._lease)
+        store_info: dict | None = None
+        if self.cache_dir:
+            try:
+                store_info = ColumnStore(self.cache_dir).describe()
+            except OSError:  # pragma: no cover - unreadable cache dir
+                store_info = None
+        return {
+            "mode": "inline" if self.queue is None else "queue",
+            "degraded_reason": self._degraded_reason,
+            "queue": None if self.queue is None else self.queue.describe(),
+            "jobs": self.store.state_counts(),
+            "workers": live_workers(self.root, lease=self._lease),
+            "store": store_info,
+        }

@@ -1,0 +1,514 @@
+"""Queue workers: claim jobs, execute them, survive crashes.
+
+A worker is a plain loop: recover stale claims, claim a ticket,
+transition the job ``queued -> running``, execute it through a
+:class:`JobRunner` (one persistent engine session per worker process —
+the in-memory analogue of the shared on-disk cache), persist links and
+:class:`~repro.matching.engine.MatchStats` into the job record, and
+transition to ``succeeded``. Every transition is validated against the
+expected state and claim owner, so a worker whose lease was reaped
+mid-run fails loudly instead of overwriting the retry.
+
+Crash recovery needs no supervisor: a dead worker leaves a claimed
+ticket and a record whose heartbeat stops. :func:`recover_stale`
+(run by every worker before claiming, and by service health checks)
+requeues such jobs with exponential backoff until ``max_attempts`` is
+exhausted, then fails them. Because link generation is deterministic,
+a retried job produces byte-identical links — retry is always safe.
+
+All workers share one :class:`~repro.engine.store.ColumnStore` cache
+dir (atomic-rename writes were built for concurrent writers): the
+first job over a dataset builds columns/indexes/probes, every later
+job on any worker loads them, which is the service's warm path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from pathlib import Path
+
+from repro.engine.session import EngineSession
+from repro.matching.engine import MatchingEngine
+from repro.service.jobs import (
+    InvalidTransition,
+    JobRecord,
+    JobStore,
+    StaleJob,
+    _atomic_write_json,
+    stats_payload,
+)
+from repro.service.queue import ClaimTicket, FileQueue, QueueBackend
+
+#: Seconds without a heartbeat after which a running job's claim is
+#: considered lost and the job is requeued.
+DEFAULT_LEASE = 30.0
+
+
+class JobRunner:
+    """Executes job records through one persistent matching engine.
+
+    The engine (and, on serial/thread executors, its
+    :class:`~repro.engine.session.EngineSession`) is created once and
+    reused across every job the runner sees — transformed values,
+    blocking indexes and probe results computed for one job warm the
+    next, on top of the shared persistent store. Process-pool
+    executors cannot share an in-process session; there the runner
+    falls back to a per-run session over the same on-disk store.
+    """
+
+    def __init__(self, cache_dir: str | None = None):
+        self.cache_dir = cache_dir
+        self._session: EngineSession | None = None
+        try:
+            self._session = EngineSession(store=cache_dir)
+            self._engine = MatchingEngine(session=self._session)
+        except ValueError:
+            # Process-pool executor (REPRO_ENGINE_WORKERS=process:N):
+            # scoring sessions live in the worker processes, the
+            # parent-side blocking session persists inside the engine.
+            if self._session is not None:
+                self._session.close()
+                self._session = None
+            self._engine = MatchingEngine(cache_dir=cache_dir)
+
+    @property
+    def engine(self) -> MatchingEngine:
+        """The persistent engine jobs execute through."""
+        return self._engine
+
+    def close(self) -> None:
+        """Release the engine's executor and session."""
+        self._engine.close()
+        if self._session is not None:
+            self._session.close()
+
+    def run(
+        self, record: JobRecord, store: JobStore
+    ) -> tuple[list, dict | None, dict]:
+        """Execute one job record; returns ``(links, stats, result)``.
+
+        ``links`` are exact :class:`~repro.matching.engine.
+        GeneratedLink` values — byte-identical to a direct
+        ``MatchingEngine.execute`` because this *is* a direct execute,
+        just on a persistent engine. ``stats`` is the run's
+        :func:`~repro.service.jobs.stats_payload`; ``result`` the
+        kind-specific summary stored on the record.
+        """
+        if record.kind == "link":
+            return self._run_link(record)
+        if record.kind == "learn":
+            return self._run_learn(record)
+        if record.kind == "delta":
+            return self._run_delta(record, store)
+        raise ValueError(f"unknown job kind {record.kind!r}")
+
+    # -- kinds -------------------------------------------------------------
+    def _sources(self, spec: dict):
+        from repro.datasets import load_dataset
+
+        return load_dataset(
+            spec["dataset"],
+            seed=int(spec.get("seed", 0)),
+            scale=float(spec.get("scale", 1.0)),
+        )
+
+    def _rule(self, spec: dict):
+        from repro.core.serialization import rule_from_dict
+        from repro.matching.incremental import dataset_rule
+
+        if spec.get("rule"):
+            return rule_from_dict(spec["rule"])
+        return dataset_rule(spec["dataset"])
+
+    def _run_link(self, record: JobRecord):
+        from repro.core.serialization import rule_to_dict
+
+        dataset = self._sources(record.spec)
+        rule = self._rule(record.spec)
+        links = self._engine.execute(rule, dataset.source_a, dataset.source_b)
+        stats = self._engine.last_run_stats()
+        result = {
+            "links": len(links),
+            "rule": rule_to_dict(rule),
+        }
+        return links, stats_payload(stats), result
+
+    def _run_learn(self, record: JobRecord):
+        import random
+
+        from repro.core.genlink import GenLink, GenLinkConfig
+        from repro.core.serialization import rule_to_dict
+        from repro.data.splits import train_validation_split
+
+        spec = record.spec
+        dataset = self._sources(spec)
+        rng = random.Random(int(spec.get("seed", 0)))
+        train, validation = train_validation_split(dataset.links, rng)
+        config = GenLinkConfig(
+            population_size=int(spec.get("population_size", 20)),
+            max_iterations=int(spec.get("iterations", 5)),
+        )
+        learned = GenLink(config).learn(
+            dataset.source_a, dataset.source_b, train, validation, rng=rng
+        )
+        rule = learned.best_rule
+        final = learned.history[-1]
+        links = self._engine.execute(rule, dataset.source_a, dataset.source_b)
+        stats = self._engine.last_run_stats()
+        result = {
+            "links": len(links),
+            "rule": rule_to_dict(rule),
+            "train_f_measure": final.train_f_measure,
+            "validation_f_measure": final.validation_f_measure,
+            "iterations": final.iteration,
+        }
+        return links, stats_payload(stats), result
+
+    def _run_delta(self, record: JobRecord, store: JobStore):
+        import random
+
+        from repro.core.serialization import rule_from_dict, rule_to_dict
+        from repro.matching.incremental import random_source_delta
+
+        spec = record.spec
+        parent = store.get(spec["parent"])
+        if parent.state != "succeeded":
+            raise ValueError(
+                f"parent job {parent.job_id} is {parent.state!r}; delta "
+                f"jobs build on a succeeded run"
+            )
+        previous = store.load_links(parent.job_id)
+        # Re-materialise the parent's sources (datasets are generated
+        # deterministically from name/seed/scale) and replay its rule.
+        dataset = self._sources(parent.spec)
+        rule = (
+            rule_from_dict(parent.result["rule"])
+            if parent.result and parent.result.get("rule")
+            else self._rule(parent.spec)
+        )
+        rng = random.Random(int(spec.get("seed", 0)))
+        upserts = int(spec.get("upserts", 0))
+        deletes = int(spec.get("deletes", 0))
+        source_a, source_b = dataset.source_a, dataset.source_b
+        dedup = source_a is source_b
+        deltas_a = [random_source_delta(source_a, rng, upserts=upserts, deletes=deletes)]
+        deltas_b = (
+            deltas_a
+            if dedup
+            else [random_source_delta(source_b, rng, upserts=upserts, deletes=deletes)]
+        )
+        diff = self._engine.link_diff(
+            rule,
+            source_a,
+            source_b,
+            previous,
+            deltas_a=deltas_a,
+            deltas_b=deltas_b,
+        )
+        result = {
+            "links": len(diff.links),
+            "rule": rule_to_dict(rule),
+            "parent": parent.job_id,
+            "added": len(diff.added),
+            "removed": len(diff.removed),
+            "unchanged": len(diff.unchanged),
+            "kept_links": diff.kept_links,
+            "rescored_pairs": diff.rescored_pairs,
+            "affected_uids": (
+                None
+                if diff.affected_uids is None
+                else len(diff.affected_uids)
+            ),
+        }
+        return list(diff.links), stats_payload(diff.stats), result
+
+
+def _worker_dir(root: str | os.PathLike) -> Path:
+    return Path(root) / "workers"
+
+
+def write_worker_heartbeat(
+    root: str | os.PathLike, worker_id: str, jobs_done: int
+) -> None:
+    """Publish a worker's liveness record (atomic replace), read by
+    :meth:`repro.service.service.LinkageService.health`."""
+    _atomic_write_json(
+        _worker_dir(root) / f"{worker_id}.json",
+        {
+            "worker": worker_id,
+            "pid": os.getpid(),
+            "heartbeat_at": time.time(),
+            "jobs_done": jobs_done,
+        },
+    )
+
+
+def live_workers(
+    root: str | os.PathLike, lease: float = DEFAULT_LEASE
+) -> list[dict]:
+    """Worker liveness records with a heartbeat within ``lease``."""
+    directory = _worker_dir(root)
+    if not directory.is_dir():
+        return []
+    now = time.time()
+    workers = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        if now - float(payload.get("heartbeat_at", 0.0)) <= lease:
+            workers.append(payload)
+    return workers
+
+
+def _backoff(attempts: int, base: float, cap: float) -> float:
+    """Exponential retry delay: ``base * 2**(attempts-1)``, capped."""
+    return min(cap, base * (2 ** max(0, attempts - 1)))
+
+
+def recover_stale(
+    store: JobStore,
+    queue: QueueBackend,
+    lease: float = DEFAULT_LEASE,
+    backoff_base: float = 0.5,
+    max_backoff: float = 30.0,
+) -> int:
+    """Requeue (or fail) jobs whose claiming worker died; returns how
+    many claims were recovered.
+
+    A claim is stale when its job is ``running`` with no heartbeat for
+    ``lease`` seconds, or still ``queued`` ``lease`` seconds after the
+    claim (the worker died between claiming and transitioning). Stale
+    running jobs requeue with exponential backoff until their attempt
+    budget is spent, then fail. Concurrent reapers are safe: the
+    validated transition picks one winner, the loser skips. A claim
+    whose job is already terminal is simply dropped.
+    """
+    recovered = 0
+    now = time.time()
+    for job_id, token, claimed_at in queue.claimed():
+        ticket = ClaimTicket(job_id=job_id, token=token)
+        try:
+            record = store.get(job_id)
+        except KeyError:
+            queue.ack(ticket)
+            recovered += 1
+            continue
+        if record.state == "running":
+            last = record.heartbeat_at or claimed_at
+            if now - last < lease:
+                continue
+            error = (
+                f"worker {record.worker!r} lost "
+                f"(no heartbeat for {now - last:.1f}s)"
+            )
+            if record.attempts >= record.max_attempts:
+                try:
+                    store.transition(
+                        job_id, "failed", expect="running", error=error
+                    )
+                except (StaleJob, InvalidTransition):
+                    continue
+                queue.ack(ticket)
+            else:
+                delay = _backoff(record.attempts, backoff_base, max_backoff)
+                try:
+                    store.transition(
+                        job_id,
+                        "queued",
+                        expect="running",
+                        error=error,
+                        not_before=now + delay,
+                        worker=None,
+                        heartbeat_at=None,
+                    )
+                except (StaleJob, InvalidTransition):
+                    continue
+                queue.release(ticket, not_before=now + delay)
+            recovered += 1
+        elif record.state == "queued":
+            if now - claimed_at < lease:
+                continue
+            # Died between claim and the running transition: the
+            # record needs no edge, the ticket just goes back.
+            queue.release(ticket, not_before=now)
+            recovered += 1
+        else:
+            queue.ack(ticket)
+            recovered += 1
+    return recovered
+
+
+def run_worker(
+    root: str | os.PathLike,
+    worker_id: str | None = None,
+    queue: QueueBackend | None = None,
+    cache_dir: str | None = None,
+    drain: bool = False,
+    max_jobs: int | None = None,
+    lease: float = DEFAULT_LEASE,
+    poll_interval: float = 0.2,
+    backoff_base: float = 0.5,
+    max_backoff: float = 30.0,
+    heartbeat_interval: float | None = None,
+) -> int:
+    """Run one worker loop over a service directory; returns how many
+    claims it processed.
+
+    ``drain=True`` exits once the queue is empty (the batch mode the
+    CI smoke leg and ``repro-experiments serve --drain`` use);
+    otherwise the loop runs until ``max_jobs`` or forever. The worker
+    publishes its own liveness record every iteration and heartbeats
+    the job record from a background thread while executing, so the
+    reaper can tell a slow job from a dead worker.
+    """
+    store = JobStore(root)
+    if queue is None:
+        queue = FileQueue(root)
+    worker_id = worker_id or f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+    if heartbeat_interval is None:
+        heartbeat_interval = max(0.05, lease / 3.0)
+    runner = JobRunner(cache_dir)
+    processed = 0
+    try:
+        while max_jobs is None or processed < max_jobs:
+            recover_stale(
+                store,
+                queue,
+                lease=lease,
+                backoff_base=backoff_base,
+                max_backoff=max_backoff,
+            )
+            write_worker_heartbeat(root, worker_id, processed)
+            ticket = queue.claim(worker_id)
+            if ticket is None:
+                if drain and queue.depth() == 0:
+                    break
+                time.sleep(poll_interval)
+                continue
+            processed += 1
+            self_describe = f"attempt on {ticket.job_id} by {worker_id}"
+            try:
+                record = store.get(ticket.job_id)
+                record = store.transition(
+                    ticket.job_id,
+                    "running",
+                    expect="queued",
+                    attempts=record.attempts + 1,
+                    worker=worker_id,
+                    heartbeat_at=time.time(),
+                )
+            except (KeyError, StaleJob, InvalidTransition):
+                # Deleted, duplicate ticket, or terminal: drop it.
+                queue.ack(ticket)
+                continue
+            stop = threading.Event()
+            beat = threading.Thread(
+                target=_heartbeat_loop,
+                args=(store, ticket.job_id, worker_id, stop, heartbeat_interval),
+                name=self_describe,
+                daemon=True,
+            )
+            beat.start()
+            try:
+                links, stats, result = runner.run(record, store)
+            except Exception as error:
+                stop.set()
+                beat.join()
+                _handle_failure(
+                    store,
+                    queue,
+                    ticket,
+                    record,
+                    worker_id,
+                    f"{type(error).__name__}: {error}",
+                    backoff_base,
+                    max_backoff,
+                )
+                continue
+            stop.set()
+            beat.join()
+            store.save_links(ticket.job_id, links)
+            try:
+                store.transition(
+                    ticket.job_id,
+                    "succeeded",
+                    expect="running",
+                    expect_worker=worker_id,
+                    stats=stats,
+                    result=result,
+                    error=None,
+                    heartbeat_at=time.time(),
+                )
+            except (StaleJob, InvalidTransition):
+                # Lease reaped mid-run and the job retried elsewhere.
+                # Links are deterministic, so the other attempt writes
+                # the identical result; this one just steps aside.
+                pass
+            queue.ack(ticket)
+    finally:
+        runner.close()
+        write_worker_heartbeat(root, worker_id, processed)
+    return processed
+
+
+def _heartbeat_loop(
+    store: JobStore,
+    job_id: str,
+    worker_id: str,
+    stop: threading.Event,
+    interval: float,
+) -> None:
+    """Background liveness updates while a job executes; exits as soon
+    as the job is no longer this worker's (reaped lease)."""
+    while not stop.wait(interval):
+        if not store.heartbeat(job_id, worker_id):
+            return
+
+
+def _handle_failure(
+    store: JobStore,
+    queue: QueueBackend,
+    ticket: ClaimTicket,
+    record: JobRecord,
+    worker_id: str,
+    error: str,
+    backoff_base: float,
+    max_backoff: float,
+) -> None:
+    """Terminal-or-retry bookkeeping after an execution exception."""
+    if record.attempts >= record.max_attempts:
+        try:
+            store.transition(
+                ticket.job_id,
+                "failed",
+                expect="running",
+                expect_worker=worker_id,
+                error=error,
+            )
+        except (StaleJob, InvalidTransition):
+            pass
+        queue.ack(ticket)
+        return
+    delay = _backoff(record.attempts, backoff_base, max_backoff)
+    not_before = time.time() + delay
+    try:
+        store.transition(
+            ticket.job_id,
+            "queued",
+            expect="running",
+            expect_worker=worker_id,
+            error=error,
+            not_before=not_before,
+            worker=None,
+            heartbeat_at=None,
+        )
+    except (StaleJob, InvalidTransition):
+        queue.ack(ticket)
+        return
+    queue.release(ticket, not_before=not_before)

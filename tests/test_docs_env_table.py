@@ -1,0 +1,59 @@
+"""The docs environment-variable table stays in sync with the code.
+
+``docs/index.md`` carries the single reference table of every
+``REPRO_*`` environment variable the system reads. This meta-test
+scans the source tree for ``REPRO_[A-Z_]+`` tokens and asserts the
+two sets are identical — adding an ambient knob without documenting
+it fails CI, as does documenting one that no longer exists. A second
+check keeps the docs manual's relative links resolvable.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+SRC = REPO / "src"
+
+ENV_VAR = re.compile(r"REPRO_[A-Z][A-Z_]*")
+
+
+def _documented_variables() -> set[str]:
+    """Variable names from the index table's first column."""
+    names: set[str] = set()
+    for line in (DOCS / "index.md").read_text().splitlines():
+        match = re.match(r"\|\s*`(REPRO_[A-Z_]+)`\s*\|", line)
+        if match:
+            names.add(match.group(1))
+    return names
+
+
+def _source_variables() -> set[str]:
+    """Every REPRO_* token read anywhere under src/."""
+    names: set[str] = set()
+    for path in SRC.rglob("*.py"):
+        names.update(ENV_VAR.findall(path.read_text()))
+    return names
+
+
+def test_env_table_matches_source():
+    documented = _documented_variables()
+    in_source = _source_variables()
+    assert documented, "no REPRO_* rows parsed from docs/index.md"
+    missing = in_source - documented
+    stale = documented - in_source
+    assert not missing, f"env vars read by src/ but absent from docs/index.md: {sorted(missing)}"
+    assert not stale, f"env vars documented but never read by src/: {sorted(stale)}"
+
+
+def test_docs_cross_links_resolve():
+    """Every relative .md link inside docs/ points at a real file."""
+    link = re.compile(r"\]\(([A-Za-z0-9_./-]+\.md)(?:#[A-Za-z0-9_-]+)?\)")
+    broken: list[str] = []
+    for page in sorted(DOCS.glob("*.md")):
+        for target in link.findall(page.read_text()):
+            if not (DOCS / target).exists():
+                broken.append(f"{page.name} -> {target}")
+    assert not broken, f"broken docs links: {broken}"

@@ -22,6 +22,7 @@ FAST_EXAMPLES = (
     "custom_operators.py",
     "silk_interop.py",
     "baseline_comparison.py",
+    "service_quickstart.py",
 )
 
 
