@@ -99,6 +99,11 @@ class EngineStats:
     #: build — the incremental benchmark gates on this ratio.
     index_builds: int = 0
     index_patches: int = 0
+    #: Degradations recorded this session: human-readable reasons the
+    #: persistent store's circuit breaker tripped (empty when the disk
+    #: behaved or no store is configured). Surfaced onward through
+    #: ``MatchStats.degraded`` and service health.
+    degraded: tuple[str, ...] = ()
 
     @property
     def last_comparison_reuse(self) -> float | None:
@@ -419,6 +424,9 @@ class EngineSession:
             kernel_routing=self._string_memo.routing(),
             index_builds=self._index_builds,
             index_patches=self._index_patches,
+            degraded=(
+                self._store.trip_reasons() if self._store is not None else ()
+            ),
         )
 
     def generation_diffs(self) -> "tuple[GenerationDiff, ...]":

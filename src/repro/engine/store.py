@@ -57,7 +57,20 @@ as ``invalid``, deleted and rebuilt — never a crash.
 
 The store never raises for storage faults: a failed load is a miss and
 a failed save is skipped, so a read-only or full cache directory
-degrades to cold-cache behaviour.
+degrades to cold-cache behaviour. Two kinds of fault are told apart:
+a *corrupt* blob (unreadable header, truncated data, wrong shape) is
+deleted so the rebuilt column can replace it, while a *transient* I/O
+error (``EIO``, ``ENOSPC``, an injected fault) leaves the blob alone —
+deleting a healthy file because the disk hiccuped would turn a
+transient fault into permanent cache loss. Transient faults feed a
+:class:`~repro.faults.CircuitBreaker`: after enough consecutive
+failures the store stops touching the disk entirely (every operation
+becomes a fast miss / skipped write), re-probing it after a cooldown,
+and the trip is surfaced through :class:`StoreStats` and session/match
+stats as a recorded degradation. All disk entry points run through
+:func:`repro.faults.fire` injection seams (``store.read``,
+``store.write``, ``store.rename``), which are inert without a
+``REPRO_FAULTS`` plan.
 """
 
 from __future__ import annotations
@@ -74,6 +87,9 @@ from pathlib import Path
 from typing import Iterator, Mapping, Sequence
 
 import numpy as np
+
+from repro import faults
+from repro.faults import CircuitBreaker
 
 #: Environment variable selecting the cache directory when no store is
 #: configured explicitly (absent or empty means "no persistent tier").
@@ -124,6 +140,13 @@ class StoreStats:
     probe_misses: int = 0
     probe_writes: int = 0
     probe_invalid: int = 0
+    #: Transient I/O faults (EIO/ENOSPC/injected) across all tiers —
+    #: distinct from ``invalid``: a transient fault never deletes the
+    #: blob, it just degrades that operation.
+    io_faults: int = 0
+    #: Times the store's circuit breaker opened (disk bypassed until
+    #: the cooldown half-opens it).
+    breaker_trips: int = 0
 
     @property
     def lookups(self) -> int:
@@ -166,6 +189,8 @@ class StoreStats:
             probe_misses=self.probe_misses - baseline.probe_misses,
             probe_writes=self.probe_writes - baseline.probe_writes,
             probe_invalid=self.probe_invalid - baseline.probe_invalid,
+            io_faults=self.io_faults - baseline.io_faults,
+            breaker_trips=self.breaker_trips - baseline.breaker_trips,
         )
 
     @staticmethod
@@ -188,6 +213,8 @@ class StoreStats:
             probe_misses=sum(s.probe_misses for s in snapshots),
             probe_writes=sum(s.probe_writes for s in snapshots),
             probe_invalid=sum(s.probe_invalid for s in snapshots),
+            io_faults=sum(s.io_faults for s in snapshots),
+            breaker_trips=sum(s.breaker_trips for s in snapshots),
         )
 
 
@@ -256,14 +283,21 @@ class ColumnStore:
     lives on a filesystem with poor mmap behaviour.
     """
 
-    def __init__(self, root: str | os.PathLike, mmap: bool = True):
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        mmap: bool = True,
+        breaker: CircuitBreaker | None = None,
+    ):
         self._root = Path(root).expanduser()
         self._columns_dir = self._root / f"columns-v{STORE_FORMAT_VERSION}"
         self._indexes_dir = self._root / f"indexes-v{INDEX_FORMAT_VERSION}"
         self._probes_dir = self._root / f"probes-v{PROBE_FORMAT_VERSION}"
         self._epochs_dir = self._root / f"epochs-v{EPOCH_FORMAT_VERSION}"
         self._mmap = mmap
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         self._lock = threading.Lock()
+        self._io_faults = 0
         self._hits = 0
         self._misses = 0
         self._writes = 0
@@ -296,6 +330,18 @@ class ColumnStore:
     def _epoch_path(self, key: str) -> Path:
         return self._epochs_dir / key[:2] / f"{key}.json"
 
+    # -- fault accounting -----------------------------------------------------
+    def _io_fault(self, error: OSError) -> None:
+        """Count a transient disk fault and feed the breaker."""
+        with self._lock:
+            self._io_faults += 1
+        reason = error.strerror or str(error)
+        self.breaker.record_failure(reason)
+
+    def trip_reasons(self) -> tuple[str, ...]:
+        """Every degradation the breaker has recorded (monotonic)."""
+        return self.breaker.trip_reasons()
+
     # -- load / save ----------------------------------------------------------
     def load(self, key: str, rows: int) -> np.ndarray | None:
         """The persisted column for ``key``, or None on a miss.
@@ -304,10 +350,18 @@ class ColumnStore:
         values (memory-mapped by default) and renews the blob's mtime
         for GC recency. Anything unreadable — missing, truncated,
         malformed, wrong shape or dtype — is a miss; corrupt blobs are
-        additionally deleted so the rebuilt column can replace them.
+        additionally deleted so the rebuilt column can replace them,
+        while transient I/O errors leave the blob in place and feed the
+        circuit breaker. With the breaker open the disk is bypassed
+        entirely and every load is a fast miss.
         """
+        if not self.breaker.allow():
+            with self._lock:
+                self._misses += 1
+            return None
         path = self._column_path(key)
         try:
+            faults.fire("store.read")
             if self._mmap:
                 column = np.load(path, mmap_mode="r", allow_pickle=False)
             else:
@@ -315,11 +369,20 @@ class ColumnStore:
         except FileNotFoundError:
             with self._lock:
                 self._misses += 1
+            self.breaker.record_success()
             return None
-        except (ValueError, OSError, EOFError):
+        except (ValueError, EOFError):
             # Unreadable header or truncated data: drop the blob and
             # report a miss so the caller rebuilds (and re-persists) it.
             self._discard_corrupt(path)
+            return None
+        except OSError as error:
+            # Transient disk fault: the blob may be perfectly healthy,
+            # so never delete it — degrade this lookup to a miss and
+            # let the breaker decide whether to keep trying the disk.
+            with self._lock:
+                self._misses += 1
+            self._io_fault(error)
             return None
         if column.shape != (rows,) or column.dtype != np.float64:
             # Key collision cannot produce this (keys hash the pair
@@ -348,6 +411,7 @@ class ColumnStore:
         with self._lock:
             self._hits += 1
             self._bytes_read += column.nbytes
+        self.breaker.record_success()
         return column
 
     def save(
@@ -364,6 +428,8 @@ class ColumnStore:
         rename wins without a lock. Storage failures return False —
         the engine then simply keeps the column in memory only.
         """
+        if not self.breaker.allow():
+            return False
         path = self._column_path(key)
         column = np.ascontiguousarray(column, dtype=np.float64)
         try:
@@ -374,6 +440,12 @@ class ColumnStore:
             try:
                 with os.fdopen(fd, "wb") as handle:
                     np.save(handle, column)
+                # Injection seams bracket publication: ``store.write``
+                # fires with the temp path (a torn fault truncates it —
+                # the unlink below must keep the torn bytes invisible),
+                # ``store.rename`` fires at the point of no return.
+                faults.fire("store.write", tmp_path=tmp)
+                faults.fire("store.rename")
                 os.replace(tmp, path)
             except BaseException:
                 try:
@@ -382,11 +454,13 @@ class ColumnStore:
                     pass
                 raise
             self._write_sidecar(path, column, meta)
-        except OSError:
+        except OSError as error:
+            self._io_fault(error)
             return False
         with self._lock:
             self._writes += 1
             self._bytes_written += column.nbytes
+        self.breaker.record_success()
         return True
 
     def _write_sidecar(
@@ -438,12 +512,23 @@ class ColumnStore:
         ``index_invalid`` and reported as a miss so the caller rebuilds
         it. A hit renews the blob's mtime for GC recency.
         """
-        path = self._index_path(key)
-        try:
-            blob = path.read_bytes()
-        except OSError:
+        if not self.breaker.allow():
             with self._lock:
                 self._index_misses += 1
+            return None
+        path = self._index_path(key)
+        try:
+            faults.fire("store.read")
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            with self._lock:
+                self._index_misses += 1
+            self.breaker.record_success()
+            return None
+        except OSError as error:
+            with self._lock:
+                self._index_misses += 1
+            self._io_fault(error)
             return None
         try:
             payload = pickle.loads(blob)
@@ -467,6 +552,7 @@ class ColumnStore:
         with self._lock:
             self._index_hits += 1
             self._bytes_read += len(blob)
+        self.breaker.record_success()
         return payload
 
     def save_index(self, key: str, payload: object) -> bool:
@@ -474,6 +560,8 @@ class ColumnStore:
         success). Same publication discipline as :meth:`save`: complete
         temp file + ``os.replace``, deterministic payloads make racing
         writers harmless, storage faults degrade to cold behaviour."""
+        if not self.breaker.allow():
+            return False
         path = self._index_path(key)
         try:
             blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
@@ -487,6 +575,8 @@ class ColumnStore:
             try:
                 with os.fdopen(fd, "wb") as handle:
                     handle.write(blob)
+                faults.fire("store.write", tmp_path=tmp)
+                faults.fire("store.rename")
                 os.replace(tmp, path)
             except BaseException:
                 try:
@@ -494,11 +584,13 @@ class ColumnStore:
                 except OSError:
                     pass
                 raise
-        except OSError:
+        except OSError as error:
+            self._io_fault(error)
             return False
         with self._lock:
             self._index_writes += 1
             self._bytes_written += len(blob)
+        self.breaker.record_success()
         return True
 
     # -- probe-ledger tier ----------------------------------------------------
@@ -512,10 +604,15 @@ class ColumnStore:
         :meth:`record_probe_lookups` after consulting the ledger, so a
         blob-level miss here counts nothing by itself.
         """
+        if not self.breaker.allow():
+            return None
         path = self._probe_path(key)
         try:
             blob = path.read_bytes()
-        except OSError:
+        except FileNotFoundError:
+            return None
+        except OSError as error:
+            self._io_fault(error)
             return None
         try:
             payload = pickle.loads(blob)
@@ -548,6 +645,8 @@ class ColumnStore:
         success). Racing writers may each persist a different superset
         of the entries they loaded; any of them is a valid ledger —
         absent entries are simply re-probed next run."""
+        if not self.breaker.allow():
+            return False
         path = self._probe_path(key)
         try:
             blob = pickle.dumps(dict(payload), protocol=pickle.HIGHEST_PROTOCOL)
@@ -568,7 +667,8 @@ class ColumnStore:
                 except OSError:
                     pass
                 raise
-        except OSError:
+        except OSError as error:
+            self._io_fault(error)
             return False
         with self._lock:
             self._bytes_written += len(blob)
@@ -595,6 +695,8 @@ class ColumnStore:
         ``cache info`` and GC aware of the epoch chain so orphaned
         records age out with everything else.
         """
+        if not self.breaker.allow():
+            return False
         path = self._epoch_path(
             hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()
         )
@@ -613,7 +715,8 @@ class ColumnStore:
                 except OSError:
                     pass
                 raise
-        except OSError:
+        except OSError as error:
+            self._io_fault(error)
             return False
         return True
 
@@ -686,6 +789,7 @@ class ColumnStore:
             "probes": probes,
             "epochs": epochs,
             "bytes": total,
+            "breaker": self.breaker.describe(),
         }
 
     def gc(
@@ -773,6 +877,8 @@ class ColumnStore:
                 probe_misses=self._probe_misses,
                 probe_writes=self._probe_writes,
                 probe_invalid=self._probe_invalid,
+                io_faults=self._io_faults,
+                breaker_trips=self.breaker.trips,
             )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -457,6 +457,7 @@ def _submit(args: argparse.Namespace) -> None:
                 seed=args.seed,
                 upserts=args.upserts,
                 deletes=args.deletes,
+                deadline=args.deadline,
             )
         else:
             if not args.dataset:
@@ -476,12 +477,11 @@ def _submit(args: argparse.Namespace) -> None:
                 spec["rule"] = json.loads(
                     open(args.rule_json, encoding="utf-8").read()
                 )
+            kind = "learn" if args.learn else "link"
             if args.learn:
                 spec["population_size"] = args.population
                 spec["iterations"] = args.iterations
-                record = service.submit("learn", spec)
-            else:
-                record = service.submit("link", spec)
+            record = service.submit(kind, spec, deadline=args.deadline)
         if args.wait and record.state not in ("succeeded", "failed"):
             record = service.wait(record.job_id, timeout=args.timeout)
         print(f"{record.job_id} {record.state}")
@@ -514,6 +514,9 @@ def _job_stats_lines(record) -> list[str]:
                 f"probe_hits={store['probe_hits']} "
                 f"probe_misses={store['probe_misses']}"
             )
+        degraded = stats.get("degraded")
+        if degraded:
+            lines.append(f"  degraded: {'; '.join(degraded)}")
     if record.result:
         summary = {
             key: value
@@ -587,6 +590,20 @@ def _links_cmd(args: argparse.Namespace) -> None:
         links = service.links(args.target)
     for link in links:
         print(f"{link.uid_a}\t{link.uid_b}\t{link.score!r}")
+
+
+def _cancel(args: argparse.Namespace) -> None:
+    """``cancel``: fail a queued job now, or flag a running one."""
+    service = _open_service(args)
+    try:
+        record = service.cancel(args.job_id)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        raise SystemExit(1)
+    if record.state == "running":
+        print(f"{record.job_id} running (cancellation requested)")
+    else:
+        print(f"{record.job_id} {record.state}")
 
 
 def _health(args: argparse.Namespace) -> None:
@@ -806,6 +823,12 @@ def main(argv: list[str] | None = None) -> int:
         help="delta jobs: entities to delete per side (default 5)",
     )
     submit.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock budget; an exceeded budget fails "
+        "the job terminally with error=deadline (default: the "
+        "REPRO_JOB_DEADLINE environment variable, else unbounded)",
+    )
+    submit.add_argument(
         "--wait", action="store_true",
         help="block until the job reaches a terminal state",
     )
@@ -822,6 +845,14 @@ def main(argv: list[str] | None = None) -> int:
         "job_id", nargs="?", default=None,
         help="job to inspect (omit for a table of every job)",
     )
+
+    cancel = subparsers.add_parser(
+        "cancel",
+        help="cancel a queued job immediately or flag a running job "
+        "for cooperative cancellation",
+    )
+    add_service_arguments(cancel)
+    cancel.add_argument("job_id", help="job to cancel")
 
     links = subparsers.add_parser(
         "links", help="print a job's generated links"
@@ -888,6 +919,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _serve,
         "submit": _submit,
         "status": _status,
+        "cancel": _cancel,
         "links": _links_cmd,
         "health": _health,
     }

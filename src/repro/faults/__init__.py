@@ -1,0 +1,46 @@
+"""Deterministic fault injection, cancellation, and degradation.
+
+The robustness toolkit the engine and service share:
+
+* :mod:`repro.faults.plan` — seeded fault schedules (``REPRO_FAULTS``)
+  with :func:`fire` hooks at every I/O seam; inert when unset.
+* :mod:`repro.faults.cancel` — cooperative :class:`CancelToken` /
+  :class:`Cancelled` for per-job deadlines and the ``cancel`` verb.
+* :mod:`repro.faults.breaker` — the store :class:`CircuitBreaker`
+  that degrades a faulting disk to in-memory tiers.
+
+See ``docs/robustness.md`` for the operator-facing story.
+"""
+
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.cancel import Cancelled, CancelToken
+from repro.faults.plan import (
+    FAULTS_ENV,
+    FAULTS_SEED_ENV,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    FiredFault,
+    SITES,
+    active,
+    fire,
+    install,
+    reset_from_env,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "Cancelled",
+    "CancelToken",
+    "FAULTS_ENV",
+    "FAULTS_SEED_ENV",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
+    "FiredFault",
+    "SITES",
+    "active",
+    "fire",
+    "install",
+    "reset_from_env",
+]

@@ -1,0 +1,127 @@
+"""Circuit breaker for the persistent column store.
+
+When the disk under a :class:`~repro.engine.store.ColumnStore` starts
+failing (full, yanked, injected), every cache miss costs a syscall
+error plus a retry on the next key — the store would keep hammering a
+dead disk for the rest of the run. The breaker converts sustained
+I/O failure into an explicit degradation: after ``threshold``
+*consecutive* faults it opens, the store skips disk entirely (the
+session falls back to its in-memory tiers), and the trip reason is
+surfaced through ``StoreStats``/``EngineStats``/``MatchStats`` and
+service health so operators see the degradation instead of a
+mysteriously cold cache.
+
+States follow the classic pattern:
+
+* **closed** — normal operation; consecutive faults are counted, any
+  success resets the count.
+* **open** — disk bypassed. After ``cooldown`` seconds the next
+  :meth:`allow` transitions to half-open.
+* **half-open** — exactly one probe operation is let through; success
+  closes the breaker, another fault re-opens it (and restarts the
+  cooldown).
+
+The clock is injectable so tests drive the cooldown without sleeping.
+Thread-safe: executor threads share one store and hence one breaker.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Trip after ``threshold`` consecutive faults; half-open after
+    ``cooldown`` seconds."""
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown: float = 30.0,
+        clock=time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive = 0
+        self._opened_at: float | None = None
+        self._trips = 0
+        #: Chronological reasons the breaker opened (monotonic; feeds
+        #: the ``degraded`` channel up through MatchStats and health).
+        self._trip_reasons: list[str] = []
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def trips(self) -> int:
+        with self._lock:
+            return self._trips
+
+    def trip_reasons(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._trip_reasons)
+
+    def _maybe_half_open(self) -> None:
+        # Caller holds the lock.
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.cooldown
+        ):
+            self._state = HALF_OPEN
+
+    def allow(self) -> bool:
+        """Whether the next disk operation may proceed.
+
+        In half-open state this admits the probe; if the probe faults,
+        :meth:`record_failure` re-opens the breaker."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state != OPEN
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive = 0
+            if self._state == HALF_OPEN:
+                self._state = CLOSED
+
+    def record_failure(self, reason: str = "io_error") -> None:
+        """Count a disk fault; trip when the threshold is reached or a
+        half-open probe fails."""
+        with self._lock:
+            self._consecutive += 1
+            should_trip = (
+                self._state == HALF_OPEN
+                or (self._state == CLOSED and self._consecutive >= self.threshold)
+            )
+            if should_trip:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._trips += 1
+                self._trip_reasons.append(
+                    f"store breaker open after "
+                    f"{self._consecutive} consecutive faults: {reason}"
+                )
+                self._consecutive = 0
+
+    def describe(self) -> dict:
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state,
+                "threshold": self.threshold,
+                "cooldown": self.cooldown,
+                "consecutive_faults": self._consecutive,
+                "trips": self._trips,
+            }

@@ -1,0 +1,89 @@
+"""Cooperative cancellation with optional deadlines.
+
+A :class:`CancelToken` travels from the job runner (or an inline
+service run) into :meth:`MatchingEngine.iter_links`, which calls
+:meth:`CancelToken.check` at every shard-group boundary — the
+engine's natural preemption points. Cancellation is cooperative:
+nothing is interrupted mid-kernel, so a cancelled run leaves the
+store and job record in the same consistent states a failure would.
+
+Two things cancel a token: an explicit :meth:`cancel` (the operator
+``cancel`` verb, relayed through the job record's
+``cancel_requested`` flag by the worker's heartbeat thread) and an
+expired deadline (seconds from token creation, i.e. from the start of
+the current attempt). Either way :meth:`check` raises
+:class:`Cancelled` with the reason, and the worker records a terminal
+``failed`` state — deadline and cancel failures never retry, since
+re-running a too-slow job would just time out again.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Cancelled(RuntimeError):
+    """Raised by :meth:`CancelToken.check` once a token is cancelled.
+
+    ``reason`` is the short token recorded on the job (``deadline`` or
+    ``cancelled``)."""
+
+    def __init__(self, reason: str):
+        super().__init__(f"run cancelled: {reason}")
+        self.reason = reason
+
+
+class CancelToken:
+    """One attempt's cancellation state.
+
+    Thread-safe: the worker's heartbeat thread cancels while engine
+    threads check.
+    """
+
+    def __init__(self, deadline: float | None = None, clock=time.monotonic):
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
+        self._clock = clock
+        self._started = clock()
+        self.deadline = deadline
+        self._lock = threading.Lock()
+        self._reason: str | None = None
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Mark the token cancelled; the next :meth:`check` raises.
+        The first reason wins."""
+        with self._lock:
+            if self._reason is None:
+                self._reason = reason
+
+    def elapsed(self) -> float:
+        return self._clock() - self._started
+
+    def remaining(self) -> float | None:
+        """Seconds left before the deadline, or ``None`` without one."""
+        if self.deadline is None:
+            return None
+        return self.deadline - self.elapsed()
+
+    @property
+    def reason(self) -> str | None:
+        """The winning cancel reason, or ``None`` while live."""
+        with self._lock:
+            return self._reason
+
+    @property
+    def cancelled(self) -> bool:
+        with self._lock:
+            if self._reason is not None:
+                return True
+        remaining = self.remaining()
+        if remaining is not None and remaining <= 0:
+            self.cancel("deadline")
+            return True
+        return False
+
+    def check(self) -> None:
+        """Raise :class:`Cancelled` if cancelled or past deadline."""
+        if self.cancelled:
+            raise Cancelled(self._reason)

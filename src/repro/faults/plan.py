@@ -1,0 +1,350 @@
+"""Deterministic fault plans: what breaks, where, and when.
+
+A :class:`FaultPlan` is a parsed ``REPRO_FAULTS`` value — a
+semicolon-separated list of fault rules, each binding one *injection
+site* (a named I/O seam the engine or service owns) to one fault
+*kind* with a *trigger*::
+
+    store.write:io_error@0.05;queue.claim:delay@0.2:50ms;worker.execute:crash@job=3
+
+Rule grammar (``[]`` optional)::
+
+    <site>:<kind>[@<trigger>][:<arg>]
+
+* ``site`` — one of :data:`SITES`; unknown sites fail parsing loudly
+  (a typo in a chaos schedule must never silently inject nothing).
+* ``kind`` — ``io_error`` (raise :class:`OSError` at the seam),
+  ``delay`` (sleep, default 10ms or the ``arg`` duration),
+  ``crash`` (SIGKILL the current process — the crash-consistency
+  tests' hammer), ``torn`` (truncate the in-flight temp file, then
+  raise — simulates a write cut short by a disk fault; only
+  meaningful at write seams that pass their temp path).
+* ``trigger`` — a probability (``@0.05``: fire on ~5% of
+  invocations, drawn from a per-rule seeded RNG) or an exact ordinal
+  (``@n=3`` / ``@job=3``: fire on exactly the third invocation of the
+  site in this process). Omitted means ``@1.0`` — every invocation.
+* ``arg`` — kind-specific: a duration (``50ms``, ``0.5s``) for
+  ``delay``, an errno name (``ENOSPC``, ``EIO``) for ``io_error``.
+
+Determinism
+-----------
+Probabilistic triggers draw from one :class:`random.Random` per rule,
+seeded by ``(plan seed, site, kind, rule index)`` — the plan seed
+comes from ``REPRO_FAULTS_SEED`` (default 0). Given the same plan,
+seed and per-site invocation sequence, the same invocations fault, so
+a failing chaos run replays exactly under the same environment. Every
+fired fault is appended to :attr:`FaultPlan.fired` for schedule
+assertions.
+
+Inertness
+---------
+When ``REPRO_FAULTS`` is unset no plan exists and :func:`fire` is a
+module-global ``None`` check — the seams cost one predictable branch
+and inject nothing, which the parity suite gates byte-identically.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import os
+import random
+import signal
+import threading
+import time
+from dataclasses import dataclass
+
+#: Environment variable carrying the fault plan (unset/empty: inert).
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Environment variable seeding the plan's probabilistic triggers.
+FAULTS_SEED_ENV = "REPRO_FAULTS_SEED"
+
+#: Every injection seam the engine and service expose, with the module
+#: that owns it. Parsing validates sites against this set.
+SITES = frozenset(
+    [
+        "store.read",  # ColumnStore blob/index/probe loads
+        "store.write",  # ColumnStore blob/index/probe writes (pre-publish)
+        "store.rename",  # ColumnStore atomic publication (os.replace)
+        "jobs.write",  # JobStore record/link writes (pre-publish)
+        "queue.claim",  # FileQueue ticket claiming
+        "queue.ack",  # FileQueue ticket acking
+        "worker.execute",  # worker loop, between claim and execution
+        "engine.shard",  # MatchingEngine shard-group boundaries
+    ]
+)
+
+#: Fault kinds a rule may inject.
+KINDS = frozenset(["io_error", "delay", "crash", "torn"])
+
+_DEFAULT_DELAY = 0.01  # seconds, when a delay rule names no duration
+
+
+class FaultPlanError(ValueError):
+    """A ``REPRO_FAULTS`` value that does not parse. Raised eagerly so
+    a typo'd chaos schedule fails the run instead of injecting
+    nothing."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One parsed fault rule of a plan."""
+
+    site: str
+    kind: str
+    #: Firing probability per invocation; ``None`` when ``nth`` is set.
+    rate: float | None
+    #: Exact invocation ordinal (1-based) to fire on; ``None`` when
+    #: probabilistic.
+    nth: int | None
+    #: Kind-specific argument (delay duration in seconds, errno value).
+    arg: float | int | None
+
+    def describe(self) -> str:
+        trigger = f"n={self.nth}" if self.nth is not None else f"{self.rate:g}"
+        return f"{self.site}:{self.kind}@{trigger}"
+
+
+def _parse_duration(text: str) -> float:
+    """``50ms``/``0.5s``/bare seconds to a float duration."""
+    text = text.strip().lower()
+    try:
+        if text.endswith("ms"):
+            return float(text[:-2]) / 1000.0
+        if text.endswith("s"):
+            return float(text[:-1])
+        return float(text)
+    except ValueError:
+        raise FaultPlanError(f"unparseable delay duration {text!r}") from None
+
+
+def _parse_errno(text: str) -> int:
+    """An errno name (``ENOSPC``) to its number."""
+    number = getattr(_errno, text.strip().upper(), None)
+    if not isinstance(number, int):
+        raise FaultPlanError(f"unknown errno name {text!r}")
+    return number
+
+
+def _parse_rule(segment: str) -> FaultRule:
+    parts = segment.split(":")
+    if len(parts) < 2 or len(parts) > 3:
+        raise FaultPlanError(
+            f"fault rule {segment!r} is not site:kind[@trigger][:arg]"
+        )
+    site = parts[0].strip()
+    kind_part = parts[1].strip()
+    arg_text = parts[2].strip() if len(parts) == 3 else None
+    if site not in SITES:
+        raise FaultPlanError(
+            f"unknown fault site {site!r}; expected one of {sorted(SITES)}"
+        )
+    kind, _, trigger = kind_part.partition("@")
+    kind = kind.strip()
+    if kind not in KINDS:
+        raise FaultPlanError(
+            f"unknown fault kind {kind!r}; expected one of {sorted(KINDS)}"
+        )
+    rate: float | None = None
+    nth: int | None = None
+    trigger = trigger.strip()
+    if not trigger:
+        rate = 1.0
+    elif "=" in trigger:
+        name, _, value = trigger.partition("=")
+        if name.strip() not in ("n", "job"):
+            raise FaultPlanError(
+                f"unknown trigger {trigger!r}; expected a probability, "
+                f"n=K or job=K"
+            )
+        try:
+            nth = int(value)
+        except ValueError:
+            raise FaultPlanError(f"unparseable ordinal in {trigger!r}") from None
+        if nth < 1:
+            raise FaultPlanError(f"trigger ordinal must be >= 1, got {nth}")
+    else:
+        try:
+            rate = float(trigger)
+        except ValueError:
+            raise FaultPlanError(
+                f"unparseable trigger probability {trigger!r}"
+            ) from None
+        if not 0.0 <= rate <= 1.0:
+            raise FaultPlanError(f"trigger probability {rate} not in [0, 1]")
+    arg: float | int | None = None
+    if arg_text:
+        if kind == "delay":
+            arg = _parse_duration(arg_text)
+        elif kind == "io_error":
+            arg = _parse_errno(arg_text)
+        else:
+            raise FaultPlanError(
+                f"fault kind {kind!r} takes no argument, got {arg_text!r}"
+            )
+    return FaultRule(site=site, kind=kind, rate=rate, nth=nth, arg=arg)
+
+
+@dataclass(frozen=True)
+class FiredFault:
+    """One injected fault, as recorded in :attr:`FaultPlan.fired`."""
+
+    site: str
+    kind: str
+    #: 1-based invocation ordinal of the site when this rule fired.
+    invocation: int
+
+
+class FaultPlan:
+    """A parsed, seeded fault schedule.
+
+    Thread-safe: seams fire from engine executor threads and worker
+    heartbeat threads; counters and RNG draws happen under one lock.
+    """
+
+    def __init__(self, rules: list[FaultRule], seed: int = 0):
+        self.rules = tuple(rules)
+        self.seed = seed
+        self._lock = threading.Lock()
+        #: Per-rule invocation counters (a rule counts invocations of
+        #: its own site).
+        self._counts = [0] * len(self.rules)
+        self._rngs = [
+            random.Random(f"{seed}\x1f{rule.site}\x1f{rule.kind}\x1f{index}")
+            for index, rule in enumerate(self.rules)
+        ]
+        #: Chronological record of every fault injected (for replay
+        #: assertions; appended under the lock).
+        self.fired: list[FiredFault] = []
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "FaultPlan":
+        """Parse a ``REPRO_FAULTS`` value; raises
+        :class:`FaultPlanError` on any malformed rule."""
+        rules = []
+        for segment in text.split(";"):
+            segment = segment.strip()
+            if not segment:
+                continue
+            rules.append(_parse_rule(segment))
+        if not rules:
+            raise FaultPlanError(f"fault plan {text!r} contains no rules")
+        return cls(rules, seed=seed)
+
+    def describe(self) -> str:
+        return ";".join(rule.describe() for rule in self.rules)
+
+    def fire(self, site: str, tmp_path: str | os.PathLike | None = None) -> None:
+        """Inject whatever the plan schedules for this invocation of
+        ``site``. Called by the seams; raising is the injection."""
+        pending: list[tuple[FaultRule, int]] = []
+        with self._lock:
+            for index, rule in enumerate(self.rules):
+                if rule.site != site:
+                    continue
+                self._counts[index] += 1
+                count = self._counts[index]
+                if rule.nth is not None:
+                    hit = count == rule.nth
+                else:
+                    hit = self._rngs[index].random() < rule.rate
+                if hit:
+                    self.fired.append(FiredFault(site, rule.kind, count))
+                    pending.append((rule, count))
+        for rule, count in pending:
+            self._trigger(rule, count, tmp_path)
+
+    def _trigger(
+        self,
+        rule: FaultRule,
+        invocation: int,
+        tmp_path: str | os.PathLike | None,
+    ) -> None:
+        if rule.kind == "delay":
+            time.sleep(rule.arg if rule.arg is not None else _DEFAULT_DELAY)
+            return
+        if rule.kind == "io_error":
+            code = rule.arg if rule.arg is not None else _errno.EIO
+            name = _errno.errorcode.get(code, str(code))
+            raise OSError(
+                code,
+                f"injected {name} at {rule.describe()} "
+                f"(invocation {invocation})",
+            )
+        if rule.kind == "torn":
+            # Simulate a write cut short by power loss / disk fault:
+            # truncate the still-unpublished temp file, then fail the
+            # write. The atomicity discipline must ensure the torn
+            # bytes are never renamed into place.
+            if tmp_path is not None:
+                try:
+                    size = os.path.getsize(tmp_path)
+                    with open(tmp_path, "r+b") as handle:
+                        handle.truncate(max(0, size // 2))
+                except OSError:
+                    pass
+            raise OSError(
+                _errno.EIO,
+                f"injected torn write {rule.describe()} "
+                f"(invocation {invocation})",
+            )
+        if rule.kind == "crash":
+            # A real crash: no cleanup, no atexit, no finally blocks.
+            os.kill(os.getpid(), signal.SIGKILL)
+            time.sleep(60)  # pragma: no cover - the signal always lands
+        raise AssertionError(f"unhandled fault kind {rule.kind!r}")
+
+
+#: The process-wide active plan. Resolved from the environment exactly
+#: once at import (worker subprocesses inherit the environment before
+#: importing anything); tests swap it with :func:`install`.
+_PLAN: FaultPlan | None = None
+
+
+def _plan_from_env() -> FaultPlan | None:
+    text = os.environ.get(FAULTS_ENV, "").strip()
+    if not text:
+        return None
+    seed_text = os.environ.get(FAULTS_SEED_ENV, "0").strip() or "0"
+    try:
+        seed = int(seed_text)
+    except ValueError:
+        raise FaultPlanError(
+            f"{FAULTS_SEED_ENV} must be an integer, got {seed_text!r}"
+        ) from None
+    return FaultPlan.parse(text, seed=seed)
+
+
+def active() -> FaultPlan | None:
+    """The process-wide fault plan, or ``None`` (inert)."""
+    return _PLAN
+
+
+def install(plan: FaultPlan | None) -> FaultPlan | None:
+    """Swap the active plan (tests); returns the previous plan."""
+    global _PLAN
+    previous = _PLAN
+    _PLAN = plan
+    return previous
+
+
+def reset_from_env() -> FaultPlan | None:
+    """Re-resolve the plan from the environment (tests that set
+    ``REPRO_FAULTS`` after import); returns the new plan."""
+    plan = _plan_from_env()
+    install(plan)
+    return plan
+
+
+def fire(site: str, tmp_path: str | os.PathLike | None = None) -> None:
+    """The seam entry point: inject scheduled faults for ``site``.
+
+    With no active plan this is one global load and a ``None`` check —
+    the zero-overhead guarantee the inertness suite gates on.
+    """
+    plan = _PLAN
+    if plan is not None:
+        plan.fire(site, tmp_path=tmp_path)
+
+
+_PLAN = _plan_from_env()

@@ -39,8 +39,10 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from repro import faults
 from repro.core.rule import MATCH_THRESHOLD, LinkageRule
 from repro.core.nodes import SimilarityNode
+from repro.faults import CancelToken
 from repro.data.entity import Entity
 from repro.data.source import DataSource
 from repro.distances.strings import routing_delta, routing_merged
@@ -158,6 +160,12 @@ class MatchStats:
     #: epoch (the incremental path's reuse signal).
     index_builds: int = 0
     index_patches: int = 0
+    #: Degradations recorded during this run: human-readable reasons
+    #: the persistent store's circuit breaker tripped (union across
+    #: worker sessions on process pools, sorted and deduplicated).
+    #: Empty on healthy runs; the service copies this into job stats
+    #: and health reports.
+    degraded: tuple[str, ...] = ()
 
     @property
     def value_stats(self) -> CacheStats | None:
@@ -390,10 +398,11 @@ class MatchingEngine:
         rule: LinkageRule,
         source_a: DataSource,
         source_b: DataSource,
+        cancel: CancelToken | None = None,
     ) -> list[GeneratedLink]:
         """All links the rule generates between the two sources,
         sorted by descending score."""
-        links = list(self.iter_links(rule, source_a, source_b))
+        links = list(self.iter_links(rule, source_a, source_b, cancel=cancel))
         links.sort(key=lambda link: (-link.score, link.uid_a, link.uid_b))
         return links
 
@@ -402,6 +411,7 @@ class MatchingEngine:
         rule: LinkageRule,
         source_a: DataSource,
         source_b: DataSource,
+        cancel: CancelToken | None = None,
     ) -> Iterator[GeneratedLink]:
         """Stream links batch by batch (memory-bounded).
 
@@ -419,6 +429,14 @@ class MatchingEngine:
         store's index tier. On process pools, scoring runs in
         per-worker sessions while blocking indexes are built in a
         parent-side session that persists across the engine's runs.
+
+        ``cancel`` enables cooperative cancellation: the token is
+        checked at every shard-group boundary (the engine's natural
+        preemption points — nothing is interrupted mid-kernel), so a
+        deadline or an operator cancel raises
+        :class:`~repro.faults.Cancelled` between groups and the
+        session/store are left in the same consistent state any other
+        failure would leave them in.
         """
         session = self._run_session()
         baseline = session.stats()
@@ -428,7 +446,9 @@ class MatchingEngine:
         shards = blocker.iter_shards(
             source_a, source_b, self._batch_size, session=session
         )
-        for batch, scores in self._scored_batches(session, rule, shards, state):
+        for batch, scores in self._scored_batches(
+            session, rule, shards, state, cancel=cancel
+        ):
             batches += 1
             pairs += len(batch)
             for (entity_a, entity_b), score in zip(batch, scores):
@@ -447,6 +467,7 @@ class MatchingEngine:
         previous_links: "Iterable[GeneratedLink]",
         deltas_a: "Iterable" = (),
         deltas_b: "Iterable" = (),
+        cancel: CancelToken | None = None,
     ) -> LinkDiff:
         """Incrementally re-derive the link set after source deltas.
 
@@ -487,7 +508,7 @@ class MatchingEngine:
         else:
             affected = frozenset()
         if affected is None:
-            links = list(self.execute(rule, source_a, source_b))
+            links = list(self.execute(rule, source_a, source_b, cancel=cancel))
             stats = self._last_stats
             aff = None
             kept: list[GeneratedLink] = []
@@ -506,7 +527,7 @@ class MatchingEngine:
                 source_a, source_b, aff, self._batch_size, session=session
             )
             for batch, scores in self._scored_batches(
-                session, rule, shards, state
+                session, rule, shards, state, cancel=cancel
             ):
                 batches += 1
                 pairs += len(batch)
@@ -597,17 +618,26 @@ class MatchingEngine:
         rule: LinkageRule,
         shards,
         state: _RunState,
+        cancel: CancelToken | None = None,
     ) -> Iterator[tuple[list[tuple[Entity, Entity]], np.ndarray]]:
         """Score a shard stream across the executor, yielding
         ``(batch, score_vector)`` in stream order — groups of
         ``state.depth`` shards are in flight at a time, map preserves
         submission order within a group, so concatenation reproduces
         the serial emission order whatever the worker count. Shard
-        durations feed the adaptive window between groups."""
+        durations feed the adaptive window between groups.
+
+        Each group boundary is both a cancellation point
+        (``cancel.check()``) and the ``engine.shard`` fault-injection
+        seam — together they bound how long a hung or doomed run can
+        keep computing to one in-flight group."""
         executor = self._executor
         shard_cache_dir = self._shard_cache_dir()
         stream = iter(shards)
         while True:
+            if cancel is not None:
+                cancel.check()
+            faults.fire("engine.shard")
             group = list(islice(stream, state.depth))
             if not group:
                 return
@@ -694,6 +724,18 @@ class MatchingEngine:
                     for s, b in deltas
                 ]
             )
+            # Trip reasons are monotonic per session: this run's
+            # degradations are whatever each session appended past its
+            # baseline, deduplicated across workers.
+            degraded = tuple(
+                sorted(
+                    {
+                        reason
+                        for s, b in deltas
+                        for reason in s.degraded[len(b.degraded) if b else 0 :]
+                    }
+                )
+            )
             self._worker_baselines.update(state.worker_stats)
         else:
             stats = session.stats()
@@ -712,6 +754,9 @@ class MatchingEngine:
             kernel_routing = routing_delta(
                 stats.kernel_routing, baseline.kernel_routing
             )
+            degraded = tuple(
+                sorted(set(stats.degraded[len(baseline.degraded) :]))
+            )
         return MatchStats(
             batches=batches,
             pairs=pairs,
@@ -726,6 +771,7 @@ class MatchingEngine:
             window_depth=state.depth,
             index_builds=index_builds,
             index_patches=index_patches,
+            degraded=degraded,
         )
 
     def _shard_cache_dir(self) -> str | None:

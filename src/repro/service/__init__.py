@@ -21,6 +21,7 @@ links, no workers required.
 from repro.service.jobs import (
     JOB_KINDS,
     JOB_STATES,
+    CorruptRecord,
     InvalidTransition,
     JobRecord,
     JobStore,
@@ -28,21 +29,25 @@ from repro.service.jobs import (
 )
 from repro.service.queue import (
     QUEUE_ENV,
+    REDIS_URL_ENV,
     ClaimTicket,
     FileQueue,
     QueueBackend,
     RedisQueue,
     resolve_queue,
 )
-from repro.service.service import SERVICE_DIR_ENV, LinkageService
+from repro.service.service import DEADLINE_ENV, SERVICE_DIR_ENV, LinkageService
 from repro.service.worker import JobRunner, recover_stale, run_worker
 
 __all__ = [
+    "DEADLINE_ENV",
     "JOB_KINDS",
     "JOB_STATES",
     "QUEUE_ENV",
+    "REDIS_URL_ENV",
     "SERVICE_DIR_ENV",
     "ClaimTicket",
+    "CorruptRecord",
     "FileQueue",
     "InvalidTransition",
     "JobRecord",

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro import faults
 from repro.matching.engine import GeneratedLink, MatchStats
 
 #: Lifecycle states of a job record.
@@ -62,6 +63,14 @@ class InvalidTransition(RuntimeError):
 class StaleJob(RuntimeError):
     """The record on disk no longer matches the expected state/owner —
     another process (a retry after a reaped lease) took the job over."""
+
+
+class CorruptRecord(RuntimeError):
+    """A job record that persistently fails to parse. With atomic
+    publication this should be unreachable — seeing it means the
+    storage layer broke its rename guarantee (or something external
+    damaged the file), so it is surfaced loudly rather than treated as
+    an unknown job."""
 
 
 @dataclass
@@ -95,6 +104,16 @@ class JobRecord:
     error: str | None = None
     stats: dict | None = None
     result: dict | None = None
+    #: Per-attempt wall-clock budget in seconds (None: unbounded). The
+    #: worker arms a :class:`~repro.faults.CancelToken` with it; an
+    #: expired deadline is a terminal ``running -> failed`` transition
+    #: with ``error="deadline"`` — never a retry, a too-slow job would
+    #: just time out again.
+    deadline: float | None = None
+    #: Operator cancellation flag (the ``cancel`` verb). The executing
+    #: worker's heartbeat loop observes it and cancels the run at the
+    #: next shard boundary.
+    cancel_requested: bool = False
 
     def to_payload(self) -> dict:
         """JSON-safe dict form of this record."""
@@ -129,6 +148,10 @@ def _atomic_write_json(path: Path, payload) -> None:
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, separators=(",", ":"))
+        # The ``jobs.write`` seam sits between content and publication:
+        # an injected torn/ENOSPC fault here must leave the previous
+        # record intact (the unlink below discards the temp file).
+        faults.fire("jobs.write", tmp_path=tmp)
         os.replace(tmp, path)
     except BaseException:
         try:
@@ -160,12 +183,16 @@ class JobStore:
         spec: dict,
         max_attempts: int = 3,
         job_id: str | None = None,
+        deadline: float | None = None,
     ) -> JobRecord:
-        """Create and persist a new queued job record."""
+        """Create and persist a new queued job record. ``deadline``
+        bounds each attempt's wall-clock seconds (None: unbounded)."""
         if kind not in JOB_KINDS:
             raise ValueError(f"unknown job kind {kind!r}; expected {JOB_KINDS}")
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
         now = time.time()
         record = JobRecord(
             job_id=job_id or f"job-{uuid.uuid4().hex[:12]}",
@@ -174,6 +201,7 @@ class JobStore:
             max_attempts=max_attempts,
             created_at=now,
             updated_at=now,
+            deadline=deadline,
         )
         if self._record_path(record.job_id).exists():
             raise ValueError(f"job id {record.job_id!r} already exists")
@@ -188,13 +216,27 @@ class JobStore:
         )
 
     def get(self, job_id: str) -> JobRecord:
-        """Load one record; raises ``KeyError`` for unknown ids."""
+        """Load one record; raises ``KeyError`` for unknown ids.
+
+        A parse failure is retried once (pure paranoia — atomic
+        renames mean readers should never see partial JSON) and then
+        surfaced as :class:`CorruptRecord`, not swallowed: a record
+        that exists but cannot be read is an integrity violation the
+        operator must see."""
         path = self._record_path(job_id)
-        try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except FileNotFoundError:
-            raise KeyError(f"unknown job {job_id!r}") from None
-        return JobRecord.from_payload(payload)
+        last_error: ValueError | None = None
+        for _ in range(2):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except FileNotFoundError:
+                raise KeyError(f"unknown job {job_id!r}") from None
+            except ValueError as error:
+                last_error = error
+                continue
+            return JobRecord.from_payload(payload)
+        raise CorruptRecord(
+            f"job record {job_id!r} at {path} is unreadable: {last_error}"
+        )
 
     def job_ids(self) -> list[str]:
         """All known job ids, sorted."""
@@ -212,6 +254,10 @@ class JobStore:
             try:
                 yield self.get(job_id)
             except KeyError:  # pragma: no cover - deleted mid-iteration
+                continue
+            except CorruptRecord:
+                # Aggregate views stay usable with one damaged record;
+                # a direct ``get`` of that id still raises loudly.
                 continue
 
     def state_counts(self) -> dict[str, int]:
@@ -262,18 +308,41 @@ class JobStore:
         self.save(record)
         return record
 
-    def heartbeat(self, job_id: str, worker: str) -> bool:
-        """Refresh a running job's liveness signal; returns ``False``
-        (without writing) when the job is no longer this worker's."""
+    def request_cancel(self, job_id: str) -> JobRecord:
+        """Flag a running job for cooperative cancellation.
+
+        The executing worker's heartbeat loop sees the flag and cancels
+        the run at its next shard boundary. Raises ``ValueError`` for
+        jobs not currently running (queued jobs are cancelled by the
+        service via a direct ``queued -> failed`` transition; terminal
+        jobs have nothing to cancel)."""
+        record = self.get(job_id)
+        if record.state != "running":
+            raise ValueError(
+                f"job {job_id} is {record.state!r}; only running jobs "
+                f"take a cancel request"
+            )
+        record.cancel_requested = True
+        self.save(record)
+        return record
+
+    def heartbeat(self, job_id: str, worker: str) -> JobRecord | None:
+        """Refresh a running job's liveness signal; returns the fresh
+        record, or ``None`` (without writing) when the job is no longer
+        this worker's. A transient write failure still returns the
+        record — liveness is best-effort and the next beat retries."""
         try:
             record = self.get(job_id)
-        except KeyError:
-            return False
+        except (KeyError, CorruptRecord):
+            return None
         if record.state != "running" or record.worker != worker:
-            return False
+            return None
         record.heartbeat_at = time.time()
-        self.save(record)
-        return True
+        try:
+            self.save(record)
+        except OSError:
+            pass
+        return record
 
     # -- links -------------------------------------------------------------
     def save_links(self, job_id: str, links: Iterable[GeneratedLink]) -> int:

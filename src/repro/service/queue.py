@@ -28,10 +28,24 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro import faults
+
 #: Environment variable selecting the queue backend when a service is
 #: constructed without an explicit ``queue=`` (values: ``file`` — the
 #: default — ``redis``, ``inline``/``none`` to force inline execution).
 QUEUE_ENV = "REPRO_SERVICE_QUEUE"
+
+#: Environment variable naming a live redis server url. Doubles as the
+#: :class:`RedisQueue` default url and as the integration-test gate
+#: (``tests/test_redis_queue.py`` skips cleanly when unset).
+REDIS_URL_ENV = "REPRO_TEST_REDIS_URL"
+
+#: Fallback url when neither an argument nor the environment names one.
+_DEFAULT_REDIS_URL = "redis://localhost:6379/0"
+
+
+def _default_redis_url() -> str:
+    return os.environ.get(REDIS_URL_ENV, "").strip() or _DEFAULT_REDIS_URL
 
 
 @dataclass(frozen=True)
@@ -120,6 +134,7 @@ class FileQueue(QueueBackend):
             handle.write(job_id)
 
     def claim(self, worker_id: str) -> ClaimTicket | None:
+        faults.fire("queue.claim")
         now_ms = int(time.time() * 1000)
         for path in sorted(self._ready.iterdir()):
             not_before_ms, _, job_id = self._parse(path.name)
@@ -138,6 +153,7 @@ class FileQueue(QueueBackend):
         return None
 
     def ack(self, ticket: ClaimTicket) -> None:
+        faults.fire("queue.ack")
         try:
             os.unlink(ticket.token)
         except FileNotFoundError:
@@ -200,25 +216,30 @@ class RedisQueue(QueueBackend):
 
     name = "redis"
 
-    def __init__(self, url: str = "redis://localhost:6379/0", prefix: str = "repro"):
+    def __init__(self, url: str | None = None, prefix: str = "repro"):
         module = _redis_module()
         if module is None:
             raise RuntimeError(
                 "the redis package is not installed; use the file queue "
                 "or inline execution"
             )
+        if url is None:
+            url = _default_redis_url()
         self._redis = module.Redis.from_url(url, decode_responses=True)
         self._ready_key = f"{prefix}:queue:ready"
         self._claimed_prefix = f"{prefix}:queue:claimed:"
         self._redis.ping()
 
     @classmethod
-    def available(cls, url: str = "redis://localhost:6379/0") -> bool:
+    def available(cls, url: str | None = None) -> bool:
         """Whether this backend can run here (package importable and
-        server reachable) — the degradation probe."""
+        server reachable) — the degradation probe. ``url=None``
+        consults :data:`REDIS_URL_ENV` before the localhost default."""
         module = _redis_module()
         if module is None:
             return False
+        if url is None:
+            url = _default_redis_url()
         try:
             module.Redis.from_url(url, socket_connect_timeout=0.5).ping()
         except Exception:
@@ -231,6 +252,7 @@ class RedisQueue(QueueBackend):
         self._redis.lpush(self._ready_key, f"{not_before!r}|{job_id}")
 
     def claim(self, worker_id: str) -> ClaimTicket | None:
+        faults.fire("queue.claim")
         claimed_key = self._claimed_prefix + worker_id
         entry = self._redis.rpoplpush(self._ready_key, claimed_key)
         if entry is None:
@@ -248,6 +270,7 @@ class RedisQueue(QueueBackend):
         return ClaimTicket(job_id=job_id, token=f"{claimed_key}|{entry}")
 
     def ack(self, ticket: ClaimTicket) -> None:
+        faults.fire("queue.ack")
         claimed_key, _, entry = ticket.token.partition("|")
         self._redis.lrem(claimed_key, 1, entry)
 

@@ -17,10 +17,12 @@ assert.
 from __future__ import annotations
 
 import os
+import random
 import time
 from pathlib import Path
 
 from repro.engine.store import CACHE_ENV, ColumnStore
+from repro.faults import Cancelled, CancelToken
 from repro.matching.engine import GeneratedLink
 from repro.service.jobs import JobRecord, JobStore
 from repro.service.queue import QueueBackend, resolve_queue
@@ -34,6 +36,23 @@ from repro.service.worker import (
 #: Environment variable naming the default service directory (job
 #: records, queue tickets, worker heartbeats) when none is passed.
 SERVICE_DIR_ENV = "REPRO_SERVICE_DIR"
+
+#: Environment variable setting the default per-attempt deadline in
+#: seconds for submitted jobs (unset/empty: unbounded). An explicit
+#: ``deadline=`` argument wins.
+DEADLINE_ENV = "REPRO_JOB_DEADLINE"
+
+
+def _resolve_deadline(deadline: float | None) -> float | None:
+    if deadline is not None:
+        return deadline
+    text = os.environ.get(DEADLINE_ENV, "").strip()
+    if not text:
+        return None
+    value = float(text)
+    if value <= 0:
+        raise ValueError(f"{DEADLINE_ENV} must be positive, got {text!r}")
+    return value
 
 
 def _resolve_root(root: str | os.PathLike | None) -> Path:
@@ -110,7 +129,9 @@ class LinkageService:
         self.close()
 
     # -- submission --------------------------------------------------------
-    def submit(self, kind: str, spec: dict) -> JobRecord:
+    def submit(
+        self, kind: str, spec: dict, deadline: float | None = None
+    ) -> JobRecord:
         """Create a job and hand it to the execution mode in force.
 
         With a queue: the record is persisted ``queued`` and a ticket
@@ -118,9 +139,17 @@ class LinkageService:
         through the identical lifecycle (``queued -> running ->
         succeeded``/``failed``) in this process before returning, so
         callers poll and fetch exactly as they would against workers.
+
+        ``deadline`` bounds each attempt's wall-clock seconds
+        (``None`` consults ``REPRO_JOB_DEADLINE``, then unbounded); an
+        exceeded deadline fails the job terminally with
+        ``error="deadline"``.
         """
         record = self.store.create(
-            kind, spec, max_attempts=self._max_attempts
+            kind,
+            spec,
+            max_attempts=self._max_attempts,
+            deadline=_resolve_deadline(deadline),
         )
         if self.queue is not None:
             self.queue.submit(record.job_id)
@@ -133,13 +162,14 @@ class LinkageService:
         seed: int = 0,
         scale: float = 1.0,
         rule: dict | None = None,
+        deadline: float | None = None,
     ) -> JobRecord:
         """Submit a link-generation job over a bundled dataset (the
         per-dataset gate rule when ``rule`` is ``None``)."""
         spec: dict = {"dataset": dataset, "seed": seed, "scale": scale}
         if rule is not None:
             spec["rule"] = rule
-        return self.submit("link", spec)
+        return self.submit("link", spec, deadline=deadline)
 
     def submit_delta(
         self,
@@ -147,6 +177,7 @@ class LinkageService:
         seed: int = 0,
         upserts: int = 0,
         deletes: int = 0,
+        deadline: float | None = None,
     ) -> JobRecord:
         """Submit an incremental job re-deriving a parent job's links
         after a reproducible random source delta."""
@@ -158,11 +189,14 @@ class LinkageService:
                 "upserts": upserts,
                 "deletes": deletes,
             },
+            deadline=deadline,
         )
 
     def _run_inline(self, record: JobRecord) -> JobRecord:
         """Degraded-mode execution: same transitions, same engine path,
-        no queue and no worker process."""
+        no queue and no worker process. Deadlines apply exactly as they
+        do on workers — the run's token is checked at shard boundaries
+        and an expired budget fails the job terminally."""
         runner = self._runner()
         record = self.store.transition(
             record.job_id,
@@ -172,8 +206,16 @@ class LinkageService:
             worker="inline",
             heartbeat_at=time.time(),
         )
+        token = CancelToken(deadline=record.deadline)
         try:
-            links, stats, result = runner.run(record, self.store)
+            links, stats, result = runner.run(record, self.store, cancel=token)
+        except Cancelled as cancelled:
+            return self.store.transition(
+                record.job_id,
+                "failed",
+                expect="running",
+                error=cancelled.reason,
+            )
         except Exception as error:
             return self.store.transition(
                 record.job_id,
@@ -202,7 +244,11 @@ class LinkageService:
         return self.store.get(job_id)
 
     def wait(
-        self, job_id: str, timeout: float = 60.0, poll: float = 0.1
+        self,
+        job_id: str,
+        timeout: float = 60.0,
+        poll: float = 0.1,
+        max_poll: float = 2.0,
     ) -> JobRecord:
         """Block until the job reaches a terminal state.
 
@@ -210,24 +256,59 @@ class LinkageService:
         waiting on a crashed worker sees the retry happen rather than
         a silent hang; raises ``TimeoutError`` when the budget runs
         out first.
+
+        Polling backs off exponentially from ``poll`` up to
+        ``max_poll`` with jitter: short jobs still resolve within
+        ~``poll`` seconds, while long waits converge to one jittered
+        store read every couple of seconds instead of hammering the
+        job store (and de-synchronise concurrent waiters) — a fixed
+        0.1s busy-poll multiplied across clients was measurable I/O
+        load for zero added latency benefit.
         """
         deadline = time.monotonic() + timeout
+        interval = max(0.001, poll)
+        jitter = random.Random()
         while True:
             record = self.store.get(job_id)
             if record.state in ("succeeded", "failed"):
                 return record
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise TimeoutError(
                     f"job {job_id} still {record.state!r} after {timeout}s"
                 )
             if self.queue is not None:
                 recover_stale(self.store, self.queue, lease=self._lease)
-            time.sleep(poll)
+            sleep_for = min(
+                interval * jitter.uniform(0.8, 1.25), deadline - now
+            )
+            time.sleep(max(0.0, sleep_for))
+            interval = min(max_poll, interval * 1.6)
 
     def links(self, job_id: str) -> list[GeneratedLink]:
         """A succeeded job's links, exact to the executing engine's
         output (``KeyError`` when the job has no stored links)."""
         return self.store.load_links(job_id)
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a job: queued jobs fail immediately, running jobs are
+        flagged for cooperative cancellation (the executing worker's
+        heartbeat loop relays the flag and the engine stops at its next
+        shard boundary). Terminal jobs raise ``ValueError`` — there is
+        nothing left to cancel."""
+        record = self.store.get(job_id)
+        if record.state == "queued":
+            # The ticket stays in the queue; whichever worker claims it
+            # sees the terminal record and drops it.
+            return self.store.transition(
+                job_id, "failed", expect="queued", error="cancelled"
+            )
+        if record.state == "running":
+            return self.store.request_cancel(job_id)
+        raise ValueError(
+            f"job {job_id} is {record.state!r}; only queued or running "
+            f"jobs can be cancelled"
+        )
 
     def requeue(self, job_id: str) -> JobRecord:
         """Re-enqueue a ``queued`` job whose ticket was lost (operator
@@ -249,8 +330,12 @@ class LinkageService:
         ``mode`` is ``"queue"`` or ``"inline"``; ``degraded_reason``
         explains an involuntary fallback. ``workers`` lists liveness
         records with a fresh heartbeat; ``store`` summarises the
-        shared persistent cache. Running the reaper first means the
-        snapshot reflects recovered state, not stale claims.
+        shared persistent cache (including its circuit-breaker state).
+        ``degradations`` maps job ids to the store degradations their
+        runs recorded (circuit-breaker trips carried through
+        ``MatchStats.degraded``) — empty when every run had a healthy
+        disk. Running the reaper first means the snapshot reflects
+        recovered state, not stale claims.
         """
         if self.queue is not None:
             recover_stale(self.store, self.queue, lease=self._lease)
@@ -260,6 +345,11 @@ class LinkageService:
                 store_info = ColumnStore(self.cache_dir).describe()
             except OSError:  # pragma: no cover - unreadable cache dir
                 store_info = None
+        degradations: dict[str, list[str]] = {}
+        for record in self.store.records():
+            reasons = (record.stats or {}).get("degraded") or []
+            if reasons:
+                degradations[record.job_id] = list(reasons)
         return {
             "mode": "inline" if self.queue is None else "queue",
             "degraded_reason": self._degraded_reason,
@@ -267,4 +357,5 @@ class LinkageService:
             "jobs": self.store.state_counts(),
             "workers": live_workers(self.root, lease=self._lease),
             "store": store_info,
+            "degradations": degradations,
         }

@@ -31,9 +31,12 @@ import time
 import uuid
 from pathlib import Path
 
+from repro import faults
 from repro.engine.session import EngineSession
+from repro.faults import Cancelled, CancelToken
 from repro.matching.engine import MatchingEngine
 from repro.service.jobs import (
+    CorruptRecord,
     InvalidTransition,
     JobRecord,
     JobStore,
@@ -87,7 +90,10 @@ class JobRunner:
             self._session.close()
 
     def run(
-        self, record: JobRecord, store: JobStore
+        self,
+        record: JobRecord,
+        store: JobStore,
+        cancel: CancelToken | None = None,
     ) -> tuple[list, dict | None, dict]:
         """Execute one job record; returns ``(links, stats, result)``.
 
@@ -97,13 +103,17 @@ class JobRunner:
         just on a persistent engine. ``stats`` is the run's
         :func:`~repro.service.jobs.stats_payload`; ``result`` the
         kind-specific summary stored on the record.
+
+        ``cancel`` is threaded into the engine's shard loop: a deadline
+        or operator cancel raises :class:`~repro.faults.Cancelled` at
+        the next shard boundary.
         """
         if record.kind == "link":
-            return self._run_link(record)
+            return self._run_link(record, cancel)
         if record.kind == "learn":
-            return self._run_learn(record)
+            return self._run_learn(record, cancel)
         if record.kind == "delta":
-            return self._run_delta(record, store)
+            return self._run_delta(record, store, cancel)
         raise ValueError(f"unknown job kind {record.kind!r}")
 
     # -- kinds -------------------------------------------------------------
@@ -124,12 +134,14 @@ class JobRunner:
             return rule_from_dict(spec["rule"])
         return dataset_rule(spec["dataset"])
 
-    def _run_link(self, record: JobRecord):
+    def _run_link(self, record: JobRecord, cancel: CancelToken | None = None):
         from repro.core.serialization import rule_to_dict
 
         dataset = self._sources(record.spec)
         rule = self._rule(record.spec)
-        links = self._engine.execute(rule, dataset.source_a, dataset.source_b)
+        links = self._engine.execute(
+            rule, dataset.source_a, dataset.source_b, cancel=cancel
+        )
         stats = self._engine.last_run_stats()
         result = {
             "links": len(links),
@@ -137,7 +149,7 @@ class JobRunner:
         }
         return links, stats_payload(stats), result
 
-    def _run_learn(self, record: JobRecord):
+    def _run_learn(self, record: JobRecord, cancel: CancelToken | None = None):
         import random
 
         from repro.core.genlink import GenLink, GenLinkConfig
@@ -157,7 +169,11 @@ class JobRunner:
         )
         rule = learned.best_rule
         final = learned.history[-1]
-        links = self._engine.execute(rule, dataset.source_a, dataset.source_b)
+        if cancel is not None:
+            cancel.check()
+        links = self._engine.execute(
+            rule, dataset.source_a, dataset.source_b, cancel=cancel
+        )
         stats = self._engine.last_run_stats()
         result = {
             "links": len(links),
@@ -168,7 +184,12 @@ class JobRunner:
         }
         return links, stats_payload(stats), result
 
-    def _run_delta(self, record: JobRecord, store: JobStore):
+    def _run_delta(
+        self,
+        record: JobRecord,
+        store: JobStore,
+        cancel: CancelToken | None = None,
+    ):
         import random
 
         from repro.core.serialization import rule_from_dict, rule_to_dict
@@ -208,6 +229,7 @@ class JobRunner:
             previous,
             deltas_a=deltas_a,
             deltas_b=deltas_b,
+            cancel=cancel,
         )
         result = {
             "links": len(diff.links),
@@ -271,6 +293,21 @@ def _backoff(attempts: int, base: float, cap: float) -> float:
     return min(cap, base * (2 ** max(0, attempts - 1)))
 
 
+def _quiet(call, *args, **kwargs) -> bool:
+    """Run a queue/store side effect, swallowing transient I/O faults.
+
+    Used where failing the bookkeeping is strictly better than failing
+    the worker: a ticket that couldn't be acked or released stays
+    claimed and the reaper re-resolves it against the job record after
+    the lease — the system self-heals, the worker keeps draining.
+    """
+    try:
+        call(*args, **kwargs)
+        return True
+    except OSError:
+        return False
+
+
 def recover_stale(
     store: JobStore,
     queue: QueueBackend,
@@ -296,8 +333,12 @@ def recover_stale(
         try:
             record = store.get(job_id)
         except KeyError:
-            queue.ack(ticket)
+            _quiet(queue.ack, ticket)
             recovered += 1
+            continue
+        except CorruptRecord:
+            # An unreadable record can't be resolved either way; leave
+            # the ticket claimed for the operator rather than guessing.
             continue
         if record.state == "running":
             last = record.heartbeat_at or claimed_at
@@ -312,9 +353,9 @@ def recover_stale(
                     store.transition(
                         job_id, "failed", expect="running", error=error
                     )
-                except (StaleJob, InvalidTransition):
+                except (StaleJob, InvalidTransition, OSError):
                     continue
-                queue.ack(ticket)
+                _quiet(queue.ack, ticket)
             else:
                 delay = _backoff(record.attempts, backoff_base, max_backoff)
                 try:
@@ -327,19 +368,19 @@ def recover_stale(
                         worker=None,
                         heartbeat_at=None,
                     )
-                except (StaleJob, InvalidTransition):
+                except (StaleJob, InvalidTransition, OSError):
                     continue
-                queue.release(ticket, not_before=now + delay)
+                _quiet(queue.release, ticket, not_before=now + delay)
             recovered += 1
         elif record.state == "queued":
             if now - claimed_at < lease:
                 continue
             # Died between claim and the running transition: the
             # record needs no edge, the ticket just goes back.
-            queue.release(ticket, not_before=now)
+            _quiet(queue.release, ticket, not_before=now)
             recovered += 1
         else:
-            queue.ack(ticket)
+            _quiet(queue.ack, ticket)
             recovered += 1
     return recovered
 
@@ -384,8 +425,13 @@ def run_worker(
                 backoff_base=backoff_base,
                 max_backoff=max_backoff,
             )
-            write_worker_heartbeat(root, worker_id, processed)
-            ticket = queue.claim(worker_id)
+            _quiet(write_worker_heartbeat, root, worker_id, processed)
+            try:
+                ticket = queue.claim(worker_id)
+            except OSError:
+                # Transient claim fault (disk hiccup, injected): treat
+                # as an empty poll and try again.
+                ticket = None
             if ticket is None:
                 if drain and queue.depth() == 0:
                     break
@@ -403,20 +449,49 @@ def run_worker(
                     worker=worker_id,
                     heartbeat_at=time.time(),
                 )
-            except (KeyError, StaleJob, InvalidTransition):
-                # Deleted, duplicate ticket, or terminal: drop it.
-                queue.ack(ticket)
+            except (KeyError, StaleJob, InvalidTransition, CorruptRecord):
+                # Deleted, duplicate ticket, terminal, or unreadable:
+                # drop the ticket.
+                _quiet(queue.ack, ticket)
                 continue
+            except OSError:
+                # The running transition failed to persist; the job is
+                # still queued, so the ticket goes straight back.
+                _quiet(queue.release, ticket, not_before=time.time())
+                continue
+            token = CancelToken(deadline=record.deadline)
+            if record.cancel_requested:
+                token.cancel("cancelled")
             stop = threading.Event()
             beat = threading.Thread(
                 target=_heartbeat_loop,
-                args=(store, ticket.job_id, worker_id, stop, heartbeat_interval),
+                args=(
+                    store,
+                    ticket.job_id,
+                    worker_id,
+                    stop,
+                    heartbeat_interval,
+                    token,
+                ),
                 name=self_describe,
                 daemon=True,
             )
             beat.start()
             try:
-                links, stats, result = runner.run(record, store)
+                # The ``worker.execute`` seam sits after the running
+                # transition and before any work: an injected crash
+                # here leaves exactly the claimed-ticket-plus-running-
+                # record state the reaper must recover from.
+                faults.fire("worker.execute")
+                links, stats, result = runner.run(record, store, cancel=token)
+                stop.set()
+                beat.join()
+                store.save_links(ticket.job_id, links)
+            except Cancelled as cancelled:
+                stop.set()
+                beat.join()
+                _handle_cancel(store, queue, ticket, worker_id, cancelled.reason)
+                continue
             except Exception as error:
                 stop.set()
                 beat.join()
@@ -431,9 +506,6 @@ def run_worker(
                     max_backoff,
                 )
                 continue
-            stop.set()
-            beat.join()
-            store.save_links(ticket.job_id, links)
             try:
                 store.transition(
                     ticket.job_id,
@@ -450,10 +522,16 @@ def run_worker(
                 # Links are deterministic, so the other attempt writes
                 # the identical result; this one just steps aside.
                 pass
-            queue.ack(ticket)
+            except OSError:
+                # The succeeded transition failed to persist: the job
+                # is still running on disk with a stopped heartbeat,
+                # so the reaper requeues it after the lease and the
+                # deterministic retry writes the identical result.
+                continue
+            _quiet(queue.ack, ticket)
     finally:
         runner.close()
-        write_worker_heartbeat(root, worker_id, processed)
+        _quiet(write_worker_heartbeat, root, worker_id, processed)
     return processed
 
 
@@ -463,12 +541,45 @@ def _heartbeat_loop(
     worker_id: str,
     stop: threading.Event,
     interval: float,
+    token: CancelToken | None = None,
 ) -> None:
     """Background liveness updates while a job executes; exits as soon
-    as the job is no longer this worker's (reaped lease)."""
+    as the job is no longer this worker's (reaped lease). The beat
+    doubles as the cancel relay: an operator ``cancel`` flags the
+    record, the beat sees the flag and cancels the run's token, the
+    engine raises at its next shard boundary."""
     while not stop.wait(interval):
-        if not store.heartbeat(job_id, worker_id):
+        record = store.heartbeat(job_id, worker_id)
+        if record is None:
             return
+        if token is not None and record.cancel_requested:
+            token.cancel("cancelled")
+
+
+def _handle_cancel(
+    store: JobStore,
+    queue: QueueBackend,
+    ticket: ClaimTicket,
+    worker_id: str,
+    reason: str,
+) -> None:
+    """Terminal bookkeeping after a cancelled/deadlined run.
+
+    Cancellation never retries: a deadline would expire again and an
+    operator cancel means stop. The job fails terminally with the
+    cancel reason (``deadline`` or ``cancelled``) as its error."""
+    try:
+        store.transition(
+            ticket.job_id,
+            "failed",
+            expect="running",
+            expect_worker=worker_id,
+            error=reason,
+            heartbeat_at=time.time(),
+        )
+    except (StaleJob, InvalidTransition, OSError):
+        pass
+    _quiet(queue.ack, ticket)
 
 
 def _handle_failure(
@@ -491,9 +602,9 @@ def _handle_failure(
                 expect_worker=worker_id,
                 error=error,
             )
-        except (StaleJob, InvalidTransition):
+        except (StaleJob, InvalidTransition, OSError):
             pass
-        queue.ack(ticket)
+        _quiet(queue.ack, ticket)
         return
     delay = _backoff(record.attempts, backoff_base, max_backoff)
     not_before = time.time() + delay
@@ -509,6 +620,10 @@ def _handle_failure(
             heartbeat_at=None,
         )
     except (StaleJob, InvalidTransition):
-        queue.ack(ticket)
+        _quiet(queue.ack, ticket)
         return
-    queue.release(ticket, not_before=not_before)
+    except OSError:
+        # Couldn't persist the requeue: leave the running record and
+        # claimed ticket for the reaper, which retries after the lease.
+        return
+    _quiet(queue.release, ticket, not_before=not_before)

@@ -1,0 +1,90 @@
+"""Real-redis integration tests for :class:`RedisQueue`.
+
+Gated on ``REPRO_TEST_REDIS_URL``: unset (the default container has no
+redis server) the whole module skips cleanly; set it to a live server
+url to assert claim/ack/release/recovery parity with the file backend.
+Each test uses a unique key prefix and deletes its keys afterwards, so
+a shared server stays clean.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+
+import pytest
+
+from repro.service import REDIS_URL_ENV, RedisQueue
+
+URL = os.environ.get(REDIS_URL_ENV, "").strip()
+
+pytestmark = pytest.mark.skipif(
+    not URL, reason=f"{REDIS_URL_ENV} is not set (no redis server here)"
+)
+
+
+@pytest.fixture
+def queue():
+    if not RedisQueue.available(URL):
+        pytest.skip(f"redis server at {URL} is unreachable")
+    prefix = f"repro-test-{uuid.uuid4().hex[:8]}"
+    backend = RedisQueue(URL, prefix=prefix)
+    yield backend
+    client = backend._redis
+    client.delete(backend._ready_key)
+    for key in client.keys(backend._claimed_prefix + "*"):
+        client.delete(key)
+
+
+def test_orders_and_claims_exactly_once(queue):
+    """Mirror of the FileQueue contract test: FIFO order, one winner
+    per entry, backoff hides released entries."""
+    queue.submit("job-a")
+    queue.submit("job-b")
+    assert queue.depth() == 2
+
+    first = queue.claim("w0")
+    second = queue.claim("w1")
+    assert first is not None and first.job_id == "job-a"
+    assert second is not None and second.job_id == "job-b"
+    assert queue.claim("w2") is None
+
+    queue.ack(first)
+    queue.release(second, not_before=time.time() + 60)
+    assert queue.depth() == 1
+    assert queue.claim("w0") is None  # backing off, not claimable
+
+
+def test_claimed_entries_feed_the_reaper(queue):
+    queue.submit("job-a")
+    ticket = queue.claim("w0")
+    assert ticket is not None
+
+    inflight = queue.claimed()
+    assert [entry[0] for entry in inflight] == ["job-a"]
+    job_id, token, _claimed_at = inflight[0]
+    assert token == ticket.token
+
+    queue.ack(ticket)
+    assert queue.claimed() == [] and queue.depth() == 0
+
+
+def test_release_requeues_for_a_different_worker(queue):
+    queue.submit("job-a")
+    ticket = queue.claim("w0")
+    queue.release(ticket, not_before=0.0)
+    assert queue.claimed() == []
+
+    retry = queue.claim("w1")
+    assert retry is not None and retry.job_id == "job-a"
+    queue.ack(retry)
+    assert queue.depth() == 0 and queue.claimed() == []
+
+
+def test_ack_is_idempotent(queue):
+    queue.submit("job-a")
+    ticket = queue.claim("w0")
+    queue.ack(ticket)
+    queue.ack(ticket)  # double-ack must not corrupt anything
+    assert queue.depth() == 0 and queue.claimed() == []

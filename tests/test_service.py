@@ -288,6 +288,101 @@ def test_exhausted_attempts_fail_the_job(tmp_path):
     assert service.queue.depth() == 0 and not service.queue.claimed()
 
 
+def test_reaper_requeues_first_then_slow_worker_steps_aside(tmp_path):
+    """Race interleaving A: the reaper requeues a stale claim while the
+    (actually alive, just slow) worker is still running. The worker's
+    final transition must fail with StaleJob — exactly one process owns
+    the job's outcome."""
+    service = LinkageService(root=tmp_path, queue="file")
+    record = service.submit_link(DATASET, seed=0, scale=SCALE)
+    _simulate_crash(service, record)  # "slow" worker: stale heartbeat
+
+    assert recover_stale(
+        service.store, service.queue, lease=0.5, backoff_base=0.01
+    ) == 1
+    assert service.status(record.job_id).state == "queued"
+
+    # The slow worker finishes now and tries to publish its result.
+    with pytest.raises(StaleJob):
+        service.store.transition(
+            record.job_id,
+            "succeeded",
+            expect="running",
+            expect_worker="dead-worker",
+            result={"links": 0},
+        )
+
+    # The retry converges to exactly one terminal record.
+    time.sleep(0.1)
+    run_worker(
+        tmp_path, worker_id="w1", cache_dir=service.cache_dir, drain=True
+    )
+    done = service.status(record.job_id)
+    assert done.state == "succeeded" and done.worker == "w1"
+    assert done.attempts == 2
+    assert service.links(record.job_id) == direct_links()
+    assert service.queue.depth() == 0 and not service.queue.claimed()
+
+
+def test_worker_completes_first_then_reaper_drops_the_claim(tmp_path):
+    """Race interleaving B: the worker publishes success just before
+    the reaper examines its stale-looking claim. The reaper must drop
+    the ticket and leave the terminal record untouched."""
+    service = LinkageService(root=tmp_path, queue="file")
+    record = service.submit_link(DATASET, seed=0, scale=SCALE)
+    _simulate_crash(service, record)
+
+    # The worker wins the race: terminal record lands first.
+    service.store.transition(
+        record.job_id,
+        "succeeded",
+        expect="running",
+        expect_worker="dead-worker",
+        result={"links": 7},
+    )
+
+    assert recover_stale(service.store, service.queue, lease=0.5) == 1
+    done = service.status(record.job_id)
+    assert done.state == "succeeded" and done.result == {"links": 7}
+    assert done.attempts == 1  # no retry was ever scheduled
+    assert service.queue.depth() == 0 and not service.queue.claimed()
+
+
+def test_wait_backs_off_exponentially_with_jitter(tmp_path, monkeypatch):
+    """The submitter poll loop must not busy-poll at a fixed interval:
+    sleeps grow geometrically from ``poll`` to ``max_poll`` (with
+    jitter), so long waits converge to a couple of store reads per
+    second instead of ten."""
+    service = LinkageService(root=tmp_path, queue="file")
+    record = service.submit_link(DATASET, seed=0, scale=SCALE)
+
+    clock = {"now": 0.0}
+    sleeps: list[float] = []
+
+    def fake_sleep(seconds: float) -> None:
+        sleeps.append(seconds)
+        clock["now"] += max(0.0, seconds)
+
+    monkeypatch.setattr(time, "monotonic", lambda: clock["now"])
+    monkeypatch.setattr(time, "sleep", fake_sleep)
+    with pytest.raises(TimeoutError):
+        service.wait(record.job_id, timeout=30.0, poll=0.1, max_poll=2.0)
+
+    assert len(sleeps) >= 5
+    # Early sleeps sit near ``poll``, late sleeps near ``max_poll``;
+    # jitter keeps each within [0.8, 1.25] of its nominal interval.
+    assert sleeps[0] <= 0.1 * 1.25
+    assert max(sleeps) <= 2.0 * 1.25
+    assert max(sleeps) >= 2.0 * 0.8
+    # Monotone growth of the underlying interval (the final sleep is
+    # clamped to the remaining timeout budget, so it is exempt): each
+    # sleep, modulo jitter, is no smaller than 0.64x the previous one,
+    # and the total poll count is far below a fixed-0.1s loop's 300.
+    for earlier, later in zip(sleeps[:-1], sleeps[1:-1]):
+        assert later >= earlier * 0.8 / 1.25
+    assert len(sleeps) < 40
+
+
 def test_wait_runs_the_reaper_for_a_blocked_submitter(tmp_path):
     service = LinkageService(root=tmp_path, queue="file", lease=0.2)
     record = service.submit_link(DATASET, seed=0, scale=SCALE)
