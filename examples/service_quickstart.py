@@ -64,7 +64,7 @@ def run(root: str) -> None:
     # queue="inline" is the degraded/zero-infrastructure mode: no
     # queue, no workers, identical records and identical links.
     with LinkageService(root=root, queue="inline") as service:
-        record = service.submit_link("restaurant", seed=0)
+        record = service.submit("link", dataset="restaurant", seed=0)
         print(f"submitted {record.job_id} ({record.kind})", file=sys.stderr)
 
         # Inline jobs are terminal on return, but poll anyway — this
@@ -87,9 +87,32 @@ def run(root: str) -> None:
         if len(links) > 10:
             print(f"  ... and {len(links) - 10} more")
 
+        # Registry-backed jobs: publish a rule into a versioned lineage,
+        # activate it, and submit by reference. The record pins the
+        # resolved version (``@v1``) plus content hash, so the job is
+        # reproducible even after later activation flips.
+        from repro.matching.incremental import dataset_rule
+
+        version = service.registry.publish(
+            "demo/restaurants/base", dataset_rule("restaurant")
+        )
+        service.registry.activate(version.ref)
+        by_ref = service.submit(
+            "link", dataset="restaurant", seed=0,
+            rule="demo/restaurants/base@active",
+        )
+        print(
+            f"[registry] {by_ref.job_id}: {by_ref.state} "
+            f"rule={by_ref.spec['rule_ref']} "
+            f"hash={by_ref.spec['rule_hash'][:12]}",
+            file=sys.stderr,
+        )
+        assert service.links(by_ref.job_id) == links
+
         health = service.health()
         print(
-            f"[health] mode={health['mode']} jobs={health['jobs']}",
+            f"[health] mode={health['mode']} jobs={health['jobs']} "
+            f"degradations={len(health['degradations'])}",
             file=sys.stderr,
         )
 

@@ -207,6 +207,32 @@ def _learn_rule(args: argparse.Namespace) -> None:
         print()
         print(silk_config([interlink]))
 
+    if args.publish:
+        from repro.registry import RuleRegistry
+
+        registry = RuleRegistry(_rules_dir(args))
+        version = registry.publish(
+            args.publish,
+            rule,
+            provenance={
+                "dataset": args.dataset,
+                "seed": args.seed,
+                "scale": scale.effective_dataset_scale(0),
+                "source_fingerprints": {
+                    "a": dataset.source_a.fingerprint(),
+                    "b": dataset.source_b.fingerprint(),
+                },
+                "train_f_measure": final.train_f_measure,
+                "validation_f_measure": final.validation_f_measure,
+                "iterations": final.iteration,
+                "pruned": bool(args.prune),
+            },
+        )
+        print(
+            f"\npublished {version.ref} ({version.rule_hash[:12]}) "
+            f"into {registry.root}"
+        )
+
 
 def _cache_maintenance(args: argparse.Namespace) -> None:
     """``cache info | gc | clear`` over the persistent column store."""
@@ -381,19 +407,54 @@ def _open_service(args: argparse.Namespace):
     from repro.service import LinkageService
 
     return LinkageService(
-        root=_service_dir(args), queue=getattr(args, "queue", None)
+        root=_service_dir(args),
+        queue=getattr(args, "queue", None),
+        rules_dir=getattr(args, "rules_dir", None),
     )
 
 
+def _rules_dir(args: argparse.Namespace) -> str:
+    """The registry directory a command operates on: ``--rules-dir``,
+    then ``REPRO_RULES_DIR``, then ``<service dir>/rules`` when a
+    service directory is in reach."""
+    from repro.registry import RULES_DIR_ENV, resolve_rules_dir
+    from repro.service import SERVICE_DIR_ENV
+
+    service_dir = getattr(args, "service_dir", None) or os.environ.get(
+        SERVICE_DIR_ENV, ""
+    )
+    path = resolve_rules_dir(
+        getattr(args, "rules_dir", None),
+        default=os.path.join(service_dir, "rules") if service_dir else None,
+    )
+    if path is None:
+        print(
+            f"no rules directory: pass --rules-dir or set {RULES_DIR_ENV}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return str(path)
+
+
 def _run_service_worker(
-    root: str, worker_id: str, cache_dir: str, drain: bool, lease: float
+    root: str,
+    worker_id: str,
+    cache_dir: str,
+    rules_dir: str,
+    drain: bool,
+    lease: float,
 ) -> None:
     """Entry point of one spawned worker process (module-level so the
     multiprocessing start method can import it)."""
     from repro.service import run_worker
 
     run_worker(
-        root, worker_id=worker_id, cache_dir=cache_dir, drain=drain, lease=lease
+        root,
+        worker_id=worker_id,
+        cache_dir=cache_dir,
+        rules_dir=rules_dir,
+        drain=drain,
+        lease=lease,
     )
 
 
@@ -424,6 +485,7 @@ def _serve(args: argparse.Namespace) -> None:
                 str(service.root),
                 f"worker-{index}",
                 service.cache_dir,
+                service.rules_dir,
                 args.drain,
                 args.lease,
             ),
@@ -449,11 +511,25 @@ def _serve(args: argparse.Namespace) -> None:
 def _submit(args: argparse.Namespace) -> None:
     """``submit``: create a job (link, learn, or delta) and optionally
     wait for its terminal state."""
+    if args.rule and args.rule_json:
+        print(
+            "--rule and --rule-json are mutually exclusive: a job runs "
+            "either a registry reference or an inline rule file, not both",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    if args.learn and (args.rule or args.rule_json):
+        print(
+            "--learn jobs learn their rule; --rule/--rule-json do not apply",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
     service = _open_service(args)
     try:
         if args.parent:
-            record = service.submit_delta(
-                args.parent,
+            record = service.submit(
+                "delta",
+                parent=args.parent,
                 seed=args.seed,
                 upserts=args.upserts,
                 deletes=args.deletes,
@@ -466,22 +542,33 @@ def _submit(args: argparse.Namespace) -> None:
                     file=sys.stderr,
                 )
                 raise SystemExit(2)
-            spec = {
-                "dataset": args.dataset,
-                "seed": args.seed,
-                "scale": args.scale,
-            }
+            rule: str | dict | None = args.rule
             if args.rule_json:
                 import json
 
-                spec["rule"] = json.loads(
+                rule = json.loads(
                     open(args.rule_json, encoding="utf-8").read()
                 )
-            kind = "learn" if args.learn else "link"
             if args.learn:
-                spec["population_size"] = args.population
-                spec["iterations"] = args.iterations
-            record = service.submit(kind, spec, deadline=args.deadline)
+                record = service.submit(
+                    "learn",
+                    dataset=args.dataset,
+                    seed=args.seed,
+                    scale=args.scale,
+                    population_size=args.population,
+                    iterations=args.iterations,
+                    publish=args.publish,
+                    deadline=args.deadline,
+                )
+            else:
+                record = service.submit(
+                    "link",
+                    dataset=args.dataset,
+                    seed=args.seed,
+                    scale=args.scale,
+                    rule=rule,
+                    deadline=args.deadline,
+                )
         if args.wait and record.state not in ("succeeded", "failed"):
             record = service.wait(record.job_id, timeout=args.timeout)
         print(f"{record.job_id} {record.state}")
@@ -496,6 +583,13 @@ def _job_stats_lines(record) -> list[str]:
     """Human-readable stat lines of one job record (plus the greppable
     ``[job store]`` counter line the CI smoke leg asserts on)."""
     lines: list[str] = []
+    ref = (record.result or {}).get("rule_ref") or record.spec.get("rule_ref")
+    if ref:
+        rule_hash = (record.result or {}).get("rule_hash") or record.spec.get(
+            "rule_hash"
+        )
+        suffix = f" {rule_hash[:12]}" if rule_hash else ""
+        lines.append(f"  rule: {ref}{suffix}")
     stats = record.stats or {}
     if stats:
         lines.append(
@@ -565,7 +659,9 @@ def _status(args: argparse.Namespace) -> None:
 def _links_cmd(args: argparse.Namespace) -> None:
     """``links``: print a job's stored links — or, with ``--direct``, a
     direct in-process ``MatchingEngine.execute`` over the same inputs,
-    in the identical format (the byte-parity check's other half)."""
+    in the identical format (the byte-parity check's other half).
+    ``--direct --rule`` resolves the executed rule from the registry,
+    so a registry-backed job has a bypass-the-service oracle too."""
     if args.direct:
         from repro.datasets import load_dataset
         from repro.matching.engine import MatchingEngine
@@ -577,11 +673,25 @@ def _links_cmd(args: argparse.Namespace) -> None:
                 file=sys.stderr,
             )
             raise SystemExit(2)
+        if args.rule:
+            from repro.registry import RegistryError, RuleRegistry
+
+            try:
+                rule = (
+                    RuleRegistry(_rules_dir(args))
+                    .resolve(args.rule)
+                    .linkage_rule()
+                )
+            except RegistryError as error:
+                print(f"registry: {error}", file=sys.stderr)
+                raise SystemExit(1)
+        else:
+            rule = dataset_rule(args.target)
         dataset = load_dataset(args.target, seed=args.seed, scale=args.scale)
         engine = MatchingEngine()
         try:
             links = engine.execute(
-                dataset_rule(args.target), dataset.source_a, dataset.source_b
+                rule, dataset.source_a, dataset.source_b
             )
         finally:
             engine.close()
@@ -612,6 +722,132 @@ def _health(args: argparse.Namespace) -> None:
 
     service = _open_service(args)
     print(json.dumps(service.health(), indent=2, sort_keys=True))
+
+
+def _rules_cmd(args: argparse.Namespace) -> None:
+    """``rules``: manage the multi-tenant rule registry.
+
+    ``publish`` appends the next version of a lineage, ``activate``
+    flips its ``@active`` pointer, ``list``/``show``/``diff`` inspect
+    what's stored, and ``migrate`` re-validates a stored version
+    against a dataset's live schema (``--check`` exits nonzero on
+    gaps; ``--apply`` publishes the auto-patched rule as the next
+    version). Output stays machine-greppable like the other service
+    commands."""
+    import json
+
+    from repro.registry import (
+        MigrationError,
+        RefError,
+        RegistryError,
+        RuleRegistry,
+        migrate_version,
+    )
+
+    registry = RuleRegistry(_rules_dir(args))
+    try:
+        if args.rules_command == "publish":
+            if args.from_json:
+                rule = json.loads(
+                    open(args.from_json, encoding="utf-8").read()
+                )
+            else:
+                from repro.matching.incremental import dataset_rule
+
+                rule = dataset_rule(args.dataset)
+            provenance = {"published_by": "cli"}
+            if args.dataset:
+                provenance["dataset"] = args.dataset
+            version = registry.publish(args.ref, rule, provenance=provenance)
+            if args.activate:
+                registry.activate(version.ref)
+            active = " active" if args.activate else ""
+            print(f"{version.ref} {version.rule_hash}{active}")
+        elif args.rules_command == "list":
+            from repro.registry import RuleRef
+
+            tenant = scenario = None
+            if args.prefix:
+                parts = args.prefix.split("/")
+                if len(parts) > 2:
+                    print(
+                        f"list takes tenant[/scenario], got {args.prefix!r}",
+                        file=sys.stderr,
+                    )
+                    raise SystemExit(2)
+                tenant = parts[0]
+                scenario = parts[1] if len(parts) == 2 else None
+            rows = []
+            for lineage in registry.lineages(tenant, scenario):
+                versions = registry.versions(lineage)
+                active = registry.active_version(lineage)
+                rows.append(
+                    [
+                        lineage.lineage,
+                        len(versions),
+                        f"v{active}" if active else "-",
+                    ]
+                )
+            print(
+                format_table(
+                    ["Lineage", "Versions", "Active"],
+                    rows,
+                    title=f"lineages in {registry.root}",
+                )
+            )
+        elif args.rules_command == "show":
+            from repro.core.serialization import render_rule
+
+            version = registry.resolve(args.ref)
+            print(f"{version.ref} {version.rule_hash}")
+            active = registry.active_version(version.ref)
+            print(f"active: {'v' + str(active) if active else '-'}")
+            if version.provenance:
+                print("provenance:")
+                for key in sorted(version.provenance):
+                    print(f"  {key}: {version.provenance[key]}")
+            print(render_rule(version.linkage_rule(), title=str(version.ref)))
+        elif args.rules_command == "activate":
+            version = registry.activate(args.ref)
+            print(f"{version.ref} active")
+        elif args.rules_command == "diff":
+            lines = registry.diff(args.ref_a, args.ref_b)
+            if not lines:
+                print(f"{args.ref_a} and {args.ref_b} are identical")
+            for line in lines:
+                print(line)
+        elif args.rules_command == "migrate":
+            from repro.datasets import load_dataset
+
+            dataset = load_dataset(
+                args.dataset, seed=args.seed, scale=args.scale
+            )
+            report, published = migrate_version(
+                registry,
+                args.ref,
+                dataset.source_a,
+                dataset.source_b,
+                apply=args.apply,
+            )
+            print(report.describe())
+            if published is not None:
+                print(f"published {published.ref} {published.rule_hash}")
+                diff = published.provenance.get("migration_diff") or []
+                for line in diff:
+                    print(line)
+            if not report.ok and (args.check or not args.apply):
+                raise SystemExit(1)
+        else:  # pragma: no cover - argparse restricts choices
+            raise SystemExit(f"unknown rules command {args.rules_command!r}")
+    except (RefError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        raise SystemExit(2)
+    except MigrationError as error:
+        print(f"migration: {error}", file=sys.stderr)
+        raise SystemExit(1)
+    except RegistryError as error:
+        print(f"registry: {error}", file=sys.stderr)
+        raise SystemExit(1)
 
 
 def _print_crossover(args: argparse.Namespace) -> None:
@@ -715,6 +951,16 @@ def main(argv: list[str] | None = None) -> int:
         help="execute the learned rule over the full sources (uses the "
         "--blocker strategy) and report link quality",
     )
+    learn.add_argument(
+        "--publish", default=None, metavar="REF",
+        help="publish the learned (post-prune) rule into this registry "
+        "lineage (tenant/scenario/name)",
+    )
+    learn.add_argument(
+        "--rules-dir", default=None, metavar="PATH",
+        help="--publish registry directory (default: REPRO_RULES_DIR, "
+        "then <REPRO_SERVICE_DIR>/rules)",
+    )
 
     delta = subparsers.add_parser(
         "delta",
@@ -753,6 +999,14 @@ def main(argv: list[str] | None = None) -> int:
             "default), redis (degrades to inline when unavailable) or "
             "inline (execute submissions in-process). Default: the "
             "REPRO_SERVICE_QUEUE environment variable",
+        )
+        sub.add_argument(
+            "--rules-dir",
+            default=None,
+            metavar="PATH",
+            help="rule registry directory jobs resolve --rule "
+            "references from (default: REPRO_RULES_DIR, then "
+            "<service dir>/rules)",
         )
 
     serve = subparsers.add_parser(
@@ -799,8 +1053,19 @@ def main(argv: list[str] | None = None) -> int:
         help="JSON rule to execute (default: the dataset's gate rule)",
     )
     submit.add_argument(
+        "--rule", default=None, metavar="REF",
+        help="registry reference to execute "
+        "(tenant/scenario/name[@vN|@active]); resolved and pinned at "
+        "submission time. Mutually exclusive with --rule-json",
+    )
+    submit.add_argument(
         "--learn", action="store_true",
         help="learn a rule with GenLink before executing it",
+    )
+    submit.add_argument(
+        "--publish", default=None, metavar="REF",
+        help="--learn jobs: publish the learned rule into this "
+        "registry lineage (tenant/scenario/name)",
     )
     submit.add_argument(
         "--population", type=int, default=20,
@@ -872,11 +1137,92 @@ def main(argv: list[str] | None = None) -> int:
         "--scale", type=float, default=1.0,
         help="--direct dataset scale factor (default 1.0)",
     )
+    links.add_argument(
+        "--rule", default=None, metavar="REF",
+        help="--direct: execute this registry reference instead of the "
+        "dataset's gate rule",
+    )
 
     health = subparsers.add_parser(
         "health", help="queue/store/worker health snapshot of a service"
     )
     add_service_arguments(health)
+
+    rules = subparsers.add_parser(
+        "rules",
+        help="manage the multi-tenant rule registry (versioned "
+        "lineages, activation, schema migration)",
+    )
+    rules.add_argument(
+        "--rules-dir",
+        default=None,
+        metavar="PATH",
+        help="registry directory (default: REPRO_RULES_DIR, then "
+        "<REPRO_SERVICE_DIR>/rules)",
+    )
+    rules_sub = rules.add_subparsers(dest="rules_command", required=True)
+    rules_publish = rules_sub.add_parser(
+        "publish", help="publish a rule as a lineage's next version"
+    )
+    rules_publish.add_argument(
+        "ref", help="lineage to publish into (tenant/scenario/name)"
+    )
+    rules_publish.add_argument(
+        "--from-json", default=None, metavar="PATH",
+        help="JSON rule file to publish",
+    )
+    rules_publish.add_argument(
+        "--dataset", default=None, choices=DATASET_NAMES,
+        help="publish the dataset's gate rule instead of a file",
+    )
+    rules_publish.add_argument(
+        "--activate", action="store_true",
+        help="also point the lineage's @active at the new version",
+    )
+    rules_list = rules_sub.add_parser(
+        "list", help="table of lineages, version counts and activations"
+    )
+    rules_list.add_argument(
+        "prefix", nargs="?", default=None,
+        help="optional tenant[/scenario] filter",
+    )
+    rules_show = rules_sub.add_parser(
+        "show", help="one version's hash, provenance and rendered tree"
+    )
+    rules_show.add_argument("ref", help="tenant/scenario/name[@vN|@active]")
+    rules_activate = rules_sub.add_parser(
+        "activate", help="point a lineage's @active at a pinned version"
+    )
+    rules_activate.add_argument("ref", help="tenant/scenario/name@vN")
+    rules_diff = rules_sub.add_parser(
+        "diff", help="structural diff between two stored versions"
+    )
+    rules_diff.add_argument("ref_a")
+    rules_diff.add_argument("ref_b")
+    rules_migrate = rules_sub.add_parser(
+        "migrate",
+        help="re-validate a stored version against a dataset's live "
+        "schema; exits nonzero on gaps with the per-node report",
+    )
+    rules_migrate.add_argument("ref", help="tenant/scenario/name[@vN|@active]")
+    rules_migrate.add_argument(
+        "--dataset", required=True, choices=DATASET_NAMES,
+        help="dataset whose schemas to check against",
+    )
+    rules_migrate.add_argument(
+        "--scale", type=float, default=1.0,
+        help="dataset scale factor (default 1.0)",
+    )
+    rules_migrate.add_argument(
+        "--check", action="store_true",
+        help="report-only gate: exit 1 when gaps exist (the default "
+        "behaviour without --apply, spelled out for CI legs)",
+    )
+    rules_migrate.add_argument(
+        "--apply", action="store_true",
+        help="publish the auto-patched rule as the lineage's next "
+        "version (provenance records the gaps, edits and diff)",
+    )
 
     cache = subparsers.add_parser(
         "cache",
@@ -922,6 +1268,7 @@ def main(argv: list[str] | None = None) -> int:
         "cancel": _cancel,
         "links": _links_cmd,
         "health": _health,
+        "rules": _rules_cmd,
     }
     if args.command == "cache":
         _cache_maintenance(args)

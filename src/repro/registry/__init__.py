@@ -1,0 +1,64 @@
+"""Multi-tenant rule registry: versioned lineages, activation, migration.
+
+The registry turns learned linkage rules from ad-hoc dicts passed into
+one job into **named, versioned, served artefacts**. A lineage
+(``tenant/scenario/name``) collects the immutable, content-hashed
+versions of one rule line; an activation pointer says which version a
+bare ``@active`` reference serves; and the migration pass re-validates
+any stored version against a drifted source schema, producing an
+explicit :class:`~repro.registry.migrate.GapReport` instead of the
+silent zero-score a missing property otherwise causes.
+
+The service layer (:mod:`repro.service`) resolves job rules through
+this package: ``LinkageService.submit(..., rule="t/s/n@active")`` pins
+the active version at submission time and records the resolved
+reference plus content hash on the job record, so any job is exactly
+reproducible later — whatever the activation pointer says by then.
+"""
+
+from repro.registry.migrate import (
+    GapReport,
+    MigrationError,
+    PatchResult,
+    SchemaGap,
+    SchemaGapError,
+    auto_patch,
+    check_rule,
+    migrate_version,
+)
+from repro.registry.refs import RefError, RuleRef
+from repro.registry.store import (
+    RULES_DIR_ENV,
+    CorruptVersion,
+    NoActivation,
+    RegistryError,
+    RuleRegistry,
+    RuleVersion,
+    UnknownLineage,
+    UnknownVersion,
+    resolve_rules_dir,
+    rule_content_hash,
+)
+
+__all__ = [
+    "RULES_DIR_ENV",
+    "CorruptVersion",
+    "GapReport",
+    "MigrationError",
+    "NoActivation",
+    "PatchResult",
+    "RefError",
+    "RegistryError",
+    "RuleRef",
+    "RuleRegistry",
+    "RuleVersion",
+    "SchemaGap",
+    "SchemaGapError",
+    "UnknownLineage",
+    "UnknownVersion",
+    "auto_patch",
+    "check_rule",
+    "migrate_version",
+    "resolve_rules_dir",
+    "rule_content_hash",
+]

@@ -1,0 +1,426 @@
+"""Schema migration: re-validate stored rules against drifted sources.
+
+A stored rule is only as good as the schema it was learned on. When a
+source drops or renames a property, every comparison reading it starts
+scoring 0.0 — silently, because an absent property is
+indistinguishable from an unset one at evaluation time. The migration
+pass makes that drift *explicit*: :func:`check_rule` walks the rule
+against the live schemas of both sources and returns a
+:class:`GapReport` naming every affected node (the missing property's
+path, which side reads it, the comparison it starves) together with a
+suggested fallback — substitute the closest surviving property, prune
+the starved comparison, or nothing salvageable.
+
+:func:`auto_patch` applies those suggestions structurally: property
+substitutions rewrite the value tree in place, unsalvageable
+comparisons are pruned out of their parent aggregation, and the
+before/after rendering diff is recorded so the patch is auditable.
+A rule that cannot be patched into a gap-free form (its root
+comparison is starved, or an aggregation would lose every child)
+raises :class:`MigrationError` — degraded service is an operator
+decision, never an automatic one.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field, replace
+from typing import Any, Sequence
+
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    RuleNode,
+    TransformationNode,
+    ValueNode,
+)
+from repro.core.rule import LinkageRule
+from repro.core.serialization import render_rule
+
+
+class MigrationError(RuntimeError):
+    """A rule cannot be (auto-)migrated onto the changed schema."""
+
+
+class SchemaGapError(MigrationError):
+    """A rule was about to execute against a schema it has gaps on.
+
+    Raised by the service execution path instead of letting the starved
+    comparisons score 0.0 silently; carries the full :class:`GapReport`
+    so the job record can store the structured payload, not just a
+    message."""
+
+    def __init__(self, report: "GapReport"):
+        super().__init__(report.describe())
+        self.report = report
+
+
+@dataclass(frozen=True)
+class SchemaGap:
+    """One property the rule reads that no entity of the source has.
+
+    ``path`` locates the starved :class:`PropertyNode` from the rule
+    root (``root.operators[1].source.inputs[0]`` style); ``side`` says
+    which source's schema it was checked against; ``comparison`` and
+    ``comparison_path`` identify the comparison whose score the gap
+    zeroes. ``suggestion`` is one of ``substitute:<property>`` (a
+    close-named surviving property), ``prune`` (drop the comparison —
+    its parent aggregation keeps other children) or ``none``.
+    """
+
+    path: str
+    side: str
+    property_name: str
+    comparison: str
+    comparison_path: str
+    suggestion: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.side} property {self.property_name!r} missing "
+            f"(at {self.path}, starves {self.comparison}; "
+            f"suggestion: {self.suggestion})"
+        )
+
+
+@dataclass(frozen=True)
+class GapReport:
+    """The migration check's structured outcome.
+
+    ``ok`` means every property the rule reads still exists on the
+    corresponding source's schema. ``gaps`` lists every starved node —
+    the report is exhaustive, not first-failure."""
+
+    schema_a: str
+    schema_b: str
+    gaps: tuple[SchemaGap, ...] = ()
+    ref: str | None = None
+    #: Distinct (side, property) pairs the rule reads — the check's
+    #: coverage denominator.
+    checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.gaps
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-safe form, stored on job records and printed by
+        ``rules migrate``."""
+        return {
+            "ok": self.ok,
+            "ref": self.ref,
+            "schema_a": self.schema_a,
+            "schema_b": self.schema_b,
+            "checked": self.checked,
+            "gaps": [
+                {
+                    "path": gap.path,
+                    "side": gap.side,
+                    "property": gap.property_name,
+                    "comparison": gap.comparison,
+                    "comparison_path": gap.comparison_path,
+                    "suggestion": gap.suggestion,
+                }
+                for gap in self.gaps
+            ],
+        }
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary."""
+        if self.ok:
+            return (
+                f"ok: {self.checked} property reference(s) all present on "
+                f"{self.schema_a!r} / {self.schema_b!r}"
+            )
+        lines = [
+            f"{len(self.gaps)} gap(s) against {self.schema_a!r} / "
+            f"{self.schema_b!r}:"
+        ]
+        lines += [f"  - {gap.describe()}" for gap in self.gaps]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PatchResult:
+    """An applied auto-patch: the gap-free rule plus its audit trail."""
+
+    rule: LinkageRule
+    report: GapReport
+    #: One line per structural edit (substitution or prune).
+    applied: tuple[str, ...]
+    #: Unified diff of the before/after tree renderings.
+    diff: tuple[str, ...] = ()
+
+
+def _schema(source) -> frozenset[str]:
+    """A source's live property schema. Accepts anything with
+    ``property_names()`` (a :class:`~repro.data.source.DataSource`) or
+    a plain iterable of names, so checks can run against recorded
+    schemas without materialising the source."""
+    names = source.property_names() if hasattr(source, "property_names") else source
+    return frozenset(names)
+
+
+def _schema_name(source, fallback: str) -> str:
+    return getattr(source, "name", None) or fallback
+
+
+def _suggest(
+    missing: str, schema: frozenset[str], prunable: bool
+) -> str:
+    """The fallback for one starved property: the closest surviving
+    name when the drift looks like a rename, else a prune when the
+    surrounding aggregation survives without the comparison."""
+    matches = difflib.get_close_matches(missing, sorted(schema), n=1, cutoff=0.6)
+    if matches:
+        return f"substitute:{matches[0]}"
+    if prunable:
+        return "prune"
+    return "none"
+
+
+def _value_gaps(
+    node: ValueNode,
+    path: str,
+    side: str,
+    schema: frozenset[str],
+    comparison: ComparisonNode,
+    comparison_path: str,
+    prunable: bool,
+    gaps: list[SchemaGap],
+    seen: set[tuple[str, str]],
+) -> None:
+    if isinstance(node, PropertyNode):
+        seen.add((side, node.property_name))
+        if node.property_name not in schema:
+            gaps.append(
+                SchemaGap(
+                    path=path,
+                    side=side,
+                    property_name=node.property_name,
+                    comparison=str(comparison),
+                    comparison_path=comparison_path,
+                    suggestion=_suggest(node.property_name, schema, prunable),
+                )
+            )
+        return
+    for index, child in enumerate(node.inputs):
+        _value_gaps(
+            child,
+            f"{path}.inputs[{index}]",
+            side,
+            schema,
+            comparison,
+            comparison_path,
+            prunable,
+            gaps,
+            seen,
+        )
+
+
+def _similarity_gaps(
+    node: RuleNode,
+    path: str,
+    schema_a: frozenset[str],
+    schema_b: frozenset[str],
+    prunable: bool,
+    gaps: list[SchemaGap],
+    seen: set[tuple[str, str]],
+) -> None:
+    if isinstance(node, ComparisonNode):
+        _value_gaps(
+            node.source, f"{path}.source", "source", schema_a,
+            node, path, prunable, gaps, seen,
+        )
+        _value_gaps(
+            node.target, f"{path}.target", "target", schema_b,
+            node, path, prunable, gaps, seen,
+        )
+        return
+    assert isinstance(node, AggregationNode)
+    child_prunable = len(node.operators) > 1
+    for index, child in enumerate(node.operators):
+        _similarity_gaps(
+            child,
+            f"{path}.operators[{index}]",
+            schema_a,
+            schema_b,
+            child_prunable,
+            gaps,
+            seen,
+        )
+
+
+def check_rule(
+    rule: LinkageRule,
+    source_a,
+    source_b,
+    ref: str | None = None,
+) -> GapReport:
+    """Validate every property reference in ``rule`` against the live
+    schemas of both sources; returns the exhaustive :class:`GapReport`.
+
+    ``source_a``/``source_b`` are :class:`~repro.data.source.DataSource`
+    instances (or plain property-name iterables). The source side of
+    each comparison is checked against ``source_a``'s schema, the
+    target side against ``source_b``'s — the same positional contract
+    the engine evaluates under.
+    """
+    schema_a = _schema(source_a)
+    schema_b = _schema(source_b)
+    gaps: list[SchemaGap] = []
+    seen: set[tuple[str, str]] = set()
+    _similarity_gaps(
+        rule.root, "root", schema_a, schema_b, False, gaps, seen
+    )
+    return GapReport(
+        schema_a=_schema_name(source_a, "A"),
+        schema_b=_schema_name(source_b, "B"),
+        gaps=tuple(gaps),
+        ref=ref,
+        checked=len(seen),
+    )
+
+
+def _patch_value(
+    node: ValueNode,
+    schema: frozenset[str],
+    side: str,
+    applied: list[str],
+) -> ValueNode | None:
+    """Substitute starved properties in a value tree; ``None`` when a
+    property has no close-named survivor (the comparison must go)."""
+    if isinstance(node, PropertyNode):
+        if node.property_name in schema:
+            return node
+        matches = difflib.get_close_matches(
+            node.property_name, sorted(schema), n=1, cutoff=0.6
+        )
+        if not matches:
+            return None
+        applied.append(
+            f"substituted {side} property {node.property_name!r} -> "
+            f"{matches[0]!r}"
+        )
+        return PropertyNode(matches[0])
+    patched_inputs = []
+    for child in node.inputs:
+        patched = _patch_value(child, schema, side, applied)
+        if patched is None:
+            return None
+        patched_inputs.append(patched)
+    if tuple(patched_inputs) == node.inputs:
+        return node
+    return replace(node, inputs=tuple(patched_inputs))
+
+
+def _patch_similarity(
+    node: RuleNode,
+    schema_a: frozenset[str],
+    schema_b: frozenset[str],
+    applied: list[str],
+) -> RuleNode | None:
+    if isinstance(node, ComparisonNode):
+        source = _patch_value(node.source, schema_a, "source", applied)
+        target = _patch_value(node.target, schema_b, "target", applied)
+        if source is None or target is None:
+            applied.append(f"pruned {node}")
+            return None
+        if source is node.source and target is node.target:
+            return node
+        return replace(node, source=source, target=target)
+    assert isinstance(node, AggregationNode)
+    survivors = []
+    for child in node.operators:
+        patched = _patch_similarity(child, schema_a, schema_b, applied)
+        if patched is not None:
+            survivors.append(patched)
+    if not survivors:
+        return None
+    if tuple(survivors) == node.operators:
+        return node
+    return replace(node, operators=tuple(survivors))
+
+
+def auto_patch(
+    rule: LinkageRule,
+    source_a,
+    source_b,
+    ref: str | None = None,
+) -> PatchResult:
+    """Patch a rule onto the changed schema, recording every edit.
+
+    Starved properties with a close-named survivor are substituted;
+    comparisons that cannot be repaired are pruned from their parent
+    aggregation. Raises :class:`MigrationError` when no gap-free rule
+    remains (the root itself is starved, or an aggregation would lose
+    all children) — and, defensively, when the patched rule still
+    reports gaps."""
+    report = check_rule(rule, source_a, source_b, ref=ref)
+    if report.ok:
+        return PatchResult(rule=rule, report=report, applied=())
+    schema_a = _schema(source_a)
+    schema_b = _schema(source_b)
+    applied: list[str] = []
+    patched_root = _patch_similarity(rule.root, schema_a, schema_b, applied)
+    if patched_root is None:
+        raise MigrationError(
+            f"rule cannot be auto-patched onto "
+            f"{report.schema_a!r} / {report.schema_b!r}: no comparison "
+            f"survives the gaps\n{report.describe()}"
+        )
+    patched = LinkageRule(patched_root)  # type: ignore[arg-type]
+    residual = check_rule(patched, source_a, source_b, ref=ref)
+    if not residual.ok:  # pragma: no cover - substitution is schema-closed
+        raise MigrationError(
+            f"auto-patch left residual gaps:\n{residual.describe()}"
+        )
+    diff = tuple(
+        difflib.unified_diff(
+            render_rule(rule, title="before").splitlines(),
+            render_rule(patched, title="after").splitlines(),
+            fromfile="before",
+            tofile="after",
+            lineterm="",
+        )
+    )
+    return PatchResult(
+        rule=patched, report=report, applied=tuple(applied), diff=diff
+    )
+
+
+def migrate_version(
+    registry,
+    ref,
+    source_a,
+    source_b,
+    apply: bool = False,
+):
+    """Run the migration pass for one stored version.
+
+    Returns ``(report, published)``: the :class:`GapReport`, plus the
+    newly published patched :class:`~repro.registry.store.RuleVersion`
+    when ``apply`` is true and gaps were found (``None`` otherwise —
+    a gap-free rule needs no new version). The published version's
+    provenance records what it was migrated from, every structural
+    edit, and the rendering diff."""
+    version = registry.resolve(ref)
+    rule = version.linkage_rule()
+    report = check_rule(rule, source_a, source_b, ref=str(version.ref))
+    if report.ok or not apply:
+        return report, None
+    result = auto_patch(rule, source_a, source_b, ref=str(version.ref))
+    published = registry.publish(
+        version.ref,
+        result.rule,
+        provenance={
+            "migrated_from": str(version.ref),
+            "migration_gaps": report.to_payload()["gaps"],
+            "migration_applied": list(result.applied),
+            "migration_diff": list(result.diff),
+            "schema_a": report.schema_a,
+            "schema_b": report.schema_b,
+        },
+    )
+    return report, published

@@ -1,0 +1,118 @@
+"""Rule references: the grammar clients name registry rules by.
+
+A reference selects one rule version out of a lineage::
+
+    tenant/scenario/name          # the lineage's active version
+    tenant/scenario/name@active   # the same, explicitly
+    tenant/scenario/name@v3       # version 3, pinned
+
+The three slash-separated segments mirror a production matcher's scope
+hierarchy: *tenant* isolates customers, *scenario* isolates workloads
+within a tenant (one tenant typically links several dataset pairs),
+*name* distinguishes rule lines within a scenario (a learned rule next
+to a hand-tuned one). Segments are restricted to a filesystem- and
+shell-safe alphabet because they become directory names in the
+:class:`~repro.registry.store.RuleRegistry` layout and appear verbatim
+in job records and CLI output.
+
+Version selectors are resolved exactly once, at submission time: a job
+record never stores ``@active`` — the service pins it to the concrete
+``@vN`` so re-running the recorded reference reproduces the original
+links even after the activation pointer moved on.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+
+#: One path segment: leading alphanumeric, then alphanumerics, dots,
+#: underscores and dashes. Deliberately excludes ``/`` and ``@`` (the
+#: grammar's own separators) and anything a filesystem would mangle.
+_SEGMENT = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+#: Version selector: ``v`` + positive decimal, e.g. ``v3``.
+_VERSION = re.compile(r"^v([1-9][0-9]*)$")
+
+
+class RefError(ValueError):
+    """A malformed rule reference."""
+
+
+@dataclass(frozen=True)
+class RuleRef:
+    """A parsed rule reference.
+
+    ``version is None`` means the active-version selector (whether it
+    was written ``@active`` or left implicit); an integer pins one
+    immutable version. :meth:`parse` and ``str()`` round-trip.
+    """
+
+    tenant: str
+    scenario: str
+    name: str
+    version: int | None = None
+
+    def __post_init__(self) -> None:
+        for label, segment in (
+            ("tenant", self.tenant),
+            ("scenario", self.scenario),
+            ("name", self.name),
+        ):
+            if not _SEGMENT.match(segment):
+                raise RefError(
+                    f"invalid {label} segment {segment!r}: segments are "
+                    f"alphanumeric plus '._-' (leading alphanumeric)"
+                )
+        if self.version is not None and self.version < 1:
+            raise RefError(f"version must be >= 1, got {self.version}")
+
+    @classmethod
+    def parse(cls, text: str | "RuleRef") -> "RuleRef":
+        """Parse ``tenant/scenario/name[@vN|@active]`` (idempotent for
+        already-parsed references)."""
+        if isinstance(text, RuleRef):
+            return text
+        if not isinstance(text, str):
+            raise RefError(
+                f"a rule reference is a string, got {type(text).__name__}"
+            )
+        body, sep, selector = text.partition("@")
+        segments = body.split("/")
+        if len(segments) != 3:
+            raise RefError(
+                f"invalid rule reference {text!r}: expected "
+                f"tenant/scenario/name[@vN|@active]"
+            )
+        version: int | None = None
+        if sep:
+            if selector == "active":
+                version = None
+            else:
+                match = _VERSION.match(selector)
+                if not match:
+                    raise RefError(
+                        f"invalid version selector {selector!r} in {text!r}: "
+                        f"expected @vN or @active"
+                    )
+                version = int(match.group(1))
+        return cls(segments[0], segments[1], segments[2], version)
+
+    @property
+    def lineage(self) -> str:
+        """The reference without its version selector."""
+        return f"{self.tenant}/{self.scenario}/{self.name}"
+
+    @property
+    def pinned(self) -> bool:
+        """Whether this reference names one immutable version."""
+        return self.version is not None
+
+    def at(self, version: int) -> "RuleRef":
+        """This lineage pinned to ``version``."""
+        return replace(self, version=version)
+
+    def __str__(self) -> str:
+        if self.version is None:
+            return f"{self.lineage}@active"
+        return f"{self.lineage}@v{self.version}"

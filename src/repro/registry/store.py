@@ -1,0 +1,446 @@
+"""The file-backed rule registry: named lineages, immutable versions,
+activation pointers.
+
+Layout (one directory per lineage, mirroring the reference grammar)::
+
+    <root>/<tenant>/<scenario>/<name>/
+        versions/v000001.json    # immutable version records
+        versions/v000002.json
+        active.json              # activation pointer ("serve v2")
+
+Version records are **immutable and content-hashed**: the record
+carries the rule dict, a ``sha256`` of its canonical JSON and the
+publication provenance (who/what/why — learning dataset fingerprints,
+fitness, migration diffs). Publication follows the repo-wide
+persistence discipline (write the full payload to a temp file first)
+but publishes with ``os.link`` instead of ``os.replace``: a hard link
+is atomic *and* exclusive, so two publishers racing for the same
+version number get distinct versions — the loser's link fails with
+``FileExistsError`` and it retries under the next number. Nothing ever
+rewrites a published version file; the only mutable file in a lineage
+is the activation pointer, which is replaced atomically
+(``os.replace``) so readers resolving ``@active`` always see a
+complete pointer to a complete version.
+
+Loading re-hashes the stored rule and compares against the recorded
+hash — a damaged or hand-edited version file surfaces as
+:class:`CorruptVersion` instead of silently serving a different rule
+than was published.
+"""
+
+from __future__ import annotations
+
+import difflib
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.core.rule import LinkageRule
+from repro.core.serialization import render_rule, rule_from_dict, rule_to_dict
+from repro.registry.refs import RefError, RuleRef
+
+#: Environment variable naming the default registry directory when a
+#: registry (or a service resolving rule references) is constructed
+#: without an explicit ``rules_dir``.
+RULES_DIR_ENV = "REPRO_RULES_DIR"
+
+#: Width of the zero-padded version field in filenames: lexicographic
+#: order equals numeric order for any realistic lineage length.
+_VERSION_WIDTH = 6
+
+
+class RegistryError(RuntimeError):
+    """Base class of registry resolution/publication failures."""
+
+
+class UnknownLineage(RegistryError, KeyError):
+    """The referenced lineage has no published versions."""
+
+
+class UnknownVersion(RegistryError, KeyError):
+    """The referenced version does not exist in the lineage."""
+
+
+class NoActivation(RegistryError):
+    """``@active`` was resolved against a lineage that has versions but
+    no activation pointer — an explicit operator decision is missing,
+    which is a terminal condition, not something to guess around."""
+
+
+class CorruptVersion(RegistryError):
+    """A version record whose stored rule no longer matches its
+    recorded content hash (or fails to parse at all)."""
+
+
+def rule_content_hash(rule: dict[str, Any]) -> str:
+    """The canonical content hash of a serialised rule: sha256 over
+    sorted-keys compact JSON, so hash equality is rule-dict equality
+    regardless of key order or formatting."""
+    canonical = json.dumps(rule, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class RuleVersion:
+    """One immutable published rule version.
+
+    ``rule`` is the serialised dict (:func:`~repro.core.serialization.
+    rule_to_dict` form); :meth:`linkage_rule` rebuilds the tree.
+    ``provenance`` is the publisher-supplied metadata dict (learning
+    dataset fingerprints, fitness, migration diff, notes) with the
+    registry-stamped ``created_at``/``published_by`` fields alongside.
+    """
+
+    ref: RuleRef
+    rule: dict[str, Any]
+    rule_hash: str
+    created_at: float
+    provenance: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def version(self) -> int:
+        assert self.ref.version is not None
+        return self.ref.version
+
+    def linkage_rule(self) -> LinkageRule:
+        """The stored rule as a live tree (validated on rebuild)."""
+        return rule_from_dict(self.rule)
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "ref": str(self.ref),
+            "version": self.version,
+            "rule": self.rule,
+            "rule_hash": self.rule_hash,
+            "created_at": self.created_at,
+            "provenance": self.provenance,
+        }
+
+
+def resolve_rules_dir(
+    rules_dir: str | os.PathLike | None = None,
+    default: str | os.PathLike | None = None,
+) -> Path | None:
+    """The registry directory in force: explicit argument, then
+    :data:`RULES_DIR_ENV`, then ``default`` (a service's
+    ``<root>/rules``), then ``None`` (no registry configured)."""
+    if rules_dir is not None:
+        return Path(rules_dir)
+    env = os.environ.get(RULES_DIR_ENV, "").strip()
+    if env:
+        return Path(env)
+    if default is not None:
+        return Path(default)
+    return None
+
+
+class RuleRegistry:
+    """A multi-tenant rule store over one directory tree.
+
+    Safe for concurrent publishers, activators and readers in separate
+    processes: version publication is exclusive-and-atomic (hard link
+    of a fully-written temp file), activation is an atomic pointer
+    replace, and every read re-verifies the content hash.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+
+    # -- publication -------------------------------------------------------
+    def publish(
+        self,
+        ref: str | RuleRef,
+        rule: LinkageRule | dict[str, Any],
+        provenance: dict[str, Any] | None = None,
+    ) -> RuleVersion:
+        """Publish a rule as the lineage's next version.
+
+        ``ref`` names the lineage (a version selector, if present, is
+        ignored — version numbers are assigned by the registry, never
+        by the publisher). The rule is validated by a full
+        dict -> tree -> dict round trip before anything is written, so
+        the registry never stores a rule it cannot later serve.
+        Racing publishers both succeed, under distinct versions.
+        """
+        lineage = RuleRef.parse(ref)
+        if isinstance(rule, LinkageRule):
+            rule_dict = rule_to_dict(rule)
+        else:
+            # Validate and normalise: storing the re-serialised form
+            # makes the content hash independent of optional-field
+            # spelling (e.g. an omitted default weight).
+            rule_dict = rule_to_dict(rule_from_dict(rule))
+        rule_hash = rule_content_hash(rule_dict)
+        versions_dir = self._versions_dir(lineage)
+        versions_dir.mkdir(parents=True, exist_ok=True)
+
+        payload = {
+            "rule": rule_dict,
+            "rule_hash": rule_hash,
+            "provenance": dict(provenance or {}),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=str(versions_dir), prefix="publish-", suffix=".tmp"
+        )
+        try:
+            version = self._next_version(versions_dir)
+            while True:
+                created_at = time.time()
+                payload["version"] = version
+                payload["ref"] = str(lineage.at(version))
+                payload["created_at"] = created_at
+                with os.fdopen(
+                    os.dup(fd), "w", encoding="utf-8"
+                ) as handle:
+                    handle.seek(0)
+                    handle.truncate()
+                    json.dump(payload, handle, sort_keys=True)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                try:
+                    os.link(tmp, versions_dir / self._version_name(version))
+                except FileExistsError:
+                    # Another publisher won this number; take the next.
+                    version = max(version + 1, self._next_version(versions_dir))
+                    continue
+                break
+        finally:
+            os.close(fd)
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        return RuleVersion(
+            ref=lineage.at(version),
+            rule=rule_dict,
+            rule_hash=rule_hash,
+            created_at=created_at,
+            provenance=dict(payload["provenance"]),
+        )
+
+    # -- activation --------------------------------------------------------
+    def activate(self, ref: str | RuleRef) -> RuleVersion:
+        """Point the lineage's ``@active`` selector at ``ref``'s pinned
+        version (which must exist). Returns the activated version."""
+        pinned = RuleRef.parse(ref)
+        if not pinned.pinned:
+            raise RefError(
+                f"activation needs a pinned version (got {pinned}); "
+                f"use tenant/scenario/name@vN"
+            )
+        version = self.resolve(pinned)  # existence + integrity check
+        pointer = self._active_path(pinned)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(pointer.parent), prefix="active-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {"version": version.version, "activated_at": time.time()},
+                    handle,
+                )
+            os.replace(tmp, pointer)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return version
+
+    def active_version(self, ref: str | RuleRef) -> int | None:
+        """The lineage's activated version number, or ``None`` when no
+        activation pointer exists."""
+        lineage = RuleRef.parse(ref)
+        try:
+            payload = json.loads(
+                self._active_path(lineage).read_text(encoding="utf-8")
+            )
+        except FileNotFoundError:
+            return None
+        except ValueError as error:  # pragma: no cover - atomic replace
+            raise CorruptVersion(
+                f"activation pointer of {lineage.lineage} is unreadable: "
+                f"{error}"
+            ) from None
+        return int(payload["version"])
+
+    # -- resolution --------------------------------------------------------
+    def resolve(self, ref: str | RuleRef) -> RuleVersion:
+        """Resolve a reference to its immutable version record.
+
+        ``@vN`` loads that version; ``@active`` (or no selector) reads
+        the activation pointer first. Raises :class:`UnknownLineage`,
+        :class:`UnknownVersion`, :class:`NoActivation` or
+        :class:`CorruptVersion` — all :class:`RegistryError`."""
+        parsed = RuleRef.parse(ref)
+        versions_dir = self._versions_dir(parsed)
+        if parsed.version is None:
+            active = self.active_version(parsed)
+            if active is None:
+                if not self._lineage_exists(parsed):
+                    raise UnknownLineage(
+                        f"unknown lineage {parsed.lineage!r}: no published "
+                        f"versions under {self.root}"
+                    )
+                raise NoActivation(
+                    f"lineage {parsed.lineage!r} has no active version: "
+                    f"published versions are "
+                    f"{[v.version for v in self.versions(parsed)]}, "
+                    f"activate one with tenant/scenario/name@vN"
+                )
+            parsed = parsed.at(active)
+        path = versions_dir / self._version_name(parsed.version)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            if not self._lineage_exists(parsed):
+                raise UnknownLineage(
+                    f"unknown lineage {parsed.lineage!r}: no published "
+                    f"versions under {self.root}"
+                ) from None
+            raise UnknownVersion(
+                f"no version v{parsed.version} in lineage "
+                f"{parsed.lineage!r}: published versions are "
+                f"{[v.version for v in self.versions(parsed)]}"
+            ) from None
+        except ValueError as error:
+            raise CorruptVersion(
+                f"version record {parsed} at {path} is unreadable: {error}"
+            ) from None
+        return self._validated(parsed, path, payload)
+
+    def versions(self, ref: str | RuleRef) -> list[RuleVersion]:
+        """All published versions of a lineage, oldest first."""
+        lineage = RuleRef.parse(ref)
+        versions_dir = self._versions_dir(lineage)
+        if not versions_dir.is_dir():
+            return []
+        out: list[RuleVersion] = []
+        for path in sorted(versions_dir.glob("v*.json")):
+            try:
+                number = int(path.stem[1:])
+            except ValueError:
+                continue
+            out.append(self.resolve(lineage.at(number)))
+        return out
+
+    def lineages(
+        self, tenant: str | None = None, scenario: str | None = None
+    ) -> list[RuleRef]:
+        """All lineages with at least one published version, sorted,
+        optionally filtered by tenant and scenario."""
+        if not self.root.is_dir():
+            return []
+        found: list[RuleRef] = []
+        for versions_dir in sorted(self.root.glob("*/*/*/versions")):
+            name_dir = versions_dir.parent
+            if not any(versions_dir.glob("v*.json")):
+                continue
+            try:
+                lineage = RuleRef(
+                    name_dir.parent.parent.name,
+                    name_dir.parent.name,
+                    name_dir.name,
+                )
+            except RefError:  # pragma: no cover - foreign directory
+                continue
+            if tenant is not None and lineage.tenant != tenant:
+                continue
+            if scenario is not None and lineage.scenario != scenario:
+                continue
+            found.append(lineage)
+        return found
+
+    # -- comparison --------------------------------------------------------
+    def diff(self, ref_a: str | RuleRef, ref_b: str | RuleRef) -> list[str]:
+        """Human-readable structural diff between two versions: a
+        unified diff of their rendered trees (empty when the rules are
+        identical — e.g. a republished unchanged rule)."""
+        version_a = self.resolve(ref_a)
+        version_b = self.resolve(ref_b)
+        if version_a.rule_hash == version_b.rule_hash:
+            return []
+        render_a = render_rule(
+            version_a.linkage_rule(), title=str(version_a.ref)
+        ).splitlines()
+        render_b = render_rule(
+            version_b.linkage_rule(), title=str(version_b.ref)
+        ).splitlines()
+        return list(
+            difflib.unified_diff(
+                render_a,
+                render_b,
+                fromfile=str(version_a.ref),
+                tofile=str(version_b.ref),
+                lineterm="",
+            )
+        )
+
+    def describe(self) -> dict:
+        """Registry summary for health checks and ``rules list``."""
+        lineages = self.lineages()
+        return {
+            "path": str(self.root),
+            "lineages": len(lineages),
+            "versions": sum(len(self.versions(ref)) for ref in lineages),
+        }
+
+    # -- internals ---------------------------------------------------------
+    def _validated(
+        self, ref: RuleRef, path: Path, payload: dict
+    ) -> RuleVersion:
+        rule = payload.get("rule")
+        recorded = payload.get("rule_hash")
+        if not isinstance(rule, dict) or not recorded:
+            raise CorruptVersion(
+                f"version record {ref} at {path} is missing its rule or hash"
+            )
+        actual = rule_content_hash(rule)
+        if actual != recorded:
+            raise CorruptVersion(
+                f"version record {ref} at {path} failed its content-hash "
+                f"check: recorded {recorded[:12]}…, stored rule hashes to "
+                f"{actual[:12]}… — the published record was modified"
+            )
+        return RuleVersion(
+            ref=ref,
+            rule=rule,
+            rule_hash=recorded,
+            created_at=float(payload.get("created_at", 0.0)),
+            provenance=dict(payload.get("provenance") or {}),
+        )
+
+    def _lineage_exists(self, ref: RuleRef) -> bool:
+        versions_dir = self._versions_dir(ref)
+        return versions_dir.is_dir() and any(versions_dir.glob("v*.json"))
+
+    def _next_version(self, versions_dir: Path) -> int:
+        highest = 0
+        for path in versions_dir.glob("v*.json"):
+            try:
+                highest = max(highest, int(path.stem[1:]))
+            except ValueError:
+                continue
+        return highest + 1
+
+    @staticmethod
+    def _version_name(version: int) -> str:
+        return f"v{version:0{_VERSION_WIDTH}d}.json"
+
+    def _lineage_dir(self, ref: RuleRef) -> Path:
+        return self.root / ref.tenant / ref.scenario / ref.name
+
+    def _versions_dir(self, ref: RuleRef) -> Path:
+        return self._lineage_dir(ref) / "versions"
+
+    def _active_path(self, ref: RuleRef) -> Path:
+        return self._lineage_dir(ref) / "active.json"
+
+    def __iter__(self) -> Iterator[RuleRef]:
+        return iter(self.lineages())

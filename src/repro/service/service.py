@@ -19,11 +19,20 @@ from __future__ import annotations
 import os
 import random
 import time
+import warnings
 from pathlib import Path
 
 from repro.engine.store import CACHE_ENV, ColumnStore
 from repro.faults import Cancelled, CancelToken
 from repro.matching.engine import GeneratedLink
+from repro.registry import (
+    MigrationError,
+    RegistryError,
+    RuleRef,
+    RuleRegistry,
+    SchemaGapError,
+    resolve_rules_dir,
+)
 from repro.service.jobs import JobRecord, JobStore
 from repro.service.queue import QueueBackend, resolve_queue
 from repro.service.worker import (
@@ -80,6 +89,11 @@ class LinkageService:
     ``queue`` selects the backend (``file``, ``redis``, ``inline``;
     ``None`` consults ``REPRO_SERVICE_QUEUE``). An unavailable backend
     degrades to inline execution and :meth:`health` reports why.
+
+    ``rules_dir`` names the rule registry jobs may reference rules from
+    (``REPRO_RULES_DIR`` is consulted next, then ``<root>/rules``);
+    workers resolving registry references for this service's jobs must
+    see the same directory, exactly like the shared cache dir.
     """
 
     def __init__(
@@ -87,6 +101,7 @@ class LinkageService:
         root: str | os.PathLike | None = None,
         queue: str | None = None,
         cache_dir: str | None = None,
+        rules_dir: str | None = None,
         max_attempts: int = 3,
         lease: float = DEFAULT_LEASE,
     ):
@@ -103,7 +118,15 @@ class LinkageService:
             self.cache_dir = os.environ.get(CACHE_ENV, "") or str(
                 self.root / "cache"
             )
+        self.rules_dir = str(
+            resolve_rules_dir(rules_dir, default=self.root / "rules")
+        )
         self._inline_runner: JobRunner | None = None
+
+    @property
+    def registry(self) -> RuleRegistry:
+        """The rule registry this service resolves references from."""
+        return RuleRegistry(self.rules_dir)
 
     @property
     def inline(self) -> bool:
@@ -130,9 +153,41 @@ class LinkageService:
 
     # -- submission --------------------------------------------------------
     def submit(
-        self, kind: str, spec: dict, deadline: float | None = None
+        self,
+        kind: str,
+        spec: dict | None = None,
+        *,
+        dataset: str | None = None,
+        rule: RuleRef | str | dict | None = None,
+        seed: int = 0,
+        scale: float = 1.0,
+        parent: str | None = None,
+        upserts: int = 0,
+        deletes: int = 0,
+        population_size: int = 20,
+        iterations: int = 5,
+        publish: RuleRef | str | None = None,
+        deadline: float | None = None,
     ) -> JobRecord:
         """Create a job and hand it to the execution mode in force.
+
+        This is the whole submission surface: ``kind`` selects the job
+        (``link``, ``learn``, ``delta``) and keyword fields carry its
+        inputs — ``dataset``/``seed``/``scale`` for link and learn jobs,
+        ``parent``/``upserts``/``deletes`` for deltas. ``rule`` (link
+        jobs) is either an inline rule dict or a registry reference
+        (:class:`~repro.registry.RuleRef` or ``tenant/scenario/name
+        [@vN|@active]`` string); references are resolved *now*, against
+        this service's registry, and the job record stores the pinned
+        ``name@vN`` plus content hash — an activation flip after
+        submission never changes what the job runs. ``publish`` (learn
+        jobs) names the lineage the learned rule is published into.
+
+        A reference that does not resolve (unknown lineage or version,
+        ``@active`` with no activation) is a *terminal* submission
+        failure: the record is created and immediately failed with the
+        registry error — it is never enqueued and never retried, because
+        retrying cannot conjure the missing version.
 
         With a queue: the record is persisted ``queued`` and a ticket
         enqueued — a worker picks it up. Inline: the record runs
@@ -144,7 +199,48 @@ class LinkageService:
         (``None`` consults ``REPRO_JOB_DEADLINE``, then unbounded); an
         exceeded deadline fails the job terminally with
         ``error="deadline"``.
+
+        Passing a raw ``spec`` dict positionally is the deprecated
+        pre-registry surface; it still works (one ``DeprecationWarning``)
+        but performs no reference resolution.
         """
+        if spec is not None:
+            warnings.warn(
+                "passing a spec dict to LinkageService.submit is "
+                "deprecated; use keyword fields "
+                "(submit('link', dataset=..., rule=...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        else:
+            spec = self._build_spec(
+                kind,
+                dataset=dataset,
+                rule=rule,
+                seed=seed,
+                scale=scale,
+                parent=parent,
+                upserts=upserts,
+                deletes=deletes,
+                population_size=population_size,
+                iterations=iterations,
+                publish=publish,
+            )
+            if isinstance(rule, (str, RuleRef)):
+                error = self._pin_rule_ref(spec, rule)
+                if error is not None:
+                    record = self.store.create(
+                        kind,
+                        spec,
+                        max_attempts=self._max_attempts,
+                        deadline=_resolve_deadline(deadline),
+                    )
+                    return self.store.transition(
+                        record.job_id,
+                        "failed",
+                        expect="queued",
+                        error=f"registry: {error}",
+                    )
         record = self.store.create(
             kind,
             spec,
@@ -156,6 +252,85 @@ class LinkageService:
             return record
         return self._run_inline(record)
 
+    def _build_spec(
+        self,
+        kind: str,
+        *,
+        dataset: str | None,
+        rule: RuleRef | str | dict | None,
+        seed: int,
+        scale: float,
+        parent: str | None,
+        upserts: int,
+        deletes: int,
+        population_size: int,
+        iterations: int,
+        publish: RuleRef | str | None,
+    ) -> dict:
+        """Validate keyword fields for ``kind`` and shape the job spec."""
+        if kind == "delta":
+            if parent is None:
+                raise ValueError("delta jobs need parent=<job id>")
+            if rule is not None:
+                raise ValueError(
+                    "delta jobs replay the parent's rule; rule= is not "
+                    "accepted"
+                )
+            return {
+                "parent": parent,
+                "seed": seed,
+                "upserts": upserts,
+                "deletes": deletes,
+            }
+        if kind not in ("link", "learn"):
+            raise ValueError(f"unknown job kind {kind!r}")
+        if dataset is None:
+            raise ValueError(f"{kind} jobs need dataset=<name>")
+        spec: dict = {"dataset": dataset, "seed": seed, "scale": scale}
+        if kind == "learn":
+            if rule is not None:
+                raise ValueError(
+                    "learn jobs learn their rule; rule= is not accepted"
+                )
+            spec["population_size"] = population_size
+            spec["iterations"] = iterations
+            if publish is not None:
+                ref = RuleRef.parse(publish)
+                if ref.pinned:
+                    raise ValueError(
+                        f"publish={str(ref)!r} pins a version; publishing "
+                        f"always appends the next one — pass the bare "
+                        f"lineage {ref.lineage!r}"
+                    )
+                spec["publish"] = ref.lineage
+            return spec
+        if publish is not None:
+            raise ValueError("publish= applies to learn jobs only")
+        if isinstance(rule, dict):
+            spec["rule"] = rule
+        return spec
+
+    def _pin_rule_ref(
+        self, spec: dict, rule: RuleRef | str
+    ) -> RegistryError | None:
+        """Resolve a registry reference at submission time.
+
+        On success the spec gains the pinned ``rule_ref`` (always
+        ``@vN``, even when the caller said ``@active``) and its
+        ``rule_hash``; on a registry failure the *requested* reference
+        is recorded and the error returned for the caller to fail the
+        job with. A malformed reference raises — that is a caller bug,
+        not a registry state."""
+        ref = RuleRef.parse(rule)
+        spec["rule_ref"] = str(ref)
+        try:
+            version = self.registry.resolve(ref)
+        except RegistryError as error:
+            return error
+        spec["rule_ref"] = str(version.ref)
+        spec["rule_hash"] = version.rule_hash
+        return None
+
     def submit_link(
         self,
         dataset: str,
@@ -164,12 +339,21 @@ class LinkageService:
         rule: dict | None = None,
         deadline: float | None = None,
     ) -> JobRecord:
-        """Submit a link-generation job over a bundled dataset (the
-        per-dataset gate rule when ``rule`` is ``None``)."""
-        spec: dict = {"dataset": dataset, "seed": seed, "scale": scale}
-        if rule is not None:
-            spec["rule"] = rule
-        return self.submit("link", spec, deadline=deadline)
+        """Deprecated shim for :meth:`submit` with ``kind="link"``."""
+        warnings.warn(
+            "LinkageService.submit_link is deprecated; use "
+            "submit('link', dataset=..., rule=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.submit(
+            "link",
+            dataset=dataset,
+            seed=seed,
+            scale=scale,
+            rule=rule,
+            deadline=deadline,
+        )
 
     def submit_delta(
         self,
@@ -179,16 +363,19 @@ class LinkageService:
         deletes: int = 0,
         deadline: float | None = None,
     ) -> JobRecord:
-        """Submit an incremental job re-deriving a parent job's links
-        after a reproducible random source delta."""
+        """Deprecated shim for :meth:`submit` with ``kind="delta"``."""
+        warnings.warn(
+            "LinkageService.submit_delta is deprecated; use "
+            "submit('delta', parent=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.submit(
             "delta",
-            {
-                "parent": parent,
-                "seed": seed,
-                "upserts": upserts,
-                "deletes": deletes,
-            },
+            parent=parent,
+            seed=seed,
+            upserts=upserts,
+            deletes=deletes,
             deadline=deadline,
         )
 
@@ -216,6 +403,25 @@ class LinkageService:
                 expect="running",
                 error=cancelled.reason,
             )
+        except SchemaGapError as error:
+            # A rule about to run against a schema it has gaps on never
+            # scores silently: the job fails with the structured report.
+            return self.store.transition(
+                record.job_id,
+                "failed",
+                expect="running",
+                error=f"schema gap: {error}",
+                result={"gap_report": error.report.to_payload()},
+            )
+        except (RegistryError, MigrationError) as error:
+            # Registry state can't improve by retrying; inline runs have
+            # no retry anyway, but the error prefix matches the workers'.
+            return self.store.transition(
+                record.job_id,
+                "failed",
+                expect="running",
+                error=f"registry: {error}",
+            )
         except Exception as error:
             return self.store.transition(
                 record.job_id,
@@ -235,7 +441,9 @@ class LinkageService:
 
     def _runner(self) -> JobRunner:
         if self._inline_runner is None:
-            self._inline_runner = JobRunner(self.cache_dir)
+            self._inline_runner = JobRunner(
+                self.cache_dir, rules_dir=self.rules_dir
+            )
         return self._inline_runner
 
     # -- polling and results -----------------------------------------------
@@ -331,11 +539,17 @@ class LinkageService:
         explains an involuntary fallback. ``workers`` lists liveness
         records with a fresh heartbeat; ``store`` summarises the
         shared persistent cache (including its circuit-breaker state).
-        ``degradations`` maps job ids to the store degradations their
-        runs recorded (circuit-breaker trips carried through
-        ``MatchStats.degraded``) — empty when every run had a healthy
-        disk. Running the reaper first means the snapshot reflects
-        recovered state, not stale claims.
+
+        ``degradations`` is the one schema every degraded path reports
+        under: a list of ``{"component", "scope", "reason"}`` dicts,
+        where ``component`` is ``"queue"`` (backend fell back to
+        inline), ``"store"`` (a run recorded circuit-breaker trips via
+        ``MatchStats.degraded``) or ``"registry"`` (a job failed on
+        reference resolution or a schema gap), and ``scope`` is
+        ``"service"`` for service-wide conditions or the affected job
+        id. Empty means nothing degraded anywhere. Running the reaper
+        first means the snapshot reflects recovered state, not stale
+        claims.
         """
         if self.queue is not None:
             recover_stale(self.store, self.queue, lease=self._lease)
@@ -345,11 +559,35 @@ class LinkageService:
                 store_info = ColumnStore(self.cache_dir).describe()
             except OSError:  # pragma: no cover - unreadable cache dir
                 store_info = None
-        degradations: dict[str, list[str]] = {}
+        degradations: list[dict] = []
+        if self._degraded_reason:
+            degradations.append(
+                {
+                    "component": "queue",
+                    "scope": "service",
+                    "reason": self._degraded_reason,
+                }
+            )
         for record in self.store.records():
-            reasons = (record.stats or {}).get("degraded") or []
-            if reasons:
-                degradations[record.job_id] = list(reasons)
+            for reason in (record.stats or {}).get("degraded") or []:
+                degradations.append(
+                    {
+                        "component": "store",
+                        "scope": record.job_id,
+                        "reason": reason,
+                    }
+                )
+            error = record.error or ""
+            if record.state == "failed" and error.startswith(
+                ("registry:", "schema gap:")
+            ):
+                degradations.append(
+                    {
+                        "component": "registry",
+                        "scope": record.job_id,
+                        "reason": error,
+                    }
+                )
         return {
             "mode": "inline" if self.queue is None else "queue",
             "degraded_reason": self._degraded_reason,

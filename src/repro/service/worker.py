@@ -35,6 +35,16 @@ from repro import faults
 from repro.engine.session import EngineSession
 from repro.faults import Cancelled, CancelToken
 from repro.matching.engine import MatchingEngine
+from repro.registry import (
+    CorruptVersion,
+    MigrationError,
+    RegistryError,
+    RuleRef,
+    RuleRegistry,
+    SchemaGapError,
+    check_rule,
+    resolve_rules_dir,
+)
 from repro.service.jobs import (
     CorruptRecord,
     InvalidTransition,
@@ -63,8 +73,11 @@ class JobRunner:
     falls back to a per-run session over the same on-disk store.
     """
 
-    def __init__(self, cache_dir: str | None = None):
+    def __init__(
+        self, cache_dir: str | None = None, rules_dir: str | None = None
+    ):
         self.cache_dir = cache_dir
+        self.rules_dir = rules_dir
         self._session: EngineSession | None = None
         try:
             self._session = EngineSession(store=cache_dir)
@@ -126,19 +139,62 @@ class JobRunner:
             scale=float(spec.get("scale", 1.0)),
         )
 
+    def _registry(self) -> RuleRegistry:
+        """The registry this runner resolves references from.
+
+        Workers and the submitting service must see the same directory
+        (the service defaults both to ``<root>/rules``); a runner with
+        no configured registry fails any referencing job terminally."""
+        root = resolve_rules_dir(self.rules_dir)
+        if root is None:
+            raise RegistryError(
+                "no rules directory configured: pass rules_dir= or set "
+                "REPRO_RULES_DIR"
+            )
+        return RuleRegistry(root)
+
     def _rule(self, spec: dict):
         from repro.core.serialization import rule_from_dict
         from repro.matching.incremental import dataset_rule
 
+        if spec.get("rule_ref"):
+            return self._resolve_ref(spec).linkage_rule()
         if spec.get("rule"):
             return rule_from_dict(spec["rule"])
         return dataset_rule(spec["dataset"])
 
+    def _resolve_ref(self, spec: dict):
+        """Load the registry version a job spec references, re-verifying
+        the content hash recorded at submission time — a registry whose
+        version content drifted from what the submitter pinned is a
+        corruption, not a silent substitution."""
+        version = self._registry().resolve(RuleRef.parse(spec["rule_ref"]))
+        expected = spec.get("rule_hash")
+        if expected and version.rule_hash != expected:
+            raise CorruptVersion(
+                f"{version.ref}: content hash {version.rule_hash[:12]} "
+                f"does not match {expected[:12]} recorded at submission"
+            )
+        return version
+
     def _run_link(self, record: JobRecord, cancel: CancelToken | None = None):
         from repro.core.serialization import rule_to_dict
 
-        dataset = self._sources(record.spec)
-        rule = self._rule(record.spec)
+        spec = record.spec
+        dataset = self._sources(spec)
+        rule = self._rule(spec)
+        if spec.get("rule_ref") or spec.get("rule"):
+            # Stored/inline rules may have been learned on a different
+            # schema; an execute that would silently score starved
+            # comparisons 0.0 is refused with the structured report.
+            report = check_rule(
+                rule,
+                dataset.source_a,
+                dataset.source_b,
+                ref=spec.get("rule_ref"),
+            )
+            if not report.ok:
+                raise SchemaGapError(report)
         links = self._engine.execute(
             rule, dataset.source_a, dataset.source_b, cancel=cancel
         )
@@ -147,6 +203,9 @@ class JobRunner:
             "links": len(links),
             "rule": rule_to_dict(rule),
         }
+        if spec.get("rule_ref"):
+            result["rule_ref"] = spec["rule_ref"]
+            result["rule_hash"] = spec.get("rule_hash")
         return links, stats_payload(stats), result
 
     def _run_learn(self, record: JobRecord, cancel: CancelToken | None = None):
@@ -182,6 +241,33 @@ class JobRunner:
             "validation_f_measure": final.validation_f_measure,
             "iterations": final.iteration,
         }
+        if spec.get("publish"):
+            # Publish the learned rule into the requested lineage with
+            # full provenance: what it was learned on (down to the
+            # source content fingerprints), how well it scored, and
+            # which job produced it.
+            ref = RuleRef.parse(spec["publish"])
+            version = self._registry().publish(
+                ref,
+                rule,
+                provenance={
+                    "job_id": record.job_id,
+                    "dataset": spec["dataset"],
+                    "seed": int(spec.get("seed", 0)),
+                    "scale": float(spec.get("scale", 1.0)),
+                    "source_fingerprints": {
+                        "a": dataset.source_a.fingerprint(),
+                        "b": dataset.source_b.fingerprint(),
+                    },
+                    "train_f_measure": final.train_f_measure,
+                    "validation_f_measure": final.validation_f_measure,
+                    "iterations": final.iteration,
+                },
+            )
+            result["published"] = {
+                "ref": str(version.ref),
+                "rule_hash": version.rule_hash,
+            }
         return links, stats_payload(stats), result
 
     def _run_delta(
@@ -390,6 +476,7 @@ def run_worker(
     worker_id: str | None = None,
     queue: QueueBackend | None = None,
     cache_dir: str | None = None,
+    rules_dir: str | None = None,
     drain: bool = False,
     max_jobs: int | None = None,
     lease: float = DEFAULT_LEASE,
@@ -407,6 +494,10 @@ def run_worker(
     publishes its own liveness record every iteration and heartbeats
     the job record from a background thread while executing, so the
     reaper can tell a slow job from a dead worker.
+
+    ``rules_dir`` names the rule registry referencing jobs resolve
+    against (``REPRO_RULES_DIR``, then ``<root>/rules`` — the same
+    default the submitting service uses over this directory).
     """
     store = JobStore(root)
     if queue is None:
@@ -414,7 +505,10 @@ def run_worker(
     worker_id = worker_id or f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
     if heartbeat_interval is None:
         heartbeat_interval = max(0.05, lease / 3.0)
-    runner = JobRunner(cache_dir)
+    runner = JobRunner(
+        cache_dir,
+        rules_dir=str(resolve_rules_dir(rules_dir, default=Path(root) / "rules")),
+    )
     processed = 0
     try:
         while max_jobs is None or processed < max_jobs:
@@ -491,6 +585,22 @@ def run_worker(
                 stop.set()
                 beat.join()
                 _handle_cancel(store, queue, ticket, worker_id, cancelled.reason)
+                continue
+            except (RegistryError, MigrationError) as error:
+                # Registry failures are terminal, never retried: a
+                # missing lineage, an unactivated ``@active`` or a
+                # schema gap will fail identically on every attempt.
+                stop.set()
+                beat.join()
+                if isinstance(error, SchemaGapError):
+                    message = f"schema gap: {error}"
+                    result = {"gap_report": error.report.to_payload()}
+                else:
+                    message = f"registry: {error}"
+                    result = None
+                _handle_terminal(
+                    store, queue, ticket, worker_id, message, result
+                )
                 continue
             except Exception as error:
                 stop.set()
@@ -576,6 +686,34 @@ def _handle_cancel(
             expect_worker=worker_id,
             error=reason,
             heartbeat_at=time.time(),
+        )
+    except (StaleJob, InvalidTransition, OSError):
+        pass
+    _quiet(queue.ack, ticket)
+
+
+def _handle_terminal(
+    store: JobStore,
+    queue: QueueBackend,
+    ticket: ClaimTicket,
+    worker_id: str,
+    error: str,
+    result: dict | None = None,
+) -> None:
+    """Fail a job with no retry, regardless of remaining attempts —
+    used for registry and schema-gap failures, whose outcome is
+    deterministic across attempts. ``result`` optionally carries a
+    structured payload (the gap report) onto the record."""
+    fields: dict = {"error": error, "heartbeat_at": time.time()}
+    if result is not None:
+        fields["result"] = result
+    try:
+        store.transition(
+            ticket.job_id,
+            "failed",
+            expect="running",
+            expect_worker=worker_id,
+            **fields,
         )
     except (StaleJob, InvalidTransition, OSError):
         pass

@@ -93,7 +93,7 @@ def _recover_and_drain(service) -> None:
 
 def test_sigkill_before_execution_recovers_to_identical_links(tmp_path):
     service = LinkageService(root=tmp_path, queue="file")
-    record = service.submit_link(DATASET, scale=SCALE)
+    record = service.submit("link", dataset=DATASET, scale=SCALE)
 
     # The worker.execute seam sits after the queued->running transition:
     # the kill lands with the claim taken and the record running.
@@ -121,7 +121,7 @@ def test_sigkill_before_execution_recovers_to_identical_links(tmp_path):
 
 def test_sigkill_inside_a_store_write_recovers_to_identical_links(tmp_path):
     service = LinkageService(root=tmp_path, queue="file")
-    record = service.submit_link(DATASET, scale=SCALE)
+    record = service.submit("link", dataset=DATASET, scale=SCALE)
 
     # The store.write seam fires with the temp file open and unpublished
     # — the kill leaves the persistent cache mid-write.
@@ -141,7 +141,7 @@ def test_sigkill_inside_a_store_write_recovers_to_identical_links(tmp_path):
     # The recovery run read the half-written cache dir without
     # inheriting corruption: its own links prove semantic recovery, and
     # a warm follow-up job over the published blobs stays identical.
-    follow_up = service.submit_link(DATASET, scale=SCALE)
+    follow_up = service.submit("link", dataset=DATASET, scale=SCALE)
     run_worker(
         tmp_path, worker_id="warm", cache_dir=service.cache_dir,
         drain=True, lease=LEASE, poll_interval=0.05,
@@ -152,9 +152,9 @@ def test_sigkill_inside_a_store_write_recovers_to_identical_links(tmp_path):
 def test_seeded_chaos_soak_drains_without_loss_or_duplication(tmp_path):
     service = LinkageService(root=tmp_path, queue="file")
     jobs = [
-        service.submit_link(DATASET, seed=0, scale=SCALE),
-        service.submit_link(DATASET, seed=1, scale=SCALE),
-        service.submit_link(DATASET, seed=0, scale=SCALE),
+        service.submit("link", dataset=DATASET, seed=0, scale=SCALE),
+        service.submit("link", dataset=DATASET, seed=1, scale=SCALE),
+        service.submit("link", dataset=DATASET, seed=0, scale=SCALE),
     ]
 
     plan = (

@@ -326,7 +326,7 @@ def test_cancel_token_deadline_and_first_reason_wins():
 
 def test_inline_deadline_fails_the_job_terminally(tmp_path):
     with LinkageService(root=tmp_path, queue="inline") as service:
-        record = service.submit_link(DATASET, scale=SCALE, deadline=1e-9)
+        record = service.submit("link", dataset=DATASET, scale=SCALE, deadline=1e-9)
         assert record.state == "failed" and record.error == "deadline"
         assert record.deadline == 1e-9
 
@@ -334,9 +334,9 @@ def test_inline_deadline_fails_the_job_terminally(tmp_path):
 def test_deadline_env_default_and_argument_precedence(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_JOB_DEADLINE", "120")
     service = LinkageService(root=tmp_path, queue="file")
-    from_env = service.submit("link", {"dataset": DATASET, "scale": SCALE})
+    from_env = service.submit("link", dataset=DATASET, scale=SCALE)
     explicit = service.submit(
-        "link", {"dataset": DATASET, "scale": SCALE}, deadline=5.0
+        "link", dataset=DATASET, scale=SCALE, deadline=5.0
     )
     assert from_env.deadline == 120.0
     assert explicit.deadline == 5.0
@@ -344,7 +344,7 @@ def test_deadline_env_default_and_argument_precedence(tmp_path, monkeypatch):
 
 def test_worker_deadline_fails_the_job_and_acks_the_ticket(tmp_path):
     service = LinkageService(root=tmp_path, queue="file")
-    record = service.submit_link(DATASET, scale=SCALE, deadline=1e-9)
+    record = service.submit("link", dataset=DATASET, scale=SCALE, deadline=1e-9)
     assert record.state == "queued"
     run_worker(
         tmp_path, worker_id="w0", cache_dir=service.cache_dir, drain=True
@@ -356,7 +356,7 @@ def test_worker_deadline_fails_the_job_and_acks_the_ticket(tmp_path):
 
 def test_cancel_verb_fails_queued_jobs_immediately(tmp_path):
     service = LinkageService(root=tmp_path, queue="file")
-    record = service.submit_link(DATASET, scale=SCALE)
+    record = service.submit("link", dataset=DATASET, scale=SCALE)
     cancelled = service.cancel(record.job_id)
     assert cancelled.state == "failed" and cancelled.error == "cancelled"
 
@@ -372,7 +372,7 @@ def test_cancel_verb_flags_running_jobs_and_rejects_terminal(tmp_path):
     import time
 
     service = LinkageService(root=tmp_path, queue="file")
-    record = service.submit_link(DATASET, scale=SCALE)
+    record = service.submit("link", dataset=DATASET, scale=SCALE)
     service.queue.claim("w0")
     service.store.transition(
         record.job_id, "running", expect="queued",
@@ -392,7 +392,7 @@ def test_pre_claimed_cancel_is_honoured_by_the_worker(tmp_path):
     """A cancel flag set while the job is queued-but-claimed is seen by
     the worker before any work: the run starts pre-cancelled."""
     service = LinkageService(root=tmp_path, queue="file")
-    record = service.submit_link(DATASET, scale=SCALE)
+    record = service.submit("link", dataset=DATASET, scale=SCALE)
     # Flag the record directly (the verb only flags running jobs).
     stored = service.store.get(record.job_id)
     stored.cancel_requested = True

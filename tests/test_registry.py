@@ -1,0 +1,360 @@
+"""The rule registry: reference grammar, immutable versioned lineages,
+activation pointers, concurrency, and schema migration."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.core.nodes import (
+    AggregationNode,
+    ComparisonNode,
+    PropertyNode,
+    TransformationNode,
+)
+from repro.core.rule import LinkageRule
+from repro.core.serialization import rule_to_dict
+from repro.matching.incremental import dataset_rule
+from repro.registry import (
+    CorruptVersion,
+    MigrationError,
+    NoActivation,
+    RefError,
+    RuleRef,
+    RuleRegistry,
+    UnknownLineage,
+    UnknownVersion,
+    auto_patch,
+    check_rule,
+    migrate_version,
+    rule_content_hash,
+)
+
+
+def _comparison(prop_a: str, prop_b: str, metric: str = "levenshtein"):
+    return ComparisonNode(
+        metric,
+        1.0,
+        TransformationNode("lowerCase", (PropertyNode(prop_a),)),
+        TransformationNode("lowerCase", (PropertyNode(prop_b),)),
+    )
+
+
+def _two_way_rule() -> LinkageRule:
+    return LinkageRule(
+        AggregationNode(
+            "wmean",
+            (_comparison("name", "name"), _comparison("city", "city")),
+        )
+    )
+
+
+# -- reference grammar -----------------------------------------------------
+def test_ref_parse_round_trips():
+    ref = RuleRef.parse("acme/restaurants/base@v3")
+    assert (ref.tenant, ref.scenario, ref.name, ref.version) == (
+        "acme", "restaurants", "base", 3,
+    )
+    assert ref.pinned
+    assert ref.lineage == "acme/restaurants/base"
+    assert str(ref) == "acme/restaurants/base@v3"
+    assert RuleRef.parse(str(ref)) == ref
+
+
+def test_ref_active_and_bare_are_unpinned():
+    for text in ("acme/restaurants/base", "acme/restaurants/base@active"):
+        ref = RuleRef.parse(text)
+        assert ref.version is None and not ref.pinned
+        assert str(ref) == "acme/restaurants/base@active"
+
+
+def test_ref_at_pins_a_version():
+    ref = RuleRef.parse("acme/restaurants/base@active").at(7)
+    assert ref.pinned and str(ref) == "acme/restaurants/base@v7"
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "acme",
+        "acme/restaurants",
+        "acme/restaurants/base/extra",
+        "acme//base",
+        "-acme/restaurants/base",
+        "acme/restaurants/base@v0",
+        "acme/restaurants/base@v01",
+        "acme/restaurants/base@latest",
+        "acme/rest aurants/base",
+        "acme/restaurants/ba$e",
+    ],
+)
+def test_ref_rejects_malformed_text(bad):
+    with pytest.raises(RefError):
+        RuleRef.parse(bad)
+
+
+def test_ref_parse_is_idempotent_for_ref_values():
+    ref = RuleRef.parse("a/b/c@v2")
+    assert RuleRef.parse(ref) is ref
+
+
+# -- publish / resolve / activate ------------------------------------------
+def test_publish_assigns_sequential_versions(tmp_path):
+    registry = RuleRegistry(tmp_path)
+    ref = RuleRef.parse("acme/rest/base")
+    v1 = registry.publish(ref, dataset_rule("restaurant"))
+    v2 = registry.publish(ref, _two_way_rule())
+    assert (v1.version, v2.version) == (1, 2)
+    assert str(v1.ref) == "acme/rest/base@v1"
+    assert registry.resolve("acme/rest/base@v2").rule_hash == v2.rule_hash
+
+
+def test_publish_normalises_dict_and_hashes_content(tmp_path):
+    registry = RuleRegistry(tmp_path)
+    rule = dataset_rule("restaurant")
+    version = registry.publish("acme/rest/base", rule_to_dict(rule))
+    assert version.rule == rule_to_dict(rule)
+    assert version.rule_hash == rule_content_hash(rule_to_dict(rule))
+    assert version.linkage_rule() == rule
+
+
+def test_resolve_unknown_lineage_and_version(tmp_path):
+    registry = RuleRegistry(tmp_path)
+    with pytest.raises(UnknownLineage):
+        registry.resolve("acme/rest/base@v1")
+    registry.publish("acme/rest/base", dataset_rule("restaurant"))
+    with pytest.raises(UnknownVersion):
+        registry.resolve("acme/rest/base@v9")
+
+
+def test_active_requires_activation(tmp_path):
+    registry = RuleRegistry(tmp_path)
+    registry.publish("acme/rest/base", dataset_rule("restaurant"))
+    assert registry.active_version("acme/rest/base") is None
+    with pytest.raises(NoActivation):
+        registry.resolve("acme/rest/base@active")
+    registry.activate("acme/rest/base@v1")
+    assert registry.active_version("acme/rest/base") == 1
+    assert registry.resolve("acme/rest/base@active").version == 1
+
+
+def test_activate_rejects_unpinned_and_unknown(tmp_path):
+    registry = RuleRegistry(tmp_path)
+    registry.publish("acme/rest/base", dataset_rule("restaurant"))
+    with pytest.raises(RefError):
+        registry.activate("acme/rest/base@active")
+    with pytest.raises(UnknownVersion):
+        registry.activate("acme/rest/base@v4")
+
+
+def test_corrupt_version_detected_on_load(tmp_path):
+    registry = RuleRegistry(tmp_path)
+    version = registry.publish("acme/rest/base", dataset_rule("restaurant"))
+    path = (
+        tmp_path / "acme" / "rest" / "base" / "versions" / "v000001.json"
+    )
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    payload["rule"]["linkageRule"]["threshold"] = 0.123
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    with pytest.raises(CorruptVersion):
+        registry.resolve(version.ref)
+
+
+def test_lineages_and_describe(tmp_path):
+    registry = RuleRegistry(tmp_path)
+    registry.publish("acme/rest/base", dataset_rule("restaurant"))
+    registry.publish("acme/rest/alt", dataset_rule("restaurant"))
+    registry.publish("globex/movies/base", dataset_rule("restaurant"))
+    all_refs = [ref.lineage for ref in registry.lineages()]
+    assert all_refs == [
+        "acme/rest/alt", "acme/rest/base", "globex/movies/base",
+    ]
+    acme = [ref.lineage for ref in registry.lineages("acme")]
+    assert acme == ["acme/rest/alt", "acme/rest/base"]
+    summary = registry.describe()
+    assert summary["lineages"] == 3 and summary["versions"] == 3
+
+
+def test_diff_between_versions(tmp_path):
+    registry = RuleRegistry(tmp_path)
+    registry.publish("acme/rest/base", dataset_rule("restaurant"))
+    registry.publish("acme/rest/base", _two_way_rule())
+    registry.publish("acme/rest/base", dataset_rule("restaurant"))
+    assert registry.diff("acme/rest/base@v1", "acme/rest/base@v3") == []
+    lines = registry.diff("acme/rest/base@v1", "acme/rest/base@v2")
+    assert any(line.startswith("+") for line in lines)
+    assert any("city" in line for line in lines)
+
+
+# -- concurrency -----------------------------------------------------------
+def test_racing_publishers_get_distinct_versions(tmp_path):
+    registry = RuleRegistry(tmp_path)
+    results: list[int] = []
+    errors: list[Exception] = []
+    barrier = threading.Barrier(8)
+
+    def publish(index: int) -> None:
+        rule = LinkageRule(_comparison("name", "name", "levenshtein"))
+        try:
+            barrier.wait()
+            version = registry.publish(
+                "acme/rest/base", rule, provenance={"publisher": index}
+            )
+            results.append(version.version)
+        except Exception as error:  # pragma: no cover - fail loudly below
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=publish, args=(i,)) for i in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert sorted(results) == list(range(1, 9))
+    publishers = {
+        registry.resolve(f"acme/rest/base@v{n}").provenance["publisher"]
+        for n in results
+    }
+    assert publishers == set(range(8))
+
+
+def test_activation_flips_under_concurrent_readers(tmp_path):
+    registry = RuleRegistry(tmp_path)
+    v1 = registry.publish("acme/rest/base", dataset_rule("restaurant"))
+    v2 = registry.publish("acme/rest/base", _two_way_rule())
+    registry.activate(v1.ref)
+    valid = {v1.rule_hash: 1, v2.rule_hash: 2}
+    stop = threading.Event()
+    seen: set[int] = set()
+    errors: list[Exception] = []
+
+    def read() -> None:
+        try:
+            while not stop.is_set():
+                version = registry.resolve("acme/rest/base@active")
+                # Every read is a *consistent* version: the activation
+                # pointer never exposes a torn or mismatched record.
+                assert valid[version.rule_hash] == version.version
+                seen.add(version.version)
+        except Exception as error:  # pragma: no cover
+            errors.append(error)
+            stop.set()
+
+    readers = [threading.Thread(target=read) for _ in range(4)]
+    for reader in readers:
+        reader.start()
+    for _ in range(25):
+        registry.activate(v2.ref)
+        registry.activate(v1.ref)
+    stop.set()
+    for reader in readers:
+        reader.join()
+    assert not errors
+    assert 1 in seen  # flips end on v1; readers certainly saw it
+
+
+# -- migration -------------------------------------------------------------
+def test_check_rule_reports_every_gap_with_paths(tmp_path):
+    rule = LinkageRule(
+        AggregationNode(
+            "wmean",
+            (
+                _comparison("name", "name"),
+                _comparison("phone", "phone_no"),
+            ),
+        )
+    )
+    report = check_rule(
+        rule,
+        ["name", "phone_no", "city"],
+        ["name", "phone_no", "city"],
+    )
+    assert not report.ok
+    assert report.checked == 4  # distinct (side, property) pairs read
+    assert [gap.side for gap in report.gaps] == ["source"]
+    gap = report.gaps[0]
+    assert gap.property_name == "phone"
+    assert gap.path == "root.operators[1].source.inputs[0]"
+    assert gap.comparison_path == "root.operators[1]"
+    assert gap.suggestion == "substitute:phone_no"
+    payload = report.to_payload()
+    assert payload["ok"] is False
+    assert payload["gaps"][0]["property"] == "phone"
+
+
+def test_check_rule_ok_on_matching_schema():
+    report = check_rule(dataset_rule("restaurant"), ["name"], ["name"])
+    assert report.ok and report.gaps == () and report.checked == 2
+
+
+def test_auto_patch_substitutes_renamed_property():
+    rule = LinkageRule(_comparison("phone", "phone"))
+    schema = ["name", "phone_no"]
+    result = auto_patch(rule, schema, schema)
+    assert any("substituted" in edit for edit in result.applied)
+    assert check_rule(result.rule, schema, schema).ok
+    assert any(line.startswith("-") for line in result.diff)
+
+
+def test_auto_patch_prunes_unsalvageable_comparison():
+    rule = LinkageRule(
+        AggregationNode(
+            "wmean",
+            (_comparison("name", "name"), _comparison("isbn", "isbn")),
+        )
+    )
+    schema = ["name", "city"]
+    result = auto_patch(rule, schema, schema)
+    assert any(edit.startswith("pruned") for edit in result.applied)
+    assert check_rule(result.rule, schema, schema).ok
+    root = result.rule.root
+    assert isinstance(root, AggregationNode) and len(root.operators) == 1
+
+
+def test_auto_patch_refuses_unsalvageable_rule():
+    rule = LinkageRule(_comparison("isbn", "isbn"))
+    with pytest.raises(MigrationError):
+        auto_patch(rule, ["name"], ["name"])
+
+
+def test_migrate_version_check_and_apply(tmp_path):
+    registry = RuleRegistry(tmp_path)
+    rule = LinkageRule(_comparison("phone", "phone"))
+    version = registry.publish("acme/rest/base", rule)
+    schema = ["name", "phone_no"]
+
+    report, published = migrate_version(
+        registry, version.ref, schema, schema, apply=False
+    )
+    assert not report.ok and published is None
+    assert registry.versions("acme/rest/base")[-1].version == 1
+
+    report, published = migrate_version(
+        registry, version.ref, schema, schema, apply=True
+    )
+    assert not report.ok and published is not None
+    assert published.version == 2
+    provenance = published.provenance
+    assert provenance["migrated_from"] == "acme/rest/base@v1"
+    assert provenance["migration_gaps"][0]["property"] == "phone"
+    assert any(
+        "substituted" in edit for edit in provenance["migration_applied"]
+    )
+    assert check_rule(
+        published.linkage_rule(), schema, schema
+    ).ok
+
+
+def test_migrate_version_ok_publishes_nothing(tmp_path):
+    registry = RuleRegistry(tmp_path)
+    version = registry.publish("acme/rest/base", dataset_rule("restaurant"))
+    report, published = migrate_version(
+        registry, version.ref, ["name"], ["name"], apply=True
+    )
+    assert report.ok and published is None
+    assert len(registry.versions("acme/rest/base")) == 1

@@ -133,7 +133,7 @@ def test_resolve_queue_backends(tmp_path, monkeypatch):
 def test_inline_service_matches_direct_execution(tmp_path):
     with LinkageService(root=tmp_path, queue="inline") as service:
         assert service.inline and service.degraded_reason is None
-        record = service.submit_link(DATASET, seed=0, scale=SCALE)
+        record = service.submit("link", dataset=DATASET, seed=0, scale=SCALE)
         assert record.state == "succeeded"
         assert record.worker == "inline" and record.attempts == 1
         assert record.stats is not None and record.stats["links"] > 0
@@ -157,7 +157,7 @@ def test_unavailable_backend_degrades_with_reason(tmp_path):
     with LinkageService(root=tmp_path, queue="redis") as service:
         assert service.inline
         assert "redis" in (service.degraded_reason or "")
-        record = service.submit_link(DATASET, seed=0, scale=SCALE)
+        record = service.submit("link", dataset=DATASET, seed=0, scale=SCALE)
         assert record.state == "succeeded"
         assert service.links(record.job_id) == direct_links()
         assert service.health()["degraded_reason"] == service.degraded_reason
@@ -165,7 +165,7 @@ def test_unavailable_backend_degrades_with_reason(tmp_path):
 
 def test_inline_failure_is_recorded_not_raised(tmp_path):
     with LinkageService(root=tmp_path, queue="inline") as service:
-        record = service.submit("link", {"dataset": "no-such-dataset"})
+        record = service.submit("link", dataset="no-such-dataset")
         assert record.state == "failed"
         assert record.error and "no-such-dataset" in record.error
 
@@ -175,7 +175,7 @@ def test_inline_failure_is_recorded_not_raised(tmp_path):
 
 def test_worker_executes_queued_job_with_identical_links(tmp_path):
     service = LinkageService(root=tmp_path, queue="file")
-    record = service.submit_link(DATASET, seed=0, scale=SCALE)
+    record = service.submit("link", dataset=DATASET, seed=0, scale=SCALE)
     assert record.state == "queued"
     assert service.queue is not None and service.queue.depth() == 1
 
@@ -197,8 +197,8 @@ def test_worker_executes_queued_job_with_identical_links(tmp_path):
 
 def test_second_job_hits_the_shared_store(tmp_path):
     service = LinkageService(root=tmp_path, queue="file")
-    first = service.submit_link(DATASET, seed=0, scale=SCALE)
-    second = service.submit_link(DATASET, seed=0, scale=SCALE)
+    first = service.submit("link", dataset=DATASET, seed=0, scale=SCALE)
+    second = service.submit("link", dataset=DATASET, seed=0, scale=SCALE)
     # Two drain invocations = two cold worker processes in sequence,
     # sharing only the on-disk store — the service's warm path.
     run_worker(tmp_path, worker_id="w0", cache_dir=service.cache_dir, drain=True, max_jobs=1)
@@ -215,10 +215,10 @@ def test_second_job_hits_the_shared_store(tmp_path):
 
 def test_delta_job_builds_on_parent(tmp_path):
     with LinkageService(root=tmp_path, queue="inline") as service:
-        parent = service.submit_link(DATASET, seed=0, scale=SCALE)
+        parent = service.submit("link", dataset=DATASET, seed=0, scale=SCALE)
         assert parent.state == "succeeded"
-        delta = service.submit_delta(
-            parent.job_id, seed=1, upserts=4, deletes=2
+        delta = service.submit(
+            "delta", parent=parent.job_id, seed=1, upserts=4, deletes=2
         )
         assert delta.state == "succeeded"
         assert delta.result is not None
@@ -253,7 +253,7 @@ def _simulate_crash(service, record):
 
 def test_crashed_worker_job_is_retried_and_completes(tmp_path):
     service = LinkageService(root=tmp_path, queue="file")
-    record = service.submit_link(DATASET, seed=0, scale=SCALE)
+    record = service.submit("link", dataset=DATASET, seed=0, scale=SCALE)
     _simulate_crash(service, record)
 
     recovered = recover_stale(
@@ -277,7 +277,7 @@ def test_crashed_worker_job_is_retried_and_completes(tmp_path):
 
 def test_exhausted_attempts_fail_the_job(tmp_path):
     service = LinkageService(root=tmp_path, queue="file", max_attempts=1)
-    record = service.submit_link(DATASET, seed=0, scale=SCALE)
+    record = service.submit("link", dataset=DATASET, seed=0, scale=SCALE)
     _simulate_crash(service, record)
 
     recovered = recover_stale(service.store, service.queue, lease=0.5)
@@ -294,7 +294,7 @@ def test_reaper_requeues_first_then_slow_worker_steps_aside(tmp_path):
     final transition must fail with StaleJob — exactly one process owns
     the job's outcome."""
     service = LinkageService(root=tmp_path, queue="file")
-    record = service.submit_link(DATASET, seed=0, scale=SCALE)
+    record = service.submit("link", dataset=DATASET, seed=0, scale=SCALE)
     _simulate_crash(service, record)  # "slow" worker: stale heartbeat
 
     assert recover_stale(
@@ -329,7 +329,7 @@ def test_worker_completes_first_then_reaper_drops_the_claim(tmp_path):
     the reaper examines its stale-looking claim. The reaper must drop
     the ticket and leave the terminal record untouched."""
     service = LinkageService(root=tmp_path, queue="file")
-    record = service.submit_link(DATASET, seed=0, scale=SCALE)
+    record = service.submit("link", dataset=DATASET, seed=0, scale=SCALE)
     _simulate_crash(service, record)
 
     # The worker wins the race: terminal record lands first.
@@ -354,7 +354,7 @@ def test_wait_backs_off_exponentially_with_jitter(tmp_path, monkeypatch):
     jitter), so long waits converge to a couple of store reads per
     second instead of ten."""
     service = LinkageService(root=tmp_path, queue="file")
-    record = service.submit_link(DATASET, seed=0, scale=SCALE)
+    record = service.submit("link", dataset=DATASET, seed=0, scale=SCALE)
 
     clock = {"now": 0.0}
     sleeps: list[float] = []
@@ -385,7 +385,7 @@ def test_wait_backs_off_exponentially_with_jitter(tmp_path, monkeypatch):
 
 def test_wait_runs_the_reaper_for_a_blocked_submitter(tmp_path):
     service = LinkageService(root=tmp_path, queue="file", lease=0.2)
-    record = service.submit_link(DATASET, seed=0, scale=SCALE)
+    record = service.submit("link", dataset=DATASET, seed=0, scale=SCALE)
     _simulate_crash(service, record)
 
     # No worker is running; wait() itself must recover the claim so
@@ -401,7 +401,7 @@ def test_wait_runs_the_reaper_for_a_blocked_submitter(tmp_path):
 
 def test_health_reports_queue_jobs_workers_and_store(tmp_path):
     service = LinkageService(root=tmp_path, queue="file")
-    service.submit_link(DATASET, seed=0, scale=SCALE)
+    service.submit("link", dataset=DATASET, seed=0, scale=SCALE)
     run_worker(
         tmp_path, worker_id="w0", cache_dir=service.cache_dir, drain=True
     )
